@@ -1,0 +1,74 @@
+// Experiment E19 — design-choice ablation: degree orientation vs id
+// orientation (DESIGN.md §5).
+//
+// The forward algorithm's degree orientation bounds every oriented list by
+// sqrt(2m) (§II-B), which is what makes it "more robust to skewed degree
+// distributions" than edge-iterator. Orienting by vertex id instead is
+// equally correct but leaves hub vertices with huge forward lists, blowing
+// up the per-edge intersections on power-law graphs. This bench runs the
+// GPU pipeline both ways and reports kernel time and the max oriented list
+// length.
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "graph/orientation.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== Orientation ablation: degree order vs id order "
+               "(GTX 980) ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  util::Table table({"Graph", "deg-orient [ms]", "id-orient [ms]", "slowdown",
+                     "maxlist deg", "maxlist id", "sqrt(2m)"});
+
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{8},
+                        std::size_t{11}, std::size_t{12}}) {
+    const auto& row = suite[i];
+    std::cerr << "[orientation] " << row.name << " ...\n";
+    const auto device = bench::bench_device(simt::DeviceConfig::gtx_980(), row);
+
+    core::GpuForwardCounter by_degree(device, bench::bench_options());
+    const auto r_degree = by_degree.count(row.edges);
+
+    auto id_options = bench::bench_options();
+    id_options.orient_by_degree = false;
+    core::GpuForwardCounter by_id(device, id_options);
+    const auto r_id = by_id.count(row.edges);
+
+    if (r_degree.triangles != r_id.triangles) {
+      std::cerr << "MISMATCH on " << row.name << "\n";
+      return 1;
+    }
+
+    const EdgeIndex maxlist_degree =
+        max_oriented_degree(oriented_csr(row.edges));
+    const EdgeIndex maxlist_id =
+        Csr::from_edge_list(orient_by_id(row.edges)).max_degree();
+
+    std::ostringstream slowdown;
+    slowdown.precision(2);
+    slowdown.setf(std::ios::fixed);
+    slowdown << r_id.phases.counting_ms / r_degree.phases.counting_ms << "x";
+    table.row()
+        .cell(row.name)
+        .cell(r_degree.phases.counting_ms, 2)
+        .cell(r_id.phases.counting_ms, 2)
+        .cell(slowdown.str())
+        .cell(static_cast<std::uint64_t>(maxlist_degree))
+        .cell(static_cast<std::uint64_t>(maxlist_id))
+        .cell(std::sqrt(2.0 * static_cast<double>(row.edges.num_edges())), 0);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: degree orientation keeps every list under "
+               "sqrt(2m) and wins big on skewed graphs (the forward "
+               "algorithm's SII-B advantage); id orientation leaves "
+               "hub-length lists and much slower kernels.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment E8 — §III-D4 ablation: read-only data cache.
+//
+// On Kepler/Maxwell the L1 does not cache global loads; marking the arrays
+// const __restrict__ lets loads use the per-SM read-only (texture) path,
+// which the paper measures as a 17-66% kernel speedup. On Fermi (Tesla
+// C2050) the L1 caches all global loads, so the qualifier changes nothing.
+// This bench toggles the qualifier on both device models.
+
+#include <iostream>
+#include <sstream>
+
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== SIII-D4: read-only cache ablation ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  util::Table table({"Graph", "GTX no-RO [ms]", "GTX RO [ms]", "GTX gain",
+                     "C2050 no-RO [ms]", "C2050 RO [ms]", "C2050 gain"});
+
+  double min_gain = 1e9, max_gain = -1e9;
+  for (const auto& row : suite) {
+    std::cerr << "[texcache] " << row.name << " ...\n";
+
+    double kernel_ms[2][2];  // [device][readonly]
+    TriangleCount triangles[2][2];
+    const simt::DeviceConfig bases[2] = {simt::DeviceConfig::gtx_980(),
+                                         simt::DeviceConfig::tesla_c2050()};
+    for (int d = 0; d < 2; ++d) {
+      for (int ro = 0; ro < 2; ++ro) {
+        auto options = bench::bench_options();
+        options.variant.readonly_qualifier = (ro == 1);
+        core::GpuForwardCounter counter(bench::bench_device(bases[d], row),
+                                        options);
+        const auto r = counter.count(row.edges);
+        kernel_ms[d][ro] = r.phases.counting_ms;
+        triangles[d][ro] = r.triangles;
+      }
+      if (triangles[d][0] != triangles[d][1]) {
+        std::cerr << "MISMATCH on " << row.name << "\n";
+        return 1;
+      }
+    }
+
+    const double gtx_gain =
+        100.0 * (kernel_ms[0][0] - kernel_ms[0][1]) / kernel_ms[0][1];
+    const double c2050_gain =
+        100.0 * (kernel_ms[1][0] - kernel_ms[1][1]) / kernel_ms[1][1];
+    min_gain = std::min(min_gain, gtx_gain);
+    max_gain = std::max(max_gain, gtx_gain);
+
+    auto pct = [](double v) {
+      std::ostringstream out;
+      out.precision(1);
+      out.setf(std::ios::fixed);
+      out << v << "%";
+      return out.str();
+    };
+    table.row()
+        .cell(row.name)
+        .cell(kernel_ms[0][0], 2)
+        .cell(kernel_ms[0][1], 2)
+        .cell(pct(gtx_gain))
+        .cell(kernel_ms[1][0], 2)
+        .cell(kernel_ms[1][1], 2)
+        .cell(pct(c2050_gain));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nGTX 980 read-only cache gain range: " << min_gain << "% .. "
+            << max_gain
+            << "% (paper: 17% .. 66% on Kepler/Maxwell; ~0% expected on "
+               "Fermi, whose L1 caches all global loads)\n";
+  return 0;
+}

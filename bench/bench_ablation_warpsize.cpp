@@ -1,0 +1,62 @@
+// Experiment E9 — §III-D5 ablation: reducing the (effective) warp size.
+//
+// The trick: double the threads and idle half of each warp, so a cache miss
+// stalls fewer useful lanes. The paper saw 30% gains on an earlier,
+// latency-bound version of the kernel, but no benefit on the final one.
+// This bench sweeps effective warp sizes for both the final and preliminary
+// kernels on a representative skewed graph.
+
+#include <iostream>
+
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== SIII-D5: effective warp size sweep (GTX 980, "
+               "kronecker-19 stand-in) ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  const auto& row = suite[8];  // kronecker-19
+  std::cout << "graph: " << row.name << ", " << row.edges.num_edge_slots()
+            << " slots\n\n";
+  const auto device = bench::bench_device(simt::DeviceConfig::gtx_980(), row);
+
+  util::Table table({"Kernel", "warp 32 [ms]", "warp 16 [ms]", "warp 8 [ms]",
+                     "best"});
+
+  for (const bool final_loop : {true, false}) {
+    double times[3];
+    int i = 0;
+    TriangleCount expected = 0;
+    for (std::uint32_t warp : {32u, 16u, 8u}) {
+      auto options = bench::bench_options();
+      options.variant.final_loop = final_loop;
+      options.launch.effective_warp_size = warp;
+      core::GpuForwardCounter counter(device, options);
+      const auto r = counter.count(row.edges);
+      if (i == 0) {
+        expected = r.triangles;
+      } else if (r.triangles != expected) {
+        std::cerr << "MISMATCH at warp size " << warp << "\n";
+        return 1;
+      }
+      times[i++] = r.phases.counting_ms;
+    }
+    const char* best = times[0] <= times[1] && times[0] <= times[2] ? "32"
+                       : times[1] <= times[2]                       ? "16"
+                                                                    : "8";
+    table.row()
+        .cell(final_loop ? "final" : "preliminary")
+        .cell(times[0], 2)
+        .cell(times[1], 2)
+        .cell(times[2], 2)
+        .cell(best);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper: 30% gain on an earlier (more latency-bound) kernel; "
+               "no benefit for the final version.\n";
+  return 0;
+}

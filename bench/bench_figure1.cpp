@@ -1,0 +1,73 @@
+// Experiment E3 — Figure 1: scaling on synthetic Kronecker R-MAT graphs.
+//
+// Reproduces the paper's log-log plot: execution time vs node count for the
+// CPU baseline, one Tesla C2050, four Tesla C2050s, and the GTX 980, over a
+// sweep of Kronecker scales. Expected shape: four roughly parallel lines
+// (the algorithm is near-linear in m at fixed edge factor) with CPU on top,
+// then C2050, then GTX 980, and 4x C2050 pulling ahead of 1x C2050 as the
+// triangle count grows.
+//
+// Prints one row per scale; pipe into a plotting tool of choice for the
+// visual version.
+
+#include <iostream>
+
+#include "gen/generators.hpp"
+#include "multigpu/multi_gpu.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== Figure 1: Kronecker R-MAT scaling (time [ms] vs #nodes) "
+               "===\n\n";
+
+  const auto options = bench::bench_options();
+  util::Table table({"scale", "#nodes", "#edges", "triangles", "CPU",
+                     "C2050", "4xC2050", "GTX980"});
+
+  for (unsigned scale = 10; scale <= 15; ++scale) {
+    std::cerr << "[figure1] scale " << scale << " ...\n";
+    gen::RmatParams params;
+    params.scale = scale;
+    params.edge_factor = 24;
+    const EdgeList g = gen::rmat(params, 300 + scale);
+
+    // A Figure-1 point is an anonymous Kronecker graph; reuse the Table I
+    // scale mapping (paper scale = ours + 5) for the capacity gate.
+    bench::EvalGraph row;
+    row.edges = g;
+    row.paper_slots = static_cast<double>(g.num_edge_slots()) * 64.0;
+
+    const double cpu_ms = bench::cpu_baseline_ms(g, 1);
+
+    core::GpuForwardCounter c2050(
+        bench::bench_device(simt::DeviceConfig::tesla_c2050(), row), options);
+    const auto r1 = c2050.count(g);
+
+    multigpu::MultiGpuCounter c2050x4(
+        bench::bench_device(simt::DeviceConfig::tesla_c2050(), row), 4,
+        options);
+    const auto r4 = c2050x4.count(g);
+
+    core::GpuForwardCounter gtx(
+        bench::bench_device(simt::DeviceConfig::gtx_980(), row), options);
+    const auto rg = gtx.count(g);
+
+    table.row()
+        .cell(static_cast<int>(scale))
+        .cell(static_cast<std::uint64_t>(g.num_vertices()))
+        .cell(static_cast<std::uint64_t>(g.num_edge_slots()))
+        .cell(static_cast<std::uint64_t>(rg.triangles))
+        .cell(cpu_ms, 1)
+        .cell(r1.phases.total_ms(), 2)
+        .cell(r4.total_ms(), 2)
+        .cell(rg.phases.total_ms(), 2);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: near-parallel lines on log-log axes; "
+               "CPU > C2050 > GTX 980; 4xC2050 gains grow with scale.\n";
+  return 0;
+}

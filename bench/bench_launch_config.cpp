@@ -1,0 +1,77 @@
+// Experiment E11 — §III-C launch-configuration grid search.
+//
+// The paper tunes threads/block over powers of two from 32 to 1024 and
+// blocks/SM from 1 to 16, concluding that 64 threads x 8 blocks/SM is
+// (nearly) optimal on all three devices, and that on the GTX 980 any
+// combination giving 512 threads/SM performs similarly. This bench sweeps
+// the same grid (restricted to each device's occupancy limits) and reports
+// the counting-kernel time per configuration.
+
+#include <iostream>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== SIII-C: launch-configuration grid search ===\n\n";
+
+  gen::RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 24;
+  const EdgeList g = gen::rmat(params, 42);
+  std::cout << "graph: kronecker scale 12 stand-in, " << g.num_edge_slots()
+            << " slots\n";
+
+  bench::EvalGraph row;
+  row.edges = g;
+  row.paper_slots = static_cast<double>(g.num_edge_slots()) * 64.0;
+
+  for (const auto& base :
+       {simt::DeviceConfig::tesla_c2050(), simt::DeviceConfig::gtx_980(),
+        simt::DeviceConfig::nvs_5200m()}) {
+    const auto device = bench::bench_device(base, row);
+    std::cout << "\n--- " << base.name << " (kernel time [ms]) ---\n";
+
+    std::vector<std::string> header{"thr\\blk"};
+    const std::uint32_t blocks_sweep[] = {1, 2, 4, 8, 16};
+    for (auto b : blocks_sweep) header.push_back(std::to_string(b));
+    util::Table table(header);
+
+    double best_ms = 1e18;
+    std::uint32_t best_threads = 0, best_blocks = 0;
+    for (std::uint32_t threads = 32; threads <= 1024; threads *= 2) {
+      auto& table_row = table.row().cell(std::to_string(threads));
+      for (auto blocks : blocks_sweep) {
+        auto options = bench::bench_options();
+        options.launch.threads_per_block = threads;
+        options.launch.blocks_per_sm = blocks;
+        if (threads > device.max_threads_per_block ||
+            blocks > device.max_blocks_per_sm ||
+            threads * blocks > device.max_threads_per_sm) {
+          table_row.cell("-");
+          continue;
+        }
+        core::GpuForwardCounter counter(device, options);
+        const auto r = counter.count(g);
+        if (r.phases.counting_ms < best_ms) {
+          best_ms = r.phases.counting_ms;
+          best_threads = threads;
+          best_blocks = blocks;
+        }
+        table_row.cell(r.phases.counting_ms, 2);
+      }
+      std::cerr << "[launch] " << base.name << " threads " << threads
+                << " done\n";
+    }
+    table.print(std::cout);
+    std::cout << "best: " << best_threads << " threads/block x " << best_blocks
+              << " blocks/SM = " << best_threads * best_blocks
+              << " threads/SM (" << best_ms
+              << " ms; paper optimum: 64 x 8 = 512 threads/SM)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment E20 — §V related-work: GPU vs MapReduce.
+//
+// "MapReduce approach to the problem [5] has significant overhead, and even
+// for moderately sized graphs the execution time is in the order of
+// minutes. It is beneficial to use it for extremely large graphs, with the
+// number of edges in the order of one billion."
+//
+// This bench runs the two Suri-Vassilvitskii algorithms on the modeled
+// cluster next to the GPU pipeline, reports the fixed-overhead domination
+// at evaluation scale, shows the curse-of-the-last-reducer skew that the
+// degree ordering fixes, and extrapolates the crossover edge count at
+// which the cluster's aggregate throughput would overtake a single GPU.
+
+#include <iostream>
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "mapreduce/triangles.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== SV: GPU vs MapReduce ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  const mr::ClusterConfig cluster;  // 40 workers, 25 s/round
+
+  util::Table table({"Graph", "GPU [ms]", "MR NI++ [s]", "MR GP(k=4) [s]",
+                     "MR rounds overhead [s]", "last-reducer recs"});
+
+  for (std::size_t i : {std::size_t{0}, std::size_t{8}}) {
+    const auto& row = suite[i];
+    std::cerr << "[mapreduce] " << row.name << " ...\n";
+
+    core::GpuForwardCounter gpu(
+        bench::bench_device(simt::DeviceConfig::gtx_980(), row),
+        bench::bench_options());
+    const auto r_gpu = gpu.count(row.edges);
+
+    const mr::MrCountResult ni = mr::count_node_iterator_pp(row.edges, cluster);
+    const mr::MrCountResult gp =
+        mr::count_graph_partition(row.edges, cluster, 4);
+
+    if (ni.triangles != r_gpu.triangles || gp.triangles != r_gpu.triangles) {
+      std::cerr << "MISMATCH on " << row.name << "\n";
+      return 1;
+    }
+
+    table.row()
+        .cell(row.name)
+        .cell(r_gpu.phases.total_ms(), 1)
+        .cell(ni.job.total_s(), 1)
+        .cell(gp.job.total_s(), 1)
+        .cell(cluster.per_round_overhead_s *
+                  static_cast<double>(ni.job.rounds.size()),
+              0)
+        .cell(ni.job.max_reducer_records());
+  }
+  table.print(std::cout);
+
+  // Skew ablation: the degree order vs the naive order on a small skewed
+  // graph (the naive variant's wedge volume explodes with hub degree).
+  {
+    std::cerr << "[mapreduce] skew ablation ...\n";
+    gen::RmatParams params;
+    params.scale = 10;
+    params.edge_factor = 8;
+    const EdgeList g = gen::rmat(params, 4);
+    const auto ordered = mr::count_node_iterator_pp(g, cluster, true);
+    const auto naive = mr::count_node_iterator_pp(g, cluster, false);
+    // Wedge volume = round 2's map input minus the joined edge set.
+    const auto wedges = [&](const mr::MrCountResult& r) {
+      return r.job.rounds[1].map_input_records - g.num_edges();
+    };
+    std::cout << "\ncurse of the last reducer (rmat scale 10): wedges "
+              << wedges(ordered) << " (degree order) vs " << wedges(naive)
+              << " (naive order), last-reducer load "
+              << ordered.job.max_reducer_records() << " vs "
+              << naive.job.max_reducer_records() << "\n";
+  }
+
+  // Crossover extrapolation: GPU time scales ~linearly in m (Figure 1);
+  // MapReduce amortizes its fixed overhead. Solve for m where they meet.
+  {
+    const auto& row = suite[8];  // kronecker-19 stand-in
+    core::GpuForwardCounter gpu(
+        bench::bench_device(simt::DeviceConfig::gtx_980(), row),
+        bench::bench_options());
+    const auto r_gpu = gpu.count(row.edges);
+    const mr::MrCountResult ni = mr::count_node_iterator_pp(row.edges, cluster);
+    const double m = static_cast<double>(row.edges.num_edge_slots());
+    const double gpu_s_per_edge = r_gpu.phases.total_ms() / 1e3 / m;
+    const double mr_fixed = cluster.per_round_overhead_s * 2;
+    const double mr_s_per_edge = (ni.job.total_s() - mr_fixed) / m;
+    if (gpu_s_per_edge > mr_s_per_edge) {
+      const double crossover = mr_fixed / (gpu_s_per_edge - mr_s_per_edge);
+      std::cout << "\ncrossover estimate: MapReduce overtakes one GPU near "
+                << crossover / 1e9
+                << "B edge slots (paper: 'beneficial ... in the order of one "
+                   "billion' edges)\n";
+    } else {
+      // Per-edge the GPU stays ahead — the paper's actual argument for
+      // MapReduce at extreme scale is *capacity*, not throughput: a single
+      // device simply cannot hold a billion-edge graph.
+      const double gpu_capacity_slots =
+          static_cast<double>(simt::DeviceConfig::gtx_980().memory_bytes) /
+          17.0;  // the SIII-D6 preprocessing footprint per slot
+      std::cout << "\nper-edge the GPU stays ahead at every scale; the "
+                   "paper's case for MapReduce is capacity: one GTX 980 "
+                   "tops out near "
+                << gpu_capacity_slots / 1e6
+                << "M edge slots (SIII-D6 gate), ~0.25B — MapReduce (and our "
+                   "SVI out-of-core extension) keep scaling past it.\n";
+    }
+  }
+  return 0;
+}

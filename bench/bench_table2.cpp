@@ -1,0 +1,63 @@
+// Experiment E2 — Table II: CountTriangles kernel profiling on the GTX 980.
+//
+// Reproduces the paper's profiler table: cache hit rate and achieved DRAM
+// bandwidth of the counting kernel for every evaluation graph. Expected
+// shape: hit rates clustered in a band around ~75-85% with Barabasi-Albert
+// the outlier at the bottom, and bandwidth a substantial fraction (roughly
+// half) of the device's 224 GB/s peak.
+
+#include <iostream>
+#include <sstream>
+
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+int main() {
+  std::cout << "=== Table II: profiling results on GTX 980 (paper values in "
+               "brackets) ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  const auto options = bench::bench_options();
+
+  util::Table table({"Graph", "Hit rate", "(paper)", "BW [GB/s]", "(paper)",
+                     "Transactions", "DRAM [MB]"});
+  bool in_synthetic = false;
+  table.section("Real world graphs");
+
+  for (const auto& row : suite) {
+    if (!row.real_world && !in_synthetic) {
+      table.section("Synthetic graphs");
+      in_synthetic = true;
+    }
+    std::cerr << "[table2] " << row.name << " ...\n";
+    core::GpuForwardCounter gtx(
+        bench::bench_device(simt::DeviceConfig::gtx_980(), row), options);
+    const auto r = gtx.count(row.edges);
+    std::ostringstream hit, paper_hit, bw, paper_bw;
+    hit.precision(2);
+    hit.setf(std::ios::fixed);
+    hit << 100.0 * r.kernel.cache_hit_rate() << "%";
+    paper_hit << row.paper_hit_pct << "%";
+    bw.precision(2);
+    bw.setf(std::ios::fixed);
+    bw << r.kernel.achieved_bandwidth_gbps();
+    paper_bw << row.paper_bw_gbps;
+    table.row()
+        .cell(row.name)
+        .cell(hit.str())
+        .cell(paper_hit.str())
+        .cell(bw.str())
+        .cell(paper_bw.str())
+        .cell(static_cast<std::uint64_t>(
+            static_cast<double>(r.kernel.memory.transactions) *
+            r.kernel.sample_scale))
+        .cell(static_cast<std::uint64_t>(
+            static_cast<double>(r.kernel.memory.dram_bytes) *
+            r.kernel.sample_scale / 1e6));
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,251 @@
+#include "suite.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "util/timer.hpp"
+
+namespace trico::bench {
+
+namespace {
+
+EdgeList cached(const std::string& cache_dir, const std::string& name,
+                const std::function<EdgeList()>& generate) {
+  if (cache_dir.empty()) return generate();
+  std::filesystem::create_directories(cache_dir);
+  const std::string path = cache_dir + "/" + name + ".trico";
+  if (std::filesystem::exists(path)) {
+    return io::read_binary_file(path);
+  }
+  EdgeList edges = generate();
+  io::write_binary_file(path, edges);
+  return edges;
+}
+
+}  // namespace
+
+std::vector<EvalGraph> evaluation_suite(const std::string& cache_dir) {
+  std::vector<EvalGraph> suite;
+
+  auto add = [&](EvalGraph row, const std::function<EdgeList()>& generate) {
+    row.edges = cached(cache_dir, row.name, generate);
+    suite.push_back(std::move(row));
+  };
+
+  // ---- Real-world stand-ins (SNAP / DIMACS graphs are not available
+  //      offline; generators chosen to match degree skew and the
+  //      triangles-per-slot ratio of each original). ----
+
+  {
+    EvalGraph row;
+    row.name = "internet-topology";
+    row.paper_slots = 22e6;
+    row.paper_triangles = 29'000'000;
+    row.paper_cpu_ms = 3459;
+    row.paper_c2050_ms = 277;
+    row.paper_4xc2050_ms = 306;
+    row.paper_gtx980_ms = 186;
+    row.paper_hit_pct = 80.78;
+    row.paper_bw_gbps = 95.90;
+    // AS-topology-like: power-law, low triangle density (29M tri / 22M slots).
+    add(row, [] {
+      gen::SocialParams params;
+      params.n = 60000;
+      params.attach = 5;
+      params.closure_rounds = 0.6;
+      params.closure_prob = 0.20;
+      return gen::social(params, 101);
+    });
+  }
+  {
+    EvalGraph row;
+    row.name = "livejournal";
+    row.paper_slots = 69e6;
+    row.paper_triangles = 178'000'000;
+    row.paper_cpu_ms = 13829;
+    row.paper_c2050_ms = 951;
+    row.paper_4xc2050_ms = 947;
+    row.paper_gtx980_ms = 540;
+    row.paper_hit_pct = 79.73;
+    row.paper_bw_gbps = 100.28;
+    add(row, [] {
+      gen::SocialParams params;
+      params.n = 60000;
+      params.attach = 8;
+      params.closure_rounds = 2.0;
+      params.closure_prob = 0.5;
+      return gen::social(params, 102);
+    });
+  }
+  {
+    EvalGraph row;
+    row.name = "orkut";
+    row.paper_slots = 234e6;
+    row.paper_triangles = 628'000'000;
+    row.paper_cpu_ms = 82558;
+    row.paper_c2050_ms = 9690;
+    row.paper_4xc2050_ms = 7580;
+    row.paper_gtx980_ms = 2815;
+    row.paper_hit_pct = 82.71;
+    row.paper_bw_gbps = 98.55;
+    row.paper_dagger_c2050 = true;
+    add(row, [] {
+      gen::SocialParams params;
+      params.n = 75000;
+      params.attach = 11;
+      params.closure_rounds = 1.6;
+      params.closure_prob = 0.5;
+      return gen::social(params, 103);
+    });
+  }
+  {
+    EvalGraph row;
+    row.name = "citeseer";
+    row.paper_slots = 32e6;
+    row.paper_triangles = 872'000'000;
+    row.paper_cpu_ms = 4990;
+    row.paper_c2050_ms = 578;
+    row.paper_4xc2050_ms = 456;
+    row.paper_gtx980_ms = 329;
+    row.paper_hit_pct = 76.68;
+    row.paper_bw_gbps = 117.92;
+    // Co-paper clique union: very high triangles/slot (27 in the paper).
+    add(row, [] {
+      gen::CopaperParams params;
+      params.n = 25000;
+      params.papers = 6000;
+      params.min_authors = 3;
+      params.max_authors = 60;  // proceedings-style large author cliques
+      return gen::copaper(params, 104);
+    });
+  }
+  {
+    EvalGraph row;
+    row.name = "dblp";
+    row.paper_slots = 30e6;
+    row.paper_triangles = 442'000'000;
+    row.paper_cpu_ms = 4712;
+    row.paper_c2050_ms = 446;
+    row.paper_4xc2050_ms = 410;
+    row.paper_gtx980_ms = 239;
+    row.paper_hit_pct = 78.14;
+    row.paper_bw_gbps = 112.96;
+    add(row, [] {
+      gen::CopaperParams params;
+      params.n = 30000;
+      params.papers = 10000;
+      params.min_authors = 2;
+      params.max_authors = 40;
+      return gen::copaper(params, 105);
+    });
+  }
+
+  // ---- Synthetic graphs (same generators as the paper, reduced scale:
+  //      our Kronecker scale s stands in for the paper's scale s+5). ----
+
+  // Paper Kronecker rows 16..21 (Table I), stood in by our scales 11..16.
+  const struct KronRow {
+    unsigned paper_scale;
+    double slots;
+    std::uint64_t triangles;
+    double cpu, c2050, c2050x4, gtx;
+    double hit, bw;
+    bool dagger;
+  } kron_rows[] = {
+      {16, 5e6, 119'000'000, 2810, 179, 97, 82, 80.95, 143.99, false},
+      {17, 10e6, 288'000'000, 6957, 476, 219, 219, 79.75, 134.33, false},
+      {18, 21e6, 688'000'000, 17808, 1274, 499, 558, 78.35, 128.33, false},
+      {19, 44e6, 1'626'000'000, 45947, 3434, 1304, 1443, 77.59, 122.60, false},
+      {20, 89e6, 3'804'000'000, 116811, 9308, 3296, 3942, 76.78, 113.37, false},
+      {21, 182e6, 8'816'000'000, 297426, 33150, 13624, 12009, 75.81, 93.65, true},
+  };
+  for (const KronRow& k : kron_rows) {
+    EvalGraph row;
+    row.name = "kronecker-" + std::to_string(k.paper_scale);
+    row.real_world = false;
+    row.paper_slots = k.slots;
+    row.paper_triangles = k.triangles;
+    row.paper_cpu_ms = k.cpu;
+    row.paper_c2050_ms = k.c2050;
+    row.paper_4xc2050_ms = k.c2050x4;
+    row.paper_gtx980_ms = k.gtx;
+    row.paper_hit_pct = k.hit;
+    row.paper_bw_gbps = k.bw;
+    row.paper_dagger_c2050 = k.dagger;
+    const unsigned scale = k.paper_scale - 5;
+    add(row, [scale] {
+      gen::RmatParams params;
+      params.scale = scale;
+      params.edge_factor = 24;
+      return gen::rmat(params, 200 + scale);
+    });
+  }
+
+  {
+    EvalGraph row;
+    row.name = "barabasi-albert";
+    row.real_world = false;
+    row.paper_slots = 20e6;
+    row.paper_triangles = 3'000'000;
+    row.paper_cpu_ms = 5508;
+    row.paper_c2050_ms = 327;
+    row.paper_4xc2050_ms = 263;
+    row.paper_gtx980_ms = 155;
+    row.paper_hit_pct = 64.45;
+    row.paper_bw_gbps = 137.56;
+    add(row, [] { return gen::barabasi_albert(40000, 12, 106); });
+  }
+  {
+    EvalGraph row;
+    row.name = "watts-strogatz";
+    row.real_world = false;
+    row.paper_slots = 50e6;
+    row.paper_triangles = 219'000'000;
+    row.paper_cpu_ms = 9627;
+    row.paper_c2050_ms = 589;
+    row.paper_4xc2050_ms = 576;
+    row.paper_gtx980_ms = 324;
+    row.paper_hit_pct = 74.55;
+    row.paper_bw_gbps = 116.82;
+    add(row, [] { return gen::watts_strogatz(60000, 10, 0.10, 107); });
+  }
+
+  return suite;
+}
+
+simt::DeviceConfig bench_device(const simt::DeviceConfig& base,
+                                const EvalGraph& row) {
+  simt::DeviceConfig config = base.scaled_memory(kCacheScale);
+  const double capacity_scale =
+      row.paper_slots /
+      std::max<double>(1.0, static_cast<double>(row.edges.num_edge_slots()));
+  config.memory_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(base.memory_bytes) / std::max(1.0, capacity_scale));
+  return config;
+}
+
+core::CountingOptions bench_options() {
+  core::CountingOptions options;
+  options.sim.sample_sms = 2;
+  return options;
+}
+
+double cpu_baseline_ms(const EdgeList& edges, int reps) {
+  double best = 0;
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    volatile TriangleCount count = cpu::count_forward(edges);
+    (void)count;
+    times.push_back(timer.elapsed_ms());
+  }
+  std::sort(times.begin(), times.end());
+  best = times[times.size() / 2];
+  return best;
+}
+
+}  // namespace trico::bench

@@ -1,0 +1,70 @@
+// Approximate counting scenario (§V related work): trade accuracy for
+// speed with DOULION edge sparsification and wedge sampling, and check the
+// error against the exact forward count.
+
+#include <iostream>
+
+#include "cpu/approx.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace trico;
+
+  gen::RmatParams params;
+  params.scale = 14;
+  params.edge_factor = 16;
+  const EdgeList graph = gen::rmat(params, 9);
+  std::cout << "graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges\n\n";
+
+  util::Timer exact_timer;
+  const auto exact = static_cast<double>(cpu::count_forward(graph));
+  const double exact_ms = exact_timer.elapsed_ms();
+  std::cout << "exact (forward): " << static_cast<std::uint64_t>(exact)
+            << " triangles in " << exact_ms << " ms\n\n";
+
+  util::Table table({"method", "estimate", "error", "time [ms]", "speedup"});
+
+  for (double p : {0.5, 0.25, 0.1}) {
+    util::Timer timer;
+    const cpu::ApproxResult r = cpu::count_doulion(graph, p, 7);
+    const double ms = timer.elapsed_ms();
+    std::ostringstream name, err;
+    name << "doulion p=" << p;
+    err.precision(2);
+    err.setf(std::ios::fixed);
+    err << 100.0 * (r.estimate - exact) / exact << "%";
+    table.row()
+        .cell(name.str())
+        .cell(static_cast<std::uint64_t>(r.estimate))
+        .cell(err.str())
+        .cell(ms, 1)
+        .cell(exact_ms / ms, 1);
+  }
+
+  for (std::uint64_t samples : {10000ull, 100000ull}) {
+    util::Timer timer;
+    const cpu::ApproxResult r = cpu::count_wedge_sampling(graph, samples, 7);
+    const double ms = timer.elapsed_ms();
+    std::ostringstream name, err;
+    name << "wedges n=" << samples;
+    err.precision(2);
+    err.setf(std::ios::fixed);
+    err << 100.0 * (r.estimate - exact) / exact << "%";
+    table.row()
+        .cell(name.str())
+        .cell(static_cast<std::uint64_t>(r.estimate))
+        .cell(err.str())
+        .cell(ms, 1)
+        .cell(exact_ms / ms, 1);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nAs the paper notes (SV), approximation buys large "
+               "speedups at a few percent error — but only ever an "
+               "approximate count.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Network-analysis scenario: clustering coefficients and transitivity.
+//
+// The paper's motivation (§I): triangle counts underlie the clustering
+// coefficient and the transitivity ratio used in network analysis. This
+// example compares a small-world network (Watts-Strogatz) against a random
+// graph with the same size, reproducing the classic observation that small
+// worlds keep lattice-like clustering at random-graph path lengths, and
+// prints the most locally-clustered vertices of a social-style graph.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "analysis/clustering.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+
+int main() {
+  using namespace trico;
+
+  std::cout << "=== Clustering coefficients: small world vs random ===\n\n";
+  const VertexId n = 20000;
+  const EdgeList small_world = gen::watts_strogatz(n, 6, 0.05, 1);
+  const EdgeList random_graph = gen::erdos_renyi(n, small_world.num_edges(), 1);
+
+  for (const auto& [name, graph] :
+       {std::pair<const char*, const EdgeList&>{"watts-strogatz(k=6, b=0.05)",
+                                                small_world},
+        {"erdos-renyi (same n, m)", random_graph}}) {
+    const TriangleCount triangles = cpu::count_forward(graph);
+    std::cout << name << ":\n"
+              << "  " << compute_stats(graph) << "\n"
+              << "  triangles            " << triangles << "\n"
+              << "  global clustering    " << analysis::global_clustering(graph)
+              << "\n"
+              << "  transitivity ratio   " << analysis::transitivity(graph)
+              << "\n\n";
+  }
+
+  std::cout << "A small world keeps ~10-100x the clustering of a random "
+               "graph at equal density.\n\n";
+
+  std::cout << "=== Most clustered hubs of a social-style graph ===\n\n";
+  gen::SocialParams params;
+  params.n = 10000;
+  params.attach = 6;
+  params.closure_rounds = 2.0;
+  params.closure_prob = 0.5;
+  const EdgeList social = gen::social(params, 7);
+  const std::vector<double> local = analysis::local_clustering(social);
+  const std::vector<TriangleCount> per_vertex =
+      cpu::per_vertex_triangles(social);
+  const std::vector<EdgeIndex> degree = social.degrees();
+
+  // Top vertices by triangle participation.
+  std::vector<VertexId> order(social.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return per_vertex[a] > per_vertex[b];
+                    });
+  std::cout << "vertex  degree  triangles  local-clustering\n";
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = order[i];
+    std::cout << v << "  " << degree[v] << "  " << per_vertex[v] << "  "
+              << local[v] << "\n";
+  }
+  return 0;
+}

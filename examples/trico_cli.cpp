@@ -1,0 +1,147 @@
+// trico_cli — command-line triangle counter, modeled on the tool the
+// paper's artifact repository ships.
+//
+// Usage:
+//   trico_cli [options] <graph-file>
+//   trico_cli [options] --rmat <scale>
+//
+// Options:
+//   --algorithm A   cpu-forward | cpu-edge-iterator | cpu-node-iterator |
+//                   cpu-compact-forward | cpu-hashed | gpu | multigpu
+//                   (default: gpu)
+//   --device D      c2050 | gtx980 | nvs5200m   (default: gtx980)
+//   --devices N     device count for multigpu   (default: 4)
+//   --binary        input file is trico binary format (default: SNAP text)
+//   --clustering    also print global clustering / transitivity
+//   --stats         print graph statistics before counting
+//
+// Exit status 0 on success; the triangle count goes to stdout.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/clustering.hpp"
+#include "core/gpu_forward.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "multigpu/multi_gpu.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace trico;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--algorithm A] [--device D] [--devices N] [--binary]\n"
+               "       [--clustering] [--stats] (<graph-file> | --rmat "
+               "<scale>)\n";
+  std::exit(2);
+}
+
+simt::DeviceConfig parse_device(const std::string& name) {
+  if (name == "c2050") return simt::DeviceConfig::tesla_c2050();
+  if (name == "gtx980") return simt::DeviceConfig::gtx_980();
+  if (name == "nvs5200m") return simt::DeviceConfig::nvs_5200m();
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algorithm = "gpu";
+  std::string device_name = "gtx980";
+  std::string path;
+  unsigned devices = 4;
+  int rmat_scale = -1;
+  bool binary = false, clustering = false, stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--algorithm") {
+      algorithm = next();
+    } else if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--devices") {
+      devices = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--rmat") {
+      rmat_scale = std::stoi(next());
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "--clustering") {
+      clustering = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty() && rmat_scale < 0) usage(argv[0]);
+
+  try {
+    EdgeList graph;
+    if (rmat_scale >= 0) {
+      gen::RmatParams params;
+      params.scale = static_cast<unsigned>(rmat_scale);
+      graph = gen::rmat(params, 1);
+    } else {
+      graph = binary ? io::read_binary_file(path) : io::read_text_file(path);
+    }
+    if (stats) std::cerr << compute_stats(graph) << "\n";
+
+    util::Timer timer;
+    TriangleCount triangles = 0;
+    double modeled_ms = -1.0;
+    if (algorithm == "cpu-forward") {
+      triangles = cpu::count_forward(graph);
+    } else if (algorithm == "cpu-edge-iterator") {
+      triangles = cpu::count_edge_iterator(graph);
+    } else if (algorithm == "cpu-node-iterator") {
+      triangles = cpu::count_node_iterator(graph);
+    } else if (algorithm == "cpu-compact-forward") {
+      triangles = cpu::count_compact_forward(graph);
+    } else if (algorithm == "cpu-hashed") {
+      triangles = cpu::count_forward_hashed(graph);
+    } else if (algorithm == "gpu") {
+      const auto result =
+          core::count_triangles_gpu(graph, parse_device(device_name));
+      triangles = result.triangles;
+      modeled_ms = result.phases.total_ms();
+    } else if (algorithm == "multigpu") {
+      multigpu::MultiGpuCounter counter(parse_device(device_name), devices);
+      const auto result = counter.count(graph);
+      triangles = result.triangles;
+      modeled_ms = result.total_ms();
+    } else {
+      std::cerr << "unknown algorithm: " << algorithm << "\n";
+      usage(argv[0]);
+    }
+
+    std::cerr << "wall time: " << timer.elapsed_ms() << " ms";
+    if (modeled_ms >= 0) std::cerr << " (modeled device time: " << modeled_ms << " ms)";
+    std::cerr << "\n";
+    std::cout << triangles << "\n";
+
+    if (clustering) {
+      std::cerr << "global clustering: " << analysis::global_clustering(graph)
+                << "\ntransitivity:      " << analysis::transitivity(graph)
+                << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

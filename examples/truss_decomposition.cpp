@@ -1,0 +1,56 @@
+// Community-core scenario: k-truss decomposition of a social-style graph.
+//
+// Triangle counting is the primitive; the k-truss — the maximal subgraph in
+// which every edge participates in at least k-2 triangles — is a classic
+// downstream application for finding cohesive cores in social networks.
+// This example decomposes a generated social graph, prints the truss-size
+// profile, and shows how the densest core shrinks and densifies as k grows.
+
+#include <iostream>
+
+#include "analysis/clustering.hpp"
+#include "analysis/truss.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace trico;
+
+  gen::SocialParams params;
+  params.n = 20000;
+  params.attach = 7;
+  params.closure_rounds = 2.0;
+  params.closure_prob = 0.5;
+  const EdgeList graph = gen::social(params, 21);
+  std::cout << "graph: " << compute_stats(graph) << "\n";
+  std::cout << "triangles: " << cpu::count_forward(graph) << "\n\n";
+
+  const analysis::TrussDecomposition decomposition =
+      analysis::truss_decomposition(graph);
+  std::cout << "max trussness: " << decomposition.max_trussness << "\n\n";
+
+  util::Table table({"k", "edges in k-truss", "vertices touched",
+                     "global clustering of k-truss"});
+  for (std::uint32_t k = 2; k <= decomposition.max_trussness; ++k) {
+    std::uint64_t edge_count = 0;
+    for (std::uint32_t t : decomposition.trussness) {
+      if (t >= k) ++edge_count;
+    }
+    if (edge_count == 0) break;
+    const EdgeList truss = analysis::k_truss(graph, k);
+    const GraphStats stats = compute_stats(truss);
+    table.row()
+        .cell(static_cast<int>(k))
+        .cell(edge_count)
+        .cell(static_cast<std::uint64_t>(stats.num_vertices -
+                                         stats.isolated_vertices))
+        .cell(analysis::global_clustering(truss), 3);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHigher-k trusses are smaller and more clustered — the "
+               "cohesive cores triadic closure builds.\n";
+  return 0;
+}

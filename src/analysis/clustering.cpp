@@ -1,0 +1,49 @@
+#include "analysis/clustering.hpp"
+
+#include "cpu/counting.hpp"
+
+namespace trico::analysis {
+
+std::vector<double> local_clustering(const EdgeList& edges) {
+  const std::vector<TriangleCount> triangles = cpu::per_vertex_triangles(edges);
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  std::vector<double> coefficient(edges.num_vertices(), 0.0);
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    const auto d = static_cast<double>(degree[v]);
+    if (degree[v] >= 2) {
+      coefficient[v] =
+          2.0 * static_cast<double>(triangles[v]) / (d * (d - 1.0));
+    }
+  }
+  return coefficient;
+}
+
+double global_clustering(const EdgeList& edges) {
+  const std::vector<double> local = local_clustering(edges);
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  double sum = 0.0;
+  std::uint64_t eligible = 0;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (degree[v] >= 2) {
+      sum += local[v];
+      ++eligible;
+    }
+  }
+  return eligible > 0 ? sum / static_cast<double>(eligible) : 0.0;
+}
+
+std::uint64_t wedge_count(const EdgeList& edges) {
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  std::uint64_t wedges = 0;
+  for (EdgeIndex d : degree) wedges += d * (d - 1) / 2;
+  return wedges;
+}
+
+double transitivity(const EdgeList& edges) {
+  const std::uint64_t wedges = wedge_count(edges);
+  if (wedges == 0) return 0.0;
+  const TriangleCount triangles = cpu::count_forward(edges);
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+}  // namespace trico::analysis

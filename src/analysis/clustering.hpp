@@ -1,0 +1,29 @@
+// Network-analysis metrics built on triangle counting — the motivating
+// applications from the paper's introduction (§I): the local/global
+// clustering coefficient and the transitivity ratio.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::analysis {
+
+/// Local clustering coefficient of every vertex:
+/// c(v) = triangles(v) / C(deg(v), 2), defined as 0 when deg(v) < 2.
+[[nodiscard]] std::vector<double> local_clustering(const EdgeList& edges);
+
+/// Global clustering coefficient: the average of the local coefficients
+/// (Watts–Strogatz definition) over vertices of degree >= 2.
+[[nodiscard]] double global_clustering(const EdgeList& edges);
+
+/// Transitivity ratio: 3 * triangles / number of connected vertex triples
+/// (paths of length two).
+[[nodiscard]] double transitivity(const EdgeList& edges);
+
+/// Number of paths of length two (open + closed wedges):
+/// sum_v C(deg(v), 2).
+[[nodiscard]] std::uint64_t wedge_count(const EdgeList& edges);
+
+}  // namespace trico::analysis

@@ -1,0 +1,182 @@
+#include "analysis/truss.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/clustering.hpp"
+
+namespace trico::analysis {
+
+namespace {
+
+/// Index of canonical pair (u < v) in the sorted pair list, or -1.
+class PairIndex {
+ public:
+  explicit PairIndex(const std::vector<Edge>& pairs) {
+    index_.reserve(pairs.size() * 2);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      index_.emplace(pack_edge(pairs[i]), i);
+    }
+  }
+
+  [[nodiscard]] std::int64_t find(VertexId u, VertexId v) const {
+    if (u > v) std::swap(u, v);
+    const auto it = index_.find(pack_edge(Edge{u, v}));
+    return it == index_.end() ? -1 : static_cast<std::int64_t>(it->second);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+std::vector<Edge> sorted_pairs(const EdgeList& edges) {
+  std::vector<Edge> pairs;
+  pairs.reserve(edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v) pairs.push_back(e);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+EdgeSupport edge_support(const EdgeList& edges) {
+  EdgeSupport result;
+  result.pairs = sorted_pairs(edges);
+  result.support.assign(result.pairs.size(), 0);
+  const PairIndex index(result.pairs);
+  const Csr adjacency = Csr::from_edge_list(edges);
+  for (std::size_t i = 0; i < result.pairs.size(); ++i) {
+    const Edge& e = result.pairs[i];
+    const auto adj_u = adjacency.neighbors(e.u);
+    const auto adj_v = adjacency.neighbors(e.v);
+    std::size_t a = 0, b = 0;
+    while (a < adj_u.size() && b < adj_v.size()) {
+      if (adj_u[a] < adj_v[b]) {
+        ++a;
+      } else if (adj_u[a] > adj_v[b]) {
+        ++b;
+      } else {
+        ++result.support[i];
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return result;
+}
+
+TrussDecomposition truss_decomposition(const EdgeList& edges) {
+  EdgeSupport initial = edge_support(edges);
+  TrussDecomposition result;
+  result.pairs = initial.pairs;
+  const std::size_t m = result.pairs.size();
+  result.trussness.assign(m, 2);
+  if (m == 0) return result;
+
+  const PairIndex index(result.pairs);
+  const Csr adjacency = Csr::from_edge_list(edges);
+  std::vector<std::uint32_t> support = std::move(initial.support);
+  std::vector<std::uint8_t> alive(m, 1);
+
+  // Lazy bucket queue keyed by current support.
+  std::uint32_t max_support = 0;
+  for (std::uint32_t s : support) max_support = std::max(max_support, s);
+  std::vector<std::vector<std::uint32_t>> buckets(max_support + 1);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    buckets[support[i]].push_back(i);
+  }
+
+  std::uint32_t running = 0;  // current peel level (support floor)
+  std::size_t removed = 0;
+  std::size_t cursor = 0;
+  while (removed < m) {
+    // Find the lowest non-empty bucket holding a live, up-to-date entry.
+    while (cursor < buckets.size()) {
+      bool popped = false;
+      while (!buckets[cursor].empty()) {
+        const std::uint32_t e = buckets[cursor].back();
+        buckets[cursor].pop_back();
+        if (!alive[e] || support[e] != cursor) continue;  // stale entry
+        // Peel edge e.
+        running = std::max(running, static_cast<std::uint32_t>(cursor));
+        result.trussness[e] = running + 2;
+        alive[e] = 0;
+        ++removed;
+        const Edge& pair = result.pairs[e];
+        const auto adj_u = adjacency.neighbors(pair.u);
+        const auto adj_v = adjacency.neighbors(pair.v);
+        std::size_t a = 0, b = 0;
+        while (a < adj_u.size() && b < adj_v.size()) {
+          if (adj_u[a] < adj_v[b]) {
+            ++a;
+          } else if (adj_u[a] > adj_v[b]) {
+            ++b;
+          } else {
+            const VertexId w = adj_u[a];
+            const std::int64_t uw = index.find(pair.u, w);
+            const std::int64_t vw = index.find(pair.v, w);
+            if (uw >= 0 && vw >= 0 && alive[uw] && alive[vw]) {
+              for (const std::int64_t other : {uw, vw}) {
+                if (support[other] > 0) {
+                  --support[other];
+                  buckets[support[other]].push_back(
+                      static_cast<std::uint32_t>(other));
+                }
+              }
+            }
+            ++a;
+            ++b;
+          }
+        }
+        popped = true;
+        break;  // re-scan from the lowest bucket (supports only decrease)
+      }
+      if (popped) {
+        // Decrements may have filled buckets below `cursor`; restart the
+        // scan from the current peel floor (they cannot go below it... but
+        // decremented supports can, so restart from 0 and rely on `running`
+        // for monotone trussness).
+        cursor = 0;
+      } else {
+        ++cursor;
+      }
+      if (removed == m) break;
+    }
+  }
+
+  for (std::uint32_t t : result.trussness) {
+    result.max_trussness = std::max(result.max_trussness, t);
+  }
+  return result;
+}
+
+EdgeList k_truss(const EdgeList& edges, std::uint32_t k) {
+  const TrussDecomposition decomposition = truss_decomposition(edges);
+  std::vector<Edge> kept;
+  for (std::size_t i = 0; i < decomposition.pairs.size(); ++i) {
+    if (decomposition.trussness[i] >= k) kept.push_back(decomposition.pairs[i]);
+  }
+  return EdgeList::from_undirected_pairs(kept, edges.num_vertices());
+}
+
+std::vector<double> clustering_by_degree(const EdgeList& edges) {
+  const std::vector<double> local = local_clustering(edges);
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  EdgeIndex max_degree = 0;
+  for (EdgeIndex d : degree) max_degree = std::max(max_degree, d);
+  std::vector<double> sum(max_degree + 1, 0.0);
+  std::vector<std::uint64_t> count(max_degree + 1, 0);
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    sum[degree[v]] += local[v];
+    ++count[degree[v]];
+  }
+  std::vector<double> profile(max_degree + 1, 0.0);
+  for (std::size_t d = 0; d <= max_degree; ++d) {
+    if (count[d] > 0) profile[d] = sum[d] / static_cast<double>(count[d]);
+  }
+  return profile;
+}
+
+}  // namespace trico::analysis

@@ -1,0 +1,50 @@
+// Edge support and k-truss decomposition.
+//
+// The per-edge intersection sizes the CountTriangles kernel computes are
+// exactly the *support* of each edge (the number of triangles containing
+// it) — the quantity behind the k-truss, the standard triangle-based
+// cohesion decomposition in network analysis. This module exposes both, as
+// the downstream application layer over the counting core.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace trico::analysis {
+
+/// Support of every undirected edge: result[i] = number of triangles
+/// containing pair i, where pairs are the canonical (u < v) edges in sorted
+/// order. Returns the pair list alongside the supports.
+struct EdgeSupport {
+  std::vector<Edge> pairs;              ///< sorted canonical pairs (u < v)
+  std::vector<std::uint32_t> support;   ///< one entry per pair
+};
+
+[[nodiscard]] EdgeSupport edge_support(const EdgeList& edges);
+
+/// Trussness of every edge: the largest k such that the edge survives in
+/// the k-truss (the maximal subgraph where every edge closes at least k-2
+/// triangles within the subgraph). Edges in no triangle get trussness 2.
+/// Computed by the standard peeling algorithm.
+struct TrussDecomposition {
+  std::vector<Edge> pairs;                 ///< sorted canonical pairs
+  std::vector<std::uint32_t> trussness;    ///< per pair, >= 2
+  std::uint32_t max_trussness = 2;
+};
+
+[[nodiscard]] TrussDecomposition truss_decomposition(const EdgeList& edges);
+
+/// Edges of the k-truss of the graph (k >= 2): pairs with trussness >= k.
+[[nodiscard]] EdgeList k_truss(const EdgeList& edges, std::uint32_t k);
+
+/// Degree-resolved clustering profile C(k): mean local clustering
+/// coefficient over vertices of degree k (NaN-free: degrees with no
+/// vertices get 0). Used to study hierarchical structure; result.size() =
+/// max degree + 1.
+[[nodiscard]] std::vector<double> clustering_by_degree(const EdgeList& edges);
+
+}  // namespace trico::analysis

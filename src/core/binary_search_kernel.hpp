@@ -1,0 +1,149 @@
+// Binary-search intersection kernel — the strategy of Green et al. [15]
+// ("Fast triangle counting on the GPU", IA3'14), which the paper compares
+// against in §V: "The most recent work ... proposes much more elaborate
+// algorithm ... Despite this, our algorithm achieves roughly two times
+// lower execution times".
+//
+// One thread per oriented edge (same decomposition as CountTriangles), but
+// the intersection searches each element of the *shorter* endpoint list in
+// the longer one by binary search: O(len_short * log(len_long)) with a
+// scattered access pattern, instead of the merge's O(len_short + len_long)
+// with two sequential streams. On skewed graphs the binary search does less
+// arithmetic but its irregular probes waste cache lines — which is exactly
+// why the paper's simple merge wins end to end.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/count_kernels.hpp"
+
+namespace trico::core {
+
+/// Per-edge binary-search triangle counting over the oriented device graph.
+/// Ignores the merge-loop variant flags (only soa / readonly_qualifier
+/// apply); does not support the color filter.
+class BinarySearchKernel {
+ public:
+  BinarySearchKernel(const OrientedDeviceGraph& graph, KernelVariant variant)
+      : graph_(&graph), variant_(variant) {}
+
+  struct State {
+    std::uint64_t edge = 0;
+    std::uint64_t stride = 0;
+    VertexId u = 0, v = 0;
+    std::uint32_t short_it = 0, short_end = 0;  ///< cursor in shorter list
+    std::uint32_t long_begin = 0, long_end = 0; ///< bounds of longer list
+    std::uint32_t lo = 0, hi = 0;               ///< current bisection window
+    VertexId needle = 0;
+    std::uint64_t count = 0;
+    std::uint8_t phase = 0;  ///< 0=edge, 1=nodes, 2=next needle, 3=bisect
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.edge = graph_->first_edge + tid * graph_->edge_step;
+    state.stride = total * graph_->edge_step;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    const bool ro = variant_.readonly_qualifier;
+    switch (state.phase) {
+      case 0: {
+        if (state.edge >= graph_->num_edges) return false;
+        if (variant_.soa) {
+          state.u = graph_->src[state.edge];
+          state.v = graph_->dst[state.edge];
+          sink.read(graph_->src.addr(state.edge), 4, ro);
+          sink.read(graph_->dst.addr(state.edge), 4, ro);
+        } else {
+          const Edge& e = graph_->pairs[state.edge];
+          state.u = e.u;
+          state.v = e.v;
+          sink.read(graph_->pairs.addr(state.edge), 8, ro);
+        }
+        state.phase = 1;
+        return true;
+      }
+      case 1: {
+        const std::uint32_t ub = graph_->node[state.u];
+        const std::uint32_t ue = graph_->node[state.u + 1];
+        const std::uint32_t vb = graph_->node[state.v];
+        const std::uint32_t ve = graph_->node[state.v + 1];
+        sink.read(graph_->node.addr(state.u), 4, ro);
+        sink.read(graph_->node.addr(state.u + 1), 4, ro);
+        sink.read(graph_->node.addr(state.v), 4, ro);
+        sink.read(graph_->node.addr(state.v + 1), 4, ro);
+        if (ue - ub <= ve - vb) {
+          state.short_it = ub;
+          state.short_end = ue;
+          state.long_begin = vb;
+          state.long_end = ve;
+        } else {
+          state.short_it = vb;
+          state.short_end = ve;
+          state.long_begin = ub;
+          state.long_end = ue;
+        }
+        state.phase = 2;
+        return true;
+      }
+      case 2: {  // fetch the next needle from the shorter list
+        if (state.short_it >= state.short_end ||
+            state.long_begin >= state.long_end) {
+          return next_edge(state);
+        }
+        state.needle = adjacency(state.short_it, sink, ro);
+        ++state.short_it;
+        state.lo = state.long_begin;
+        state.hi = state.long_end;
+        state.phase = 3;
+        return true;
+      }
+      default: {  // one bisection probe per step
+        if (state.lo >= state.hi) {
+          state.phase = 2;
+          return true;
+        }
+        const std::uint32_t mid = state.lo + (state.hi - state.lo) / 2;
+        const VertexId probe = adjacency(mid, sink, ro);
+        if (probe == state.needle) {
+          ++state.count;
+          state.phase = 2;
+        } else if (probe < state.needle) {
+          state.lo = mid + 1;
+        } else {
+          state.hi = mid;
+        }
+        return true;
+      }
+    }
+  }
+
+  void retire(const State& state) { total_ += state.count; }
+  [[nodiscard]] TriangleCount total() const { return total_; }
+
+ private:
+  template <typename Sink>
+  VertexId adjacency(std::uint32_t it, Sink& sink, bool ro) const {
+    if (variant_.soa) {
+      sink.read(graph_->dst.addr(it), 4, ro);
+      return graph_->dst[it];
+    }
+    sink.read(graph_->pairs.addr(it) + 4, 4, ro);
+    return graph_->pairs[it].v;
+  }
+
+  static bool next_edge(State& state) {
+    state.edge += state.stride;
+    state.phase = 0;
+    return true;
+  }
+
+  const OrientedDeviceGraph* graph_;
+  KernelVariant variant_;
+  TriangleCount total_ = 0;
+};
+
+}  // namespace trico::core

@@ -1,0 +1,238 @@
+// The CountTriangles device kernels (§III-C), as trico::simt state machines.
+//
+// Each thread owns the edges whose index is congruent to its id modulo the
+// total thread count (grid-stride), and intersects the oriented adjacency
+// lists of each edge's endpoints with a sequential two-pointer merge. The
+// kernel variants correspond to the paper's ablations:
+//
+//  * final vs preliminary merge loop (§III-D3): the final loop buffers the
+//    frontier values in registers and reads only the list(s) it advanced —
+//    one read per iteration unless a triangle was found — while the
+//    preliminary loop re-reads both frontiers every iteration.
+//  * SoA vs AoS edge array (§III-D1): in SoA layout the adjacency stream is
+//    a dense plane of 4-byte neighbour ids; in AoS each neighbour id sits
+//    inside an 8-byte (u, v) pair, so the same list touches twice the lines.
+//  * read-only qualifier (§III-D4): when set, loads are marked eligible for
+//    the per-SM read-only/texture cache (automatic on Fermi-class devices,
+//    where L1 caches all global loads regardless).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "simt/device.hpp"
+#include "simt/runner.hpp"
+
+namespace trico::core {
+
+/// Which kernel code path to model (the §III-D toggles).
+struct KernelVariant {
+  bool final_loop = true;        ///< §III-D3 register-buffered merge
+  bool soa = true;               ///< §III-D1 structure-of-arrays edge array
+  bool readonly_qualifier = true;///< §III-D4 const __restrict__ on arrays
+};
+
+/// Device-resident arrays of the oriented graph, in both layouts (only the
+/// one selected by KernelVariant::soa is read by the kernel).
+struct OrientedDeviceGraph {
+  // SoA: src[i], dst[i] are the endpoints of oriented edge i; dst doubles as
+  // the concatenated adjacency array (the "edge array" after unzipping).
+  simt::DeviceSpan<VertexId> src;
+  simt::DeviceSpan<VertexId> dst;
+  // AoS: pairs[i] = (u, v); adjacency neighbour of slot j is pairs[j].v.
+  simt::DeviceSpan<Edge> pairs;
+  // Node array: node[u] .. node[u+1] bracket u's oriented list; n+1 entries.
+  simt::DeviceSpan<std::uint32_t> node;
+
+  std::uint64_t num_edges = 0;  ///< oriented edge count (m)
+
+  // Multi-GPU edge partition (§III-E): this device iterates edges
+  // first_edge, first_edge + edge_step, ... < num_edges. The single-GPU
+  // case is (0, 1).
+  std::uint64_t first_edge = 0;
+  std::uint64_t edge_step = 1;
+
+  // Out-of-core color filter (§VI future work / outofcore module): when
+  // enabled, a closed triangle (u, v, w) is counted only if the sorted
+  // triple of the vertices' colors equals color_triple. Colors live in
+  // device memory like any other array, so the filter's extra loads are
+  // part of the simulation.
+  simt::DeviceSpan<std::uint32_t> vertex_color;
+  bool color_filtered = false;
+  std::uint32_t color_triple[3] = {0, 0, 0};
+};
+
+/// CountTriangles as a per-thread state machine for the SIMT runner.
+class CountTrianglesKernel {
+ public:
+  CountTrianglesKernel(const OrientedDeviceGraph& graph, KernelVariant variant)
+      : graph_(&graph), variant_(variant) {}
+
+  struct State {
+    std::uint64_t edge = 0;    ///< current edge index
+    std::uint64_t stride = 0;  ///< total threads
+    VertexId u = 0, v = 0;
+    std::uint32_t u_it = 0, u_end = 0, v_it = 0, v_end = 0;
+    VertexId a = 0, b = 0;     ///< register-buffered frontier values
+    std::uint32_t cu = 0, cv = 0;  ///< endpoint colors (color filter only)
+    std::uint64_t count = 0;
+    std::uint8_t phase = 0;    ///< 0=load edge, 1=load node, 2=first reads, 3=merge
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    // Grid-stride over this device's partition of the edge array.
+    state.edge = graph_->first_edge + tid * graph_->edge_step;
+    state.stride = total * graph_->edge_step;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    const bool ro = variant_.readonly_qualifier;
+    switch (state.phase) {
+      case 0: {  // load edge endpoints
+        if (state.edge >= graph_->num_edges) return false;
+        if (variant_.soa) {
+          state.u = graph_->src[state.edge];
+          state.v = graph_->dst[state.edge];
+          sink.read(graph_->src.addr(state.edge), 4, ro);
+          sink.read(graph_->dst.addr(state.edge), 4, ro);
+        } else {
+          const Edge& e = graph_->pairs[state.edge];
+          state.u = e.u;
+          state.v = e.v;
+          sink.read(graph_->pairs.addr(state.edge), 8, ro);
+        }
+        state.phase = 1;
+        return true;
+      }
+      case 1: {  // load node-array brackets (+ endpoint colors if filtering)
+        state.u_it = graph_->node[state.u];
+        state.u_end = graph_->node[state.u + 1];
+        state.v_it = graph_->node[state.v];
+        state.v_end = graph_->node[state.v + 1];
+        sink.read(graph_->node.addr(state.u), 4, ro);
+        sink.read(graph_->node.addr(state.u + 1), 4, ro);
+        sink.read(graph_->node.addr(state.v), 4, ro);
+        sink.read(graph_->node.addr(state.v + 1), 4, ro);
+        if (graph_->color_filtered) {
+          state.cu = graph_->vertex_color[state.u];
+          state.cv = graph_->vertex_color[state.v];
+          sink.read(graph_->vertex_color.addr(state.u), 4, ro);
+          sink.read(graph_->vertex_color.addr(state.v), 4, ro);
+        }
+        state.phase = 2;
+        return true;
+      }
+      case 2: {  // initial frontier reads (final loop) / merge entry
+        if (state.u_it >= state.u_end || state.v_it >= state.v_end) {
+          return next_edge(state);
+        }
+        if (variant_.final_loop) {
+          state.a = adjacency(state.u_it, sink, ro);
+          state.b = adjacency(state.v_it, sink, ro);
+        }
+        state.phase = 3;
+        return true;
+      }
+      default: {  // merge loop, one iteration per step
+        if (variant_.final_loop) {
+          return merge_step_final(state, sink, ro);
+        }
+        return merge_step_preliminary(state, sink, ro);
+      }
+    }
+  }
+
+  void retire(const State& state) { total_ += state.count; }
+
+  [[nodiscard]] TriangleCount total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  /// Reads adjacency slot `it` (the oriented neighbour id) in the layout the
+  /// variant selects, reporting the access.
+  template <typename Sink>
+  VertexId adjacency(std::uint32_t it, Sink& sink, bool ro) const {
+    if (variant_.soa) {
+      sink.read(graph_->dst.addr(it), 4, ro);
+      return graph_->dst[it];
+    }
+    // AoS: the neighbour id is the .v field of the pair — a 4-byte read at
+    // stride 8, which is what wastes cache in this layout.
+    sink.read(graph_->pairs.addr(it) + 4, 4, ro);
+    return graph_->pairs[it].v;
+  }
+
+  /// Counts a closed wedge (u, v, w), applying the out-of-core color filter
+  /// when enabled (reading w's color from device memory like the real
+  /// kernel would).
+  template <typename Sink>
+  void record_match(State& state, VertexId w, Sink& sink, bool ro) const {
+    if (!graph_->color_filtered) {
+      ++state.count;
+      return;
+    }
+    const std::uint32_t cw = graph_->vertex_color[w];
+    sink.read(graph_->vertex_color.addr(w), 4, ro);
+    std::uint32_t x = state.cu, y = state.cv, z = cw;
+    if (x > y) std::swap(x, y);
+    if (y > z) std::swap(y, z);
+    if (x > y) std::swap(x, y);
+    if (x == graph_->color_triple[0] && y == graph_->color_triple[1] &&
+        z == graph_->color_triple[2]) {
+      ++state.count;
+    }
+  }
+
+  template <typename Sink>
+  bool merge_step_final(State& state, Sink& sink, bool ro) const {
+    // while (u_it < u_end && v_it < v_end) with register-buffered a, b.
+    const std::int64_t d = static_cast<std::int64_t>(state.a) -
+                           static_cast<std::int64_t>(state.b);
+    if (d == 0) record_match(state, state.a, sink, ro);
+    if (d <= 0) {
+      ++state.u_it;
+      if (state.u_it < state.u_end) state.a = adjacency(state.u_it, sink, ro);
+    }
+    if (d >= 0) {
+      ++state.v_it;
+      if (state.v_it < state.v_end) state.b = adjacency(state.v_it, sink, ro);
+    }
+    if (state.u_it >= state.u_end || state.v_it >= state.v_end) {
+      return next_edge(state);
+    }
+    return true;
+  }
+
+  template <typename Sink>
+  bool merge_step_preliminary(State& state, Sink& sink, bool ro) const {
+    // Preliminary loop: re-reads both frontiers every iteration (§III-D3).
+    const VertexId a = adjacency(state.u_it, sink, ro);
+    const VertexId b = adjacency(state.v_it, sink, ro);
+    const std::int64_t d =
+        static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b);
+    if (d == 0) record_match(state, a, sink, ro);
+    if (d <= 0) ++state.u_it;
+    if (d >= 0) ++state.v_it;
+    if (state.u_it >= state.u_end || state.v_it >= state.v_end) {
+      return next_edge(state);
+    }
+    return true;
+  }
+
+  /// Advances to the thread's next grid-stride edge; returns false when the
+  /// thread has no more edges (lane retires).
+  static bool next_edge(State& state) {
+    state.edge += state.stride;
+    state.phase = 0;
+    return true;  // phase 0 detects exhaustion next step
+  }
+
+  const OrientedDeviceGraph* graph_;
+  KernelVariant variant_;
+  TriangleCount total_ = 0;
+};
+
+}  // namespace trico::core

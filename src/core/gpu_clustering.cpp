@@ -1,0 +1,97 @@
+#include "core/gpu_clustering.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/per_vertex_kernel.hpp"
+#include "core/preprocess.hpp"
+#include "simt/cost_model.hpp"
+
+namespace trico::core {
+
+double GpuLocalClusteringResult::global_coefficient(
+    const std::vector<EdgeIndex>& degree) const {
+  double sum = 0.0;
+  std::uint64_t eligible = 0;
+  for (std::size_t v = 0; v < local_coefficient.size(); ++v) {
+    if (degree[v] >= 2) {
+      sum += local_coefficient[v];
+      ++eligible;
+    }
+  }
+  return eligible > 0 ? sum / static_cast<double>(eligible) : 0.0;
+}
+
+GpuClusteringAnalyzer::GpuClusteringAnalyzer(simt::DeviceConfig device,
+                                             CountingOptions options)
+    : device_config_(std::move(device)), options_(options) {}
+
+GpuClusteringResult GpuClusteringAnalyzer::analyze(const EdgeList& edges) {
+  GpuClusteringResult result;
+
+  // Phase 1: the triangle pipeline, unchanged.
+  GpuForwardCounter counter(device_config_, options_);
+  const GpuCountResult triangles = counter.count(edges);
+  result.triangles = triangles.triangles;
+  result.triangle_ms = triangles.phases.total_ms();
+
+  // Phase 2: wedges. Degrees come from one host pass (the preprocessing
+  // already computed them; we charge one stream pass + the upload).
+  const std::vector<EdgeIndex> degrees64 = edges.degrees();
+  std::vector<std::uint32_t> degrees(degrees64.begin(), degrees64.end());
+
+  const simt::CostModel cost(device_config_);
+  simt::Device device(device_config_);
+  const auto degree_span = device.upload<std::uint32_t>(degrees);
+  WedgeCountKernel kernel(degree_span);
+  const simt::KernelStats stats =
+      simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+  result.wedges = kernel.total();
+  result.wedge_ms = cost.transfer_ms(degrees.size() * 4) + stats.time_ms +
+                    cost.result_reduce_ms(
+                        options_.launch.total_threads(device_config_));
+  return result;
+}
+
+GpuLocalClusteringResult GpuClusteringAnalyzer::analyze_local(
+    const EdgeList& edges) {
+  prim::ThreadPool pool;
+  const PreprocessedGraph pre =
+      preprocess_for_device(edges, device_config_, options_, pool);
+
+  simt::Device device(device_config_);
+  OrientedDeviceGraph graph;
+  graph.num_edges = pre.oriented.size();
+  if (options_.variant.soa) {
+    graph.src = device.upload<VertexId>(pre.soa.src);
+    graph.dst = device.upload<VertexId>(pre.soa.dst);
+  } else {
+    graph.pairs = device.upload<Edge>(pre.oriented);
+  }
+  graph.node = device.upload<std::uint32_t>(pre.node);
+
+  GpuLocalClusteringResult result;
+  result.per_vertex_triangles.assign(pre.num_vertices, 0);
+  const std::uint64_t counter_addr =
+      device.reserve(static_cast<std::uint64_t>(pre.num_vertices) * 8);
+  PerVertexCountKernel kernel(graph, options_.variant,
+                              result.per_vertex_triangles.data(),
+                              counter_addr);
+  const simt::KernelStats stats =
+      simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+  result.kernel_ms = stats.time_ms;
+
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  result.local_coefficient.assign(pre.num_vertices, 0.0);
+  for (VertexId v = 0; v < pre.num_vertices; ++v) {
+    if (degree[v] >= 2) {
+      const auto d = static_cast<double>(degree[v]);
+      result.local_coefficient[v] =
+          2.0 * static_cast<double>(result.per_vertex_triangles[v]) /
+          (d * (d - 1.0));
+    }
+  }
+  return result;
+}
+
+}  // namespace trico::core

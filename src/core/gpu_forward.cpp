@@ -1,0 +1,81 @@
+#include "core/gpu_forward.hpp"
+
+#include <utility>
+
+#include "core/binary_search_kernel.hpp"
+#include "core/preprocess.hpp"
+#include "simt/cost_model.hpp"
+
+namespace trico::core {
+
+GpuForwardCounter::GpuForwardCounter(simt::DeviceConfig device,
+                                     CountingOptions options)
+    : device_config_(std::move(device)), options_(options), pool_() {}
+
+std::uint64_t GpuForwardCounter::device_preprocess_bytes(EdgeIndex slots,
+                                                         VertexId vertices) {
+  // Sort keys (u64) + radix double-buffer + removal flags + node array.
+  return slots * 8 * 2 + slots * 1 +
+         (static_cast<std::uint64_t>(vertices) + 1) * 4;
+}
+
+GpuCountResult GpuForwardCounter::count(const EdgeList& edges) {
+  const simt::CostModel cost(device_config_);
+  PreprocessedGraph pre =
+      preprocess_for_device(edges, device_config_, options_, pool_);
+
+  GpuCountResult result;
+  result.phases = pre.phases;
+  result.used_cpu_preprocessing = pre.used_cpu_preprocessing;
+  result.num_vertices = pre.num_vertices;
+  result.input_slots = pre.input_slots;
+  result.oriented_edges = pre.oriented.size();
+
+  // Step 9: the counting kernel on the simulated device.
+  simt::Device device(device_config_);
+  OrientedDeviceGraph graph;
+  graph.num_edges = pre.oriented.size();
+  if (options_.variant.soa) {
+    graph.src = device.upload<VertexId>(pre.soa.src);
+    graph.dst = device.upload<VertexId>(pre.soa.dst);
+  } else {
+    graph.pairs = device.upload<Edge>(pre.oriented);
+  }
+  graph.node = device.upload<std::uint32_t>(pre.node);
+  if (options_.vertex_colors != nullptr) {
+    graph.vertex_color = device.upload<std::uint32_t>(*options_.vertex_colors);
+    graph.color_filtered = true;
+    graph.color_triple[0] = options_.color_triple[0];
+    graph.color_triple[1] = options_.color_triple[1];
+    graph.color_triple[2] = options_.color_triple[2];
+  }
+  result.device_peak_bytes = device.peak_footprint_bytes();
+
+  if (options_.strategy == IntersectionStrategy::kBinarySearch) {
+    BinarySearchKernel kernel(graph, options_.variant);
+    result.kernel =
+        simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+    result.triangles = kernel.total();
+  } else {
+    CountTrianglesKernel kernel(graph, options_.variant);
+    result.kernel =
+        simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+    result.triangles = kernel.total();
+  }
+  result.phases.counting_ms = result.kernel.time_ms;
+
+  // Step 10: reduce per-thread counters, copy the result back.
+  result.phases.reduce_ms =
+      cost.result_reduce_ms(options_.launch.total_threads(device_config_));
+  result.phases.d2h_ms = cost.transfer_ms(sizeof(TriangleCount));
+  return result;
+}
+
+GpuCountResult count_triangles_gpu(const EdgeList& edges,
+                                   const simt::DeviceConfig& device,
+                                   CountingOptions options) {
+  GpuForwardCounter counter(device, options);
+  return counter.count(edges);
+}
+
+}  // namespace trico::core

@@ -1,0 +1,144 @@
+// GpuForwardCounter: the paper's end-to-end GPU triangle-counting pipeline
+// on a simulated device.
+//
+// Pipeline (§III-B, §III-C):
+//   1. copy edge array host -> device          (timed: PCIe model)
+//   2. vertex count via max-reduce             (timed: stream model)
+//   3. sort edges (radix on packed u64 keys,   (timed: sort model;
+//      or comparison sort of pairs)             §III-D2 toggle)
+//   4. build node array
+//   5. mark backward edges (degree orientation)
+//   6. remove_if compaction
+//   7. unzip AoS -> SoA                        (§III-D1 toggle)
+//   8. rebuild node array
+//   9. CountTriangles kernel                   (timed: warp-level simulation)
+//  10. reduce per-thread counters, copy result back
+//
+// The data transformations execute for real on the host (trico::prim), so
+// every intermediate array is exact; the *times* come from the device models
+// (DESIGN.md §6). When the device working set would not fit device memory,
+// the §III-D6 fallback computes degrees and drops backward edges on the CPU
+// first, halving the device footprint (the dagger rows of Table I).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/count_kernels.hpp"
+#include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/launch.hpp"
+
+namespace trico::core {
+
+/// Which per-edge intersection kernel the counting phase runs.
+enum class IntersectionStrategy {
+  kMerge,         ///< the paper's two-pointer merge (CountTrianglesKernel)
+  kBinarySearch,  ///< Green et al. [15]-style search (BinarySearchKernel)
+};
+
+/// All tunables of the pipeline; defaults are the paper's final
+/// configuration (64 threads/block x 8 blocks/SM, SoA, final loop,
+/// read-only qualifier, 64-bit radix sort).
+struct CountingOptions {
+  simt::LaunchConfig launch{64, 8, 32};
+  KernelVariant variant{};
+  IntersectionStrategy strategy = IntersectionStrategy::kMerge;
+  bool sort_as_u64 = true;            ///< §III-D2: radix on packed keys
+  /// Orientation ablation: true = the forward algorithm's degree order
+  /// (lists bounded by sqrt(2m)); false = naive id order (correct count,
+  /// but hub vertices keep huge forward lists — §II-B's robustness claim).
+  bool orient_by_degree = true;
+  bool allow_cpu_preprocess = true;   ///< §III-D6 fallback when too large
+  bool force_cpu_preprocess = false;  ///< for the ablation bench
+  simt::SimOptions sim{};             ///< SM sampling for big runs
+
+  /// Out-of-core color filter (outofcore module): when `vertex_colors` is
+  /// non-null, only triangles whose sorted vertex-color triple equals
+  /// `color_triple` are counted. The color array is uploaded to the device
+  /// alongside the graph.
+  const std::vector<std::uint32_t>* vertex_colors = nullptr;
+  std::array<std::uint32_t, 3> color_triple{0, 0, 0};
+};
+
+/// Wall-clock breakdown in modeled milliseconds, one field per pipeline
+/// step (§IV: timing starts at the host->device copy and ends when the
+/// result is back on the host).
+struct PhaseBreakdown {
+  double h2d_ms = 0;
+  double cpu_preprocess_ms = 0;  ///< §III-D6 path only
+  double vertex_count_ms = 0;
+  double sort_ms = 0;
+  double node_array_ms = 0;
+  double mark_backward_ms = 0;
+  double remove_ms = 0;
+  double unzip_ms = 0;
+  double node_array2_ms = 0;
+  double counting_ms = 0;
+  double reduce_ms = 0;
+  double d2h_ms = 0;
+
+  [[nodiscard]] double preprocessing_ms() const {
+    return h2d_ms + cpu_preprocess_ms + vertex_count_ms + sort_ms +
+           node_array_ms + mark_backward_ms + remove_ms + unzip_ms +
+           node_array2_ms;
+  }
+  [[nodiscard]] double total_ms() const {
+    return preprocessing_ms() + counting_ms + reduce_ms + d2h_ms;
+  }
+  /// The Amdahl fraction of §III-E (preprocessing share of total time).
+  [[nodiscard]] double preprocessing_fraction() const {
+    const double total = total_ms();
+    return total > 0 ? preprocessing_ms() / total : 0.0;
+  }
+};
+
+/// Result of one pipeline run.
+struct GpuCountResult {
+  TriangleCount triangles = 0;
+  PhaseBreakdown phases;
+  simt::KernelStats kernel;     ///< counting-kernel statistics (Table II)
+  bool used_cpu_preprocessing = false;
+  VertexId num_vertices = 0;
+  EdgeIndex input_slots = 0;    ///< 2m directed slots in
+  EdgeIndex oriented_edges = 0; ///< m oriented edges counted
+  std::uint64_t device_peak_bytes = 0;
+};
+
+/// Host-side state shared between runs (thread pool for the functional
+/// preprocessing). One counter per device model.
+class GpuForwardCounter {
+ public:
+  explicit GpuForwardCounter(simt::DeviceConfig device,
+                             CountingOptions options = {});
+
+  /// Runs the full pipeline on a canonical undirected edge array.
+  [[nodiscard]] GpuCountResult count(const EdgeList& edges);
+
+  [[nodiscard]] const simt::DeviceConfig& device_config() const {
+    return device_config_;
+  }
+  [[nodiscard]] const CountingOptions& options() const { return options_; }
+  CountingOptions& mutable_options() { return options_; }
+
+  /// Device bytes the standard (all-GPU) preprocessing needs for `slots`
+  /// directed slots; the §III-D6 gate compares this against device memory.
+  [[nodiscard]] static std::uint64_t device_preprocess_bytes(EdgeIndex slots,
+                                                             VertexId vertices);
+
+ private:
+  simt::DeviceConfig device_config_;
+  CountingOptions options_;
+  prim::ThreadPool pool_;
+};
+
+/// Convenience one-shot: count with a device preset and default options.
+[[nodiscard]] GpuCountResult count_triangles_gpu(const EdgeList& edges,
+                                                 const simt::DeviceConfig& device,
+                                                 CountingOptions options = {});
+
+}  // namespace trico::core

@@ -1,0 +1,138 @@
+// Per-vertex triangle counting kernel.
+//
+// The local clustering coefficient (§I's motivating metric) needs
+// delta(v) — the number of triangles through each vertex — not just the
+// global total. The CUDA idiom is the same per-edge merge with three
+// atomicAdds per closed wedge; here each atomic is modeled as a
+// read-modify-write access to the per-vertex counter array (non-read-only,
+// so it bypasses the texture path, like real atomics).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/count_kernels.hpp"
+
+namespace trico::core {
+
+/// Per-edge merge that attributes every triangle to its three corners via
+/// (modeled) atomic adds. Always uses the final (register-buffered) loop.
+class PerVertexCountKernel {
+ public:
+  /// `per_vertex` must have one zero-initialized slot per vertex;
+  /// `counter_base_addr` is its simulated device address.
+  PerVertexCountKernel(const OrientedDeviceGraph& graph,
+                       KernelVariant variant,
+                       std::uint64_t* per_vertex,
+                       std::uint64_t counter_base_addr)
+      : graph_(&graph), variant_(variant), per_vertex_(per_vertex),
+        counter_addr_(counter_base_addr) {}
+
+  using State = CountTrianglesKernel::State;
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.edge = graph_->first_edge + tid * graph_->edge_step;
+    state.stride = total * graph_->edge_step;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    const bool ro = variant_.readonly_qualifier;
+    switch (state.phase) {
+      case 0: {
+        if (state.edge >= graph_->num_edges) return false;
+        if (variant_.soa) {
+          state.u = graph_->src[state.edge];
+          state.v = graph_->dst[state.edge];
+          sink.read(graph_->src.addr(state.edge), 4, ro);
+          sink.read(graph_->dst.addr(state.edge), 4, ro);
+        } else {
+          const Edge& e = graph_->pairs[state.edge];
+          state.u = e.u;
+          state.v = e.v;
+          sink.read(graph_->pairs.addr(state.edge), 8, ro);
+        }
+        state.phase = 1;
+        return true;
+      }
+      case 1: {
+        state.u_it = graph_->node[state.u];
+        state.u_end = graph_->node[state.u + 1];
+        state.v_it = graph_->node[state.v];
+        state.v_end = graph_->node[state.v + 1];
+        sink.read(graph_->node.addr(state.u), 8, ro);
+        sink.read(graph_->node.addr(state.v), 8, ro);
+        state.phase = 2;
+        return true;
+      }
+      case 2: {
+        if (state.u_it >= state.u_end || state.v_it >= state.v_end) {
+          return next_edge(state);
+        }
+        state.a = adjacency(state.u_it, sink, ro);
+        state.b = adjacency(state.v_it, sink, ro);
+        state.phase = 3;
+        return true;
+      }
+      default: {
+        const std::int64_t d = static_cast<std::int64_t>(state.a) -
+                               static_cast<std::int64_t>(state.b);
+        if (d == 0) {
+          // Three atomicAdds: u, v, and the common neighbour w.
+          const VertexId w = state.a;
+          for (VertexId corner : {state.u, state.v, w}) {
+            ++per_vertex_[corner];
+            sink.read(counter_addr_ + corner * 8, 8, false);
+          }
+          ++state.count;
+        }
+        if (d <= 0) {
+          ++state.u_it;
+          if (state.u_it < state.u_end) {
+            state.a = adjacency(state.u_it, sink, ro);
+          }
+        }
+        if (d >= 0) {
+          ++state.v_it;
+          if (state.v_it < state.v_end) {
+            state.b = adjacency(state.v_it, sink, ro);
+          }
+        }
+        if (state.u_it >= state.u_end || state.v_it >= state.v_end) {
+          return next_edge(state);
+        }
+        return true;
+      }
+    }
+  }
+
+  void retire(const State& state) { total_ += state.count; }
+  [[nodiscard]] TriangleCount total() const { return total_; }
+
+ private:
+  template <typename Sink>
+  VertexId adjacency(std::uint32_t it, Sink& sink, bool ro) const {
+    if (variant_.soa) {
+      sink.read(graph_->dst.addr(it), 4, ro);
+      return graph_->dst[it];
+    }
+    sink.read(graph_->pairs.addr(it) + 4, 4, ro);
+    return graph_->pairs[it].v;
+  }
+
+  static bool next_edge(State& state) {
+    state.edge += state.stride;
+    state.phase = 0;
+    return true;
+  }
+
+  const OrientedDeviceGraph* graph_;
+  KernelVariant variant_;
+  std::uint64_t* per_vertex_;
+  std::uint64_t counter_addr_;
+  TriangleCount total_ = 0;
+};
+
+}  // namespace trico::core

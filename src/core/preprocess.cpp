@@ -1,0 +1,147 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+
+#include "prim/algorithms.hpp"
+#include "prim/radix_sort.hpp"
+#include "simt/cost_model.hpp"
+
+namespace trico::core {
+
+namespace {
+
+/// Node-array construction (steps 4/8): node[u] = first slot with first
+/// vertex u; node[n] = slot count. Vertices with empty adjacency lists get
+/// the following list's start, exactly like the paper's backfill kernel.
+std::vector<std::uint32_t> build_node_array(std::span<const VertexId> src,
+                                            VertexId num_vertices) {
+  std::vector<std::uint64_t> counts(num_vertices, 0);
+  for (VertexId u : src) ++counts[u];
+  std::vector<std::uint32_t> node(static_cast<std::size_t>(num_vertices) + 1, 0);
+  std::uint64_t running = 0;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    node[u] = static_cast<std::uint32_t>(running);
+    running += counts[u];
+  }
+  node[num_vertices] = static_cast<std::uint32_t>(running);
+  return node;
+}
+
+}  // namespace
+
+PreprocessedGraph preprocess_for_device(const EdgeList& edges,
+                                        const simt::DeviceConfig& device,
+                                        const CountingOptions& options,
+                                        prim::ThreadPool& pool) {
+  const simt::CostModel cost(device);
+  PreprocessedGraph out;
+  out.input_slots = edges.num_edge_slots();
+
+  const EdgeIndex slots = edges.num_edge_slots();
+  std::vector<Edge> work(edges.edges().begin(), edges.edges().end());
+
+  const bool needs_fallback =
+      options.force_cpu_preprocess ||
+      (options.allow_cpu_preprocess &&
+       GpuForwardCounter::device_preprocess_bytes(slots, edges.num_vertices()) >
+           device.memory_bytes);
+  out.used_cpu_preprocessing = needs_fallback;
+
+  if (needs_fallback) {
+    // §III-D6: degrees + backward-edge removal on the CPU; halves the input
+    // before the device sees it. Modeled at host streaming speed.
+    constexpr double kHostStreamGbps = 5.0;
+    out.num_vertices = edges.num_vertices();
+    const std::vector<EdgeIndex> degree = edges.degrees();
+    std::vector<Edge> kept;
+    kept.reserve(work.size() / 2);
+    for (const Edge& e : work) {
+      const bool backward = degree[e.u] != degree[e.v]
+                                ? degree[e.u] > degree[e.v]
+                                : e.u > e.v;
+      if (!backward) kept.push_back(e);
+    }
+    work = std::move(kept);
+    out.phases.cpu_preprocess_ms =
+        static_cast<double>(slots * 8 * 2 + work.size() * 8) /
+        (kHostStreamGbps * 1e6);
+    out.phases.h2d_ms = cost.transfer_ms(work.size() * sizeof(Edge));
+    out.phases.vertex_count_ms = cost.reduce_ms(work.size(), 8);
+  } else {
+    // Step 1: copy the edge array to the device.
+    out.phases.h2d_ms = cost.transfer_ms(slots * sizeof(Edge));
+    // Step 2: vertex count via max-reduce.
+    out.num_vertices = prim::transform_reduce<VertexId>(
+        pool, work.size(), 0,
+        [&](std::size_t i) { return std::max(work[i].u, work[i].v) + 1; },
+        [](VertexId a, VertexId b) { return std::max(a, b); });
+    out.phases.vertex_count_ms = cost.reduce_ms(slots, 8);
+  }
+
+  // Step 3: sort slots by (u, v).
+  if (options.sort_as_u64) {
+    prim::sort_edges_as_u64(pool, work);
+    std::uint32_t sig_bytes = 1;
+    if (out.num_vertices > 0) {
+      const std::uint64_t max_key =
+          pack_edge(Edge{out.num_vertices - 1, out.num_vertices - 1});
+      for (std::uint64_t k = max_key; k > 0xff; k >>= 8) ++sig_bytes;
+    }
+    out.phases.sort_ms = cost.radix_sort_ms(work.size(), 8, sig_bytes);
+  } else {
+    prim::sort_edges_as_pairs(pool, work);
+    out.phases.sort_ms = cost.merge_sort_ms(work.size(), 8);
+  }
+
+  std::vector<VertexId> src(work.size());
+  prim::parallel_for(pool, 0, work.size(),
+                     [&](std::size_t i) { src[i] = work[i].u; });
+
+  // Step 4: node array over the (possibly still bidirectional) slots.
+  std::vector<std::uint32_t> node = build_node_array(src, out.num_vertices);
+  out.phases.node_array_ms = cost.node_array_ms(work.size(), out.num_vertices);
+
+  if (!needs_fallback) {
+    // Step 5: mark backward slots (degrees read off the node array; the
+    // id-order ablation ignores degrees entirely).
+    std::vector<std::uint8_t> backward(work.size());
+    prim::parallel_for(pool, 0, work.size(), [&](std::size_t i) {
+      const VertexId u = work[i].u, v = work[i].v;
+      if (!options.orient_by_degree) {
+        backward[i] = u > v;
+        return;
+      }
+      const std::uint32_t deg_u = node[u + 1] - node[u];
+      const std::uint32_t deg_v = node[v + 1] - node[v];
+      backward[i] = deg_u != deg_v ? deg_u > deg_v : u > v;
+    });
+    out.phases.mark_backward_ms = cost.mark_backward_ms(work.size());
+
+    // Step 6: compact with remove_if.
+    work = prim::remove_if_flagged<Edge>(pool, work, backward);
+    out.phases.remove_ms = cost.remove_if_ms(slots);
+  }
+
+  // Step 7: unzip AoS -> SoA when the kernel reads SoA.
+  if (options.variant.soa) {
+    out.soa.src.resize(work.size());
+    out.soa.dst.resize(work.size());
+    prim::parallel_for(pool, 0, work.size(), [&](std::size_t i) {
+      out.soa.src[i] = work[i].u;
+      out.soa.dst[i] = work[i].v;
+    });
+    out.phases.unzip_ms = cost.unzip_ms(work.size());
+  }
+
+  // Step 8: recalculate the node array over the oriented slots.
+  src.resize(work.size());
+  prim::parallel_for(pool, 0, work.size(),
+                     [&](std::size_t i) { src[i] = work[i].u; });
+  out.node = build_node_array(src, out.num_vertices);
+  out.phases.node_array2_ms = cost.node_array_ms(work.size(), out.num_vertices);
+
+  out.oriented = std::move(work);
+  return out;
+}
+
+}  // namespace trico::core

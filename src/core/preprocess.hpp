@@ -1,0 +1,44 @@
+// The preprocessing phase (§III-B steps 1-8) as a reusable host-side
+// function, shared by the single-GPU pipeline and the multi-GPU counter
+// (which preprocesses once on device 0 and broadcasts, §III-E).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gpu_forward.hpp"
+#include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
+#include "simt/device_config.hpp"
+
+namespace trico::core {
+
+/// Output of the preprocessing phase: the oriented, sorted edge array in
+/// both layouts plus the node array, with modeled per-step times filled into
+/// `phases` (counting fields left zero).
+struct PreprocessedGraph {
+  std::vector<Edge> oriented;      ///< sorted by (u, v), forward slots only
+  EdgeListSoA soa;                 ///< filled when options.variant.soa
+  std::vector<std::uint32_t> node; ///< n+1 entries
+  VertexId num_vertices = 0;
+  EdgeIndex input_slots = 0;
+  PhaseBreakdown phases;
+  bool used_cpu_preprocessing = false;
+
+  /// Device bytes the counting phase's resident arrays occupy (what must be
+  /// broadcast to the other devices in the multi-GPU scheme).
+  [[nodiscard]] std::uint64_t resident_bytes(bool soa_layout) const {
+    const std::uint64_t edges_bytes =
+        soa_layout ? oriented.size() * 8 : oriented.size() * sizeof(Edge);
+    return edges_bytes + node.size() * sizeof(std::uint32_t);
+  }
+};
+
+/// Runs steps 1-8 for `device`, charging modeled times, including the
+/// §III-D6 CPU fallback when the working set exceeds device memory.
+[[nodiscard]] PreprocessedGraph preprocess_for_device(
+    const EdgeList& edges, const simt::DeviceConfig& device,
+    const CountingOptions& options, prim::ThreadPool& pool);
+
+}  // namespace trico::core

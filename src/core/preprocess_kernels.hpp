@@ -1,0 +1,317 @@
+// The preprocessing phase (§III-B) as simulated device kernels.
+//
+// GpuForwardCounter normally charges preprocessing with the analytic
+// streaming cost model (simt::CostModel) because these primitives are
+// bandwidth-bound and regular. This header provides the faithful
+// alternative: every step as a grid-stride kernel on the SIMT simulator,
+// including the paper's step-4 construction ("running m-1 threads and
+// letting k-th thread examine edges k and k+1 ... It may happen that the
+// thread stores this value in more than one cell when there is a vertex
+// with an empty adjacency list"). DevicePreprocessor (preprocess_sim.hpp)
+// chains them; bench_preprocessing compares the simulated step times
+// against the analytic model — a validation experiment for the cost model
+// itself.
+//
+// Writes are charged through the same Sink interface as reads (the memory
+// system routes non-read-only accesses around the per-SM cache, which
+// matches GPU write-no-allocate behaviour closely enough for traffic
+// accounting).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "simt/device.hpp"
+#include "simt/runner.hpp"
+
+namespace trico::core {
+
+/// Step 2: vertex count via max-reduce over the edge pairs.
+class MaxVertexKernel {
+ public:
+  explicit MaxVertexKernel(simt::DeviceSpan<Edge> pairs) : pairs_(pairs) {}
+
+  struct State {
+    std::uint64_t i = 0;
+    std::uint64_t stride = 0;
+    VertexId best = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.i = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.i >= pairs_.size()) return false;
+    const Edge& e = pairs_[state.i];
+    sink.read(pairs_.addr(state.i), 8, true);
+    state.best = std::max({state.best, e.u, e.v});
+    state.i += state.stride;
+    return true;
+  }
+
+  void retire(const State& state) {
+    if (state.best + 1 > num_vertices_) num_vertices_ = state.best + 1;
+  }
+  /// max id + 1 over all retired threads (0 for an empty edge array).
+  [[nodiscard]] VertexId num_vertices() const {
+    return pairs_.empty() ? 0 : num_vertices_;
+  }
+
+ private:
+  simt::DeviceSpan<Edge> pairs_;
+  VertexId num_vertices_ = 0;
+};
+
+/// Step 4/8: node-array construction over the *sorted* pair array. Thread k
+/// compares the first vertices of slots k and k+1 and backfills every node
+/// cell in (src[k], src[k+1]] with k+1 — multiple cells when vertices have
+/// empty adjacency lists, exactly as the paper describes. Boundary cells
+/// (up to src[0], and after src[m-1]) are handled by the caller.
+class NodeArrayKernel {
+ public:
+  NodeArrayKernel(simt::DeviceSpan<Edge> sorted_pairs,
+                  std::uint32_t* node_out, std::uint64_t node_base_addr)
+      : pairs_(sorted_pairs), node_(node_out), node_addr_(node_base_addr) {}
+
+  struct State {
+    std::uint64_t k = 0;
+    std::uint64_t stride = 0;
+    VertexId write_v = 0;
+    VertexId write_end = 0;  ///< inclusive
+    std::uint32_t value = 0;
+    std::uint8_t phase = 0;  ///< 0 = compare, 1 = backfill
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.k = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.phase == 0) {
+      if (state.k + 1 >= pairs_.size()) return false;
+      const VertexId a = pairs_[state.k].u;
+      const VertexId b = pairs_[state.k + 1].u;
+      sink.read(pairs_.addr(state.k), 4, true);
+      sink.read(pairs_.addr(state.k + 1), 4, true);
+      if (a == b) {
+        state.k += state.stride;
+        return true;
+      }
+      state.write_v = a + 1;
+      state.write_end = b;
+      state.value = static_cast<std::uint32_t>(state.k + 1);
+      state.phase = 1;
+      return true;
+    }
+    // Backfill one cell per step (divergent for gappy vertex ranges, like
+    // the real kernel).
+    node_[state.write_v] = state.value;
+    sink.read(node_addr_ + state.write_v * 4, 4, false);
+    if (state.write_v == state.write_end) {
+      state.phase = 0;
+      state.k += state.stride;
+      return true;
+    }
+    ++state.write_v;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  simt::DeviceSpan<Edge> pairs_;
+  std::uint32_t* node_;
+  std::uint64_t node_addr_;
+};
+
+/// Step 5: mark backward slots. Degrees are read off the node array
+/// (deg(v) = node[v+1] - node[v]); ties break toward the larger id.
+class MarkBackwardKernel {
+ public:
+  MarkBackwardKernel(simt::DeviceSpan<Edge> pairs,
+                     simt::DeviceSpan<std::uint32_t> node,
+                     std::uint8_t* flags_out, std::uint64_t flags_base_addr)
+      : pairs_(pairs), node_(node), flags_(flags_out),
+        flags_addr_(flags_base_addr) {}
+
+  struct State {
+    std::uint64_t i = 0;
+    std::uint64_t stride = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.i = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.i >= pairs_.size()) return false;
+    const Edge& e = pairs_[state.i];
+    sink.read(pairs_.addr(state.i), 8, true);
+    const std::uint32_t deg_u = node_[e.u + 1] - node_[e.u];
+    const std::uint32_t deg_v = node_[e.v + 1] - node_[e.v];
+    sink.read(node_.addr(e.u), 8, true);      // node[u], node[u+1] pair
+    sink.read(node_.addr(e.v), 8, true);
+    flags_[state.i] =
+        deg_u != deg_v ? (deg_u > deg_v ? 1 : 0) : (e.u > e.v ? 1 : 0);
+    sink.read(flags_addr_ + state.i, 1, false);
+    state.i += state.stride;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  simt::DeviceSpan<Edge> pairs_;
+  simt::DeviceSpan<std::uint32_t> node_;
+  std::uint8_t* flags_;
+  std::uint64_t flags_addr_;
+};
+
+/// Step 6 scatter half: given precomputed output positions (the scan is a
+/// separate streaming pass), copy unflagged slots to their compacted
+/// position. Mirrors thrust::remove_if's gather pass.
+class CompactKernel {
+ public:
+  CompactKernel(simt::DeviceSpan<Edge> pairs,
+                simt::DeviceSpan<std::uint8_t> flags,
+                simt::DeviceSpan<std::uint32_t> positions, Edge* out,
+                std::uint64_t out_base_addr)
+      : pairs_(pairs), flags_(flags), positions_(positions), out_(out),
+        out_addr_(out_base_addr) {}
+
+  struct State {
+    std::uint64_t i = 0;
+    std::uint64_t stride = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.i = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.i >= pairs_.size()) return false;
+    sink.read(flags_.addr(state.i), 1, true);
+    if (!flags_[state.i]) {
+      const std::uint32_t pos = positions_[state.i];
+      sink.read(positions_.addr(state.i), 4, true);
+      out_[pos] = pairs_[state.i];
+      sink.read(pairs_.addr(state.i), 8, true);
+      sink.read(out_addr_ + pos * sizeof(Edge), 8, false);
+    }
+    state.i += state.stride;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  simt::DeviceSpan<Edge> pairs_;
+  simt::DeviceSpan<std::uint8_t> flags_;
+  simt::DeviceSpan<std::uint32_t> positions_;
+  Edge* out_;
+  std::uint64_t out_addr_;
+};
+
+/// Step 7: AoS -> SoA unzip.
+class UnzipKernel {
+ public:
+  UnzipKernel(simt::DeviceSpan<Edge> pairs, VertexId* src_out,
+              VertexId* dst_out, std::uint64_t src_base_addr,
+              std::uint64_t dst_base_addr)
+      : pairs_(pairs), src_(src_out), dst_(dst_out), src_addr_(src_base_addr),
+        dst_addr_(dst_base_addr) {}
+
+  struct State {
+    std::uint64_t i = 0;
+    std::uint64_t stride = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.i = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.i >= pairs_.size()) return false;
+    const Edge& e = pairs_[state.i];
+    sink.read(pairs_.addr(state.i), 8, true);
+    src_[state.i] = e.u;
+    dst_[state.i] = e.v;
+    sink.read(src_addr_ + state.i * 4, 4, false);
+    sink.read(dst_addr_ + state.i * 4, 4, false);
+    state.i += state.stride;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  simt::DeviceSpan<Edge> pairs_;
+  VertexId* src_;
+  VertexId* dst_;
+  std::uint64_t src_addr_;
+  std::uint64_t dst_addr_;
+};
+
+/// One LSD radix-sort pass (step 3): read the key at i, write it to its
+/// precomputed destination (the per-digit offsets come from a histogram
+/// pass the orchestrator charges separately). The scattered writes are what
+/// makes sort the most expensive preprocessing step.
+class RadixScatterKernel {
+ public:
+  RadixScatterKernel(simt::DeviceSpan<std::uint64_t> keys,
+                     simt::DeviceSpan<std::uint32_t> destinations,
+                     std::uint64_t* out, std::uint64_t out_base_addr)
+      : keys_(keys), destinations_(destinations), out_(out),
+        out_addr_(out_base_addr) {}
+
+  struct State {
+    std::uint64_t i = 0;
+    std::uint64_t stride = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state = State{};
+    state.i = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.i >= keys_.size()) return false;
+    sink.read(keys_.addr(state.i), 8, true);
+    const std::uint32_t dest = destinations_[state.i];
+    sink.read(destinations_.addr(state.i), 4, true);
+    out_[dest] = keys_[state.i];
+    sink.read(out_addr_ + dest * 8, 8, false);
+    state.i += state.stride;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  simt::DeviceSpan<std::uint64_t> keys_;
+  simt::DeviceSpan<std::uint32_t> destinations_;
+  std::uint64_t* out_;
+  std::uint64_t out_addr_;
+};
+
+}  // namespace trico::core

@@ -1,0 +1,176 @@
+#include "core/preprocess_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "core/preprocess_kernels.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/runner.hpp"
+
+namespace trico::core {
+
+namespace {
+
+/// Stable counting-sort destinations for one 8-bit digit pass.
+std::vector<std::uint32_t> scatter_destinations(
+    const std::vector<std::uint64_t>& keys, unsigned shift) {
+  std::array<std::uint32_t, 256> counts{};
+  for (std::uint64_t k : keys) ++counts[(k >> shift) & 0xff];
+  std::array<std::uint32_t, 256> offsets{};
+  std::uint32_t running = 0;
+  for (std::size_t d = 0; d < 256; ++d) {
+    offsets[d] = running;
+    running += counts[d];
+  }
+  std::vector<std::uint32_t> destinations(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    destinations[i] = offsets[(keys[i] >> shift) & 0xff]++;
+  }
+  return destinations;
+}
+
+}  // namespace
+
+SimulatedPreprocessing simulate_preprocessing(const EdgeList& edges,
+                                              const simt::DeviceConfig& config,
+                                              const CountingOptions& options) {
+  const simt::CostModel cost(config);
+  SimulatedPreprocessing out;
+  PreprocessedGraph& pre = out.graph;
+  pre.input_slots = edges.num_edge_slots();
+
+  std::vector<Edge> work(edges.edges().begin(), edges.edges().end());
+
+  // Step 1: host -> device copy (PCIe model, as in the analytic path).
+  pre.phases.h2d_ms = cost.transfer_ms(work.size() * sizeof(Edge));
+
+  // Step 2: vertex count by max-reduce kernel.
+  {
+    simt::Device device(config);
+    const auto pairs = device.upload<Edge>(work);
+    MaxVertexKernel kernel(pairs);
+    out.vertex_count =
+        simt::launch_kernel(device, options.launch, kernel, options.sim);
+    pre.num_vertices = kernel.num_vertices();
+    pre.phases.vertex_count_ms = out.vertex_count.time_ms;
+  }
+  const VertexId n = pre.num_vertices;
+
+  // Step 3: LSD radix sort over packed u64 keys, one scatter kernel per
+  // significant byte (the histogram/scan halves are charged as streaming
+  // passes — they move 256 counters plus one read of the keys).
+  {
+    std::vector<std::uint64_t> keys(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) keys[i] = pack_edge(work[i]);
+    std::uint32_t sig_bytes = 1;
+    if (n > 0) {
+      const std::uint64_t max_key = pack_edge(Edge{n - 1, n - 1});
+      for (std::uint64_t k = max_key; k > 0xff; k >>= 8) ++sig_bytes;
+    }
+    out.sort_passes = sig_bytes;
+    for (unsigned pass = 0; pass < sig_bytes; ++pass) {
+      const auto destinations = scatter_destinations(keys, pass * 8);
+      simt::Device device(config);
+      const auto key_span = device.upload<std::uint64_t>(keys);
+      const auto dest_span = device.upload<std::uint32_t>(destinations);
+      std::vector<std::uint64_t> sorted(keys.size());
+      const std::uint64_t out_addr = device.reserve(sorted.size() * 8);
+      RadixScatterKernel kernel(key_span, dest_span, sorted.data(), out_addr);
+      const simt::KernelStats stats =
+          simt::launch_kernel(device, options.launch, kernel, options.sim);
+      out.sort_scatter.time_ms += stats.time_ms;
+      out.sort_scatter.cycles += stats.cycles;
+      out.sort_scatter.lane_loads += stats.lane_loads;
+      // Histogram + scan streaming charge.
+      out.sort_scatter.time_ms += cost.stream_pass_ms(keys.size() * 8);
+      keys = std::move(sorted);
+    }
+    pre.phases.sort_ms = out.sort_scatter.time_ms;
+    for (std::size_t i = 0; i < keys.size(); ++i) work[i] = unpack_edge(keys[i]);
+  }
+
+  // Shared helper: run the node-array kernel over the current sorted slots.
+  auto build_node = [&](simt::KernelStats& stats) {
+    std::vector<std::uint32_t> node(static_cast<std::size_t>(n) + 1, 0);
+    if (!work.empty()) {
+      simt::Device device(config);
+      const auto pairs = device.upload<Edge>(work);
+      const std::uint64_t node_addr = device.reserve(node.size() * 4);
+      NodeArrayKernel kernel(pairs, node.data(), node_addr);
+      stats = simt::launch_kernel(device, options.launch, kernel, options.sim);
+      // Boundary cells the m-1 threads cannot see: before the first slot's
+      // vertex (0) and after the last slot's vertex (slot count).
+      for (VertexId v = 0; v <= work.front().u; ++v) node[v] = 0;
+      for (VertexId v = work.back().u + 1; v <= n; ++v) {
+        node[v] = static_cast<std::uint32_t>(work.size());
+      }
+    }
+    return node;
+  };
+
+  // Step 4.
+  std::vector<std::uint32_t> node = build_node(out.node_array);
+  pre.phases.node_array_ms = out.node_array.time_ms;
+
+  // Step 5: mark backward edges.
+  std::vector<std::uint8_t> flags(work.size(), 0);
+  {
+    simt::Device device(config);
+    const auto pairs = device.upload<Edge>(work);
+    const auto node_span = device.upload<std::uint32_t>(node);
+    const std::uint64_t flags_addr = device.reserve(flags.size());
+    MarkBackwardKernel kernel(pairs, node_span, flags.data(), flags_addr);
+    out.mark_backward =
+        simt::launch_kernel(device, options.launch, kernel, options.sim);
+    pre.phases.mark_backward_ms = out.mark_backward.time_ms;
+  }
+
+  // Step 6: remove_if = exclusive scan of keep-flags (streaming charge) +
+  // compaction kernel.
+  {
+    std::vector<std::uint32_t> positions(work.size());
+    std::uint32_t kept = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      positions[i] = kept;
+      kept += flags[i] ? 0 : 1;
+    }
+    std::vector<Edge> compacted(kept);
+    simt::Device device(config);
+    const auto pairs = device.upload<Edge>(work);
+    const auto flag_span = device.upload<std::uint8_t>(flags);
+    const auto pos_span = device.upload<std::uint32_t>(positions);
+    const std::uint64_t out_addr = device.reserve(compacted.size() * sizeof(Edge));
+    CompactKernel kernel(pairs, flag_span, pos_span, compacted.data(), out_addr);
+    out.compact =
+        simt::launch_kernel(device, options.launch, kernel, options.sim);
+    pre.phases.remove_ms =
+        out.compact.time_ms + cost.stream_pass_ms(work.size());
+    work = std::move(compacted);
+  }
+
+  // Step 7: unzip.
+  if (options.variant.soa) {
+    pre.soa.src.assign(work.size(), 0);
+    pre.soa.dst.assign(work.size(), 0);
+    simt::Device device(config);
+    const auto pairs = device.upload<Edge>(work);
+    const std::uint64_t src_addr = device.reserve(work.size() * 4);
+    const std::uint64_t dst_addr = device.reserve(work.size() * 4);
+    UnzipKernel kernel(pairs, pre.soa.src.data(), pre.soa.dst.data(), src_addr,
+                       dst_addr);
+    out.unzip = simt::launch_kernel(device, options.launch, kernel, options.sim);
+    pre.phases.unzip_ms = out.unzip.time_ms;
+  }
+
+  // Step 8: rebuild the node array over the oriented slots.
+  node = build_node(out.node_array2);
+  pre.phases.node_array2_ms = out.node_array2.time_ms;
+
+  pre.node = std::move(node);
+  pre.oriented = std::move(work);
+  return out;
+}
+
+}  // namespace trico::core

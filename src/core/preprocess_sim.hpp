@@ -1,0 +1,36 @@
+// Fully-simulated preprocessing (§III-B steps 1-8 as device kernels).
+//
+// The default pipeline charges preprocessing with the analytic streaming
+// model; this orchestrator instead *runs* every step as a kernel on the
+// SIMT simulator (see preprocess_kernels.hpp) and reports per-step
+// simulated times. Results are bit-identical to the host path — the tests
+// assert it — and bench_preprocessing uses the two paths to validate the
+// analytic cost model against the simulation.
+
+#pragma once
+
+#include "core/preprocess.hpp"
+#include "simt/launch.hpp"
+
+namespace trico::core {
+
+/// Per-step simulated kernel statistics.
+struct SimulatedPreprocessing {
+  PreprocessedGraph graph;     ///< same contract as preprocess_for_device
+  simt::KernelStats vertex_count;
+  simt::KernelStats sort_scatter;  ///< summed over radix passes
+  std::uint32_t sort_passes = 0;
+  simt::KernelStats node_array;
+  simt::KernelStats mark_backward;
+  simt::KernelStats compact;
+  simt::KernelStats unzip;
+  simt::KernelStats node_array2;
+};
+
+/// Runs the preprocessing phase on the simulator. Does not implement the
+/// §III-D6 CPU fallback (callers wanting it use the analytic path).
+[[nodiscard]] SimulatedPreprocessing simulate_preprocessing(
+    const EdgeList& edges, const simt::DeviceConfig& device,
+    const CountingOptions& options);
+
+}  // namespace trico::core

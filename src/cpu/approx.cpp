@@ -1,0 +1,72 @@
+#include "cpu/approx.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/counting.hpp"
+#include "gen/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace trico::cpu {
+
+ApproxResult count_doulion(const EdgeList& edges, double p,
+                           std::uint64_t seed) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("count_doulion: p must be in (0, 1]");
+  }
+  gen::Rng rng(gen::splitmix64(seed ^ 0xD0071101ull));
+  std::vector<Edge> kept_pairs;
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v && rng.bernoulli(p)) kept_pairs.push_back(e);
+  }
+  const EdgeList sample =
+      EdgeList::from_undirected_pairs(kept_pairs, edges.num_vertices());
+  ApproxResult result;
+  result.work_items = sample.num_edges();
+  result.estimate =
+      static_cast<double>(count_forward(sample)) / (p * p * p);
+  return result;
+}
+
+ApproxResult count_wedge_sampling(const EdgeList& edges,
+                                  std::uint64_t samples, std::uint64_t seed) {
+  const Csr adjacency = Csr::from_edge_list(edges);
+  const VertexId n = adjacency.num_vertices();
+
+  // Cumulative wedge weights: vertex v centers C(deg(v), 2) wedges.
+  std::vector<double> cumulative(n + 1, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto d = static_cast<double>(adjacency.degree(v));
+    cumulative[v + 1] = cumulative[v] + d * (d - 1.0) / 2.0;
+  }
+  const double total_wedges = cumulative[n];
+  ApproxResult result;
+  result.work_items = samples;
+  if (total_wedges == 0.0 || samples == 0) return result;
+
+  gen::Rng rng(gen::splitmix64(seed ^ 0x3ED6Eull));
+  std::uint64_t closed = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    // Pick the wedge center proportionally to its wedge count.
+    const double target = rng.next_double() * total_wedges;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), target);
+    const VertexId center =
+        static_cast<VertexId>(std::distance(cumulative.begin(), it) - 1);
+    const auto nbrs = adjacency.neighbors(center);
+    // Pick two distinct neighbours.
+    const std::uint64_t i = rng.next_below(nbrs.size());
+    std::uint64_t j = rng.next_below(nbrs.size() - 1);
+    if (j >= i) ++j;
+    const VertexId a = nbrs[i], b = nbrs[j];
+    const auto adj_a = adjacency.neighbors(a);
+    if (std::binary_search(adj_a.begin(), adj_a.end(), b)) ++closed;
+  }
+  const double closure =
+      static_cast<double>(closed) / static_cast<double>(samples);
+  result.estimate = closure * total_wedges / 3.0;
+  return result;
+}
+
+}  // namespace trico::cpu

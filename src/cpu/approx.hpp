@@ -1,0 +1,42 @@
+// Approximate triangle counting.
+//
+// The paper's related work (§V) compares against heuristic approximation
+// algorithms: "such algorithms provide good speedups and usually need
+// little memory, but ... an approximate triangle count, which can differ
+// from the actual count usually by a few percent." These are the two
+// classic representatives the paper cites:
+//
+//  * DOULION (Tsourakakis et al., KDD'09): keep each edge with probability
+//    p, count exactly on the sparsified graph, scale by 1/p^3.
+//  * Wedge sampling (the core idea behind Jha et al., KDD'13): sample
+//    random wedges (two-edge paths) and measure the fraction that close;
+//    triangles = closed_fraction * total_wedges / 3.
+//
+// Both are deterministic in (input, seed).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::cpu {
+
+/// Result of an approximate count.
+struct ApproxResult {
+  double estimate = 0.0;           ///< estimated triangle count
+  std::uint64_t work_items = 0;    ///< edges kept / wedges sampled
+};
+
+/// DOULION: sparsify with keep-probability `p` in (0, 1], exact-count the
+/// sample with forward, scale by p^-3. p = 1 returns the exact count.
+[[nodiscard]] ApproxResult count_doulion(const EdgeList& edges, double p,
+                                         std::uint64_t seed);
+
+/// Wedge sampling: sample `samples` uniform wedges and test closure.
+/// Estimate = closed_fraction * wedge_count / 3.
+[[nodiscard]] ApproxResult count_wedge_sampling(const EdgeList& edges,
+                                                std::uint64_t samples,
+                                                std::uint64_t seed);
+
+}  // namespace trico::cpu

@@ -1,0 +1,72 @@
+// Sequential (and multicore) CPU triangle-counting algorithms.
+//
+// `count_forward` is the paper's CPU baseline (§IV): the forward algorithm of
+// Schank & Wagner as simplified by Latapy — degree-orient the edges, sort the
+// oriented adjacency lists, and intersect the endpoint lists of every
+// oriented edge with a two-pointer merge. The other algorithms are the
+// comparison points of §II-A (node-iterator, edge-iterator, compact-forward)
+// plus hashed and binary-search intersection variants used by the ablation
+// benches, and a multicore forward used by the §V related-work comparison.
+//
+// Every function returns the exact number of triangles (3-cycles) in the
+// input undirected graph and requires a canonical edge array (see EdgeList).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
+
+namespace trico::cpu {
+
+/// node-iterator (§II-A): for every vertex, test every neighbour pair for
+/// adjacency. O(sum_v deg(v)^2) — the classic baseline that degrades badly
+/// on skewed degree distributions.
+[[nodiscard]] TriangleCount count_node_iterator(const EdgeList& edges);
+
+/// edge-iterator (Schank-Wagner, §II-A): for every undirected edge,
+/// intersect the full (unoriented) neighbour lists. O(m * degmax).
+[[nodiscard]] TriangleCount count_edge_iterator(const EdgeList& edges);
+
+/// forward (the paper's baseline): degree orientation + per-edge two-pointer
+/// merge over oriented lists. O(m * sqrt(m)).
+[[nodiscard]] TriangleCount count_forward(const EdgeList& edges);
+
+/// Counting phase of forward only, given an already-oriented CSR whose lists
+/// are sorted ascending. Exposed so the GPU pipeline tests can compare
+/// phase-for-phase.
+[[nodiscard]] TriangleCount count_forward_counting_phase(const Csr& oriented);
+
+/// compact-forward (Latapy 2008): renumber vertices by decreasing degree and
+/// intersect rank-truncated lists. Same asymptotics as forward with lower
+/// constants and memory.
+[[nodiscard]] TriangleCount count_compact_forward(const EdgeList& edges);
+
+/// forward with a stamp-array ("hashed") intersection instead of the merge:
+/// for each source vertex mark its oriented neighbourhood once, then probe.
+[[nodiscard]] TriangleCount count_forward_hashed(const EdgeList& edges);
+
+/// forward with binary-search intersection (searches the shorter list's
+/// elements in the longer list) — the strategy of Green et al. [15], used by
+/// the intersection-strategy ablation.
+[[nodiscard]] TriangleCount count_forward_binary_search(const EdgeList& edges);
+
+/// Multicore forward (§V): the counting phase parallelized over oriented
+/// edges on a thread pool; preprocessing stays sequential.
+[[nodiscard]] TriangleCount count_forward_multicore(const EdgeList& edges,
+                                                    prim::ThreadPool& pool);
+
+/// §III-A input-format study: a solver whose input is *already* an adjacency
+/// structure (sorted CSR), letting it skip the edge sort. Pair it with
+/// count_forward (edge-array input) to reproduce the ~2 s gap the paper
+/// reports for LiveJournal.
+[[nodiscard]] TriangleCount count_forward_from_adjacency(const Csr& adjacency);
+
+/// Per-vertex triangle counts (delta(v) in the clustering-coefficient
+/// definition): result[v] = number of triangles containing v. Sum equals
+/// 3 * count_forward(edges).
+[[nodiscard]] std::vector<TriangleCount> per_vertex_triangles(const EdgeList& edges);
+
+}  // namespace trico::cpu

@@ -1,0 +1,146 @@
+// The forward algorithm and its intersection-strategy variants.
+
+#include <algorithm>
+
+#include "cpu/counting.hpp"
+#include "graph/orientation.hpp"
+#include "prim/algorithms.hpp"
+
+namespace trico::cpu {
+
+namespace {
+
+/// Two-pointer merge intersection size of two sorted ascending ranges.
+TriangleCount merge_intersect(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+TriangleCount count_forward_counting_phase(const Csr& oriented) {
+  TriangleCount total = 0;
+  for (VertexId u = 0; u < oriented.num_vertices(); ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId v : adj_u) {
+      total += merge_intersect(adj_u, oriented.neighbors(v));
+    }
+  }
+  return total;
+}
+
+TriangleCount count_forward(const EdgeList& edges) {
+  return count_forward_counting_phase(oriented_csr(edges));
+}
+
+TriangleCount count_forward_from_adjacency(const Csr& adjacency) {
+  // The adjacency input is already grouped and sorted per vertex, so the
+  // orientation filter is a single sequential pass — no edge sort needed.
+  const VertexId n = adjacency.num_vertices();
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<VertexId> kept;
+  kept.reserve(adjacency.num_edge_slots() / 2);
+  auto degree_of = [&](VertexId v) { return adjacency.degree(v); };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : adjacency.neighbors(u)) {
+      const bool forward = degree_of(u) != degree_of(v)
+                               ? degree_of(u) < degree_of(v)
+                               : u < v;
+      if (forward) kept.push_back(v);
+    }
+    offsets[u + 1] = kept.size();
+  }
+  const Csr oriented(std::move(offsets), std::move(kept));
+  return count_forward_counting_phase(oriented);
+}
+
+TriangleCount count_forward_hashed(const EdgeList& edges) {
+  const Csr oriented = oriented_csr(edges);
+  const VertexId n = oriented.num_vertices();
+  // Stamp array: mark[u's neighbourhood] = u's stamp; probing is O(1) and no
+  // clearing pass is needed between vertices.
+  std::vector<VertexId> stamp(n, kInvalidVertex);
+  TriangleCount total = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId w : adj_u) stamp[w] = u;
+    for (VertexId v : adj_u) {
+      for (VertexId w : oriented.neighbors(v)) {
+        if (stamp[w] == u) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+TriangleCount count_forward_binary_search(const EdgeList& edges) {
+  const Csr oriented = oriented_csr(edges);
+  TriangleCount total = 0;
+  for (VertexId u = 0; u < oriented.num_vertices(); ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId v : adj_u) {
+      const auto adj_v = oriented.neighbors(v);
+      // Search the shorter list's elements in the longer one.
+      const auto& shorter = adj_u.size() <= adj_v.size() ? adj_u : adj_v;
+      const auto& longer = adj_u.size() <= adj_v.size() ? adj_v : adj_u;
+      for (VertexId w : shorter) {
+        total += std::binary_search(longer.begin(), longer.end(), w) ? 1 : 0;
+      }
+    }
+  }
+  return total;
+}
+
+TriangleCount count_forward_multicore(const EdgeList& edges,
+                                      prim::ThreadPool& pool) {
+  const EdgeList oriented_edges = orient_forward(edges);
+  const Csr oriented = Csr::from_edge_list(oriented_edges);
+  const auto slots = oriented_edges.edges();
+  return prim::transform_reduce<TriangleCount>(
+      pool, slots.size(), 0, [&](std::size_t i) {
+        const Edge& e = slots[i];
+        return merge_intersect(oriented.neighbors(e.u),
+                               oriented.neighbors(e.v));
+      });
+}
+
+std::vector<TriangleCount> per_vertex_triangles(const EdgeList& edges) {
+  const Csr oriented = oriented_csr(edges);
+  std::vector<TriangleCount> per_vertex(oriented.num_vertices(), 0);
+  for (VertexId u = 0; u < oriented.num_vertices(); ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId v : adj_u) {
+      const auto adj_v = oriented.neighbors(v);
+      std::size_t i = 0, j = 0;
+      while (i < adj_u.size() && j < adj_v.size()) {
+        if (adj_u[i] < adj_v[j]) {
+          ++i;
+        } else if (adj_u[i] > adj_v[j]) {
+          ++j;
+        } else {
+          ++per_vertex[u];
+          ++per_vertex[v];
+          ++per_vertex[adj_u[i]];
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return per_vertex;
+}
+
+}  // namespace trico::cpu

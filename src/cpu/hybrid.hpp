@@ -1,0 +1,35 @@
+// Hybrid counting: the paper's §VI future-work direction.
+//
+// "It might be beneficial to use a different counting algorithm for a small
+// subset of vertices with largest degrees. A natural candidate ... is
+// matrix multiplication [21]."
+//
+// count_hybrid splits the work by the forward orientation's key property:
+// a triangle's ≺-smallest vertex is its lowest-degree corner. Triangles
+// whose smallest corner is a *low*-degree vertex are counted by the normal
+// per-edge merge, restricted to oriented edges with a low-degree source;
+// triangles entirely inside the high-degree set are counted densely with
+// bitset "matrix multiplication" over the induced subgraph (which is small
+// by construction: at most 2m / threshold vertices exceed degree
+// threshold).
+
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+namespace trico::cpu {
+
+/// Exact dense counter over adjacency bitsets: O(n^2 * n/64). Intended for
+/// small graphs (n up to a few thousand); used as the high-degree-core
+/// counter inside count_hybrid and as an independent test oracle.
+[[nodiscard]] TriangleCount count_dense_bitset(const EdgeList& edges);
+
+/// Exact hybrid counter: forward merge for triangles rooted at low-degree
+/// vertices + dense bitset counting for the high-degree core. Any
+/// `degree_threshold` yields the exact count; the threshold only moves work
+/// between the two strategies (threshold 0 = all-dense, huge threshold =
+/// plain forward).
+[[nodiscard]] TriangleCount count_hybrid(const EdgeList& edges,
+                                         EdgeIndex degree_threshold);
+
+}  // namespace trico::cpu

@@ -1,0 +1,49 @@
+#include "cpu/listing.hpp"
+
+#include "graph/csr.hpp"
+#include "graph/orientation.hpp"
+
+namespace trico::cpu {
+
+void for_each_triangle(const EdgeList& edges,
+                       const std::function<bool(const Triangle&)>& visit) {
+  const Csr oriented = oriented_csr(edges);
+  for (VertexId u = 0; u < oriented.num_vertices(); ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId v : adj_u) {
+      const auto adj_v = oriented.neighbors(v);
+      std::size_t i = 0, j = 0;
+      while (i < adj_u.size() && j < adj_v.size()) {
+        if (adj_u[i] < adj_v[j]) {
+          ++i;
+        } else if (adj_u[i] > adj_v[j]) {
+          ++j;
+        } else {
+          if (!visit(Triangle{u, v, adj_u[i]})) return;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+std::vector<Triangle> list_triangles(const EdgeList& edges) {
+  std::vector<Triangle> triangles;
+  for_each_triangle(edges, [&](const Triangle& t) {
+    triangles.push_back(t);
+    return true;
+  });
+  return triangles;
+}
+
+bool has_triangle(const EdgeList& edges) {
+  bool found = false;
+  for_each_triangle(edges, [&](const Triangle&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace trico::cpu

@@ -1,0 +1,39 @@
+// Triangle listing (enumeration).
+//
+// The algorithms literature the paper builds on (Schank & Wagner: "Finding,
+// counting and listing all triangles") treats listing as the companion
+// problem to counting: same forward traversal, but each closed wedge is
+// reported instead of just counted. The enumeration order is deterministic:
+// triangles are emitted as (a, b, c) with a ≺ b ≺ c in the degree order
+// used by the orientation, grouped by their ≺-smallest vertex.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::cpu {
+
+/// One triangle; vertices ordered by the forward orientation (degree order,
+/// ties by id), i.e. corner `a` has the smallest degree.
+struct Triangle {
+  VertexId a = 0, b = 0, c = 0;
+  friend bool operator==(const Triangle&, const Triangle&) = default;
+  friend auto operator<=>(const Triangle&, const Triangle&) = default;
+};
+
+/// Invokes `visit` once per triangle. Returning false from the callback
+/// stops the enumeration early (used for existence queries / top-k).
+void for_each_triangle(const EdgeList& edges,
+                       const std::function<bool(const Triangle&)>& visit);
+
+/// Materializes every triangle. Memory scales with the triangle count —
+/// use for_each_triangle for large outputs.
+[[nodiscard]] std::vector<Triangle> list_triangles(const EdgeList& edges);
+
+/// True iff the graph contains at least one triangle (stops at the first).
+[[nodiscard]] bool has_triangle(const EdgeList& edges);
+
+}  // namespace trico::cpu

@@ -1,0 +1,244 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace trico::gen {
+
+namespace {
+
+/// Collects unique undirected pairs (canonicalized to u < v) into an
+/// EdgeList.
+class PairCollector {
+ public:
+  explicit PairCollector(VertexId n) : n_(n) {}
+
+  /// Returns true iff the pair was new (and not a self-loop).
+  bool add(VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    if (!seen_.insert(pack_edge(Edge{u, v})).second) return false;
+    pairs_.push_back(Edge{u, v});
+    return true;
+  }
+
+  [[nodiscard]] bool contains(VertexId u, VertexId v) const {
+    if (u > v) std::swap(u, v);
+    return seen_.contains(pack_edge(Edge{u, v}));
+  }
+
+  [[nodiscard]] std::size_t size() const { return pairs_.size(); }
+
+  [[nodiscard]] EdgeList finish() const {
+    return EdgeList::from_undirected_pairs(pairs_, n_);
+  }
+
+  [[nodiscard]] const std::vector<Edge>& pairs() const { return pairs_; }
+
+ private:
+  VertexId n_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<Edge> pairs_;
+};
+
+}  // namespace
+
+EdgeList erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed) {
+  const auto max_edges =
+      static_cast<EdgeIndex>(n) * (n > 0 ? n - 1 : 0) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("erdos_renyi: more edges than vertex pairs");
+  }
+  Rng rng(splitmix64(seed ^ 0xE7D05E7D05ull));
+  PairCollector collector(n);
+  while (collector.size() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    collector.add(u, v);
+  }
+  return collector.finish();
+}
+
+EdgeList rmat(const RmatParams& params, std::uint64_t seed) {
+  const VertexId n = VertexId{1} << params.scale;
+  const auto attempts =
+      static_cast<EdgeIndex>(params.edge_factor * static_cast<double>(n));
+  Rng rng(splitmix64(seed ^ 0x92A7ull));
+  PairCollector collector(n);
+  for (EdgeIndex i = 0; i < attempts; ++i) {
+    VertexId u = 0, v = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      double a = params.a, b = params.b, c = params.c;
+      if (params.noise) {
+        // +-10% multiplicative jitter per level, as in the Graph500
+        // reference generator, prevents exact-degree artifacts.
+        const double ja = 0.9 + 0.2 * rng.next_double();
+        const double jb = 0.9 + 0.2 * rng.next_double();
+        const double jc = 0.9 + 0.2 * rng.next_double();
+        const double jd = 0.9 + 0.2 * rng.next_double();
+        const double norm =
+            params.a * ja + params.b * jb + params.c * jc + params.d * jd;
+        a = params.a * ja / norm;
+        b = params.b * jb / norm;
+        c = params.c * jc / norm;
+      }
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    collector.add(u, v);
+  }
+  return collector.finish();
+}
+
+EdgeList barabasi_albert(VertexId n, unsigned attach, std::uint64_t seed) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach == 0");
+  const VertexId seed_size = std::max<VertexId>(attach + 1, 3);
+  if (n < seed_size) {
+    throw std::invalid_argument("barabasi_albert: n too small for attach");
+  }
+  Rng rng(splitmix64(seed ^ 0xBABAull));
+  PairCollector collector(n);
+  // Repeated-endpoint list: picking a uniform element of `endpoints` is
+  // preferential attachment (each vertex appears deg(v) times).
+  std::vector<VertexId> endpoints;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      if (collector.add(u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  for (VertexId u = seed_size; u < n; ++u) {
+    unsigned added = 0;
+    // Cap resampling so pathological parameter choices cannot live-lock.
+    unsigned attempts_left = attach * 50;
+    while (added < attach && attempts_left-- > 0) {
+      const VertexId v = endpoints[rng.next_below(endpoints.size())];
+      if (collector.add(u, v)) {
+        ++added;
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  return collector.finish();
+}
+
+EdgeList watts_strogatz(VertexId n, unsigned k, double beta,
+                        std::uint64_t seed) {
+  if (n == 0 || 2ull * k >= n) {
+    throw std::invalid_argument("watts_strogatz: requires 2k < n");
+  }
+  Rng rng(splitmix64(seed ^ 0x35ull));
+  PairCollector collector(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (unsigned j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire: keep u, pick a fresh endpoint.
+        unsigned attempts_left = 50;
+        VertexId w = v;
+        do {
+          w = static_cast<VertexId>(rng.next_below(n));
+        } while ((w == u || collector.contains(u, w)) && attempts_left-- > 0);
+        if (w != u && !collector.contains(u, w)) v = w;
+      }
+      collector.add(u, v);
+    }
+  }
+  return collector.finish();
+}
+
+EdgeList social(const SocialParams& params, std::uint64_t seed) {
+  // Backbone: power-law degrees from preferential attachment.
+  EdgeList backbone = barabasi_albert(params.n, params.attach, seed);
+  Rng rng(splitmix64(seed ^ 0x50C1A1ull));
+  PairCollector collector(params.n);
+  for (const Edge& e : backbone.edges()) {
+    if (e.u < e.v) collector.add(e.u, e.v);
+  }
+  // Triadic closure: sample a random wedge (u - v - w) by walking two random
+  // incident edges, then close it. This concentrates new edges where degree
+  // is already high, boosting the triangles/edges ratio like real social
+  // graphs.
+  const Csr adjacency = Csr::from_edge_list(backbone);
+  const auto rounds = static_cast<EdgeIndex>(
+      params.closure_rounds * static_cast<double>(backbone.num_edges()));
+  const auto slots = backbone.edges();
+  for (EdgeIndex i = 0; i < rounds; ++i) {
+    const Edge& uv = slots[rng.next_below(slots.size())];
+    const auto nbrs = adjacency.neighbors(uv.v);
+    if (nbrs.empty()) continue;
+    const VertexId w = nbrs[rng.next_below(nbrs.size())];
+    if (w == uv.u) continue;
+    if (rng.bernoulli(params.closure_prob)) collector.add(uv.u, w);
+  }
+  return EdgeList::from_undirected_pairs(collector.pairs(), params.n);
+}
+
+EdgeList copaper(const CopaperParams& params, std::uint64_t seed) {
+  if (params.n < params.max_authors || params.min_authors < 2 ||
+      params.max_authors < params.min_authors) {
+    throw std::invalid_argument("copaper: inconsistent parameters");
+  }
+  Rng rng(splitmix64(seed ^ 0xC09A9E8ull));
+  PairCollector collector(params.n);
+  std::vector<VertexId> authors;
+  for (std::uint64_t p = 0; p < params.papers; ++p) {
+    // Zipf-ish clique size: small papers common, large ones rare.
+    const unsigned range = params.max_authors - params.min_authors + 1;
+    unsigned size = params.min_authors;
+    double mass = rng.next_double();
+    double weight = 0.0, norm = 0.0;
+    for (unsigned k = 0; k < range; ++k) norm += 1.0 / static_cast<double>(k + 1);
+    for (unsigned k = 0; k < range; ++k) {
+      weight += 1.0 / static_cast<double>(k + 1) / norm;
+      if (mass < weight) {
+        size = params.min_authors + k;
+        break;
+      }
+    }
+    // First author anchors a community window; co-authors are mostly local.
+    const VertexId anchor = static_cast<VertexId>(rng.next_below(params.n));
+    const VertexId window = std::max<VertexId>(64, params.n / 1000);
+    authors.clear();
+    authors.push_back(anchor);
+    while (authors.size() < size) {
+      VertexId a;
+      if (rng.bernoulli(params.locality)) {
+        const std::uint64_t offset = rng.next_below(window);
+        a = static_cast<VertexId>((anchor + offset) % params.n);
+      } else {
+        a = static_cast<VertexId>(rng.next_below(params.n));
+      }
+      if (std::find(authors.begin(), authors.end(), a) == authors.end()) {
+        authors.push_back(a);
+      }
+    }
+    for (std::size_t i = 0; i < authors.size(); ++i) {
+      for (std::size_t j = i + 1; j < authors.size(); ++j) {
+        collector.add(authors[i], authors[j]);
+      }
+    }
+  }
+  return collector.finish();
+}
+
+}  // namespace trico::gen

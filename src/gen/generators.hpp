@@ -1,0 +1,81 @@
+// Synthetic graph generators.
+//
+// These replace the paper's datasets: Kronecker R-MAT graphs (DIMACS-10
+// parameters) are generated exactly as in the paper's synthetic experiments;
+// Barabási–Albert and Watts–Strogatz match the paper's other two synthetic
+// graphs; Erdős–Rényi and the power-law/triadic-closure "social" generator
+// provide stand-ins for the SNAP/DIMACS real-world datasets that are not
+// available offline (see DESIGN.md §2).
+//
+// All generators return a canonical undirected EdgeList (no self-loops, no
+// duplicates, both directions present) and are deterministic in (params,
+// seed).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::gen {
+
+/// Erdős–Rényi G(n, m): m distinct undirected edges chosen uniformly.
+/// Requires m <= n*(n-1)/2.
+[[nodiscard]] EdgeList erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed);
+
+/// R-MAT / stochastic-Kronecker parameters. The defaults are the DIMACS-10
+/// values (a=0.57, b=c=0.19, d=0.05) used by the paper's "Kronecker" rows.
+struct RmatParams {
+  unsigned scale = 16;          ///< n = 2^scale vertices
+  double edge_factor = 16.0;    ///< directed edge attempts per vertex
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  bool noise = true;            ///< per-level parameter jitter (smooths degrees)
+};
+
+/// R-MAT generator. Duplicate edges and self-loops from the recursive
+/// process are dropped, so the resulting edge count is slightly below
+/// n * edge_factor (as in the DIMACS generator).
+[[nodiscard]] EdgeList rmat(const RmatParams& params, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a small seed clique
+/// and attaches each new vertex to `attach` existing vertices with
+/// probability proportional to degree.
+[[nodiscard]] EdgeList barabasi_albert(VertexId n, unsigned attach,
+                                       std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbours per
+/// side, each edge rewired with probability `beta`. Requires 2*k < n.
+[[nodiscard]] EdgeList watts_strogatz(VertexId n, unsigned k, double beta,
+                                      std::uint64_t seed);
+
+/// Parameters for the "social network" stand-in generator: a power-law
+/// degree backbone (Barabási–Albert) densified with triadic closure, which
+/// raises the triangles/edges ratio into the range of the paper's social
+/// graphs (LiveJournal, Orkut) and co-paper graphs (Citeseer, DBLP).
+struct SocialParams {
+  VertexId n = 100000;
+  unsigned attach = 8;          ///< BA attachment (controls edge count)
+  double closure_rounds = 1.0;  ///< triadic-closure passes per edge
+  double closure_prob = 0.25;   ///< probability of closing a sampled wedge
+};
+
+/// Power-law + triadic-closure generator.
+[[nodiscard]] EdgeList social(const SocialParams& params, std::uint64_t seed);
+
+/// Parameters for the co-authorship ("co-paper") generator standing in for
+/// the DIMACS Citeseer/DBLP graphs: each paper contributes a clique over
+/// its authors, so the triangles/edges ratio is very high (the paper's
+/// Citeseer has 27 triangles per directed edge slot).
+struct CopaperParams {
+  VertexId n = 100000;      ///< author pool
+  std::uint64_t papers = 60000;
+  unsigned min_authors = 2;
+  unsigned max_authors = 9; ///< clique sizes drawn ~ Zipf in [min, max]
+  double locality = 0.95;   ///< chance each co-author is drawn from a local
+                            ///< community window rather than uniformly
+};
+
+/// Co-paper generator: union of author cliques with community locality.
+[[nodiscard]] EdgeList copaper(const CopaperParams& params, std::uint64_t seed);
+
+}  // namespace trico::gen

@@ -1,0 +1,177 @@
+#include "gen/reference.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace trico::gen {
+
+namespace {
+
+TriangleCount choose3(std::uint64_t n) {
+  return n < 3 ? 0 : n * (n - 1) * (n - 2) / 6;
+}
+
+ReferenceGraph make(std::vector<Edge> pairs, VertexId n,
+                    TriangleCount triangles, const char* family) {
+  ReferenceGraph g;
+  g.edges = EdgeList::from_undirected_pairs(pairs, n);
+  g.expected_triangles = triangles;
+  g.family = family;
+  return g;
+}
+
+}  // namespace
+
+ReferenceGraph complete(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) pairs.push_back({u, v});
+  }
+  return make(std::move(pairs), n, choose3(n), "complete");
+}
+
+ReferenceGraph cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle: n < 3");
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u < n; ++u) {
+    pairs.push_back({u, static_cast<VertexId>((u + 1) % n)});
+  }
+  return make(std::move(pairs), n, n == 3 ? 1 : 0, "cycle");
+}
+
+ReferenceGraph path(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    pairs.push_back({u, static_cast<VertexId>(u + 1)});
+  }
+  return make(std::move(pairs), n, 0, "path");
+}
+
+ReferenceGraph star(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId leaf = 1; leaf < n; ++leaf) pairs.push_back({0, leaf});
+  return make(std::move(pairs), n, 0, "star");
+}
+
+ReferenceGraph wheel(VertexId n) {
+  if (n < 4) throw std::invalid_argument("wheel: n < 4");
+  const VertexId rim = n - 1;
+  std::vector<Edge> pairs;
+  for (VertexId i = 0; i < rim; ++i) {
+    pairs.push_back({0, static_cast<VertexId>(1 + i)});
+    pairs.push_back({static_cast<VertexId>(1 + i),
+                     static_cast<VertexId>(1 + (i + 1) % rim)});
+  }
+  // Hub-rim triangles: one per rim edge. A 3-cycle rim (n == 4) also closes
+  // itself, making K_4 with C(4,3) = 4 triangles.
+  const TriangleCount triangles = (rim == 3) ? 4 : rim;
+  return make(std::move(pairs), n, triangles, "wheel");
+}
+
+ReferenceGraph complete_bipartite(VertexId a, VertexId b) {
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) {
+      pairs.push_back({u, static_cast<VertexId>(a + v)});
+    }
+  }
+  return make(std::move(pairs), a + b, 0, "complete_bipartite");
+}
+
+ReferenceGraph grid(VertexId rows, VertexId cols) {
+  std::vector<Edge> pairs;
+  auto id = [cols](VertexId r, VertexId c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) pairs.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) pairs.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return make(std::move(pairs), rows * cols, 0, "grid");
+}
+
+ReferenceGraph disjoint_triangles(VertexId t) {
+  std::vector<Edge> pairs;
+  for (VertexId i = 0; i < t; ++i) {
+    const VertexId base = 3 * i;
+    pairs.push_back({base, static_cast<VertexId>(base + 1)});
+    pairs.push_back({static_cast<VertexId>(base + 1),
+                     static_cast<VertexId>(base + 2)});
+    pairs.push_back({base, static_cast<VertexId>(base + 2)});
+  }
+  return make(std::move(pairs), 3 * t, t, "disjoint_triangles");
+}
+
+ReferenceGraph windmill(VertexId k, VertexId t) {
+  if (k < 2) throw std::invalid_argument("windmill: k < 2");
+  std::vector<Edge> pairs;
+  // Vertex 0 is shared; copy i uses vertices [1 + i*(k-1), 1 + (i+1)*(k-1)).
+  for (VertexId i = 0; i < t; ++i) {
+    const VertexId base = 1 + i * (k - 1);
+    for (VertexId a = 0; a < k - 1; ++a) {
+      pairs.push_back({0, static_cast<VertexId>(base + a)});
+      for (VertexId b = a + 1; b < k - 1; ++b) {
+        pairs.push_back({static_cast<VertexId>(base + a),
+                         static_cast<VertexId>(base + b)});
+      }
+    }
+  }
+  return make(std::move(pairs), 1 + t * (k - 1), t * choose3(k), "windmill");
+}
+
+ReferenceGraph clique_ring(VertexId k, VertexId t) {
+  if (k < 2 || t < 3) throw std::invalid_argument("clique_ring: k < 2 or t < 3");
+  std::vector<Edge> pairs;
+  for (VertexId i = 0; i < t; ++i) {
+    const VertexId base = i * k;
+    for (VertexId a = 0; a < k; ++a) {
+      for (VertexId b = a + 1; b < k; ++b) {
+        pairs.push_back({static_cast<VertexId>(base + a),
+                         static_cast<VertexId>(base + b)});
+      }
+    }
+    // Bridge: last vertex of clique i to first vertex of clique i+1.
+    const VertexId next_base = ((i + 1) % t) * k;
+    pairs.push_back({static_cast<VertexId>(base + k - 1), next_base});
+  }
+  return make(std::move(pairs), k * t, t * choose3(k), "clique_ring");
+}
+
+ReferenceGraph triangular_strip(VertexId cols) {
+  if (cols < 2) throw std::invalid_argument("triangular_strip: cols < 2");
+  std::vector<Edge> pairs;
+  auto top = [](VertexId c) { return c; };
+  auto bot = [cols](VertexId c) { return static_cast<VertexId>(cols + c); };
+  for (VertexId c = 0; c < cols; ++c) {
+    pairs.push_back({top(c), bot(c)});
+    if (c + 1 < cols) {
+      pairs.push_back({top(c), top(c + 1)});
+      pairs.push_back({bot(c), bot(c + 1)});
+      pairs.push_back({top(c), bot(c + 1)});  // diagonal
+    }
+  }
+  // Each of the cols-1 quads is split by its diagonal into 2 triangles.
+  return make(std::move(pairs), 2 * cols, 2 * (cols - 1), "triangular_strip");
+}
+
+std::vector<ReferenceGraph> all_small_references() {
+  std::vector<ReferenceGraph> graphs;
+  graphs.push_back(complete(8));
+  graphs.push_back(cycle(3));
+  graphs.push_back(cycle(12));
+  graphs.push_back(path(20));
+  graphs.push_back(star(16));
+  graphs.push_back(wheel(4));
+  graphs.push_back(wheel(10));
+  graphs.push_back(complete_bipartite(5, 7));
+  graphs.push_back(grid(6, 9));
+  graphs.push_back(disjoint_triangles(11));
+  graphs.push_back(windmill(4, 5));
+  graphs.push_back(clique_ring(4, 6));
+  graphs.push_back(triangular_strip(14));
+  return graphs;
+}
+
+}  // namespace trico::gen

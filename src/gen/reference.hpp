@@ -1,0 +1,65 @@
+// Reference graph families with closed-form triangle counts.
+//
+// These back the property tests: every counting algorithm in the library
+// must reproduce the closed forms exactly, for every family, at every size.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::gen {
+
+/// A graph together with its analytically known triangle count.
+struct ReferenceGraph {
+  EdgeList edges;
+  TriangleCount expected_triangles = 0;
+  const char* family = "";
+};
+
+/// Complete graph K_n: C(n, 3) triangles.
+[[nodiscard]] ReferenceGraph complete(VertexId n);
+
+/// Cycle C_n: 1 triangle when n == 3, else 0.
+[[nodiscard]] ReferenceGraph cycle(VertexId n);
+
+/// Path P_n: 0 triangles.
+[[nodiscard]] ReferenceGraph path(VertexId n);
+
+/// Star S_n (one hub, n-1 leaves): 0 triangles.
+[[nodiscard]] ReferenceGraph star(VertexId n);
+
+/// Wheel W_n (hub + cycle of n-1 rim vertices, n >= 4): n-1 triangles
+/// (each rim edge closes with the hub), plus 1 more when the rim is a
+/// 3-cycle (n == 4 gives K_4 with 4 triangles).
+[[nodiscard]] ReferenceGraph wheel(VertexId n);
+
+/// Complete bipartite K_{a,b}: 0 triangles.
+[[nodiscard]] ReferenceGraph complete_bipartite(VertexId a, VertexId b);
+
+/// 2-D grid graph (rows x cols, 4-neighbourhood): 0 triangles.
+[[nodiscard]] ReferenceGraph grid(VertexId rows, VertexId cols);
+
+/// t vertex-disjoint triangles: exactly t triangles.
+[[nodiscard]] ReferenceGraph disjoint_triangles(VertexId t);
+
+/// Windmill Wd(k, t): t copies of K_k sharing one common vertex.
+/// Triangles: t * C(k, 3) within copies... all triangles lie inside a copy,
+/// so the count is t * C(k, 3).
+[[nodiscard]] ReferenceGraph windmill(VertexId k, VertexId t);
+
+/// Clique ring: t cliques of size k arranged in a ring, consecutive cliques
+/// joined by a single bridge edge. Triangles: t * C(k, 3) (bridges create
+/// none).
+[[nodiscard]] ReferenceGraph clique_ring(VertexId k, VertexId t);
+
+/// Triangular lattice strip: two rows of `cols` vertices where cell (r, c)
+/// also gets the diagonal, giving 2*(cols-1) ... — computed constructively;
+/// expected count derived from the construction (each quad contributes 2).
+[[nodiscard]] ReferenceGraph triangular_strip(VertexId cols);
+
+/// All families at a given small size, for parameterized sweeps.
+[[nodiscard]] std::vector<ReferenceGraph> all_small_references();
+
+}  // namespace trico::gen

@@ -1,0 +1,13 @@
+#include "graph/conversion.hpp"
+
+namespace trico {
+
+EdgeList adjacency_to_edge_array(const Csr& adjacency) {
+  return adjacency.to_edge_list();
+}
+
+Csr edge_array_to_adjacency(const EdgeList& edges) {
+  return Csr::from_edge_list(edges);
+}
+
+}  // namespace trico

@@ -1,0 +1,23 @@
+// Representation conversions for the §III-A input-format study.
+//
+// The paper argues for edge-array input because adjacency-list -> edge-array
+// conversion is a cheap single pass, while the reverse requires a sort. These
+// functions are the two directions, written to be individually timeable by
+// bench_input_format.
+
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace trico {
+
+/// Adjacency list -> edge array: the "fast and simple single-pass algorithm"
+/// of §III-A. O(m) with sequential writes only.
+[[nodiscard]] EdgeList adjacency_to_edge_array(const Csr& adjacency);
+
+/// Edge array -> adjacency list: requires sorting the slots (§III-A). This is
+/// the expensive direction the paper measures at ~7 s for LiveJournal.
+[[nodiscard]] Csr edge_array_to_adjacency(const EdgeList& edges);
+
+}  // namespace trico

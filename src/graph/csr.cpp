@@ -1,0 +1,75 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace trico {
+
+Csr::Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  if (offsets_.empty()) {
+    if (!neighbors_.empty()) {
+      throw std::invalid_argument("Csr: neighbors without offsets");
+    }
+    return;
+  }
+  if (offsets_.front() != 0 || offsets_.back() != neighbors_.size()) {
+    throw std::invalid_argument("Csr: offsets do not bracket neighbor array");
+  }
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::invalid_argument("Csr: offsets not monotone");
+  }
+}
+
+Csr Csr::from_edge_list(const EdgeList& edges) {
+  std::vector<Edge> slots(edges.edges().begin(), edges.edges().end());
+  std::sort(slots.begin(), slots.end());
+  const VertexId n = edges.num_vertices();
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(slots.size());
+  for (const Edge& e : slots) {
+    ++offsets[e.u + 1];
+    neighbors.push_back(e.v);
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  return Csr(std::move(offsets), std::move(neighbors));
+}
+
+Csr Csr::from_sorted_soa(const EdgeListSoA& soa, VertexId num_vertices) {
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (VertexId u : soa.src) {
+    assert(u < num_vertices);
+    ++offsets[u + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  return Csr(std::move(offsets), soa.dst);
+}
+
+bool Csr::lists_strictly_sorted() const {
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    const auto adj = neighbors(u);
+    for (std::size_t i = 1; i < adj.size(); ++i) {
+      if (adj[i - 1] >= adj[i]) return false;
+    }
+  }
+  return true;
+}
+
+EdgeIndex Csr::max_degree() const {
+  EdgeIndex best = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+EdgeList Csr::to_edge_list() const {
+  std::vector<Edge> slots;
+  slots.reserve(neighbors_.size());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) slots.push_back(Edge{u, v});
+  }
+  return EdgeList(std::move(slots), num_vertices());
+}
+
+}  // namespace trico

@@ -1,0 +1,67 @@
+// Compressed sparse row (CSR) adjacency structure.
+//
+// In the paper this is the pair (edge array sorted by first endpoint, node
+// array): `node[u]` points at the first slot of u's adjacency list and
+// `node[u + 1]` one past its last (preprocessing steps 3-4). We expose the
+// same two arrays.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace trico {
+
+/// CSR adjacency: `offsets` has num_vertices()+1 entries; the neighbors of u
+/// are `neighbors[offsets[u] .. offsets[u+1])`, sorted ascending.
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors);
+
+  /// Builds CSR from an edge array: sorts a copy of the slots by (u, v) and
+  /// scans out the node array. This is exactly preprocessing steps 3-4 run on
+  /// the host.
+  static Csr from_edge_list(const EdgeList& edges);
+
+  /// Builds CSR directly from already-sorted structure-of-arrays slots.
+  static Csr from_sorted_soa(const EdgeListSoA& soa, VertexId num_vertices);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edge_slots() const { return neighbors_.size(); }
+
+  [[nodiscard]] EdgeIndex degree(VertexId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const VertexId> neighbor_array() const {
+    return neighbors_;
+  }
+
+  /// True iff every adjacency list is sorted strictly ascending (no
+  /// duplicate neighbors).
+  [[nodiscard]] bool lists_strictly_sorted() const;
+
+  /// Maximum degree over all vertices (0 for an empty graph).
+  [[nodiscard]] EdgeIndex max_degree() const;
+
+  /// Round-trips back to an edge array (inverse of from_edge_list up to slot
+  /// order; used by the §III-A conversion benchmarks).
+  [[nodiscard]] EdgeList to_edge_list() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  ///< the paper's "node array", n+1 entries
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace trico

@@ -1,0 +1,126 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace trico {
+
+namespace {
+
+VertexId max_vertex_plus_one(std::span<const Edge> edges) {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Edge& e : edges) {
+    max_id = std::max({max_id, e.u, e.v});
+    any = true;
+  }
+  return any ? max_id + 1 : 0;
+}
+
+}  // namespace
+
+EdgeList::EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {
+  num_vertices_ = max_vertex_plus_one(edges_);
+}
+
+EdgeList::EdgeList(std::vector<Edge> edges, VertexId num_vertices)
+    : edges_(std::move(edges)), num_vertices_(num_vertices) {
+  num_vertices_ = std::max(num_vertices_, max_vertex_plus_one(edges_));
+}
+
+EdgeList EdgeList::from_undirected_pairs(std::span<const Edge> pairs,
+                                         VertexId num_vertices) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(pairs.size() * 2);
+  std::vector<Edge> slots;
+  slots.reserve(pairs.size() * 2);
+  for (const Edge& e : pairs) {
+    if (e.u == e.v) continue;
+    const Edge lo{std::min(e.u, e.v), std::max(e.u, e.v)};
+    if (!seen.insert(pack_edge(lo)).second) continue;
+    slots.push_back(Edge{lo.u, lo.v});
+    slots.push_back(Edge{lo.v, lo.u});
+  }
+  return EdgeList(std::move(slots), num_vertices);
+}
+
+std::vector<Edge> EdgeList::take_edges() {
+  num_vertices_ = 0;
+  return std::exchange(edges_, {});
+}
+
+void EdgeList::recompute_num_vertices() {
+  num_vertices_ = max_vertex_plus_one(edges_);
+}
+
+EdgeListSoA EdgeList::to_soa() const {
+  EdgeListSoA soa;
+  soa.src.reserve(edges_.size());
+  soa.dst.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    soa.src.push_back(e.u);
+    soa.dst.push_back(e.v);
+  }
+  return soa;
+}
+
+EdgeList EdgeList::from_soa(const EdgeListSoA& soa, VertexId num_vertices) {
+  std::vector<Edge> edges;
+  edges.reserve(soa.size());
+  for (EdgeIndex i = 0; i < soa.size(); ++i) {
+    edges.push_back(Edge{soa.src[i], soa.dst[i]});
+  }
+  return EdgeList(std::move(edges), num_vertices);
+}
+
+ValidationReport EdgeList::validate() const {
+  ValidationReport report;
+  std::unordered_set<std::uint64_t> slots;
+  slots.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) ++report.self_loops;
+    if (!slots.insert(pack_edge(e)).second) ++report.duplicate_slots;
+  }
+  for (const Edge& e : edges_) {
+    if (e.u != e.v && !slots.contains(pack_edge(Edge{e.v, e.u}))) {
+      ++report.asymmetric;
+    }
+  }
+  report.ok = report.self_loops == 0 && report.duplicate_slots == 0 &&
+              report.asymmetric == 0;
+  std::ostringstream msg;
+  if (report.ok) {
+    msg << "canonical undirected edge array: " << num_edges() << " edges, "
+        << num_vertices_ << " vertices";
+  } else {
+    msg << "invalid edge array: " << report.self_loops << " self-loops, "
+        << report.duplicate_slots << " duplicate slots, " << report.asymmetric
+        << " asymmetric slots";
+  }
+  report.message = msg.str();
+  return report;
+}
+
+void EdgeList::sort_slots() { std::sort(edges_.begin(), edges_.end()); }
+
+EdgeList EdgeList::canonicalized() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+  std::vector<Edge> pairs;
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) continue;
+    const Edge lo{std::min(e.u, e.v), std::max(e.u, e.v)};
+    if (seen.insert(pack_edge(lo)).second) pairs.push_back(lo);
+  }
+  return from_undirected_pairs(pairs, num_vertices_);
+}
+
+std::vector<EdgeIndex> EdgeList::degrees() const {
+  std::vector<EdgeIndex> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.u];
+  return deg;
+}
+
+}  // namespace trico

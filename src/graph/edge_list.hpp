@@ -1,0 +1,106 @@
+// EdgeList: the paper's input representation (§III-A).
+//
+// An EdgeList stores an array of directed edge slots. For an *undirected*
+// graph in canonical form every edge {u, v} appears exactly twice — once as
+// (u, v) and once as (v, u) — with no self-loops and no duplicates. Nothing
+// about the order of slots is assumed; the preprocessing phase sorts them.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace trico {
+
+/// Structure-of-arrays view of an edge array: the layout produced by the
+/// "unzipping" preprocessing step (§III-D1). `src[i]` / `dst[i]` are the two
+/// endpoints of slot i.
+struct EdgeListSoA {
+  std::vector<VertexId> src;
+  std::vector<VertexId> dst;
+
+  [[nodiscard]] EdgeIndex size() const { return src.size(); }
+  [[nodiscard]] bool empty() const { return src.empty(); }
+};
+
+/// Result of EdgeList::validate().
+struct ValidationReport {
+  bool ok = false;
+  std::uint64_t self_loops = 0;       ///< slots with u == v
+  std::uint64_t duplicate_slots = 0;  ///< repeated (u, v) slots
+  std::uint64_t asymmetric = 0;       ///< (u, v) present without (v, u)
+  std::string message;                ///< human-readable summary
+};
+
+/// An edge array with a cached vertex count.
+///
+/// Invariants maintained by the mutating members (and checked by validate()):
+/// vertex ids are dense in [0, num_vertices()), and in canonical undirected
+/// form the slot multiset is symmetric, loop-free and duplicate-free.
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Takes ownership of raw slots. The vertex count is (max id + 1), computed
+  /// the same way preprocessing step 2 does, or 0 for an empty list.
+  explicit EdgeList(std::vector<Edge> edges);
+
+  /// Constructs with an explicit vertex count (allows isolated trailing
+  /// vertices, which max-id inference cannot represent).
+  EdgeList(std::vector<Edge> edges, VertexId num_vertices);
+
+  /// Builds a canonical undirected edge array from a list of *unique
+  /// undirected* pairs: each {u, v} with u != v is emitted in both
+  /// directions. Duplicate pairs and self-loops in the input are dropped.
+  static EdgeList from_undirected_pairs(std::span<const Edge> pairs,
+                                        VertexId num_vertices = 0);
+
+  [[nodiscard]] EdgeIndex num_edge_slots() const { return edges_.size(); }
+  /// Number of *undirected* edges (slots / 2) in canonical form.
+  [[nodiscard]] EdgeIndex num_edges() const { return edges_.size() / 2; }
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+  [[nodiscard]] std::span<Edge> mutable_edges() { return edges_; }
+  [[nodiscard]] const Edge& edge(EdgeIndex i) const { return edges_[i]; }
+
+  /// Steals the slot vector (leaves this list empty).
+  [[nodiscard]] std::vector<Edge> take_edges();
+
+  /// Re-derives the vertex count as max id + 1 (preprocessing step 2).
+  void recompute_num_vertices();
+
+  /// Converts to structure-of-arrays layout (the §III-D1 "unzip").
+  [[nodiscard]] EdgeListSoA to_soa() const;
+
+  /// Rebuilds from structure-of-arrays layout.
+  static EdgeList from_soa(const EdgeListSoA& soa, VertexId num_vertices = 0);
+
+  /// Checks the canonical undirected-form invariants.
+  [[nodiscard]] ValidationReport validate() const;
+
+  /// Sorts slots by (u, v) in place. After this the array is a concatenation
+  /// of sorted adjacency lists (preprocessing step 3).
+  void sort_slots();
+
+  /// Removes self-loops and duplicate slots and adds missing reverse slots,
+  /// returning a canonical undirected edge array over the same vertex set.
+  [[nodiscard]] EdgeList canonicalized() const;
+
+  /// Per-vertex degree (out-degree over slots; equals undirected degree in
+  /// canonical form).
+  [[nodiscard]] std::vector<EdgeIndex> degrees() const;
+
+  friend bool operator==(const EdgeList&, const EdgeList&) = default;
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace trico

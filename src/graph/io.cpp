@@ -1,0 +1,203 @@
+#include "graph/io.hpp"
+#include <algorithm>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace trico::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'T', 'R', 'I', 'C', 'O', 'B', 'I', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) { throw IoError(what); }
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) fail("unexpected end of binary graph stream");
+  return value;
+}
+
+}  // namespace
+
+EdgeList read_text(std::istream& in) {
+  std::vector<Edge> pairs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    unsigned long long u = 0, v = 0;
+    if (!(fields >> u)) continue;  // blank / comment-only line
+    if (!(fields >> v)) {
+      fail("line " + std::to_string(lineno) + ": expected two vertex ids");
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      fail("line " + std::to_string(lineno) + ": vertex id out of range");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      fail("line " + std::to_string(lineno) + ": trailing tokens");
+    }
+    pairs.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return EdgeList::from_undirected_pairs(pairs);
+}
+
+EdgeList read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open graph file: " + path);
+  return read_text(in);
+}
+
+void write_text(std::ostream& out, const EdgeList& edges) {
+  out << "# trico edge list: " << edges.num_vertices() << " vertices, "
+      << edges.num_edges() << " edges\n";
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v) out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_text_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open output file: " + path);
+  write_text(out, edges);
+}
+
+namespace {
+
+/// Reads the next non-comment, non-empty METIS line; false on EOF.
+bool next_metis_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EdgeList read_metis(std::istream& in) {
+  std::string line;
+  if (!next_metis_line(in, line)) fail("metis: missing header line");
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  if (!(header >> n >> m)) fail("metis: malformed header");
+  std::uint64_t fmt = 0;
+  if (header >> fmt && fmt != 0) {
+    fail("metis: weighted formats are not supported (fmt=" +
+         std::to_string(fmt) + ")");
+  }
+  std::vector<Edge> pairs;
+  pairs.reserve(m);
+  for (std::uint64_t u = 1; u <= n; ++u) {
+    if (!next_metis_line(in, line)) {
+      fail("metis: expected " + std::to_string(n) + " adjacency lines, got " +
+           std::to_string(u - 1));
+    }
+    std::istringstream fields(line);
+    std::uint64_t v = 0;
+    while (fields >> v) {
+      if (v < 1 || v > n) {
+        fail("metis: neighbour " + std::to_string(v) + " out of range on line " +
+             std::to_string(u));
+      }
+      if (u < v) {
+        pairs.push_back(Edge{static_cast<VertexId>(u - 1),
+                             static_cast<VertexId>(v - 1)});
+      }
+    }
+  }
+  EdgeList edges =
+      EdgeList::from_undirected_pairs(pairs, static_cast<VertexId>(n));
+  if (edges.num_edges() != m) {
+    fail("metis: header claims " + std::to_string(m) + " edges, found " +
+         std::to_string(edges.num_edges()));
+  }
+  return edges;
+}
+
+EdgeList read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open graph file: " + path);
+  return read_metis(in);
+}
+
+void write_metis(std::ostream& out, const EdgeList& edges) {
+  out << edges.num_vertices() << ' ' << edges.num_edges() << '\n';
+  // Group neighbours per vertex (1-indexed) from the sorted slot array.
+  std::vector<Edge> slots(edges.edges().begin(), edges.edges().end());
+  std::sort(slots.begin(), slots.end());
+  std::size_t cursor = 0;
+  for (VertexId u = 0; u < edges.num_vertices(); ++u) {
+    bool first = true;
+    while (cursor < slots.size() && slots[cursor].u == u) {
+      out << (first ? "" : " ") << slots[cursor].v + 1;
+      first = false;
+      ++cursor;
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open output file: " + path);
+  write_metis(out, edges);
+}
+
+void write_binary(std::ostream& out, const EdgeList& edges) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, edges.num_vertices());
+  write_pod(out, static_cast<std::uint64_t>(edges.num_edge_slots()));
+  out.write(reinterpret_cast<const char*>(edges.edges().data()),
+            static_cast<std::streamsize>(edges.num_edge_slots() * sizeof(Edge)));
+  if (!out) fail("write failure in binary graph stream");
+}
+
+void write_binary_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open output file: " + path);
+  write_binary(out, edges);
+}
+
+EdgeList read_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) fail("bad magic in binary graph stream");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    fail("unsupported binary graph version " + std::to_string(version));
+  }
+  const auto n = read_pod<VertexId>(in);
+  const auto slots = read_pod<std::uint64_t>(in);
+  std::vector<Edge> edges(slots);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(slots * sizeof(Edge)));
+  if (!in) fail("truncated binary graph stream");
+  return EdgeList(std::move(edges), n);
+}
+
+EdgeList read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open graph file: " + path);
+  return read_binary(in);
+}
+
+}  // namespace trico::io

@@ -1,0 +1,58 @@
+// Graph input/output.
+//
+// Two interchange formats:
+//  * Text: one "u v" pair per line, '#' comments — the SNAP edge-list format
+//    used by the paper's real-world datasets.
+//  * Binary: a little-endian header (magic, version, n, slot count) followed
+//    by raw Edge slots — the zero-parse format the benchmarks load.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::io {
+
+/// Error carrying the offending file/stream context.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses SNAP-style text ("u v" per line, '#' comments, blank lines
+/// allowed). Pairs are treated as undirected and canonicalized: self-loops
+/// and duplicates are dropped and both directions are emitted.
+/// Throws IoError on malformed lines.
+[[nodiscard]] EdgeList read_text(std::istream& in);
+[[nodiscard]] EdgeList read_text_file(const std::string& path);
+
+/// Writes one canonical pair per line (u < v only, so the file has
+/// num_edges() lines).
+void write_text(std::ostream& out, const EdgeList& edges);
+void write_text_file(const std::string& path, const EdgeList& edges);
+
+/// Parses the METIS / DIMACS-10 adjacency format — the format of the
+/// paper's Citeseer, DBLP and Kronecker datasets. First non-comment line:
+/// "<n> <m> [fmt]"; then n lines, line i holding the 1-indexed neighbours
+/// of vertex i; '%' starts a comment. Only unweighted graphs (fmt 0 or
+/// absent) are supported. Throws IoError on malformed input or if the
+/// header's edge count disagrees with the adjacency lines.
+[[nodiscard]] EdgeList read_metis(std::istream& in);
+[[nodiscard]] EdgeList read_metis_file(const std::string& path);
+
+/// Writes the METIS adjacency format (unweighted).
+void write_metis(std::ostream& out, const EdgeList& edges);
+void write_metis_file(const std::string& path, const EdgeList& edges);
+
+/// Binary round-trip. The writer stores slots verbatim; the reader restores
+/// them verbatim (no canonicalization), so oriented arrays survive too.
+void write_binary(std::ostream& out, const EdgeList& edges);
+void write_binary_file(const std::string& path, const EdgeList& edges);
+[[nodiscard]] EdgeList read_binary(std::istream& in);
+[[nodiscard]] EdgeList read_binary_file(const std::string& path);
+
+}  // namespace trico::io

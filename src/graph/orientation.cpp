@@ -1,0 +1,34 @@
+#include "graph/orientation.hpp"
+
+#include <algorithm>
+
+namespace trico {
+
+EdgeList orient_forward(const EdgeList& edges) {
+  const std::vector<EdgeIndex> degree = edges.degrees();
+  std::vector<Edge> kept;
+  kept.reserve(edges.num_edge_slots() / 2);
+  for (const Edge& e : edges.edges()) {
+    if (!is_backward_edge(degree, e.u, e.v)) kept.push_back(e);
+  }
+  return EdgeList(std::move(kept), edges.num_vertices());
+}
+
+Csr oriented_csr(const EdgeList& edges) {
+  return Csr::from_edge_list(orient_forward(edges));
+}
+
+EdgeList orient_by_id(const EdgeList& edges) {
+  std::vector<Edge> kept;
+  kept.reserve(edges.num_edge_slots() / 2);
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v) kept.push_back(e);
+  }
+  return EdgeList(std::move(kept), edges.num_vertices());
+}
+
+EdgeIndex max_oriented_degree(const Csr& oriented) {
+  return oriented.max_degree();
+}
+
+}  // namespace trico

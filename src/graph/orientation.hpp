@@ -1,0 +1,52 @@
+// Degree orientation — the heart of the forward algorithm's preprocessing.
+//
+// The forward algorithm fixes a total order `≺` on vertices consistent with
+// degree: deg(u) < deg(v) implies u ≺ v, ties broken by vertex id (§II-B,
+// §III-B step 5). Every undirected edge is kept only in its "forward"
+// direction, from the ≺-smaller endpoint to the ≺-larger one. The oriented
+// adjacency lists are then sorted by neighbor id. A classic argument shows
+// every oriented list has length at most sqrt(2m), which bounds the
+// per-edge intersection work.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace trico {
+
+/// The paper's vertex order: by degree, ties by id. Returns true iff u ≺ v.
+inline bool degree_less(std::span<const EdgeIndex> degree, VertexId u,
+                        VertexId v) {
+  return degree[u] != degree[v] ? degree[u] < degree[v] : u < v;
+}
+
+/// True iff slot (u, v) goes "backwards" (from the ≺-larger endpoint) and is
+/// removed by preprocessing steps 5-6.
+inline bool is_backward_edge(std::span<const EdgeIndex> degree, VertexId u,
+                             VertexId v) {
+  return degree_less(degree, v, u);
+}
+
+/// Orients a canonical undirected edge array: keeps only forward slots.
+/// The result has exactly num_edges() slots (one per undirected edge).
+[[nodiscard]] EdgeList orient_forward(const EdgeList& edges);
+
+/// Orients and builds the oriented CSR in one step (the state the counting
+/// phase consumes: oriented, per-list sorted by id).
+[[nodiscard]] Csr oriented_csr(const EdgeList& edges);
+
+/// A trivial alternative orientation that ignores degrees and keeps (u, v)
+/// iff u < v. Correct for counting but loses the sqrt(m) list-length bound —
+/// used by the orientation ablation.
+[[nodiscard]] EdgeList orient_by_id(const EdgeList& edges);
+
+/// Longest oriented adjacency list; the theory bounds this by sqrt(2m) for
+/// the degree orientation.
+[[nodiscard]] EdgeIndex max_oriented_degree(const Csr& oriented);
+
+}  // namespace trico

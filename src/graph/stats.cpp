@@ -1,0 +1,51 @@
+#include "graph/stats.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace trico {
+
+GraphStats compute_stats(const EdgeList& edges) {
+  GraphStats stats;
+  stats.num_vertices = edges.num_vertices();
+  stats.num_edges = edges.num_edges();
+  const std::vector<EdgeIndex> deg = edges.degrees();
+  if (deg.empty()) return stats;
+  double sum = 0.0, sum_sq = 0.0;
+  for (EdgeIndex d : deg) {
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_vertices;
+    const auto x = static_cast<double>(d);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const auto n = static_cast<double>(deg.size());
+  stats.avg_degree = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - stats.avg_degree * stats.avg_degree);
+  stats.degree_stddev = std::sqrt(variance);
+  return stats;
+}
+
+std::vector<std::uint64_t> degree_histogram(const EdgeList& edges) {
+  const std::vector<EdgeIndex> deg = edges.degrees();
+  EdgeIndex max_degree = 0;
+  for (EdgeIndex d : deg) max_degree = std::max(max_degree, d);
+  std::vector<std::uint64_t> histogram(max_degree + 1, 0);
+  for (EdgeIndex d : deg) ++histogram[d];
+  return histogram;
+}
+
+std::string to_string(const GraphStats& stats) {
+  std::ostringstream out;
+  out << "n=" << stats.num_vertices << " m=" << stats.num_edges
+      << " degmax=" << stats.max_degree << " degavg=" << stats.avg_degree
+      << " degsd=" << stats.degree_stddev;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const GraphStats& stats) {
+  return out << to_string(stats);
+}
+
+}  // namespace trico

@@ -1,0 +1,37 @@
+// Descriptive graph statistics used by the experiment harness to report the
+// Table I graph-property columns and to check generator output against the
+// paper's dataset shapes.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace trico {
+
+/// Summary statistics of a canonical undirected edge array.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeIndex num_edges = 0;     ///< undirected edges
+  EdgeIndex max_degree = 0;
+  double avg_degree = 0.0;
+  double degree_stddev = 0.0;  ///< degree-distribution skew indicator (§II-A)
+  VertexId isolated_vertices = 0;
+};
+
+/// Computes GraphStats in one pass over degrees.
+[[nodiscard]] GraphStats compute_stats(const EdgeList& edges);
+
+/// Degree histogram: result[d] = number of vertices of degree d.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const EdgeList& edges);
+
+/// Human-readable one-liner, e.g. "n=1000 m=4985 degmax=42 degavg=9.97".
+[[nodiscard]] std::string to_string(const GraphStats& stats);
+
+std::ostream& operator<<(std::ostream& out, const GraphStats& stats);
+
+}  // namespace trico

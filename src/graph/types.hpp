@@ -1,0 +1,91 @@
+// Core graph value types shared by every trico subsystem.
+//
+// The paper's input format is an *edge array*: an array of (u, v) pairs in
+// which every undirected edge appears exactly twice, once per direction, with
+// no self-loops and no duplicate edges and no prescribed order (§III-A).
+// These types encode that contract.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace trico {
+
+/// Vertex identifier. The paper's kernels index vertices with 32-bit ints;
+/// we keep the same width so the packed 64-bit edge representation used by
+/// the sort optimization (§III-D2) works identically.
+using VertexId = std::uint32_t;
+
+/// Index into an edge array. 64-bit: the paper's largest graph has 364M
+/// directed edge slots, beyond a 32-bit count only barely, but intersections
+/// and prefix sums overflow 32 bits easily.
+using EdgeIndex = std::uint64_t;
+
+/// Triangle counts routinely exceed 2^32 (the paper reports 8.8e9 triangles
+/// for Kronecker 21), so counts are always 64-bit.
+using TriangleCount = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// One directed edge slot in an edge array (array-of-structures layout).
+struct Edge {
+  VertexId u = 0;  ///< source endpoint
+  VertexId v = 0;  ///< destination endpoint
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+
+  /// Lexicographic order (first by u then by v) — the order produced by
+  /// preprocessing step 3 when sorting pairs directly.
+  friend constexpr bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// Packs an edge into one 64-bit integer with the *first* vertex in the high
+/// half, so that sorting the packed keys sorts edges by (u, v).
+///
+/// Note: the paper's §III-D2 optimization memcpy's the (u, v) pair as stored
+/// in memory, which on a little-endian machine puts the *second* vertex in
+/// the high half and therefore sorts by (v, u). Both orders are valid inputs
+/// to the rest of the pipeline; see prim::sort_edges_as_u64 for the faithful
+/// little-endian variant.
+constexpr std::uint64_t pack_edge(Edge e) {
+  return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+}
+
+/// Inverse of pack_edge.
+constexpr Edge unpack_edge(std::uint64_t key) {
+  return Edge{static_cast<VertexId>(key >> 32),
+              static_cast<VertexId>(key & 0xffffffffu)};
+}
+
+/// Little-endian memcpy-style packing (second vertex in the high half), the
+/// layout the paper's 64-bit sort optimization actually produces (§III-D2).
+constexpr std::uint64_t pack_edge_le(Edge e) {
+  return (static_cast<std::uint64_t>(e.v) << 32) | e.u;
+}
+
+/// Inverse of pack_edge_le.
+constexpr Edge unpack_edge_le(std::uint64_t key) {
+  return Edge{static_cast<VertexId>(key & 0xffffffffu),
+              static_cast<VertexId>(key >> 32)};
+}
+
+}  // namespace trico
+
+template <>
+struct std::hash<trico::Edge> {
+  std::size_t operator()(const trico::Edge& e) const noexcept {
+    // SplitMix64 finalizer over the packed key: cheap and well distributed.
+    std::uint64_t x = trico::pack_edge(e);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

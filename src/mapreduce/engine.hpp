@@ -1,0 +1,151 @@
+// A miniature MapReduce execution engine with a modeled cluster.
+//
+// The paper's §V opens with the MapReduce comparison: "MapReduce approach
+// to the problem [5] has significant overhead, and even for moderately
+// sized graphs the execution time is in the order of minutes. It is
+// beneficial to use it for extremely large graphs, with the number of
+// edges in the order of one billion."
+//
+// To reproduce that comparison without a cluster, this engine runs
+// map/shuffle/reduce rounds *functionally* on the host (results are exact)
+// while charging a cluster cost model per round: fixed job-scheduling
+// overhead (the dominant term at small scale — the paper's "significant
+// overhead") plus data-volume terms for map input, shuffle traffic, and
+// reduce input across a fixed worker pool. Keys are 64-bit; values are
+// POD. Records are hash-partitioned to reducers by key, and the largest
+// reducer's input is tracked to expose the "curse of the last reducer"
+// the [5] title refers to.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace trico::mr {
+
+/// Modeled Hadoop-style cluster.
+struct ClusterConfig {
+  std::uint32_t num_workers = 40;
+  /// Per-round fixed cost: job scheduling, task launch, barrier. This is
+  /// what makes MapReduce lose at moderate scale (tens of seconds per
+  /// round on 2011-era Hadoop).
+  double per_round_overhead_s = 25.0;
+  /// Per-worker record-processing throughput (map+reduce), bytes/s.
+  double worker_throughput_bps = 50e6;
+  /// Aggregate shuffle (network + spill) bandwidth, bytes/s.
+  double shuffle_bandwidth_bps = 1e9;
+};
+
+/// Accounting for one round.
+struct RoundStats {
+  std::uint64_t map_input_records = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t map_output_bytes = 0;
+  std::uint64_t reduce_groups = 0;
+  std::uint64_t max_reducer_records = 0;  ///< the "last reducer"
+  double modeled_s = 0;
+};
+
+/// Aggregated job statistics.
+struct JobStats {
+  std::vector<RoundStats> rounds;
+  [[nodiscard]] double total_s() const {
+    double total = 0;
+    for (const RoundStats& r : rounds) total += r.modeled_s;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t max_reducer_records() const {
+    std::uint64_t worst = 0;
+    for (const RoundStats& r : rounds) {
+      worst = std::max(worst, r.max_reducer_records);
+    }
+    return worst;
+  }
+};
+
+/// One round over records of type In producing records of type Out.
+/// `map` emits key/value records; the engine groups by key (stable within
+/// a key, hash-partitioned across reducers for skew accounting); `reduce`
+/// sees each key's values together.
+template <typename In, typename Out>
+class Round {
+ public:
+  struct Record {
+    std::uint64_t key;
+    Out value;
+  };
+  using Emit = std::function<void(std::uint64_t, const Out&)>;
+  using MapFn = std::function<void(const In&, const Emit&)>;
+  using ReduceFn =
+      std::function<void(std::uint64_t, std::span<const Out>,
+                         const std::function<void(const Out&)>&)>;
+};
+
+/// Runs one map-shuffle-reduce round and returns the reducer outputs.
+/// The engine is deterministic: groups are processed in ascending key
+/// order and values keep their emission order.
+template <typename In, typename Out>
+std::vector<Out> run_round(const ClusterConfig& cluster,
+                           std::span<const In> input,
+                           const typename Round<In, Out>::MapFn& map,
+                           const typename Round<In, Out>::ReduceFn& reduce,
+                           RoundStats& stats) {
+  using Record = typename Round<In, Out>::Record;
+  std::vector<Record> intermediate;
+  stats.map_input_records = input.size();
+  for (const In& item : input) {
+    map(item, [&](std::uint64_t key, const Out& value) {
+      intermediate.push_back(Record{key, value});
+    });
+  }
+  stats.map_output_records = intermediate.size();
+  stats.map_output_bytes =
+      intermediate.size() * (sizeof(std::uint64_t) + sizeof(Out));
+
+  std::stable_sort(
+      intermediate.begin(), intermediate.end(),
+      [](const Record& a, const Record& b) { return a.key < b.key; });
+
+  // Partition skew accounting: records hash to num_workers reducers.
+  std::vector<std::uint64_t> reducer_load(cluster.num_workers, 0);
+
+  std::vector<Out> output;
+  std::vector<Out> group_values;
+  std::size_t i = 0;
+  while (i < intermediate.size()) {
+    const std::uint64_t key = intermediate[i].key;
+    group_values.clear();
+    while (i < intermediate.size() && intermediate[i].key == key) {
+      group_values.push_back(intermediate[i].value);
+      ++i;
+    }
+    ++stats.reduce_groups;
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    reducer_load[h % cluster.num_workers] += group_values.size();
+    reduce(key, group_values, [&](const Out& value) { output.push_back(value); });
+  }
+  for (std::uint64_t load : reducer_load) {
+    stats.max_reducer_records = std::max(stats.max_reducer_records, load);
+  }
+
+  // Cluster time: fixed overhead + parallel map + shuffle + the *slowest*
+  // reducer (stragglers gate the round — the curse of the last reducer).
+  const double record_bytes = sizeof(std::uint64_t) + sizeof(Out);
+  const double map_s =
+      static_cast<double>(input.size()) * sizeof(In) /
+      (cluster.worker_throughput_bps * cluster.num_workers);
+  const double shuffle_s = static_cast<double>(stats.map_output_bytes) /
+                           cluster.shuffle_bandwidth_bps;
+  const double reduce_s =
+      static_cast<double>(stats.max_reducer_records) * record_bytes /
+      cluster.worker_throughput_bps;
+  stats.modeled_s =
+      cluster.per_round_overhead_s + map_s + shuffle_s + reduce_s;
+  return output;
+}
+
+}  // namespace trico::mr

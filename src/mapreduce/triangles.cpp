@@ -1,0 +1,139 @@
+#include "mapreduce/triangles.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "gen/rng.hpp"
+#include "graph/orientation.hpp"
+#include "outofcore/partition.hpp"
+
+namespace trico::mr {
+
+namespace {
+
+/// Tagged record for the join round: a packed vertex pair plus whether it
+/// is a wedge occurrence or a real edge.
+struct TaggedPair {
+  std::uint64_t pair;
+  std::uint8_t tag;  // 0 = wedge, 1 = edge
+};
+
+}  // namespace
+
+MrCountResult count_node_iterator_pp(const EdgeList& edges,
+                                     const ClusterConfig& cluster,
+                                     bool use_degree_order) {
+  MrCountResult result;
+
+  const EdgeList oriented =
+      use_degree_order ? orient_forward(edges) : orient_by_id(edges);
+
+  // Round 1: group oriented edges by source; each reducer emits every pair
+  // of its group's targets as an open wedge keyed by the (sorted) pair.
+  RoundStats round1;
+  const auto wedges = run_round<Edge, std::uint64_t>(
+      cluster, oriented.edges(),
+      [](const Edge& e, const auto& emit) {
+        emit(e.u, static_cast<std::uint64_t>(e.v));
+      },
+      [](std::uint64_t /*pivot*/, std::span<const std::uint64_t> targets,
+         const auto& emit) {
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          for (std::size_t j = i + 1; j < targets.size(); ++j) {
+            const auto a = static_cast<VertexId>(targets[i]);
+            const auto b = static_cast<VertexId>(targets[j]);
+            emit(pack_edge(Edge{std::min(a, b), std::max(a, b)}));
+          }
+        }
+      },
+      round1);
+  result.job.rounds.push_back(round1);
+
+  // Round 2: join wedges against the (canonical, u < v) edge set; each
+  // wedge whose closing edge exists is one triangle.
+  std::vector<TaggedPair> join_input;
+  join_input.reserve(wedges.size() + edges.num_edges());
+  for (std::uint64_t w : wedges) join_input.push_back(TaggedPair{w, 0});
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v) join_input.push_back(TaggedPair{pack_edge(e), 1});
+  }
+  RoundStats round2;
+  TriangleCount total = 0;
+  run_round<TaggedPair, std::uint8_t>(
+      cluster, join_input,
+      [](const TaggedPair& record, const auto& emit) {
+        emit(record.pair, record.tag);
+      },
+      [&total](std::uint64_t /*pair*/, std::span<const std::uint8_t> tags,
+               const auto& /*emit*/) {
+        std::uint64_t wedge_count = 0;
+        bool edge_present = false;
+        for (std::uint8_t tag : tags) {
+          if (tag == 0) {
+            ++wedge_count;
+          } else {
+            edge_present = true;
+          }
+        }
+        if (edge_present) total += wedge_count;
+      },
+      round2);
+  result.job.rounds.push_back(round2);
+  result.triangles = total;
+  return result;
+}
+
+MrCountResult count_graph_partition(const EdgeList& edges,
+                                    const ClusterConfig& cluster,
+                                    std::uint32_t num_colors,
+                                    std::uint64_t seed) {
+  MrCountResult result;
+  const outofcore::Coloring coloring =
+      outofcore::color_vertices(edges.num_vertices(), num_colors, seed);
+  const std::uint64_t k = num_colors;
+
+  // Canonical pairs as round input.
+  std::vector<Edge> pairs;
+  pairs.reserve(edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    if (e.u < e.v) pairs.push_back(e);
+  }
+
+  RoundStats round;
+  TriangleCount total = 0;
+  run_round<Edge, Edge>(
+      cluster, pairs,
+      [&](const Edge& e, const auto& emit) {
+        // Emit the pair to every color triple containing both endpoint
+        // colors: one triple per choice of third color (all distinct as
+        // multisets).
+        std::array<std::uint32_t, 3> triple{};
+        for (std::uint32_t c = 0; c < k; ++c) {
+          triple = {coloring.of(e.u), coloring.of(e.v), c};
+          std::sort(triple.begin(), triple.end());
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(triple[0]) * k + triple[1]) * k +
+              triple[2];
+          emit(key, e);
+        }
+      },
+      [&](std::uint64_t key, std::span<const Edge> subgraph_pairs,
+          const auto& /*emit*/) {
+        // Decode the triple and count this subgraph's responsibility:
+        // triangles whose sorted color multiset equals the triple.
+        outofcore::SubgraphTask task;
+        task.l = static_cast<std::uint32_t>(key % k);
+        task.j = static_cast<std::uint32_t>((key / k) % k);
+        task.i = static_cast<std::uint32_t>(key / (k * k));
+        task.edges = EdgeList::from_undirected_pairs(subgraph_pairs,
+                                                     edges.num_vertices());
+        total += outofcore::count_task_cpu(task, coloring);
+      },
+      round);
+  result.job.rounds.push_back(round);
+  result.triangles = total;
+  return result;
+}
+
+}  // namespace trico::mr

@@ -1,0 +1,43 @@
+// The two MapReduce triangle-counting algorithms of Suri & Vassilvitskii
+// (WWW'11) [5] — the paper's §V comparison point — on the trico::mr engine.
+//
+//  * NodeIterator++: round 1 groups edges by their ≺-smaller endpoint and
+//    emits every "pivot wedge" (pair of ≺-larger neighbours); round 2 joins
+//    wedges against edges: a wedge that meets its closing edge is a
+//    triangle. The degree ordering bounds per-vertex wedge output by
+//    deg+(v)^2 <= 2m per vertex class — without it, hub vertices make the
+//    naive variant explode (the "curse of the last reducer").
+//  * GraphPartition: one round; each edge is mapped to every color triple
+//    containing both endpoint colors and each reducer counts its induced
+//    subgraph's triangles with the exact color-triple filter (shared with
+//    trico::outofcore).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace trico::mr {
+
+/// Result of a MapReduce triangle count.
+struct MrCountResult {
+  TriangleCount triangles = 0;
+  JobStats job;
+};
+
+/// NodeIterator++ [5]: two rounds; `use_degree_order` selects the paper's
+/// fixed variant (pivot = lowest-degree vertex) vs the naive id-order
+/// variant whose hub reducers explode on skewed graphs.
+[[nodiscard]] MrCountResult count_node_iterator_pp(
+    const EdgeList& edges, const ClusterConfig& cluster,
+    bool use_degree_order = true);
+
+/// GraphPartition [5]: one round over `num_colors` vertex colors.
+[[nodiscard]] MrCountResult count_graph_partition(const EdgeList& edges,
+                                                  const ClusterConfig& cluster,
+                                                  std::uint32_t num_colors,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace trico::mr

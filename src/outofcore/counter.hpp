@@ -1,0 +1,73 @@
+// Out-of-core triangle counting on devices too small for the whole graph —
+// the paper's §VI future work, built from the outofcore::partition scheme
+// and the standard GPU pipeline.
+//
+// Flow: color the vertices with k colors; for each of the C(k+2,3) color
+// triples, extract the induced subgraph (a host-side streaming pass),
+// run the full GPU pipeline on it with the color filter enabled, and sum
+// the per-task counts. Each task's device footprint is a small fraction of
+// the whole graph's, so a device whose memory the §III-D6 fallback cannot
+// stretch far enough still processes the graph — at the cost of each edge
+// being shipped to ~k tasks.
+//
+// With multiple devices, tasks are dealt round-robin and run independently
+// (no broadcast of the whole graph, unlike §III-E) — the "better multi-GPU
+// solution" the paper speculates about.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gpu_forward.hpp"
+#include "outofcore/partition.hpp"
+
+namespace trico::outofcore {
+
+/// Per-task record.
+struct TaskResult {
+  std::uint32_t i = 0, j = 0, l = 0;
+  std::uint64_t edge_slots = 0;
+  TriangleCount triangles = 0;
+  double device_ms = 0;           ///< modeled pipeline time for this task
+  std::uint64_t device_bytes = 0; ///< peak device footprint
+  unsigned device_index = 0;      ///< which device ran it
+};
+
+/// Result of an out-of-core run.
+struct OutOfCoreResult {
+  TriangleCount triangles = 0;
+  double partition_ms = 0;   ///< host-side subgraph extraction (modeled)
+  double device_ms = 0;      ///< max over devices of their task-time sums
+  std::uint64_t max_task_bytes = 0;
+  std::uint64_t total_task_slots = 0;  ///< sum of subgraph sizes (≈ k * m)
+  std::vector<TaskResult> tasks;
+
+  [[nodiscard]] double total_ms() const { return partition_ms + device_ms; }
+};
+
+/// Counts triangles with the color-triple partition scheme.
+class OutOfCoreCounter {
+ public:
+  /// `num_colors` k controls the memory/extra-work trade-off: per-task
+  /// footprint shrinks roughly as 3/k of the graph, total shipped edge
+  /// volume grows as ~k * m.
+  OutOfCoreCounter(simt::DeviceConfig device, std::uint32_t num_colors,
+                   unsigned num_devices = 1,
+                   core::CountingOptions options = {});
+
+  /// Runs the partitioned computation. Throws if any single task still
+  /// exceeds device memory (increase num_colors).
+  [[nodiscard]] OutOfCoreResult count(const EdgeList& edges,
+                                      std::uint64_t seed = 1);
+
+  [[nodiscard]] std::uint32_t num_colors() const { return num_colors_; }
+
+ private:
+  simt::DeviceConfig device_config_;
+  std::uint32_t num_colors_;
+  unsigned num_devices_;
+  core::CountingOptions options_;
+};
+
+}  // namespace trico::outofcore

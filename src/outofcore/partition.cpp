@@ -1,0 +1,98 @@
+#include "outofcore/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "gen/rng.hpp"
+#include "graph/orientation.hpp"
+
+namespace trico::outofcore {
+
+Coloring color_vertices(VertexId num_vertices, std::uint32_t num_colors,
+                        std::uint64_t seed) {
+  if (num_colors == 0) {
+    throw std::invalid_argument("color_vertices: zero colors");
+  }
+  Coloring coloring;
+  coloring.num_colors = num_colors;
+  coloring.color.resize(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    coloring.color[v] = static_cast<std::uint32_t>(
+        gen::splitmix64(seed ^ (0x9e3779b97f4a7c15ull * (v + 1))) % num_colors);
+  }
+  return coloring;
+}
+
+std::uint64_t num_tasks(std::uint32_t k) {
+  const std::uint64_t kk = k;
+  return (kk * kk * kk + 3 * kk * kk + 2 * kk) / 6;  // C(k+2, 3) over multisets
+}
+
+SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
+                       std::uint32_t i, std::uint32_t j, std::uint32_t l) {
+  if (!(i <= j && j <= l) || l >= coloring.num_colors) {
+    throw std::invalid_argument("make_task: triple must satisfy i <= j <= l < k");
+  }
+  SubgraphTask task;
+  task.i = i;
+  task.j = j;
+  task.l = l;
+  const auto in_triple = [&](VertexId v) {
+    const std::uint32_t c = coloring.of(v);
+    return c == i || c == j || c == l;
+  };
+  std::vector<Edge> kept;
+  for (const Edge& e : edges.edges()) {
+    if (in_triple(e.u) && in_triple(e.v)) kept.push_back(e);
+  }
+  task.edges = EdgeList(std::move(kept), edges.num_vertices());
+  return task;
+}
+
+std::vector<SubgraphTask> make_all_tasks(const EdgeList& edges,
+                                         const Coloring& coloring) {
+  std::vector<SubgraphTask> tasks;
+  const std::uint32_t k = coloring.num_colors;
+  tasks.reserve(num_tasks(k));
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = i; j < k; ++j) {
+      for (std::uint32_t l = j; l < k; ++l) {
+        tasks.push_back(make_task(edges, coloring, i, j, l));
+      }
+    }
+  }
+  return tasks;
+}
+
+TriangleCount count_task_cpu(const SubgraphTask& task,
+                             const Coloring& coloring) {
+  const Csr oriented = oriented_csr(task.edges);
+  const std::array<std::uint32_t, 3> want{task.i, task.j, task.l};
+  TriangleCount total = 0;
+  for (VertexId u = 0; u < oriented.num_vertices(); ++u) {
+    const auto adj_u = oriented.neighbors(u);
+    for (VertexId v : adj_u) {
+      const auto adj_v = oriented.neighbors(v);
+      std::size_t a = 0, b = 0;
+      while (a < adj_u.size() && b < adj_v.size()) {
+        if (adj_u[a] < adj_v[b]) {
+          ++a;
+        } else if (adj_u[a] > adj_v[b]) {
+          ++b;
+        } else {
+          const VertexId w = adj_u[a];
+          std::array<std::uint32_t, 3> got{coloring.of(u), coloring.of(v),
+                                           coloring.of(w)};
+          std::sort(got.begin(), got.end());
+          if (got == want) ++total;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace trico::outofcore

@@ -1,0 +1,71 @@
+// Graph partitioning for out-of-core triangle counting — the paper's first
+// future-work direction (§VI):
+//
+//   "it would be interesting to check if methods from [5], [17] can be
+//    applied ... to split the graph into subgraphs which can be processed
+//    independently. This could give a better multi-GPU solution, and ...
+//    would allow to count triangles in graphs which do not fit into the
+//    GPU memory."
+//
+// This module implements the color-triple scheme of Suri & Vassilvitskii
+// (WWW'11) / Chu & Cheng (KDD'11): hash every vertex into one of k colors;
+// for every unordered color triple {i <= j <= l} form the subgraph induced
+// by vertices colored i, j or l. Every triangle's (sorted) color triple
+// identifies exactly one responsible subgraph, so counting *only* the
+// triangles whose sorted colors equal the subgraph's triple counts each
+// triangle exactly once, with no inclusion-exclusion corrections. Each
+// subgraph carries ~(3/k)-ish of the edges, so it fits a device whose
+// memory the whole graph exceeds.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::outofcore {
+
+/// A vertex coloring into k parts.
+struct Coloring {
+  std::uint32_t num_colors = 0;
+  std::vector<std::uint32_t> color;  ///< one entry per vertex
+
+  [[nodiscard]] std::uint32_t of(VertexId v) const { return color[v]; }
+};
+
+/// Colors vertices by a seeded hash — balanced in expectation, independent
+/// of vertex numbering.
+[[nodiscard]] Coloring color_vertices(VertexId num_vertices,
+                                      std::uint32_t num_colors,
+                                      std::uint64_t seed);
+
+/// One work item of the partitioned computation.
+struct SubgraphTask {
+  std::uint32_t i = 0, j = 0, l = 0;  ///< sorted color triple (i <= j <= l)
+  EdgeList edges;                     ///< induced subgraph, original vertex ids
+};
+
+/// All unordered color triples {i <= j <= l} for k colors:
+/// C(k,3) + 2*C(k,2)*... — i.e. k + k(k-1) + C(k,3) tasks. The number of
+/// tasks is (k^3 + 3k^2 + 2k) / 6.
+[[nodiscard]] std::uint64_t num_tasks(std::uint32_t num_colors);
+
+/// Materializes the induced subgraph for one color triple: edges whose both
+/// endpoints are colored in {i, j, l}.
+[[nodiscard]] SubgraphTask make_task(const EdgeList& edges,
+                                     const Coloring& coloring,
+                                     std::uint32_t i, std::uint32_t j,
+                                     std::uint32_t l);
+
+/// Enumerates every task for `coloring` (small k only — the count is cubic).
+[[nodiscard]] std::vector<SubgraphTask> make_all_tasks(const EdgeList& edges,
+                                                       const Coloring& coloring);
+
+/// Counts the triangles of `task.edges` whose sorted vertex-color triple is
+/// exactly (task.i, task.j, task.l) — the per-task contribution that makes
+/// the partitioned total exact. CPU reference implementation.
+[[nodiscard]] TriangleCount count_task_cpu(const SubgraphTask& task,
+                                           const Coloring& coloring);
+
+}  // namespace trico::outofcore

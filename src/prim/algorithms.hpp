@@ -1,0 +1,171 @@
+// Data-parallel primitives: the vocabulary the paper's preprocessing phase is
+// written in (thrust::reduce, thrust::sort, thrust::remove_if, ...), here
+// implemented on the ThreadPool. All primitives are deterministic for a given
+// input regardless of thread count.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "prim/thread_pool.hpp"
+
+namespace trico::prim {
+
+/// parallel_for: applies fn(i) for i in [begin, end) across the pool.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
+  pool.parallel_ranges(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// reduce: folds values with `op` (must be associative & commutative),
+/// seeded with `init`. Mirrors thrust::reduce — preprocessing step 2 uses it
+/// with a maximum operator to find the vertex count.
+template <typename T, typename Op = std::plus<T>>
+[[nodiscard]] T reduce(ThreadPool& pool, std::span<const T> values, T init = T{},
+                       Op op = Op{}) {
+  if (values.empty()) return init;
+  std::vector<T> partial(pool.num_threads(), init);
+  pool.parallel_workers([&](std::size_t w, std::size_t nw) {
+    const std::size_t chunk = (values.size() + nw - 1) / nw;
+    const std::size_t lo = std::min(values.size(), w * chunk);
+    const std::size_t hi = std::min(values.size(), lo + chunk);
+    T acc = init;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, values[i]);
+    partial[w] = acc;
+  });
+  T result = init;
+  for (const T& p : partial) result = op(result, p);
+  return result;
+}
+
+/// transform_reduce: reduce over fn(i) for i in [0, count).
+template <typename T, typename Fn, typename Op = std::plus<T>>
+[[nodiscard]] T transform_reduce(ThreadPool& pool, std::size_t count, T init,
+                                 Fn&& fn, Op op = Op{}) {
+  if (count == 0) return init;
+  std::vector<T> partial(pool.num_threads(), init);
+  pool.parallel_workers([&](std::size_t w, std::size_t nw) {
+    const std::size_t chunk = (count + nw - 1) / nw;
+    const std::size_t lo = std::min(count, w * chunk);
+    const std::size_t hi = std::min(count, lo + chunk);
+    T acc = init;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, fn(i));
+    partial[w] = acc;
+  });
+  T result = init;
+  for (const T& p : partial) result = op(result, p);
+  return result;
+}
+
+/// exclusive_scan: out[i] = init + sum(in[0..i)). `out` may alias `in`.
+/// Two-pass blocked algorithm (per-worker partial sums, then offset fixup).
+template <typename T>
+void exclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                    T init = T{}) {
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  const std::size_t nw = pool.num_threads();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  std::vector<T> block_sum(nw, T{});
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    T acc = T{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sum[w] = acc;
+  });
+  std::vector<T> block_off(nw, init);
+  for (std::size_t w = 1; w < nw; ++w) {
+    block_off[w] = block_off[w - 1] + block_sum[w - 1];
+  }
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    T acc = block_off[w];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T value = in[i];  // read before write: in may alias out
+      out[i] = acc;
+      acc += value;
+    }
+  });
+}
+
+/// inclusive_scan: out[i] = sum(in[0..i]).
+template <typename T>
+void inclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out) {
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  const std::size_t nw = pool.num_threads();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  std::vector<T> block_sum(nw, T{});
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    T acc = T{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sum[w] = acc;
+  });
+  std::vector<T> block_off(nw, T{});
+  for (std::size_t w = 1; w < nw; ++w) {
+    block_off[w] = block_off[w - 1] + block_sum[w - 1];
+  }
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    T acc = block_off[w];
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+  });
+}
+
+/// transform: out[i] = fn(in[i]). `out` may alias `in`.
+template <typename In, typename Out, typename Fn>
+void transform(ThreadPool& pool, std::span<const In> in, std::span<Out> out,
+               Fn&& fn) {
+  parallel_for(pool, 0, in.size(), [&](std::size_t i) { out[i] = fn(in[i]); });
+}
+
+/// remove_if: stable-compacts `values`, dropping element i when flags[i] is
+/// true. Mirrors thrust::remove_if — preprocessing step 6 uses it to drop
+/// backward edges. Returns the compacted vector.
+template <typename T>
+[[nodiscard]] std::vector<T> remove_if_flagged(ThreadPool& pool,
+                                               std::span<const T> values,
+                                               std::span<const std::uint8_t> flags) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> keep(n);
+  parallel_for(pool, 0, n,
+               [&](std::size_t i) { keep[i] = flags[i] ? 0u : 1u; });
+  std::vector<std::size_t> pos(n);
+  exclusive_scan<std::size_t>(pool, keep, pos);
+  const std::size_t kept = n == 0 ? 0 : pos[n - 1] + keep[n - 1];
+  std::vector<T> out(kept);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    if (keep[i]) out[pos[i]] = values[i];
+  });
+  return out;
+}
+
+/// histogram: counts occurrences of each key in [0, num_bins).
+[[nodiscard]] std::vector<std::uint64_t> histogram(ThreadPool& pool,
+                                                   std::span<const std::uint32_t> keys,
+                                                   std::size_t num_bins);
+
+/// max_element value (not iterator); returns `lowest` for empty input.
+template <typename T>
+[[nodiscard]] T max_value(ThreadPool& pool, std::span<const T> values, T lowest) {
+  return reduce<T>(pool, values, lowest,
+                   [](const T& a, const T& b) { return std::max(a, b); });
+}
+
+}  // namespace trico::prim

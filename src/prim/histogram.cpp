@@ -1,0 +1,31 @@
+#include <cassert>
+
+#include "prim/algorithms.hpp"
+
+namespace trico::prim {
+
+std::vector<std::uint64_t> histogram(ThreadPool& pool,
+                                     std::span<const std::uint32_t> keys,
+                                     std::size_t num_bins) {
+  const std::size_t nw = pool.num_threads();
+  std::vector<std::vector<std::uint64_t>> local(nw);
+  const std::size_t n = keys.size();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    auto& bins = local[w];
+    bins.assign(num_bins, 0);
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      assert(keys[i] < num_bins);
+      ++bins[keys[i]];
+    }
+  });
+  std::vector<std::uint64_t> bins(num_bins, 0);
+  for (const auto& part : local) {
+    for (std::size_t b = 0; b < num_bins; ++b) bins[b] += part[b];
+  }
+  return bins;
+}
+
+}  // namespace trico::prim

@@ -1,0 +1,163 @@
+#include "prim/radix_sort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "prim/algorithms.hpp"
+
+namespace trico::prim {
+
+namespace {
+
+constexpr std::size_t kRadixBits = 8;
+constexpr std::size_t kBuckets = 1u << kRadixBits;
+
+// One stable counting-sort pass over digit `shift`. Workers own contiguous
+// input chunks; the scatter offsets are ordered (digit, worker), which keeps
+// the pass stable.
+template <typename Key, typename Scatter>
+void counting_pass(ThreadPool& pool, std::span<const Key> in, unsigned shift,
+                   const Scatter& scatter) {
+  const std::size_t n = in.size();
+  const std::size_t nw = pool.num_threads();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  std::vector<std::array<std::size_t, kBuckets>> counts(nw);
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    auto& local = counts[w];
+    local.fill(0);
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++local[(in[i] >> shift) & (kBuckets - 1)];
+    }
+  });
+  // offsets[w][d] = start position for worker w's digit-d elements.
+  std::size_t running = 0;
+  std::vector<std::array<std::size_t, kBuckets>> offsets(nw);
+  for (std::size_t d = 0; d < kBuckets; ++d) {
+    for (std::size_t w = 0; w < nw; ++w) {
+      offsets[w][d] = running;
+      running += counts[w][d];
+    }
+  }
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    auto local = offsets[w];
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t d = (in[i] >> shift) & (kBuckets - 1);
+      scatter(i, local[d]++);
+    }
+  });
+}
+
+template <typename Key>
+unsigned significant_bytes(ThreadPool& pool, std::span<const Key> keys) {
+  const Key max_key = max_value<Key>(pool, keys, Key{0});
+  unsigned bytes = 1;
+  for (Key k = max_key; k > 0xff; k >>= 8) ++bytes;
+  return bytes;
+}
+
+template <typename Key>
+void radix_sort_keys(ThreadPool& pool, std::span<Key> keys) {
+  if (keys.size() < 2) return;
+  std::vector<Key> scratch(keys.size());
+  std::span<Key> a = keys, b = scratch;
+  const unsigned passes = significant_bytes<Key>(pool, keys);
+  for (unsigned p = 0; p < passes; ++p) {
+    counting_pass<Key>(pool, a, p * kRadixBits,
+                       [&](std::size_t from, std::size_t to) { b[to] = a[from]; });
+    std::swap(a, b);
+  }
+  if (a.data() != keys.data()) {
+    std::copy(a.begin(), a.end(), keys.begin());
+  }
+}
+
+}  // namespace
+
+void radix_sort_u64(ThreadPool& pool, std::span<std::uint64_t> keys) {
+  radix_sort_keys<std::uint64_t>(pool, keys);
+}
+
+void radix_sort_u32(ThreadPool& pool, std::span<std::uint32_t> keys) {
+  radix_sort_keys<std::uint32_t>(pool, keys);
+}
+
+void radix_sort_pairs_u64(ThreadPool& pool, std::span<std::uint64_t> keys,
+                          std::span<std::uint32_t> values) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+  std::vector<std::uint64_t> key_scratch(n);
+  std::vector<std::uint32_t> val_scratch(n);
+  std::span<std::uint64_t> ka = keys, kb = key_scratch;
+  std::span<std::uint32_t> va = values, vb = val_scratch;
+  const unsigned passes = significant_bytes<std::uint64_t>(pool, keys);
+  for (unsigned p = 0; p < passes; ++p) {
+    counting_pass<std::uint64_t>(pool, ka, p * kRadixBits,
+                                 [&](std::size_t from, std::size_t to) {
+                                   kb[to] = ka[from];
+                                   vb[to] = va[from];
+                                 });
+    std::swap(ka, kb);
+    std::swap(va, vb);
+  }
+  if (ka.data() != keys.data()) {
+    std::copy(ka.begin(), ka.end(), keys.begin());
+    std::copy(va.begin(), va.end(), values.begin());
+  }
+}
+
+namespace {
+
+template <auto Pack, auto Unpack>
+void sort_edges_packed(ThreadPool& pool, std::span<Edge> edges) {
+  std::vector<std::uint64_t> keys(edges.size());
+  parallel_for(pool, 0, edges.size(),
+               [&](std::size_t i) { keys[i] = Pack(edges[i]); });
+  radix_sort_u64(pool, keys);
+  parallel_for(pool, 0, edges.size(),
+               [&](std::size_t i) { edges[i] = Unpack(keys[i]); });
+}
+
+}  // namespace
+
+void sort_edges_as_u64(ThreadPool& pool, std::span<Edge> edges) {
+  sort_edges_packed<pack_edge, unpack_edge>(pool, edges);
+}
+
+void sort_edges_as_u64_le(ThreadPool& pool, std::span<Edge> edges) {
+  sort_edges_packed<pack_edge_le, unpack_edge_le>(pool, edges);
+}
+
+void sort_edges_as_pairs(ThreadPool& pool, std::span<Edge> edges) {
+  // Parallel merge sort: sort per-worker chunks, then pairwise merge rounds.
+  const std::size_t n = edges.size();
+  const std::size_t nw = pool.num_threads();
+  if (n < 2) return;
+  if (nw <= 1) {
+    std::sort(edges.begin(), edges.end());
+    return;
+  }
+  const std::size_t chunk = (n + nw - 1) / nw;
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    const std::size_t lo = std::min(n, w * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    std::sort(edges.begin() + lo, edges.begin() + hi);
+  });
+  for (std::size_t width = chunk; width < n; width *= 2) {
+    std::vector<std::size_t> starts;
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) starts.push_back(lo);
+    parallel_for(pool, 0, starts.size(), [&](std::size_t s) {
+      const std::size_t lo = starts[s];
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(n, lo + 2 * width);
+      std::inplace_merge(edges.begin() + lo, edges.begin() + mid,
+                         edges.begin() + hi);
+    });
+  }
+}
+
+}  // namespace trico::prim

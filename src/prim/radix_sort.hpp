@@ -1,0 +1,44 @@
+// Parallel LSD radix sort.
+//
+// This is the stand-in for thrust::sort on integer keys (the paper's
+// preprocessing step 3). Like Thrust on the GPU, it is a least-significant-
+// digit radix sort, and like the paper's §III-D2 trick it is far faster on
+// packed 64-bit keys than a comparison sort on (u32, u32) pairs —
+// bench_ablation_sort64 measures exactly that gap.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "prim/thread_pool.hpp"
+
+namespace trico::prim {
+
+/// Stable LSD radix sort of 64-bit keys (8 passes of 8-bit digits, or fewer
+/// when the top bytes are all zero). Sorts in place.
+void radix_sort_u64(ThreadPool& pool, std::span<std::uint64_t> keys);
+
+/// Stable LSD radix sort of 32-bit keys.
+void radix_sort_u32(ThreadPool& pool, std::span<std::uint32_t> keys);
+
+/// Stable LSD radix sort of (key, value) pairs by key.
+void radix_sort_pairs_u64(ThreadPool& pool, std::span<std::uint64_t> keys,
+                          std::span<std::uint32_t> values);
+
+/// Sorts an edge array by packing each slot into a 64-bit key with the
+/// *first* vertex in the high half: the natural (u, v) order used by
+/// preprocessing step 3.
+void sort_edges_as_u64(ThreadPool& pool, std::span<Edge> edges);
+
+/// Sorts an edge array the way the paper's little-endian memcpy trick does:
+/// keys carry the *second* vertex in the high half, so the result is ordered
+/// by (v, u) (§III-D2's caveat). Exposed for the ablation bench.
+void sort_edges_as_u64_le(ThreadPool& pool, std::span<Edge> edges);
+
+/// Baseline for the §III-D2 ablation: comparison sort on (u, v) structs.
+void sort_edges_as_pairs(ThreadPool& pool, std::span<Edge> edges);
+
+}  // namespace trico::prim

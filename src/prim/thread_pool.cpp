@@ -1,0 +1,123 @@
+#include "prim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace trico::prim {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0
+                       ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                       : num_threads) {
+  // Worker 0 is the calling thread; spawn the rest.
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutting_down_ || job_.generation != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = job_.generation;
+    }
+    run_job_share(worker_index);
+    bool last = false;
+    {
+      std::lock_guard lock(mutex_);
+      last = (--job_.active_workers == 0);
+    }
+    if (last) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_job_share(std::size_t worker_index) {
+  if (job_.per_worker) {
+    (*job_.body)(worker_index, num_threads_);
+    return;
+  }
+  for (;;) {
+    std::size_t lo, hi;
+    {
+      std::lock_guard lock(mutex_);
+      if (job_.next >= job_.end) return;
+      lo = job_.next;
+      hi = std::min(job_.end, lo + job_.chunk);
+      job_.next = hi;
+    }
+    (*job_.body)(lo, hi);
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (num_threads_ <= 1 || count == 1) {
+    body(begin, end);
+    return;
+  }
+  // Aim for ~4 chunks per worker so stragglers rebalance.
+  const std::size_t chunk = std::max<std::size_t>(1, count / (num_threads_ * 4));
+  {
+    std::lock_guard lock(mutex_);
+    job_.body = &body;
+    job_.begin = begin;
+    job_.end = end;
+    job_.chunk = chunk;
+    job_.next = begin;
+    job_.per_worker = false;
+    // Every spawned worker wakes, runs its share (possibly empty), and
+    // decrements active_workers exactly once per generation.
+    job_.active_workers = num_threads_ - 1;
+    ++job_.generation;
+  }
+  job_ready_.notify_all();
+  run_job_share(0);  // the caller participates as worker 0
+  std::unique_lock lock(mutex_);
+  job_done_.wait(lock, [&] { return job_.active_workers == 0; });
+  job_.body = nullptr;
+}
+
+void ThreadPool::parallel_workers(
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (num_threads_ <= 1) {
+    body(0, 1);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_.body = &body;
+    job_.per_worker = true;
+    job_.next = 0;
+    job_.end = 0;
+    job_.active_workers = num_threads_ - 1;
+    ++job_.generation;
+  }
+  job_ready_.notify_all();
+  body(0, num_threads_);
+  std::unique_lock lock(mutex_);
+  job_done_.wait(lock, [&] { return job_.active_workers == 0; });
+  job_.body = nullptr;
+}
+
+}  // namespace trico::prim

@@ -1,0 +1,75 @@
+// A fixed-size work-sharing thread pool.
+//
+// This is the execution substrate for the "Thrust substitute" primitives
+// (prim::*) and for the multicore-CPU comparison of §V. Tasks are submitted
+// in bulk as index ranges (parallel_for style) rather than one closure per
+// item, which keeps per-task overhead negligible for data-parallel loops.
+//
+// Per CP.3/CP.4 of the C++ Core Guidelines, the pool is an explicit object —
+// no hidden global state — and callers think in tasks, not threads.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trico::prim {
+
+/// Work-sharing pool over `num_threads` worker threads. A pool with 0 or 1
+/// threads degenerates to inline sequential execution (useful for tests and
+/// for machines with a single hardware thread).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(begin..end) partitioned into contiguous chunks across the
+  /// workers (and the calling thread). Blocks until every chunk finished.
+  /// `body(lo, hi)` processes the half-open index range [lo, hi).
+  void parallel_ranges(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Runs body(worker_index, num_workers) once on each worker slot (including
+  /// the caller's slot). Used by primitives that need per-worker scratch.
+  void parallel_workers(const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// A process-wide default pool sized to the hardware. Prefer passing an
+  /// explicit pool; this exists so one-shot helpers have a sane default.
+  static ThreadPool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;          // for parallel_ranges
+    std::size_t chunk = 0;        // chunk size
+    std::size_t next = 0;         // next chunk cursor (guarded by mutex_)
+    bool per_worker = false;      // parallel_workers mode
+    std::size_t generation = 0;
+    std::size_t active_workers = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_job_share(std::size_t worker_index);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  Job job_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace trico::prim

@@ -1,0 +1,68 @@
+#include "simt/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace trico::simt {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry)
+    : geometry_(geometry), num_sets_(geometry.num_sets()) {
+  if (geometry_.line_bytes == 0 || !std::has_single_bit(geometry_.line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (num_sets_ == 0) {
+    throw std::invalid_argument("cache must have at least one set");
+  }
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(geometry_.line_bytes));
+  ways_.assign(num_sets_ * geometry_.ways, Way{});
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  // Hashed set index (GPU L2s hash physical addresses): folding the upper
+  // bits in prevents pathological power-of-two stride aliasing.
+  std::uint64_t set = line % num_sets_;
+  if (geometry_.hash_sets) {
+    set = (line ^ (((line / num_sets_) * 0x9e3779b97f4a7c15ull) >> 17)) %
+          num_sets_;
+  }
+  Way* const begin = ways_.data() + set * geometry_.ways;
+  Way* const end = begin + geometry_.ways;
+  ++clock_;
+  Way* victim = nullptr;
+  for (Way* way = begin; way != end; ++way) {
+    if (way->valid && way->tag == line) {
+      way->last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way->valid) {
+      if (victim == nullptr || victim->valid) victim = way;
+    } else if (geometry_.replacement == Replacement::kLru &&
+               (victim == nullptr ||
+                (victim->valid && way->last_use < victim->last_use))) {
+      victim = way;
+    }
+  }
+  if (victim == nullptr) {
+    // Pseudo-random replacement: a SplitMix-style hash of the access clock
+    // and line keeps runs deterministic while avoiding LRU's streaming cliff.
+    std::uint64_t x = clock_ ^ (line * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    victim = begin + (x % geometry_.ways);
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Way& way : ways_) way = Way{};
+  clock_ = 0;
+}
+
+}  // namespace trico::simt

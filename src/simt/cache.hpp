@@ -1,0 +1,55 @@
+// Set-associative LRU cache model.
+//
+// Accuracy goal: reproduce the *relative* behaviour the paper's optimizations
+// depend on (working-set vs capacity, line-granularity spatial locality),
+// not a cycle-accurate replica of any particular silicon.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_config.hpp"
+
+namespace trico::simt {
+
+/// A set-associative cache with true-LRU replacement and line granularity.
+/// Addresses are byte addresses in the simulated device address space.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Looks up the line containing `addr`; on miss, fills it (evicting LRU).
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Drops all lines (between kernels / experiments).
+  void flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t accesses() const { return hits_ + misses_; }
+  [[nodiscard]] double hit_rate() const {
+    return accesses() ? static_cast<double>(hits_) / static_cast<double>(accesses()) : 0.0;
+  }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  std::uint64_t num_sets_;
+  std::uint32_t line_shift_;
+  std::vector<Way> ways_;  ///< num_sets_ x geometry_.ways, row-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace trico::simt

@@ -1,0 +1,112 @@
+// Analytic cost model for the data-parallel preprocessing primitives and
+// host<->device transfers.
+//
+// The paper's preprocessing phase (§III-B) is built from streaming Thrust
+// primitives — radix sort, reduce, remove_if, gather — whose GPU execution
+// time is bandwidth-bound: each primitive makes a small fixed number of
+// sequential passes over its input. We therefore model each primitive as
+// (passes x bytes) / (efficiency x peak bandwidth) + launch overhead, and
+// run the actual computation on the host with trico::prim so the data is
+// real. Kernel-level simulation is reserved for the counting phase, whose
+// irregular accesses are the paper's actual subject.
+
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device_config.hpp"
+
+namespace trico::simt {
+
+/// Streaming-primitive efficiency: fraction of peak DRAM bandwidth that
+/// well-tuned streaming kernels sustain.
+inline constexpr double kStreamEfficiency = 0.75;
+
+/// Radix-sort working efficiency (scatter passes are not fully coalesced).
+inline constexpr double kSortEfficiency = 0.5;
+
+/// Cost model for one device. All results are milliseconds.
+class CostModel {
+ public:
+  explicit CostModel(const DeviceConfig& config) : config_(&config) {}
+
+  /// Host -> device (or device -> host) copy over PCIe.
+  [[nodiscard]] double transfer_ms(std::uint64_t bytes) const {
+    return config_->pcie_latency_ms +
+           static_cast<double>(bytes) / (config_->pcie_bandwidth_gbps * 1e6);
+  }
+
+  /// Device -> device copy (multi-GPU broadcast); PCIe peer transfer.
+  [[nodiscard]] double peer_transfer_ms(std::uint64_t bytes) const {
+    return transfer_ms(bytes);
+  }
+
+  /// One streaming pass reading and/or writing `bytes` in total.
+  [[nodiscard]] double stream_pass_ms(std::uint64_t bytes) const {
+    return config_->kernel_launch_overhead_ms +
+           static_cast<double>(bytes) /
+               (kStreamEfficiency * config_->dram_bandwidth_gbps * 1e6);
+  }
+
+  /// thrust::reduce over `count` elements of `elem_bytes` (step 2).
+  [[nodiscard]] double reduce_ms(std::uint64_t count, std::uint32_t elem_bytes) const {
+    return stream_pass_ms(count * elem_bytes);
+  }
+
+  /// LSD radix sort of `count` keys of `key_bytes`, `significant_bytes`
+  /// 8-bit digit passes, each reading + scattering the key array (step 3,
+  /// the 64-bit-keys fast path of §III-D2).
+  [[nodiscard]] double radix_sort_ms(std::uint64_t count, std::uint32_t key_bytes,
+                                     std::uint32_t significant_bytes) const {
+    const double bytes_per_pass = 2.0 * static_cast<double>(count) * key_bytes;
+    return significant_bytes *
+           (config_->kernel_launch_overhead_ms +
+            bytes_per_pass / (kSortEfficiency * config_->dram_bandwidth_gbps * 1e6));
+  }
+
+  /// Comparison merge sort of `count` elements of `elem_bytes`: log2(count)
+  /// read+write passes (the slow pair-sort baseline of §III-D2).
+  [[nodiscard]] double merge_sort_ms(std::uint64_t count,
+                                     std::uint32_t elem_bytes) const {
+    double passes = 1.0;
+    for (std::uint64_t c = count; c > 1; c >>= 1) ++passes;
+    const double bytes_per_pass = 2.0 * static_cast<double>(count) * elem_bytes;
+    return passes *
+           (config_->kernel_launch_overhead_ms +
+            bytes_per_pass / (kSortEfficiency * config_->dram_bandwidth_gbps * 1e6));
+  }
+
+  /// Node-array construction (step 4): read edges once, scattered writes to
+  /// the node array.
+  [[nodiscard]] double node_array_ms(std::uint64_t num_slots,
+                                     std::uint64_t num_vertices) const {
+    return stream_pass_ms(num_slots * 8 + num_vertices * 4);
+  }
+
+  /// Backward-edge marking (step 5): read slots, two degree lookups each,
+  /// write one flag each.
+  [[nodiscard]] double mark_backward_ms(std::uint64_t num_slots) const {
+    return stream_pass_ms(num_slots * (8 + 8 + 1));
+  }
+
+  /// thrust::remove_if compaction (step 6): flag scan + gather.
+  [[nodiscard]] double remove_if_ms(std::uint64_t num_slots) const {
+    return stream_pass_ms(num_slots * (8 + 1)) + stream_pass_ms(num_slots * 8);
+  }
+
+  /// AoS -> SoA unzip (step 7): read pairs, write two planes (§III-D1: <30ms
+  /// even for 200M-edge graphs).
+  [[nodiscard]] double unzip_ms(std::uint64_t num_slots) const {
+    return stream_pass_ms(num_slots * 16);
+  }
+
+  /// Final thrust::reduce over per-thread counters.
+  [[nodiscard]] double result_reduce_ms(std::uint64_t num_threads) const {
+    return stream_pass_ms(num_threads * 8);
+  }
+
+ private:
+  const DeviceConfig* config_;
+};
+
+}  // namespace trico::simt

@@ -1,0 +1,110 @@
+// Simulated device memory: typed buffers living in a flat simulated address
+// space.
+//
+// A DeviceBuffer mirrors cudaMalloc + cudaMemcpy: it owns a host-side copy of
+// the data (so kernels compute real values) plus a base address in the
+// simulated address space (so the cache model sees realistic line reuse and
+// conflict behaviour). Allocations are 256-byte aligned like the CUDA
+// allocator.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simt/device_config.hpp"
+
+namespace trico::simt {
+
+/// A read-only typed view of device memory: host pointer + simulated address.
+template <typename T>
+class DeviceSpan {
+ public:
+  DeviceSpan() = default;
+  DeviceSpan(const T* data, std::uint64_t base_addr, std::size_t size)
+      : data_(data), base_addr_(base_addr), size_(size) {}
+
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Simulated byte address of element i.
+  [[nodiscard]] std::uint64_t addr(std::size_t i) const {
+    return base_addr_ + i * sizeof(T);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::uint64_t base_addr_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// A device with an allocator over the simulated address space. Tracks the
+/// high-water footprint so the §III-D6 capacity gate can be enforced.
+class Device {
+ public:
+  explicit Device(DeviceConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+
+  /// Copies `host` into device-resident storage and returns a typed span.
+  template <typename T>
+  DeviceSpan<T> upload(std::span<const T> host) {
+    const std::uint64_t bytes = host.size() * sizeof(T);
+    const std::uint64_t base = allocate(bytes);
+    auto& storage = buffers_.emplace_back();
+    storage.resize(bytes);
+    std::memcpy(storage.data(), host.data(), bytes);
+    return DeviceSpan<T>(reinterpret_cast<const T*>(storage.data()), base,
+                         host.size());
+  }
+
+  /// Reserves address space without backing data (for footprint accounting
+  /// of scratch allocations, e.g. sort double-buffers).
+  std::uint64_t reserve(std::uint64_t bytes) { return allocate(bytes); }
+
+  /// Releases everything (a new experiment's cudaFree).
+  void free_all() {
+    buffers_.clear();
+    next_addr_ = kBaseAddress;
+    footprint_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const { return footprint_; }
+  [[nodiscard]] std::uint64_t peak_footprint_bytes() const { return peak_footprint_; }
+
+  /// True if an allocation plan of `bytes` total fits device memory.
+  [[nodiscard]] bool fits(std::uint64_t bytes) const {
+    return bytes <= config_.memory_bytes;
+  }
+
+ private:
+  static constexpr std::uint64_t kBaseAddress = 0x7f0000000000ull;
+
+  std::uint64_t allocate(std::uint64_t bytes) {
+    constexpr std::uint64_t kAlign = 256;
+    const std::uint64_t base = next_addr_;
+    next_addr_ += (bytes + kAlign - 1) / kAlign * kAlign;
+    footprint_ += bytes;
+    peak_footprint_ = std::max(peak_footprint_, footprint_);
+    if (footprint_ > config_.memory_bytes) {
+      throw std::runtime_error("simulated device out of memory: " +
+                               std::to_string(footprint_) + " bytes on " +
+                               config_.name);
+    }
+    return base;
+  }
+
+  DeviceConfig config_;
+  std::vector<std::vector<std::byte>> buffers_;
+  std::uint64_t next_addr_ = kBaseAddress;
+  std::uint64_t footprint_ = 0;
+  std::uint64_t peak_footprint_ = 0;
+};
+
+}  // namespace trico::simt

@@ -1,0 +1,113 @@
+// Simulated GPU device descriptions.
+//
+// The paper evaluates on three CUDA devices (Nvidia Tesla C2050, GeForce
+// GTX 980, NVS 5200M). No GPU is available in this environment, so trico
+// executes kernels on a software SIMT simulator (see DESIGN.md §2). A
+// DeviceConfig captures the architectural parameters that the paper's
+// optimizations interact with: SM count and clock (speedup scale), cache
+// geometry (Table II hit rates, §III-D4 read-only-cache ablation), DRAM
+// bandwidth and latency (Table II bandwidth, §III-D5 warp-stall argument),
+// PCIe bandwidth (timing starts at the host-to-device copy), and memory
+// capacity (§III-D6 CPU-preprocessing fallback for the † rows of Table I).
+//
+// Model-constant calibration: the per-step issue costs were fixed once so
+// that the GTX 980 / CPU-baseline speedup lands in the paper's 15-35x band
+// on the evaluation graphs, then held constant for every experiment.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace trico::simt {
+
+/// Replacement policy of a simulated cache. GPU caches are not true-LRU;
+/// pseudo-random replacement avoids the LRU streaming cliff (a working set
+/// slightly over capacity hitting ~0%) and matches the graceful degradation
+/// profilers observe.
+enum class Replacement : std::uint8_t { kLru, kRandom };
+
+/// Geometry of one set-associative cache.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 128;
+  std::uint32_t ways = 8;
+  Replacement replacement = Replacement::kRandom;
+  /// Hash the set index (as real GPU L2s do) to avoid power-of-two stride
+  /// aliasing; disable for tests that need a predictable line->set map.
+  bool hash_sets = true;
+
+  [[nodiscard]] std::uint64_t num_lines() const {
+    return line_bytes ? size_bytes / line_bytes : 0;
+  }
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return ways ? num_lines() / ways : 0;
+  }
+};
+
+/// Architectural description of a simulated device.
+struct DeviceConfig {
+  std::string name;
+
+  // Execution resources.
+  std::uint32_t num_sms = 16;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::uint32_t max_blocks_per_sm = 16;
+  std::uint32_t max_threads_per_block = 1024;
+  double clock_ghz = 1.0;
+
+  // Memory system.
+  double dram_bandwidth_gbps = 224.0;   ///< peak, GB/s
+  std::uint32_t dram_latency_cycles = 440;
+  CacheGeometry l2{2u << 20, 128, 16};  ///< device-wide L2
+  std::uint32_t l2_latency_cycles = 220;
+  /// Per-SM read-only / texture path. On Fermi the L1 caches *all* global
+  /// loads; on Kepler/Maxwell only loads the compiler can prove read-only
+  /// (const __restrict__) use this cache — which is the §III-D4 ablation.
+  CacheGeometry sm_cache{24u << 10, 128, 8};
+  std::uint32_t sm_cache_latency_cycles = 80;
+  bool l1_caches_all_global_loads = false;  ///< true on Fermi-class devices
+
+  // Host link and capacity.
+  double pcie_bandwidth_gbps = 6.0;  ///< effective host<->device GB/s
+  double pcie_latency_ms = 0.01;
+  std::uint64_t memory_bytes = 4ull << 30;
+
+  // Timing-model constants (per warp-step costs, in SM cycles).
+  double issue_cycles_per_step = 5.0;     ///< ALU/control work per merge step
+  double issue_cycles_per_line = 2.0;     ///< LSU cost per memory transaction
+  /// Extra SM-side throughput cost of a transaction that has to travel to
+  /// the (shared, lower-throughput) L2 — what the per-SM read-only cache
+  /// saves (§III-D4).
+  double issue_cycles_per_l2_trip = 2.0;
+  double kernel_launch_overhead_ms = 0.004;
+
+  /// Per-SM share of peak DRAM bandwidth, in bytes per SM cycle.
+  [[nodiscard]] double dram_bytes_per_cycle_per_sm() const {
+    return dram_bandwidth_gbps / clock_ghz / num_sms;
+  }
+
+  /// Matched-scale simulation: when an experiment replays a paper workload
+  /// at 1/factor of its original size, the memory hierarchy must shrink by
+  /// the same factor or cache hit rates are unrealistically inflated (a
+  /// 2 MB L2 holds most of a 1M-edge stand-in for a 234M-edge graph).
+  /// Returns a copy with cache capacities and device memory divided by
+  /// `factor` (>= 1), clamped so every cache keeps at least one set.
+  [[nodiscard]] DeviceConfig scaled_memory(double factor) const;
+
+  // ---- Presets matching the paper's three devices ----
+
+  /// Tesla C2050: Fermi, 14 SMs @ 1.15 GHz, 144 GB/s, 768 KB L2, 48 KB L1
+  /// (caches all global loads), 3 GB.
+  static DeviceConfig tesla_c2050();
+
+  /// GeForce GTX 980: Maxwell, 16 SMs @ 1.126 GHz, 224 GB/s, 2 MB L2,
+  /// 24 KB read-only tex cache per SM, 4 GB.
+  static DeviceConfig gtx_980();
+
+  /// NVS 5200M: Fermi mobile, 2 SMs @ 0.625 GHz, 14.4 GB/s, 256 KB L2, 1 GB.
+  static DeviceConfig nvs_5200m();
+};
+
+}  // namespace trico::simt

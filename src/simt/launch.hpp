@@ -1,0 +1,87 @@
+// Kernel launch configuration and per-launch statistics.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "simt/device_config.hpp"
+#include "simt/memory_system.hpp"
+
+namespace trico::simt {
+
+/// Grid shape in the paper's launch idiom: the kernel is launched with
+/// (blocks_per_sm * num_sms) blocks and a grid-stride loop covers the input
+/// (§III-C). The tuned optimum is 64 threads/block x 8 blocks/SM.
+struct LaunchConfig {
+  std::uint32_t threads_per_block = 64;
+  std::uint32_t blocks_per_sm = 8;
+
+  /// Effective warp width; values below the hardware warp size model the
+  /// §III-D5 "reducing warp size" trick (extra lanes idle).
+  std::uint32_t effective_warp_size = 32;
+
+  [[nodiscard]] std::uint32_t threads_per_sm() const {
+    return threads_per_block * blocks_per_sm;
+  }
+  [[nodiscard]] std::uint64_t total_threads(const DeviceConfig& config) const {
+    return static_cast<std::uint64_t>(threads_per_sm()) * config.num_sms;
+  }
+
+  void validate(const DeviceConfig& config) const {
+    if (threads_per_block == 0 || blocks_per_sm == 0) {
+      throw std::invalid_argument("launch config: zero-sized grid");
+    }
+    if (threads_per_block > config.max_threads_per_block) {
+      throw std::invalid_argument("launch config: threads per block over limit");
+    }
+    if (threads_per_sm() > config.max_threads_per_sm) {
+      throw std::invalid_argument("launch config: SM thread occupancy over limit");
+    }
+    if (blocks_per_sm > config.max_blocks_per_sm) {
+      throw std::invalid_argument("launch config: blocks per SM over limit");
+    }
+    if (effective_warp_size == 0 || effective_warp_size > config.warp_size) {
+      throw std::invalid_argument("launch config: bad effective warp size");
+    }
+  }
+};
+
+/// Sampling control: simulate a subset of SMs and scale. The shared L2 is
+/// shrunk proportionally so per-SM cache pressure stays faithful.
+struct SimOptions {
+  /// 0 = simulate every SM. k > 0 = simulate min(k, num_sms) SMs and scale
+  /// times/counters by num_sms / k.
+  std::uint32_t sample_sms = 0;
+};
+
+/// Everything the harness reports about one kernel launch.
+struct KernelStats {
+  std::uint64_t threads = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t warp_steps = 0;       ///< lockstep steps summed over warps
+  std::uint64_t lane_loads = 0;       ///< scalar loads issued by lanes
+  MemoryCounters memory;
+
+  double issue_cycles = 0;            ///< throughput-bound SM cycles (max SM)
+  double latency_cycles = 0;          ///< critical-path bound (max warp)
+  double bandwidth_cycles = 0;        ///< DRAM-bound cycles (max SM)
+  double cycles = 0;                  ///< max of the three bounds
+  double time_ms = 0;                 ///< cycles / clock
+
+  double sample_scale = 1.0;          ///< num_sms / simulated_sms
+
+  /// Achieved DRAM bandwidth in GB/s over the kernel's execution (Table II).
+  [[nodiscard]] double achieved_bandwidth_gbps() const {
+    return time_ms > 0 ? static_cast<double>(memory.dram_bytes) *
+                             sample_scale / 1e6 / time_ms
+                       : 0.0;
+  }
+  /// Profiler-style cache hit rate (Table II): served by any cache level.
+  [[nodiscard]] double cache_hit_rate() const {
+    return memory.combined_hit_rate();
+  }
+};
+
+}  // namespace trico::simt

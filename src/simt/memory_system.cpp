@@ -1,0 +1,61 @@
+#include "simt/memory_system.hpp"
+
+#include <algorithm>
+
+namespace trico::simt {
+
+namespace {
+
+CacheGeometry scaled(CacheGeometry geometry, double scale) {
+  if (scale >= 1.0) return geometry;
+  const std::uint64_t min_size =
+      static_cast<std::uint64_t>(geometry.line_bytes) * geometry.ways;
+  geometry.size_bytes = std::max(
+      min_size, static_cast<std::uint64_t>(static_cast<double>(geometry.size_bytes) * scale) /
+                    min_size * min_size);
+  return geometry;
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const DeviceConfig& config,
+                           std::uint32_t simulated_sms, double l2_scale)
+    : config_(config), l2_(scaled(config.l2, l2_scale)) {
+  sm_caches_.reserve(simulated_sms);
+  for (std::uint32_t i = 0; i < simulated_sms; ++i) {
+    sm_caches_.emplace_back(config.sm_cache);
+  }
+}
+
+TransactionResult MemorySystem::access(std::uint32_t sm, std::uint64_t addr,
+                                       bool cacheable_in_sm) {
+  ++counters_.transactions;
+  TransactionResult result;
+  if (cacheable_in_sm) {
+    ++counters_.sm_cache_accesses;
+    if (sm_caches_[sm].access(addr)) {
+      ++counters_.sm_cache_hits;
+      result.latency_cycles = config_.sm_cache_latency_cycles;
+      return result;
+    }
+  }
+  ++counters_.l2_accesses;
+  result.l2_trip = true;
+  if (l2_.access(addr)) {
+    ++counters_.l2_hits;
+    result.latency_cycles = config_.l2_latency_cycles;
+    return result;
+  }
+  result.latency_cycles = config_.dram_latency_cycles;
+  result.dram = true;
+  ++counters_.dram_lines;
+  counters_.dram_bytes += l2_.geometry().line_bytes;
+  return result;
+}
+
+void MemorySystem::flush() {
+  for (SetAssocCache& cache : sm_caches_) cache.flush();
+  l2_.flush();
+}
+
+}  // namespace trico::simt

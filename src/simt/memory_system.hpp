@@ -1,0 +1,85 @@
+// The simulated device memory hierarchy.
+//
+// Per-warp memory requests arrive as coalesced *line transactions* (the
+// runner groups the 32 lanes' addresses into unique cache lines first, as
+// the hardware's coalescer does). Each transaction probes the per-SM cache
+// (if eligible), then the device-wide L2, then DRAM. The system keeps the
+// counters Table II is built from: per-level hits and the DRAM byte traffic.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/cache.hpp"
+#include "simt/device_config.hpp"
+
+namespace trico::simt {
+
+/// Outcome of one line transaction.
+struct TransactionResult {
+  std::uint32_t latency_cycles = 0;
+  bool l2_trip = false;  ///< missed the per-SM cache (or bypassed it)
+  bool dram = false;     ///< missed all cache levels
+};
+
+/// Aggregated memory-system counters for a kernel run.
+struct MemoryCounters {
+  std::uint64_t transactions = 0;   ///< coalesced line transactions
+  std::uint64_t sm_cache_accesses = 0;
+  std::uint64_t sm_cache_hits = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t dram_lines = 0;
+  std::uint64_t dram_bytes = 0;
+
+  /// The "cache hit rate" the paper profiles (Table II): the fraction of
+  /// transactions served by *any* cache level (1 - DRAM lines /
+  /// transactions), matching a profiler's kernel-wide hit rate.
+  [[nodiscard]] double combined_hit_rate() const {
+    return transactions > 0
+               ? 1.0 - static_cast<double>(dram_lines) /
+                           static_cast<double>(transactions)
+               : 0.0;
+  }
+
+  /// Hit rate of the first cache level the loads target — the per-SM
+  /// read-only cache when in use, else L2.
+  [[nodiscard]] double top_level_hit_rate() const {
+    if (sm_cache_accesses > 0) {
+      return static_cast<double>(sm_cache_hits) /
+             static_cast<double>(sm_cache_accesses);
+    }
+    if (l2_accesses > 0) {
+      return static_cast<double>(l2_hits) / static_cast<double>(l2_accesses);
+    }
+    return 0.0;
+  }
+};
+
+/// Memory hierarchy of one device: N per-SM caches over a shared L2.
+class MemorySystem {
+ public:
+  /// `l2_scale` shrinks the L2 proportionally when only a subset of SMs is
+  /// simulated (sampled runs), so the per-SM share of L2 stays faithful.
+  MemorySystem(const DeviceConfig& config, std::uint32_t simulated_sms,
+               double l2_scale = 1.0);
+
+  /// One coalesced line transaction from warp hardware on `sm`.
+  /// `cacheable_in_sm` reflects the §III-D4 qualifier rules: true when the
+  /// load may use the per-SM read-only path on this architecture.
+  TransactionResult access(std::uint32_t sm, std::uint64_t addr,
+                           bool cacheable_in_sm);
+
+  [[nodiscard]] const MemoryCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = MemoryCounters{}; }
+  void flush();
+
+ private:
+  const DeviceConfig& config_;
+  std::vector<SetAssocCache> sm_caches_;  ///< one per simulated SM
+  SetAssocCache l2_;
+  MemoryCounters counters_;
+};
+
+}  // namespace trico::simt

@@ -1,0 +1,262 @@
+// Warp-lockstep kernel execution engine.
+//
+// A trico device kernel is a per-thread state machine: `State` is the
+// thread's register file, `start` initializes it from the grid-stride thread
+// id, and `step` advances the thread by one loop iteration, reporting its
+// memory reads to a Sink. The runner executes warps in lockstep — every
+// scheduling round, each live warp steps all of its lanes once — which is
+// exactly the execution the paper's kernel experiences: a lane that misses
+// the cache stalls its whole warp (the §III-D5 observation), and the lanes'
+// per-step addresses are coalesced into line transactions before touching
+// the memory hierarchy.
+//
+// Timing model (see DESIGN.md §6): per SM the runner tracks three bounds —
+// issue throughput (sum of per-warp-step issue cycles), latency critical
+// path (slowest single warp, since one warp's chain of stalls cannot be
+// compressed), and DRAM bandwidth (bytes over the SM's bandwidth share) —
+// and charges the max. Device time is the max over SMs. Warps on one SM
+// interleave round-robin so the shared caches see a realistic access mix.
+//
+// Sampling: for large grids, SimOptions::sample_sms simulates only the first
+// k SMs through the memory hierarchy (with the shared L2 shrunk to its k/N
+// share) and runs the remaining SMs' threads functionally so results stay
+// exact; times and counters are scaled by N/k.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/launch.hpp"
+#include "simt/memory_system.hpp"
+
+namespace trico::simt {
+
+/// Records the memory reads and extra ALU work of one lane step.
+class TimedSink {
+ public:
+  static constexpr std::size_t kMaxAccesses = 8;
+
+  struct Access {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    bool readonly;
+  };
+
+  void read(std::uint64_t addr, std::uint32_t bytes, bool readonly) {
+    if (count_ < kMaxAccesses) accesses_[count_++] = Access{addr, bytes, readonly};
+  }
+  void alu(std::uint32_t ops) { alu_ += ops; }
+
+  void clear() {
+    count_ = 0;
+    alu_ = 0;
+  }
+  [[nodiscard]] std::span<const Access> accesses() const {
+    return {accesses_.data(), count_};
+  }
+  [[nodiscard]] std::uint32_t alu_ops() const { return alu_; }
+
+ private:
+  std::array<Access, kMaxAccesses> accesses_{};
+  std::size_t count_ = 0;
+  std::uint32_t alu_ = 0;
+};
+
+/// Sink for functional-only execution (sampled-out SMs): all reporting is a
+/// no-op the optimizer deletes.
+struct NullSink {
+  static void read(std::uint64_t, std::uint32_t, bool) {}
+  static void alu(std::uint32_t) {}
+};
+
+/// Executes `kernel` on `device` and returns launch statistics. The kernel
+/// object accumulates its own results via retire(state).
+template <typename Kernel>
+KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
+                          Kernel& kernel, const SimOptions& options = {}) {
+  const DeviceConfig& config = device.config();
+  launch.validate(config);
+
+  const std::uint32_t num_sms = config.num_sms;
+  const std::uint32_t simulated_sms =
+      options.sample_sms == 0 ? num_sms
+                              : std::min(options.sample_sms, num_sms);
+  const double sample_scale =
+      static_cast<double>(num_sms) / static_cast<double>(simulated_sms);
+
+  const std::uint32_t eff_warp = launch.effective_warp_size;
+  const std::uint32_t threads_per_block = launch.threads_per_block;
+  const std::uint32_t blocks = launch.blocks_per_sm * num_sms;
+  const std::uint64_t total_threads =
+      static_cast<std::uint64_t>(blocks) * threads_per_block;
+
+  MemorySystem memory(config, simulated_sms,
+                      static_cast<double>(simulated_sms) / num_sms);
+
+  KernelStats stats;
+  stats.threads = total_threads;
+  stats.sample_scale = sample_scale;
+
+  using State = typename Kernel::State;
+
+  struct Warp {
+    std::vector<State> lanes;
+    std::vector<std::uint8_t> live;
+    std::uint32_t live_count = 0;
+    double serial_cycles = 0;
+  };
+
+  double max_sm_cycles = 0;
+  const std::uint32_t line_bytes = config.l2.line_bytes;
+
+  // Blocks are assigned to SMs round-robin (block b runs on SM b % num_sms),
+  // so a sampled SM sees a uniform slice of the grid-stride work.
+  for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+    const bool timed = sm < simulated_sms;
+
+    // Materialize this SM's warps.
+    std::vector<Warp> warps;
+    for (std::uint32_t block = sm; block < blocks; block += num_sms) {
+      const std::uint64_t block_base =
+          static_cast<std::uint64_t>(block) * threads_per_block;
+      for (std::uint32_t lane0 = 0; lane0 < threads_per_block;
+           lane0 += eff_warp) {
+        Warp warp;
+        const std::uint32_t lanes =
+            std::min(eff_warp, threads_per_block - lane0);
+        warp.lanes.resize(lanes);
+        warp.live.assign(lanes, 1);
+        warp.live_count = lanes;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          kernel.start(warp.lanes[l], block_base + lane0 + l, total_threads);
+        }
+        warps.push_back(std::move(warp));
+      }
+    }
+    if (timed) {
+      stats.warps += warps.size();
+    }
+
+    if (!timed) {
+      // Functional-only execution: results must be exact even for SMs that
+      // are not simulated through the memory hierarchy.
+      NullSink sink;
+      for (Warp& warp : warps) {
+        for (std::uint32_t l = 0; l < warp.lanes.size(); ++l) {
+          while (kernel.step(warp.lanes[l], sink)) {
+          }
+          kernel.retire(warp.lanes[l]);
+        }
+      }
+      continue;
+    }
+
+    double sm_issue_cycles = 0;
+    double sm_max_warp_cycles = 0;
+    const std::uint64_t dram_bytes_before = memory.counters().dram_bytes;
+
+    // Round-robin scheduling: one lockstep step per live warp per round.
+    std::vector<std::uint32_t> live_warps(warps.size());
+    for (std::uint32_t w = 0; w < warps.size(); ++w) live_warps[w] = w;
+    TimedSink sink;
+    std::array<std::uint64_t, 2 * TimedSink::kMaxAccesses * 64> line_buf;
+
+    while (!live_warps.empty()) {
+      std::size_t out = 0;
+      for (std::size_t idx = 0; idx < live_warps.size(); ++idx) {
+        Warp& warp = warps[live_warps[idx]];
+        std::size_t num_lines = 0;
+        std::uint32_t alu_extra = 0;
+        for (std::uint32_t l = 0; l < warp.lanes.size(); ++l) {
+          if (!warp.live[l]) continue;
+          sink.clear();
+          const bool running = kernel.step(warp.lanes[l], sink);
+          stats.lane_loads += sink.accesses().size();
+          alu_extra = std::max(alu_extra, sink.alu_ops());
+          for (const TimedSink::Access& access : sink.accesses()) {
+            // A scalar access produces one transaction per touched line
+            // (an unaligned 8-byte AoS read can straddle two lines).
+            const std::uint64_t first = access.addr / line_bytes;
+            const std::uint64_t last =
+                (access.addr + access.bytes - 1) / line_bytes;
+            for (std::uint64_t line = first; line <= last; ++line) {
+              if (num_lines < line_buf.size()) {
+                // Tag bit 0 with read-only eligibility to keep distinct
+                // paths distinct during dedup.
+                line_buf[num_lines++] =
+                    (line << 1) | (access.readonly ? 1u : 0u);
+              }
+            }
+          }
+          if (!running) {
+            warp.live[l] = 0;
+            --warp.live_count;
+            kernel.retire(warp.lanes[l]);
+          }
+        }
+        ++stats.warp_steps;
+
+        // Coalesce: unique lines only, like the hardware's per-warp coalescer.
+        std::sort(line_buf.begin(), line_buf.begin() + num_lines);
+        const auto end_it =
+            std::unique(line_buf.begin(), line_buf.begin() + num_lines);
+        const auto unique_lines =
+            static_cast<std::uint32_t>(end_it - line_buf.begin());
+
+        std::uint32_t max_latency = 0;
+        std::uint32_t l2_trips = 0;
+        for (std::uint32_t t = 0; t < unique_lines; ++t) {
+          const std::uint64_t tagged = line_buf[t];
+          const bool readonly = (tagged & 1u) != 0;
+          const std::uint64_t addr = (tagged >> 1) * line_bytes;
+          const bool cacheable =
+              readonly || config.l1_caches_all_global_loads;
+          const TransactionResult result = memory.access(sm, addr, cacheable);
+          max_latency = std::max(max_latency, result.latency_cycles);
+          l2_trips += result.l2_trip ? 1 : 0;
+        }
+
+        const double issue = config.issue_cycles_per_step + alu_extra +
+                             config.issue_cycles_per_line * unique_lines +
+                             config.issue_cycles_per_l2_trip * l2_trips;
+        sm_issue_cycles += issue;
+        // Memory-level parallelism inside one warp step: the lanes' loads
+        // overlap, so the warp stalls for the slowest transaction only.
+        warp.serial_cycles += issue + max_latency;
+
+        if (warp.live_count > 0) live_warps[out++] = live_warps[idx];
+      }
+      live_warps.resize(out);
+    }
+
+    for (const Warp& warp : warps) {
+      sm_max_warp_cycles = std::max(sm_max_warp_cycles, warp.serial_cycles);
+    }
+    const std::uint64_t sm_dram_bytes =
+        memory.counters().dram_bytes - dram_bytes_before;
+    const double sm_bw_cycles = static_cast<double>(sm_dram_bytes) /
+                                config.dram_bytes_per_cycle_per_sm();
+
+    stats.issue_cycles = std::max(stats.issue_cycles, sm_issue_cycles);
+    stats.latency_cycles = std::max(stats.latency_cycles, sm_max_warp_cycles);
+    stats.bandwidth_cycles = std::max(stats.bandwidth_cycles, sm_bw_cycles);
+    max_sm_cycles = std::max(
+        max_sm_cycles,
+        std::max({sm_issue_cycles, sm_max_warp_cycles, sm_bw_cycles}));
+  }
+
+  stats.memory = memory.counters();
+  stats.cycles = max_sm_cycles;
+  stats.time_ms =
+      max_sm_cycles / (config.clock_ghz * 1e6) + config.kernel_launch_overhead_ms;
+  stats.warps = static_cast<std::uint64_t>(
+      static_cast<double>(stats.warps) * sample_scale);
+  return stats;
+}
+
+}  // namespace trico::simt

@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace trico::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.push_back(Row{});
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  rows_.back().cells.push_back(text);
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return cell(out.str());
+}
+
+Table& Table::section(const std::string& label) {
+  Row row;
+  row.is_section = true;
+  row.section_label = label;
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+namespace {
+
+/// Display width of a UTF-8 string: count non-continuation bytes so cells
+/// containing multi-byte characters (e.g. the dagger) stay aligned.
+std::size_t display_width(const std::string& text) {
+  std::size_t width = 0;
+  for (unsigned char ch : text) {
+    if ((ch & 0xc0) != 0x80) ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = display_width(header_[c]);
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], display_width(row.cells[c]));
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - display_width(text);
+      out << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        out << text << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << text;
+      }
+    }
+    out << '\n';
+  };
+  std::size_t total = width.empty() ? 0 : 2 * (width.size() - 1);
+  for (std::size_t w : width) total += w;
+  print_row(header_);
+  out << std::string(total, '-') << '\n';
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      out << "-- " << row.section_label << " --\n";
+    } else {
+      print_row(row.cells);
+    }
+  }
+}
+
+std::string human_count(std::uint64_t value) {
+  std::ostringstream out;
+  if (value >= 1000ull * 1000 * 1000) {
+    out << std::fixed << std::setprecision(1)
+        << static_cast<double>(value) / 1e9 << "G";
+  } else if (value >= 1000ull * 1000) {
+    out << std::fixed << std::setprecision(1)
+        << static_cast<double>(value) / 1e6 << "M";
+  } else if (value >= 1000) {
+    out << std::fixed << std::setprecision(1)
+        << static_cast<double>(value) / 1e3 << "K";
+  } else {
+    out << value;
+  }
+  return out.str();
+}
+
+}  // namespace trico::util

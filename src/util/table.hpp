@@ -1,0 +1,48 @@
+// Minimal fixed-width table printer for the benchmark harness, so every
+// bench binary reports its rows in the same aligned, grep-friendly format as
+// the paper's Tables I and II.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace trico::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& text);
+  Table& cell(const char* text);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  /// Fixed-point with `digits` decimals.
+  Table& cell(double value, int digits = 2);
+
+  /// Section separator row rendered as a label line (e.g. "Real world
+  /// graphs" / "Synthetic graphs" in Table I).
+  Table& section(const std::string& label);
+
+  void print(std::ostream& out) const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string section_label;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a count with thousands separators for readability (e.g. 8816M).
+[[nodiscard]] std::string human_count(std::uint64_t value);
+
+}  // namespace trico::util

@@ -1,0 +1,35 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace trico::util {
+
+TimingResult repeat_timed(std::size_t runs, const std::function<void()>& body) {
+  TimingResult result;
+  result.runs = runs;
+  result.min_ms = std::numeric_limits<double>::infinity();
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    Timer timer;
+    body();
+    const double ms = timer.elapsed_ms();
+    sum += ms;
+    sum_sq += ms * ms;
+    result.min_ms = std::min(result.min_ms, ms);
+    result.max_ms = std::max(result.max_ms, ms);
+  }
+  if (runs > 0) {
+    result.mean_ms = sum / static_cast<double>(runs);
+    const double variance =
+        std::max(0.0, sum_sq / static_cast<double>(runs) -
+                          result.mean_ms * result.mean_ms);
+    result.stddev_ms = std::sqrt(variance);
+  } else {
+    result.min_ms = 0.0;
+  }
+  return result;
+}
+
+}  // namespace trico::util

@@ -1,0 +1,50 @@
+// Wall-clock timing helpers for the experiment harness.
+//
+// The paper measures wall-clock time, starting just before the edge array is
+// copied to the device and ending after the result returns (§IV); every
+// experiment runs five times and reports the mean. Timer/repeat_timed mirror
+// that protocol.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace trico::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Result of a repeated timing run.
+struct TimingResult {
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t runs = 0;
+
+  /// Relative standard deviation; the paper reports it never exceeded 0.05.
+  [[nodiscard]] double rel_stddev() const {
+    return mean_ms > 0 ? stddev_ms / mean_ms : 0.0;
+  }
+};
+
+/// Runs `body` `runs` times (the paper uses five) and reports mean/sd.
+TimingResult repeat_timed(std::size_t runs, const std::function<void()>& body);
+
+}  // namespace trico::util

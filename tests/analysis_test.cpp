@@ -1,0 +1,68 @@
+// Tests for the network-analysis metrics (clustering coefficient,
+// transitivity) that motivate triangle counting in the paper's introduction.
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+
+namespace trico::analysis {
+namespace {
+
+TEST(ClusteringTest, CompleteGraphIsFullyClustered) {
+  const gen::ReferenceGraph g = gen::complete(6);
+  for (double c : local_clustering(g.edges)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(g.edges), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(g.edges), 1.0);
+}
+
+TEST(ClusteringTest, TreeHasZeroClustering) {
+  const gen::ReferenceGraph g = gen::star(10);
+  EXPECT_DOUBLE_EQ(global_clustering(g.edges), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(g.edges), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendantVertex) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  const EdgeList g = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const auto local = local_clustering(g);
+  EXPECT_DOUBLE_EQ(local[0], 1.0 / 3.0);  // deg 3, 1 triangle of C(3,2)=3
+  EXPECT_DOUBLE_EQ(local[1], 1.0);
+  EXPECT_DOUBLE_EQ(local[2], 1.0);
+  EXPECT_DOUBLE_EQ(local[3], 0.0);  // degree 1: defined as 0
+}
+
+TEST(ClusteringTest, TransitivityOfWheel) {
+  // W_5: hub degree 4, rim vertices degree 3, 4 triangles.
+  const gen::ReferenceGraph g = gen::wheel(5);
+  const std::uint64_t wedges = wedge_count(g.edges);
+  EXPECT_EQ(wedges, 6u + 4u * 3u);  // C(4,2) + 4 * C(3,2)
+  EXPECT_DOUBLE_EQ(transitivity(g.edges), 3.0 * 4.0 / 18.0);
+}
+
+TEST(ClusteringTest, WattsStrogatzSmallWorldHasHighClustering) {
+  // The defining property of the WS model at low rewiring probability.
+  const EdgeList ws = gen::watts_strogatz(1000, 5, 0.05, 1);
+  const EdgeList er = gen::erdos_renyi(1000, ws.num_edges(), 1);
+  EXPECT_GT(global_clustering(ws), 5.0 * global_clustering(er));
+}
+
+TEST(ClusteringTest, ValuesAreProbabilities) {
+  const EdgeList g = gen::barabasi_albert(500, 4, 3);
+  for (double c : local_clustering(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  EXPECT_GE(transitivity(g), 0.0);
+  EXPECT_LE(transitivity(g), 1.0);
+}
+
+TEST(ClusteringTest, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(global_clustering(EdgeList{}), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(EdgeList{}), 0.0);
+}
+
+}  // namespace
+}  // namespace trico::analysis

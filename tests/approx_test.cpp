@@ -1,0 +1,126 @@
+// Tests for approximate counting (DOULION, wedge sampling) and the hybrid
+// dense/forward counter (the paper's §V related work and §VI future work).
+
+#include <gtest/gtest.h>
+
+#include "cpu/approx.hpp"
+#include "cpu/counting.hpp"
+#include "cpu/hybrid.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+
+namespace trico::cpu {
+namespace {
+
+TEST(DoulionTest, ProbabilityOneIsExact) {
+  const EdgeList g = gen::erdos_renyi(300, 2500, 3);
+  const ApproxResult r = count_doulion(g, 1.0, 9);
+  EXPECT_DOUBLE_EQ(r.estimate, static_cast<double>(count_forward(g)));
+  EXPECT_EQ(r.work_items, g.num_edges());
+}
+
+TEST(DoulionTest, EstimateWithinToleranceOnTriangleRichGraph) {
+  gen::RmatParams params;
+  params.scale = 11;
+  params.edge_factor = 16;
+  const EdgeList g = gen::rmat(params, 4);
+  const auto exact = static_cast<double>(count_forward(g));
+  // Average a few seeds; DOULION is unbiased so the mean converges fast on
+  // triangle-rich graphs.
+  double sum = 0;
+  const int runs = 5;
+  for (int s = 0; s < runs; ++s) {
+    sum += count_doulion(g, 0.5, 100 + s).estimate;
+  }
+  const double mean = sum / runs;
+  EXPECT_NEAR(mean / exact, 1.0, 0.15) << "exact=" << exact;
+}
+
+TEST(DoulionTest, SparsificationShrinksWork) {
+  const EdgeList g = gen::erdos_renyi(500, 10000, 5);
+  const ApproxResult r = count_doulion(g, 0.25, 1);
+  EXPECT_LT(r.work_items, g.num_edges() / 2);
+  EXPECT_GT(r.work_items, g.num_edges() / 8);
+}
+
+TEST(DoulionTest, RejectsBadProbability) {
+  const EdgeList g = gen::erdos_renyi(10, 20, 1);
+  EXPECT_THROW(count_doulion(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(count_doulion(g, 1.5, 1), std::invalid_argument);
+}
+
+TEST(WedgeSamplingTest, ExactOnCompleteGraph) {
+  // Every wedge of a complete graph closes, so any sample size is exact.
+  const gen::ReferenceGraph g = gen::complete(20);
+  const ApproxResult r = count_wedge_sampling(g.edges, 500, 3);
+  EXPECT_DOUBLE_EQ(r.estimate, static_cast<double>(g.expected_triangles));
+}
+
+TEST(WedgeSamplingTest, ZeroOnTriangleFreeGraph) {
+  const gen::ReferenceGraph g = gen::complete_bipartite(20, 20);
+  const ApproxResult r = count_wedge_sampling(g.edges, 2000, 3);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(WedgeSamplingTest, EstimateWithinTolerance) {
+  gen::RmatParams params;
+  params.scale = 11;
+  params.edge_factor = 16;
+  const EdgeList g = gen::rmat(params, 4);
+  const auto exact = static_cast<double>(count_forward(g));
+  const ApproxResult r = count_wedge_sampling(g, 200000, 11);
+  EXPECT_NEAR(r.estimate / exact, 1.0, 0.1);
+}
+
+TEST(WedgeSamplingTest, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(count_wedge_sampling(EdgeList{}, 100, 1).estimate, 0.0);
+  const EdgeList g = gen::erdos_renyi(10, 20, 1);
+  EXPECT_DOUBLE_EQ(count_wedge_sampling(g, 0, 1).estimate, 0.0);
+}
+
+TEST(DenseBitsetTest, MatchesClosedForms) {
+  for (const gen::ReferenceGraph& g : gen::all_small_references()) {
+    EXPECT_EQ(count_dense_bitset(g.edges), g.expected_triangles) << g.family;
+  }
+}
+
+TEST(DenseBitsetTest, MatchesForwardOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const EdgeList g = gen::erdos_renyi(400, 6000, seed);
+    EXPECT_EQ(count_dense_bitset(g), count_forward(g));
+  }
+}
+
+class HybridThresholdTest : public ::testing::TestWithParam<EdgeIndex> {};
+
+TEST_P(HybridThresholdTest, ExactForAnyThreshold) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 12;
+  const EdgeList g = gen::rmat(params, 8);
+  const TriangleCount expected = count_forward(g);
+  EXPECT_EQ(count_hybrid(g, GetParam()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HybridThresholdTest,
+                         ::testing::Values<EdgeIndex>(0, 1, 2, 8, 32, 128,
+                                                      1u << 20));
+
+TEST(HybridTest, MatchesClosedForms) {
+  for (const gen::ReferenceGraph& g : gen::all_small_references()) {
+    EXPECT_EQ(count_hybrid(g.edges, 4), g.expected_triangles) << g.family;
+  }
+}
+
+TEST(HybridTest, SkewedGraphWithTies) {
+  // Windmill: hub has huge degree, spokes tie at low degree — stresses the
+  // low/high partition with degree ties.
+  const gen::ReferenceGraph g = gen::windmill(5, 9);
+  for (EdgeIndex threshold : {0u, 3u, 4u, 5u, 100u}) {
+    EXPECT_EQ(count_hybrid(g.edges, threshold), g.expected_triangles)
+        << "threshold " << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace trico::cpu

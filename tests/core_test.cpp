@@ -1,0 +1,235 @@
+// Integration tests for the GPU pipeline: the simulated-device count must
+// equal the CPU forward count on every graph, under every §III-D option
+// toggle, on every device preset, with and without sampling.
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_forward.hpp"
+#include "core/preprocess.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+
+namespace trico::core {
+namespace {
+
+simt::DeviceConfig small_device() {
+  // A scaled-down device keeps full (non-sampled) simulations fast in tests.
+  simt::DeviceConfig config = simt::DeviceConfig::gtx_980();
+  config.num_sms = 4;
+  return config;
+}
+
+TEST(GpuPipelineTest, MatchesClosedFormsOnReferenceFamilies) {
+  GpuForwardCounter counter(small_device());
+  for (const gen::ReferenceGraph& g : gen::all_small_references()) {
+    const GpuCountResult result = counter.count(g.edges);
+    EXPECT_EQ(result.triangles, g.expected_triangles) << g.family;
+  }
+}
+
+TEST(GpuPipelineTest, MatchesCpuForwardOnRandomGraphs) {
+  GpuForwardCounter counter(small_device());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const EdgeList g = gen::erdos_renyi(500, 4000, seed);
+    EXPECT_EQ(counter.count(g).triangles, cpu::count_forward(g));
+  }
+}
+
+TEST(GpuPipelineTest, MatchesCpuForwardOnSkewedGraphs) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  const EdgeList g = gen::rmat(params, 3);
+  GpuForwardCounter counter(small_device());
+  EXPECT_EQ(counter.count(g).triangles, cpu::count_forward(g));
+}
+
+TEST(GpuPipelineTest, EmptyGraph) {
+  GpuForwardCounter counter(small_device());
+  EXPECT_EQ(counter.count(EdgeList{}).triangles, 0u);
+}
+
+TEST(GpuPipelineTest, TriangleFreeGraph) {
+  GpuForwardCounter counter(small_device());
+  const gen::ReferenceGraph g = gen::grid(10, 10);
+  EXPECT_EQ(counter.count(g.edges).triangles, 0u);
+}
+
+TEST(GpuPipelineTest, OrientedEdgeCountIsHalfOfSlots) {
+  GpuForwardCounter counter(small_device());
+  const EdgeList g = gen::erdos_renyi(200, 1000, 9);
+  const GpuCountResult result = counter.count(g);
+  EXPECT_EQ(result.oriented_edges, g.num_edges());
+  EXPECT_EQ(result.input_slots, 2 * g.num_edges());
+}
+
+TEST(GpuPipelineTest, PhaseTimesArePositiveAndSum) {
+  GpuForwardCounter counter(small_device());
+  const EdgeList g = gen::barabasi_albert(500, 5, 1);
+  const GpuCountResult r = counter.count(g);
+  EXPECT_GT(r.phases.h2d_ms, 0.0);
+  EXPECT_GT(r.phases.sort_ms, 0.0);
+  EXPECT_GT(r.phases.counting_ms, 0.0);
+  EXPECT_NEAR(r.phases.total_ms(),
+              r.phases.preprocessing_ms() + r.phases.counting_ms +
+                  r.phases.reduce_ms + r.phases.d2h_ms,
+              1e-12);
+  EXPECT_GT(r.phases.preprocessing_fraction(), 0.0);
+  EXPECT_LT(r.phases.preprocessing_fraction(), 1.0);
+}
+
+// Every §III-D toggle combination must preserve the count.
+struct VariantCase {
+  const char* name;
+  bool soa;
+  bool final_loop;
+  bool readonly;
+  bool sort_u64;
+};
+
+class VariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(VariantTest, CountIsVariantInvariant) {
+  const VariantCase& c = GetParam();
+  CountingOptions options;
+  options.variant.soa = c.soa;
+  options.variant.final_loop = c.final_loop;
+  options.variant.readonly_qualifier = c.readonly;
+  options.sort_as_u64 = c.sort_u64;
+  GpuForwardCounter counter(small_device(), options);
+  const EdgeList g = gen::watts_strogatz(400, 4, 0.1, 5);
+  EXPECT_EQ(counter.count(g).triangles, cpu::count_forward(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantTest,
+    ::testing::Values(VariantCase{"paper_final", true, true, true, true},
+                      VariantCase{"aos", false, true, true, true},
+                      VariantCase{"preliminary_loop", true, false, true, true},
+                      VariantCase{"no_readonly", true, true, false, true},
+                      VariantCase{"pair_sort", true, true, true, false},
+                      VariantCase{"all_off", false, false, false, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(GpuPipelineTest, AllDevicePresetsAgree) {
+  const EdgeList g = gen::erdos_renyi(300, 2000, 11);
+  const TriangleCount expected = cpu::count_forward(g);
+  for (const auto& config :
+       {simt::DeviceConfig::tesla_c2050(), simt::DeviceConfig::gtx_980(),
+        simt::DeviceConfig::nvs_5200m()}) {
+    GpuForwardCounter counter(config);
+    EXPECT_EQ(counter.count(g).triangles, expected) << config.name;
+  }
+}
+
+TEST(GpuPipelineTest, SamplingPreservesCountAndApproximatesTime) {
+  const EdgeList g = gen::barabasi_albert(2000, 8, 4);
+  CountingOptions full_options;
+  GpuForwardCounter full(simt::DeviceConfig::gtx_980(), full_options);
+  const GpuCountResult full_result = full.count(g);
+
+  CountingOptions sampled_options;
+  sampled_options.sim.sample_sms = 4;
+  GpuForwardCounter sampled(simt::DeviceConfig::gtx_980(), sampled_options);
+  const GpuCountResult sampled_result = sampled.count(g);
+
+  EXPECT_EQ(sampled_result.triangles, full_result.triangles);
+  EXPECT_GT(sampled_result.phases.counting_ms,
+            full_result.phases.counting_ms * 0.3);
+  EXPECT_LT(sampled_result.phases.counting_ms,
+            full_result.phases.counting_ms * 3.0);
+}
+
+TEST(GpuPipelineTest, CpuPreprocessFallbackTriggersOnSmallDevice) {
+  simt::DeviceConfig config = small_device();
+  // Shrink memory so the full preprocessing cannot fit but counting can.
+  const EdgeList g = gen::erdos_renyi(1000, 20000, 8);
+  config.memory_bytes = GpuForwardCounter::device_preprocess_bytes(
+                            g.num_edge_slots(), g.num_vertices()) -
+                        1;
+  GpuForwardCounter counter(config);
+  const GpuCountResult result = counter.count(g);
+  EXPECT_TRUE(result.used_cpu_preprocessing);
+  EXPECT_GT(result.phases.cpu_preprocess_ms, 0.0);
+  EXPECT_EQ(result.triangles, cpu::count_forward(g));
+}
+
+TEST(GpuPipelineTest, ForcedCpuPreprocessMatches) {
+  CountingOptions options;
+  options.force_cpu_preprocess = true;
+  GpuForwardCounter counter(small_device(), options);
+  const EdgeList g = gen::erdos_renyi(300, 2500, 2);
+  const GpuCountResult result = counter.count(g);
+  EXPECT_TRUE(result.used_cpu_preprocessing);
+  EXPECT_EQ(result.triangles, cpu::count_forward(g));
+}
+
+TEST(GpuPipelineTest, KernelStatsAreConsistent) {
+  GpuForwardCounter counter(small_device());
+  const EdgeList g = gen::erdos_renyi(500, 5000, 6);
+  const GpuCountResult r = counter.count(g);
+  const auto& mem = r.kernel.memory;
+  EXPECT_EQ(mem.transactions, mem.sm_cache_accesses)
+      << "all counting loads are read-only eligible by default";
+  EXPECT_EQ(mem.l2_accesses, mem.sm_cache_accesses - mem.sm_cache_hits);
+  EXPECT_EQ(mem.dram_lines, mem.l2_accesses - mem.l2_hits);
+  EXPECT_GT(r.kernel.cache_hit_rate(), 0.0);
+  EXPECT_LE(r.kernel.cache_hit_rate(), 1.0);
+  EXPECT_GE(r.kernel.cycles,
+            std::max({r.kernel.issue_cycles, r.kernel.latency_cycles,
+                      r.kernel.bandwidth_cycles}) -
+                1e-9);
+}
+
+TEST(PreprocessTest, NodeArrayBracketsAreCorrect) {
+  prim::ThreadPool pool(2);
+  const EdgeList g = gen::erdos_renyi(100, 500, 1);
+  CountingOptions options;
+  const PreprocessedGraph pre = preprocess_for_device(
+      g, simt::DeviceConfig::gtx_980(), options, pool);
+  ASSERT_EQ(pre.node.size(), static_cast<std::size_t>(pre.num_vertices) + 1);
+  EXPECT_EQ(pre.node.front(), 0u);
+  EXPECT_EQ(pre.node.back(), pre.oriented.size());
+  for (std::size_t u = 0; u + 1 < pre.node.size(); ++u) {
+    EXPECT_LE(pre.node[u], pre.node[u + 1]);
+    for (std::uint32_t i = pre.node[u]; i < pre.node[u + 1]; ++i) {
+      EXPECT_EQ(pre.oriented[i].u, u);
+    }
+  }
+}
+
+TEST(PreprocessTest, OrientedListsAreSortedAndForward) {
+  prim::ThreadPool pool(2);
+  const EdgeList g = gen::barabasi_albert(300, 4, 7);
+  const std::vector<EdgeIndex> degree = g.degrees();
+  CountingOptions options;
+  const PreprocessedGraph pre = preprocess_for_device(
+      g, simt::DeviceConfig::gtx_980(), options, pool);
+  for (std::size_t i = 0; i < pre.oriented.size(); ++i) {
+    const Edge& e = pre.oriented[i];
+    const bool forward = degree[e.u] != degree[e.v]
+                             ? degree[e.u] < degree[e.v]
+                             : e.u < e.v;
+    EXPECT_TRUE(forward) << "slot " << i;
+    if (i > 0 && pre.oriented[i - 1].u == e.u) {
+      EXPECT_LT(pre.oriented[i - 1].v, e.v) << "lists must be sorted";
+    }
+  }
+}
+
+TEST(PreprocessTest, SoAMatchesAoS) {
+  prim::ThreadPool pool(2);
+  const EdgeList g = gen::erdos_renyi(200, 1500, 3);
+  CountingOptions options;  // soa on by default
+  const PreprocessedGraph pre = preprocess_for_device(
+      g, simt::DeviceConfig::gtx_980(), options, pool);
+  ASSERT_EQ(pre.soa.size(), pre.oriented.size());
+  for (std::size_t i = 0; i < pre.oriented.size(); ++i) {
+    EXPECT_EQ(pre.soa.src[i], pre.oriented[i].u);
+    EXPECT_EQ(pre.soa.dst[i], pre.oriented[i].v);
+  }
+}
+
+}  // namespace
+}  // namespace trico::core

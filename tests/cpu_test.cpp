@@ -1,0 +1,140 @@
+// Tests for the CPU counting algorithms: closed-form families, pairwise
+// agreement across all algorithms on random graphs, and the §III-A
+// adjacency-input variant.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+#include "graph/conversion.hpp"
+#include "graph/orientation.hpp"
+
+namespace trico::cpu {
+namespace {
+
+using CountFn = TriangleCount (*)(const EdgeList&);
+
+struct NamedAlgorithm {
+  const char* name;
+  CountFn fn;
+};
+
+const NamedAlgorithm kAlgorithms[] = {
+    {"node_iterator", &count_node_iterator},
+    {"edge_iterator", &count_edge_iterator},
+    {"forward", &count_forward},
+    {"compact_forward", &count_compact_forward},
+    {"forward_hashed", &count_forward_hashed},
+    {"forward_binary_search", &count_forward_binary_search},
+};
+
+class AlgorithmTest : public ::testing::TestWithParam<NamedAlgorithm> {};
+
+TEST_P(AlgorithmTest, MatchesClosedFormsOnAllReferenceFamilies) {
+  for (const gen::ReferenceGraph& g : gen::all_small_references()) {
+    EXPECT_EQ(GetParam().fn(g.edges), g.expected_triangles)
+        << GetParam().name << " on " << g.family;
+  }
+}
+
+TEST_P(AlgorithmTest, EmptyGraph) {
+  EXPECT_EQ(GetParam().fn(EdgeList{}), 0u);
+}
+
+TEST_P(AlgorithmTest, SingleEdge) {
+  const EdgeList g = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(GetParam().fn(g), 0u);
+}
+
+TEST_P(AlgorithmTest, AgreesWithForwardOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const EdgeList g = gen::erdos_renyi(300, 2500, seed);
+    EXPECT_EQ(GetParam().fn(g), count_forward(g)) << "seed " << seed;
+  }
+}
+
+TEST_P(AlgorithmTest, AgreesWithForwardOnSkewedGraphs) {
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 10;
+  const EdgeList g = gen::rmat(params, 77);
+  EXPECT_EQ(GetParam().fn(g), count_forward(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmTest,
+                         ::testing::ValuesIn(kAlgorithms),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(MulticoreTest, MatchesSequentialForward) {
+  prim::ThreadPool pool(4);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const EdgeList g = gen::barabasi_albert(1000, 6, seed);
+    EXPECT_EQ(count_forward_multicore(g, pool), count_forward(g));
+  }
+}
+
+TEST(MulticoreTest, SingleThreadPoolWorks) {
+  prim::ThreadPool pool(1);
+  const EdgeList g = gen::erdos_renyi(200, 1500, 3);
+  EXPECT_EQ(count_forward_multicore(g, pool), count_forward(g));
+}
+
+TEST(AdjacencyInputTest, MatchesEdgeArrayInput) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const EdgeList g = gen::erdos_renyi(400, 3000, seed + 10);
+    const Csr adjacency = edge_array_to_adjacency(g);
+    EXPECT_EQ(count_forward_from_adjacency(adjacency), count_forward(g));
+  }
+}
+
+TEST(CountingPhaseTest, MatchesFullPipeline) {
+  const EdgeList g = gen::watts_strogatz(500, 5, 0.1, 2);
+  const Csr oriented = oriented_csr(g);
+  EXPECT_EQ(count_forward_counting_phase(oriented), count_forward(g));
+}
+
+TEST(PerVertexTest, SumsToThreeTimesTotal) {
+  const EdgeList g = gen::erdos_renyi(300, 3000, 5);
+  const auto per_vertex = per_vertex_triangles(g);
+  const TriangleCount sum =
+      std::accumulate(per_vertex.begin(), per_vertex.end(), TriangleCount{0});
+  EXPECT_EQ(sum, 3 * count_forward(g));
+}
+
+TEST(PerVertexTest, DisjointTrianglesGiveOnePerVertex) {
+  const gen::ReferenceGraph g = gen::disjoint_triangles(5);
+  const auto per_vertex = per_vertex_triangles(g.edges);
+  for (VertexId v = 0; v < 15; ++v) EXPECT_EQ(per_vertex[v], 1u);
+}
+
+TEST(PerVertexTest, WindmillCenterInEveryTriangle) {
+  const gen::ReferenceGraph g = gen::windmill(3, 7);  // 7 triangles at hub
+  const auto per_vertex = per_vertex_triangles(g.edges);
+  EXPECT_EQ(per_vertex[0], 7u);
+}
+
+// Degenerate but valid inputs.
+TEST(EdgeCaseTest, IsolatedVerticesDoNotCrash) {
+  const EdgeList g(std::vector<Edge>{{0, 9}, {9, 0}}, 20);
+  for (const auto& algorithm : kAlgorithms) {
+    EXPECT_EQ(algorithm.fn(g), 0u) << algorithm.name;
+  }
+}
+
+TEST(EdgeCaseTest, TwoTrianglesSharingAnEdge) {
+  // "Bowtie on an edge": {0,1,2} and {0,1,3} share edge (0,1).
+  const EdgeList g = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}});
+  for (const auto& algorithm : kAlgorithms) {
+    EXPECT_EQ(algorithm.fn(g), 2u) << algorithm.name;
+  }
+}
+
+}  // namespace
+}  // namespace trico::cpu

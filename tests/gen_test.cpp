@@ -1,0 +1,167 @@
+// Tests for the graph generators: canonical-form invariants, determinism,
+// structural properties, and the closed-form reference families.
+
+#include <gtest/gtest.h>
+
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+#include "graph/stats.hpp"
+
+namespace trico::gen {
+namespace {
+
+void expect_canonical(const EdgeList& edges) {
+  const ValidationReport report = edges.validate();
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(ErdosRenyiTest, ProducesRequestedEdgeCount) {
+  const EdgeList g = erdos_renyi(500, 2000, 1);
+  EXPECT_EQ(g.num_edges(), 2000u);
+  EXPECT_LE(g.num_vertices(), 500u);
+  expect_canonical(g);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  EXPECT_EQ(erdos_renyi(200, 500, 7), erdos_renyi(200, 500, 7));
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  EXPECT_NE(erdos_renyi(200, 500, 7), erdos_renyi(200, 500, 8));
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(erdos_renyi(4, 7, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyiTest, CompleteGraphIsPossible) {
+  const EdgeList g = erdos_renyi(5, 10, 3);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(cpu::count_forward(g), 10u);  // K5 has C(5,3) = 10 triangles
+}
+
+TEST(RmatTest, RespectsScaleAndEdgeFactor) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  const EdgeList g = rmat(params, 11);
+  EXPECT_LE(g.num_vertices(), 1u << 10);
+  // Dedup and loop removal lose some attempts but most survive.
+  EXPECT_GT(g.num_edges(), (1u << 10) * 8 / 2);
+  EXPECT_LE(g.num_edges(), (1u << 10) * 8);
+  expect_canonical(g);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  const EdgeList g = rmat(params, 5);
+  const GraphStats stats = compute_stats(g);
+  // R-MAT graphs are heavy-tailed: max degree far above average.
+  EXPECT_GT(static_cast<double>(stats.max_degree), 10.0 * stats.avg_degree);
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatParams params;
+  params.scale = 8;
+  EXPECT_EQ(rmat(params, 3), rmat(params, 3));
+}
+
+TEST(BarabasiAlbertTest, ProducesExpectedSize) {
+  const EdgeList g = barabasi_albert(1000, 5, 2);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Each of the ~995 non-seed vertices adds ~5 edges.
+  EXPECT_GT(g.num_edges(), 4000u);
+  EXPECT_LT(g.num_edges(), 5200u);
+  expect_canonical(g);
+}
+
+TEST(BarabasiAlbertTest, PowerLawHub) {
+  const EdgeList g = barabasi_albert(2000, 4, 9);
+  const GraphStats stats = compute_stats(g);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 5.0 * stats.avg_degree);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  EXPECT_THROW(barabasi_albert(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(3, 5, 1), std::invalid_argument);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  const EdgeList g = watts_strogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 300u);
+  const GraphStats stats = compute_stats(g);
+  EXPECT_EQ(stats.max_degree, 6u);
+  // Ring lattice with k=3: each vertex forms triangles with near neighbours;
+  // count is n * (k * (k - 1)) / 2 ... verified against the closed form 3nk(k-1)/6.
+  EXPECT_EQ(cpu::count_forward(g), 100u * 3u);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeBudget) {
+  const EdgeList g = watts_strogatz(500, 4, 0.2, 3);
+  // Rewiring can collide (edge kept instead), so count is <= n*k.
+  EXPECT_LE(g.num_edges(), 2000u);
+  EXPECT_GT(g.num_edges(), 1800u);
+  expect_canonical(g);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParams) {
+  EXPECT_THROW(watts_strogatz(10, 5, 0.1, 1), std::invalid_argument);
+}
+
+TEST(SocialTest, TriadicClosureRaisesTriangleDensity) {
+  SocialParams base;
+  base.n = 2000;
+  base.attach = 6;
+  base.closure_rounds = 0.0;
+  SocialParams closed = base;
+  closed.closure_rounds = 2.0;
+  closed.closure_prob = 0.5;
+  const EdgeList g0 = social(base, 4);
+  const EdgeList g1 = social(closed, 4);
+  const double ratio0 = static_cast<double>(cpu::count_forward(g0)) /
+                        static_cast<double>(g0.num_edges());
+  const double ratio1 = static_cast<double>(cpu::count_forward(g1)) /
+                        static_cast<double>(g1.num_edges());
+  EXPECT_GT(ratio1, ratio0);
+  expect_canonical(g1);
+}
+
+// ---- Reference families: every closed form must hold ----
+
+TEST(ReferenceTest, CompleteGraphTriangles) {
+  for (VertexId n : {3u, 4u, 5u, 10u, 20u}) {
+    const ReferenceGraph g = complete(n);
+    EXPECT_EQ(cpu::count_forward(g.edges), g.expected_triangles) << "K" << n;
+  }
+}
+
+TEST(ReferenceTest, AllSmallFamiliesMatchClosedForms) {
+  for (const ReferenceGraph& g : all_small_references()) {
+    EXPECT_EQ(cpu::count_forward(g.edges), g.expected_triangles) << g.family;
+    expect_canonical(g.edges);
+  }
+}
+
+TEST(ReferenceTest, WheelIsK4AtFour) {
+  const ReferenceGraph g = wheel(4);
+  EXPECT_EQ(g.expected_triangles, 4u);
+  EXPECT_EQ(cpu::count_forward(g.edges), 4u);
+}
+
+TEST(ReferenceTest, BipartiteHasNoTriangles) {
+  const ReferenceGraph g = complete_bipartite(8, 9);
+  EXPECT_EQ(cpu::count_forward(g.edges), 0u);
+}
+
+TEST(ReferenceTest, RejectsDegenerateParams) {
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+  EXPECT_THROW(wheel(3), std::invalid_argument);
+  EXPECT_THROW(windmill(1, 3), std::invalid_argument);
+  EXPECT_THROW(clique_ring(4, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trico::gen

@@ -1,0 +1,266 @@
+// Unit tests for the graph core: EdgeList invariants, CSR construction,
+// orientation, conversions, IO, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/conversion.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+#include "graph/orientation.hpp"
+#include "graph/stats.hpp"
+#include "graph/types.hpp"
+
+namespace trico {
+namespace {
+
+TEST(EdgeTest, PackUnpackRoundTrip) {
+  const Edge e{123456, 789012};
+  EXPECT_EQ(unpack_edge(pack_edge(e)), e);
+  EXPECT_EQ(unpack_edge_le(pack_edge_le(e)), e);
+}
+
+TEST(EdgeTest, PackOrdersByFirstVertex) {
+  EXPECT_LT(pack_edge({1, 9}), pack_edge({2, 0}));
+  EXPECT_LT(pack_edge({1, 2}), pack_edge({1, 3}));
+}
+
+TEST(EdgeTest, PackLeOrdersBySecondVertex) {
+  EXPECT_LT(pack_edge_le({9, 1}), pack_edge_le({0, 2}));
+}
+
+TEST(EdgeListTest, FromUndirectedPairsEmitsBothDirections) {
+  const std::vector<Edge> pairs{{0, 1}, {1, 2}};
+  const EdgeList list = EdgeList::from_undirected_pairs(pairs);
+  EXPECT_EQ(list.num_edge_slots(), 4u);
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.num_vertices(), 3u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(EdgeListTest, FromUndirectedPairsDropsSelfLoopsAndDuplicates) {
+  const std::vector<Edge> pairs{{0, 1}, {1, 0}, {2, 2}, {0, 1}};
+  const EdgeList list = EdgeList::from_undirected_pairs(pairs);
+  EXPECT_EQ(list.num_edges(), 1u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(EdgeListTest, ValidateDetectsSelfLoop) {
+  const EdgeList list(std::vector<Edge>{{1, 1}});
+  const ValidationReport report = list.validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.self_loops, 1u);
+}
+
+TEST(EdgeListTest, ValidateDetectsAsymmetry) {
+  const EdgeList list(std::vector<Edge>{{0, 1}});
+  const ValidationReport report = list.validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.asymmetric, 1u);
+}
+
+TEST(EdgeListTest, ValidateDetectsDuplicates) {
+  const EdgeList list(std::vector<Edge>{{0, 1}, {0, 1}, {1, 0}});
+  const ValidationReport report = list.validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.duplicate_slots, 1u);
+}
+
+TEST(EdgeListTest, CanonicalizedRepairsArbitraryInput) {
+  const EdgeList raw(std::vector<Edge>{{0, 1}, {0, 1}, {1, 1}, {2, 0}});
+  const EdgeList fixed = raw.canonicalized();
+  EXPECT_TRUE(fixed.validate().ok);
+  EXPECT_EQ(fixed.num_edges(), 2u);  // {0,1} and {0,2}
+}
+
+TEST(EdgeListTest, SoARoundTrip) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}});
+  const EdgeListSoA soa = list.to_soa();
+  EXPECT_EQ(soa.size(), list.num_edge_slots());
+  const EdgeList back = EdgeList::from_soa(soa, list.num_vertices());
+  EXPECT_EQ(back, list);
+}
+
+TEST(EdgeListTest, DegreesMatchSlots) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}});
+  const auto deg = list.degrees();
+  EXPECT_EQ(deg[0], 3u);
+  EXPECT_EQ(deg[1], 1u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 1u);
+}
+
+TEST(EdgeListTest, ExplicitVertexCountAllowsIsolatedVertices) {
+  const EdgeList list(std::vector<Edge>{{0, 1}, {1, 0}}, 10);
+  EXPECT_EQ(list.num_vertices(), 10u);
+  EXPECT_EQ(compute_stats(list).isolated_vertices, 8u);
+}
+
+TEST(CsrTest, BuildsSortedAdjacency) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{2, 0}, {0, 1}, {1, 2}});
+  const Csr csr = Csr::from_edge_list(list);
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edge_slots(), 6u);
+  EXPECT_TRUE(csr.lists_strictly_sorted());
+  EXPECT_EQ(csr.degree(0), 2u);
+  ASSERT_EQ(csr.neighbors(0).size(), 2u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+}
+
+TEST(CsrTest, HandlesIsolatedVertices) {
+  const EdgeList list(std::vector<Edge>{{0, 3}, {3, 0}}, 5);
+  const Csr csr = Csr::from_edge_list(list);
+  EXPECT_EQ(csr.num_vertices(), 5u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(2), 0u);
+  EXPECT_EQ(csr.degree(4), 0u);
+  EXPECT_EQ(csr.degree(3), 1u);
+}
+
+TEST(CsrTest, RejectsMalformedOffsets) {
+  EXPECT_THROW(Csr({1, 2}, {0}), std::invalid_argument);
+  EXPECT_THROW(Csr({0, 2}, {0}), std::invalid_argument);
+  EXPECT_THROW(Csr({0, 2, 1}, {0, 1}), std::invalid_argument);
+}
+
+TEST(CsrTest, EdgeListRoundTrip) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const Csr csr = Csr::from_edge_list(list);
+  const EdgeList back = csr.to_edge_list();
+  EXPECT_EQ(back.num_edge_slots(), list.num_edge_slots());
+  EXPECT_TRUE(back.validate().ok);
+}
+
+TEST(OrientationTest, KeepsExactlyOneDirectionPerEdge) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const EdgeList oriented = orient_forward(list);
+  EXPECT_EQ(oriented.num_edge_slots(), list.num_edges());
+}
+
+TEST(OrientationTest, OrientsLowDegreeToHighDegree) {
+  // Star: hub 0 has degree 3, leaves degree 1 -> all edges point to hub.
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}});
+  const EdgeList oriented = orient_forward(list);
+  for (const Edge& e : oriented.edges()) {
+    EXPECT_EQ(e.v, 0u) << "edge should point at the hub";
+  }
+}
+
+TEST(OrientationTest, TieBreaksById) {
+  // Triangle: all degrees equal; orientation must use vertex id.
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}});
+  const EdgeList oriented = orient_forward(list);
+  for (const Edge& e : oriented.edges()) {
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(OrientationTest, OrientedListsBoundedBySqrt2m) {
+  // Theory (§II-B): no oriented adjacency list exceeds sqrt(2m).
+  std::vector<Edge> pairs;
+  // A skewed graph: hub connected to everyone + a chain.
+  for (VertexId v = 1; v < 200; ++v) pairs.push_back({0, v});
+  for (VertexId v = 1; v + 1 < 200; ++v)
+    pairs.push_back({v, static_cast<VertexId>(v + 1)});
+  const EdgeList list = EdgeList::from_undirected_pairs(pairs);
+  const Csr oriented = oriented_csr(list);
+  const double bound = std::sqrt(2.0 * static_cast<double>(list.num_edges()));
+  EXPECT_LE(static_cast<double>(max_oriented_degree(oriented)), bound + 1);
+}
+
+TEST(OrientationTest, OrientByIdKeepsOneDirection) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}});
+  const EdgeList oriented = orient_by_id(list);
+  EXPECT_EQ(oriented.num_edge_slots(), 3u);
+  for (const Edge& e : oriented.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(ConversionTest, AdjacencyEdgeArrayRoundTrip) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  const Csr adjacency = edge_array_to_adjacency(list);
+  const EdgeList back = adjacency_to_edge_array(adjacency);
+  EXPECT_EQ(back.num_edge_slots(), list.num_edge_slots());
+  EXPECT_TRUE(back.validate().ok);
+}
+
+TEST(IoTest, TextRoundTrip) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}});
+  std::stringstream stream;
+  io::write_text(stream, list);
+  const EdgeList back = io::read_text(stream);
+  EXPECT_EQ(back.num_edges(), list.num_edges());
+  EXPECT_TRUE(back.validate().ok);
+}
+
+TEST(IoTest, TextParsesCommentsAndBlankLines) {
+  std::stringstream stream("# header\n\n0 1\n1 2 # trailing comment\n");
+  const EdgeList list = io::read_text(stream);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(IoTest, TextRejectsMalformedLines) {
+  std::stringstream one_token("0\n");
+  EXPECT_THROW(io::read_text(one_token), io::IoError);
+  std::stringstream three_tokens("0 1 2\n");
+  EXPECT_THROW(io::read_text(three_tokens), io::IoError);
+}
+
+TEST(IoTest, BinaryRoundTripPreservesSlotsVerbatim) {
+  const EdgeList list(std::vector<Edge>{{3, 1}, {0, 2}}, 7);
+  std::stringstream stream;
+  io::write_binary(stream, list);
+  const EdgeList back = io::read_binary(stream);
+  EXPECT_EQ(back, list);
+}
+
+TEST(IoTest, BinaryRejectsBadMagic) {
+  std::stringstream stream("NOTTRICO........");
+  EXPECT_THROW(io::read_binary(stream), io::IoError);
+}
+
+TEST(IoTest, BinaryRejectsTruncation) {
+  const EdgeList list(std::vector<Edge>{{0, 1}, {1, 0}}, 2);
+  std::stringstream stream;
+  io::write_binary(stream, list);
+  std::string data = stream.str();
+  data.resize(data.size() - 4);
+  std::stringstream truncated(data);
+  EXPECT_THROW(io::read_binary(truncated), io::IoError);
+}
+
+TEST(StatsTest, ComputesBasicStats) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}});
+  const GraphStats stats = compute_stats(list);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 1.5);
+  EXPECT_GT(stats.degree_stddev, 0.0);
+}
+
+TEST(StatsTest, DegreeHistogramSumsToVertexCount) {
+  const EdgeList list = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  const auto histogram = degree_histogram(list);
+  std::uint64_t total = 0;
+  for (auto count : histogram) total += count;
+  EXPECT_EQ(total, list.num_vertices());
+}
+
+}  // namespace
+}  // namespace trico

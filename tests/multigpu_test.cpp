@@ -1,0 +1,93 @@
+// Tests for the multi-GPU extension (§III-E): exact counts under any device
+// count, sensible scaling, and the Amdahl bound.
+
+#include <gtest/gtest.h>
+
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+namespace trico::multigpu {
+namespace {
+
+simt::DeviceConfig small_device() {
+  simt::DeviceConfig config = simt::DeviceConfig::tesla_c2050();
+  config.num_sms = 4;
+  return config;
+}
+
+class DeviceCountTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeviceCountTest, CountMatchesCpuForward) {
+  const EdgeList g = gen::erdos_renyi(400, 3000, 13);
+  MultiGpuCounter counter(small_device(), GetParam());
+  EXPECT_EQ(counter.count(g).triangles, cpu::count_forward(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToFive, DeviceCountTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(MultiGpuTest, RejectsZeroDevices) {
+  EXPECT_THROW(MultiGpuCounter(small_device(), 0), std::invalid_argument);
+}
+
+TEST(MultiGpuTest, SlicesPartitionTheEdges) {
+  const EdgeList g = gen::barabasi_albert(500, 5, 21);
+  MultiGpuCounter counter(small_device(), 3);
+  const MultiGpuResult result = counter.count(g);
+  std::uint64_t total_edges = 0;
+  TriangleCount total_triangles = 0;
+  for (const DeviceSlice& slice : result.slices) {
+    total_edges += slice.edges;
+    total_triangles += slice.triangles;
+  }
+  EXPECT_EQ(total_edges, g.num_edges());
+  EXPECT_EQ(total_triangles, result.triangles);
+}
+
+TEST(MultiGpuTest, CountingPhaseShrinksWithMoreDevices) {
+  // Triangle-rich graph: counting dominates, so the counting phase should
+  // scale down with device count.
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 12;
+  const EdgeList g = gen::rmat(params, 2);
+  MultiGpuCounter one(small_device(), 1);
+  MultiGpuCounter four(small_device(), 4);
+  const MultiGpuResult r1 = one.count(g);
+  const MultiGpuResult r4 = four.count(g);
+  EXPECT_EQ(r1.triangles, r4.triangles);
+  EXPECT_LT(r4.counting_ms, r1.counting_ms * 0.6);
+  // Preprocessing is unchanged (runs on one device either way).
+  EXPECT_NEAR(r4.preprocessing_ms, r1.preprocessing_ms,
+              r1.preprocessing_ms * 0.01);
+  // Broadcast cost only exists with more than one device.
+  EXPECT_EQ(r1.broadcast_ms, 0.0);
+  EXPECT_GT(r4.broadcast_ms, 0.0);
+}
+
+TEST(MultiGpuTest, SpeedupRespectsAmdahlBound) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 10;
+  const EdgeList g = gen::rmat(params, 6);
+  MultiGpuCounter one(small_device(), 1);
+  MultiGpuCounter four(small_device(), 4);
+  const MultiGpuResult r1 = one.count(g);
+  const MultiGpuResult r4 = four.count(g);
+  const double speedup = r1.total_ms() / r4.total_ms();
+  const double fraction = r1.preprocessing_ms / r1.total_ms();
+  EXPECT_LE(speedup, amdahl_max_speedup(fraction, 4) * 1.05);
+  EXPECT_GE(speedup, 0.5);  // broadcast overhead must not blow up the total
+}
+
+TEST(AmdahlTest, ClosedFormValues) {
+  EXPECT_DOUBLE_EQ(amdahl_max_speedup(0.0, 4), 4.0);
+  EXPECT_DOUBLE_EQ(amdahl_max_speedup(1.0, 4), 1.0);
+  // The paper's §III-E extremes: p in [0.08, 0.76] -> 3.23 to 1.22 on 4 GPUs.
+  EXPECT_NEAR(amdahl_max_speedup(0.08, 4), 3.23, 0.01);
+  EXPECT_NEAR(amdahl_max_speedup(0.76, 4), 1.22, 0.01);
+}
+
+}  // namespace
+}  // namespace trico::multigpu

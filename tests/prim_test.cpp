@@ -1,0 +1,282 @@
+// Tests for the parallel primitives (the Thrust substitute): every primitive
+// must agree with its sequential std:: counterpart for any thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "prim/algorithms.hpp"
+#include "prim/radix_sort.hpp"
+#include "prim/thread_pool.hpp"
+
+namespace trico::prim {
+namespace {
+
+std::vector<std::uint64_t> random_u64(std::size_t n, std::uint64_t seed,
+                                      std::uint64_t mask = ~0ull) {
+  gen::Rng rng(seed);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng.next() & mask;
+  return values;
+}
+
+/// All primitives are exercised with several pool widths, including 1
+/// (sequential degenerate case) and more threads than hardware.
+class PrimTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ThreadPool pool_{GetParam()};
+};
+
+TEST_P(PrimTest, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool_, 0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(PrimTest, ParallelForEmptyRange) {
+  bool called = false;
+  parallel_for(pool_, 5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(PrimTest, ReduceSum) {
+  const auto values = random_u64(10001, 1, 0xffff);
+  const auto expected =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  EXPECT_EQ(reduce<std::uint64_t>(pool_, values), expected);
+}
+
+TEST_P(PrimTest, ReduceMax) {
+  const auto values = random_u64(5000, 2);
+  const auto expected = *std::max_element(values.begin(), values.end());
+  EXPECT_EQ(max_value<std::uint64_t>(pool_, values, 0), expected);
+}
+
+TEST_P(PrimTest, ReduceEmptyReturnsInit) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(reduce<std::uint64_t>(pool_, empty, 42), 42u);
+}
+
+TEST_P(PrimTest, TransformReduceMatchesLoop) {
+  const std::size_t n = 3000;
+  const auto result = transform_reduce<std::uint64_t>(
+      pool_, n, 0, [](std::size_t i) { return i * i; });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += i * i;
+  EXPECT_EQ(result, expected);
+}
+
+TEST_P(PrimTest, ExclusiveScanMatchesStd) {
+  auto values = random_u64(4097, 3, 0xff);
+  std::vector<std::uint64_t> expected(values.size());
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(),
+                      std::uint64_t{7});
+  std::vector<std::uint64_t> out(values.size());
+  exclusive_scan<std::uint64_t>(pool_, values, out, 7);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(PrimTest, ExclusiveScanInPlaceAliasing) {
+  auto values = random_u64(1000, 4, 0xff);
+  std::vector<std::uint64_t> expected(values.size());
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(),
+                      std::uint64_t{0});
+  exclusive_scan<std::uint64_t>(pool_, values, values);
+  EXPECT_EQ(values, expected);
+}
+
+TEST_P(PrimTest, InclusiveScanMatchesStd) {
+  auto values = random_u64(2048, 5, 0xff);
+  std::vector<std::uint64_t> expected(values.size());
+  std::inclusive_scan(values.begin(), values.end(), expected.begin());
+  std::vector<std::uint64_t> out(values.size());
+  inclusive_scan<std::uint64_t>(pool_, values, out);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(PrimTest, TransformApplies) {
+  const auto values = random_u64(513, 6, 0xffff);
+  std::vector<std::uint64_t> out(values.size());
+  transform<std::uint64_t, std::uint64_t>(
+      pool_, values, out, [](std::uint64_t v) { return v * 2 + 1; });
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], values[i] * 2 + 1);
+  }
+}
+
+TEST_P(PrimTest, RemoveIfFlaggedIsStable) {
+  const auto values = random_u64(999, 7, 0xffff);
+  std::vector<std::uint8_t> flags(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) flags[i] = (values[i] % 3 == 0);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!flags[i]) expected.push_back(values[i]);
+  }
+  const auto out = remove_if_flagged<std::uint64_t>(pool_, values, flags);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(PrimTest, RemoveIfAllFlagged) {
+  const std::vector<std::uint64_t> values{1, 2, 3};
+  const std::vector<std::uint8_t> flags{1, 1, 1};
+  EXPECT_TRUE(remove_if_flagged<std::uint64_t>(pool_, values, flags).empty());
+}
+
+TEST_P(PrimTest, HistogramCountsKeys) {
+  gen::Rng rng(8);
+  std::vector<std::uint32_t> keys(5000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(37));
+  const auto bins = histogram(pool_, keys, 37);
+  std::vector<std::uint64_t> expected(37, 0);
+  for (auto k : keys) ++expected[k];
+  EXPECT_EQ(bins, expected);
+}
+
+TEST_P(PrimTest, RadixSortU64MatchesStdSort) {
+  auto values = random_u64(20000, 9);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_u64(pool_, values);
+  EXPECT_EQ(values, expected);
+}
+
+TEST_P(PrimTest, RadixSortU64SmallKeysUsesFewerPasses) {
+  auto values = random_u64(5000, 10, 0xffff);  // only 2 significant bytes
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_u64(pool_, values);
+  EXPECT_EQ(values, expected);
+}
+
+TEST_P(PrimTest, RadixSortU32MatchesStdSort) {
+  gen::Rng rng(11);
+  std::vector<std::uint32_t> values(10000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next());
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_u32(pool_, values);
+  EXPECT_EQ(values, expected);
+}
+
+TEST_P(PrimTest, RadixSortPairsCarriesValues) {
+  gen::Rng rng(12);
+  const std::size_t n = 4000;
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next() & 0xffffff;
+    vals[i] = static_cast<std::uint32_t>(i);
+  }
+  auto keys_copy = keys;
+  radix_sort_pairs_u64(pool_, keys, vals);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[i], keys_copy[vals[i]]) << "value must follow its key";
+  }
+}
+
+TEST_P(PrimTest, RadixSortIsStable) {
+  // Keys with many duplicates; values record original position. Stability
+  // means equal keys keep ascending positions.
+  gen::Rng rng(13);
+  const std::size_t n = 3000;
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next_below(7);
+    vals[i] = static_cast<std::uint32_t>(i);
+  }
+  radix_sort_pairs_u64(pool_, keys, vals);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (keys[i - 1] == keys[i]) EXPECT_LT(vals[i - 1], vals[i]);
+  }
+}
+
+TEST_P(PrimTest, SortEdgesAsU64OrdersByFirstThenSecond) {
+  gen::Rng rng(14);
+  std::vector<Edge> edges(5000);
+  for (auto& e : edges) {
+    e.u = static_cast<VertexId>(rng.next_below(500));
+    e.v = static_cast<VertexId>(rng.next_below(500));
+  }
+  auto expected = edges;
+  std::sort(expected.begin(), expected.end());
+  sort_edges_as_u64(pool_, edges);
+  EXPECT_EQ(edges, expected);
+}
+
+TEST_P(PrimTest, SortEdgesAsU64LeOrdersBySecondThenFirst) {
+  // The paper's §III-D2 caveat: the little-endian packing sorts by (v, u).
+  gen::Rng rng(15);
+  std::vector<Edge> edges(2000);
+  for (auto& e : edges) {
+    e.u = static_cast<VertexId>(rng.next_below(100));
+    e.v = static_cast<VertexId>(rng.next_below(100));
+  }
+  sort_edges_as_u64_le(pool_, edges);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const bool ordered = edges[i - 1].v != edges[i].v
+                             ? edges[i - 1].v < edges[i].v
+                             : edges[i - 1].u <= edges[i].u;
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST_P(PrimTest, SortEdgesAsPairsMatchesStdSort) {
+  gen::Rng rng(16);
+  std::vector<Edge> edges(7777);
+  for (auto& e : edges) {
+    e.u = static_cast<VertexId>(rng.next());
+    e.v = static_cast<VertexId>(rng.next());
+  }
+  auto expected = edges;
+  std::sort(expected.begin(), expected.end());
+  sort_edges_as_pairs(pool_, edges);
+  EXPECT_EQ(edges, expected);
+}
+
+TEST_P(PrimTest, SortHandlesEmptyAndSingle) {
+  std::vector<std::uint64_t> empty;
+  radix_sort_u64(pool_, empty);
+  std::vector<std::uint64_t> one{42};
+  radix_sort_u64(pool_, one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolWidths, PrimTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 8),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelWorkersRunsEachSlotOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> slots(4);
+  pool.parallel_workers([&](std::size_t w, std::size_t nw) {
+    EXPECT_EQ(nw, 4u);
+    slots[w].fetch_add(1);
+  });
+  for (const auto& s : slots) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManySmallJobsDoNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    parallel_for(pool, 0, 10, [&](std::size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 200u * 45u);
+}
+
+}  // namespace
+}  // namespace trico::prim

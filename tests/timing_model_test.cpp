@@ -1,0 +1,235 @@
+// White-box tests of the runner's timing model: synthetic kernels designed
+// to be issue-bound, latency-bound, or bandwidth-bound must be charged by
+// the matching bound (DESIGN.md §6), and the model must respond to the
+// architectural parameters the paper's optimizations rely on.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/runner.hpp"
+
+namespace trico::simt {
+namespace {
+
+DeviceConfig test_device() {
+  DeviceConfig config = DeviceConfig::gtx_980();
+  config.num_sms = 2;
+  return config;
+}
+
+/// Pure-ALU kernel: `iterations` steps per thread, no memory traffic.
+class AluKernel {
+ public:
+  explicit AluKernel(std::uint64_t iterations) : iterations_(iterations) {}
+
+  struct State {
+    std::uint64_t remaining = 0;
+  };
+
+  void start(State& state, std::uint64_t, std::uint64_t) const {
+    state.remaining = iterations_;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink&) const {
+    if (state.remaining == 0) return false;
+    --state.remaining;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  std::uint64_t iterations_;
+};
+
+/// Pointer-chase kernel: each thread walks a random permutation, so every
+/// access is a fresh line with no spatial locality — latency exposed.
+class ChaseKernel {
+ public:
+  ChaseKernel(DeviceSpan<std::uint32_t> next, std::uint64_t hops)
+      : next_(next), hops_(hops) {}
+
+  struct State {
+    std::uint64_t position = 0;
+    std::uint64_t remaining = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t) const {
+    state.position = tid % next_.size();
+    state.remaining = hops_;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.remaining == 0) return false;
+    sink.read(next_.addr(state.position), 4, true);
+    state.position = next_[state.position];
+    --state.remaining;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  DeviceSpan<std::uint32_t> next_;
+  std::uint64_t hops_;
+};
+
+/// Streaming kernel: coalesced sequential reads, maximal DRAM traffic.
+class StreamKernel {
+ public:
+  explicit StreamKernel(DeviceSpan<std::uint32_t> data) : data_(data) {}
+
+  struct State {
+    std::uint64_t index = 0;
+    std::uint64_t stride = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t total) const {
+    state.index = tid;
+    state.stride = total;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.index >= data_.size()) return false;
+    sink.read(data_.addr(state.index), 4, true);
+    state.index += state.stride;
+    return true;
+  }
+
+  void retire(const State&) {}
+
+ private:
+  DeviceSpan<std::uint32_t> data_;
+};
+
+TEST(TimingModelTest, AluKernelIsIssueBound) {
+  const Device device(test_device());
+  AluKernel kernel(500);
+  const KernelStats stats =
+      launch_kernel(device, LaunchConfig{64, 8, 32}, kernel);
+  EXPECT_DOUBLE_EQ(stats.cycles, stats.issue_cycles);
+  EXPECT_EQ(stats.memory.transactions, 0u);
+  EXPECT_EQ(stats.bandwidth_cycles, 0.0);
+}
+
+TEST(TimingModelTest, AluTimeScalesLinearlyWithWork) {
+  const Device device(test_device());
+  AluKernel short_kernel(200);
+  AluKernel long_kernel(800);
+  const auto s1 = launch_kernel(device, LaunchConfig{64, 8, 32}, short_kernel);
+  const auto s2 = launch_kernel(device, LaunchConfig{64, 8, 32}, long_kernel);
+  EXPECT_NEAR(s2.cycles / s1.cycles, 4.0, 0.1);
+}
+
+TEST(TimingModelTest, PointerChaseIsLatencyBound) {
+  Device device(test_device());
+  // A permutation much larger than every cache level.
+  const std::size_t n = 1 << 20;
+  std::vector<std::uint32_t> next(n);
+  // Deterministic "random" permutation: multiply by an odd constant mod n.
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = static_cast<std::uint32_t>((i * 2654435761ull + 12345) % n);
+  }
+  const auto span = device.upload<std::uint32_t>(next);
+  ChaseKernel kernel(span, 64);
+  // Few warps: nothing to hide latency with.
+  const KernelStats stats =
+      launch_kernel(device, LaunchConfig{32, 1, 32}, kernel);
+  EXPECT_DOUBLE_EQ(stats.cycles, stats.latency_cycles);
+  EXPECT_GT(stats.latency_cycles, stats.issue_cycles);
+}
+
+TEST(TimingModelTest, StreamIsBandwidthOrIssueBoundNotLatencyBound) {
+  Device device(test_device());
+  std::vector<std::uint32_t> data(4 << 20, 1);
+  const auto span = device.upload<std::uint32_t>(data);
+  StreamKernel kernel(span);
+  const KernelStats stats =
+      launch_kernel(device, LaunchConfig{256, 8, 32}, kernel);
+  // Sequential coalesced streaming: latency is amortized over 32 hits per
+  // line; the binding constraint is throughput.
+  EXPECT_LT(stats.latency_cycles, stats.cycles + 1e-9);
+  EXPECT_GT(stats.memory.dram_bytes, data.size() * 4 / 2);
+}
+
+TEST(TimingModelTest, HigherBandwidthDeviceStreamsFaster) {
+  // The stream kernel demands ~128B per ~9 issue cycles (~14 B/cycle), so
+  // the slow device must offer less than that per SM to be DRAM-bound.
+  DeviceConfig slow = test_device();
+  slow.dram_bandwidth_gbps = 10;
+  DeviceConfig fast = test_device();
+  fast.dram_bandwidth_gbps = 400;
+  std::vector<std::uint32_t> data(4 << 20, 1);
+  double times[2];
+  int i = 0;
+  for (const auto& config : {slow, fast}) {
+    Device device(config);
+    const auto span = device.upload<std::uint32_t>(data);
+    StreamKernel kernel(span);
+    times[i++] =
+        launch_kernel(device, LaunchConfig{256, 8, 32}, kernel).time_ms;
+  }
+  EXPECT_GT(times[0], 2.0 * times[1]);
+}
+
+TEST(TimingModelTest, MoreWarpsHideChaseLatency) {
+  // The occupancy argument behind the paper's SIII-C tuning: with more
+  // resident warps per SM, per-warp stalls overlap and total time shrinks
+  // (until another bound takes over).
+  Device device(test_device());
+  const std::size_t n = 1 << 20;
+  std::vector<std::uint32_t> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = static_cast<std::uint32_t>((i * 2654435761ull + 7) % n);
+  }
+  const auto span = device.upload<std::uint32_t>(next);
+  // Equal total work per launch: hops x threads constant.
+  ChaseKernel deep(span, 256);
+  const auto few_warps = launch_kernel(device, LaunchConfig{32, 1, 32}, deep);
+  ChaseKernel shallow(span, 32);
+  const auto many_warps = launch_kernel(device, LaunchConfig{256, 1, 32}, shallow);
+  EXPECT_LT(many_warps.cycles, few_warps.cycles);
+}
+
+TEST(TimingModelTest, L2TripCostChargesNonResidentTraffic) {
+  // Two identical streams; one device has a free L2 path, the other pays
+  // per trip: the paying device must be slower or equal.
+  DeviceConfig cheap = test_device();
+  cheap.issue_cycles_per_l2_trip = 0.0;
+  DeviceConfig expensive = test_device();
+  expensive.issue_cycles_per_l2_trip = 10.0;
+  std::vector<std::uint32_t> data(1 << 20, 1);
+  double cycles[2];
+  int i = 0;
+  for (const auto& config : {cheap, expensive}) {
+    Device device(config);
+    const auto span = device.upload<std::uint32_t>(data);
+    StreamKernel kernel(span);
+    cycles[i++] =
+        launch_kernel(device, LaunchConfig{128, 8, 32}, kernel).cycles;
+  }
+  EXPECT_GT(cycles[1], cycles[0]);
+}
+
+TEST(TimingModelTest, SampledRunApproximatesFullRun) {
+  Device device(DeviceConfig::gtx_980());
+  std::vector<std::uint32_t> data(1 << 20, 1);
+  const auto span = device.upload<std::uint32_t>(data);
+  StreamKernel full_kernel(span);
+  const auto full = launch_kernel(device, LaunchConfig{128, 8, 32}, full_kernel);
+  StreamKernel sampled_kernel(span);
+  SimOptions options;
+  options.sample_sms = 4;
+  const auto sampled =
+      launch_kernel(device, LaunchConfig{128, 8, 32}, sampled_kernel, options);
+  EXPECT_NEAR(sampled.time_ms / full.time_ms, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace trico::simt

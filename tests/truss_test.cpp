@@ -1,0 +1,135 @@
+// Tests for edge support, k-truss decomposition, and the degree-resolved
+// clustering profile.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/clustering.hpp"
+#include "analysis/truss.hpp"
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+
+namespace trico::analysis {
+namespace {
+
+TEST(EdgeSupportTest, SupportsSumToThreeTimesTriangles) {
+  const EdgeList g = gen::erdos_renyi(200, 2000, 3);
+  const EdgeSupport support = edge_support(g);
+  const std::uint64_t sum =
+      std::accumulate(support.support.begin(), support.support.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(sum, 3 * cpu::count_forward(g));
+}
+
+TEST(EdgeSupportTest, CompleteGraphSupports) {
+  // In K_n every edge closes with the other n-2 vertices.
+  const gen::ReferenceGraph g = gen::complete(7);
+  const EdgeSupport support = edge_support(g.edges);
+  for (std::uint32_t s : support.support) EXPECT_EQ(s, 5u);
+}
+
+TEST(EdgeSupportTest, TriangleFreeGraphHasZeroSupport) {
+  const gen::ReferenceGraph g = gen::grid(6, 6);
+  const EdgeSupport support = edge_support(g.edges);
+  for (std::uint32_t s : support.support) EXPECT_EQ(s, 0u);
+}
+
+TEST(TrussTest, CompleteGraphIsAnNTruss) {
+  // K_n is an n-truss: every edge has support n-2 = k-2.
+  for (VertexId n : {4u, 5u, 8u}) {
+    const gen::ReferenceGraph g = gen::complete(n);
+    const TrussDecomposition d = truss_decomposition(g.edges);
+    EXPECT_EQ(d.max_trussness, n);
+    for (std::uint32_t t : d.trussness) EXPECT_EQ(t, n);
+  }
+}
+
+TEST(TrussTest, TreeEdgesHaveTrussnessTwo) {
+  const gen::ReferenceGraph g = gen::star(12);
+  const TrussDecomposition d = truss_decomposition(g.edges);
+  for (std::uint32_t t : d.trussness) EXPECT_EQ(t, 2u);
+  EXPECT_EQ(d.max_trussness, 2u);
+}
+
+TEST(TrussTest, TriangleWithPendantEdge) {
+  // Triangle {0,1,2} + pendant (0,3): triangle edges are a 3-truss, the
+  // pendant a 2-truss.
+  const EdgeList g = EdgeList::from_undirected_pairs(
+      std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::size_t i = 0; i < d.pairs.size(); ++i) {
+    const bool pendant = d.pairs[i].v == 3;
+    EXPECT_EQ(d.trussness[i], pendant ? 2u : 3u);
+  }
+}
+
+TEST(TrussTest, CliqueRingPeelsToTheCliques) {
+  // Bridges between cliques carry no triangles (trussness 2); clique edges
+  // have trussness k.
+  const gen::ReferenceGraph g = gen::clique_ring(5, 4);
+  const TrussDecomposition d = truss_decomposition(g.edges);
+  EXPECT_EQ(d.max_trussness, 5u);
+  std::uint64_t bridges = 0;
+  for (std::uint32_t t : d.trussness) {
+    if (t == 2) ++bridges;
+  }
+  EXPECT_EQ(bridges, 4u);
+}
+
+TEST(TrussTest, KTrussSubgraphIsConsistent) {
+  const EdgeList g = gen::barabasi_albert(300, 6, 4);
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::uint32_t k = 2; k <= d.max_trussness; ++k) {
+    const EdgeList truss = k_truss(g, k);
+    // The k-truss definition: inside it, every edge closes >= k-2 triangles.
+    const EdgeSupport inner = edge_support(truss);
+    for (std::size_t i = 0; i < inner.support.size(); ++i) {
+      EXPECT_GE(inner.support[i] + 2, k)
+          << "edge (" << inner.pairs[i].u << "," << inner.pairs[i].v
+          << ") violates the " << k << "-truss";
+    }
+  }
+}
+
+TEST(TrussTest, TrussnessIsMaximal) {
+  // Spot check: each edge's trussness t means it is NOT in the (t+1)-truss.
+  const EdgeList g = gen::watts_strogatz(200, 4, 0.1, 6);
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::uint32_t k = 2; k <= d.max_trussness + 1; ++k) {
+    const EdgeList truss = k_truss(g, k);
+    std::uint64_t expected = 0;
+    for (std::uint32_t t : d.trussness) {
+      if (t >= k) ++expected;
+    }
+    EXPECT_EQ(truss.num_edges(), expected) << "k = " << k;
+  }
+}
+
+TEST(ClusteringProfileTest, CompleteGraphProfile) {
+  const gen::ReferenceGraph g = gen::complete(6);
+  const auto profile = clustering_by_degree(g.edges);
+  ASSERT_EQ(profile.size(), 6u);  // max degree 5
+  EXPECT_DOUBLE_EQ(profile[5], 1.0);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);  // no vertices of other degrees
+}
+
+TEST(ClusteringProfileTest, ProfileAveragesMatchGlobal) {
+  const EdgeList g = gen::watts_strogatz(500, 4, 0.1, 8);
+  const auto profile = clustering_by_degree(g);
+  const auto degree = g.degrees();
+  std::vector<std::uint64_t> count(profile.size(), 0);
+  for (EdgeIndex d : degree) ++count[d];
+  double weighted = 0.0;
+  std::uint64_t eligible = 0;
+  for (std::size_t d = 2; d < profile.size(); ++d) {
+    weighted += profile[d] * static_cast<double>(count[d]);
+    eligible += count[d];
+  }
+  EXPECT_NEAR(weighted / static_cast<double>(eligible),
+              global_clustering(g), 1e-9);
+}
+
+}  // namespace
+}  // namespace trico::analysis

@@ -1,0 +1,75 @@
+// Tests for the timing/table utilities used by the benchmark harness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace trico::util {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.elapsed_ms(), 9.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_ms(), 5.0);
+}
+
+TEST(RepeatTimedTest, RunsBodyExactlyNTimes) {
+  int calls = 0;
+  const TimingResult result = repeat_timed(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(result.runs, 5u);
+  EXPECT_GE(result.max_ms, result.min_ms);
+  EXPECT_GE(result.mean_ms, 0.0);
+}
+
+TEST(RepeatTimedTest, ZeroRunsIsSafe) {
+  const TimingResult result = repeat_timed(0, [] {});
+  EXPECT_EQ(result.mean_ms, 0.0);
+  EXPECT_EQ(result.min_ms, 0.0);
+}
+
+TEST(TableTest, AlignsColumnsAndSections) {
+  Table table({"Graph", "Time"});
+  table.section("Synthetic");
+  table.row().cell("kron").cell(123.456, 1);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Graph"), std::string::npos);
+  EXPECT_NE(text.find("-- Synthetic --"), std::string::npos);
+  EXPECT_NE(text.find("123.5"), std::string::npos);
+}
+
+TEST(TableTest, NumericCellTypes) {
+  Table table({"a", "b", "c", "d"});
+  table.row()
+      .cell(std::uint64_t{18000000000ull})
+      .cell(std::int64_t{-5})
+      .cell(7)
+      .cell(0.5, 3);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("18000000000"), std::string::npos);
+  EXPECT_NE(out.str().find("0.500"), std::string::npos);
+}
+
+TEST(HumanCountTest, ScalesUnits) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(29'000'000), "29.0M");
+  EXPECT_EQ(human_count(8'816'000'000ull), "8.8G");
+  EXPECT_EQ(human_count(1'500), "1.5K");
+}
+
+}  // namespace
+}  // namespace trico::util
