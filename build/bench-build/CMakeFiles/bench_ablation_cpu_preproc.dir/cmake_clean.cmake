@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cpu_preproc"
+  "../bench/bench_ablation_cpu_preproc.pdb"
+  "CMakeFiles/bench_ablation_cpu_preproc.dir/bench_ablation_cpu_preproc.cpp.o"
+  "CMakeFiles/bench_ablation_cpu_preproc.dir/bench_ablation_cpu_preproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpu_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_orientation"
+  "../bench/bench_ablation_orientation.pdb"
+  "CMakeFiles/bench_ablation_orientation.dir/bench_ablation_orientation.cpp.o"
+  "CMakeFiles/bench_ablation_orientation.dir/bench_ablation_orientation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reads"
+  "../bench/bench_ablation_reads.pdb"
+  "CMakeFiles/bench_ablation_reads.dir/bench_ablation_reads.cpp.o"
+  "CMakeFiles/bench_ablation_reads.dir/bench_ablation_reads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sort64"
+  "../bench/bench_ablation_sort64.pdb"
+  "CMakeFiles/bench_ablation_sort64.dir/bench_ablation_sort64.cpp.o"
+  "CMakeFiles/bench_ablation_sort64.dir/bench_ablation_sort64.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sort64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

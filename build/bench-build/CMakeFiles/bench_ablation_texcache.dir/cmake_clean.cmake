@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_texcache"
+  "../bench/bench_ablation_texcache.pdb"
+  "CMakeFiles/bench_ablation_texcache.dir/bench_ablation_texcache.cpp.o"
+  "CMakeFiles/bench_ablation_texcache.dir/bench_ablation_texcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_texcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_unzip"
+  "../bench/bench_ablation_unzip.pdb"
+  "CMakeFiles/bench_ablation_unzip.dir/bench_ablation_unzip.cpp.o"
+  "CMakeFiles/bench_ablation_unzip.dir/bench_ablation_unzip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

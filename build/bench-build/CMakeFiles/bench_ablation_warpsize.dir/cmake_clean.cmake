@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_warpsize"
+  "../bench/bench_ablation_warpsize.pdb"
+  "CMakeFiles/bench_ablation_warpsize.dir/bench_ablation_warpsize.cpp.o"
+  "CMakeFiles/bench_ablation_warpsize.dir/bench_ablation_warpsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warpsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

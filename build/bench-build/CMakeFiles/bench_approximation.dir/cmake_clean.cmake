@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_approximation"
+  "../bench/bench_approximation.pdb"
+  "CMakeFiles/bench_approximation.dir/bench_approximation.cpp.o"
+  "CMakeFiles/bench_approximation.dir/bench_approximation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

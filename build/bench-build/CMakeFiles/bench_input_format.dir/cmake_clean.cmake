@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_input_format"
+  "../bench/bench_input_format.pdb"
+  "CMakeFiles/bench_input_format.dir/bench_input_format.cpp.o"
+  "CMakeFiles/bench_input_format.dir/bench_input_format.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_input_format.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kernel_comparison"
+  "../bench/bench_kernel_comparison.pdb"
+  "CMakeFiles/bench_kernel_comparison.dir/bench_kernel_comparison.cpp.o"
+  "CMakeFiles/bench_kernel_comparison.dir/bench_kernel_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

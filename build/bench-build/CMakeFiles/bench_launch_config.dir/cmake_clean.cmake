@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_launch_config"
+  "../bench/bench_launch_config.pdb"
+  "CMakeFiles/bench_launch_config.dir/bench_launch_config.cpp.o"
+  "CMakeFiles/bench_launch_config.dir/bench_launch_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_launch_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mapreduce"
+  "../bench/bench_mapreduce.pdb"
+  "CMakeFiles/bench_mapreduce.dir/bench_mapreduce.cpp.o"
+  "CMakeFiles/bench_mapreduce.dir/bench_mapreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

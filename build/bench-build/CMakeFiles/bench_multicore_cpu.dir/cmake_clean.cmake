@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multicore_cpu"
+  "../bench/bench_multicore_cpu.pdb"
+  "CMakeFiles/bench_multicore_cpu.dir/bench_multicore_cpu.cpp.o"
+  "CMakeFiles/bench_multicore_cpu.dir/bench_multicore_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

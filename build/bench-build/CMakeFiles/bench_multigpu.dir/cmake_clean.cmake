@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multigpu"
+  "../bench/bench_multigpu.pdb"
+  "CMakeFiles/bench_multigpu.dir/bench_multigpu.cpp.o"
+  "CMakeFiles/bench_multigpu.dir/bench_multigpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

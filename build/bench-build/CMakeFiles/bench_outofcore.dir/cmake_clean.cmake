@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_outofcore"
+  "../bench/bench_outofcore.pdb"
+  "CMakeFiles/bench_outofcore.dir/bench_outofcore.cpp.o"
+  "CMakeFiles/bench_outofcore.dir/bench_outofcore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

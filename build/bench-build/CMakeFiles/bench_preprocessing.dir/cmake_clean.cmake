@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_preprocessing"
+  "../bench/bench_preprocessing.pdb"
+  "CMakeFiles/bench_preprocessing.dir/bench_preprocessing.cpp.o"
+  "CMakeFiles/bench_preprocessing.dir/bench_preprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

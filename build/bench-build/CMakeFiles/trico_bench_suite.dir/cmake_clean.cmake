@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtrico_bench_suite.a"
+  "../lib/libtrico_bench_suite.pdb"
+  "CMakeFiles/trico_bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/trico_bench_suite.dir/suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trico_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtrico_bench_suite.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_counting.dir/approximate_counting.cpp.o"
+  "CMakeFiles/approximate_counting.dir/approximate_counting.cpp.o.d"
+  "approximate_counting"
+  "approximate_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

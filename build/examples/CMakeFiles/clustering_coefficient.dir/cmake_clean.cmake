@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_coefficient.dir/clustering_coefficient.cpp.o"
+  "CMakeFiles/clustering_coefficient.dir/clustering_coefficient.cpp.o.d"
+  "clustering_coefficient"
+  "clustering_coefficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_coefficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

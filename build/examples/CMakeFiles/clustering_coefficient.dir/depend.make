@@ -1,0 +1,2 @@
+# Empty dependencies file for clustering_coefficient.
+# This may be replaced when dependencies are built.

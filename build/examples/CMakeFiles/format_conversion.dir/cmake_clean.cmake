@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_conversion.dir/format_conversion.cpp.o"
+  "CMakeFiles/format_conversion.dir/format_conversion.cpp.o.d"
+  "format_conversion"
+  "format_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trico_cli.dir/trico_cli.cpp.o"
+  "CMakeFiles/trico_cli.dir/trico_cli.cpp.o.d"
+  "trico_cli"
+  "trico_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trico_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truss_decomposition.dir/truss_decomposition.cpp.o"
+  "CMakeFiles/truss_decomposition.dir/truss_decomposition.cpp.o.d"
+  "truss_decomposition"
+  "truss_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truss_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

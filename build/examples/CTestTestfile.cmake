@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_clustering_coefficient]=] "/root/repo/build/examples/clustering_coefficient")
+set_tests_properties([=[example_clustering_coefficient]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multi_gpu_scaling]=] "/root/repo/build/examples/multi_gpu_scaling")
+set_tests_properties([=[example_multi_gpu_scaling]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_format_conversion]=] "/root/repo/build/examples/format_conversion")
+set_tests_properties([=[example_format_conversion]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_approximate_counting]=] "/root/repo/build/examples/approximate_counting")
+set_tests_properties([=[example_approximate_counting]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_truss_decomposition]=] "/root/repo/build/examples/truss_decomposition")
+set_tests_properties([=[example_truss_decomposition]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_trico_cli]=] "/root/repo/build/examples/trico_cli" "--rmat" "9" "--algorithm" "gpu" "--clustering" "--stats")
+set_tests_properties([=[example_trico_cli]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

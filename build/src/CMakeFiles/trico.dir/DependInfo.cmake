@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cpp" "src/CMakeFiles/trico.dir/analysis/clustering.cpp.o" "gcc" "src/CMakeFiles/trico.dir/analysis/clustering.cpp.o.d"
+  "/root/repo/src/analysis/truss.cpp" "src/CMakeFiles/trico.dir/analysis/truss.cpp.o" "gcc" "src/CMakeFiles/trico.dir/analysis/truss.cpp.o.d"
+  "/root/repo/src/core/gpu_clustering.cpp" "src/CMakeFiles/trico.dir/core/gpu_clustering.cpp.o" "gcc" "src/CMakeFiles/trico.dir/core/gpu_clustering.cpp.o.d"
+  "/root/repo/src/core/gpu_forward.cpp" "src/CMakeFiles/trico.dir/core/gpu_forward.cpp.o" "gcc" "src/CMakeFiles/trico.dir/core/gpu_forward.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/CMakeFiles/trico.dir/core/preprocess.cpp.o" "gcc" "src/CMakeFiles/trico.dir/core/preprocess.cpp.o.d"
+  "/root/repo/src/core/preprocess_sim.cpp" "src/CMakeFiles/trico.dir/core/preprocess_sim.cpp.o" "gcc" "src/CMakeFiles/trico.dir/core/preprocess_sim.cpp.o.d"
+  "/root/repo/src/cpu/approx.cpp" "src/CMakeFiles/trico.dir/cpu/approx.cpp.o" "gcc" "src/CMakeFiles/trico.dir/cpu/approx.cpp.o.d"
+  "/root/repo/src/cpu/forward.cpp" "src/CMakeFiles/trico.dir/cpu/forward.cpp.o" "gcc" "src/CMakeFiles/trico.dir/cpu/forward.cpp.o.d"
+  "/root/repo/src/cpu/hybrid.cpp" "src/CMakeFiles/trico.dir/cpu/hybrid.cpp.o" "gcc" "src/CMakeFiles/trico.dir/cpu/hybrid.cpp.o.d"
+  "/root/repo/src/cpu/iterators.cpp" "src/CMakeFiles/trico.dir/cpu/iterators.cpp.o" "gcc" "src/CMakeFiles/trico.dir/cpu/iterators.cpp.o.d"
+  "/root/repo/src/cpu/listing.cpp" "src/CMakeFiles/trico.dir/cpu/listing.cpp.o" "gcc" "src/CMakeFiles/trico.dir/cpu/listing.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/trico.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/trico.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/reference.cpp" "src/CMakeFiles/trico.dir/gen/reference.cpp.o" "gcc" "src/CMakeFiles/trico.dir/gen/reference.cpp.o.d"
+  "/root/repo/src/graph/conversion.cpp" "src/CMakeFiles/trico.dir/graph/conversion.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/conversion.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/trico.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/trico.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/trico.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/orientation.cpp" "src/CMakeFiles/trico.dir/graph/orientation.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/orientation.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/trico.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/trico.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/mapreduce/triangles.cpp" "src/CMakeFiles/trico.dir/mapreduce/triangles.cpp.o" "gcc" "src/CMakeFiles/trico.dir/mapreduce/triangles.cpp.o.d"
+  "/root/repo/src/multigpu/multi_gpu.cpp" "src/CMakeFiles/trico.dir/multigpu/multi_gpu.cpp.o" "gcc" "src/CMakeFiles/trico.dir/multigpu/multi_gpu.cpp.o.d"
+  "/root/repo/src/outofcore/counter.cpp" "src/CMakeFiles/trico.dir/outofcore/counter.cpp.o" "gcc" "src/CMakeFiles/trico.dir/outofcore/counter.cpp.o.d"
+  "/root/repo/src/outofcore/partition.cpp" "src/CMakeFiles/trico.dir/outofcore/partition.cpp.o" "gcc" "src/CMakeFiles/trico.dir/outofcore/partition.cpp.o.d"
+  "/root/repo/src/prim/histogram.cpp" "src/CMakeFiles/trico.dir/prim/histogram.cpp.o" "gcc" "src/CMakeFiles/trico.dir/prim/histogram.cpp.o.d"
+  "/root/repo/src/prim/radix_sort.cpp" "src/CMakeFiles/trico.dir/prim/radix_sort.cpp.o" "gcc" "src/CMakeFiles/trico.dir/prim/radix_sort.cpp.o.d"
+  "/root/repo/src/prim/thread_pool.cpp" "src/CMakeFiles/trico.dir/prim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/trico.dir/prim/thread_pool.cpp.o.d"
+  "/root/repo/src/simt/cache.cpp" "src/CMakeFiles/trico.dir/simt/cache.cpp.o" "gcc" "src/CMakeFiles/trico.dir/simt/cache.cpp.o.d"
+  "/root/repo/src/simt/device_config.cpp" "src/CMakeFiles/trico.dir/simt/device_config.cpp.o" "gcc" "src/CMakeFiles/trico.dir/simt/device_config.cpp.o.d"
+  "/root/repo/src/simt/memory_system.cpp" "src/CMakeFiles/trico.dir/simt/memory_system.cpp.o" "gcc" "src/CMakeFiles/trico.dir/simt/memory_system.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/trico.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/trico.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/trico.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/trico.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for trico.
+# This may be replaced when dependencies are built.

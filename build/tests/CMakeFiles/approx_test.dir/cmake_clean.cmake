@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_test.dir/approx_test.cpp.o"
+  "CMakeFiles/approx_test.dir/approx_test.cpp.o.d"
+  "approx_test"
+  "approx_test.pdb"
+  "approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

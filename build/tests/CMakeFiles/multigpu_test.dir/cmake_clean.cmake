@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigpu_test.dir/multigpu_test.cpp.o"
+  "CMakeFiles/multigpu_test.dir/multigpu_test.cpp.o.d"
+  "multigpu_test"
+  "multigpu_test.pdb"
+  "multigpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outofcore_test.dir/outofcore_test.cpp.o"
+  "CMakeFiles/outofcore_test.dir/outofcore_test.cpp.o.d"
+  "outofcore_test"
+  "outofcore_test.pdb"
+  "outofcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outofcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

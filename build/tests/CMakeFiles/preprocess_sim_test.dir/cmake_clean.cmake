@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_sim_test.dir/preprocess_sim_test.cpp.o"
+  "CMakeFiles/preprocess_sim_test.dir/preprocess_sim_test.cpp.o.d"
+  "preprocess_sim_test"
+  "preprocess_sim_test.pdb"
+  "preprocess_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_test.dir/prim_test.cpp.o"
+  "CMakeFiles/prim_test.dir/prim_test.cpp.o.d"
+  "prim_test"
+  "prim_test.pdb"
+  "prim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

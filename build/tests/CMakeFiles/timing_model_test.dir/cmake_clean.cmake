@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_model_test.dir/timing_model_test.cpp.o"
+  "CMakeFiles/timing_model_test.dir/timing_model_test.cpp.o.d"
+  "timing_model_test"
+  "timing_model_test.pdb"
+  "timing_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truss_test.dir/truss_test.cpp.o"
+  "CMakeFiles/truss_test.dir/truss_test.cpp.o.d"
+  "truss_test"
+  "truss_test.pdb"
+  "truss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
