@@ -1,9 +1,13 @@
 #include "core/gpu_forward.hpp"
 
+#include <algorithm>
+#include <initializer_list>
+#include <string>
 #include <utility>
 
 #include "core/binary_search_kernel.hpp"
 #include "core/preprocess.hpp"
+#include "outofcore/counter.hpp"
 #include "simt/cost_model.hpp"
 
 namespace trico::core {
@@ -30,6 +34,20 @@ GpuCountResult GpuForwardCounter::count(const EdgeList& edges) {
   result.num_vertices = pre.num_vertices;
   result.input_slots = pre.input_slots;
   result.oriented_edges = pre.oriented.size();
+  if (pre.used_cpu_preprocessing) {
+    result.robustness.degradation_rung = simt::DegradationRung::kCpuPreprocess;
+  }
+
+  simt::FaultPlan* plan = options_.fault_plan;
+  if (plan != nullptr) {
+    // The counting-phase uploads are the pipeline's second allocation batch
+    // (after the preprocessing sort buffers).
+    if (const auto kind = plan->probe(simt::FaultSite::kAlloc, 0)) {
+      throw simt::DeviceFault(*kind, simt::FaultSite::kAlloc, 0,
+                              std::string("injected ") + simt::to_string(*kind) +
+                                  " uploading the counting-phase arrays");
+    }
+  }
 
   // Step 9: the counting kernel on the simulated device.
   simt::Device device(device_config_);
@@ -51,18 +69,43 @@ GpuCountResult GpuForwardCounter::count(const EdgeList& edges) {
   }
   result.device_peak_bytes = device.peak_footprint_bytes();
 
-  if (options_.strategy == IntersectionStrategy::kBinarySearch) {
-    BinarySearchKernel kernel(graph, options_.variant);
-    result.kernel =
-        simt::launch_kernel(device, options_.launch, kernel, options_.sim);
-    result.triangles = kernel.total();
-  } else {
-    CountTrianglesKernel kernel(graph, options_.variant);
-    result.kernel =
-        simt::launch_kernel(device, options_.launch, kernel, options_.sim);
-    result.triangles = kernel.total();
+  // Transient kernel aborts retry on the same device within the budget;
+  // anything else at the kernel site is fatal to this (single-device) run
+  // and escalates to the caller's recovery layer.
+  for (unsigned attempt = 1;; ++attempt) {
+    if (plan != nullptr) {
+      if (const auto kind = plan->probe(simt::FaultSite::kKernel, 0)) {
+        if (*kind == simt::FaultKind::kKernelAbort &&
+            attempt < options_.retry.max_attempts) {
+          const double backoff = options_.retry.backoff_ms(attempt - 1);
+          result.robustness.events.push_back(
+              {*kind, simt::FaultSite::kKernel, 0, attempt, true, true});
+          ++result.robustness.kernel_retries;
+          result.robustness.retry_backoff_ms += backoff;
+          result.phases.counting_ms += backoff;
+          continue;
+        }
+        throw simt::DeviceFault(
+            *kind, simt::FaultSite::kKernel, 0,
+            std::string("injected ") + simt::to_string(*kind) +
+                " during the counting kernel (attempt " +
+                std::to_string(attempt) + ")");
+      }
+    }
+    if (options_.strategy == IntersectionStrategy::kBinarySearch) {
+      BinarySearchKernel kernel(graph, options_.variant);
+      result.kernel =
+          simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+      result.triangles = kernel.total();
+    } else {
+      CountTrianglesKernel kernel(graph, options_.variant);
+      result.kernel =
+          simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+      result.triangles = kernel.total();
+    }
+    break;
   }
-  result.phases.counting_ms = result.kernel.time_ms;
+  result.phases.counting_ms += result.kernel.time_ms;
 
   // Step 10: reduce per-thread counters, copy the result back.
   result.phases.reduce_ms =
@@ -71,11 +114,95 @@ GpuCountResult GpuForwardCounter::count(const EdgeList& edges) {
   return result;
 }
 
+namespace {
+
+/// Maps one out-of-core run into the pipeline's result shape (rung 2 of the
+/// ladder): partitioning is host-side preprocessing, task time is counting.
+GpuCountResult outofcore_as_gpu_result(const outofcore::OutOfCoreResult& r,
+                                       const EdgeList& edges) {
+  GpuCountResult result;
+  result.triangles = r.triangles;
+  result.phases.cpu_preprocess_ms = r.partition_ms;
+  result.phases.counting_ms = r.device_ms;
+  result.used_cpu_preprocessing = true;
+  result.num_vertices = edges.num_vertices();
+  result.input_slots = edges.num_edge_slots();
+  result.oriented_edges = edges.num_edges();
+  result.device_peak_bytes = r.max_task_bytes;
+  return result;
+}
+
+}  // namespace
+
 GpuCountResult count_triangles_gpu(const EdgeList& edges,
                                    const simt::DeviceConfig& device,
                                    CountingOptions options) {
-  GpuForwardCounter counter(device, options);
-  return counter.count(edges);
+  // The effective memory budget caps the device: the §III-D6 gate, every
+  // simulated allocation and the out-of-core task-fit check all see it.
+  simt::DeviceConfig budgeted = device;
+  if (options.memory_budget_bytes > 0 &&
+      options.memory_budget_bytes < budgeted.memory_bytes) {
+    budgeted.memory_bytes = options.memory_budget_bytes;
+  }
+
+  simt::RobustnessReport ladder;
+  const unsigned first_rung = options.force_cpu_preprocess ? 1 : 0;
+
+  // Rung 0: full-GPU pipeline; rung 1: forced §III-D6 CPU preprocessing.
+  for (unsigned rung = first_rung; rung <= 1; ++rung) {
+    options.force_cpu_preprocess = rung == 1;
+    try {
+      GpuForwardCounter counter(budgeted, options);
+      GpuCountResult result = counter.count(edges);
+      ladder.merge(result.robustness);
+      result.robustness = ladder;
+      return result;
+    } catch (const simt::DeviceFault& fault) {
+      // Fault feedback: absorb the failure, account it, step down a rung.
+      ladder.events.push_back({fault.kind(), fault.site(), fault.device(),
+                               rung - first_rung + 1, true, fault.injected()});
+      if (fault.kind() == simt::FaultKind::kAllocFailure) {
+        ++ladder.alloc_failures;
+      }
+      ladder.retry_backoff_ms += options.retry.backoff_ms(rung - first_rung);
+    }
+  }
+
+  // Rung 2: out-of-core color-triple partitioned counting. Pick the
+  // smallest color count whose estimated per-task working set fits the
+  // budget (expected task share of the edges is ~9/k^2; factor 2 covers
+  // skew), falling through to larger k when a task still overflows.
+  options.force_cpu_preprocess = false;
+  const EdgeIndex slots = edges.num_edge_slots();
+  for (std::uint32_t k : {4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+    const std::uint64_t est_task_slots = std::max<std::uint64_t>(
+        slots * 18 / (static_cast<std::uint64_t>(k) * k), 1024);
+    if (GpuForwardCounter::device_preprocess_bytes(
+            est_task_slots, edges.num_vertices()) > budgeted.memory_bytes &&
+        k != 32u) {
+      continue;
+    }
+    try {
+      outofcore::OutOfCoreCounter counter(budgeted, k, 1, options);
+      const outofcore::OutOfCoreResult ooc = counter.count(edges);
+      GpuCountResult result = outofcore_as_gpu_result(ooc, edges);
+      ladder.merge(ooc.robustness);
+      result.robustness = ladder;
+      result.robustness.degradation_rung = simt::DegradationRung::kOutOfCore;
+      return result;
+    } catch (const simt::DeviceFault& fault) {
+      ladder.events.push_back({fault.kind(), fault.site(), fault.device(), 1,
+                               true, fault.injected()});
+      if (fault.kind() == simt::FaultKind::kAllocFailure) {
+        ++ladder.alloc_failures;
+      }
+    }
+  }
+  throw simt::DeviceFault(
+      simt::FaultKind::kAllocFailure, simt::FaultSite::kAlloc, 0,
+      "degradation ladder exhausted: no rung fits a budget of " +
+          std::to_string(budgeted.memory_bytes) + " bytes on " + device.name,
+      /*injected=*/false);
 }
 
 }  // namespace trico::core

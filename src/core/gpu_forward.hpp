@@ -31,6 +31,7 @@
 #include "prim/thread_pool.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device.hpp"
+#include "simt/fault.hpp"
 #include "simt/launch.hpp"
 
 namespace trico::core {
@@ -63,6 +64,17 @@ struct CountingOptions {
   /// alongside the graph.
   const std::vector<std::uint32_t>* vertex_colors = nullptr;
   std::array<std::uint32_t, 3> color_triple{0, 0, 0};
+
+  /// Fault injection (non-owning; the plan's occurrence counters are
+  /// consumed by the run). nullptr = no injected faults.
+  simt::FaultPlan* fault_plan = nullptr;
+  /// Retry budget and modeled backoff for every recovery loop.
+  simt::RetryPolicy retry{};
+  /// Memory budget for the degradation ladder of count_triangles_gpu, in
+  /// bytes; 0 means the device's full memory. The effective budget is
+  /// min(budget, device memory) and drives both the §III-D6 gate and the
+  /// full-GPU -> CPU-preprocess -> out-of-core rung choice.
+  std::uint64_t memory_budget_bytes = 0;
 };
 
 /// Wall-clock breakdown in modeled milliseconds, one field per pipeline
@@ -107,6 +119,9 @@ struct GpuCountResult {
   EdgeIndex input_slots = 0;    ///< 2m directed slots in
   EdgeIndex oriented_edges = 0; ///< m oriented edges counted
   std::uint64_t device_peak_bytes = 0;
+  /// Injected/organic faults that struck, recovery actions taken, and the
+  /// degradation-ladder rung the run ended on.
+  simt::RobustnessReport robustness;
 };
 
 /// Host-side state shared between runs (thread pool for the functional
@@ -136,7 +151,19 @@ class GpuForwardCounter {
   prim::ThreadPool pool_;
 };
 
-/// Convenience one-shot: count with a device preset and default options.
+/// One-shot counting with an explicit graceful-degradation ladder:
+///
+///   rung 0  full-GPU pipeline (§III-B)
+///   rung 1  §III-D6 CPU-preprocessing fallback (forced)
+///   rung 2  out-of-core color-triple partitioned counting
+///
+/// The ladder is driven by the memory budget (options.memory_budget_bytes,
+/// capped at device memory) and by fault feedback: a DeviceFault thrown on
+/// one rung — injected via options.fault_plan or an organic device OOM —
+/// steps down to the next rung instead of failing the call. The chosen
+/// rung, retry counts and fault events are reported in
+/// GpuCountResult::robustness. Throws DeviceFault only when even the
+/// bottom rung cannot complete.
 [[nodiscard]] GpuCountResult count_triangles_gpu(const EdgeList& edges,
                                                  const simt::DeviceConfig& device,
                                                  CountingOptions options = {});

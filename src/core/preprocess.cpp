@@ -1,6 +1,7 @@
 #include "core/preprocess.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "prim/algorithms.hpp"
 #include "prim/radix_sort.hpp"
@@ -32,20 +33,82 @@ std::vector<std::uint32_t> build_node_array(std::span<const VertexId> src,
 PreprocessedGraph preprocess_for_device(const EdgeList& edges,
                                         const simt::DeviceConfig& device,
                                         const CountingOptions& options,
-                                        prim::ThreadPool& pool) {
+                                        prim::ThreadPool& pool,
+                                        unsigned device_index) {
+  if (options.fault_plan != nullptr) {
+    if (const auto kind =
+            options.fault_plan->probe(simt::FaultSite::kPreprocess,
+                                      device_index)) {
+      throw simt::DeviceFault(
+          *kind, simt::FaultSite::kPreprocess, device_index,
+          std::string("injected ") + simt::to_string(*kind) +
+              " during preprocessing on device " +
+              std::to_string(device_index));
+    }
+  }
+
   const simt::CostModel cost(device);
   PreprocessedGraph out;
   out.input_slots = edges.num_edge_slots();
 
   const EdgeIndex slots = edges.num_edge_slots();
+  // The node array stores uint32 slot offsets (§III-B step 4); more slots
+  // than that is unrepresentable, not merely slow.
+  if (slots > std::numeric_limits<std::uint32_t>::max()) {
+    throw PreprocessError("edge array has " + std::to_string(slots) +
+                          " slots; uint32 node-array offsets cap the "
+                          "pipeline at 4294967295");
+  }
   std::vector<Edge> work(edges.edges().begin(), edges.edges().end());
 
+  // Vertex-id sanity: a single corrupt id like 4294967295 would wrap the
+  // vertex count (max id + 1 overflows VertexId) or allocate a ~16 GB node
+  // array. Reject ids that are reserved or wildly beyond the slot count.
+  const VertexId max_id = prim::transform_reduce<VertexId>(
+      pool, work.size(), 0,
+      [&](std::size_t i) { return std::max(work[i].u, work[i].v); },
+      [](VertexId a, VertexId b) { return std::max(a, b); });
+  if (!work.empty()) {
+    if (max_id == kInvalidVertex) {
+      throw PreprocessError(
+          "vertex id 4294967295 is reserved (kInvalidVertex); input is "
+          "likely corrupt");
+    }
+    const std::uint64_t id_cap = 64 * slots + 65536;
+    const std::uint64_t derived_vertices =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(max_id) + 1,
+                                edges.num_vertices());
+    if (derived_vertices > id_cap) {
+      throw PreprocessError(
+          "vertex id " + std::to_string(derived_vertices - 1) +
+          " exceeds the sanity cap " + std::to_string(id_cap - 1) + " for " +
+          std::to_string(slots) + " edge slots; input is likely corrupt");
+    }
+  }
+
+  const std::uint64_t memory_budget =
+      options.memory_budget_bytes > 0
+          ? std::min(options.memory_budget_bytes, device.memory_bytes)
+          : device.memory_bytes;
   const bool needs_fallback =
       options.force_cpu_preprocess ||
       (options.allow_cpu_preprocess &&
        GpuForwardCounter::device_preprocess_bytes(slots, edges.num_vertices()) >
-           device.memory_bytes);
+           memory_budget);
   out.used_cpu_preprocessing = needs_fallback;
+
+  if (!needs_fallback && options.fault_plan != nullptr) {
+    // The all-GPU path's first device allocations: the sort keys and their
+    // radix double-buffer.
+    if (const auto kind =
+            options.fault_plan->probe(simt::FaultSite::kAlloc, device_index)) {
+      throw simt::DeviceFault(
+          *kind, simt::FaultSite::kAlloc, device_index,
+          std::string("injected ") + simt::to_string(*kind) +
+              " allocating preprocessing buffers on device " +
+              std::to_string(device_index));
+    }
+  }
 
   if (needs_fallback) {
     // §III-D6: degrees + backward-edge removal on the CPU; halves the input
@@ -70,11 +133,9 @@ PreprocessedGraph preprocess_for_device(const EdgeList& edges,
   } else {
     // Step 1: copy the edge array to the device.
     out.phases.h2d_ms = cost.transfer_ms(slots * sizeof(Edge));
-    // Step 2: vertex count via max-reduce.
-    out.num_vertices = prim::transform_reduce<VertexId>(
-        pool, work.size(), 0,
-        [&](std::size_t i) { return std::max(work[i].u, work[i].v) + 1; },
-        [](VertexId a, VertexId b) { return std::max(a, b); });
+    // Step 2: vertex count via max-reduce (computed by the sanity scan
+    // above; the modeled device still pays for its own reduce pass).
+    out.num_vertices = work.empty() ? 0 : max_id + 1;
     out.phases.vertex_count_ms = cost.reduce_ms(slots, 8);
   }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/gpu_forward.hpp"
@@ -13,6 +14,14 @@
 #include "simt/device_config.hpp"
 
 namespace trico::core {
+
+/// Typed rejection of inputs the pipeline's 32-bit layouts cannot represent
+/// (slot counts beyond the uint32 node-array offsets, corrupt vertex ids) —
+/// thrown instead of silently overflowing or allocating absurd arrays.
+class PreprocessError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Output of the preprocessing phase: the oriented, sorted edge array in
 /// both layouts plus the node array, with modeled per-step times filled into
@@ -36,9 +45,18 @@ struct PreprocessedGraph {
 };
 
 /// Runs steps 1-8 for `device`, charging modeled times, including the
-/// §III-D6 CPU fallback when the working set exceeds device memory.
+/// §III-D6 CPU fallback when the working set exceeds device memory (or the
+/// tighter options.memory_budget_bytes, if set).
+///
+/// `device_index` identifies the device for fault injection: the multi-GPU
+/// counter preprocesses on device 0 and retries on the next device when a
+/// planned fault strikes (probe sites kPreprocess at entry, kAlloc before
+/// the device-side sort buffers). Throws simt::DeviceFault when a planned
+/// fault fires and core::PreprocessError on inputs that would overflow the
+/// uint32 node-array offsets or carry corrupt vertex ids.
 [[nodiscard]] PreprocessedGraph preprocess_for_device(
     const EdgeList& edges, const simt::DeviceConfig& device,
-    const CountingOptions& options, prim::ThreadPool& pool);
+    const CountingOptions& options, prim::ThreadPool& pool,
+    unsigned device_index = 0);
 
 }  // namespace trico::core

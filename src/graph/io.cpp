@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -33,36 +34,56 @@ T read_pod(std::istream& in) {
 
 }  // namespace
 
-EdgeList read_text(std::istream& in) {
+EdgeList read_text(std::istream& in, ParseMode mode,
+                   std::size_t* skipped_lines) {
   std::vector<Edge> pairs;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t skipped = 0;
+  const auto malformed = [&](const std::string& what) {
+    if (mode == ParseMode::strict) {
+      fail("line " + std::to_string(lineno) + ": " + what);
+    }
+    ++skipped;
+  };
   while (std::getline(in, line)) {
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream fields(line);
     unsigned long long u = 0, v = 0;
-    if (!(fields >> u)) continue;  // blank / comment-only line
+    if (!(fields >> u)) {
+      // Blank / comment-only lines are fine in either mode; lines with
+      // non-numeric leading tokens are malformed.
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        malformed("expected two vertex ids");
+      }
+      continue;
+    }
     if (!(fields >> v)) {
-      fail("line " + std::to_string(lineno) + ": expected two vertex ids");
+      malformed("expected two vertex ids");
+      continue;
     }
     if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
-      fail("line " + std::to_string(lineno) + ": vertex id out of range");
+      malformed("vertex id out of range");
+      continue;
     }
     std::string extra;
     if (fields >> extra) {
-      fail("line " + std::to_string(lineno) + ": trailing tokens");
+      malformed("trailing tokens");
+      continue;
     }
     pairs.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
   }
+  if (skipped_lines != nullptr) *skipped_lines = skipped;
   return EdgeList::from_undirected_pairs(pairs);
 }
 
-EdgeList read_text_file(const std::string& path) {
+EdgeList read_text_file(const std::string& path, ParseMode mode,
+                        std::size_t* skipped_lines) {
   std::ifstream in(path);
   if (!in) fail("cannot open graph file: " + path);
-  return read_text(in);
+  return read_text(in, mode, skipped_lines);
 }
 
 void write_text(std::ostream& out, const EdgeList& edges) {
@@ -187,10 +208,49 @@ EdgeList read_binary(std::istream& in) {
   }
   const auto n = read_pod<VertexId>(in);
   const auto slots = read_pod<std::uint64_t>(in);
+  if (slots > std::numeric_limits<std::uint64_t>::max() / sizeof(Edge)) {
+    fail("binary graph header declares an impossible slot count " +
+         std::to_string(slots));
+  }
+  const std::uint64_t payload_bytes = slots * sizeof(Edge);
+
+  // Cross-check the declared slot count against the remaining stream size
+  // *before* allocating, so a corrupted header can neither truncate the
+  // edge array silently nor provoke a huge bogus allocation. Falls back to
+  // read-and-verify when the stream is not seekable.
+  const std::streampos here = in.tellg();
+  if (here != std::streampos(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    in.seekg(here);
+    if (end != std::streampos(-1)) {
+      const auto remaining =
+          static_cast<std::uint64_t>(end - here);
+      if (remaining < payload_bytes) {
+        fail("binary graph stream truncated: header declares " +
+             std::to_string(slots) + " slots (" +
+             std::to_string(payload_bytes) + " bytes) but only " +
+             std::to_string(remaining) + " bytes remain");
+      }
+      if (remaining > payload_bytes) {
+        fail("binary graph stream oversized: " +
+             std::to_string(remaining - payload_bytes) +
+             " trailing bytes after the declared " + std::to_string(slots) +
+             " slots");
+      }
+    }
+  }
+
   std::vector<Edge> edges(slots);
   in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(slots * sizeof(Edge)));
-  if (!in) fail("truncated binary graph stream");
+          static_cast<std::streamsize>(payload_bytes));
+  if (!in || static_cast<std::uint64_t>(in.gcount()) != payload_bytes) {
+    fail("truncated binary graph stream");
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    fail("binary graph stream oversized: trailing bytes after the declared " +
+         std::to_string(slots) + " slots");
+  }
   return EdgeList(std::move(edges), n);
 }
 

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
@@ -23,12 +24,24 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Malformed-line policy for read_text.
+enum class ParseMode {
+  strict,   ///< throw IoError on the first malformed line
+  lenient,  ///< skip malformed lines, reporting how many via `skipped_lines`
+};
+
 /// Parses SNAP-style text ("u v" per line, '#' comments, blank lines
 /// allowed). Pairs are treated as undirected and canonicalized: self-loops
 /// and duplicates are dropped and both directions are emitted.
-/// Throws IoError on malformed lines.
-[[nodiscard]] EdgeList read_text(std::istream& in);
-[[nodiscard]] EdgeList read_text_file(const std::string& path);
+/// In strict mode throws IoError on malformed lines; in lenient mode skips
+/// them and, when `skipped_lines` is non-null, stores the skip count there
+/// (always written, including 0).
+[[nodiscard]] EdgeList read_text(std::istream& in,
+                                 ParseMode mode = ParseMode::strict,
+                                 std::size_t* skipped_lines = nullptr);
+[[nodiscard]] EdgeList read_text_file(const std::string& path,
+                                      ParseMode mode = ParseMode::strict,
+                                      std::size_t* skipped_lines = nullptr);
 
 /// Writes one canonical pair per line (u < v only, so the file has
 /// num_edges() lines).
@@ -50,6 +63,9 @@ void write_metis_file(const std::string& path, const EdgeList& edges);
 
 /// Binary round-trip. The writer stores slots verbatim; the reader restores
 /// them verbatim (no canonicalization), so oriented arrays survive too.
+/// The reader validates magic and version and cross-checks the header's
+/// declared slot count against the remaining stream size, rejecting
+/// truncated or oversized files with IoError before allocating anything.
 void write_binary(std::ostream& out, const EdgeList& edges);
 void write_binary_file(const std::string& path, const EdgeList& edges);
 [[nodiscard]] EdgeList read_binary(std::istream& in);

@@ -1,8 +1,14 @@
 #include "multigpu/multi_gpu.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "core/preprocess.hpp"
 #include "simt/cost_model.hpp"
@@ -27,55 +33,297 @@ MultiGpuCounter::MultiGpuCounter(simt::DeviceConfig device,
   }
 }
 
+namespace {
+
+/// Chains an FNV-1a checksum across the counting-phase resident arrays —
+/// what the broadcast receiver verifies before trusting its copy.
+std::uint64_t graph_checksum(bool soa, const std::vector<VertexId>& src,
+                             const std::vector<VertexId>& dst,
+                             const std::vector<Edge>& pairs,
+                             const std::vector<std::uint32_t>& node) {
+  std::uint64_t sum = simt::kChecksumSeed;
+  if (soa) {
+    sum = simt::checksum_bytes(src.data(), src.size() * sizeof(VertexId), sum);
+    sum = simt::checksum_bytes(dst.data(), dst.size() * sizeof(VertexId), sum);
+  } else {
+    sum = simt::checksum_bytes(pairs.data(), pairs.size() * sizeof(Edge), sum);
+  }
+  return simt::checksum_bytes(node.data(), node.size() * sizeof(std::uint32_t),
+                              sum);
+}
+
+}  // namespace
+
 MultiGpuResult MultiGpuCounter::count(const EdgeList& edges) {
   const simt::CostModel cost(device_config_);
-
-  // Preprocessing runs on device 0 only (§III-E).
-  core::PreprocessedGraph pre =
-      core::preprocess_for_device(edges, device_config_, options_, pool_);
+  simt::FaultPlan* plan = options_.fault_plan;
+  const simt::RetryPolicy retry = options_.retry;
+  const bool soa = options_.variant.soa;
 
   MultiGpuResult result;
-  result.preprocessing_ms = pre.phases.preprocessing_ms();
-
-  // Broadcast the oriented edge array + node array to the other devices.
-  const std::uint64_t broadcast_bytes =
-      pre.resident_bytes(options_.variant.soa);
-  result.broadcast_ms =
-      static_cast<double>(num_devices_ - 1) *
-      cost.peer_transfer_ms(broadcast_bytes);
-
-  // Each device counts its modulo slice of the oriented edges.
+  simt::RobustnessReport& rep = result.robustness;
   result.slices.resize(num_devices_);
+
+  std::vector<std::uint8_t> alive(num_devices_, 1);
+  auto drop_device = [&](unsigned d) {
+    if (!alive[d]) return;
+    alive[d] = 0;
+    result.slices[d].lost = true;
+    ++rep.devices_lost;
+  };
+
+  // ---- Preprocessing on the first healthy device (§III-E); a failed
+  // device is dropped and the phase fails over to the next one.
+  core::PreprocessedGraph pre;
+  unsigned pre_device = num_devices_;
   for (unsigned d = 0; d < num_devices_; ++d) {
-    simt::Device device(device_config_);
-    core::OrientedDeviceGraph graph;
-    graph.num_edges = pre.oriented.size();
-    graph.first_edge = d;
-    graph.edge_step = num_devices_;
-    if (options_.variant.soa) {
-      graph.src = device.upload<VertexId>(pre.soa.src);
-      graph.dst = device.upload<VertexId>(pre.soa.dst);
-    } else {
-      graph.pairs = device.upload<Edge>(pre.oriented);
+    try {
+      pre = core::preprocess_for_device(edges, device_config_, options_,
+                                        pool_, d);
+      pre_device = d;
+      break;
+    } catch (const simt::DeviceFault& fault) {
+      const bool can_retry = d + 1 < num_devices_;
+      rep.events.push_back({fault.kind(), fault.site(), d, 1, can_retry,
+                            fault.injected()});
+      if (fault.kind() == simt::FaultKind::kAllocFailure) {
+        ++rep.alloc_failures;
+      }
+      drop_device(d);
+      if (!can_retry) throw;
+      ++rep.preprocess_retries;
+      const double backoff = retry.backoff_ms(rep.preprocess_retries - 1);
+      rep.retry_backoff_ms += backoff;
+      result.preprocessing_ms += backoff;
     }
-    graph.node = device.upload<std::uint32_t>(pre.node);
+  }
+  result.preprocessing_ms += pre.phases.preprocessing_ms();
 
-    core::CountTrianglesKernel kernel(graph, options_.variant);
-    const simt::KernelStats stats =
-        simt::launch_kernel(device, options_.launch, kernel, options_.sim);
+  // ---- Per-device resident graph state. A null device means "never got a
+  // usable copy of the graph" — its slice is repartitioned below.
+  struct DeviceState {
+    std::unique_ptr<simt::Device> device;
+    core::OrientedDeviceGraph graph;
+  };
+  std::vector<DeviceState> states(num_devices_);
 
-    DeviceSlice& slice = result.slices[d];
-    slice.edges = (pre.oriented.size() + num_devices_ - 1 - d) / num_devices_;
-    slice.counting_ms = stats.time_ms;
-    slice.triangles = kernel.total();
-    result.triangles += slice.triangles;
-    result.counting_ms = std::max(result.counting_ms, slice.counting_ms);
+  auto upload_graph = [&](unsigned d, const std::vector<VertexId>& src,
+                          const std::vector<VertexId>& dst,
+                          const std::vector<Edge>& pairs,
+                          const std::vector<std::uint32_t>& node) {
+    if (plan != nullptr) {
+      if (const auto kind = plan->probe(simt::FaultSite::kAlloc, d)) {
+        rep.events.push_back(
+            {*kind, simt::FaultSite::kAlloc, d, 1, true, true});
+        if (*kind == simt::FaultKind::kAllocFailure) ++rep.alloc_failures;
+        drop_device(d);
+        return;
+      }
+    }
+    auto state = std::make_unique<simt::Device>(device_config_);
+    try {
+      core::OrientedDeviceGraph graph;
+      graph.num_edges = pre.oriented.size();
+      if (soa) {
+        graph.src = state->upload<VertexId>(src);
+        graph.dst = state->upload<VertexId>(dst);
+      } else {
+        graph.pairs = state->upload<Edge>(pairs);
+      }
+      graph.node = state->upload<std::uint32_t>(node);
+      states[d].graph = graph;
+      states[d].device = std::move(state);
+    } catch (const simt::DeviceFault& fault) {
+      // Organic device OOM: this device cannot hold the graph.
+      rep.events.push_back({fault.kind(), fault.site(), d, 1, true,
+                            fault.injected()});
+      ++rep.alloc_failures;
+      drop_device(d);
+    }
+  };
+
+  // The preprocessing device already holds the arrays.
+  if (alive[pre_device]) {
+    upload_graph(pre_device, pre.soa.src, pre.soa.dst, pre.oriented, pre.node);
   }
 
-  // Partial sums back to the host plus the final reduce.
-  result.gather_ms =
-      static_cast<double>(num_devices_) * cost.transfer_ms(sizeof(TriangleCount)) +
+  // ---- Broadcast to the remaining devices, checksum-verified. Without a
+  // fault plan the transfer cannot corrupt, so the verification copies are
+  // skipped and only the transfer time is charged.
+  const std::uint64_t broadcast_bytes = pre.resident_bytes(soa);
+  const std::uint64_t ref_checksum =
+      plan != nullptr
+          ? graph_checksum(soa, pre.soa.src, pre.soa.dst, pre.oriented,
+                           pre.node)
+          : 0;
+  for (unsigned d = 0; d < num_devices_; ++d) {
+    if (d == pre_device || !alive[d]) continue;
+    for (unsigned attempt = 1;; ++attempt) {
+      result.broadcast_ms += cost.peer_transfer_ms(broadcast_bytes);
+      if (plan == nullptr) {
+        upload_graph(d, pre.soa.src, pre.soa.dst, pre.oriented, pre.node);
+        break;
+      }
+      const auto kind = plan->probe(simt::FaultSite::kBroadcast, d);
+      if (kind == simt::FaultKind::kDeviceLost) {
+        rep.events.push_back(
+            {*kind, simt::FaultSite::kBroadcast, d, attempt, true, true});
+        drop_device(d);
+        break;
+      }
+      // Receive the transferred copy; an injected corruption flips a byte
+      // that the checksum must catch.
+      std::vector<VertexId> src_copy = soa ? pre.soa.src : std::vector<VertexId>{};
+      std::vector<VertexId> dst_copy = soa ? pre.soa.dst : std::vector<VertexId>{};
+      std::vector<Edge> pairs_copy = soa ? std::vector<Edge>{} : pre.oriented;
+      std::vector<std::uint32_t> node_copy = pre.node;
+      if (kind == simt::FaultKind::kTransferCorruption) {
+        auto corruptible = [&]() -> std::span<std::byte> {
+          if (soa && !src_copy.empty()) {
+            return std::as_writable_bytes(std::span(src_copy));
+          }
+          if (!soa && !pairs_copy.empty()) {
+            return std::as_writable_bytes(std::span(pairs_copy));
+          }
+          return std::as_writable_bytes(std::span(node_copy));
+        };
+        plan->corrupt(corruptible());
+      }
+      if (graph_checksum(soa, src_copy, dst_copy, pairs_copy, node_copy) !=
+          ref_checksum) {
+        ++rep.broadcast_retries;
+        const bool can_retry = attempt < retry.max_attempts;
+        // Even the budget-exhausting corruption is compensated: the device
+        // is dropped and its slice repartitioned below.
+        rep.events.push_back({simt::FaultKind::kTransferCorruption,
+                              simt::FaultSite::kBroadcast, d, attempt,
+                              /*recovered=*/true, true});
+        if (!can_retry) {
+          drop_device(d);
+          break;
+        }
+        const double backoff = retry.backoff_ms(attempt - 1);
+        rep.retry_backoff_ms += backoff;
+        result.broadcast_ms += backoff;
+        continue;
+      }
+      upload_graph(d, src_copy, dst_copy, pairs_copy, node_copy);
+      break;
+    }
+  }
+
+  // ---- Counting. Each device runs its modulo slice; lost devices' slices
+  // are repartitioned across the survivors (recursively, until every edge
+  // is counted or no device remains).
+  struct WorkItem {
+    std::uint64_t first;
+    std::uint64_t step;
+  };
+  const std::uint64_t oriented = pre.oriented.size();
+  auto work_edges = [&](WorkItem w) -> std::uint64_t {
+    return w.first >= oriented ? 0 : (oriented - w.first + w.step - 1) / w.step;
+  };
+  std::vector<double> dev_time(num_devices_, 0.0);
+
+  // Runs `w` on device `d`; false means the device died and `w` still
+  // needs an owner.
+  auto count_on = [&](unsigned d, WorkItem w) -> bool {
+    for (unsigned attempt = 1;; ++attempt) {
+      if (plan != nullptr) {
+        if (const auto kind = plan->probe(simt::FaultSite::kKernel, d)) {
+          if (*kind == simt::FaultKind::kKernelAbort &&
+              attempt < retry.max_attempts) {
+            const double backoff = retry.backoff_ms(attempt - 1);
+            rep.events.push_back(
+                {*kind, simt::FaultSite::kKernel, d, attempt, true, true});
+            ++rep.kernel_retries;
+            ++result.slices[d].kernel_retries;
+            rep.retry_backoff_ms += backoff;
+            dev_time[d] += backoff;
+            result.slices[d].counting_ms += backoff;
+            continue;
+          }
+          rep.events.push_back(
+              {*kind, simt::FaultSite::kKernel, d, attempt, true, true});
+          drop_device(d);
+          return false;
+        }
+      }
+      core::OrientedDeviceGraph graph = states[d].graph;
+      graph.first_edge = w.first;
+      graph.edge_step = w.step;
+      core::CountTrianglesKernel kernel(graph, options_.variant);
+      const simt::KernelStats stats = simt::launch_kernel(
+          *states[d].device, options_.launch, kernel, options_.sim);
+      DeviceSlice& slice = result.slices[d];
+      slice.edges += work_edges(w);
+      slice.counting_ms += stats.time_ms;
+      slice.triangles += kernel.total();
+      result.triangles += kernel.total();
+      dev_time[d] += stats.time_ms;
+      return true;
+    }
+  };
+
+  std::vector<WorkItem> orphaned;
+  for (unsigned d = 0; d < num_devices_; ++d) {
+    const WorkItem w{d, num_devices_};
+    if (!alive[d] || states[d].device == nullptr) {
+      orphaned.push_back(w);
+      continue;
+    }
+    if (!count_on(d, w)) orphaned.push_back(w);
+  }
+
+  unsigned rounds = 0;
+  while (!orphaned.empty()) {
+    std::vector<unsigned> survivors;
+    for (unsigned d = 0; d < num_devices_; ++d) {
+      if (alive[d] && states[d].device != nullptr) survivors.push_back(d);
+    }
+    if (survivors.empty() || ++rounds > num_devices_) {
+      throw simt::DeviceFault(
+          simt::FaultKind::kDeviceLost, simt::FaultSite::kKernel, 0,
+          "multi-GPU recovery failed: every device lost with " +
+              std::to_string(orphaned.size()) + " edge slices uncounted",
+          /*injected=*/false);
+    }
+    const auto stride = static_cast<std::uint64_t>(survivors.size());
+    std::vector<WorkItem> next;
+    for (const WorkItem& w : orphaned) {
+      if (work_edges(w) == 0) continue;
+      ++rep.slices_repartitioned;
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        const WorkItem sub{w.first + w.step * i, w.step * stride};
+        if (work_edges(sub) == 0) continue;
+        const unsigned s = survivors[i];
+        if (!alive[s] || states[s].device == nullptr || !count_on(s, sub)) {
+          next.push_back(sub);
+        }
+      }
+    }
+    orphaned = std::move(next);
+  }
+
+  result.counting_ms = *std::max_element(dev_time.begin(), dev_time.end());
+
+  // ---- Gather. A 1-device run is the single-GPU pipeline: no broadcast
+  // happened and no peer gather is needed — charge exactly the pipeline's
+  // final reduce + result copy so the totals agree.
+  const double reduce_ms =
       cost.result_reduce_ms(options_.launch.total_threads(device_config_));
+  if (num_devices_ == 1) {
+    result.gather_ms = reduce_ms + cost.transfer_ms(sizeof(TriangleCount));
+  } else {
+    std::uint64_t participants = 0;
+    for (unsigned d = 0; d < num_devices_; ++d) {
+      if (alive[d] && states[d].device != nullptr) ++participants;
+    }
+    result.gather_ms =
+        static_cast<double>(participants) *
+            cost.transfer_ms(sizeof(TriangleCount)) +
+        reduce_ms;
+  }
   return result;
 }
 

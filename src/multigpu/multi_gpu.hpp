@@ -1,4 +1,4 @@
-// Multi-GPU extension (§III-E).
+// Multi-GPU extension (§III-E) with failure recovery.
 //
 // The paper's scheme: run the preprocessing phase on a single device, copy
 // the oriented edge array and node array to the remaining devices, and let
@@ -7,6 +7,18 @@
 // fraction — the bench reproduces the paper's observation that Kronecker
 // graphs (high triangles/edges ratio) scale to ~2.8x on 4 devices while
 // preprocessing-dominated graphs stay near 1x.
+//
+// Recovery (driven by simt::FaultPlan injection, see docs/robustness.md):
+//  * a device failing during preprocessing is dropped and the phase retries
+//    on the next device (with modeled backoff);
+//  * each broadcast is verified with an FNV-1a checksum over the oriented
+//    edge and node arrays; a corrupted transfer is re-sent up to the retry
+//    budget, after which the receiving device is dropped;
+//  * a transient kernel abort retries on the same device within the retry
+//    budget; a device lost during counting is dropped and its modulo edge
+//    slice is repartitioned across the surviving devices;
+//  * every fault and recovery action lands in MultiGpuResult::robustness,
+//    and any recovered run still produces the exact triangle count.
 
 #pragma once
 
@@ -14,24 +26,28 @@
 #include <vector>
 
 #include "core/gpu_forward.hpp"
+#include "simt/fault.hpp"
 
 namespace trico::multigpu {
 
 /// Per-device slice statistics.
 struct DeviceSlice {
-  std::uint64_t edges = 0;
-  double counting_ms = 0;
+  std::uint64_t edges = 0;      ///< oriented edges this device counted
+  double counting_ms = 0;       ///< kernel time + modeled retry backoff
   trico::TriangleCount triangles = 0;
+  unsigned kernel_retries = 0;  ///< transient aborts retried on this device
+  bool lost = false;            ///< device dropped; its work went elsewhere
 };
 
 /// Result of a multi-GPU run.
 struct MultiGpuResult {
   TriangleCount triangles = 0;
-  double preprocessing_ms = 0;  ///< on device 0 (includes H2D)
-  double broadcast_ms = 0;      ///< arrays to the other devices
-  double counting_ms = 0;       ///< max over devices
+  double preprocessing_ms = 0;  ///< on the preprocessing device (includes H2D)
+  double broadcast_ms = 0;      ///< arrays to the other devices (incl. re-sends)
+  double counting_ms = 0;       ///< max over devices (incl. recovery rework)
   double gather_ms = 0;         ///< partial results back + final sum
   std::vector<DeviceSlice> slices;
+  simt::RobustnessReport robustness;
 
   [[nodiscard]] double total_ms() const {
     return preprocessing_ms + broadcast_ms + counting_ms + gather_ms;
@@ -46,7 +62,12 @@ struct MultiGpuResult {
 /// Runs the paper's multi-GPU scheme on `num_devices` identical simulated
 /// devices. Edges are dealt round-robin so every device sees a uniform
 /// slice of the degree distribution, like the modulo assignment in the
-/// single-GPU kernel.
+/// single-GPU kernel. With num_devices == 1 the run degenerates to the
+/// single-GPU pipeline: no broadcast, no peer gather, identical total time.
+///
+/// Fault injection and retry budgets come from CountingOptions
+/// (fault_plan / retry). count() throws simt::DeviceFault only when every
+/// device has been lost; any lesser failure is recovered and reported.
 class MultiGpuCounter {
  public:
   MultiGpuCounter(simt::DeviceConfig device, unsigned num_devices,

@@ -54,6 +54,7 @@ OutOfCoreResult OutOfCoreCounter::count(const EdgeList& edges,
         task_options.color_triple = {i, j, l};
         core::GpuForwardCounter counter(device_config_, task_options);
         const core::GpuCountResult r = counter.count(task.edges);
+        result.robustness.merge(r.robustness);
 
         TaskResult record;
         record.i = i;

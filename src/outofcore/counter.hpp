@@ -42,6 +42,9 @@ struct OutOfCoreResult {
   std::uint64_t max_task_bytes = 0;
   std::uint64_t total_task_slots = 0;  ///< sum of subgraph sizes (≈ k * m)
   std::vector<TaskResult> tasks;
+  /// Merged fault/recovery accounting of every task pipeline (e.g. kernel
+  /// aborts retried inside a task run under fault injection).
+  simt::RobustnessReport robustness;
 
   [[nodiscard]] double total_ms() const { return partition_ms + device_ms; }
 };

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "simt/device_config.hpp"
 
@@ -25,15 +26,17 @@ inline constexpr double kStreamEfficiency = 0.75;
 /// Radix-sort working efficiency (scatter passes are not fully coalesced).
 inline constexpr double kSortEfficiency = 0.5;
 
-/// Cost model for one device. All results are milliseconds.
+/// Cost model for one device. All results are milliseconds. Holds its own
+/// copy of the config so a model may outlive the config it was built from
+/// (a temporary argument must not dangle).
 class CostModel {
  public:
-  explicit CostModel(const DeviceConfig& config) : config_(&config) {}
+  explicit CostModel(DeviceConfig config) : config_(std::move(config)) {}
 
   /// Host -> device (or device -> host) copy over PCIe.
   [[nodiscard]] double transfer_ms(std::uint64_t bytes) const {
-    return config_->pcie_latency_ms +
-           static_cast<double>(bytes) / (config_->pcie_bandwidth_gbps * 1e6);
+    return config_.pcie_latency_ms +
+           static_cast<double>(bytes) / (config_.pcie_bandwidth_gbps * 1e6);
   }
 
   /// Device -> device copy (multi-GPU broadcast); PCIe peer transfer.
@@ -43,9 +46,9 @@ class CostModel {
 
   /// One streaming pass reading and/or writing `bytes` in total.
   [[nodiscard]] double stream_pass_ms(std::uint64_t bytes) const {
-    return config_->kernel_launch_overhead_ms +
+    return config_.kernel_launch_overhead_ms +
            static_cast<double>(bytes) /
-               (kStreamEfficiency * config_->dram_bandwidth_gbps * 1e6);
+               (kStreamEfficiency * config_.dram_bandwidth_gbps * 1e6);
   }
 
   /// thrust::reduce over `count` elements of `elem_bytes` (step 2).
@@ -60,8 +63,8 @@ class CostModel {
                                      std::uint32_t significant_bytes) const {
     const double bytes_per_pass = 2.0 * static_cast<double>(count) * key_bytes;
     return significant_bytes *
-           (config_->kernel_launch_overhead_ms +
-            bytes_per_pass / (kSortEfficiency * config_->dram_bandwidth_gbps * 1e6));
+           (config_.kernel_launch_overhead_ms +
+            bytes_per_pass / (kSortEfficiency * config_.dram_bandwidth_gbps * 1e6));
   }
 
   /// Comparison merge sort of `count` elements of `elem_bytes`: log2(count)
@@ -72,8 +75,8 @@ class CostModel {
     for (std::uint64_t c = count; c > 1; c >>= 1) ++passes;
     const double bytes_per_pass = 2.0 * static_cast<double>(count) * elem_bytes;
     return passes *
-           (config_->kernel_launch_overhead_ms +
-            bytes_per_pass / (kSortEfficiency * config_->dram_bandwidth_gbps * 1e6));
+           (config_.kernel_launch_overhead_ms +
+            bytes_per_pass / (kSortEfficiency * config_.dram_bandwidth_gbps * 1e6));
   }
 
   /// Node-array construction (step 4): read edges once, scattered writes to
@@ -106,7 +109,7 @@ class CostModel {
   }
 
  private:
-  const DeviceConfig* config_;
+  DeviceConfig config_;
 };
 
 }  // namespace trico::simt

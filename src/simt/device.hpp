@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "simt/device_config.hpp"
+#include "simt/fault.hpp"
 
 namespace trico::simt {
 
@@ -59,7 +59,7 @@ class Device {
     const std::uint64_t base = allocate(bytes);
     auto& storage = buffers_.emplace_back();
     storage.resize(bytes);
-    std::memcpy(storage.data(), host.data(), bytes);
+    if (bytes > 0) std::memcpy(storage.data(), host.data(), bytes);
     return DeviceSpan<T>(reinterpret_cast<const T*>(storage.data()), base,
                          host.size());
   }
@@ -93,9 +93,13 @@ class Device {
     footprint_ += bytes;
     peak_footprint_ = std::max(peak_footprint_, footprint_);
     if (footprint_ > config_.memory_bytes) {
-      throw std::runtime_error("simulated device out of memory: " +
-                               std::to_string(footprint_) + " bytes on " +
-                               config_.name);
+      // Typed (organic, not injected) fault so the recovery layers can
+      // catch OOM and step down the degradation ladder.
+      throw DeviceFault(FaultKind::kAllocFailure, FaultSite::kAlloc, 0,
+                        "simulated device out of memory: " +
+                            std::to_string(footprint_) + " bytes on " +
+                            config_.name,
+                        /*injected=*/false);
     }
     return base;
   }

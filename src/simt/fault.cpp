@@ -1,0 +1,133 @@
+#include "simt/fault.hpp"
+
+#include <algorithm>
+
+namespace trico::simt {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceLost: return "device-lost";
+    case FaultKind::kAllocFailure: return "alloc-failure";
+    case FaultKind::kTransferCorruption: return "transfer-corruption";
+    case FaultKind::kKernelAbort: return "kernel-abort";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPreprocess: return "preprocess";
+    case FaultSite::kAlloc: return "alloc";
+    case FaultSite::kBroadcast: return "broadcast";
+    case FaultSite::kKernel: return "kernel";
+  }
+  return "unknown";
+}
+
+const char* to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kFullGpu: return "full-gpu";
+    case DegradationRung::kCpuPreprocess: return "cpu-preprocess";
+    case DegradationRung::kOutOfCore: return "out-of-core";
+  }
+  return "unknown";
+}
+
+DeviceFault::DeviceFault(FaultKind kind, FaultSite site, unsigned device,
+                         const std::string& what, bool injected)
+    : std::runtime_error(what),
+      kind_(kind),
+      site_(site),
+      device_(device),
+      injected_(injected) {}
+
+FaultPlan& FaultPlan::inject(FaultSpec spec) {
+  if (spec.occurrence == 0) spec.occurrence = 1;
+  if (spec.repeats == 0) spec.repeats = 1;
+  armed_.push_back(Armed{spec, 0});
+  return *this;
+}
+
+std::optional<FaultKind> FaultPlan::probe(FaultSite site, unsigned device) {
+  auto it = std::find_if(probes_.begin(), probes_.end(),
+                         [&](const ProbeCount& p) {
+                           return p.site == site && p.device == device;
+                         });
+  if (it == probes_.end()) {
+    probes_.push_back(ProbeCount{site, device, 0});
+    it = probes_.end() - 1;
+  }
+  const unsigned n = ++it->count;
+
+  for (Armed& armed : armed_) {
+    const FaultSpec& spec = armed.spec;
+    if (spec.site != site || spec.device != device) continue;
+    if (armed.fired >= spec.repeats) continue;
+    if (n >= spec.occurrence && n < spec.occurrence + spec.repeats) {
+      ++armed.fired;
+      ++fired_;
+      return spec.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultPlan::corrupt(std::span<std::byte> data) {
+  if (data.empty()) return;
+  const std::uint64_t pos = next_random() % data.size();
+  // Flip at least one bit even if the random mask is zero.
+  const auto mask =
+      static_cast<std::byte>((next_random() & 0xff) | 0x01);
+  data[pos] ^= mask;
+}
+
+unsigned FaultPlan::planned() const {
+  unsigned total = 0;
+  for (const Armed& armed : armed_) total += armed.spec.repeats;
+  return total;
+}
+
+std::uint64_t FaultPlan::next_random() {
+  // SplitMix64: deterministic for a given seed, no global state.
+  std::uint64_t x = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t RobustnessReport::injected_faults() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [](const FaultEvent& e) { return e.injected; }));
+}
+
+std::size_t RobustnessReport::recovered_faults() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [](const FaultEvent& e) { return e.recovered; }));
+}
+
+void RobustnessReport::merge(const RobustnessReport& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  devices_lost += other.devices_lost;
+  preprocess_retries += other.preprocess_retries;
+  broadcast_retries += other.broadcast_retries;
+  kernel_retries += other.kernel_retries;
+  alloc_failures += other.alloc_failures;
+  slices_repartitioned += other.slices_repartitioned;
+  retry_backoff_ms += other.retry_backoff_ms;
+  degradation_rung = std::max(degradation_rung, other.degradation_rung);
+}
+
+std::uint64_t checksum_bytes(const void* data, std::size_t size,
+                             std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+}  // namespace trico::simt

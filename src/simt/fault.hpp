@@ -1,0 +1,192 @@
+// Fault injection and recovery accounting for the simulated GPU stack.
+//
+// A production triangle-counting service dies in exactly the places the
+// happy-path simulator never exercises: a device drops mid-kernel, an
+// allocation exceeds device memory, a §III-E broadcast arrives corrupted.
+// A FaultPlan is a deterministic, seeded script of such faults. Code under
+// test probes the plan at well-defined sites (preprocessing entry, device
+// allocation, broadcast reception, kernel launch); when a planned fault
+// matches the probe it fires exactly once per planned occurrence, and the
+// recovery layer (multigpu repartitioning, the core degradation ladder)
+// must restore an exact triangle count — which the tests cross-check
+// against the CPU baseline.
+//
+// Every recovery action is accounted in a RobustnessReport carried on the
+// result types, so tests can assert not just "the count is right" but
+// "the count is right *because* the lost slice was repartitioned".
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace trico::simt {
+
+/// What kind of failure strikes.
+enum class FaultKind : std::uint8_t {
+  kDeviceLost,          ///< device drops and stays gone (ECC shutdown, bus reset)
+  kAllocFailure,        ///< a device allocation fails (OOM)
+  kTransferCorruption,  ///< transferred bytes arrive corrupted
+  kKernelAbort,         ///< transient kernel abort; the device survives
+};
+
+/// Where in the pipeline a fault can strike.
+enum class FaultSite : std::uint8_t {
+  kPreprocess,  ///< start of the preprocessing phase on a device
+  kAlloc,       ///< a device-memory allocation (sort buffers, graph upload)
+  kBroadcast,   ///< reception of the §III-E broadcast on a device
+  kKernel,      ///< launch of the counting kernel
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] const char* to_string(FaultSite site);
+
+/// Typed device failure. Thrown by fault probes and by the simulated
+/// allocator; recovery layers catch it by type and consult kind()/site().
+class DeviceFault : public std::runtime_error {
+ public:
+  DeviceFault(FaultKind kind, FaultSite site, unsigned device,
+              const std::string& what, bool injected = true);
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] FaultSite site() const { return site_; }
+  [[nodiscard]] unsigned device() const { return device_; }
+  /// True when the fault came from a FaultPlan, false when it is organic
+  /// (e.g. a real simulated-device OOM).
+  [[nodiscard]] bool injected() const { return injected_; }
+
+ private:
+  FaultKind kind_;
+  FaultSite site_;
+  unsigned device_;
+  bool injected_;
+};
+
+/// One planned fault: fires when the `occurrence`-th probe of (site, device)
+/// happens, and on the `repeats - 1` probes after it (repeats > 1 models a
+/// persistent failure that defeats a bounded retry budget).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDeviceLost;
+  FaultSite site = FaultSite::kKernel;
+  unsigned device = 0;
+  unsigned occurrence = 1;  ///< 1-based probe index at which the fault fires
+  unsigned repeats = 1;     ///< consecutive probes that keep firing
+};
+
+/// A deterministic, seeded script of faults. Probing consumes occurrences,
+/// so a plan instance describes exactly one run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : rng_state_(seed ? seed : 1) {}
+
+  /// Adds a planned fault; returns *this for chaining.
+  FaultPlan& inject(FaultSpec spec);
+
+  /// Called by instrumented code at each fault site. Counts the probe and
+  /// returns the kind of the planned fault firing at it, if any.
+  [[nodiscard]] std::optional<FaultKind> probe(FaultSite site, unsigned device);
+
+  /// Flips one pseudo-random (seed-deterministic) byte of `data` — the
+  /// injected transfer corruption the broadcast checksum must catch.
+  void corrupt(std::span<std::byte> data);
+
+  /// Total planned firings (sum of repeats) and how many have fired.
+  [[nodiscard]] unsigned planned() const;
+  [[nodiscard]] unsigned fired() const { return fired_; }
+  /// True once every planned firing has been consumed.
+  [[nodiscard]] bool exhausted() const { return fired() == planned(); }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    unsigned fired = 0;
+  };
+  struct ProbeCount {
+    FaultSite site;
+    unsigned device;
+    unsigned count;
+  };
+
+  std::uint64_t next_random();
+
+  std::vector<Armed> armed_;
+  std::vector<ProbeCount> probes_;
+  unsigned fired_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+/// Bounded-retry policy with exponential backoff, accounted in modeled ms
+/// (a real service sleeps between retries; the simulator charges that sleep
+/// to the run's wall-clock model).
+struct RetryPolicy {
+  unsigned max_attempts = 3;     ///< total tries per operation (1 = no retry)
+  double backoff_base_ms = 0.5;  ///< first retry waits this long, then doubles
+
+  [[nodiscard]] double backoff_ms(unsigned retry_index) const {
+    return backoff_base_ms *
+           static_cast<double>(1ull << (retry_index < 20 ? retry_index : 20));
+  }
+};
+
+/// One fault that actually struck during a run.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceLost;
+  FaultSite site = FaultSite::kKernel;
+  unsigned device = 0;
+  unsigned attempt = 1;    ///< which attempt of the operation it struck
+  bool recovered = false;  ///< the run compensated (retry / failover / ladder)
+  bool injected = true;    ///< planned (FaultPlan) vs organic (real OOM)
+};
+
+/// Rung of the core degradation ladder a run ended on.
+enum class DegradationRung : std::uint8_t {
+  kFullGpu = 0,        ///< standard all-GPU pipeline (§III-B)
+  kCpuPreprocess = 1,  ///< §III-D6 CPU-preprocessing fallback
+  kOutOfCore = 2,      ///< color-triple partitioned counting (outofcore)
+};
+
+[[nodiscard]] const char* to_string(DegradationRung rung);
+
+/// Recovery accounting carried on GpuCountResult / MultiGpuResult.
+struct RobustnessReport {
+  std::vector<FaultEvent> events;  ///< faults that struck, in firing order
+
+  unsigned devices_lost = 0;       ///< devices permanently dropped
+  unsigned preprocess_retries = 0; ///< preprocessing moved to another device
+  unsigned broadcast_retries = 0;  ///< checksum-failed broadcasts re-sent
+  unsigned kernel_retries = 0;     ///< transient kernel aborts retried
+  unsigned alloc_failures = 0;     ///< allocation failures absorbed
+  unsigned slices_repartitioned = 0;  ///< lost edge slices re-dealt to survivors
+  double retry_backoff_ms = 0;     ///< modeled backoff wait, summed
+  DegradationRung degradation_rung = DegradationRung::kFullGpu;
+
+  [[nodiscard]] std::size_t injected_faults() const;
+  [[nodiscard]] std::size_t recovered_faults() const;
+  /// Every fault that struck was compensated.
+  [[nodiscard]] bool fully_recovered() const {
+    return recovered_faults() == events.size();
+  }
+  /// Folds `other`'s events and counters into this report (ladder rungs and
+  /// nested counters merge their sub-reports upward).
+  void merge(const RobustnessReport& other);
+};
+
+/// FNV-1a 64-bit checksum; `seed` chains checksums across several arrays
+/// (pass the previous checksum as the next call's seed).
+inline constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ull;
+[[nodiscard]] std::uint64_t checksum_bytes(const void* data, std::size_t size,
+                                           std::uint64_t seed = kChecksumSeed);
+
+template <typename T>
+[[nodiscard]] std::uint64_t checksum_span(std::span<const T> data,
+                                          std::uint64_t seed = kChecksumSeed) {
+  return checksum_bytes(data.data(), data.size() * sizeof(T), seed);
+}
+
+}  // namespace trico::simt

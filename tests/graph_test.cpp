@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "graph/conversion.hpp"
@@ -240,6 +241,62 @@ TEST(IoTest, BinaryRejectsTruncation) {
   data.resize(data.size() - 4);
   std::stringstream truncated(data);
   EXPECT_THROW(io::read_binary(truncated), io::IoError);
+}
+
+TEST(IoTest, TextLenientSkipsMalformedLinesAndReportsCount) {
+  std::stringstream in("0 1\nbogus tokens\n2\n1 2\n3 4 5\n");
+  std::size_t skipped = ~std::size_t{0};
+  const EdgeList list =
+      io::read_text(in, io::ParseMode::lenient, &skipped);
+  EXPECT_EQ(skipped, 3u);  // non-numeric, one-token, and trailing-token lines
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(IoTest, TextLenientReportsZeroSkipsOnCleanInput) {
+  std::stringstream in("# comment\n0 1\n\n1 2\n");
+  std::size_t skipped = ~std::size_t{0};
+  const EdgeList list =
+      io::read_text(in, io::ParseMode::lenient, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(IoTest, TextStrictErrorNamesTheLine) {
+  std::stringstream in("0 1\n7\n");
+  try {
+    (void)io::read_text(in);
+    FAIL() << "strict mode must reject the one-token line";
+  } catch (const io::IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(IoTest, BinaryRejectsOversizedStream) {
+  const EdgeList list(std::vector<Edge>{{0, 1}, {1, 0}}, 2);
+  std::stringstream stream;
+  io::write_binary(stream, list);
+  std::string data = stream.str() + std::string(8, '\0');
+  std::stringstream oversized(data);
+  EXPECT_THROW(io::read_binary(oversized), io::IoError);
+}
+
+TEST(IoTest, BinaryRejectsBogusSlotCountBeforeAllocating) {
+  // A corrupted header declaring ~1e18 slots must be rejected by the size
+  // cross-check (or the overflow guard), never turned into an allocation.
+  const EdgeList list(std::vector<Edge>{{0, 1}, {1, 0}}, 2);
+  std::stringstream stream;
+  io::write_binary(stream, list);
+  std::string data = stream.str();
+  const std::size_t slots_offset = 8 + 4 + 4;  // magic, version, n
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(data.data() + slots_offset, &huge, sizeof(huge));
+  std::stringstream corrupt(data);
+  EXPECT_THROW(io::read_binary(corrupt), io::IoError);
+
+  const std::uint64_t overflowing = ~std::uint64_t{0} - 1;
+  std::memcpy(data.data() + slots_offset, &overflowing, sizeof(overflowing));
+  std::stringstream wrapped(data);
+  EXPECT_THROW(io::read_binary(wrapped), io::IoError);
 }
 
 TEST(StatsTest, ComputesBasicStats) {

@@ -66,6 +66,22 @@ TEST(MultiGpuTest, CountingPhaseShrinksWithMoreDevices) {
   EXPECT_GT(r4.broadcast_ms, 0.0);
 }
 
+TEST(MultiGpuTest, OneDeviceDegeneratesToSingleGpuPipeline) {
+  // With one device there is nothing to broadcast and nobody to gather
+  // from: the run must cost exactly what the single-GPU pipeline costs.
+  const EdgeList g = gen::erdos_renyi(400, 3000, 99);
+  MultiGpuCounter one(small_device(), 1);
+  const MultiGpuResult r = one.count(g);
+  core::GpuForwardCounter single(small_device());
+  const core::GpuCountResult s = single.count(g);
+  EXPECT_EQ(r.triangles, s.triangles);
+  EXPECT_EQ(r.broadcast_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.preprocessing_ms, s.phases.preprocessing_ms());
+  EXPECT_DOUBLE_EQ(r.counting_ms, s.phases.counting_ms);
+  EXPECT_DOUBLE_EQ(r.gather_ms, s.phases.reduce_ms + s.phases.d2h_ms);
+  EXPECT_DOUBLE_EQ(r.total_ms(), s.phases.total_ms());
+}
+
 TEST(MultiGpuTest, SpeedupRespectsAmdahlBound) {
   gen::RmatParams params;
   params.scale = 10;
