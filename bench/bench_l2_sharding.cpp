@@ -1,0 +1,121 @@
+// Validation bench — sharded per-SM L2 vs the legacy device-wide L2.
+//
+// The parallel SM simulation gives every SM a private L2 slice of capacity
+// L2/num_sms (the same proportional-share idea the sampling path has always
+// used for its l2_scale). This bench quantifies what that approximation
+// costs in model fidelity: it runs the counting kernel over the Table II
+// suite under both topologies and reports the cache-hit-rate and modeled
+// kernel-time deltas. Triangle counts must match exactly — the topology
+// only affects timing statistics, never results. Numbers land in
+// BENCH_l2_sharding.json and a summary feeds docs/simulator.md.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "report.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace trico;
+
+int main(int argc, char** argv) {
+  const std::uint32_t threads = bench::threads_flag(argc, argv, 0);
+  std::cout << "=== L2 topology validation: per-SM sharded slices vs legacy "
+               "shared L2 (GTX 980) ===\n\n";
+
+  auto suite = bench::evaluation_suite();
+  auto options = bench::bench_options();
+
+  util::Table table({"Graph", "Hit% sharded", "Hit% shared", "delta [pp]",
+                     "Kernel ms sharded", "Kernel ms shared", "ratio"});
+
+  bench::Json graphs = bench::Json::array();
+  double max_abs_delta_pp = 0;
+  double sum_abs_delta_pp = 0;
+  double wall_sharded_ms = 0;
+  double wall_shared_ms = 0;
+
+  for (const auto& row : suite) {
+    std::cerr << "[l2-sharding] " << row.name << " ...\n";
+    const auto device = bench::bench_device(simt::DeviceConfig::gtx_980(), row);
+
+    options.sim.l2_topology = simt::L2Topology::kSharded;
+    options.sim.threads = threads;
+    util::Timer t_sharded;
+    core::GpuForwardCounter sharded_counter(device, options);
+    const auto sharded = sharded_counter.count(row.edges);
+    wall_sharded_ms += t_sharded.elapsed_ms();
+
+    options.sim.l2_topology = simt::L2Topology::kShared;  // forces 1 thread
+    util::Timer t_shared;
+    core::GpuForwardCounter shared_counter(device, options);
+    const auto shared = shared_counter.count(row.edges);
+    wall_shared_ms += t_shared.elapsed_ms();
+
+    if (sharded.triangles != shared.triangles) {
+      std::cerr << "FATAL: topology changed the triangle count on "
+                << row.name << "\n";
+      return 1;
+    }
+
+    const double hit_sharded = 100.0 * sharded.kernel.cache_hit_rate();
+    const double hit_shared = 100.0 * shared.kernel.cache_hit_rate();
+    const double delta_pp = hit_sharded - hit_shared;
+    max_abs_delta_pp = std::max(max_abs_delta_pp, std::abs(delta_pp));
+    sum_abs_delta_pp += std::abs(delta_pp);
+    const double ratio = shared.phases.counting_ms > 0
+                             ? sharded.phases.counting_ms /
+                                   shared.phases.counting_ms
+                             : 0.0;
+
+    table.row()
+        .cell(row.name)
+        .cell(hit_sharded, 2)
+        .cell(hit_shared, 2)
+        .cell(delta_pp, 2)
+        .cell(sharded.phases.counting_ms, 2)
+        .cell(shared.phases.counting_ms, 2)
+        .cell(ratio, 3);
+
+    graphs.push(bench::Json::object()
+                    .set("name", row.name)
+                    .set("triangles", static_cast<std::uint64_t>(sharded.triangles))
+                    .set("hit_rate_pct_sharded", hit_sharded)
+                    .set("hit_rate_pct_shared", hit_shared)
+                    .set("hit_rate_delta_pp", delta_pp)
+                    .set("bandwidth_gbps_sharded",
+                         sharded.kernel.achieved_bandwidth_gbps())
+                    .set("bandwidth_gbps_shared",
+                         shared.kernel.achieved_bandwidth_gbps())
+                    .set("kernel_ms_sharded", sharded.phases.counting_ms)
+                    .set("kernel_ms_shared", shared.phases.counting_ms)
+                    .set("kernel_ms_ratio", ratio));
+  }
+
+  table.print(std::cout);
+  const double mean_abs_delta_pp =
+      suite.empty() ? 0.0 : sum_abs_delta_pp / static_cast<double>(suite.size());
+  std::cout << "\nHit-rate delta (sharded - shared): mean |delta| = "
+            << mean_abs_delta_pp << " pp, max |delta| = " << max_abs_delta_pp
+            << " pp over " << suite.size() << " graphs.\n";
+  std::cout << "Triangle counts identical under both topologies.\n";
+
+  bench::write_bench_report(
+      "l2_sharding",
+      bench::Json::object()
+          .set("bench", "l2_sharding")
+          .set("device", "gtx_980")
+          .set("sample_sms", bench::bench_options().sim.sample_sms)
+          .set("threads", threads)
+          .set("wall_clock_ms_sharded", wall_sharded_ms)
+          .set("wall_clock_ms_shared", wall_shared_ms)
+          .set("summary", bench::Json::object()
+                              .set("mean_abs_hit_delta_pp", mean_abs_delta_pp)
+                              .set("max_abs_hit_delta_pp", max_abs_delta_pp)
+                              .set("counts_identical", true))
+          .set("graphs", std::move(graphs)));
+  return 0;
+}

@@ -11,14 +11,21 @@
 // Expected shape vs the paper: C2050 speedup 8-17x, GTX 980 speedup 15-36x,
 // 4-GPU speedup ~1x for preprocessing-bound graphs up to ~2.8x for
 // triangle-rich Kronecker graphs.
+//
+// --threads N sets the host threads used by the per-SM simulation
+// (0 = hardware concurrency; modeled results are identical for any value).
+// Results land in BENCH_table1.json.
 
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "multigpu/multi_gpu.hpp"
+#include "report.hpp"
 #include "suite.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -34,20 +41,24 @@ std::string dagger(bool flag, double value, int digits = 0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint32_t threads = bench::threads_flag(argc, argv, 0);
   std::cout << "=== Table I: experimental results (paper-scale reference in "
                "EXPERIMENTS.md) ===\n";
   std::cout << "dagger = graph exceeded device memory; CPU preprocessing "
                "fallback used (SIII-D6)\n\n";
 
   auto suite = bench::evaluation_suite();
-  const auto options = bench::bench_options();
+  auto options = bench::bench_options();
+  options.sim.threads = threads;
 
   util::Table table({"Graph", "Nodes", "Edges", "Triangles", "CPU[ms]",
                      "C2050[ms]", "x", "4xC2050[ms]", "x", "GTX980[ms]", "x"});
   bool in_synthetic = false;
   table.section("Real world graphs");
 
+  bench::Json graphs = bench::Json::array();
+  util::Timer wall;
   for (const auto& row : suite) {
     if (!row.real_world && !in_synthetic) {
       table.section("Synthetic graphs");
@@ -86,10 +97,39 @@ int main() {
         .cell(r_c2050.phases.total_ms() / r_c2050x4.total_ms(), 2)
         .cell(dagger(r_gtx.used_cpu_preprocessing, r_gtx.phases.total_ms(), 1))
         .cell(cpu_ms / r_gtx.phases.total_ms(), 2);
+
+    graphs.push(
+        bench::Json::object()
+            .set("name", row.name)
+            .set("vertices", static_cast<std::uint64_t>(row.edges.num_vertices()))
+            .set("edge_slots",
+                 static_cast<std::uint64_t>(row.edges.num_edge_slots()))
+            .set("triangles", static_cast<std::uint64_t>(r_gtx.triangles))
+            .set("cpu_ms", cpu_ms)
+            .set("c2050_ms", r_c2050.phases.total_ms())
+            .set("c2050_dagger", r_c2050.used_cpu_preprocessing)
+            .set("c2050x4_ms", r_c2050x4.total_ms())
+            .set("gtx980_ms", r_gtx.phases.total_ms())
+            .set("gtx980_dagger", r_gtx.used_cpu_preprocessing)
+            .set("speedup_c2050", cpu_ms / r_c2050.phases.total_ms())
+            .set("speedup_4x", r_c2050.phases.total_ms() / r_c2050x4.total_ms())
+            .set("speedup_gtx980", cpu_ms / r_gtx.phases.total_ms()));
   }
+  const double wall_ms = wall.elapsed_ms();
 
   table.print(std::cout);
   std::cout << "\nSpeedup columns: GPU-over-CPU, 4-GPU-over-1-GPU, "
                "GPU-over-CPU (as in the paper).\n";
+
+  bench::write_bench_report(
+      "table1",
+      bench::Json::object()
+          .set("bench", "table1")
+          .set("sample_sms", options.sim.sample_sms)
+          .set("threads", threads)
+          .set("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+          .set("wall_clock_ms", wall_ms)
+          .set("graphs", std::move(graphs)));
   return 0;
 }

@@ -5,36 +5,89 @@
 // shape: hit rates clustered in a band around ~75-85% with Barabasi-Albert
 // the outlier at the bottom, and bandwidth a substantial fraction (roughly
 // half) of the device's 224 GB/s peak.
+//
+// The suite runs twice — once with a single host thread, once with
+// --threads N (default 4) — to measure the wall-clock speedup of the
+// parallel per-SM simulation. The two passes must agree bit-for-bit (the
+// sharded L2 makes per-SM state independent of host scheduling); the run
+// aborts if they do not. Results land in BENCH_table2.json.
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "report.hpp"
 #include "suite.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace trico;
 
-int main() {
+namespace {
+
+struct RowRun {
+  core::GpuCountResult result;
+};
+
+std::vector<RowRun> run_suite(const std::vector<bench::EvalGraph>& suite,
+                              core::CountingOptions options,
+                              std::uint32_t threads, double* wall_ms) {
+  options.sim.threads = threads;
+  std::vector<RowRun> runs;
+  runs.reserve(suite.size());
+  util::Timer timer;
+  for (const auto& row : suite) {
+    std::cerr << "[table2] " << row.name << " (threads=" << threads
+              << ") ...\n";
+    core::GpuForwardCounter gtx(
+        bench::bench_device(simt::DeviceConfig::gtx_980(), row), options);
+    runs.push_back({gtx.count(row.edges)});
+  }
+  *wall_ms = timer.elapsed_ms();
+  return runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t threads = bench::threads_flag(argc, argv, 4);
   std::cout << "=== Table II: profiling results on GTX 980 (paper values in "
                "brackets) ===\n\n";
 
   auto suite = bench::evaluation_suite();
   const auto options = bench::bench_options();
 
+  double wall_seq_ms = 0;
+  double wall_par_ms = 0;
+  const auto baseline = run_suite(suite, options, 1, &wall_seq_ms);
+  const auto parallel = run_suite(suite, options, threads, &wall_par_ms);
+
   util::Table table({"Graph", "Hit rate", "(paper)", "BW [GB/s]", "(paper)",
                      "Transactions", "DRAM [MB]"});
   bool in_synthetic = false;
   table.section("Real world graphs");
 
-  for (const auto& row : suite) {
+  bench::Json graphs = bench::Json::array();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& row = suite[i];
+    const auto& r = parallel[i].result;
+    const auto& ref = baseline[i].result;
+    // Determinism gate: the parallel pass must reproduce the sequential
+    // pass exactly, counts and modeled statistics alike.
+    if (r.triangles != ref.triangles ||
+        r.kernel.memory.transactions != ref.kernel.memory.transactions ||
+        r.kernel.memory.dram_bytes != ref.kernel.memory.dram_bytes ||
+        r.kernel.cycles != ref.kernel.cycles) {
+      std::cerr << "FATAL: threads=" << threads
+                << " diverged from threads=1 on " << row.name << "\n";
+      return 1;
+    }
     if (!row.real_world && !in_synthetic) {
       table.section("Synthetic graphs");
       in_synthetic = true;
     }
-    std::cerr << "[table2] " << row.name << " ...\n";
-    core::GpuForwardCounter gtx(
-        bench::bench_device(simt::DeviceConfig::gtx_980(), row), options);
-    const auto r = gtx.count(row.edges);
     std::ostringstream hit, paper_hit, bw, paper_bw;
     hit.precision(2);
     hit.setf(std::ios::fixed);
@@ -44,20 +97,63 @@ int main() {
     bw.setf(std::ios::fixed);
     bw << r.kernel.achieved_bandwidth_gbps();
     paper_bw << row.paper_bw_gbps;
+    const auto transactions = static_cast<std::uint64_t>(
+        static_cast<double>(r.kernel.memory.transactions) *
+        r.kernel.sample_scale);
+    const auto dram_mb = static_cast<std::uint64_t>(
+        static_cast<double>(r.kernel.memory.dram_bytes) *
+        r.kernel.sample_scale / 1e6);
     table.row()
         .cell(row.name)
         .cell(hit.str())
         .cell(paper_hit.str())
         .cell(bw.str())
         .cell(paper_bw.str())
-        .cell(static_cast<std::uint64_t>(
-            static_cast<double>(r.kernel.memory.transactions) *
-            r.kernel.sample_scale))
-        .cell(static_cast<std::uint64_t>(
-            static_cast<double>(r.kernel.memory.dram_bytes) *
-            r.kernel.sample_scale / 1e6));
+        .cell(transactions)
+        .cell(dram_mb);
+
+    graphs.push(
+        bench::Json::object()
+            .set("name", row.name)
+            .set("vertices", static_cast<std::uint64_t>(row.edges.num_vertices()))
+            .set("edge_slots",
+                 static_cast<std::uint64_t>(row.edges.num_edge_slots()))
+            .set("triangles", static_cast<std::uint64_t>(r.triangles))
+            .set("hit_rate_pct", 100.0 * r.kernel.cache_hit_rate())
+            .set("paper_hit_rate_pct", row.paper_hit_pct)
+            .set("bandwidth_gbps", r.kernel.achieved_bandwidth_gbps())
+            .set("paper_bandwidth_gbps", row.paper_bw_gbps)
+            .set("transactions", transactions)
+            .set("dram_mbytes", dram_mb)
+            .set("modeled_counting_ms", r.phases.counting_ms)
+            .set("modeled_total_ms", r.phases.total_ms()));
   }
 
   table.print(std::cout);
+
+  const double speedup = wall_par_ms > 0 ? wall_seq_ms / wall_par_ms : 0.0;
+  std::cout << "\nHost wall clock: " << wall_seq_ms << " ms at 1 thread, "
+            << wall_par_ms << " ms at " << threads
+            << " threads -> speedup " << speedup << "x ("
+            << std::thread::hardware_concurrency()
+            << " hardware threads available)\n";
+
+  bench::write_bench_report(
+      "table2",
+      bench::Json::object()
+          .set("bench", "table2")
+          .set("device", "gtx_980")
+          .set("sample_sms", options.sim.sample_sms)
+          .set("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+          .set("harness",
+               bench::Json::object()
+                   .set("threads_baseline", 1)
+                   .set("threads", threads)
+                   .set("wall_clock_ms_threads_1", wall_seq_ms)
+                   .set("wall_clock_ms_threads_n", wall_par_ms)
+                   .set("speedup", speedup)
+                   .set("deterministic", true))
+          .set("graphs", std::move(graphs)));
   return 0;
 }

@@ -1,0 +1,112 @@
+#include "report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace trico::bench {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // NaN/inf are not valid JSON
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out += buf;
+}
+
+}  // namespace
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set on a non-object");
+  }
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push on a non-array");
+  }
+  children_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad((depth + 1) * indent, ' ');
+  const std::string close_pad(depth * indent, ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString: append_escaped(out, string_); break;
+    case Kind::kArray:
+    case Kind::kObject: {
+      const bool object = kind_ == Kind::kObject;
+      out += object ? '{' : '[';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += pad;
+        if (object) {
+          append_escaped(out, children_[i].first);
+          out += ": ";
+        }
+        children_[i].second.write(out, indent, depth + 1);
+      }
+      if (!children_.empty()) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += object ? '}' : ']';
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  out += '\n';
+  return out;
+}
+
+std::string write_bench_report(const std::string& name, const Json& payload) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  out << payload.dump();
+  std::cerr << "[report] wrote " << path << "\n";
+  return path;
+}
+
+}  // namespace trico::bench

@@ -1,0 +1,67 @@
+// Machine-readable bench reports.
+//
+// Every table bench, in addition to its human-readable table on stdout,
+// serializes its results to BENCH_<name>.json in the working directory so
+// downstream tooling (regression tracking, plots, the ISSUE acceptance
+// checks) can consume the numbers without scraping tables. The writer is a
+// deliberately tiny ordered JSON builder — no external dependency.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trico::bench {
+
+/// Minimal ordered JSON value: null, bool, integer, double, string, array,
+/// object. Keys keep insertion order so reports diff cleanly.
+class Json {
+ public:
+  Json() = default;
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(std::uint64_t value) : kind_(Kind::kUint), uint_(value) {}
+  Json(std::uint32_t value) : Json(static_cast<std::uint64_t>(value)) {}
+  Json(int value)
+      : kind_(Kind::kDouble), double_(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Appends `key: value` to an object; returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Appends `value` to an array; returns *this for chaining.
+  Json& push(Json value);
+
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kUint, kDouble, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+/// Writes `payload` to BENCH_<name>.json in the current working directory
+/// (overwriting), logs the path to stderr, and returns it.
+std::string write_bench_report(const std::string& name, const Json& payload);
+
+}  // namespace trico::bench

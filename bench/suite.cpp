@@ -1,8 +1,10 @@
 #include "suite.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <iostream>
 
 #include "cpu/counting.hpp"
 #include "gen/generators.hpp"
@@ -232,6 +234,37 @@ core::CountingOptions bench_options() {
   core::CountingOptions options;
   options.sim.sample_sms = 2;
   return options;
+}
+
+std::uint32_t threads_flag(int argc, char** argv, std::uint32_t def) {
+  auto parse = [](const std::string& text) {
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != text.size() || value > 1024) {
+      std::cerr << "usage: --threads N  (0 = hardware concurrency)\n";
+      std::exit(2);
+    }
+    return static_cast<std::uint32_t>(value);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: --threads N  (0 = hardware concurrency)\n";
+        std::exit(2);
+      }
+      return parse(argv[i + 1]);
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      return parse(arg.substr(10));
+    }
+  }
+  return def;
 }
 
 double cpu_baseline_ms(const EdgeList& edges, int reps) {

@@ -64,6 +64,12 @@ simt::DeviceConfig bench_device(const simt::DeviceConfig& base,
 /// plus SM sampling to keep simulation wall time reasonable).
 core::CountingOptions bench_options();
 
+/// Parses `--threads N` / `--threads=N` from argv: host threads for the SM
+/// simulation (simt::SimOptions::threads; 0 = hardware concurrency).
+/// Returns `def` when the flag is absent; exits with usage on a malformed
+/// value. Unrelated arguments are ignored.
+std::uint32_t threads_flag(int argc, char** argv, std::uint32_t def = 1);
+
 /// Measured CPU-forward baseline in ms (median of `reps` runs).
 double cpu_baseline_ms(const EdgeList& edges, int reps = 3);
 

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -80,10 +81,14 @@ class PerVertexCountKernel {
         const std::int64_t d = static_cast<std::int64_t>(state.a) -
                                static_cast<std::int64_t>(state.b);
         if (d == 0) {
-          // Three atomicAdds: u, v, and the common neighbour w.
+          // Three atomicAdds: u, v, and the common neighbour w. The adds
+          // are real atomics because SMs may run on concurrent host threads
+          // and distinct SMs can hit the same corner; relaxed commutative
+          // increments stay deterministic for any interleaving.
           const VertexId w = state.a;
           for (VertexId corner : {state.u, state.v, w}) {
-            ++per_vertex_[corner];
+            std::atomic_ref<std::uint64_t>(per_vertex_[corner])
+                .fetch_add(1, std::memory_order_relaxed);
             sink.read(counter_addr_ + corner * 8, 8, false);
           }
           ++state.count;

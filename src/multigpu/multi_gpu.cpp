@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <optional>
 #include <span>
@@ -266,13 +267,61 @@ MultiGpuResult MultiGpuCounter::count(const EdgeList& edges) {
   };
 
   std::vector<WorkItem> orphaned;
-  for (unsigned d = 0; d < num_devices_; ++d) {
-    const WorkItem w{d, num_devices_};
-    if (!alive[d] || states[d].device == nullptr) {
-      orphaned.push_back(w);
-      continue;
+  if (plan == nullptr) {
+    // Fault-free path: the devices are independent, so their slices are
+    // simulated concurrently — one pool task per resident device — and the
+    // results folded in device order afterwards, keeping every total
+    // deterministic. The fault-injected path below stays sequential because
+    // FaultPlan's occurrence counters are consumed in probe order.
+    struct SliceRun {
+      simt::KernelStats stats;
+      TriangleCount triangles = 0;
+      std::exception_ptr error;
+    };
+    std::vector<SliceRun> runs(num_devices_);
+    std::vector<unsigned> resident;
+    for (unsigned d = 0; d < num_devices_; ++d) {
+      if (alive[d] && states[d].device != nullptr) {
+        resident.push_back(d);
+      } else {
+        orphaned.push_back(WorkItem{d, num_devices_});
+      }
     }
-    if (!count_on(d, w)) orphaned.push_back(w);
+    pool_.parallel_ranges(
+        0, resident.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const unsigned d = resident[i];
+            try {
+              core::OrientedDeviceGraph graph = states[d].graph;
+              graph.first_edge = d;
+              graph.edge_step = num_devices_;
+              core::CountTrianglesKernel kernel(graph, options_.variant);
+              runs[d].stats = simt::launch_kernel(
+                  *states[d].device, options_.launch, kernel, options_.sim);
+              runs[d].triangles = kernel.total();
+            } catch (...) {
+              runs[d].error = std::current_exception();
+            }
+          }
+        });
+    for (unsigned d : resident) {
+      if (runs[d].error) std::rethrow_exception(runs[d].error);
+      DeviceSlice& slice = result.slices[d];
+      slice.edges += work_edges(WorkItem{d, num_devices_});
+      slice.counting_ms += runs[d].stats.time_ms;
+      slice.triangles += runs[d].triangles;
+      result.triangles += runs[d].triangles;
+      dev_time[d] += runs[d].stats.time_ms;
+    }
+  } else {
+    for (unsigned d = 0; d < num_devices_; ++d) {
+      const WorkItem w{d, num_devices_};
+      if (!alive[d] || states[d].device == nullptr) {
+        orphaned.push_back(w);
+        continue;
+      }
+      if (!count_on(d, w)) orphaned.push_back(w);
+    }
   }
 
   unsigned rounds = 0;

@@ -65,6 +65,13 @@ struct MultiGpuResult {
 /// single-GPU kernel. With num_devices == 1 the run degenerates to the
 /// single-GPU pipeline: no broadcast, no peer gather, identical total time.
 ///
+/// Host execution: on the fault-free path the devices' counting kernels are
+/// simulated concurrently (one thread-pool task per device, results folded
+/// in device order, so counts and times are deterministic); each kernel may
+/// additionally fan its SMs out across host threads via
+/// CountingOptions::sim.threads. Fault-injected runs execute sequentially
+/// because FaultPlan occurrence counters are consumed in probe order.
+///
 /// Fault injection and retry budgets come from CountingOptions
 /// (fault_plan / retry). count() throws simt::DeviceFault only when every
 /// device has been lost; any lesser failure is recovered and reported.

@@ -48,12 +48,23 @@ struct LaunchConfig {
   }
 };
 
-/// Sampling control: simulate a subset of SMs and scale. The shared L2 is
-/// shrunk proportionally so per-SM cache pressure stays faithful.
+/// Simulation controls: SM sampling, host-thread parallelism and L2
+/// topology. The modeled L2 capacity is scaled proportionally when only a
+/// subset of SMs is simulated, so per-SM cache pressure stays faithful.
 struct SimOptions {
   /// 0 = simulate every SM. k > 0 = simulate min(k, num_sms) SMs and scale
   /// times/counters by num_sms / k.
   std::uint32_t sample_sms = 0;
+
+  /// Host threads executing simulated SMs in parallel: 1 = sequential
+  /// (default), 0 = std::thread::hardware_concurrency(). Per-SM state is
+  /// independent under the sharded L2, so KernelStats are bit-identical for
+  /// every value; with L2Topology::kShared the run is forced sequential.
+  std::uint32_t threads = 1;
+
+  /// L2 model: per-SM sharded slices (default, parallel-safe) or the legacy
+  /// device-wide shared cache (validation only).
+  L2Topology l2_topology = L2Topology::kSharded;
 };
 
 /// Everything the harness reports about one kernel launch.

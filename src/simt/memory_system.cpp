@@ -1,6 +1,7 @@
 #include "simt/memory_system.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace trico::simt {
 
@@ -18,44 +19,70 @@ CacheGeometry scaled(CacheGeometry geometry, double scale) {
 
 }  // namespace
 
-MemorySystem::MemorySystem(const DeviceConfig& config,
-                           std::uint32_t simulated_sms, double l2_scale)
-    : config_(config), l2_(scaled(config.l2, l2_scale)) {
+MemorySystem::MemorySystem(DeviceConfig config, std::uint32_t simulated_sms,
+                           double l2_scale, L2Topology topology)
+    : config_(std::move(config)), topology_(topology) {
   sm_caches_.reserve(simulated_sms);
+  counters_.resize(simulated_sms);
   for (std::uint32_t i = 0; i < simulated_sms; ++i) {
-    sm_caches_.emplace_back(config.sm_cache);
+    sm_caches_.emplace_back(config_.sm_cache);
+  }
+  if (topology_ == L2Topology::kSharded) {
+    // Each SM's private slice is its proportional share of the (scaled) L2.
+    const CacheGeometry slice = scaled(
+        config_.l2, l2_scale / std::max<std::uint32_t>(simulated_sms, 1));
+    l2_slices_.reserve(simulated_sms);
+    for (std::uint32_t i = 0; i < simulated_sms; ++i) {
+      l2_slices_.emplace_back(slice);
+    }
+  } else {
+    shared_l2_.emplace_back(scaled(config_.l2, l2_scale));
   }
 }
 
 TransactionResult MemorySystem::access(std::uint32_t sm, std::uint64_t addr,
                                        bool cacheable_in_sm) {
-  ++counters_.transactions;
+  MemoryCounters& counters = counters_[sm];
+  ++counters.transactions;
   TransactionResult result;
   if (cacheable_in_sm) {
-    ++counters_.sm_cache_accesses;
+    ++counters.sm_cache_accesses;
     if (sm_caches_[sm].access(addr)) {
-      ++counters_.sm_cache_hits;
+      ++counters.sm_cache_hits;
       result.latency_cycles = config_.sm_cache_latency_cycles;
       return result;
     }
   }
-  ++counters_.l2_accesses;
+  ++counters.l2_accesses;
   result.l2_trip = true;
-  if (l2_.access(addr)) {
-    ++counters_.l2_hits;
+  SetAssocCache& l2 =
+      topology_ == L2Topology::kSharded ? l2_slices_[sm] : shared_l2_.front();
+  if (l2.access(addr)) {
+    ++counters.l2_hits;
     result.latency_cycles = config_.l2_latency_cycles;
     return result;
   }
   result.latency_cycles = config_.dram_latency_cycles;
   result.dram = true;
-  ++counters_.dram_lines;
-  counters_.dram_bytes += l2_.geometry().line_bytes;
+  ++counters.dram_lines;
+  counters.dram_bytes += l2.geometry().line_bytes;
   return result;
+}
+
+MemoryCounters MemorySystem::counters() const {
+  MemoryCounters merged;
+  for (const MemoryCounters& block : counters_) merged.merge(block);
+  return merged;
+}
+
+void MemorySystem::reset_counters() {
+  for (MemoryCounters& block : counters_) block = MemoryCounters{};
 }
 
 void MemorySystem::flush() {
   for (SetAssocCache& cache : sm_caches_) cache.flush();
-  l2_.flush();
+  for (SetAssocCache& cache : l2_slices_) cache.flush();
+  for (SetAssocCache& cache : shared_l2_) cache.flush();
 }
 
 }  // namespace trico::simt

@@ -3,8 +3,19 @@
 // Per-warp memory requests arrive as coalesced *line transactions* (the
 // runner groups the 32 lanes' addresses into unique cache lines first, as
 // the hardware's coalescer does). Each transaction probes the per-SM cache
-// (if eligible), then the device-wide L2, then DRAM. The system keeps the
-// counters Table II is built from: per-level hits and the DRAM byte traffic.
+// (if eligible), then the L2, then DRAM. The system keeps the counters
+// Table II is built from: per-level hits and the DRAM byte traffic.
+//
+// L2 topology. The real device has one L2 shared by every SM. Simulating it
+// that way serializes the whole device behind one mutable cache, so the
+// default model is *sharded*: each SM owns a private slice of capacity
+// L2/num_sms — the same proportional-share argument the SM-sampling path has
+// always used to shrink the L2 by k/N (SimOptions::sample_sms). With shards,
+// an SM's hit rates and latencies depend only on its own access stream, which
+// is what lets the runner simulate SMs on concurrent host threads with
+// bit-identical results for any thread count. The legacy shared topology is
+// kept for validation (bench_l2_sharding measures the hit-rate delta) and
+// forces sequential execution.
 
 #pragma once
 
@@ -15,6 +26,12 @@
 #include "simt/device_config.hpp"
 
 namespace trico::simt {
+
+/// How the device-wide L2 capacity is presented to the SMs.
+enum class L2Topology : std::uint8_t {
+  kSharded,  ///< per-SM private slice of capacity L2/num_sms (parallel-safe)
+  kShared,   ///< one device-wide cache (legacy; single host thread only)
+};
 
 /// Outcome of one line transaction.
 struct TransactionResult {
@@ -32,6 +49,18 @@ struct MemoryCounters {
   std::uint64_t l2_hits = 0;
   std::uint64_t dram_lines = 0;
   std::uint64_t dram_bytes = 0;
+
+  /// Accumulates `other` into this block (per-SM blocks are summed in SM
+  /// order when a run finishes; integer sums make the merge order-free).
+  void merge(const MemoryCounters& other) {
+    transactions += other.transactions;
+    sm_cache_accesses += other.sm_cache_accesses;
+    sm_cache_hits += other.sm_cache_hits;
+    l2_accesses += other.l2_accesses;
+    l2_hits += other.l2_hits;
+    dram_lines += other.dram_lines;
+    dram_bytes += other.dram_bytes;
+  }
 
   /// The "cache hit rate" the paper profiles (Table II): the fraction of
   /// transactions served by *any* cache level (1 - DRAM lines /
@@ -57,13 +86,22 @@ struct MemoryCounters {
   }
 };
 
-/// Memory hierarchy of one device: N per-SM caches over a shared L2.
+/// Memory hierarchy of one device: N per-SM caches over the L2 capacity
+/// (sharded per SM by default, or one shared cache in legacy mode).
+///
+/// Thread safety: in the sharded topology, access() for distinct `sm`
+/// values touches disjoint state, so one host thread per SM is safe. The
+/// shared topology must be driven by a single thread.
 class MemorySystem {
  public:
-  /// `l2_scale` shrinks the L2 proportionally when only a subset of SMs is
-  /// simulated (sampled runs), so the per-SM share of L2 stays faithful.
-  MemorySystem(const DeviceConfig& config, std::uint32_t simulated_sms,
-               double l2_scale = 1.0);
+  /// `l2_scale` shrinks the modeled L2 capacity proportionally when only a
+  /// subset of SMs is simulated (sampled runs), so the per-SM share of L2
+  /// stays faithful. With the sharded topology each of the `simulated_sms`
+  /// slices gets `l2 * l2_scale / simulated_sms` — i.e. exactly L2/num_sms
+  /// when the caller passes l2_scale = simulated_sms/num_sms.
+  MemorySystem(DeviceConfig config, std::uint32_t simulated_sms,
+               double l2_scale = 1.0,
+               L2Topology topology = L2Topology::kSharded);
 
   /// One coalesced line transaction from warp hardware on `sm`.
   /// `cacheable_in_sm` reflects the §III-D4 qualifier rules: true when the
@@ -71,15 +109,24 @@ class MemorySystem {
   TransactionResult access(std::uint32_t sm, std::uint64_t addr,
                            bool cacheable_in_sm);
 
-  [[nodiscard]] const MemoryCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = MemoryCounters{}; }
+  /// Counters summed over every simulated SM.
+  [[nodiscard]] MemoryCounters counters() const;
+  /// Counters of one simulated SM (its private accumulation block).
+  [[nodiscard]] const MemoryCounters& sm_counters(std::uint32_t sm) const {
+    return counters_[sm];
+  }
+  [[nodiscard]] L2Topology topology() const { return topology_; }
+
+  void reset_counters();
   void flush();
 
  private:
-  const DeviceConfig& config_;
+  DeviceConfig config_;  ///< by value: a temporary argument must not dangle
+  L2Topology topology_;
   std::vector<SetAssocCache> sm_caches_;  ///< one per simulated SM
-  SetAssocCache l2_;
-  MemoryCounters counters_;
+  std::vector<SetAssocCache> l2_slices_;  ///< sharded: one per simulated SM
+  std::vector<SetAssocCache> shared_l2_;  ///< shared: exactly one
+  std::vector<MemoryCounters> counters_;  ///< one block per simulated SM
 };
 
 }  // namespace trico::simt

@@ -15,10 +15,20 @@
 // path (slowest single warp, since one warp's chain of stalls cannot be
 // compressed), and DRAM bandwidth (bytes over the SM's bandwidth share) —
 // and charges the max. Device time is the max over SMs. Warps on one SM
-// interleave round-robin so the shared caches see a realistic access mix.
+// interleave round-robin so the caches see a realistic access mix.
+//
+// Parallel execution: per-SM work is independent — each SM owns its warps,
+// its cache slice of the (sharded) L2 and its counter block — so SMs are
+// dealt to a prim::ThreadPool as tasks (SimOptions::threads) and their
+// results merged in SM order afterwards. Every merge is over commutative
+// integer sums or max(), so KernelStats are bit-identical for any thread
+// count or interleaving. The only cross-SM state is the kernel object
+// itself: start()/step() are const, and retire() calls are serialized under
+// a mutex (every in-tree retire is a commutative integer fold, so order
+// does not affect the result).
 //
 // Sampling: for large grids, SimOptions::sample_sms simulates only the first
-// k SMs through the memory hierarchy (with the shared L2 shrunk to its k/N
+// k SMs through the memory hierarchy (with the L2 capacity shrunk to its k/N
 // share) and runs the remaining SMs' threads functionally so results stay
 // exact; times and counters are scaled by N/k.
 
@@ -27,9 +37,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
+#include "prim/thread_pool.hpp"
 #include "simt/device.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory_system.hpp"
@@ -96,11 +109,8 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
       static_cast<std::uint64_t>(blocks) * threads_per_block;
 
   MemorySystem memory(config, simulated_sms,
-                      static_cast<double>(simulated_sms) / num_sms);
-
-  KernelStats stats;
-  stats.threads = total_threads;
-  stats.sample_scale = sample_scale;
+                      static_cast<double>(simulated_sms) / num_sms,
+                      options.l2_topology);
 
   using State = typename Kernel::State;
 
@@ -111,15 +121,33 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
     double serial_cycles = 0;
   };
 
-  double max_sm_cycles = 0;
+  /// Everything one SM's simulation produces; merged in SM order below.
+  struct SmOutcome {
+    std::uint64_t warps = 0;
+    std::uint64_t warp_steps = 0;
+    std::uint64_t lane_loads = 0;
+    double issue_cycles = 0;
+    double max_warp_cycles = 0;
+    double bandwidth_cycles = 0;
+  };
+  std::vector<SmOutcome> outcomes(num_sms);
+
   const std::uint32_t line_bytes = config.l2.line_bytes;
 
-  // Blocks are assigned to SMs round-robin (block b runs on SM b % num_sms),
-  // so a sampled SM sees a uniform slice of the grid-stride work.
-  for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
-    const bool timed = sm < simulated_sms;
+  // retire() folds a thread's result into the kernel object — the one piece
+  // of cross-SM mutable state. All in-tree retires are commutative integer
+  // folds, so serializing them keeps results exact and order-independent.
+  std::mutex retire_mutex;
 
-    // Materialize this SM's warps.
+  // Simulates one SM start-to-finish. Touches only outcomes[sm], the memory
+  // system's sm-indexed state, and (under the mutex) the kernel object.
+  auto simulate_sm = [&](std::uint32_t sm) {
+    const bool timed = sm < simulated_sms;
+    SmOutcome& out_sm = outcomes[sm];
+
+    // Materialize this SM's warps. Blocks are assigned to SMs round-robin
+    // (block b runs on SM b % num_sms), so a sampled SM sees a uniform
+    // slice of the grid-stride work.
     std::vector<Warp> warps;
     for (std::uint32_t block = sm; block < blocks; block += num_sms) {
       const std::uint64_t block_base =
@@ -139,7 +167,7 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
       }
     }
     if (timed) {
-      stats.warps += warps.size();
+      out_sm.warps = warps.size();
     }
 
     if (!timed) {
@@ -150,33 +178,36 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
         for (std::uint32_t l = 0; l < warp.lanes.size(); ++l) {
           while (kernel.step(warp.lanes[l], sink)) {
           }
+          std::lock_guard lock(retire_mutex);
           kernel.retire(warp.lanes[l]);
         }
       }
-      continue;
+      return;
     }
-
-    double sm_issue_cycles = 0;
-    double sm_max_warp_cycles = 0;
-    const std::uint64_t dram_bytes_before = memory.counters().dram_bytes;
 
     // Round-robin scheduling: one lockstep step per live warp per round.
     std::vector<std::uint32_t> live_warps(warps.size());
     for (std::uint32_t w = 0; w < warps.size(); ++w) live_warps[w] = w;
     TimedSink sink;
-    std::array<std::uint64_t, 2 * TimedSink::kMaxAccesses * 64> line_buf;
+    // Worst regular case: every lane reports kMaxAccesses accesses, each
+    // straddling a line boundary. Wider accesses grow the buffer (no access
+    // is ever dropped; the old fixed-size buffer silently discarded the
+    // overflow for large effective warp sizes).
+    std::vector<std::uint64_t> line_buf;
+    line_buf.reserve(static_cast<std::size_t>(eff_warp) *
+                     TimedSink::kMaxAccesses * 2);
 
     while (!live_warps.empty()) {
       std::size_t out = 0;
       for (std::size_t idx = 0; idx < live_warps.size(); ++idx) {
         Warp& warp = warps[live_warps[idx]];
-        std::size_t num_lines = 0;
+        line_buf.clear();
         std::uint32_t alu_extra = 0;
         for (std::uint32_t l = 0; l < warp.lanes.size(); ++l) {
           if (!warp.live[l]) continue;
           sink.clear();
           const bool running = kernel.step(warp.lanes[l], sink);
-          stats.lane_loads += sink.accesses().size();
+          out_sm.lane_loads += sink.accesses().size();
           alu_extra = std::max(alu_extra, sink.alu_ops());
           for (const TimedSink::Access& access : sink.accesses()) {
             // A scalar access produces one transaction per touched line
@@ -185,33 +216,29 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
             const std::uint64_t last =
                 (access.addr + access.bytes - 1) / line_bytes;
             for (std::uint64_t line = first; line <= last; ++line) {
-              if (num_lines < line_buf.size()) {
-                // Tag bit 0 with read-only eligibility to keep distinct
-                // paths distinct during dedup.
-                line_buf[num_lines++] =
-                    (line << 1) | (access.readonly ? 1u : 0u);
-              }
+              // Tag bit 0 with read-only eligibility to keep distinct
+              // paths distinct during dedup.
+              line_buf.push_back((line << 1) | (access.readonly ? 1u : 0u));
             }
           }
           if (!running) {
             warp.live[l] = 0;
             --warp.live_count;
+            std::lock_guard lock(retire_mutex);
             kernel.retire(warp.lanes[l]);
           }
         }
-        ++stats.warp_steps;
+        ++out_sm.warp_steps;
 
         // Coalesce: unique lines only, like the hardware's per-warp coalescer.
-        std::sort(line_buf.begin(), line_buf.begin() + num_lines);
-        const auto end_it =
-            std::unique(line_buf.begin(), line_buf.begin() + num_lines);
-        const auto unique_lines =
-            static_cast<std::uint32_t>(end_it - line_buf.begin());
+        std::sort(line_buf.begin(), line_buf.end());
+        line_buf.erase(std::unique(line_buf.begin(), line_buf.end()),
+                       line_buf.end());
+        const auto unique_lines = static_cast<std::uint32_t>(line_buf.size());
 
         std::uint32_t max_latency = 0;
         std::uint32_t l2_trips = 0;
-        for (std::uint32_t t = 0; t < unique_lines; ++t) {
-          const std::uint64_t tagged = line_buf[t];
+        for (const std::uint64_t tagged : line_buf) {
           const bool readonly = (tagged & 1u) != 0;
           const std::uint64_t addr = (tagged >> 1) * line_bytes;
           const bool cacheable =
@@ -224,7 +251,7 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
         const double issue = config.issue_cycles_per_step + alu_extra +
                              config.issue_cycles_per_line * unique_lines +
                              config.issue_cycles_per_l2_trip * l2_trips;
-        sm_issue_cycles += issue;
+        out_sm.issue_cycles += issue;
         // Memory-level parallelism inside one warp step: the lanes' loads
         // overlap, so the warp stalls for the slowest transaction only.
         warp.serial_cycles += issue + max_latency;
@@ -235,19 +262,50 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
     }
 
     for (const Warp& warp : warps) {
-      sm_max_warp_cycles = std::max(sm_max_warp_cycles, warp.serial_cycles);
+      out_sm.max_warp_cycles = std::max(out_sm.max_warp_cycles, warp.serial_cycles);
     }
-    const std::uint64_t sm_dram_bytes =
-        memory.counters().dram_bytes - dram_bytes_before;
-    const double sm_bw_cycles = static_cast<double>(sm_dram_bytes) /
-                                config.dram_bytes_per_cycle_per_sm();
+    out_sm.bandwidth_cycles =
+        static_cast<double>(memory.sm_counters(sm).dram_bytes) /
+        config.dram_bytes_per_cycle_per_sm();
+  };
 
-    stats.issue_cycles = std::max(stats.issue_cycles, sm_issue_cycles);
-    stats.latency_cycles = std::max(stats.latency_cycles, sm_max_warp_cycles);
-    stats.bandwidth_cycles = std::max(stats.bandwidth_cycles, sm_bw_cycles);
+  // The shared-L2 topology serializes every SM behind one cache, so it runs
+  // on one host thread regardless of the requested count.
+  std::uint32_t host_threads =
+      options.threads == 0
+          ? std::max<std::uint32_t>(1, std::thread::hardware_concurrency())
+          : options.threads;
+  if (options.l2_topology == L2Topology::kShared) host_threads = 1;
+  host_threads = std::min(host_threads, num_sms);
+
+  if (host_threads <= 1) {
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) simulate_sm(sm);
+  } else {
+    prim::ThreadPool pool(host_threads);
+    pool.parallel_ranges(0, num_sms, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t sm = lo; sm < hi; ++sm) {
+        simulate_sm(static_cast<std::uint32_t>(sm));
+      }
+    });
+  }
+
+  // Deterministic merge in SM order: integer sums and max() commute, so the
+  // totals cannot depend on which host thread simulated which SM.
+  KernelStats stats;
+  stats.threads = total_threads;
+  stats.sample_scale = sample_scale;
+  double max_sm_cycles = 0;
+  for (const SmOutcome& out_sm : outcomes) {
+    stats.warps += out_sm.warps;
+    stats.warp_steps += out_sm.warp_steps;
+    stats.lane_loads += out_sm.lane_loads;
+    stats.issue_cycles = std::max(stats.issue_cycles, out_sm.issue_cycles);
+    stats.latency_cycles = std::max(stats.latency_cycles, out_sm.max_warp_cycles);
+    stats.bandwidth_cycles =
+        std::max(stats.bandwidth_cycles, out_sm.bandwidth_cycles);
     max_sm_cycles = std::max(
-        max_sm_cycles,
-        std::max({sm_issue_cycles, sm_max_warp_cycles, sm_bw_cycles}));
+        max_sm_cycles, std::max({out_sm.issue_cycles, out_sm.max_warp_cycles,
+                                 out_sm.bandwidth_cycles}));
   }
 
   stats.memory = memory.counters();

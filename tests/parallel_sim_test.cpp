@@ -1,0 +1,323 @@
+// Determinism tests for the multithreaded SM simulation.
+//
+// The contract (docs/simulator.md): with the sharded L2, per-SM state is
+// fully independent, every cross-SM merge is a commutative integer fold,
+// and therefore KernelStats — counters AND modeled times — are bit-identical
+// for any SimOptions::threads value, including 0 (hardware concurrency).
+// These tests pin that contract across kernels, device configs, sampling,
+// narrow warps, the multi-GPU concurrent path and the L2 topologies.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/gpu_clustering.hpp"
+#include "core/gpu_forward.hpp"
+#include "gen/generators.hpp"
+#include "multigpu/multi_gpu.hpp"
+#include "simt/device.hpp"
+#include "simt/runner.hpp"
+
+namespace trico {
+namespace {
+
+using simt::DeviceConfig;
+using simt::KernelStats;
+using simt::LaunchConfig;
+using simt::SimOptions;
+
+EdgeList social_graph(std::uint32_t n = 1500) {
+  gen::SocialParams params;
+  params.n = n;
+  params.attach = 5;
+  params.closure_rounds = 1.0;
+  params.closure_prob = 0.4;
+  return gen::social(params, 42);
+}
+
+/// EXPECT bit-identical stats: integer counters with EXPECT_EQ, modeled
+/// times with EXPECT_EQ on the doubles (the merges are sums/maxes over the
+/// same per-SM values in the same order, so even floating point must match
+/// exactly, not just approximately).
+void expect_identical(const KernelStats& a, const KernelStats& b) {
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.warps, b.warps);
+  EXPECT_EQ(a.warp_steps, b.warp_steps);
+  EXPECT_EQ(a.lane_loads, b.lane_loads);
+  EXPECT_EQ(a.memory.transactions, b.memory.transactions);
+  EXPECT_EQ(a.memory.sm_cache_accesses, b.memory.sm_cache_accesses);
+  EXPECT_EQ(a.memory.sm_cache_hits, b.memory.sm_cache_hits);
+  EXPECT_EQ(a.memory.l2_accesses, b.memory.l2_accesses);
+  EXPECT_EQ(a.memory.l2_hits, b.memory.l2_hits);
+  EXPECT_EQ(a.memory.dram_lines, b.memory.dram_lines);
+  EXPECT_EQ(a.memory.dram_bytes, b.memory.dram_bytes);
+  EXPECT_EQ(a.issue_cycles, b.issue_cycles);
+  EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+  EXPECT_EQ(a.bandwidth_cycles, b.bandwidth_cycles);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.time_ms, b.time_ms);
+  EXPECT_EQ(a.sample_scale, b.sample_scale);
+}
+
+std::vector<std::uint32_t> thread_counts() {
+  return {1, 2, 3, 0};  // 0 = hardware concurrency
+}
+
+/// Strided-read kernel: every lane touches its own cache line each step, so
+/// the expected transaction count is exact — any silently dropped line
+/// transaction (the old fixed-size coalescing buffer) shows up immediately.
+class StridedReadKernel {
+ public:
+  StridedReadKernel(simt::DeviceSpan<std::uint32_t> data, std::uint32_t steps)
+      : data_(data), steps_(steps) {}
+
+  struct State {
+    std::uint64_t lane_base = 0;
+    std::uint32_t remaining = 0;
+    std::uint64_t sum = 0;
+  };
+
+  void start(State& state, std::uint64_t tid, std::uint64_t) const {
+    state.lane_base = tid;
+    state.remaining = steps_;
+  }
+
+  template <typename Sink>
+  bool step(State& state, Sink& sink) const {
+    if (state.remaining == 0) return false;
+    // 3 reads per lane per step, each on a distinct 128-byte line.
+    for (std::uint32_t r = 0; r < 3; ++r) {
+      const std::uint64_t line =
+          (state.lane_base * 3 + r + state.remaining * 1024) % (data_.size() / 32);
+      sink.read(data_.addr(line * 32), 4, true);
+      state.sum += data_[line * 32];
+    }
+    --state.remaining;
+    return true;
+  }
+
+  void retire(const State& state) { checksum_ += state.sum; }
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  simt::DeviceSpan<std::uint32_t> data_;
+  std::uint32_t steps_;
+  std::uint64_t checksum_ = 0;
+};
+
+TEST(ParallelSimTest, DirectLaunchIdenticalAcrossThreadCountsAndDevices) {
+  for (const DeviceConfig& config :
+       {DeviceConfig::gtx_980(), DeviceConfig::tesla_c2050(),
+        DeviceConfig::nvs_5200m()}) {
+    simt::Device device(config);
+    std::vector<std::uint32_t> host(1 << 16);
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      host[i] = static_cast<std::uint32_t>(i * 2654435761u);
+    }
+    const auto buffer = device.upload<std::uint32_t>(host);
+
+    KernelStats reference;
+    std::uint64_t reference_checksum = 0;
+    bool first = true;
+    for (std::uint32_t threads : thread_counts()) {
+      StridedReadKernel kernel(buffer, 40);
+      SimOptions options;
+      options.threads = threads;
+      const KernelStats stats =
+          launch_kernel(device, LaunchConfig{64, 4, 32}, kernel, options);
+      if (first) {
+        reference = stats;
+        reference_checksum = kernel.checksum();
+        EXPECT_GT(stats.memory.transactions, 0u);
+        first = false;
+      } else {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expect_identical(stats, reference);
+        EXPECT_EQ(kernel.checksum(), reference_checksum);
+      }
+    }
+  }
+}
+
+TEST(ParallelSimTest, NoLineTransactionsAreDropped) {
+  // One block of one full warp, one SM: every lane reads 3 distinct lines
+  // per step -> exactly eff_warp * 3 transactions per warp step.
+  DeviceConfig config = DeviceConfig::gtx_980();
+  config.num_sms = 1;
+  simt::Device device(config);
+  const std::vector<std::uint32_t> host(1 << 16, 1);
+  const auto buffer = device.upload<std::uint32_t>(host);
+  for (const std::uint32_t eff_warp : {32u, 8u}) {
+    StridedReadKernel kernel(buffer, 10);
+    simt::LaunchConfig launch{32, 1, eff_warp};
+    const KernelStats stats = launch_kernel(device, launch, kernel);
+    // Live steps issue eff_warp lanes x 3 lines; the final step of each
+    // warp (returning false) issues none.
+    const std::uint64_t live_steps = 10;
+    const std::uint64_t warps = (32 + eff_warp - 1) / eff_warp;
+    EXPECT_EQ(stats.memory.transactions, warps * live_steps * eff_warp * 3)
+        << "eff_warp=" << eff_warp;
+  }
+}
+
+TEST(ParallelSimTest, PipelineIdenticalAcrossThreadCounts) {
+  const EdgeList edges = social_graph();
+  for (const DeviceConfig& config :
+       {DeviceConfig::gtx_980(), DeviceConfig::tesla_c2050()}) {
+    core::GpuCountResult reference;
+    bool first = true;
+    for (std::uint32_t threads : thread_counts()) {
+      core::CountingOptions options;
+      options.sim.threads = threads;
+      core::GpuForwardCounter counter(config, options);
+      const auto result = counter.count(edges);
+      if (first) {
+        reference = result;
+        first = false;
+      } else {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        EXPECT_EQ(result.triangles, reference.triangles);
+        EXPECT_EQ(result.phases.counting_ms, reference.phases.counting_ms);
+        EXPECT_EQ(result.phases.total_ms(), reference.phases.total_ms());
+        expect_identical(result.kernel, reference.kernel);
+      }
+    }
+  }
+}
+
+TEST(ParallelSimTest, SampledRunIdenticalAcrossThreadCounts) {
+  const EdgeList edges = social_graph();
+  core::GpuCountResult reference;
+  bool first = true;
+  for (std::uint32_t threads : thread_counts()) {
+    core::CountingOptions options;
+    options.sim.sample_sms = 2;
+    options.sim.threads = threads;
+    core::GpuForwardCounter counter(DeviceConfig::gtx_980(), options);
+    const auto result = counter.count(edges);
+    if (first) {
+      reference = result;
+      EXPECT_EQ(result.kernel.sample_scale,
+                DeviceConfig::gtx_980().num_sms / 2.0);
+      first = false;
+    } else {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(result.triangles, reference.triangles);
+      expect_identical(result.kernel, reference.kernel);
+    }
+  }
+}
+
+TEST(ParallelSimTest, NarrowWarpRunIdenticalAcrossThreadCounts) {
+  const EdgeList edges = social_graph(800);
+  core::GpuCountResult reference;
+  bool first = true;
+  for (std::uint32_t threads : thread_counts()) {
+    core::CountingOptions options;
+    options.launch.effective_warp_size = 8;  // §III-D5 narrow-warp variant
+    options.sim.threads = threads;
+    core::GpuForwardCounter counter(DeviceConfig::gtx_980(), options);
+    const auto result = counter.count(edges);
+    if (first) {
+      reference = result;
+      first = false;
+    } else {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(result.triangles, reference.triangles);
+      expect_identical(result.kernel, reference.kernel);
+    }
+  }
+}
+
+TEST(ParallelSimTest, PerVertexAtomicKernelIdenticalAcrossThreadCounts) {
+  const EdgeList edges = social_graph(800);
+  core::GpuLocalClusteringResult reference;
+  bool first = true;
+  for (std::uint32_t threads : thread_counts()) {
+    core::CountingOptions options;
+    options.sim.threads = threads;
+    core::GpuClusteringAnalyzer analyzer(DeviceConfig::gtx_980(), options);
+    const auto result = analyzer.analyze_local(edges);
+    if (first) {
+      reference = result;
+      first = false;
+    } else {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      // The per-vertex histogram is built by (modeled) atomic adds from
+      // warps on every SM; relaxed commutative increments must agree with
+      // the sequential run exactly.
+      EXPECT_EQ(result.per_vertex_triangles, reference.per_vertex_triangles);
+    }
+  }
+}
+
+TEST(ParallelSimTest, MultiGpuConcurrentPathIdenticalAcrossThreadCounts) {
+  const EdgeList edges = social_graph(800);
+  multigpu::MultiGpuResult reference;
+  bool first = true;
+  for (std::uint32_t threads : thread_counts()) {
+    core::CountingOptions options;
+    options.sim.sample_sms = 2;
+    options.sim.threads = threads;
+    multigpu::MultiGpuCounter counter(DeviceConfig::tesla_c2050(), 4, options);
+    const auto result = counter.count(edges);
+    if (first) {
+      reference = result;
+      ASSERT_EQ(result.slices.size(), 4u);
+      first = false;
+    } else {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(result.triangles, reference.triangles);
+      EXPECT_EQ(result.counting_ms, reference.counting_ms);
+      ASSERT_EQ(result.slices.size(), reference.slices.size());
+      for (std::size_t d = 0; d < result.slices.size(); ++d) {
+        EXPECT_EQ(result.slices[d].edges, reference.slices[d].edges);
+        EXPECT_EQ(result.slices[d].triangles, reference.slices[d].triangles);
+        EXPECT_EQ(result.slices[d].counting_ms,
+                  reference.slices[d].counting_ms);
+      }
+    }
+  }
+}
+
+TEST(ParallelSimTest, SharedTopologyMatchesCountsAndForcesSequential) {
+  const EdgeList edges = social_graph(800);
+  core::CountingOptions sharded;
+  sharded.sim.threads = 0;
+  core::CountingOptions shared;
+  shared.sim.l2_topology = simt::L2Topology::kShared;
+  shared.sim.threads = 0;  // runner must ignore this and run sequentially
+  core::GpuForwardCounter a(DeviceConfig::gtx_980(), sharded);
+  core::GpuForwardCounter b(DeviceConfig::gtx_980(), shared);
+  const auto ra = a.count(edges);
+  const auto rb = b.count(edges);
+  // Counts are exact under both topologies; only cache statistics differ.
+  EXPECT_EQ(ra.triangles, rb.triangles);
+  EXPECT_EQ(ra.kernel.lane_loads, rb.kernel.lane_loads);
+  EXPECT_EQ(ra.kernel.memory.transactions, rb.kernel.memory.transactions);
+}
+
+TEST(ParallelSimTest, RepeatedParallelRunsAreStable) {
+  // Same options, many repetitions: guards against latent scheduling
+  // nondeterminism that a single pairwise comparison could miss.
+  const EdgeList edges = social_graph(600);
+  core::CountingOptions options;
+  options.sim.threads = 0;
+  core::GpuCountResult reference;
+  for (int run = 0; run < 3; ++run) {
+    core::GpuForwardCounter counter(DeviceConfig::gtx_980(), options);
+    const auto result = counter.count(edges);
+    if (run == 0) {
+      reference = result;
+    } else {
+      SCOPED_TRACE("run=" + std::to_string(run));
+      EXPECT_EQ(result.triangles, reference.triangles);
+      expect_identical(result.kernel, reference.kernel);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trico

@@ -92,7 +92,7 @@ TEST(CacheTest, RejectsBadGeometry) {
 
 TEST(MemorySystemTest, RoutesThroughSmCacheThenL2) {
   DeviceConfig config = DeviceConfig::gtx_980();
-  MemorySystem memory(config, 2);
+  MemorySystem memory(config, 2, 1.0, L2Topology::kShared);
   // Read-only eligible access: first touch misses everything -> DRAM.
   const TransactionResult cold = memory.access(0, 0x1000, true);
   EXPECT_TRUE(cold.dram);
@@ -105,6 +105,23 @@ TEST(MemorySystemTest, RoutesThroughSmCacheThenL2) {
   const TransactionResult peer = memory.access(1, 0x1000, true);
   EXPECT_FALSE(peer.dram);
   EXPECT_EQ(peer.latency_cycles, config.l2_latency_cycles);
+}
+
+TEST(MemorySystemTest, ShardedL2SlicesArePrivatePerSm) {
+  DeviceConfig config = DeviceConfig::gtx_980();
+  MemorySystem memory(config, 2);  // default topology: sharded
+  memory.access(0, 0x1000, true);
+  // Same line, same SM: the slice (or SM cache) holds it.
+  const TransactionResult warm = memory.access(0, 0x1000, true);
+  EXPECT_FALSE(warm.dram);
+  // Same line from the other SM: its private slice is cold -> DRAM. This is
+  // the sharded model's deliberate deviation from the shared L2 (it is what
+  // makes per-SM simulation order-independent and parallelizable).
+  const TransactionResult peer = memory.access(1, 0x1000, true);
+  EXPECT_TRUE(peer.dram);
+  EXPECT_EQ(memory.sm_counters(0).transactions, 2u);
+  EXPECT_EQ(memory.sm_counters(1).transactions, 1u);
+  EXPECT_EQ(memory.counters().transactions, 3u);
 }
 
 TEST(MemorySystemTest, NonReadonlySkipsSmCacheOnMaxwell) {
