@@ -1,0 +1,225 @@
+// Experiment E21 — adaptive hybrid intersection engine for the CPU tier.
+//
+// Sweeps the engine's strategy thresholds (gallop skew ratio, bitmap
+// oriented-degree cutoff) across the Table I stand-in suite and compares the
+// adaptive engine against the scalar two-pointer merge baseline at equal
+// thread count. The counting-phase speedup on the skewed rows (livejournal,
+// the Kronecker scales) is the ISSUE acceptance number; the sweep tables are
+// where the EngineOptions defaults come from (docs/cpu_engine.md).
+//
+// Flags:
+//   --graph <name>   bench only the named suite row (default: whole suite)
+//   --threads N      pool width (default: hardware concurrency)
+//   --smoke          small generated graphs, no disk cache, no sweep — the
+//                    CI configuration (seconds, not minutes)
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpu/counting.hpp"
+#include "gen/generators.hpp"
+#include "report.hpp"
+#include "suite.hpp"
+#include "util/table.hpp"
+
+using namespace trico;
+
+namespace {
+
+struct BenchGraph {
+  std::string name;
+  EdgeList edges;
+};
+
+/// Median-of-3 engine run with a fixed option set.
+cpu::EngineResult run_engine(const EdgeList& edges, prim::ThreadPool& pool,
+                             const cpu::EngineOptions& options, int reps = 3) {
+  std::vector<cpu::EngineResult> runs;
+  for (int r = 0; r < reps; ++r) runs.push_back(cpu::count_engine(edges, pool, options));
+  std::sort(runs.begin(), runs.end(),
+            [](const cpu::EngineResult& a, const cpu::EngineResult& b) {
+              return a.counting.counting_ms < b.counting.counting_ms;
+            });
+  return runs[runs.size() / 2];
+}
+
+bench::Json timings_json(const cpu::PreprocessTimings& t) {
+  return bench::Json::object()
+      .set("degrees_ms", t.degrees_ms)
+      .set("orient_ms", t.orient_ms)
+      .set("relabel_ms", t.relabel_ms)
+      .set("sort_ms", t.sort_ms)
+      .set("csr_ms", t.csr_ms)
+      .set("bitmap_ms", t.bitmap_ms)
+      .set("total_ms", t.total_ms());
+}
+
+bench::Json stats_json(const cpu::CountingStats& s) {
+  return bench::Json::object()
+      .set("merge_edges", s.merge_edges)
+      .set("gallop_edges", s.gallop_edges)
+      .set("bitmap_edges", s.bitmap_edges)
+      .set("counting_ms", s.counting_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string only_graph;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
+      only_graph = argv[i + 1];
+    }
+  }
+  const std::uint32_t threads = bench::threads_flag(
+      argc, argv, std::max(1u, std::thread::hardware_concurrency()));
+
+  std::cout << "=== E21: adaptive hybrid CPU intersection engine ===\n"
+            << "pool threads: " << threads << (smoke ? " (smoke mode)" : "")
+            << "\n\n";
+
+  std::vector<BenchGraph> graphs;
+  if (smoke) {
+    graphs.push_back({"rmat_smoke", gen::rmat({.scale = 11, .edge_factor = 12}, 3)});
+    graphs.push_back({"social_smoke", gen::social({.n = 4000, .attach = 8}, 3)});
+    graphs.push_back({"ws_smoke", gen::watts_strogatz(4000, 8, 0.1, 3)});
+  } else {
+    for (auto& row : bench::evaluation_suite()) {
+      if (!only_graph.empty() && row.name != only_graph) continue;
+      graphs.push_back({row.name, std::move(row.edges)});
+    }
+    if (graphs.empty()) {
+      std::cerr << "no suite row named '" << only_graph << "'\n";
+      return 1;
+    }
+  }
+
+  prim::ThreadPool pool(threads);
+
+  cpu::EngineOptions merge_opts;
+  merge_opts.strategy = cpu::IntersectStrategy::kMergeOnly;
+  merge_opts.relabel_by_degree = false;  // the paper's scalar baseline layout
+  cpu::EngineOptions gallop_opts;
+  gallop_opts.strategy = cpu::IntersectStrategy::kGallopOnly;
+
+  bench::Json rows = bench::Json::array();
+  util::Table table({"graph", "slots", "merge [ms]", "gallop [ms]",
+                     "adaptive [ms]", "counting speedup", "e2e speedup",
+                     "bitmap%"});
+
+  bool all_ok = true;
+  double min_skewed_speedup = 1e300;
+  for (const BenchGraph& g : graphs) {
+    const TriangleCount expected = cpu::count_forward(g.edges);
+
+    const cpu::EngineResult merge = run_engine(g.edges, pool, merge_opts);
+    const cpu::EngineResult gallop = run_engine(g.edges, pool, gallop_opts);
+    const cpu::EngineResult adaptive = run_engine(g.edges, pool, {});
+    if (merge.triangles != expected || gallop.triangles != expected ||
+        adaptive.triangles != expected) {
+      std::cerr << "COUNT MISMATCH on " << g.name << "\n";
+      all_ok = false;
+    }
+
+    const double counting_speedup =
+        merge.counting.counting_ms / std::max(1e-9, adaptive.counting.counting_ms);
+    const double e2e_speedup =
+        (merge.preprocess.total_ms() + merge.counting.counting_ms) /
+        std::max(1e-9,
+                 adaptive.preprocess.total_ms() + adaptive.counting.counting_ms);
+    const double bitmap_pct =
+        adaptive.counting.total_edges() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(adaptive.counting.bitmap_edges) /
+                  static_cast<double>(adaptive.counting.total_edges());
+    // The acceptance rows: the paper's skewed graphs (social and Kronecker
+    // stand-ins) are where the adaptive engine must pay off.
+    if (g.name.find("livejournal") != std::string::npos ||
+        g.name.find("kronecker") != std::string::npos) {
+      min_skewed_speedup = std::min(min_skewed_speedup, counting_speedup);
+    }
+
+    table.row()
+        .cell(g.name)
+        .cell(std::to_string(g.edges.num_edge_slots()))
+        .cell(merge.counting.counting_ms, 1)
+        .cell(gallop.counting.counting_ms, 1)
+        .cell(adaptive.counting.counting_ms, 1)
+        .cell(counting_speedup, 2)
+        .cell(e2e_speedup, 2)
+        .cell(bitmap_pct, 1);
+
+    bench::Json row = bench::Json::object()
+                          .set("graph", g.name)
+                          .set("edge_slots", g.edges.num_edge_slots())
+                          .set("triangles", expected)
+                          .set("threads", threads)
+                          .set("merge_baseline", stats_json(merge.counting))
+                          .set("gallop_only", stats_json(gallop.counting))
+                          .set("adaptive", stats_json(adaptive.counting))
+                          .set("adaptive_preprocess", timings_json(adaptive.preprocess))
+                          .set("counting_speedup", counting_speedup)
+                          .set("end_to_end_speedup", e2e_speedup);
+
+    // Threshold sweeps (skipped in smoke mode): skew ratio with the bitmap
+    // cutoff fixed at its default, then the bitmap cutoff with skew fixed.
+    if (!smoke) {
+      bench::Json skew_sweep = bench::Json::array();
+      for (double skew : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        cpu::EngineOptions o;
+        o.skew_threshold = skew;
+        const cpu::EngineResult r = run_engine(g.edges, pool, o);
+        if (r.triangles != expected) all_ok = false;
+        skew_sweep.push(bench::Json::object()
+                            .set("skew_threshold", skew)
+                            .set("counting_ms", r.counting.counting_ms)
+                            .set("gallop_edges", r.counting.gallop_edges));
+      }
+      row.set("skew_sweep", std::move(skew_sweep));
+
+      bench::Json bitmap_sweep = bench::Json::array();
+      for (EdgeIndex cutoff : {std::uint64_t{0}, std::uint64_t{2},
+                               std::uint64_t{4}, std::uint64_t{8},
+                               std::uint64_t{16}, std::uint64_t{32}}) {
+        cpu::EngineOptions o;
+        o.bitmap_threshold = cutoff;
+        const cpu::EngineResult r = run_engine(g.edges, pool, o);
+        if (r.triangles != expected) all_ok = false;
+        bitmap_sweep.push(bench::Json::object()
+                              .set("bitmap_threshold", cutoff)
+                              .set("counting_ms", r.counting.counting_ms)
+                              .set("bitmap_edges", r.counting.bitmap_edges)
+                              .set("bitmap_build_ms", r.preprocess.bitmap_ms));
+      }
+      row.set("bitmap_sweep", std::move(bitmap_sweep));
+    }
+    rows.push(std::move(row));
+  }
+
+  table.print(std::cout);
+  if (min_skewed_speedup < 1e300) {
+    std::cout << "\nmin counting-phase speedup over the skewed acceptance rows "
+                 "(livejournal/kronecker): "
+              << min_skewed_speedup << "x (target: >= 2x)\n";
+  }
+
+  bench::Json payload = bench::Json::object()
+                            .set("experiment", "cpu_engine")
+                            .set("threads", threads)
+                            .set("smoke", smoke)
+                            .set("rows", std::move(rows));
+  if (min_skewed_speedup < 1e300) {
+    payload.set("min_skewed_counting_speedup", min_skewed_speedup);
+  }
+  bench::write_bench_report("cpu_engine", payload);
+
+  if (!all_ok) return 1;
+  std::cout << (smoke ? "\nsmoke OK: all strategies exact\n" : "");
+  return 0;
+}

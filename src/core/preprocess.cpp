@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "cpu/hybrid_engine.hpp"
+#include "graph/orientation.hpp"
 #include "prim/algorithms.hpp"
 #include "prim/radix_sort.hpp"
 #include "simt/cost_model.hpp"
@@ -112,19 +114,19 @@ PreprocessedGraph preprocess_for_device(const EdgeList& edges,
 
   if (needs_fallback) {
     // §III-D6: degrees + backward-edge removal on the CPU; halves the input
-    // before the device sees it. Modeled at host streaming speed.
+    // before the device sees it. Runs on the pool (parallel degrees +
+    // flag/compact, same stages the hybrid engine uses) so the fallback rung
+    // of the degradation ladder is no longer serial; the *modeled* time
+    // stays the host streaming formula.
     constexpr double kHostStreamGbps = 5.0;
     out.num_vertices = edges.num_vertices();
-    const std::vector<EdgeIndex> degree = edges.degrees();
-    std::vector<Edge> kept;
-    kept.reserve(work.size() / 2);
-    for (const Edge& e : work) {
-      const bool backward = degree[e.u] != degree[e.v]
-                                ? degree[e.u] > degree[e.v]
-                                : e.u > e.v;
-      if (!backward) kept.push_back(e);
-    }
-    work = std::move(kept);
+    const std::vector<EdgeIndex> degree =
+        cpu::parallel_degrees(edges.edges(), out.num_vertices, pool);
+    std::vector<std::uint8_t> backward(work.size());
+    prim::parallel_for(pool, 0, work.size(), [&](std::size_t i) {
+      backward[i] = is_backward_edge(degree, work[i].u, work[i].v);
+    });
+    work = prim::remove_if_flagged<Edge>(pool, work, backward);
     out.phases.cpu_preprocess_ms =
         static_cast<double>(slots * 8 * 2 + work.size() * 8) /
         (kHostStreamGbps * 1e6);
@@ -174,7 +176,7 @@ PreprocessedGraph preprocess_for_device(const EdgeList& edges,
       }
       const std::uint32_t deg_u = node[u + 1] - node[u];
       const std::uint32_t deg_v = node[v + 1] - node[v];
-      backward[i] = deg_u != deg_v ? deg_u > deg_v : u > v;
+      backward[i] = degree_order_less(deg_v, deg_u, v, u);
     });
     out.phases.mark_backward_ms = cost.mark_backward_ms(work.size());
 

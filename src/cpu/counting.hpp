@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "cpu/hybrid_engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "prim/thread_pool.hpp"
@@ -53,10 +54,16 @@ namespace trico::cpu {
 /// the intersection-strategy ablation.
 [[nodiscard]] TriangleCount count_forward_binary_search(const EdgeList& edges);
 
-/// Multicore forward (§V): the counting phase parallelized over oriented
-/// edges on a thread pool; preprocessing stays sequential.
+/// Multicore forward (§V): the full pipeline on a thread pool, parallel end
+/// to end — preprocessing (degrees, orientation filter, relabeling, sort,
+/// CSR build) runs on the deterministic prim primitives and the counting
+/// phase uses the adaptive hybrid intersection engine with chunked dynamic
+/// scheduling (see cpu/hybrid_engine.hpp). Pass `breakdown` to receive the
+/// per-stage PreprocessTimings and counting stats the §IV Amdahl-fraction
+/// analysis needs.
 [[nodiscard]] TriangleCount count_forward_multicore(const EdgeList& edges,
-                                                    prim::ThreadPool& pool);
+                                                    prim::ThreadPool& pool,
+                                                    EngineResult* breakdown = nullptr);
 
 /// §III-A input-format study: a solver whose input is *already* an adjacency
 /// structure (sorted CSR), letting it skip the edge sort. Pair it with

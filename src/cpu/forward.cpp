@@ -53,13 +53,11 @@ TriangleCount count_forward_from_adjacency(const Csr& adjacency) {
   std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<VertexId> kept;
   kept.reserve(adjacency.num_edge_slots() / 2);
-  auto degree_of = [&](VertexId v) { return adjacency.degree(v); };
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v : adjacency.neighbors(u)) {
-      const bool forward = degree_of(u) != degree_of(v)
-                               ? degree_of(u) < degree_of(v)
-                               : u < v;
-      if (forward) kept.push_back(v);
+      if (degree_order_less(adjacency.degree(u), adjacency.degree(v), u, v)) {
+        kept.push_back(v);
+      }
     }
     offsets[u + 1] = kept.size();
   }
@@ -105,16 +103,11 @@ TriangleCount count_forward_binary_search(const EdgeList& edges) {
 }
 
 TriangleCount count_forward_multicore(const EdgeList& edges,
-                                      prim::ThreadPool& pool) {
-  const EdgeList oriented_edges = orient_forward(edges);
-  const Csr oriented = Csr::from_edge_list(oriented_edges);
-  const auto slots = oriented_edges.edges();
-  return prim::transform_reduce<TriangleCount>(
-      pool, slots.size(), 0, [&](std::size_t i) {
-        const Edge& e = slots[i];
-        return merge_intersect(oriented.neighbors(e.u),
-                               oriented.neighbors(e.v));
-      });
+                                      prim::ThreadPool& pool,
+                                      EngineResult* breakdown) {
+  const EngineResult result = count_engine(edges, pool);
+  if (breakdown != nullptr) *breakdown = result;
+  return result.triangles;
 }
 
 std::vector<TriangleCount> per_vertex_triangles(const EdgeList& edges) {

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "cpu/hybrid_engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/orientation.hpp"
+#include "prim/algorithms.hpp"
 
 namespace trico::cpu {
 
@@ -45,19 +47,27 @@ class BitMatrix {
   std::vector<std::uint64_t> bits_;
 };
 
-TriangleCount dense_count(const std::vector<Edge>& pairs, std::size_t n) {
+TriangleCount dense_count(const std::vector<Edge>& pairs, std::size_t n,
+                          prim::ThreadPool* pool = nullptr) {
   // pairs hold compact ids with u < v.
   BitMatrix adjacency(n);
   for (const Edge& e : pairs) {
     adjacency.set(e.u, e.v);
     adjacency.set(e.v, e.u);
   }
-  TriangleCount total = 0;
-  for (const Edge& e : pairs) {
-    // Common neighbours w with w > v close triangle u < v < w exactly once.
-    total += adjacency.and_popcount_above(e.u, e.v, e.v);
+  // Common neighbours w with w > v close triangle u < v < w exactly once.
+  if (pool == nullptr) {
+    TriangleCount total = 0;
+    for (const Edge& e : pairs) {
+      total += adjacency.and_popcount_above(e.u, e.v, e.v);
+    }
+    return total;
   }
-  return total;
+  return prim::transform_reduce_dynamic<TriangleCount>(
+      *pool, pairs.size(), 0, TriangleCount{0}, [&](std::size_t i) {
+        const Edge& e = pairs[i];
+        return adjacency.and_popcount_above(e.u, e.v, e.v);
+      });
 }
 
 }  // namespace
@@ -118,6 +128,67 @@ TriangleCount count_hybrid(const EdgeList& edges, EdgeIndex degree_threshold) {
       }
     }
     total += dense_count(core_pairs, core_size);
+  }
+  return total;
+}
+
+TriangleCount count_hybrid(const EdgeList& edges, EdgeIndex degree_threshold,
+                           prim::ThreadPool& pool) {
+  const VertexId n = edges.num_vertices();
+  const std::vector<EdgeIndex> degree =
+      parallel_degrees(edges.edges(), n, pool);
+  const auto is_high = [&](VertexId v) { return degree[v] > degree_threshold; };
+
+  // The engine's parallel preprocessing with relabeling off reproduces
+  // oriented_csr(edges) bit for bit, so part 1 can keep indexing by the
+  // original vertex ids.
+  EngineOptions options;
+  options.relabel_by_degree = false;
+  options.bitmap_threshold = 0;  // part 1 is merge-only; skip bitmap packing
+  const PreparedGraph prepared = prepare(edges, pool, options);
+  const Csr& oriented = prepared.oriented;
+
+  // Part 1: triangles rooted at low-degree vertices, dynamically chunked so
+  // the skewed per-vertex work rebalances across workers.
+  TriangleCount total = prim::transform_reduce_dynamic<TriangleCount>(
+      pool, n, 0, TriangleCount{0}, [&](std::size_t ui) {
+        const VertexId u = static_cast<VertexId>(ui);
+        if (is_high(u)) return TriangleCount{0};
+        TriangleCount acc = 0;
+        const auto adj_u = oriented.neighbors(u);
+        for (VertexId v : adj_u) {
+          const auto adj_v = oriented.neighbors(v);
+          std::size_t i = 0, j = 0;
+          while (i < adj_u.size() && j < adj_v.size()) {
+            if (adj_u[i] < adj_v[j]) {
+              ++i;
+            } else if (adj_u[i] > adj_v[j]) {
+              ++j;
+            } else {
+              ++acc;
+              ++i;
+              ++j;
+            }
+          }
+        }
+        return acc;
+      });
+
+  // Part 2: the high-degree core, densely. The induced core is small by
+  // construction, so only the probe loop is worth parallelizing.
+  std::vector<VertexId> compact_id(n, kInvalidVertex);
+  VertexId core_size = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_high(v)) compact_id[v] = core_size++;
+  }
+  if (core_size >= 3) {
+    std::vector<Edge> core_pairs;
+    for (const Edge& e : edges.edges()) {
+      if (e.u < e.v && is_high(e.u) && is_high(e.v)) {
+        core_pairs.push_back(Edge{compact_id[e.u], compact_id[e.v]});
+      }
+    }
+    total += dense_count(core_pairs, core_size, &pool);
   }
   return total;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
 
 namespace trico::cpu {
 
@@ -31,5 +32,14 @@ namespace trico::cpu {
 /// plain forward).
 [[nodiscard]] TriangleCount count_hybrid(const EdgeList& edges,
                                          EdgeIndex degree_threshold);
+
+/// Multicore count_hybrid: preprocessing runs on the hybrid engine's
+/// parallel pipeline (degrees, orientation filter, CSR build — all on the
+/// pool) and both the low-degree merge part and the dense-core probe part
+/// are parallelized with dynamic chunking. Same exact count as the
+/// sequential overload for any threshold and thread count.
+[[nodiscard]] TriangleCount count_hybrid(const EdgeList& edges,
+                                         EdgeIndex degree_threshold,
+                                         prim::ThreadPool& pool);
 
 }  // namespace trico::cpu

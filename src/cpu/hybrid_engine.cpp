@@ -1,0 +1,366 @@
+#include "cpu/hybrid_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/orientation.hpp"
+#include "prim/algorithms.hpp"
+#include "prim/radix_sort.hpp"
+#include "util/timer.hpp"
+
+namespace trico::cpu {
+
+namespace {
+
+/// Two-pointer merge intersection size of two sorted ascending ranges.
+TriangleCount merge_intersect(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Galloping (exponential-search) intersection: each element of `shorter` is
+/// located in `longer` by doubling from the previous match position, then a
+/// binary search over the bracketed window — O(|s| · log(|l| / |s|)).
+TriangleCount gallop_intersect(std::span<const VertexId> shorter,
+                               std::span<const VertexId> longer) {
+  TriangleCount count = 0;
+  std::size_t j = 0;
+  const std::size_t ln = longer.size();
+  for (VertexId x : shorter) {
+    if (j >= ln) break;
+    std::size_t bound = 1;
+    while (j + bound < ln && longer[j + bound] < x) bound <<= 1;
+    const auto first = longer.begin() + (j + (bound >> 1));
+    const auto last = longer.begin() + std::min(ln, j + bound + 1);
+    j = static_cast<std::size_t>(std::lower_bound(first, last, x) -
+                                 longer.begin());
+    if (j < ln && longer[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Probe every element of `probes` against a hoisted bitmap row. The caller
+/// guarantees every probe is inside the row's domain (no bounds check): one
+/// load + shift per probe, branch-free.
+TriangleCount bitmap_probe(const std::uint64_t* words,
+                           std::span<const VertexId> probes) {
+  TriangleCount count = 0;
+  for (VertexId w : probes) count += (words[w >> 6] >> (w & 63)) & 1;
+  return count;
+}
+
+/// Same, for probes that may exceed the row's truncated domain (they read as
+/// unset, which is correct: an id outside [0, domain) cannot be a neighbor).
+TriangleCount bitmap_probe_checked(const std::uint64_t* words,
+                                   std::uint64_t num_words,
+                                   std::span<const VertexId> probes) {
+  TriangleCount count = 0;
+  for (VertexId w : probes) {
+    if ((w >> 6) < num_words) count += (words[w >> 6] >> (w & 63)) & 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<EdgeIndex> parallel_degrees(std::span<const Edge> slots,
+                                        VertexId num_vertices,
+                                        prim::ThreadPool& pool) {
+  const std::size_t n = num_vertices;
+  const std::size_t nw = pool.num_threads();
+  std::vector<std::vector<EdgeIndex>> local(nw);
+  const std::size_t chunk = (slots.size() + nw - 1) / nw;
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    auto& bins = local[w];
+    bins.assign(n, 0);
+    const std::size_t lo = std::min(slots.size(), w * chunk);
+    const std::size_t hi = std::min(slots.size(), lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) ++bins[slots[i].u];
+  });
+  std::vector<EdgeIndex> degree(n, 0);
+  prim::parallel_for(pool, 0, n, [&](std::size_t v) {
+    EdgeIndex d = 0;
+    for (const auto& bins : local) d += bins[v];
+    degree[v] = d;
+  });
+  return degree;
+}
+
+PreparedGraph prepare(const EdgeList& edges, prim::ThreadPool& pool,
+                      const EngineOptions& options) {
+  PreparedGraph out;
+  out.options = options;
+  const VertexId n = edges.num_vertices();
+  util::Timer timer;
+
+  // Stage 1: per-vertex degrees (parallel histogram).
+  const std::vector<EdgeIndex> degree =
+      parallel_degrees(edges.edges(), n, pool);
+  out.timings.degrees_ms = timer.elapsed_ms();
+
+  // Stage 2: orientation filter — flag backward slots against the shared
+  // predicate, then stable-compact. Stability makes the kept order (and
+  // therefore everything downstream) independent of the thread count.
+  timer.reset();
+  const auto slots = edges.edges();
+  std::vector<std::uint8_t> backward(slots.size());
+  prim::parallel_for(pool, 0, slots.size(), [&](std::size_t i) {
+    backward[i] = is_backward_edge(degree, slots[i].u, slots[i].v);
+  });
+  std::vector<Edge> kept = prim::remove_if_flagged<Edge>(pool, slots, backward);
+  out.timings.orient_ms = timer.elapsed_ms();
+
+  // Stage 3: degree-descending relabeling. Key = (~degree, ~id) packed into
+  // 64 bits; the ascending radix sort then yields rank 0 = highest degree,
+  // ties by id DESCENDING. That is exactly the reverse of the orientation
+  // order ≺ (degree ascending, ties by id ascending), so u ≺ v iff
+  // rank(u) > rank(v): in the new id space every oriented edge points from a
+  // larger id to a smaller one and adjacency lists cover the compact prefix
+  // [0, u) — including tie-broken edges between equal-degree vertices.
+  timer.reset();
+  if (options.relabel_by_degree && n > 0) {
+    std::vector<std::uint64_t> keys(n);
+    prim::parallel_for(pool, 0, n, [&](std::size_t v) {
+      const std::uint64_t inv =
+          0xffffffffull - static_cast<std::uint32_t>(degree[v]);
+      keys[v] = (inv << 32) | (0xffffffffull - v);
+    });
+    prim::radix_sort_u64(pool, keys);
+    out.new_to_old.resize(n);
+    std::vector<VertexId> rank(n);
+    prim::parallel_for(pool, 0, n, [&](std::size_t r) {
+      const VertexId old_id =
+          static_cast<VertexId>(0xffffffffu - (keys[r] & 0xffffffffu));
+      out.new_to_old[r] = old_id;
+      rank[old_id] = static_cast<VertexId>(r);
+    });
+    prim::parallel_for(pool, 0, kept.size(), [&](std::size_t i) {
+      kept[i] = Edge{rank[kept[i].u], rank[kept[i].v]};
+    });
+  }
+  out.timings.relabel_ms = timer.elapsed_ms();
+
+  // Stage 4: sort oriented slots by (u, v) — parallel radix on packed keys.
+  timer.reset();
+  prim::sort_edges_as_u64(pool, kept);
+  out.timings.sort_ms = timer.elapsed_ms();
+
+  // Stage 5: CSR build — histogram + exclusive scan for the offsets, direct
+  // placement for the (already sorted) neighbor array.
+  timer.reset();
+  std::vector<VertexId> src(kept.size());
+  std::vector<VertexId> dst(kept.size());
+  prim::parallel_for(pool, 0, kept.size(), [&](std::size_t i) {
+    src[i] = kept[i].u;
+    dst[i] = kept[i].v;
+  });
+  const std::vector<std::uint64_t> counts = prim::histogram(pool, src, n);
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  prim::exclusive_scan<EdgeIndex>(pool, counts,
+                                  std::span<EdgeIndex>(offsets.data(), n));
+  offsets[n] = kept.size();
+  out.oriented = Csr(std::move(offsets), std::move(dst));
+  out.timings.csr_ms = timer.elapsed_ms();
+
+  // Stage 6: bitmap rows for hot vertices. Row domains are truncated at the
+  // owning vertex when relabeling is on (all neighbors have smaller ids), so
+  // the hottest vertices get the shortest rows. Rows are granted in id order
+  // until the word budget runs out — deterministic regardless of threads.
+  timer.reset();
+  if (options.strategy == IntersectStrategy::kAdaptive &&
+      options.bitmap_threshold > 0 && n > 0) {
+    auto& bm = out.bitmaps;
+    bm.rows.assign(n, BitmapIndex::kNoRow);
+    bm.offsets.push_back(0);
+    std::vector<VertexId> row_vertex;
+    std::uint64_t used = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (out.oriented.degree(u) <= options.bitmap_threshold) continue;
+      const std::uint64_t domain =
+          options.relabel_by_degree ? u : static_cast<std::uint64_t>(n);
+      const std::uint64_t words = (domain + 63) / 64;
+      if (words == 0 || used + words > options.bitmap_word_budget) continue;
+      used += words;
+      bm.rows[u] = static_cast<std::uint32_t>(row_vertex.size());
+      row_vertex.push_back(u);
+      bm.offsets.push_back(used);
+    }
+    bm.words.assign(used, 0);
+    prim::parallel_for_dynamic(pool, 0, row_vertex.size(), 1, [&](std::size_t r) {
+      const VertexId u = row_vertex[r];
+      const std::uint64_t base = bm.offsets[r];
+      for (VertexId w : out.oriented.neighbors(u)) {
+        bm.words[base + (w >> 6)] |= std::uint64_t{1} << (w & 63);
+      }
+    });
+  }
+  out.timings.bitmap_ms = timer.elapsed_ms();
+  return out;
+}
+
+TriangleCount count_prepared(const PreparedGraph& graph,
+                             prim::ThreadPool& pool, CountingStats* stats) {
+  const Csr& oriented = graph.oriented;
+  const BitmapIndex& bitmaps = graph.bitmaps;
+  const EngineOptions& options = graph.options;
+  const VertexId n = oriented.num_vertices();
+  const std::size_t nw = pool.num_threads();
+  util::Timer timer;
+
+  struct alignas(64) WorkerAcc {
+    TriangleCount triangles = 0;
+    CountingStats stats;
+    /// Scratch bitmap row over [0, n): marked with adj(u) for hot sources
+    /// whose precomputed row fell past the word budget, cleared after each
+    /// source. n/8 bytes per worker.
+    std::vector<std::uint64_t> scratch;
+  };
+  std::vector<WorkerAcc> acc(nw);
+
+  const std::size_t chunk =
+      options.counting_chunk > 0 ? options.counting_chunk
+                                 : prim::dynamic_chunk(n, nw);
+  prim::parallel_chunks_dynamic(
+      pool, 0, n, chunk, [&](std::size_t w, std::size_t lo, std::size_t hi) {
+        WorkerAcc& a = acc[w];
+        for (VertexId u = static_cast<VertexId>(lo); u < hi; ++u) {
+          const auto adj_u = oriented.neighbors(u);
+          if (adj_u.empty()) continue;
+          // Hoist u's bitmap row once per source. Probes of adj(v) against
+          // it never need a bounds check: with relabeling on, every probed
+          // id is < v < u (inside the row's truncated domain); with it off
+          // the domain is all of [0, n).
+          const std::uint64_t* row_u = nullptr;
+          bool scratch_row = false;
+          if (options.strategy == IntersectStrategy::kAdaptive) {
+            const std::uint32_t r = bitmaps.row_of(u);
+            if (r != BitmapIndex::kNoRow) {
+              row_u = bitmaps.words.data() + bitmaps.offsets[r];
+            } else if (options.bitmap_threshold > 0 &&
+                       adj_u.size() > options.bitmap_threshold) {
+              // Hot source past the precomputed-row budget: mark adj(u) in
+              // the worker's scratch row (cost 2 writes per edge, amortized)
+              // and probe against that instead.
+              if (a.scratch.empty()) a.scratch.assign((n + 63) / 64, 0);
+              for (VertexId x : adj_u) {
+                a.scratch[x >> 6] |= std::uint64_t{1} << (x & 63);
+              }
+              row_u = a.scratch.data();
+              scratch_row = true;
+            }
+          }
+          if (row_u != nullptr) {
+            // Specialized hot-source loop: no per-edge dispatch, just one
+            // skew compare (limit hoisted per source) and the probe loop.
+            // The scattered adj(v) fetches are the latency bottleneck, so
+            // prefetch the next edge's list (and the offsets two ahead that
+            // locate the one after it) while probing the current one.
+            const double skew_limit =
+                options.skew_threshold * static_cast<double>(adj_u.size());
+            const EdgeIndex* offs = oriented.offsets().data();
+            const VertexId* nbrs = oriented.neighbor_array().data();
+            for (std::size_t i = 0; i < adj_u.size(); ++i) {
+              if (i + 2 < adj_u.size()) __builtin_prefetch(offs + adj_u[i + 2]);
+              if (i + 1 < adj_u.size()) {
+                __builtin_prefetch(nbrs + offs[adj_u[i + 1]]);
+              }
+              const VertexId v = adj_u[i];
+              const auto adj_v = oriented.neighbors(v);
+              if (static_cast<double>(adj_v.size()) <= skew_limit) {
+                a.triangles += bitmap_probe(row_u, adj_v);
+                ++a.stats.bitmap_edges;
+              } else {
+                // v's list dwarfs u's: galloping u's elements into it beats
+                // probing every element of the long list.
+                a.triangles += gallop_intersect(adj_u, adj_v);
+                ++a.stats.gallop_edges;
+              }
+            }
+            if (scratch_row) {
+              for (VertexId x : adj_u) a.scratch[x >> 6] = 0;
+            }
+            continue;
+          }
+          for (VertexId v : adj_u) {
+            const auto adj_v = oriented.neighbors(v);
+            const bool u_longer = adj_u.size() >= adj_v.size();
+            const auto shorter = u_longer ? adj_v : adj_u;
+            const auto longer = u_longer ? adj_u : adj_v;
+            switch (options.strategy) {
+              case IntersectStrategy::kMergeOnly:
+                a.triangles += merge_intersect(adj_u, adj_v);
+                ++a.stats.merge_edges;
+                break;
+              case IntersectStrategy::kGallopOnly:
+                a.triangles += gallop_intersect(shorter, longer);
+                ++a.stats.gallop_edges;
+                break;
+              case IntersectStrategy::kAdaptive: {
+                // u has no row here (hot sources took the specialized loop
+                // above); v still might — probing it costs one cheap step
+                // per element of adj(u), worth it unless adj(u) is the long
+                // side of a heavily skewed pair, where galloping the short
+                // side wins.
+                const bool skewed =
+                    static_cast<double>(longer.size()) >
+                    options.skew_threshold *
+                        static_cast<double>(shorter.size());
+                if (const std::uint32_t rv = bitmaps.row_of(v);
+                    rv != BitmapIndex::kNoRow && !(skewed && u_longer)) {
+                  a.triangles += bitmap_probe_checked(
+                      bitmaps.words.data() + bitmaps.offsets[rv],
+                      bitmaps.offsets[rv + 1] - bitmaps.offsets[rv], adj_u);
+                  ++a.stats.bitmap_edges;
+                } else if (skewed) {
+                  a.triangles += gallop_intersect(shorter, longer);
+                  ++a.stats.gallop_edges;
+                } else {
+                  a.triangles += merge_intersect(adj_u, adj_v);
+                  ++a.stats.merge_edges;
+                }
+                break;
+              }
+            }
+          }
+        }
+      });
+
+  TriangleCount total = 0;
+  CountingStats folded;
+  for (const WorkerAcc& a : acc) {
+    total += a.triangles;
+    folded.merge_edges += a.stats.merge_edges;
+    folded.gallop_edges += a.stats.gallop_edges;
+    folded.bitmap_edges += a.stats.bitmap_edges;
+  }
+  folded.counting_ms = timer.elapsed_ms();
+  if (stats != nullptr) *stats = folded;
+  return total;
+}
+
+EngineResult count_engine(const EdgeList& edges, prim::ThreadPool& pool,
+                          const EngineOptions& options) {
+  EngineResult result;
+  const PreparedGraph prepared = prepare(edges, pool, options);
+  result.preprocess = prepared.timings;
+  result.triangles = count_prepared(prepared, pool, &result.counting);
+  return result;
+}
+
+}  // namespace trico::cpu

@@ -1,0 +1,177 @@
+// The adaptive hybrid intersection engine for the CPU counting tier (§V).
+//
+// The paper's CPU baseline runs one scalar two-pointer merge per oriented
+// edge. Follow-up work (Bader, *Fast Triangle Counting*, 2023; Wang et al.,
+// *Comparative Study on Exact Triangle Counting*, 2018) shows the
+// intersection strategy — not the outer loop — dominates end-to-end time on
+// skewed graphs. This engine picks a strategy *per oriented edge*:
+//
+//   merge     two-pointer merge — optimal when |adj(u)| ≈ |adj(v)|
+//   gallop    exponential (galloping) search of the shorter list's elements
+//             in the longer one — O(s · log(l/s)) when the pair is skewed
+//   bitmap    probe a packed uint64 bitmap row of the hotter endpoint —
+//             O(s) with one L1 access per probe when the row is resident
+//
+// Bitmap rows exist only for vertices whose *oriented* degree exceeds
+// `bitmap_threshold`. Vertices are relabeled by descending total degree
+// (rank 0 = hottest) before the CSR is built, so hot rows cover the compact
+// id prefix [0, u) and stay cache-resident — the recipe of the
+// RapidsAtHKUST triangle-counting code. Precomputed rows are granted in id
+// order until `bitmap_word_budget` is spent; hot sources past the budget
+// get an L1-resident per-worker *scratch* row (mark adj(u), probe, clear)
+// so bitmap coverage does not degrade on large graphs.
+//
+// Preprocessing is parallel end to end on prim::ThreadPool (degrees,
+// orientation filter, relabeling, edge sort, CSR build, bitmap packing) and
+// *bit-identical for any thread count*: every stage is built from the
+// deterministic prim primitives. The counting phase uses chunked dynamic
+// scheduling (an atomic work-stealing cursor) so one hub-heavy chunk cannot
+// serialize the loop.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
+
+namespace trico::cpu {
+
+/// Per-edge intersection strategy selection.
+enum class IntersectStrategy {
+  kAdaptive,   ///< bitmap if available, else gallop past the skew threshold,
+               ///< else merge (the engine's default)
+  kMergeOnly,  ///< always two-pointer merge — the paper's scalar baseline
+  kGallopOnly, ///< always galloping search (ablation)
+};
+
+/// All engine tunables. The defaults are the tuned values of
+/// bench_cpu_engine (docs/cpu_engine.md records the sweep).
+struct EngineOptions {
+  IntersectStrategy strategy = IntersectStrategy::kAdaptive;
+
+  /// Gallop when |longer| > skew_threshold * |shorter|.
+  double skew_threshold = 8.0;
+
+  /// Build a bitmap row for every vertex whose oriented degree exceeds
+  /// this. 0 disables bitmaps entirely.
+  EdgeIndex bitmap_threshold = 4;
+
+  /// Relabel vertices by descending total degree (ties by id) so hot bitmap
+  /// rows cover a compact, cache-resident id prefix. Off = keep original
+  /// ids (the prepared CSR is then bit-identical to oriented_csr()).
+  bool relabel_by_degree = true;
+
+  /// Hard cap on total bitmap storage (8-byte words) so adversarial degree
+  /// distributions cannot blow up memory; rows are granted in id order
+  /// until the budget is spent and the rest fall back to gallop/merge.
+  std::uint64_t bitmap_word_budget = std::uint64_t{1} << 22;  // 32 MiB
+
+  /// Vertices per dynamically-claimed counting chunk; 0 = auto.
+  std::size_t counting_chunk = 0;
+};
+
+/// Wall-clock breakdown of the parallel preprocessing pipeline, in
+/// milliseconds. This is the CPU tier's analogue of core::PhaseBreakdown and
+/// feeds the Amdahl-fraction analysis the paper's §IV multi-GPU discussion
+/// needs.
+struct PreprocessTimings {
+  double degrees_ms = 0;   ///< parallel per-vertex degree histogram
+  double orient_ms = 0;    ///< backward-edge flagging + stable compaction
+  double relabel_ms = 0;   ///< degree-descending rank + edge relabeling
+  double sort_ms = 0;      ///< parallel radix sort of oriented slots
+  double csr_ms = 0;       ///< offsets scan + neighbor fill
+  double bitmap_ms = 0;    ///< hot-row packing
+
+  [[nodiscard]] double total_ms() const {
+    return degrees_ms + orient_ms + relabel_ms + sort_ms + csr_ms + bitmap_ms;
+  }
+};
+
+/// Per-run counting statistics: how many oriented edges each strategy
+/// handled, and the counting-phase wall clock.
+struct CountingStats {
+  std::uint64_t merge_edges = 0;
+  std::uint64_t gallop_edges = 0;
+  std::uint64_t bitmap_edges = 0;
+  double counting_ms = 0;
+
+  [[nodiscard]] std::uint64_t total_edges() const {
+    return merge_edges + gallop_edges + bitmap_edges;
+  }
+};
+
+/// Packed uint64 bitmap rows for the hot (high oriented-degree) vertices.
+/// Row r of vertex u covers bit positions [0, 64 * row_words(r)); with
+/// relabeling on, every neighbor id is < u, so rows are truncated at u and
+/// the hottest vertices (smallest ids) get the shortest, most
+/// cache-friendly rows.
+struct BitmapIndex {
+  static constexpr std::uint32_t kNoRow = 0xffffffffu;
+
+  std::vector<std::uint32_t> rows;      ///< per vertex: row index or kNoRow
+  std::vector<std::uint64_t> offsets;   ///< word offset per row, rows+1
+  std::vector<std::uint64_t> words;     ///< packed rows, back to back
+
+  [[nodiscard]] bool empty() const { return offsets.size() <= 1; }
+  [[nodiscard]] std::uint32_t row_of(VertexId v) const {
+    return v < rows.size() ? rows[v] : kNoRow;
+  }
+  [[nodiscard]] std::uint32_t num_rows() const {
+    return offsets.empty() ? 0 : static_cast<std::uint32_t>(offsets.size() - 1);
+  }
+
+  /// True iff bit w is set in row r. Bits beyond the row's truncated domain
+  /// read as unset.
+  [[nodiscard]] bool test(std::uint32_t r, VertexId w) const {
+    const std::uint64_t word = offsets[r] + (w >> 6);
+    return word < offsets[r + 1] && (words[word] >> (w & 63)) & std::uint64_t{1};
+  }
+};
+
+/// The state the counting phase consumes: the oriented (optionally
+/// relabeled) CSR, the bitmap side structure, and the preprocessing
+/// breakdown. Bit-identical for any thread count of the pool that built it.
+struct PreparedGraph {
+  Csr oriented;                      ///< in engine id space, lists ascending
+  std::vector<VertexId> new_to_old;  ///< empty when relabeling is off
+  BitmapIndex bitmaps;
+  EngineOptions options;             ///< the options used to build this
+  PreprocessTimings timings;
+};
+
+/// Result of a full engine run.
+struct EngineResult {
+  TriangleCount triangles = 0;
+  PreprocessTimings preprocess;
+  CountingStats counting;
+};
+
+/// Parallel per-vertex degree computation over raw edge slots (out-degree;
+/// equals undirected degree in canonical form). Deterministic per-worker
+/// histogram merge — the parallel replacement for EdgeList::degrees().
+[[nodiscard]] std::vector<EdgeIndex> parallel_degrees(
+    std::span<const Edge> slots, VertexId num_vertices, prim::ThreadPool& pool);
+
+/// Runs the fully parallel preprocessing pipeline: degrees -> orientation
+/// filter -> (relabel) -> sort -> CSR -> bitmaps.
+[[nodiscard]] PreparedGraph prepare(const EdgeList& edges,
+                                    prim::ThreadPool& pool,
+                                    const EngineOptions& options = {});
+
+/// Counting phase only, over a prepared graph, with dynamic chunked
+/// scheduling. Exact for every strategy; `stats` (optional) receives the
+/// per-strategy dispatch counts and the phase wall clock.
+[[nodiscard]] TriangleCount count_prepared(const PreparedGraph& graph,
+                                           prim::ThreadPool& pool,
+                                           CountingStats* stats = nullptr);
+
+/// End-to-end adaptive hybrid count: prepare + count.
+[[nodiscard]] EngineResult count_engine(const EdgeList& edges,
+                                        prim::ThreadPool& pool,
+                                        const EngineOptions& options = {});
+
+}  // namespace trico::cpu

@@ -19,10 +19,20 @@
 
 namespace trico {
 
+/// The paper's vertex order on explicit degree values: deg_u < deg_v, ties
+/// broken by id. This is THE orientation predicate — every layer (CPU
+/// counting, device preprocessing kernels, §III-D6 fallback, the hybrid
+/// engine) must call this one helper so tie-breaking can never drift.
+template <typename Degree>
+constexpr bool degree_order_less(Degree deg_u, Degree deg_v, VertexId u,
+                                 VertexId v) {
+  return deg_u != deg_v ? deg_u < deg_v : u < v;
+}
+
 /// The paper's vertex order: by degree, ties by id. Returns true iff u ≺ v.
 inline bool degree_less(std::span<const EdgeIndex> degree, VertexId u,
                         VertexId v) {
-  return degree[u] != degree[v] ? degree[u] < degree[v] : u < v;
+  return degree_order_less(degree[u], degree[v], u, v);
 }
 
 /// True iff slot (u, v) goes "backwards" (from the ≺-larger endpoint) and is

@@ -47,7 +47,7 @@ OutOfCoreResult OutOfCoreCounter::count(const EdgeList& edges,
   for (std::uint32_t i = 0; i < num_colors_; ++i) {
     for (std::uint32_t j = i; j < num_colors_; ++j) {
       for (std::uint32_t l = j; l < num_colors_; ++l) {
-        SubgraphTask task = make_task(edges, coloring, i, j, l);
+        SubgraphTask task = make_task(edges, coloring, i, j, l, pool_);
         result.total_task_slots += task.edges.num_edge_slots();
         if (task.edges.empty()) continue;
 

@@ -21,6 +21,7 @@
 
 #include "core/gpu_forward.hpp"
 #include "outofcore/partition.hpp"
+#include "prim/thread_pool.hpp"
 
 namespace trico::outofcore {
 
@@ -71,6 +72,7 @@ class OutOfCoreCounter {
   std::uint32_t num_colors_;
   unsigned num_devices_;
   core::CountingOptions options_;
+  prim::ThreadPool pool_;  ///< host threads for the parallel task extraction
 };
 
 }  // namespace trico::outofcore

@@ -6,6 +6,7 @@
 
 #include "gen/rng.hpp"
 #include "graph/orientation.hpp"
+#include "prim/algorithms.hpp"
 
 namespace trico::outofcore {
 
@@ -47,6 +48,30 @@ SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
     if (in_triple(e.u) && in_triple(e.v)) kept.push_back(e);
   }
   task.edges = EdgeList(std::move(kept), edges.num_vertices());
+  return task;
+}
+
+SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
+                       std::uint32_t i, std::uint32_t j, std::uint32_t l,
+                       prim::ThreadPool& pool) {
+  if (!(i <= j && j <= l) || l >= coloring.num_colors) {
+    throw std::invalid_argument("make_task: triple must satisfy i <= j <= l < k");
+  }
+  SubgraphTask task;
+  task.i = i;
+  task.j = j;
+  task.l = l;
+  const auto in_triple = [&](VertexId v) {
+    const std::uint32_t c = coloring.of(v);
+    return c == i || c == j || c == l;
+  };
+  const auto slots = edges.edges();
+  std::vector<std::uint8_t> drop(slots.size());
+  prim::parallel_for(pool, 0, slots.size(), [&](std::size_t s) {
+    drop[s] = !(in_triple(slots[s].u) && in_triple(slots[s].v));
+  });
+  task.edges = EdgeList(prim::remove_if_flagged<Edge>(pool, slots, drop),
+                        edges.num_vertices());
   return task;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
 
 namespace trico::outofcore {
 
@@ -57,6 +58,15 @@ struct SubgraphTask {
                                      const Coloring& coloring,
                                      std::uint32_t i, std::uint32_t j,
                                      std::uint32_t l);
+
+/// Parallel make_task: the extraction (flag + stable compaction) runs on the
+/// pool, producing the identical subgraph. This is the host-side streaming
+/// pass the out-of-core counter repeats C(k+2,3) times, so it dominates
+/// partition wall clock on large graphs.
+[[nodiscard]] SubgraphTask make_task(const EdgeList& edges,
+                                     const Coloring& coloring,
+                                     std::uint32_t i, std::uint32_t j,
+                                     std::uint32_t l, prim::ThreadPool& pool);
 
 /// Enumerates every task for `coloring` (small k only — the count is cubic).
 [[nodiscard]] std::vector<SubgraphTask> make_all_tasks(const EdgeList& edges,

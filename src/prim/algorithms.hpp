@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <numeric>
@@ -23,6 +24,68 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn)
   pool.parallel_ranges(begin, end, [&fn](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
+}
+
+/// Picks a dynamic-scheduling chunk size: small enough that a skewed work
+/// distribution rebalances (~64 chunks per worker), large enough that the
+/// atomic cursor is not contended.
+[[nodiscard]] inline std::size_t dynamic_chunk(std::size_t count,
+                                               std::size_t num_workers) {
+  return std::clamp<std::size_t>(count / (num_workers * 64 + 1), 1, 4096);
+}
+
+/// Dynamic-schedule parallel loop: workers claim chunks of `chunk` indices
+/// from a shared atomic cursor (work stealing by over-subscription), so one
+/// straggler chunk cannot serialize the whole loop the way static
+/// partitioning does on skewed per-index costs. `body(worker, lo, hi)` runs
+/// the half-open range [lo, hi) on worker slot `worker`; chunk 0 = auto.
+template <typename Body>
+void parallel_chunks_dynamic(ThreadPool& pool, std::size_t begin,
+                             std::size_t end, std::size_t chunk, Body&& body) {
+  if (begin >= end) return;
+  if (chunk == 0) chunk = dynamic_chunk(end - begin, pool.num_threads());
+  std::atomic<std::size_t> cursor{begin};
+  pool.parallel_workers([&](std::size_t w, std::size_t) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      body(w, lo, std::min(end, lo + chunk));
+    }
+  });
+}
+
+/// parallel_for with dynamic chunking: fn(i) for i in [begin, end), chunks
+/// claimed from an atomic cursor (chunk 0 = auto).
+template <typename Fn>
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t chunk, Fn&& fn) {
+  parallel_chunks_dynamic(pool, begin, end, chunk,
+                          [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) fn(i);
+                          });
+}
+
+/// transform_reduce with dynamic chunking: reduce over fn(i) for i in
+/// [0, count). Which worker claims which chunk varies run to run, so the
+/// result is deterministic only when `op` is *exactly* associative and
+/// commutative (integer sums, max, ...) — unlike the static transform_reduce
+/// below, do not use this with floating-point accumulation.
+template <typename T, typename Fn, typename Op = std::plus<T>>
+[[nodiscard]] T transform_reduce_dynamic(ThreadPool& pool, std::size_t count,
+                                         std::size_t chunk, T init, Fn&& fn,
+                                         Op op = Op{}) {
+  if (count == 0) return init;
+  std::vector<T> partial(pool.num_threads(), init);
+  parallel_chunks_dynamic(
+      pool, 0, count, chunk,
+      [&](std::size_t w, std::size_t lo, std::size_t hi) {
+        T acc = partial[w];
+        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, fn(i));
+        partial[w] = acc;
+      });
+  T result = init;
+  for (const T& p : partial) result = op(result, p);
+  return result;
 }
 
 /// reduce: folds values with `op` (must be associative & commutative),

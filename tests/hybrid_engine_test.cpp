@@ -1,0 +1,320 @@
+// Adaptive hybrid intersection engine: every strategy must count exactly,
+// the parallel preprocessing must be bit-identical for any thread count
+// (and, with relabeling off, identical to the sequential oriented_csr), and
+// the adversarial shapes (stars, cliques, tie-break-only degree
+// distributions, graphs crossing both dispatch thresholds) must not shake
+// any of that.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cpu/counting.hpp"
+#include "cpu/hybrid.hpp"
+#include "cpu/hybrid_engine.hpp"
+#include "gen/generators.hpp"
+#include "graph/orientation.hpp"
+
+namespace trico {
+namespace {
+
+using cpu::EngineOptions;
+using cpu::IntersectStrategy;
+
+/// One modest instance of every generator family in src/gen/.
+std::vector<std::pair<std::string, EdgeList>> generator_matrix(std::uint64_t seed) {
+  std::vector<std::pair<std::string, EdgeList>> graphs;
+  graphs.emplace_back("erdos_renyi", gen::erdos_renyi(300, 1800, seed));
+  {
+    gen::RmatParams params;
+    params.scale = 9;
+    params.edge_factor = 8;
+    graphs.emplace_back("rmat", gen::rmat(params, seed));
+  }
+  graphs.emplace_back("barabasi_albert", gen::barabasi_albert(300, 4, seed));
+  graphs.emplace_back("watts_strogatz",
+                      gen::watts_strogatz(300, 4, 0.15, seed));
+  {
+    gen::SocialParams params;
+    params.n = 300;
+    params.attach = 4;
+    graphs.emplace_back("social", gen::social(params, seed));
+  }
+  {
+    gen::CopaperParams params;
+    params.n = 200;
+    params.papers = 150;
+    params.max_authors = 10;
+    graphs.emplace_back("copaper", gen::copaper(params, seed));
+  }
+  return graphs;
+}
+
+/// Star K_{1,n-1}: one hub (maximum degree skew).
+EdgeList star(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId v = 1; v < n; ++v) pairs.push_back(Edge{0, v});
+  return EdgeList::from_undirected_pairs(pairs, n);
+}
+
+/// Clique K_n: every degree equal — orientation is pure tie-breaking.
+EdgeList clique(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) pairs.push_back(Edge{u, v});
+  }
+  return EdgeList::from_undirected_pairs(pairs, n);
+}
+
+/// Cycle C_n: every degree 2 — another all-ties shape, zero triangles for
+/// n > 3.
+EdgeList cycle(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId v = 0; v < n; ++v) pairs.push_back(Edge{v, (v + 1) % n});
+  return EdgeList::from_undirected_pairs(pairs, n);
+}
+
+/// A graph engineered to cross BOTH dispatch thresholds at once: a clique
+/// core (high oriented degrees -> bitmap rows), plus star spokes from one
+/// core vertex to many leaves (maximum pair skew -> galloping), plus a
+/// sparse ring over the leaves (balanced short pairs -> merge).
+EdgeList threshold_crosser() {
+  std::vector<Edge> pairs;
+  const VertexId core = 40, leaves = 400;
+  for (VertexId u = 0; u < core; ++u) {
+    for (VertexId v = u + 1; v < core; ++v) pairs.push_back(Edge{u, v});
+  }
+  for (VertexId v = 0; v < leaves; ++v) pairs.push_back(Edge{0, core + v});
+  for (VertexId v = 0; v < leaves; ++v) {
+    pairs.push_back(Edge{core + v, core + ((v + 1) % leaves)});
+  }
+  return EdgeList::from_undirected_pairs(pairs, core + leaves);
+}
+
+std::vector<std::pair<std::string, EdgeList>> adversarial_matrix() {
+  std::vector<std::pair<std::string, EdgeList>> graphs;
+  graphs.emplace_back("star", star(1000));
+  graphs.emplace_back("clique", clique(40));
+  graphs.emplace_back("cycle", cycle(500));
+  graphs.emplace_back("empty", EdgeList());
+  graphs.emplace_back("isolated_vertices", EdgeList({}, 25));
+  graphs.emplace_back("two_triangles",
+                      EdgeList::from_undirected_pairs(
+                          std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {3, 4},
+                                            {4, 5}, {3, 5}},
+                          6));
+  graphs.emplace_back("threshold_crosser", threshold_crosser());
+  return graphs;
+}
+
+/// Engine option sets that must all produce the exact count: the default
+/// adaptive config, forced single strategies, relabeling off, thresholds
+/// tuned so every strategy actually fires, and a bitmap budget of one word
+/// so the budget fallback executes.
+std::vector<std::pair<std::string, EngineOptions>> option_matrix() {
+  std::vector<std::pair<std::string, EngineOptions>> options;
+  options.emplace_back("adaptive_default", EngineOptions{});
+  {
+    EngineOptions o;
+    o.strategy = IntersectStrategy::kMergeOnly;
+    options.emplace_back("merge_only", o);
+  }
+  {
+    EngineOptions o;
+    o.strategy = IntersectStrategy::kGallopOnly;
+    options.emplace_back("gallop_only", o);
+  }
+  {
+    EngineOptions o;
+    o.skew_threshold = 1.5;
+    o.bitmap_threshold = 4;
+    options.emplace_back("aggressive_thresholds", o);
+  }
+  {
+    EngineOptions o;
+    o.relabel_by_degree = false;
+    options.emplace_back("no_relabel", o);
+  }
+  {
+    EngineOptions o;
+    o.bitmap_threshold = 4;
+    o.bitmap_word_budget = 1;
+    options.emplace_back("starved_bitmap_budget", o);
+  }
+  return options;
+}
+
+class HybridEngineMatrixTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridEngineMatrixTest, EveryStrategyMatchesTheBaselinesOnEveryGenerator) {
+  prim::ThreadPool pool(3);
+  for (const auto& [name, g] : generator_matrix(GetParam())) {
+    const TriangleCount expected = cpu::count_forward(g);
+    ASSERT_EQ(cpu::count_forward_binary_search(g), expected) << name;
+    for (const auto& [oname, opts] : option_matrix()) {
+      EXPECT_EQ(cpu::count_engine(g, pool, opts).triangles, expected)
+          << name << " / " << oname;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridEngineMatrixTest,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+
+TEST(HybridEngineAdversarialTest, EveryStrategyMatchesOnAdversarialShapes) {
+  prim::ThreadPool pool(4);
+  for (const auto& [name, g] : adversarial_matrix()) {
+    const TriangleCount expected = cpu::count_forward(g);
+    ASSERT_EQ(cpu::count_forward_binary_search(g), expected) << name;
+    for (const auto& [oname, opts] : option_matrix()) {
+      EXPECT_EQ(cpu::count_engine(g, pool, opts).triangles, expected)
+          << name << " / " << oname;
+    }
+  }
+}
+
+TEST(HybridEngineAdversarialTest, ThresholdCrosserExercisesAllThreeStrategies) {
+  prim::ThreadPool pool(2);
+  EngineOptions opts;
+  opts.skew_threshold = 2.0;
+  opts.bitmap_threshold = 16;
+  const cpu::EngineResult r =
+      cpu::count_engine(threshold_crosser(), pool, opts);
+  EXPECT_GT(r.counting.merge_edges, 0u);
+  EXPECT_GT(r.counting.gallop_edges, 0u);
+  EXPECT_GT(r.counting.bitmap_edges, 0u);
+  EXPECT_EQ(r.triangles, cpu::count_forward(threshold_crosser()));
+}
+
+TEST(HybridEnginePreprocessTest, ParallelPreprocessingIsBitIdenticalAcrossThreadCounts) {
+  for (const auto& [name, g] : generator_matrix(7)) {
+    prim::ThreadPool reference_pool(1);
+    const cpu::PreparedGraph reference = cpu::prepare(g, reference_pool);
+    for (std::size_t threads : {2u, 3u, 8u}) {
+      prim::ThreadPool pool(threads);
+      const cpu::PreparedGraph prepared = cpu::prepare(g, pool);
+      ASSERT_TRUE(std::ranges::equal(prepared.oriented.offsets(),
+                                     reference.oriented.offsets()))
+          << name << " @ " << threads;
+      ASSERT_TRUE(std::ranges::equal(prepared.oriented.neighbor_array(),
+                                     reference.oriented.neighbor_array()))
+          << name << " @ " << threads;
+      ASSERT_EQ(prepared.new_to_old, reference.new_to_old)
+          << name << " @ " << threads;
+      ASSERT_EQ(prepared.bitmaps.rows, reference.bitmaps.rows)
+          << name << " @ " << threads;
+      ASSERT_EQ(prepared.bitmaps.words, reference.bitmaps.words)
+          << name << " @ " << threads;
+    }
+  }
+}
+
+TEST(HybridEnginePreprocessTest, NoRelabelCsrMatchesSequentialOrientedCsr) {
+  prim::ThreadPool pool(4);
+  EngineOptions opts;
+  opts.relabel_by_degree = false;
+  for (const auto& [name, g] : generator_matrix(11)) {
+    const Csr expected = oriented_csr(g);
+    const cpu::PreparedGraph prepared = cpu::prepare(g, pool, opts);
+    ASSERT_TRUE(std::ranges::equal(prepared.oriented.offsets(),
+                                   expected.offsets()))
+        << name;
+    ASSERT_TRUE(std::ranges::equal(prepared.oriented.neighbor_array(),
+                                   expected.neighbor_array()))
+        << name;
+  }
+}
+
+TEST(HybridEnginePreprocessTest, RelabelingIsAPermutationWithDescendingLists) {
+  prim::ThreadPool pool(2);
+  const EdgeList g = gen::barabasi_albert(400, 5, 3);
+  const cpu::PreparedGraph prepared = cpu::prepare(g, pool);
+  ASSERT_EQ(prepared.new_to_old.size(), g.num_vertices());
+  std::vector<VertexId> sorted = prepared.new_to_old;
+  std::ranges::sort(sorted);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(sorted[v], v);
+  // In the relabeled space every oriented edge points to a smaller id
+  // (higher-degree vertex), so lists cover the compact prefix [0, u).
+  const std::vector<EdgeIndex> degree = g.degrees();
+  for (VertexId u = 0; u < prepared.oriented.num_vertices(); ++u) {
+    for (VertexId w : prepared.oriented.neighbors(u)) {
+      EXPECT_LT(w, u);
+    }
+  }
+  // Relabeling preserves degree-descending order.
+  for (VertexId r = 1; r < g.num_vertices(); ++r) {
+    EXPECT_GE(degree[prepared.new_to_old[r - 1]],
+              degree[prepared.new_to_old[r]]);
+  }
+}
+
+TEST(HybridEnginePreprocessTest, ParallelDegreesMatchesSequential) {
+  prim::ThreadPool pool(5);
+  for (const auto& [name, g] : generator_matrix(13)) {
+    EXPECT_EQ(cpu::parallel_degrees(g.edges(), g.num_vertices(), pool),
+              g.degrees())
+        << name;
+  }
+}
+
+TEST(HybridEngineCountTest, CountPreparedIsThreadCountInvariant) {
+  prim::ThreadPool build_pool(1);
+  const EdgeList g = gen::rmat({.scale = 9, .edge_factor = 10}, 21);
+  const cpu::PreparedGraph prepared = cpu::prepare(g, build_pool);
+  const TriangleCount expected = cpu::count_prepared(prepared, build_pool);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    prim::ThreadPool pool(threads);
+    cpu::CountingStats stats;
+    EXPECT_EQ(cpu::count_prepared(prepared, pool, &stats), expected);
+    EXPECT_EQ(stats.total_edges(), prepared.oriented.num_edge_slots());
+  }
+}
+
+TEST(HybridEngineCountTest, MulticoreForwardReportsBreakdown) {
+  prim::ThreadPool pool(3);
+  const EdgeList g = gen::social({.n = 400, .attach = 5}, 17);
+  cpu::EngineResult breakdown;
+  const TriangleCount count = cpu::count_forward_multicore(g, pool, &breakdown);
+  EXPECT_EQ(count, cpu::count_forward(g));
+  EXPECT_EQ(breakdown.triangles, count);
+  EXPECT_GE(breakdown.preprocess.total_ms(), 0.0);
+  EXPECT_GT(breakdown.counting.total_edges(), 0u);
+  EXPECT_EQ(breakdown.counting.total_edges(), g.num_edges());
+}
+
+TEST(HybridEngineCountTest, PooledHybridMatchesSequentialHybrid) {
+  prim::ThreadPool pool(4);
+  for (const auto& [name, g] : generator_matrix(5)) {
+    for (EdgeIndex threshold : {0u, 4u, 16u, 1000u}) {
+      EXPECT_EQ(cpu::count_hybrid(g, threshold, pool),
+                cpu::count_hybrid(g, threshold))
+          << name << " threshold " << threshold;
+    }
+  }
+  for (const auto& [name, g] : adversarial_matrix()) {
+    EXPECT_EQ(cpu::count_hybrid(g, 8, pool), cpu::count_hybrid(g, 8)) << name;
+  }
+}
+
+TEST(HybridEngineBitmapTest, TruncatedRowsAnswerExactMembership) {
+  prim::ThreadPool pool(2);
+  EngineOptions opts;
+  opts.bitmap_threshold = 2;
+  const cpu::PreparedGraph prepared = cpu::prepare(clique(12), pool, opts);
+  ASSERT_FALSE(prepared.bitmaps.empty());
+  const Csr& csr = prepared.oriented;
+  for (VertexId u = 0; u < csr.num_vertices(); ++u) {
+    const std::uint32_t row = prepared.bitmaps.row_of(u);
+    if (row == cpu::BitmapIndex::kNoRow) continue;
+    const auto adj = csr.neighbors(u);
+    for (VertexId w = 0; w < csr.num_vertices(); ++w) {
+      const bool expected = std::ranges::binary_search(adj, w);
+      EXPECT_EQ(prepared.bitmaps.test(row, w), expected)
+          << "row " << u << " bit " << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trico

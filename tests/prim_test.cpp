@@ -44,6 +44,46 @@ TEST_P(PrimTest, ParallelForEmptyRange) {
   EXPECT_FALSE(called);
 }
 
+TEST_P(PrimTest, ParallelForDynamicCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(4097);
+  for (std::size_t chunk : {0u, 1u, 7u, 100000u}) {
+    for (auto& h : hits) h.store(0);
+    parallel_for_dynamic(pool_, 0, hits.size(), chunk,
+                         [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "chunk " << chunk;
+  }
+}
+
+TEST_P(PrimTest, ParallelForDynamicEmptyRange) {
+  bool called = false;
+  parallel_for_dynamic(pool_, 9, 9, 4, [&](std::size_t) { called = true; });
+  parallel_for_dynamic(pool_, 9, 3, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(PrimTest, ParallelChunksDynamicPartitionsTheRange) {
+  std::vector<std::atomic<int>> hits(3001);
+  parallel_chunks_dynamic(pool_, 0, hits.size(), 13,
+                          [&](std::size_t, std::size_t lo, std::size_t hi) {
+                            EXPECT_LE(hi - lo, 13u);
+                            for (std::size_t i = lo; i < hi; ++i) {
+                              hits[i].fetch_add(1);
+                            }
+                          });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(PrimTest, TransformReduceDynamicMatchesSequential) {
+  const auto values = random_u64(12345, 9, 0xffff);
+  const auto expected =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  const auto got = transform_reduce_dynamic<std::uint64_t>(
+      pool_, values.size(), 0, std::uint64_t{0},
+      [&](std::size_t i) { return values[i]; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(got, expected);
+}
+
 TEST_P(PrimTest, ReduceSum) {
   const auto values = random_u64(10001, 1, 0xffff);
   const auto expected =

@@ -58,12 +58,15 @@ std::vector<std::pair<std::string, EdgeList>> generator_matrix(std::uint64_t see
 class GeneratorMatrixTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GeneratorMatrixTest, AllCountersAgreeOnEveryGenerator) {
+  prim::ThreadPool pool(3);
   for (const auto& [name, g] : generator_matrix(GetParam())) {
     const TriangleCount expected = cpu::count_forward(g);
     EXPECT_EQ(cpu::count_edge_iterator(g), expected) << name;
     EXPECT_EQ(cpu::count_compact_forward(g), expected) << name;
     EXPECT_EQ(cpu::count_forward_hashed(g), expected) << name;
     EXPECT_EQ(cpu::count_hybrid(g, 16), expected) << name;
+    EXPECT_EQ(cpu::count_hybrid(g, 16, pool), expected) << name;
+    EXPECT_EQ(cpu::count_forward_multicore(g, pool), expected) << name;
   }
 }
 
