@@ -4,8 +4,9 @@
 // Usage:
 //   trico_cli [options] <graph-file>
 //   trico_cli [options] --rmat <scale>
+//   trico_cli batch [options] <script-file>
 //
-// Options:
+// Options (single-shot mode):
 //   --algorithm A   cpu-forward | cpu-edge-iterator | cpu-node-iterator |
 //                   cpu-compact-forward | cpu-hashed | gpu | multigpu
 //                   (default: gpu)
@@ -15,11 +16,31 @@
 //   --clustering    also print global clustering / transitivity
 //   --stats         print graph statistics before counting
 //
+// Batch mode drives the triangle-analytics service (src/service/) over a
+// query script: one query per line, `<graph-spec> <op>`, where graph-spec
+// is a file path (*.trico loads as binary, anything else as SNAP text) or
+// `rmat:<scale>`, and op is count | clustering | truss (default count).
+// '#' starts a comment. Every query prints one result line with its
+// latency; the run ends with the service MetricsSnapshot.
+//
+// Batch options:
+//   --workers N     scheduler workers            (default: 2)
+//   --queue N       admission-queue capacity     (default: 256)
+//   --backend B     cpu | gpu | multigpu | outofcore | auto (default: auto)
+//   --objective O   wall | modeled               (default: wall)
+//   --catalog-mb N  catalog byte budget in MiB; 0 disables (default: 1024)
+//   --device D      device model for the simulated tiers
+//
 // Exit status 0 on success; the triangle count goes to stdout.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/clustering.hpp"
 #include "core/gpu_forward.hpp"
@@ -28,6 +49,7 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "multigpu/multi_gpu.hpp"
+#include "service/service.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -38,7 +60,11 @@ using namespace trico;
   std::cerr << "usage: " << argv0
             << " [--algorithm A] [--device D] [--devices N] [--binary]\n"
                "       [--clustering] [--stats] (<graph-file> | --rmat "
-               "<scale>)\n";
+               "<scale>)\n"
+               "       " << argv0
+            << " batch [--workers N] [--queue N] [--backend B]\n"
+               "       [--objective O] [--catalog-mb N] [--device D] "
+               "<script-file>\n";
   std::exit(2);
 }
 
@@ -49,9 +75,174 @@ simt::DeviceConfig parse_device(const std::string& name) {
   throw std::invalid_argument("unknown device: " + name);
 }
 
+service::Backend parse_backend(const std::string& name) {
+  if (name == "cpu") return service::Backend::kCpuHybrid;
+  if (name == "gpu") return service::Backend::kGpu;
+  if (name == "multigpu") return service::Backend::kMultiGpu;
+  if (name == "outofcore") return service::Backend::kOutOfCore;
+  if (name == "auto") return service::Backend::kAuto;
+  throw std::invalid_argument("unknown backend: " + name);
+}
+
+service::Operation parse_operation(const std::string& name) {
+  if (name == "count") return service::Operation::kCount;
+  if (name == "clustering") return service::Operation::kClustering;
+  if (name == "truss") return service::Operation::kTruss;
+  throw std::invalid_argument("unknown operation: " + name);
+}
+
+/// Loads one graph-spec (`rmat:<scale>` or a file path; *.trico = binary).
+EdgeList load_spec(const std::string& spec) {
+  if (spec.rfind("rmat:", 0) == 0) {
+    gen::RmatParams params;
+    params.scale = static_cast<unsigned>(std::stoul(spec.substr(5)));
+    return gen::rmat(params, 1);
+  }
+  if (spec.size() > 6 && spec.compare(spec.size() - 6, 6, ".trico") == 0) {
+    return service::GraphCatalog::load_graph_file(spec);
+  }
+  return io::read_text_file(spec);
+}
+
+struct BatchQuery {
+  std::string spec;
+  service::Operation op = service::Operation::kCount;
+};
+
+int run_batch(int argc, char** argv) {
+  std::size_t workers = 2, queue = 256;
+  std::uint64_t catalog_mb = 1024;
+  service::Backend backend = service::Backend::kAuto;
+  service::RouteObjective objective = service::RouteObjective::kWallClock;
+  std::string device_name = "gtx980";
+  std::string script_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--workers") {
+      workers = std::stoul(next());
+    } else if (arg == "--queue") {
+      queue = std::stoul(next());
+    } else if (arg == "--backend") {
+      backend = parse_backend(next());
+    } else if (arg == "--objective") {
+      const std::string o = next();
+      if (o == "wall") {
+        objective = service::RouteObjective::kWallClock;
+      } else if (o == "modeled") {
+        objective = service::RouteObjective::kModeledDevice;
+      } else {
+        throw std::invalid_argument("unknown objective: " + o);
+      }
+    } else if (arg == "--catalog-mb") {
+      catalog_mb = std::stoull(next());
+    } else if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      script_path = arg;
+    }
+  }
+  if (script_path.empty()) usage(argv[0]);
+
+  std::ifstream script(script_path);
+  if (!script) {
+    std::cerr << "error: cannot open script " << script_path << "\n";
+    return 1;
+  }
+  std::vector<BatchQuery> queries;
+  std::string line;
+  while (std::getline(script, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    BatchQuery query;
+    if (!(fields >> query.spec)) continue;  // blank / comment-only line
+    std::string op;
+    if (fields >> op) query.op = parse_operation(op);
+    queries.push_back(std::move(query));
+  }
+
+  // Load each distinct spec once; the catalog also dedups by content.
+  std::map<std::string, std::shared_ptr<const EdgeList>> graphs;
+  for (const BatchQuery& query : queries) {
+    if (graphs.count(query.spec)) continue;
+    graphs[query.spec] =
+        std::make_shared<const EdgeList>(load_spec(query.spec));
+  }
+
+  service::ServiceOptions options;
+  options.scheduler.workers = workers;
+  options.scheduler.queue_capacity = queue;
+  options.catalog.byte_budget = catalog_mb << 20;
+  options.router.device = parse_device(device_name);
+  service::TriangleService svc(options);
+
+  util::Timer timer;
+  std::vector<service::Ticket> tickets;
+  tickets.reserve(queries.size());
+  for (const BatchQuery& query : queries) {
+    service::Request request;
+    request.graph = graphs[query.spec];
+    request.op = query.op;
+    request.backend = backend;
+    request.objective = objective;
+    tickets.push_back(svc.submit(request));
+  }
+  int failed = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const service::Response& r = tickets[i].wait();
+    std::cout << queries[i].spec << " " << to_string(queries[i].op) << " "
+              << to_string(r.status);
+    if (r.status == service::Status::kOk) {
+      switch (queries[i].op) {
+        case service::Operation::kCount:
+          std::cout << " triangles=" << r.triangles;
+          break;
+        case service::Operation::kClustering:
+          std::cout << " clustering=" << r.clustering
+                    << " transitivity=" << r.transitivity;
+          break;
+        case service::Operation::kTruss:
+          std::cout << " max_trussness=" << r.max_trussness;
+          break;
+      }
+      std::cout << " backend=" << to_string(r.backend)
+                << " hit=" << (r.catalog_hit ? 1 : 0);
+      if (r.degraded) std::cout << " degraded=1";
+    } else {
+      ++failed;
+      std::cout << " reason=\"" << r.reason << "\"";
+    }
+    std::cout << " queue_ms=" << r.queue_ms << " exec_ms=" << r.execute_ms
+              << "\n";
+  }
+  std::cerr << "batch wall time: " << timer.elapsed_ms() << " ms, "
+            << queries.size() << " queries\n"
+            << svc.metrics().to_string();
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+    try {
+      return run_batch(argc, argv);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
+
   std::string algorithm = "gpu";
   std::string device_name = "gtx980";
   std::string path;

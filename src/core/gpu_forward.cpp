@@ -14,7 +14,9 @@ namespace trico::core {
 
 GpuForwardCounter::GpuForwardCounter(simt::DeviceConfig device,
                                      CountingOptions options)
-    : device_config_(std::move(device)), options_(options), pool_() {}
+    : device_config_(std::move(device)),
+      options_(options),
+      pool_(options.host_threads) {}
 
 std::uint64_t GpuForwardCounter::device_preprocess_bytes(EdgeIndex slots,
                                                          VertexId vertices) {

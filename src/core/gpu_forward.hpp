@@ -58,6 +58,12 @@ struct CountingOptions {
   bool force_cpu_preprocess = false;  ///< for the ablation bench
   simt::SimOptions sim{};             ///< SM sampling for big runs
 
+  /// Host threads for the counters' internal thread pools (functional
+  /// preprocessing, task extraction): 0 = hardware concurrency. The service
+  /// layer sets this to 1 so concurrent requests on separate scheduler
+  /// workers do not oversubscribe the host.
+  std::size_t host_threads = 0;
+
   /// Out-of-core color filter (outofcore module): when `vertex_colors` is
   /// non-null, only triangles whose sorted vertex-color triple equals
   /// `color_triple` are counted. The color array is uploaded to the device

@@ -214,6 +214,15 @@ PreparedGraph prepare(const EdgeList& edges, prim::ThreadPool& pool,
   return out;
 }
 
+std::uint64_t PreparedGraph::byte_size() const {
+  return oriented.offsets().size() * sizeof(EdgeIndex) +
+         oriented.neighbor_array().size() * sizeof(VertexId) +
+         new_to_old.size() * sizeof(VertexId) +
+         bitmaps.rows.size() * sizeof(std::uint32_t) +
+         bitmaps.offsets.size() * sizeof(std::uint64_t) +
+         bitmaps.words.size() * sizeof(std::uint64_t);
+}
+
 TriangleCount count_prepared(const PreparedGraph& graph,
                              prim::ThreadPool& pool, CountingStats* stats) {
   const Csr& oriented = graph.oriented;

@@ -141,6 +141,10 @@ struct PreparedGraph {
   BitmapIndex bitmaps;
   EngineOptions options;             ///< the options used to build this
   PreprocessTimings timings;
+
+  /// Heap bytes held by the prepared artifacts (CSR + relabel map + bitmap
+  /// index) — the quantity the service catalog's byte budget accounts.
+  [[nodiscard]] std::uint64_t byte_size() const;
 };
 
 /// Result of a full engine run.

@@ -28,7 +28,7 @@ MultiGpuCounter::MultiGpuCounter(simt::DeviceConfig device,
     : device_config_(std::move(device)),
       num_devices_(num_devices),
       options_(options),
-      pool_() {
+      pool_(options.host_threads) {
   if (num_devices_ == 0) {
     throw std::invalid_argument("MultiGpuCounter: zero devices");
   }

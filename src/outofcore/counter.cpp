@@ -20,7 +20,8 @@ OutOfCoreCounter::OutOfCoreCounter(simt::DeviceConfig device,
     : device_config_(std::move(device)),
       num_colors_(num_colors),
       num_devices_(num_devices),
-      options_(options) {
+      options_(options),
+      pool_(options.host_threads) {
   if (num_colors_ < 1) {
     throw std::invalid_argument("OutOfCoreCounter: need at least one color");
   }

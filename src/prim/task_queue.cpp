@@ -1,0 +1,79 @@
+#include "prim/task_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace trico::prim {
+
+TaskQueue::TaskQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool TaskQueue::try_push(Task task, int priority) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push(Item{priority, next_seq_++, std::move(task)});
+    peak_depth_ = std::max(peak_depth_, items_.size());
+  }
+  consumer_cv_.notify_one();
+  return true;
+}
+
+TaskQueue::Task TaskQueue::pop() {
+  std::unique_lock lock(mutex_);
+  consumer_cv_.wait(lock,
+                    [&] { return closed_ || (!items_.empty() && !paused_); });
+  if (items_.empty()) return {};  // closed and drained
+  // priority_queue::top() is const; the Item must be moved out via const_cast
+  // (safe: we pop immediately and hold the lock).
+  Task task = std::move(const_cast<Item&>(items_.top()).task);
+  items_.pop();
+  return task;
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    paused_ = false;
+  }
+  consumer_cv_.notify_all();
+}
+
+void TaskQueue::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void TaskQueue::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  consumer_cv_.notify_all();
+}
+
+std::size_t TaskQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return items_.size();
+}
+
+std::size_t TaskQueue::peak_depth() const {
+  std::lock_guard lock(mutex_);
+  return peak_depth_;
+}
+
+std::uint64_t TaskQueue::rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+bool TaskQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace trico::prim

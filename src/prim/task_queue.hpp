@@ -1,0 +1,86 @@
+// A bounded, priority-ordered MPMC task queue.
+//
+// This is the submission substrate of the service layer's RequestScheduler
+// (src/service/scheduler.hpp): producers try_push closures with a priority,
+// consumers pop them in (priority desc, FIFO-within-priority) order, and a
+// full queue rejects the push instead of blocking or growing — the
+// backpressure signal the service turns into a reject-with-reason response.
+//
+// Like ThreadPool it is an explicit object with no hidden global state.
+// pause()/resume() gate consumers without affecting producers, which lets
+// tests (and drains) stage a queue deterministically before any worker runs.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace trico::prim {
+
+/// Bounded MPMC queue of closures with integer priorities (higher pops
+/// first; equal priorities pop FIFO).
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit TaskQueue(std::size_t capacity);
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues `task` unless the queue is full or closed. Never blocks.
+  /// Returns false (leaving the queue unchanged) when rejected.
+  bool try_push(Task task, int priority = 0);
+
+  /// Blocks until a task is available (and the queue is not paused), then
+  /// returns the highest-priority one. Returns an empty function once the
+  /// queue is closed *and* drained.
+  [[nodiscard]] Task pop();
+
+  /// Stops accepting pushes; consumers drain the remaining tasks, then every
+  /// blocked pop() returns empty. Also clears any pause so a paused queue
+  /// cannot deadlock shutdown.
+  void close();
+
+  /// Consumers block in pop() while paused (producers are unaffected).
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t depth() const;       ///< tasks currently queued
+  [[nodiscard]] std::size_t peak_depth() const;  ///< high-water mark
+  [[nodiscard]] std::uint64_t rejected() const;  ///< try_push refusals
+  [[nodiscard]] bool closed() const;
+
+ private:
+  struct Item {
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< tie-break: lower seq (earlier push) first
+    Task task;
+  };
+  struct ItemOrder {
+    bool operator()(const Item& a, const Item& b) const {
+      // std::priority_queue pops the *largest*; make that the highest
+      // priority, earliest sequence.
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::priority_queue<Item, std::vector<Item>, ItemOrder> items_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace trico::prim

@@ -1,0 +1,218 @@
+#include "service/catalog.hpp"
+
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "util/timer.hpp"
+
+namespace trico::service {
+
+std::uint64_t GraphCatalog::content_hash(const EdgeList& graph) {
+  // FNV-1a over the vertex count then the raw slot bytes. Slot order is
+  // significant — the canonical producers in this codebase are
+  // deterministic, so identical content yields identical slot order.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const unsigned char* data, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= data[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const VertexId n = graph.num_vertices();
+  mix(reinterpret_cast<const unsigned char*>(&n), sizeof(n));
+  const auto slots = graph.edges();
+  mix(reinterpret_cast<const unsigned char*>(slots.data()),
+      slots.size_bytes());
+  return h;
+}
+
+std::uint64_t GraphCatalog::content_key(
+    const std::shared_ptr<const EdgeList>& graph) {
+  if (!graph) throw CatalogError("GraphCatalog::content_key: null graph");
+  {
+    std::lock_guard lock(mutex_);
+    auto it = hash_memo_.find(graph.get());
+    if (it != hash_memo_.end()) {
+      // lock() succeeding proves the memoized object is still alive, so the
+      // address cannot have been reused by a different graph.
+      if (auto memoized = it->second.graph.lock(); memoized == graph) {
+        return it->second.hash;
+      }
+      hash_memo_.erase(it);
+    }
+  }
+  const std::uint64_t hash = content_hash(*graph);
+  std::lock_guard lock(mutex_);
+  if (hash_memo_.size() >= 64) {
+    // Sweep entries whose graphs died; clear outright if none did (bounded
+    // memo, graphs are few and long-lived in practice).
+    for (auto it = hash_memo_.begin(); it != hash_memo_.end();) {
+      it = it->second.graph.expired() ? hash_memo_.erase(it) : std::next(it);
+    }
+    if (hash_memo_.size() >= 64) hash_memo_.clear();
+  }
+  hash_memo_[graph.get()] = HashMemo{graph, hash};
+  return hash;
+}
+
+namespace {
+
+/// Combines a content key with the operation into one result-cache key.
+std::uint64_t result_key(std::uint64_t key, Operation op) {
+  return key ^ ((static_cast<std::uint64_t>(op) + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+std::optional<CachedResult> GraphCatalog::find_result(std::uint64_t key,
+                                                      Operation op) {
+  if (options_.byte_budget == 0 || !options_.cache_results) return {};
+  std::lock_guard lock(mutex_);
+  auto it = results_.find(result_key(key, op));
+  if (it == results_.end()) return {};
+  ++stats_.result_hits;
+  return it->second;
+}
+
+void GraphCatalog::store_result(std::uint64_t key, Operation op,
+                                const CachedResult& result) {
+  if (options_.byte_budget == 0 || !options_.cache_results) return;
+  std::lock_guard lock(mutex_);
+  if (results_.size() >= 65536) results_.clear();  // simple size bound
+  results_[result_key(key, op)] = result;
+}
+
+std::shared_ptr<const CatalogEntry> GraphCatalog::build_entry(
+    std::uint64_t key, std::shared_ptr<const EdgeList> graph,
+    prim::ThreadPool& pool) const {
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->key = key;
+  entry->stats = compute_stats(*graph);
+  util::Timer timer;
+  entry->prepared = cpu::prepare(*graph, pool, options_.engine);
+  entry->prepare_ms = timer.elapsed_ms();
+  entry->bytes = graph->num_edge_slots() * sizeof(Edge) +
+                 entry->prepared.byte_size() + sizeof(CatalogEntry);
+  entry->edges = std::move(graph);
+  return entry;
+}
+
+GraphCatalog::Acquired GraphCatalog::acquire(
+    std::shared_ptr<const EdgeList> graph, prim::ThreadPool& pool) {
+  if (!graph) throw CatalogError("GraphCatalog::acquire: null graph");
+  const std::uint64_t key = content_key(graph);
+
+  if (options_.byte_budget == 0) {
+    // Catalog disabled: build fresh, share nothing. Still counted so the
+    // metrics make the cold configuration legible.
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.misses;
+      ++stats_.builds;
+    }
+    return {build_entry(key, std::move(graph), pool), false};
+  }
+
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) break;  // miss: become the builder
+    Slot& slot = it->second;
+    if (slot.entry) {
+      ++stats_.hits;
+      slot.lru_tick = ++lru_tick_;
+      return {slot.entry, true};
+    }
+    // A build for this key is in flight: join it instead of duplicating the
+    // preprocess (stampede protection). Loop: the build may fail and erase
+    // the slot, in which case this waiter becomes the builder.
+    ++stats_.stampede_waits;
+    build_cv_.wait(lock, [&] {
+      auto jt = slots_.find(key);
+      return jt == slots_.end() || jt->second.entry != nullptr;
+    });
+  }
+
+  ++stats_.misses;
+  ++stats_.builds;
+  slots_.emplace(key, Slot{nullptr, true, 0});
+  lock.unlock();
+
+  std::shared_ptr<const CatalogEntry> entry;
+  try {
+    entry = build_entry(key, std::move(graph), pool);
+  } catch (...) {
+    {
+      std::lock_guard relock(mutex_);
+      slots_.erase(key);
+    }
+    build_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  if (entry->bytes > options_.byte_budget) {
+    // Larger than the whole budget: serve it but do not cache it.
+    ++stats_.oversize_rejects;
+    slots_.erase(key);
+    lock.unlock();
+    build_cv_.notify_all();
+    return {entry, false};
+  }
+  Slot& slot = slots_[key];
+  slot.entry = entry;
+  slot.building = false;
+  slot.lru_tick = ++lru_tick_;
+  stats_.resident_bytes += entry->bytes;
+  stats_.resident_entries = slots_.size();
+  evict_to_budget_locked();
+  lock.unlock();
+  build_cv_.notify_all();
+  return {entry, false};
+}
+
+void GraphCatalog::evict_to_budget_locked() {
+  while (stats_.resident_bytes > options_.byte_budget) {
+    // O(entries) LRU scan; the catalog holds few, large entries.
+    auto victim = slots_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.entry && it->second.lru_tick < oldest) {
+        oldest = it->second.lru_tick;
+        victim = it;
+      }
+    }
+    if (victim == slots_.end()) return;  // only in-flight builds left
+    stats_.resident_bytes -= victim->second.entry->bytes;
+    slots_.erase(victim);  // shared_ptr keeps in-use entries alive
+    ++stats_.evictions;
+  }
+  stats_.resident_entries = slots_.size();
+}
+
+CatalogStats GraphCatalog::stats() const {
+  std::lock_guard lock(mutex_);
+  CatalogStats out = stats_;
+  out.resident_entries = slots_.size();
+  return out;
+}
+
+EdgeList GraphCatalog::load_graph_file(const std::string& path) {
+  if (!std::filesystem::exists(path)) {
+    throw CatalogError("graph file not found: " + path +
+                       " (generate the bench cache by running any suite "
+                       "bench, e.g. bench_table1, from the repo root)");
+  }
+  try {
+    return io::read_binary_file(path);
+  } catch (const io::IoError& error) {
+    throw CatalogError("graph file unreadable: " + path + ": " +
+                       error.what() +
+                       " (the file is truncated or corrupt; delete it and "
+                       "re-run a suite bench to regenerate)");
+  }
+}
+
+}  // namespace trico::service

@@ -1,0 +1,174 @@
+// GraphCatalog: content-addressed cache of preprocessed graph artifacts.
+//
+// The paper's own measurements make preprocessing the serving bottleneck:
+// its share of end-to-end time (the §III-E Amdahl fraction) runs 0.08–0.76,
+// so a service that re-preprocesses per query throws away most of its
+// throughput. The catalog loads a graph once, runs the hybrid-engine
+// preprocessing once (oriented CSR, degree stats, bitmap index — see
+// cpu/hybrid_engine.hpp), and hands every subsequent query a shared
+// immutable CatalogEntry:
+//
+//  * keyed by a content hash (FNV-1a over the slot array + vertex count),
+//    so the same graph submitted under different names/paths still hits;
+//  * bounded by a byte budget with LRU eviction — entries pinned by
+//    in-flight queries survive via shared_ptr until the last user drops;
+//  * stampede-protected: concurrent requests for the same uncached graph
+//    share one in-flight preprocess instead of racing N of them.
+//
+// Because graphs are immutable and every operation deterministic, the
+// catalog also memoizes exact *results* by (content key, operation) — the
+// second `count` of the same graph is a lookup, not a recount. Explicit-
+// backend requests bypass memoization so each tier stays exercisable.
+//
+// A budget of 0 disables the catalog entirely (every acquire builds fresh,
+// no sharing, no memoization) — the "cold" baseline of bench_service.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cpu/hybrid_engine.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/stats.hpp"
+#include "prim/thread_pool.hpp"
+#include "service/request.hpp"
+
+namespace trico::service {
+
+/// Error raised by the catalog's file-loading helper (missing or corrupt
+/// graph files); carries an actionable message, never crashes the service.
+class CatalogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable preprocessed artifacts for one graph. Shared by every query
+/// that touches the graph; safe for concurrent reads (count_prepared takes
+/// const state and keeps all scratch per worker).
+struct CatalogEntry {
+  std::uint64_t key = 0;             ///< content hash
+  std::shared_ptr<const EdgeList> edges;  ///< the graph (device tiers consume it)
+  GraphStats stats;                  ///< degree statistics (router input)
+  cpu::PreparedGraph prepared;       ///< hybrid-engine precomputation
+  std::uint64_t bytes = 0;           ///< accounted size (edges + artifacts)
+  double prepare_ms = 0;             ///< what the cache saves per hit
+};
+
+/// An exact operation result memoized by (content key, operation). Graphs
+/// are immutable and every operation deterministic, so serving a memoized
+/// result is always correct; only the fields of the recording operation are
+/// meaningful.
+struct CachedResult {
+  TriangleCount triangles = 0;
+  double clustering = 0;
+  double transitivity = 0;
+  std::uint32_t max_trussness = 0;
+  Backend backend = Backend::kCpuHybrid;  ///< tier that computed it
+};
+
+/// Catalog counters (all monotonic except the resident_* gauges).
+struct CatalogStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;           ///< acquires that had to build
+  std::uint64_t builds = 0;           ///< actual preprocess runs
+  std::uint64_t stampede_waits = 0;   ///< acquires that joined an in-flight build
+  std::uint64_t evictions = 0;
+  std::uint64_t oversize_rejects = 0; ///< entries larger than the whole budget
+  std::uint64_t result_hits = 0;      ///< queries served from memoized results
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t resident_entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+struct CatalogOptions {
+  /// Total byte budget for resident entries; 0 disables caching.
+  std::uint64_t byte_budget = std::uint64_t{1} << 30;  // 1 GiB
+  /// Memoize exact operation results by (content key, operation). Served
+  /// only to kAuto requests — an explicit-backend request always exercises
+  /// its tier. Disabled alongside the catalog when byte_budget is 0.
+  bool cache_results = true;
+  /// Engine tunables used for every build (entries are keyed by content
+  /// only, so these must stay fixed for the catalog's lifetime).
+  cpu::EngineOptions engine{};
+};
+
+class GraphCatalog {
+ public:
+  using Options = CatalogOptions;
+
+  explicit GraphCatalog(Options options = {}) : options_(options) {}
+
+  /// acquire() result: the entry plus whether this call was served from the
+  /// cache (a resident entry or a joined in-flight build) or had to build.
+  struct Acquired {
+    std::shared_ptr<const CatalogEntry> entry;
+    bool hit = false;
+  };
+
+  /// Returns the entry for `graph`, building (and caching, budget
+  /// permitting) it on a miss. Concurrent acquires of the same uncached
+  /// graph share one build. The build runs on `pool`.
+  [[nodiscard]] Acquired acquire(std::shared_ptr<const EdgeList> graph,
+                                 prim::ThreadPool& pool);
+
+  /// FNV-1a content hash over the vertex count and the raw slot array.
+  [[nodiscard]] static std::uint64_t content_hash(const EdgeList& graph);
+
+  /// content_hash memoized by graph identity: repeated submissions of the
+  /// same shared EdgeList skip rehashing its slot array (graphs are
+  /// immutable once shared, so identity implies content).
+  [[nodiscard]] std::uint64_t content_key(
+      const std::shared_ptr<const EdgeList>& graph);
+
+  /// Memoized-result store; no-ops / misses when byte_budget is 0 or
+  /// cache_results is off.
+  [[nodiscard]] std::optional<CachedResult> find_result(std::uint64_t key,
+                                                        Operation op);
+  void store_result(std::uint64_t key, Operation op,
+                    const CachedResult& result);
+
+  [[nodiscard]] CatalogStats stats() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Loads a `.trico` binary graph, translating IO failures (missing,
+  /// truncated, corrupt) into CatalogError with an actionable message.
+  [[nodiscard]] static EdgeList load_graph_file(const std::string& path);
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CatalogEntry> entry;  ///< null while building
+    bool building = false;
+    std::uint64_t lru_tick = 0;
+  };
+
+  std::shared_ptr<const CatalogEntry> build_entry(
+      std::uint64_t key, std::shared_ptr<const EdgeList> graph,
+      prim::ThreadPool& pool) const;
+  void evict_to_budget_locked();
+
+  struct HashMemo {
+    std::weak_ptr<const EdgeList> graph;  ///< staleness check for the address
+    std::uint64_t hash = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable build_cv_;
+  std::unordered_map<std::uint64_t, Slot> slots_;
+  std::unordered_map<const EdgeList*, HashMemo> hash_memo_;
+  std::unordered_map<std::uint64_t, CachedResult> results_;
+  std::uint64_t lru_tick_ = 0;
+  CatalogStats stats_{};
+};
+
+}  // namespace trico::service

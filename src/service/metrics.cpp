@@ -1,0 +1,100 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace trico::service {
+
+void LatencyHistogram::record(double ms) {
+  std::size_t bucket = 0;
+  for (double edge = kBaseMs; bucket + 1 < kBuckets && ms > edge;
+       edge *= 2.0) {
+    ++bucket;
+  }
+  ++buckets[bucket];
+  min_ms = count == 0 ? ms : std::min(min_ms, ms);
+  max_ms = std::max(max_ms, ms);
+  sum_ms += ms;
+  ++count;
+}
+
+double LatencyHistogram::bucket_edge_ms(std::size_t i) {
+  double edge = kBaseMs;
+  for (std::size_t b = 0; b < i; ++b) edge *= 2.0;
+  return edge;
+}
+
+double LatencyHistogram::quantile_upper_bound_ms(double quantile) const {
+  if (count == 0) return 0;
+  const double target = quantile * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) return bucket_edge_ms(i);
+  }
+  return bucket_edge_ms(kBuckets - 1);
+}
+
+void MetricsRegistry::record_submitted() {
+  std::lock_guard lock(mutex_);
+  ++data_.submitted;
+}
+
+void MetricsRegistry::record_response(const Response& response) {
+  std::lock_guard lock(mutex_);
+  ++data_.completed;
+  switch (response.status) {
+    case Status::kOk:
+      ++data_.ok;
+      ++data_.served_by_backend[static_cast<std::size_t>(response.backend)];
+      if (response.degraded) ++data_.fallbacks;
+      data_.execute_latency.record(response.execute_ms);
+      break;
+    case Status::kRejectedQueueFull: ++data_.rejected_queue_full; break;
+    case Status::kDeadlineExpired: ++data_.deadline_expired; break;
+    case Status::kCancelled: ++data_.cancelled; break;
+    case Status::kFailed: ++data_.failed; break;
+  }
+  data_.total_latency.record(response.total_ms());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return data_;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "requests: submitted=" << submitted << " completed=" << completed
+      << " ok=" << ok << " rejected=" << rejected_queue_full
+      << " expired=" << deadline_expired << " cancelled=" << cancelled
+      << " failed=" << failed << "\n";
+  out << "backends: ";
+  for (std::size_t b = 0; b < kNumBackends; ++b) {
+    if (b) out << " ";
+    out << service::to_string(static_cast<Backend>(b)) << "="
+        << served_by_backend[b];
+  }
+  out << " fallbacks=" << fallbacks << "\n";
+  out << "latency[total]: mean=" << total_latency.mean_ms()
+      << "ms p99<=" << total_latency.quantile_upper_bound_ms(0.99)
+      << "ms max=" << total_latency.max_ms << "ms n=" << total_latency.count
+      << "\n";
+  out << "latency[execute]: mean=" << execute_latency.mean_ms()
+      << "ms p99<=" << execute_latency.quantile_upper_bound_ms(0.99)
+      << "ms max=" << execute_latency.max_ms
+      << "ms n=" << execute_latency.count << "\n";
+  out << "catalog: hits=" << catalog.hits << " misses=" << catalog.misses
+      << " hit_rate=" << catalog.hit_rate() << " builds=" << catalog.builds
+      << " stampede_waits=" << catalog.stampede_waits
+      << " evictions=" << catalog.evictions
+      << " oversize=" << catalog.oversize_rejects
+      << " result_hits=" << catalog.result_hits
+      << " resident=" << catalog.resident_entries << " entries / "
+      << catalog.resident_bytes << " bytes\n";
+  out << "queue: depth=" << queue_depth << " peak=" << queue_peak_depth
+      << " capacity=" << queue_capacity;
+  return out.str();
+}
+
+}  // namespace trico::service

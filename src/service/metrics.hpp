@@ -1,0 +1,85 @@
+// Service observability: latency histograms and the MetricsSnapshot.
+//
+// Every terminal response is recorded once. Counters are aggregated under
+// one mutex (recording is a few adds — contention is negligible next to a
+// count), and snapshot() returns a consistent copy so readers never see a
+// torn state.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "service/catalog.hpp"
+#include "service/request.hpp"
+
+namespace trico::service {
+
+/// Log2-bucketed latency histogram (milliseconds). Bucket i counts samples
+/// in (base * 2^(i-1), base * 2^i]; the first bucket catches everything at
+/// or below `kBaseMs`, the last everything beyond the top edge.
+struct LatencyHistogram {
+  static constexpr double kBaseMs = 0.0625;  ///< 62.5 µs first bucket edge
+  static constexpr std::size_t kBuckets = 22;  ///< top edge ~36 minutes
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+
+  void record(double ms);
+  [[nodiscard]] double mean_ms() const { return count ? sum_ms / count : 0; }
+  /// Upper edge of bucket i in milliseconds.
+  [[nodiscard]] static double bucket_edge_ms(std::size_t i);
+  /// Smallest bucket edge with >= `quantile` of the mass at or below it —
+  /// a bucketed upper bound on the quantile (e.g. 0.99 for p99).
+  [[nodiscard]] double quantile_upper_bound_ms(double quantile) const;
+};
+
+/// Point-in-time copy of every service counter.
+struct MetricsSnapshot {
+  // Request lifecycle.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< reached any terminal state
+  std::uint64_t ok = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+
+  // Backend routing (kOk responses, by serving tier).
+  std::array<std::uint64_t, kNumBackends> served_by_backend{};
+  std::uint64_t fallbacks = 0;  ///< responses served past the first choice
+
+  // Latency.
+  LatencyHistogram total_latency;    ///< submit -> done
+  LatencyHistogram execute_latency;  ///< dequeue -> done
+
+  // Catalog.
+  CatalogStats catalog;
+
+  // Queue.
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak_depth = 0;
+  std::size_t queue_capacity = 0;
+
+  /// Multi-line human-readable report (the CLI's final summary).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe recorder behind the snapshot.
+class MetricsRegistry {
+ public:
+  void record_submitted();
+  void record_response(const Response& response);
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+}  // namespace trico::service

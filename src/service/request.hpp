@@ -1,0 +1,158 @@
+// Request/response vocabulary of the triangle-analytics service.
+//
+// A Request names a graph (shared, immutable), an operation and how to run
+// it; a Response carries the result plus the serving metadata (backend,
+// catalog hit, queue/execute wall clock) that the metrics layer aggregates.
+// Tickets are the async handle: submit() returns immediately, wait() blocks
+// until a worker finished (or the scheduler rejected/cancelled/expired the
+// request without running it).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace trico::service {
+
+/// Analytics operations the service executes.
+enum class Operation : std::uint8_t {
+  kCount,       ///< exact triangle count
+  kClustering,  ///< global clustering coefficient + transitivity
+  kTruss,       ///< k-truss decomposition (max trussness)
+};
+
+/// Execution backends (the four counting tiers).
+enum class Backend : std::uint8_t {
+  kCpuHybrid,  ///< adaptive hybrid intersection engine (cpu/hybrid_engine)
+  kGpu,        ///< single simulated GPU pipeline with degradation ladder
+  kMultiGpu,   ///< §III-E broadcast scheme on N simulated devices
+  kOutOfCore,  ///< color-triple partitioned counting
+  kAuto,       ///< let the BackendRouter decide
+};
+inline constexpr std::size_t kNumBackends = 4;  ///< concrete tiers (not kAuto)
+
+[[nodiscard]] const char* to_string(Backend backend);
+[[nodiscard]] const char* to_string(Operation op);
+
+/// What the router optimizes when the request says kAuto.
+enum class RouteObjective : std::uint8_t {
+  kWallClock,      ///< host wall clock (service throughput; default)
+  kModeledDevice,  ///< modeled device milliseconds (the paper's metric)
+};
+
+/// Scheduler priority; higher pops first, FIFO within a level.
+enum class Priority : std::int8_t { kLow = -1, kNormal = 0, kHigh = 1 };
+
+/// One analytics query.
+struct Request {
+  std::shared_ptr<const EdgeList> graph;  ///< required, shared & immutable
+  Operation op = Operation::kCount;
+  Backend backend = Backend::kAuto;
+  RouteObjective objective = RouteObjective::kWallClock;
+  Priority priority = Priority::kNormal;
+  /// Soft deadline measured from submit; a request still queued past it is
+  /// rejected at dequeue with kDeadlineExpired. 0 = none.
+  double deadline_ms = 0;
+};
+
+/// Terminal states of a request.
+enum class Status : std::uint8_t {
+  kOk,
+  kRejectedQueueFull,  ///< backpressure: never queued
+  kDeadlineExpired,    ///< queued too long; never executed
+  kCancelled,          ///< cancelled while still queued
+  kFailed,             ///< every backend in the fallback chain failed
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+/// Result + serving metadata of one request.
+struct Response {
+  Status status = Status::kFailed;
+  std::string reason;  ///< human-readable detail for non-kOk (and fallbacks)
+
+  // Results (valid when status == kOk, per the request's op).
+  TriangleCount triangles = 0;
+  double clustering = 0;     ///< kClustering: Watts–Strogatz global coefficient
+  double transitivity = 0;   ///< kClustering
+  std::uint32_t max_trussness = 0;  ///< kTruss
+
+  // Serving metadata.
+  Backend backend = Backend::kCpuHybrid;  ///< tier that produced the result
+  bool catalog_hit = false;   ///< preprocessed artifacts came from the cache
+  bool degraded = false;      ///< fallback chain advanced past first choice
+  double modeled_device_ms = -1;  ///< device-tier runs only; -1 otherwise
+  double queue_ms = 0;        ///< submit -> dequeue
+  double execute_ms = 0;      ///< dequeue -> done (includes cold preprocess)
+  [[nodiscard]] double total_ms() const { return queue_ms + execute_ms; }
+};
+
+namespace detail {
+
+/// Shared state behind a Ticket. The scheduler owns the transitions:
+/// queued -> running -> done, or queued -> {cancelled, expired, rejected}.
+struct RequestState {
+  Request request;
+  std::chrono::steady_clock::time_point submit_time;
+  std::atomic<bool> cancel_requested{false};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Response response;
+
+  void finish(Response r) {
+    {
+      std::lock_guard lock(mutex);
+      response = std::move(r);
+      done = true;
+    }
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Async handle for a submitted request. Copyable (shared state).
+class Ticket {
+ public:
+  Ticket() = default;
+  explicit Ticket(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the request reached a terminal state.
+  const Response& wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->done_cv.wait(lock, [&] { return state_->done; });
+    return state_->response;
+  }
+
+  /// True once the request reached a terminal state.
+  [[nodiscard]] bool done() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->done;
+  }
+
+  /// Requests cancellation. Only a request still in the queue is cancelled
+  /// (it reports kCancelled when a worker skips it); one already running
+  /// completes normally. Returns false when the request had already reached
+  /// a terminal state at the call.
+  bool cancel() const {
+    state_->cancel_requested.store(true, std::memory_order_relaxed);
+    return !done();
+  }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace trico::service

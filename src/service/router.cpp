@@ -1,0 +1,214 @@
+#include "service/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/gpu_forward.hpp"
+
+namespace trico::service {
+
+BackendRouter::BackendRouter(RouterOptions options)
+    : options_(std::move(options)), cost_(options_.device) {}
+
+std::uint64_t BackendRouter::effective_budget() const {
+  const std::uint64_t device = options_.device.memory_bytes;
+  return options_.memory_budget_bytes == 0
+             ? device
+             : std::min(options_.memory_budget_bytes, device);
+}
+
+double BackendRouter::counting_steps(const GraphStats& stats) const {
+  // Per oriented edge the merge walks at most |adj(u)| + |adj(v)|, and the
+  // forward orientation bounds lists by sqrt(2m); on real degree
+  // distributions the average walk is closer to the mean degree. Use the
+  // smaller of the two bounds as the expectation.
+  const double m = static_cast<double>(stats.num_edges);
+  const double slots = 2.0 * m;
+  const double per_edge =
+      std::min(stats.avg_degree + 2.0, std::sqrt(std::max(1.0, slots)));
+  return m * per_edge;
+}
+
+double BackendRouter::modeled_preprocess_ms(const GraphStats& stats) const {
+  const std::uint64_t slots = 2 * stats.num_edges;
+  const std::uint64_t n = stats.num_vertices;
+  const std::uint64_t m = stats.num_edges;
+  return cost_.transfer_ms(slots * 8) + cost_.reduce_ms(slots, 4) +
+         cost_.radix_sort_ms(slots, 8, 8) + cost_.node_array_ms(slots, n) +
+         cost_.mark_backward_ms(slots) + cost_.remove_if_ms(slots) +
+         cost_.unzip_ms(m) + cost_.node_array_ms(m, n);
+}
+
+double BackendRouter::modeled_counting_ms(const GraphStats& stats) const {
+  const double steps = counting_steps(stats);
+  const auto& dev = options_.device;
+  // Throughput bound: issue cycles spread over the SMs.
+  const double issue_ms = steps * dev.issue_cycles_per_step /
+                          (static_cast<double>(dev.num_sms) * dev.clock_ghz) /
+                          1e6;
+  // Bandwidth bound: ~4 bytes of neighbor traffic per step at the paper's
+  // ~80% hit rates, so roughly 1 DRAM byte per step.
+  const double bw_ms = steps / (dev.dram_bandwidth_gbps * 1e6);
+  return std::max(issue_ms, bw_ms);
+}
+
+std::uint32_t BackendRouter::auto_colors(const GraphStats& stats) const {
+  if (options_.outofcore_colors > 0) return options_.outofcore_colors;
+  const std::uint64_t budget = std::max<std::uint64_t>(1, effective_budget());
+  for (std::uint32_t k = 2; k < 16; ++k) {
+    // A task carries roughly (3/k)^2-ish of the edges; use the counter's own
+    // conservative 3/k fraction.
+    const auto task_slots = static_cast<EdgeIndex>(
+        3.0 / k * static_cast<double>(2 * stats.num_edges));
+    if (core::GpuForwardCounter::device_preprocess_bytes(
+            task_slots, stats.num_vertices) <= budget) {
+      return k;
+    }
+  }
+  return 16;
+}
+
+BackendEstimate BackendRouter::estimate(Backend backend,
+                                        const GraphStats& stats,
+                                        bool catalog_warm) const {
+  const double slots = 2.0 * static_cast<double>(stats.num_edges);
+  const double steps = counting_steps(stats);
+  const std::uint64_t budget = effective_budget();
+  const std::uint64_t full_bytes = core::GpuForwardCounter::device_preprocess_bytes(
+      2 * stats.num_edges, stats.num_vertices);
+  // §III-D6 halves the device footprint by orienting on the host first.
+  const std::uint64_t d6_bytes = full_bytes / 2;
+
+  BackendEstimate est;
+  est.backend = backend;
+  // Host cost of simulating one modeled counting phase: per-step simulation
+  // work, reduced by SM sampling.
+  const double sample_fraction =
+      options_.sim_sample_sms == 0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(options_.sim_sample_sms) /
+                              static_cast<double>(options_.device.num_sms));
+  const double sim_wall_ms =
+      steps * options_.sim_ns_per_step * sample_fraction * 1e-6;
+  // Host-side functional preprocessing accompanies every simulated run.
+  const double host_pre_ms = slots * options_.cpu_prepare_ns_per_slot * 1e-6;
+
+  switch (backend) {
+    case Backend::kCpuHybrid: {
+      est.modeled_ms = -1;
+      est.wall_ms = steps * options_.cpu_count_ns_per_step * 1e-6 +
+                    (catalog_warm ? 0.0 : host_pre_ms);
+      est.memory_ok = true;
+      break;
+    }
+    case Backend::kGpu: {
+      est.modeled_ms = modeled_preprocess_ms(stats) + modeled_counting_ms(stats);
+      est.wall_ms = host_pre_ms + sim_wall_ms;
+      // The pipeline's own ladder (§III-D6, out-of-core rung) absorbs budget
+      // misses, so the tier stays feasible as long as the halved footprint
+      // fits; beyond that prefer routing straight to out-of-core.
+      est.memory_ok = d6_bytes <= budget;
+      break;
+    }
+    case Backend::kMultiGpu: {
+      const unsigned d = std::max(1u, options_.num_devices);
+      const double pre = modeled_preprocess_ms(stats);
+      const std::uint64_t bcast_bytes =
+          static_cast<std::uint64_t>(slots / 2.0) * 8 +
+          (static_cast<std::uint64_t>(stats.num_vertices) + 1) * 4;
+      est.modeled_ms = pre +
+                       (d - 1) * cost_.peer_transfer_ms(bcast_bytes) +
+                       modeled_counting_ms(stats) / d;
+      est.wall_ms = host_pre_ms + sim_wall_ms;  // devices simulate concurrently
+      est.memory_ok = d6_bytes <= budget;
+      break;
+    }
+    case Backend::kOutOfCore: {
+      const std::uint32_t k = auto_colors(stats);
+      // Every edge ships to ~k tasks, so preprocessing volume scales by ~k/2
+      // relative to the one-shot pipeline; counting work is unchanged.
+      est.modeled_ms = modeled_preprocess_ms(stats) * (k / 2.0) +
+                       modeled_counting_ms(stats);
+      est.wall_ms = host_pre_ms * (k / 2.0) + sim_wall_ms;
+      est.memory_ok = true;  // k is chosen so tasks fit
+      break;
+    }
+    case Backend::kAuto:
+      break;  // never scored
+  }
+  return est;
+}
+
+RouteDecision BackendRouter::route(const GraphStats& stats, bool catalog_warm,
+                                   const Request& request) const {
+  RouteDecision decision;
+  decision.outofcore_colors = auto_colors(stats);
+  for (std::size_t b = 0; b < kNumBackends; ++b) {
+    decision.estimates[b] =
+        estimate(static_cast<Backend>(b), stats, catalog_warm);
+  }
+
+  std::ostringstream why;
+  if (request.backend != Backend::kAuto) {
+    // Explicit pick: honor it, then fall back in feasibility order ending at
+    // the CPU tier (which cannot fault).
+    decision.chain.push_back(request.backend);
+    if (request.backend != Backend::kOutOfCore &&
+        !decision.estimates[static_cast<std::size_t>(request.backend)]
+             .memory_ok) {
+      decision.chain.push_back(Backend::kOutOfCore);
+    }
+    if (request.backend != Backend::kCpuHybrid) {
+      decision.chain.push_back(Backend::kCpuHybrid);
+    }
+    why << "explicit backend " << to_string(request.backend);
+    decision.rationale = why.str();
+    return decision;
+  }
+
+  // Auto: rank candidates by the requested objective among feasible tiers.
+  std::vector<Backend> candidates;
+  for (std::size_t b = 0; b < kNumBackends; ++b) {
+    const auto backend = static_cast<Backend>(b);
+    if (backend == Backend::kMultiGpu && options_.num_devices < 2) continue;
+    if (!decision.estimates[b].memory_ok) continue;
+    if (request.objective == RouteObjective::kModeledDevice &&
+        backend == Backend::kCpuHybrid) {
+      continue;  // the paper's metric ranks device tiers only
+    }
+    candidates.push_back(backend);
+  }
+  auto score = [&](Backend b) {
+    const auto& e = decision.estimates[static_cast<std::size_t>(b)];
+    return request.objective == RouteObjective::kModeledDevice ? e.modeled_ms
+                                                               : e.wall_ms;
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](Backend a, Backend b) { return score(a) < score(b); });
+  if (candidates.empty()) candidates.push_back(Backend::kOutOfCore);
+  decision.chain = candidates;
+  // The CPU tier cannot fault, so it terminates the chain: rungs ranked
+  // after it are unreachable, and it is appended when not ranked at all.
+  const auto cpu = std::find(decision.chain.begin(), decision.chain.end(),
+                             Backend::kCpuHybrid);
+  if (cpu == decision.chain.end()) {
+    decision.chain.push_back(Backend::kCpuHybrid);
+  } else {
+    decision.chain.erase(cpu + 1, decision.chain.end());
+  }
+
+  why << "auto("
+      << (request.objective == RouteObjective::kModeledDevice ? "modeled"
+                                                              : "wall-clock")
+      << "): picked " << to_string(decision.chain.front()) << " at "
+      << score(decision.chain.front()) << " ms est";
+  if (!decision.estimates[static_cast<std::size_t>(Backend::kGpu)].memory_ok) {
+    why << "; full pipeline over budget -> out-of-core preferred (k="
+        << decision.outofcore_colors << ")";
+  }
+  decision.rationale = why.str();
+  return decision;
+}
+
+}  // namespace trico::service

@@ -1,0 +1,107 @@
+// BackendRouter: cost-model-driven routing of queries to counting tiers.
+//
+// Which algorithm/backend wins depends on the graph, not the build — the
+// comparative studies (Wang et al. 2016, TRUST 2021) make backend choice a
+// per-query decision. The router scores the four tiers from graph statistics
+// and simt::CostModel:
+//
+//  * kWallClock (service default): minimize estimated *host* wall clock.
+//    The CPU hybrid engine is scored from calibrated ns-per-unit constants
+//    (warm = counting only, cold = preprocess + counting); the simulated
+//    device tiers additionally pay the simulation overhead per modeled
+//    warp-step, which the estimate makes explicit.
+//  * kModeledDevice (the paper's metric): minimize modeled device
+//    milliseconds among the device tiers, built from the same CostModel the
+//    pipeline charges (transfer + sort + streaming passes + counting).
+//
+// The decision is a *fallback chain*, not a single pick: if the chosen tier
+// throws (device fault, out-of-memory task, budget miss) the service steps
+// down the chain — the request-level analogue of PR 1's degradation ladder.
+// The chain always ends at kCpuHybrid, which cannot fault.
+//
+// Memory feasibility uses the same gate as the pipeline itself
+// (GpuForwardCounter::device_preprocess_bytes vs the effective budget): a
+// graph whose working set cannot fit even via §III-D6 routes out-of-core
+// first, with the color count chosen so a task's footprint fits.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/stats.hpp"
+#include "service/request.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_config.hpp"
+
+namespace trico::service {
+
+struct RouterOptions {
+  simt::DeviceConfig device = simt::DeviceConfig::gtx_980();
+  unsigned num_devices = 1;           ///< width of the multi-GPU tier
+  std::uint64_t memory_budget_bytes = 0;  ///< 0 = full device memory
+  std::uint32_t outofcore_colors = 0;     ///< 0 = choose from footprint
+  std::uint32_t sim_sample_sms = 2;   ///< SM sampling the service runs with
+
+  // Host-side calibration constants (nanoseconds per unit). The defaults
+  // were fitted on this container against E21 (CPU engine) and the
+  // simulator's measured throughput; they only need order-of-magnitude
+  // accuracy to rank backends.
+  double cpu_count_ns_per_step = 1.2;     ///< hybrid engine, per merge step
+  double cpu_prepare_ns_per_slot = 150.0; ///< parallel preprocessing
+  double sim_ns_per_step = 80.0;          ///< simulator host cost per step
+};
+
+/// Scored candidate for one tier.
+struct BackendEstimate {
+  Backend backend = Backend::kCpuHybrid;
+  double modeled_ms = -1;  ///< modeled device time; -1 for the CPU tier
+  double wall_ms = 0;      ///< estimated host wall clock
+  bool memory_ok = true;   ///< fits the effective device budget
+};
+
+/// Routing decision: ordered fallback chain plus the reasoning.
+struct RouteDecision {
+  std::vector<Backend> chain;  ///< first = chosen, rest = fallbacks
+  std::array<BackendEstimate, kNumBackends> estimates{};
+  std::uint32_t outofcore_colors = 2;  ///< k for the out-of-core tier
+  std::string rationale;
+};
+
+class BackendRouter {
+ public:
+  explicit BackendRouter(RouterOptions options = {});
+
+  /// Routes one request given the graph's statistics and whether its
+  /// preprocessed artifacts are already resident in the catalog.
+  [[nodiscard]] RouteDecision route(const GraphStats& stats,
+                                    bool catalog_warm,
+                                    const Request& request) const;
+
+  /// Per-tier estimate (public for tests and the bench).
+  [[nodiscard]] BackendEstimate estimate(Backend backend,
+                                         const GraphStats& stats,
+                                         bool catalog_warm) const;
+
+  /// Smallest color count whose per-task footprint fits the budget.
+  [[nodiscard]] std::uint32_t auto_colors(const GraphStats& stats) const;
+
+  /// Effective device byte budget: min(option, device memory).
+  [[nodiscard]] std::uint64_t effective_budget() const;
+
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+ private:
+  /// Expected two-pointer/probe steps of the counting phase: the §II-B
+  /// bound m * O(sqrt(m)) tempered by the average degree.
+  [[nodiscard]] double counting_steps(const GraphStats& stats) const;
+  [[nodiscard]] double modeled_preprocess_ms(const GraphStats& stats) const;
+  [[nodiscard]] double modeled_counting_ms(const GraphStats& stats) const;
+
+  RouterOptions options_;
+  simt::CostModel cost_;
+};
+
+}  // namespace trico::service

@@ -1,0 +1,121 @@
+#include "service/scheduler.hpp"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace trico::service {
+
+namespace {
+
+/// The queue stores plain closures; the popping worker's context is
+/// published thread-locally by the serving loop so a task can reach the
+/// slot-local backend pool without the queue knowing about contexts.
+thread_local ExecContext* tls_context = nullptr;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(Options options, Work work,
+                                   Observer observer)
+    : options_(options),
+      work_(std::move(work)),
+      observer_(std::move(observer)),
+      queue_(options.queue_capacity),
+      pool_(options.workers == 0 ? 1 : options.workers) {
+  runner_ = std::thread([this] {
+    pool_.parallel_workers([this](std::size_t worker, std::size_t) {
+      prim::ThreadPool backend_pool(
+          options_.backend_threads == 0 ? 1 : options_.backend_threads);
+      ExecContext ctx{worker, backend_pool};
+      tls_context = &ctx;
+      for (;;) {
+        prim::TaskQueue::Task task = queue_.pop();
+        if (!task) break;  // closed and drained
+        task();
+      }
+      tls_context = nullptr;
+    });
+  });
+}
+
+RequestScheduler::~RequestScheduler() {
+  queue_.close();  // drain: every admitted request reaches a terminal state
+  runner_.join();
+}
+
+Ticket RequestScheduler::submit(Request request) {
+  auto state = std::make_shared<detail::RequestState>();
+  state->request = std::move(request);
+  state->submit_time = std::chrono::steady_clock::now();
+  Ticket ticket(state);
+
+  const int priority = static_cast<int>(state->request.priority);
+  auto task = [this, state] { run_one(state, *tls_context); };
+  if (!queue_.try_push(std::move(task), priority)) {
+    Response response;
+    response.status = Status::kRejectedQueueFull;
+    std::ostringstream reason;
+    reason << "queue full: depth " << queue_.depth() << " of capacity "
+           << queue_.capacity() << (queue_.closed() ? " (shutting down)" : "");
+    response.reason = reason.str();
+    finish(*state, std::move(response));
+  }
+  return ticket;
+}
+
+void RequestScheduler::run_one(std::shared_ptr<detail::RequestState> state,
+                               ExecContext& ctx) {
+  const double queue_ms = ms_since(state->submit_time);
+  Response response;
+  response.queue_ms = queue_ms;
+
+  if (state->cancel_requested.load(std::memory_order_relaxed)) {
+    response.status = Status::kCancelled;
+    response.reason = "cancelled while queued";
+    finish(*state, std::move(response));
+    return;
+  }
+  const double deadline = state->request.deadline_ms;
+  if (deadline > 0 && queue_ms > deadline) {
+    std::ostringstream reason;
+    reason << "deadline expired in queue: waited " << queue_ms
+           << " ms of a " << deadline << " ms budget";
+    response.status = Status::kDeadlineExpired;
+    response.reason = reason.str();
+    finish(*state, std::move(response));
+    return;
+  }
+
+  util::Timer timer;
+  try {
+    response = work_(state->request, ctx);
+  } catch (const std::exception& error) {
+    response = Response{};
+    response.status = Status::kFailed;
+    response.reason = error.what();
+  }
+  response.queue_ms = queue_ms;
+  response.execute_ms = timer.elapsed_ms();
+  finish(*state, std::move(response));
+}
+
+void RequestScheduler::finish(detail::RequestState& state, Response response) {
+  // Observe before waking waiters so metrics are consistent the moment
+  // wait() returns.
+  if (observer_) observer_(response);
+  state.finish(std::move(response));
+}
+
+void RequestScheduler::pause() { queue_.pause(); }
+void RequestScheduler::resume() { queue_.resume(); }
+
+}  // namespace trico::service

@@ -1,0 +1,95 @@
+// RequestScheduler: bounded admission + worker execution for the service.
+//
+// Producers submit work through a prim::TaskQueue (bounded, priority-
+// ordered); consumers are the slots of a prim::ThreadPool running a serving
+// loop (parallel_workers), launched once from a small runner thread — the
+// pool is the execution substrate, the queue is the admission valve.
+//
+// Admission semantics:
+//  * a full queue rejects at submit() with kRejectedQueueFull and the depth
+//    in the reason — backpressure, never an exception or a block;
+//  * per-request deadlines are checked at dequeue: a request that waited
+//    past its deadline reports kDeadlineExpired without executing;
+//  * Ticket::cancel() marks a queued request; the worker that dequeues it
+//    reports kCancelled without executing (best-effort: a request already
+//    running completes normally);
+//  * priorities pop high-to-low, FIFO within a level.
+//
+// pause()/resume() gate the workers (tests use this to stage deterministic
+// queue states); the destructor drains the queue gracefully — every
+// admitted request reaches a terminal state before shutdown completes.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "prim/task_queue.hpp"
+#include "prim/thread_pool.hpp"
+#include "service/request.hpp"
+
+namespace trico::service {
+
+/// Execution context handed to the work function: the worker slot index and
+/// a per-worker thread pool for the backend's data-parallel phases.
+struct ExecContext {
+  std::size_t worker = 0;
+  prim::ThreadPool& pool;
+};
+
+class RequestScheduler {
+ public:
+  struct Options {
+    std::size_t workers = 1;         ///< serving pool slots
+    std::size_t queue_capacity = 64; ///< admission bound
+    /// Threads of each worker's backend pool (preprocessing, counting
+    /// chunks). Default 1: with several workers, intra-request parallelism
+    /// would oversubscribe the host.
+    std::size_t backend_threads = 1;
+  };
+
+  /// `work` runs on a worker slot for every admitted, live request and
+  /// returns the Response (status kOk or kFailed). The scheduler fills the
+  /// timing fields and terminal bookkeeping for every path.
+  using Work = std::function<Response(const Request&, ExecContext&)>;
+  /// Observer invoked once per terminal response (the metrics hook).
+  using Observer = std::function<void(const Response&)>;
+
+  RequestScheduler(Options options, Work work, Observer observer = {});
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Admits `request` or rejects it immediately (ticket already terminal
+  /// with kRejectedQueueFull). Never blocks.
+  [[nodiscard]] Ticket submit(Request request);
+
+  /// Gate the workers (admission unaffected).
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t queue_peak_depth() const {
+    return queue_.peak_depth();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const {
+    return queue_.capacity();
+  }
+  [[nodiscard]] std::size_t workers() const { return pool_.num_threads(); }
+
+ private:
+  void run_one(std::shared_ptr<detail::RequestState> state, ExecContext& ctx);
+  void finish(detail::RequestState& state, Response response);
+
+  Options options_;
+  Work work_;
+  Observer observer_;
+  prim::TaskQueue queue_;
+  prim::ThreadPool pool_;
+  std::thread runner_;  ///< drives pool_.parallel_workers(serving loop)
+};
+
+}  // namespace trico::service

@@ -1,0 +1,232 @@
+#include "service/service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/clustering.hpp"
+#include "analysis/truss.hpp"
+#include "multigpu/multi_gpu.hpp"
+#include "outofcore/counter.hpp"
+
+namespace trico::service {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kCpuHybrid: return "cpu-hybrid";
+    case Backend::kGpu: return "gpu";
+    case Backend::kMultiGpu: return "multigpu";
+    case Backend::kOutOfCore: return "outofcore";
+    case Backend::kAuto: return "auto";
+  }
+  return "?";
+}
+
+const char* to_string(Operation op) {
+  switch (op) {
+    case Operation::kCount: return "count";
+    case Operation::kClustering: return "clustering";
+    case Operation::kTruss: return "truss";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejectedQueueFull: return "rejected-queue-full";
+    case Status::kDeadlineExpired: return "deadline-expired";
+    case Status::kCancelled: return "cancelled";
+    case Status::kFailed: return "failed";
+  }
+  return "?";
+}
+
+core::CountingOptions default_service_counting() {
+  core::CountingOptions options;
+  options.sim.sample_sms = 2;  // the bench harness's affordable sampling
+  options.host_threads = 1;    // workers, not requests, carry the parallelism
+  return options;
+}
+
+namespace {
+
+RouterOptions synced_router_options(const ServiceOptions& options) {
+  RouterOptions router = options.router;
+  router.sim_sample_sms = options.counting.sim.sample_sms;
+  if (router.memory_budget_bytes == 0) {
+    router.memory_budget_bytes = options.counting.memory_budget_bytes;
+  }
+  return router;
+}
+
+}  // namespace
+
+TriangleService::TriangleService(ServiceOptions options)
+    : options_(std::move(options)),
+      catalog_(options_.catalog),
+      router_(synced_router_options(options_)) {
+  scheduler_ = std::make_unique<RequestScheduler>(
+      options_.scheduler,
+      [this](const Request& request, ExecContext& ctx) {
+        return serve(request, ctx);
+      },
+      [this](const Response& response) { metrics_.record_response(response); });
+}
+
+Ticket TriangleService::submit(Request request) {
+  metrics_.record_submitted();
+  return scheduler_->submit(std::move(request));
+}
+
+Response TriangleService::execute(Request request) {
+  return submit(std::move(request)).wait();
+}
+
+MetricsSnapshot TriangleService::metrics() const {
+  MetricsSnapshot snapshot = metrics_.snapshot();
+  snapshot.catalog = catalog_.stats();
+  snapshot.queue_depth = scheduler_->queue_depth();
+  snapshot.queue_peak_depth = scheduler_->queue_peak_depth();
+  snapshot.queue_capacity = scheduler_->queue_capacity();
+  return snapshot;
+}
+
+void TriangleService::pause() { scheduler_->pause(); }
+void TriangleService::resume() { scheduler_->resume(); }
+
+Response TriangleService::run_backend(Backend backend,
+                                      const CatalogEntry& entry,
+                                      const RouteDecision& route,
+                                      ExecContext& ctx) {
+  core::CountingOptions counting = options_.counting;
+  counting.host_threads = ctx.pool.num_threads();
+  const simt::DeviceConfig& device = router_.options().device;
+
+  Response response;
+  response.backend = backend;
+  switch (backend) {
+    case Backend::kCpuHybrid: {
+      response.triangles = cpu::count_prepared(entry.prepared, ctx.pool);
+      break;
+    }
+    case Backend::kGpu: {
+      const core::GpuCountResult result =
+          core::count_triangles_gpu(*entry.edges, device, counting);
+      response.triangles = result.triangles;
+      response.modeled_device_ms = result.phases.total_ms();
+      // The pipeline's own degradation ladder (PR 1) surfaces as a degraded
+      // serve even when the backend itself did not change.
+      response.degraded =
+          result.robustness.degradation_rung != simt::DegradationRung::kFullGpu;
+      break;
+    }
+    case Backend::kMultiGpu: {
+      multigpu::MultiGpuCounter counter(
+          device, std::max(1u, router_.options().num_devices), counting);
+      const multigpu::MultiGpuResult result = counter.count(*entry.edges);
+      response.triangles = result.triangles;
+      response.modeled_device_ms = result.total_ms();
+      break;
+    }
+    case Backend::kOutOfCore: {
+      outofcore::OutOfCoreCounter counter(device, route.outofcore_colors, 1,
+                                          counting);
+      const outofcore::OutOfCoreResult result = counter.count(*entry.edges);
+      response.triangles = result.triangles;
+      response.modeled_device_ms = result.total_ms();
+      break;
+    }
+    case Backend::kAuto:
+      throw std::logic_error("run_backend: unrouted kAuto");
+  }
+  response.status = Status::kOk;
+  return response;
+}
+
+Response TriangleService::serve(const Request& request, ExecContext& ctx) {
+  Response response;
+  if (!request.graph) {
+    response.status = Status::kFailed;
+    response.reason = "request carries no graph";
+    return response;
+  }
+
+  // Memoized exact results short-circuit the whole pipeline — but only for
+  // kAuto requests; an explicit backend must actually run its tier.
+  const std::uint64_t key = catalog_.content_key(request.graph);
+  if (request.backend == Backend::kAuto) {
+    if (const auto cached = catalog_.find_result(key, request.op)) {
+      response.triangles = cached->triangles;
+      response.clustering = cached->clustering;
+      response.transitivity = cached->transitivity;
+      response.max_trussness = cached->max_trussness;
+      response.backend = cached->backend;
+      response.catalog_hit = true;
+      response.status = Status::kOk;
+      return response;
+    }
+  }
+  const auto memoize = [&](const Response& r) {
+    CachedResult result;
+    result.triangles = r.triangles;
+    result.clustering = r.clustering;
+    result.transitivity = r.transitivity;
+    result.max_trussness = r.max_trussness;
+    result.backend = r.backend;
+    catalog_.store_result(key, request.op, result);
+  };
+
+  const GraphCatalog::Acquired acquired =
+      catalog_.acquire(request.graph, ctx.pool);
+  const CatalogEntry& entry = *acquired.entry;
+
+  // The analysis operations run on the CPU tier (they consume the edge
+  // array, not the oriented CSR); routing applies to counting.
+  if (request.op == Operation::kClustering) {
+    response.clustering = analysis::global_clustering(*entry.edges);
+    response.transitivity = analysis::transitivity(*entry.edges);
+    response.backend = Backend::kCpuHybrid;
+    response.catalog_hit = acquired.hit;
+    response.status = Status::kOk;
+    memoize(response);
+    return response;
+  }
+  if (request.op == Operation::kTruss) {
+    const analysis::TrussDecomposition truss =
+        analysis::truss_decomposition(*entry.edges);
+    response.max_trussness = truss.max_trussness;
+    response.backend = Backend::kCpuHybrid;
+    response.catalog_hit = acquired.hit;
+    response.status = Status::kOk;
+    memoize(response);
+    return response;
+  }
+
+  const RouteDecision route = router_.route(entry.stats, acquired.hit, request);
+  std::ostringstream failures;
+  for (std::size_t rung = 0; rung < route.chain.size(); ++rung) {
+    const Backend backend = route.chain[rung];
+    try {
+      response = run_backend(backend, entry, route, ctx);
+      response.catalog_hit = acquired.hit;
+      if (rung > 0) {
+        response.degraded = true;
+        response.reason = "fell back after: " + failures.str();
+      }
+      memoize(response);
+      return response;
+    } catch (const std::exception& error) {
+      // A faulted tier (DeviceFault, out-of-memory task, ...) steps the
+      // request down the chain instead of failing it — the request-level
+      // degradation ladder.
+      failures << to_string(backend) << ": " << error.what() << "; ";
+    }
+  }
+  response = Response{};
+  response.catalog_hit = acquired.hit;
+  response.status = Status::kFailed;
+  response.reason = "every routed backend failed: " + failures.str();
+  return response;
+}
+
+}  // namespace trico::service

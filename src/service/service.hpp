@@ -1,0 +1,84 @@
+// TriangleService: the concurrent in-process triangle-analytics service.
+//
+// Wires the three pillars together (docs/service.md has the full design):
+//
+//   GraphCatalog ── preprocess once, serve many (content-hash keyed,
+//   │               LRU byte budget, stampede-protected)
+//   RequestScheduler ── bounded admission queue over prim primitives with
+//   │                   priorities, deadlines, cancellation, backpressure
+//   BackendRouter ── per-query cost-model routing across the four counting
+//                    tiers with a fallback chain (the request-level
+//                    degradation ladder)
+//
+// A request is served entirely on a scheduler worker: acquire the catalog
+// entry (cold requests pay — and share — the preprocess), route, then walk
+// the backend chain until one tier succeeds. Every terminal response lands
+// in the MetricsRegistry; metrics() returns a consistent snapshot with the
+// catalog and queue gauges attached.
+//
+// Thread-safety: submit()/execute()/metrics() are safe from any thread.
+// The CountingOptions handed to the device tiers are copied per request;
+// a fault_plan pointer inside them is shared mutable state and is only
+// meaningful with a single worker.
+
+#pragma once
+
+#include <memory>
+
+#include "core/gpu_forward.hpp"
+#include "service/catalog.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "service/router.hpp"
+#include "service/scheduler.hpp"
+
+namespace trico::service {
+
+/// Device-tier defaults for serving: SM sampling keeps simulated runs
+/// affordable, one host thread per worker avoids oversubscription.
+[[nodiscard]] core::CountingOptions default_service_counting();
+
+struct ServiceOptions {
+  RequestScheduler::Options scheduler{};
+  GraphCatalog::Options catalog{};
+  RouterOptions router{};
+  core::CountingOptions counting = default_service_counting();
+};
+
+class TriangleService {
+ public:
+  explicit TriangleService(ServiceOptions options = {});
+
+  /// Admits the request (or rejects it with backpressure) and returns the
+  /// async handle. Never blocks.
+  [[nodiscard]] Ticket submit(Request request);
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] Response execute(Request request);
+
+  /// Consistent point-in-time snapshot of every counter and gauge.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Gate the workers; used by tests and drains to stage the queue.
+  void pause();
+  void resume();
+
+  [[nodiscard]] GraphCatalog& catalog() { return catalog_; }
+  [[nodiscard]] const BackendRouter& router() const { return router_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  Response serve(const Request& request, ExecContext& ctx);
+  Response run_backend(Backend backend, const CatalogEntry& entry,
+                       const RouteDecision& route, ExecContext& ctx);
+
+  ServiceOptions options_;
+  GraphCatalog catalog_;
+  BackendRouter router_;
+  MetricsRegistry metrics_;
+  /// Declared last: its destructor drains the workers while the members
+  /// above are still alive.
+  std::unique_ptr<RequestScheduler> scheduler_;
+};
+
+}  // namespace trico::service

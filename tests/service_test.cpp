@@ -1,0 +1,589 @@
+// Tests for the triangle-analytics service layer (src/service/): catalog
+// caching and eviction, scheduler admission semantics (backpressure,
+// deadlines, cancellation, priorities), cost-model routing, and the full
+// service under concurrent mixed workloads with exact-count cross-checks
+// against the closed-form reference families.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/reference.hpp"
+#include "graph/stats.hpp"
+#include "prim/task_queue.hpp"
+#include "prim/thread_pool.hpp"
+#include "service/catalog.hpp"
+#include "service/request.hpp"
+#include "service/router.hpp"
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+#include "simt/fault.hpp"
+
+namespace trico::service {
+namespace {
+
+std::shared_ptr<const EdgeList> share(EdgeList edges) {
+  return std::make_shared<const EdgeList>(std::move(edges));
+}
+
+Request count_request(std::shared_ptr<const EdgeList> graph,
+                      Backend backend = Backend::kAuto) {
+  Request request;
+  request.graph = std::move(graph);
+  request.op = Operation::kCount;
+  request.backend = backend;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// prim::TaskQueue
+
+TEST(TaskQueueTest, BoundedRejectsWhenFull) {
+  prim::TaskQueue queue(2);
+  EXPECT_TRUE(queue.try_push([] {}));
+  EXPECT_TRUE(queue.try_push([] {}));
+  EXPECT_FALSE(queue.try_push([] {}));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.rejected(), 1u);
+}
+
+TEST(TaskQueueTest, PopsPriorityThenFifo) {
+  prim::TaskQueue queue(8);
+  std::vector<int> order;
+  ASSERT_TRUE(queue.try_push([&] { order.push_back(1); }, 0));
+  ASSERT_TRUE(queue.try_push([&] { order.push_back(2); }, 1));
+  ASSERT_TRUE(queue.try_push([&] { order.push_back(3); }, 0));
+  ASSERT_TRUE(queue.try_push([&] { order.push_back(4); }, 1));
+  while (queue.depth() > 0) {
+    auto task = queue.pop();
+    ASSERT_TRUE(static_cast<bool>(task));
+    task();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 1, 3}));
+}
+
+TEST(TaskQueueTest, CloseDrainsThenReturnsEmptyTask) {
+  prim::TaskQueue queue(4);
+  int ran = 0;
+  ASSERT_TRUE(queue.try_push([&] { ++ran; }));
+  queue.close();
+  EXPECT_FALSE(queue.try_push([&] { ++ran; }));  // no admission after close
+  auto task = queue.pop();
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(static_cast<bool>(queue.pop()));  // drained + closed
+}
+
+// ---------------------------------------------------------------------------
+// GraphCatalog
+
+TEST(CatalogTest, ContentHashIgnoresIdentityButNotContent) {
+  const gen::ReferenceGraph a = gen::complete(12);
+  const gen::ReferenceGraph b = gen::complete(12);
+  const gen::ReferenceGraph c = gen::complete(13);
+  EXPECT_EQ(GraphCatalog::content_hash(a.edges), GraphCatalog::content_hash(b.edges));
+  EXPECT_NE(GraphCatalog::content_hash(a.edges), GraphCatalog::content_hash(c.edges));
+}
+
+TEST(CatalogTest, SecondAcquireHits) {
+  prim::ThreadPool pool(1);
+  GraphCatalog catalog;
+  const auto graph = share(gen::complete(16).edges);
+  const auto first = catalog.acquire(graph, pool);
+  const auto second = catalog.acquire(graph, pool);
+  EXPECT_FALSE(first.hit);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.entry.get(), second.entry.get());  // shared artifacts
+  const CatalogStats stats = catalog.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(CatalogTest, ZeroBudgetDisablesCaching) {
+  prim::ThreadPool pool(1);
+  GraphCatalog::Options options;
+  options.byte_budget = 0;
+  GraphCatalog catalog(options);
+  const auto graph = share(gen::complete(16).edges);
+  const auto first = catalog.acquire(graph, pool);
+  const auto second = catalog.acquire(graph, pool);
+  EXPECT_FALSE(first.hit);
+  EXPECT_FALSE(second.hit);
+  EXPECT_NE(first.entry.get(), second.entry.get());
+  EXPECT_EQ(catalog.stats().builds, 2u);
+  EXPECT_EQ(catalog.stats().resident_entries, 0u);
+}
+
+TEST(CatalogTest, TinyBudgetEvictsLeastRecentlyUsed) {
+  prim::ThreadPool pool(1);
+  const auto a = share(gen::complete(20).edges);
+  const auto b = share(gen::complete(21).edges);
+
+  // Size one entry, then budget for ~1.5 of them: acquiring both must evict.
+  GraphCatalog sizing;
+  const std::uint64_t one = sizing.acquire(a, pool).entry->bytes;
+
+  GraphCatalog::Options options;
+  options.byte_budget = one + one / 2;
+  GraphCatalog catalog(options);
+  const auto entry_a = catalog.acquire(a, pool);
+  const auto entry_b = catalog.acquire(b, pool);
+  const CatalogStats stats = catalog.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.resident_bytes, options.byte_budget);
+  // The evicted entry stays usable while this test still holds it.
+  EXPECT_GT(entry_a.entry->prepared.oriented.num_vertices(), 0u);
+  // Re-acquiring the evicted graph is a miss again.
+  EXPECT_FALSE(catalog.acquire(a, pool).hit);
+}
+
+TEST(CatalogTest, ConcurrentAcquiresShareOneBuild) {
+  constexpr int kThreads = 8;
+  GraphCatalog catalog;
+  const auto graph = share(gen::windmill(6, 8).edges);
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const CatalogEntry>> entries(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      prim::ThreadPool pool(1);
+      entries[static_cast<std::size_t>(t)] = catalog.acquire(graph, pool).entry;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& entry : entries) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry.get(), entries.front().get());
+  }
+  EXPECT_EQ(catalog.stats().builds, 1u);
+}
+
+TEST(CatalogTest, MissingFileRaisesActionableError) {
+  try {
+    (void)GraphCatalog::load_graph_file("does-not-exist.trico");
+    FAIL() << "expected CatalogError";
+  } catch (const CatalogError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("does-not-exist.trico"), std::string::npos);
+    EXPECT_NE(what.find("bench"), std::string::npos);  // how to regenerate
+  }
+}
+
+TEST(CatalogTest, TruncatedFileRaisesNotCrashes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "trico_truncated_test.trico")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("TRIC", 4);  // far too short for any header
+  }
+  EXPECT_THROW((void)GraphCatalog::load_graph_file(path), CatalogError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// BackendRouter
+
+TEST(RouterTest, ChainAlwaysEndsAtCpuHybrid) {
+  BackendRouter router;
+  const GraphStats stats = compute_stats(gen::complete(32).edges);
+  for (const Backend backend :
+       {Backend::kAuto, Backend::kGpu, Backend::kMultiGpu, Backend::kOutOfCore,
+        Backend::kCpuHybrid}) {
+    Request request = count_request(nullptr, backend);
+    const RouteDecision decision = router.route(stats, false, request);
+    ASSERT_FALSE(decision.chain.empty());
+    EXPECT_EQ(decision.chain.back(), Backend::kCpuHybrid);
+  }
+}
+
+TEST(RouterTest, ExplicitBackendHonored) {
+  BackendRouter router;
+  const GraphStats stats = compute_stats(gen::complete(32).edges);
+  const RouteDecision decision =
+      router.route(stats, false, count_request(nullptr, Backend::kMultiGpu));
+  EXPECT_EQ(decision.chain.front(), Backend::kMultiGpu);
+}
+
+TEST(RouterTest, WallClockObjectivePrefersCpuOnWarmCatalog) {
+  // With warm artifacts the hybrid engine pays only the counting phase while
+  // every simulated tier pays per-step simulation overhead: wall-clock
+  // routing must keep the query on the CPU tier.
+  BackendRouter router;
+  const GraphStats stats = compute_stats(gen::complete(64).edges);
+  Request request = count_request(nullptr, Backend::kAuto);
+  request.objective = RouteObjective::kWallClock;
+  const RouteDecision decision = router.route(stats, true, request);
+  EXPECT_EQ(decision.chain.front(), Backend::kCpuHybrid);
+}
+
+TEST(RouterTest, ModeledDeviceObjectivePicksDeviceTier) {
+  BackendRouter router;
+  const GraphStats stats = compute_stats(gen::complete(64).edges);
+  Request request = count_request(nullptr, Backend::kAuto);
+  request.objective = RouteObjective::kModeledDevice;
+  const RouteDecision decision = router.route(stats, true, request);
+  EXPECT_NE(decision.chain.front(), Backend::kCpuHybrid);
+}
+
+TEST(RouterTest, MemoryConstrainedRoutesOutOfCoreFirst) {
+  RouterOptions options;
+  options.memory_budget_bytes = 1024;  // nothing fits on-device
+  BackendRouter router(options);
+  const GraphStats stats = compute_stats(gen::complete(64).edges);
+  Request request = count_request(nullptr, Backend::kAuto);
+  request.objective = RouteObjective::kModeledDevice;
+  const RouteDecision decision = router.route(stats, false, request);
+  EXPECT_EQ(decision.chain.front(), Backend::kOutOfCore);
+  EXPECT_GE(decision.outofcore_colors, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestScheduler (admission semantics, driven directly)
+
+RequestScheduler::Options small_scheduler(std::size_t capacity) {
+  RequestScheduler::Options options;
+  options.workers = 1;
+  options.queue_capacity = capacity;
+  return options;
+}
+
+Response ok_response() {
+  Response response;
+  response.status = Status::kOk;
+  return response;
+}
+
+TEST(SchedulerTest, QueueFullRejectsWithReason) {
+  RequestScheduler scheduler(small_scheduler(2),
+                             [](const Request&, ExecContext&) {
+                               return ok_response();
+                             });
+  scheduler.pause();
+  std::vector<Ticket> admitted;
+  Ticket rejected;
+  for (int i = 0; i < 8; ++i) {
+    Ticket ticket = scheduler.submit(count_request(share(gen::cycle(3).edges)));
+    if (ticket.done() && ticket.wait().status == Status::kRejectedQueueFull) {
+      rejected = ticket;
+    } else {
+      admitted.push_back(ticket);
+    }
+  }
+  ASSERT_TRUE(rejected.valid());
+  EXPECT_EQ(rejected.wait().status, Status::kRejectedQueueFull);
+  EXPECT_NE(rejected.wait().reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(admitted.size(), 2u);
+  scheduler.resume();
+  for (const Ticket& ticket : admitted) {
+    EXPECT_EQ(ticket.wait().status, Status::kOk);
+  }
+}
+
+TEST(SchedulerTest, DeadlineExpiredAtDequeue) {
+  RequestScheduler scheduler(small_scheduler(4),
+                             [](const Request&, ExecContext&) {
+                               return ok_response();
+                             });
+  scheduler.pause();
+  Request request = count_request(share(gen::cycle(3).edges));
+  request.deadline_ms = 0.01;
+  Ticket expiring = scheduler.submit(request);
+  Ticket healthy = scheduler.submit(count_request(share(gen::cycle(3).edges)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler.resume();
+  EXPECT_EQ(expiring.wait().status, Status::kDeadlineExpired);
+  EXPECT_GE(expiring.wait().queue_ms, 0.01);
+  EXPECT_EQ(healthy.wait().status, Status::kOk);
+}
+
+TEST(SchedulerTest, CancelledWhileQueuedNeverExecutes) {
+  std::atomic<int> executed{0};
+  RequestScheduler scheduler(small_scheduler(4),
+                             [&](const Request&, ExecContext&) {
+                               executed.fetch_add(1);
+                               return ok_response();
+                             });
+  scheduler.pause();
+  Ticket keep = scheduler.submit(count_request(share(gen::cycle(3).edges)));
+  Ticket dropped = scheduler.submit(count_request(share(gen::cycle(3).edges)));
+  EXPECT_TRUE(dropped.cancel());
+  scheduler.resume();
+  EXPECT_EQ(dropped.wait().status, Status::kCancelled);
+  EXPECT_EQ(keep.wait().status, Status::kOk);
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(SchedulerTest, PriorityOrdersExecution) {
+  std::mutex mutex;
+  std::vector<Priority> order;
+  RequestScheduler scheduler(small_scheduler(8),
+                             [&](const Request& request, ExecContext&) {
+                               std::lock_guard lock(mutex);
+                               order.push_back(request.priority);
+                               return ok_response();
+                             });
+  scheduler.pause();
+  std::vector<Ticket> tickets;
+  for (const Priority priority :
+       {Priority::kLow, Priority::kNormal, Priority::kHigh, Priority::kNormal}) {
+    Request request = count_request(share(gen::cycle(3).edges));
+    request.priority = priority;
+    tickets.push_back(scheduler.submit(request));
+  }
+  scheduler.resume();
+  for (const Ticket& ticket : tickets) (void)ticket.wait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], Priority::kHigh);
+  EXPECT_EQ(order[1], Priority::kNormal);
+  EXPECT_EQ(order[2], Priority::kNormal);
+  EXPECT_EQ(order[3], Priority::kLow);
+}
+
+TEST(SchedulerTest, WorkExceptionBecomesFailedResponse) {
+  RequestScheduler scheduler(small_scheduler(4),
+                             [](const Request&, ExecContext&) -> Response {
+                               throw std::runtime_error("backend exploded");
+                             });
+  const Response response =
+      scheduler.submit(count_request(share(gen::cycle(3).edges))).wait();
+  EXPECT_EQ(response.status, Status::kFailed);
+  EXPECT_NE(response.reason.find("backend exploded"), std::string::npos);
+}
+
+TEST(SchedulerTest, DestructorDrainsAdmittedRequests) {
+  std::atomic<int> executed{0};
+  std::vector<Ticket> tickets;
+  {
+    RequestScheduler scheduler(small_scheduler(16),
+                               [&](const Request&, ExecContext&) {
+                                 executed.fetch_add(1);
+                                 return ok_response();
+                               });
+    scheduler.pause();
+    for (int i = 0; i < 6; ++i) {
+      tickets.push_back(
+          scheduler.submit(count_request(share(gen::cycle(3).edges))));
+    }
+    scheduler.resume();
+  }  // destructor joins after draining
+  EXPECT_EQ(executed.load(), 6);
+  for (const Ticket& ticket : tickets) {
+    EXPECT_EQ(ticket.wait().status, Status::kOk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TriangleService end-to-end
+
+ServiceOptions quiet_service(std::size_t workers = 2,
+                             std::size_t capacity = 256) {
+  ServiceOptions options;
+  options.scheduler.workers = workers;
+  options.scheduler.queue_capacity = capacity;
+  return options;
+}
+
+TEST(ServiceTest, ExactCountOnEveryExplicitBackend) {
+  TriangleService service(quiet_service(1));
+  const gen::ReferenceGraph reference = gen::windmill(5, 4);
+  const auto graph = share(reference.edges);
+  for (const Backend backend : {Backend::kCpuHybrid, Backend::kGpu,
+                                Backend::kMultiGpu, Backend::kOutOfCore}) {
+    const Response response = service.execute(count_request(graph, backend));
+    ASSERT_EQ(response.status, Status::kOk) << to_string(backend)
+                                            << ": " << response.reason;
+    EXPECT_EQ(response.triangles, reference.expected_triangles)
+        << to_string(backend);
+    EXPECT_EQ(response.backend, backend);
+  }
+  // Device tiers report modeled time; every request after the first hit.
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 4u);
+  EXPECT_EQ(metrics.catalog.builds, 1u);
+  EXPECT_GT(metrics.catalog.hit_rate(), 0.5);
+}
+
+TEST(ServiceTest, ClusteringAndTrussOperations) {
+  TriangleService service(quiet_service(1));
+  const auto k5 = share(gen::complete(5).edges);
+
+  Request clustering = count_request(k5);
+  clustering.op = Operation::kClustering;
+  const Response c = service.execute(clustering);
+  ASSERT_EQ(c.status, Status::kOk) << c.reason;
+  EXPECT_DOUBLE_EQ(c.clustering, 1.0);    // K_5: every wedge closes
+  EXPECT_DOUBLE_EQ(c.transitivity, 1.0);
+
+  Request truss = count_request(k5);
+  truss.op = Operation::kTruss;
+  const Response t = service.execute(truss);
+  ASSERT_EQ(t.status, Status::kOk) << t.reason;
+  EXPECT_EQ(t.max_trussness, 5u);  // K_5 is a 5-truss
+}
+
+TEST(ServiceTest, FaultedGpuBackendFallsDownTheChain) {
+  // A persistent kernel-launch fault defeats every rung of the pipeline's
+  // internal ladder; the *service* chain then steps the request down to the
+  // CPU tier and reports the degradation instead of failing the request.
+  simt::FaultPlan plan;
+  plan.inject({simt::FaultKind::kDeviceLost, simt::FaultSite::kKernel,
+               /*device=*/0, /*occurrence=*/1, /*repeats=*/1000});
+  ServiceOptions options = quiet_service(1);
+  options.counting.fault_plan = &plan;
+  options.counting.retry.max_attempts = 1;
+  options.counting.retry.backoff_base_ms = 0;
+  TriangleService service(options);
+
+  const gen::ReferenceGraph reference = gen::complete(12);
+  const Response response =
+      service.execute(count_request(share(reference.edges), Backend::kGpu));
+  ASSERT_EQ(response.status, Status::kOk) << response.reason;
+  EXPECT_EQ(response.triangles, reference.expected_triangles);
+  EXPECT_NE(response.backend, Backend::kGpu);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_NE(response.reason.find("fell back"), std::string::npos);
+  EXPECT_GE(service.metrics().fallbacks, 1u);
+}
+
+TEST(ServiceTest, ConcurrentClientsGetExactCounts) {
+  // The acceptance workload: >= 8 client threads, >= 3 distinct graphs,
+  // 1000 requests total, every count checked against its closed form.
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 125;
+
+  const std::vector<gen::ReferenceGraph> references = {
+      gen::complete(16), gen::windmill(5, 6), gen::clique_ring(6, 5),
+      gen::disjoint_triangles(40)};
+  std::vector<std::shared_ptr<const EdgeList>> graphs;
+  graphs.reserve(references.size());
+  for (const auto& reference : references) graphs.push_back(share(reference.edges));
+
+  TriangleService service(quiet_service(2, 64));
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::size_t g =
+            static_cast<std::size_t>(c + i) % references.size();
+        Request request = count_request(graphs[g]);
+        // Mix explicit CPU picks into the auto-routed stream.
+        if (i % 3 == 0) request.backend = Backend::kCpuHybrid;
+        const Response response = service.execute(std::move(request));
+        if (response.status != Status::kOk) {
+          failures.fetch_add(1);
+        } else if (response.triangles != references[g].expected_triangles) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.submitted, static_cast<std::uint64_t>(kClients) *
+                                   kRequestsPerClient);
+  EXPECT_EQ(metrics.completed, metrics.submitted);
+  EXPECT_EQ(metrics.catalog.builds, references.size());
+  EXPECT_GT(metrics.catalog.hit_rate(), 0.9);
+  EXPECT_EQ(metrics.queue_depth, 0u);
+}
+
+TEST(ServiceTest, MemoizedResultServesRepeatAutoQueries) {
+  TriangleService service(quiet_service(1));
+  const gen::ReferenceGraph reference = gen::clique_ring(5, 4);
+  const auto graph = share(reference.edges);
+  const Response first = service.execute(count_request(graph));
+  const Response second = service.execute(count_request(graph));
+  ASSERT_EQ(first.status, Status::kOk);
+  ASSERT_EQ(second.status, Status::kOk);
+  EXPECT_EQ(first.triangles, reference.expected_triangles);
+  EXPECT_EQ(second.triangles, reference.expected_triangles);
+  EXPECT_TRUE(second.catalog_hit);
+  EXPECT_GE(service.metrics().catalog.result_hits, 1u);
+
+  // An explicit-backend repeat must run its tier, not the memo.
+  const Response explicit_gpu =
+      service.execute(count_request(graph, Backend::kGpu));
+  ASSERT_EQ(explicit_gpu.status, Status::kOk);
+  EXPECT_EQ(explicit_gpu.backend, Backend::kGpu);
+  EXPECT_GE(explicit_gpu.modeled_device_ms, 0.0);
+}
+
+TEST(ServiceTest, ResultCacheCanBeDisabled) {
+  ServiceOptions options = quiet_service(1);
+  options.catalog.cache_results = false;
+  TriangleService service(options);
+  const auto graph = share(gen::complete(12).edges);
+  (void)service.execute(count_request(graph));
+  (void)service.execute(count_request(graph));
+  EXPECT_EQ(service.metrics().catalog.result_hits, 0u);
+  EXPECT_EQ(service.metrics().catalog.hits, 1u);  // artifacts still shared
+}
+
+TEST(ServiceTest, MetricsSnapshotIsConsistent) {
+  TriangleService service(quiet_service(1));
+  const auto graph = share(gen::complete(10).edges);
+  for (int i = 0; i < 5; ++i) {
+    (void)service.execute(count_request(graph, Backend::kCpuHybrid));
+  }
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.submitted, 5u);
+  EXPECT_EQ(metrics.completed, 5u);
+  EXPECT_EQ(metrics.served_by_backend[static_cast<std::size_t>(
+                Backend::kCpuHybrid)],
+            5u);
+  EXPECT_EQ(metrics.total_latency.count, 5u);
+  EXPECT_GE(metrics.total_latency.mean_ms(), 0.0);
+  EXPECT_FALSE(metrics.to_string().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bench-cache reuse: served through the catalog's file loader when the
+// prebuilt graphs exist (they are built by any suite bench run).
+
+TEST(ServiceTest, ServesPrebuiltBenchCacheGraph) {
+  const char* candidates[] = {"trico_bench_cache", "../trico_bench_cache",
+                              "../../trico_bench_cache"};
+  std::string found;
+  for (const char* dir : candidates) {
+    if (std::filesystem::exists(std::filesystem::path(dir) /
+                                "kronecker-16.trico")) {
+      found = dir;
+      break;
+    }
+  }
+  if (found.empty()) {
+    GTEST_SKIP() << "trico_bench_cache not present; run a suite bench first";
+  }
+  const auto graph = share(
+      GraphCatalog::load_graph_file(found + "/kronecker-16.trico"));
+  TriangleService service(quiet_service(1));
+  const Response first = service.execute(count_request(graph));
+  const Response second = service.execute(count_request(graph));
+  ASSERT_EQ(first.status, Status::kOk) << first.reason;
+  ASSERT_EQ(second.status, Status::kOk) << second.reason;
+  EXPECT_EQ(first.triangles, second.triangles);
+  EXPECT_GT(first.triangles, 0u);
+  EXPECT_FALSE(first.catalog_hit);
+  EXPECT_TRUE(second.catalog_hit);
+}
+
+}  // namespace
+}  // namespace trico::service
