@@ -18,14 +18,31 @@
 // alongside so the artifact-only amortization stays visible. Results go to
 // BENCH_service.json.
 //
+// A second mode, --overload, measures *tenant isolation* instead of
+// throughput: one hot tenant floods the service with `--hot-tenant-share`
+// of the offered load while the remaining tenants trickle paced requests
+// with deadlines. The service runs with per-tenant queue caps and fair
+// dequeue; the scenario fails (exit 1) if any light-tenant request is
+// starved — anything but an on-time kOk — and reports per-tenant p50/p99
+// and rejection counts into BENCH_service.json. This is the CI overload
+// smoke job's harness.
+//
 // Flags:
 //   --cache DIR     prebuilt graph directory (default: trico_bench_cache)
 //   --requests N    total requests per measurement (default: 24)
 //   --smoke         tiny generated graphs, no disk cache — the CI config
+//   --overload      run the tenant-isolation overload scenario instead
+//   --tenants N     overload: total tenants incl. the hot one (default: 8)
+//   --hot-tenant-share S  overload: hot tenant's share of offered load
+//                         (default: 0.9, i.e. ~10x each light tenant)
+//   --duration-ms D overload: measurement length (default: 5000)
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -91,12 +108,147 @@ void prewarm(service::TriangleService& svc, const std::vector<GraphPtr>& graphs)
   }
 }
 
+/// The --overload scenario: one hot tenant floods, N-1 light tenants
+/// trickle with deadlines. Returns the process exit code (1 = a light
+/// tenant was starved past its deadline).
+int run_overload(const std::vector<GraphPtr>& graphs, int tenants,
+                 double hot_share, double duration_ms) {
+  constexpr double kLightIntervalMs = 10.0;  ///< each light tenant's pacing
+  constexpr double kLightDeadlineMs = 1000.0;
+  const int lights = tenants > 1 ? tenants - 1 : 1;
+  // Offered-load accounting: each light tenant submits 1/interval req/ms,
+  // the hot tenant submits share/(1-share) times the light total.
+  const double light_total_per_ms =
+      static_cast<double>(lights) / kLightIntervalMs;
+  const double hot_per_ms = hot_share >= 1.0
+                                ? 100.0 * light_total_per_ms
+                                : hot_share / (1.0 - hot_share) *
+                                      light_total_per_ms;
+  const double hot_interval_ms = 1.0 / hot_per_ms;
+
+  service::ServiceOptions options;
+  options.scheduler.workers = 2;
+  options.scheduler.queue_capacity = 64;
+  options.scheduler.per_tenant_queue_cap = 16;
+  options.scheduler.watchdog_interval_ms = 2.0;
+  options.scheduler.max_execution_ms = 10'000.0;
+  service::TriangleService svc(options);
+  prewarm(svc, graphs);
+
+  std::atomic<bool> stop{false};
+  std::uint64_t hot_submitted = 0;
+  std::thread hot([&] {
+    util::Timer pace;
+    while (!stop.load(std::memory_order_relaxed)) {
+      service::Request request;
+      request.graph = graphs[hot_submitted % graphs.size()];
+      request.backend = service::Backend::kGpu;  // the expensive tier
+      request.tenant_id = "hot";
+      service::Ticket ticket = svc.submit(std::move(request));
+      ++hot_submitted;
+      const bool rejected =
+          ticket.done() &&
+          ticket.wait().status == service::Status::kRejectedQueueFull;
+      // Pace to the offered rate; on rejection ease off a little so the
+      // flood saturates the cap without drowning the submit path itself.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          rejected ? hot_interval_ms * 4 : hot_interval_ms));
+    }
+  });
+
+  std::vector<std::thread> light_threads;
+  std::vector<std::uint64_t> starved(static_cast<std::size_t>(lights), 0);
+  std::mutex print_mutex;
+  for (int t = 0; t < lights; ++t) {
+    light_threads.emplace_back([&, t] {
+      util::Timer clock;
+      while (clock.elapsed_ms() < duration_ms) {
+        service::Request request;
+        request.graph = graphs[static_cast<std::size_t>(t) % graphs.size()];
+        request.tenant_id = "light-" + std::to_string(t);
+        request.deadline_ms = kLightDeadlineMs;
+        const service::Response response = svc.execute(std::move(request));
+        if (response.status != service::Status::kOk) {
+          ++starved[static_cast<std::size_t>(t)];
+          std::lock_guard lock(print_mutex);
+          std::cerr << "light-" << t << " starved: "
+                    << service::to_string(response.status) << " ("
+                    << response.reason << ")\n";
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(kLightIntervalMs));
+      }
+    });
+  }
+  for (std::thread& thread : light_threads) thread.join();
+  stop.store(true);
+  hot.join();
+
+  const service::MetricsSnapshot metrics = svc.metrics();
+  util::Table table(
+      {"tenant", "submitted", "ok", "rejected", "expired", "p50 ms", "p99 ms"});
+  bench::Json tenant_rows = bench::Json::array();
+  std::uint64_t total_starved = 0;
+  for (const std::uint64_t s : starved) total_starved += s;
+  for (const auto& [raw_id, slice] : metrics.tenants) {
+    const std::string id = raw_id.empty() ? "(default)" : raw_id;
+    const double p50 = slice.total_latency.quantile_upper_bound_ms(0.5);
+    const double p99 = slice.total_latency.quantile_upper_bound_ms(0.99);
+    table.row()
+        .cell(id)
+        .cell(slice.submitted)
+        .cell(slice.ok)
+        .cell(slice.rejected_queue_full)
+        .cell(slice.deadline_expired)
+        .cell(p50, 3)
+        .cell(p99, 3);
+    tenant_rows.push(bench::Json::object()
+                         .set("tenant", id)
+                         .set("submitted", slice.submitted)
+                         .set("ok", slice.ok)
+                         .set("rejected_queue_full", slice.rejected_queue_full)
+                         .set("deadline_expired", slice.deadline_expired)
+                         .set("p50_ms", p50)
+                         .set("p99_ms", p99));
+  }
+  table.print(std::cout);
+  const std::uint64_t hot_rejected =
+      metrics.tenants.count("hot")
+          ? metrics.tenants.at("hot").rejected_queue_full
+          : 0;
+  std::cout << "hot tenant: " << hot_submitted << " submitted, "
+            << hot_rejected << " rejected at the tenant cap\n"
+            << "light tenants starved past deadline: " << total_starved
+            << " (target 0)\n";
+
+  bench::Json payload =
+      bench::Json::object()
+          .set("experiment", "E22-service-overload")
+          .set("tenants", static_cast<std::uint64_t>(lights) + 1)
+          .set("hot_tenant_share", hot_share)
+          .set("duration_ms", duration_ms)
+          .set("light_starved", total_starved)
+          .set("hot_rejected_queue_full", hot_rejected)
+          .set("per_tenant", std::move(tenant_rows));
+  bench::write_bench_report("service", payload);
+  if (total_starved > 0) {
+    std::cerr << "FAIL: " << total_starved
+              << " light-tenant request(s) starved past deadline\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string cache_dir = "trico_bench_cache";
   int total_requests = 24;
   bool smoke = false;
+  bool overload = false;
+  int tenants = 8;
+  double hot_share = 0.9;
+  double duration_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache_dir = argv[++i];
@@ -104,6 +256,14 @@ int main(int argc, char** argv) {
       total_requests = std::stoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hot-tenant-share") == 0 && i + 1 < argc) {
+      hot_share = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::stod(argv[++i]);
     }
   }
 
@@ -129,6 +289,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (overload) return run_overload(graphs, tenants, hot_share, duration_ms);
 
   util::Table table({"clients", "cold req/s", "warm-art req/s", "warm req/s",
                      "warm/cold"});

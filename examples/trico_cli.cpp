@@ -17,15 +17,19 @@
 //   --stats         print graph statistics before counting
 //
 // Batch mode drives the triangle-analytics service (src/service/) over a
-// query script: one query per line, `<graph-spec> <op>`, where graph-spec
-// is a file path (*.trico loads as binary, anything else as SNAP text) or
-// `rmat:<scale>`, and op is count | clustering | truss (default count).
-// '#' starts a comment. Every query prints one result line with its
-// latency; the run ends with the service MetricsSnapshot.
+// query script: one query per line, `[tenant:<id>] <graph-spec> <op>`,
+// where the optional leading `tenant:<id>` token names the submitting
+// tenant (per-tenant queue caps, fair dequeue, per-tenant metrics slice),
+// graph-spec is a file path (*.trico loads as binary, anything else as
+// SNAP text) or `rmat:<scale>`, and op is count | clustering | truss
+// (default count). '#' starts a comment. Every query prints one result
+// line with its latency; the run ends with the service MetricsSnapshot,
+// including one slice per tenant named in the script.
 //
 // Batch options:
 //   --workers N     scheduler workers            (default: 2)
 //   --queue N       admission-queue capacity     (default: 256)
+//   --tenant-cap N  per-tenant queue cap; 0 = off (default: 0)
 //   --backend B     cpu | gpu | multigpu | outofcore | auto (default: auto)
 //   --objective O   wall | modeled               (default: wall)
 //   --catalog-mb N  catalog byte budget in MiB; 0 disables (default: 1024)
@@ -62,9 +66,9 @@ using namespace trico;
                "       [--clustering] [--stats] (<graph-file> | --rmat "
                "<scale>)\n"
                "       " << argv0
-            << " batch [--workers N] [--queue N] [--backend B]\n"
-               "       [--objective O] [--catalog-mb N] [--device D] "
-               "<script-file>\n";
+            << " batch [--workers N] [--queue N] [--tenant-cap N]\n"
+               "       [--backend B] [--objective O] [--catalog-mb N] "
+               "[--device D] <script-file>\n";
   std::exit(2);
 }
 
@@ -106,11 +110,12 @@ EdgeList load_spec(const std::string& spec) {
 
 struct BatchQuery {
   std::string spec;
+  std::string tenant;  ///< empty = the anonymous default tenant
   service::Operation op = service::Operation::kCount;
 };
 
 int run_batch(int argc, char** argv) {
-  std::size_t workers = 2, queue = 256;
+  std::size_t workers = 2, queue = 256, tenant_cap = 0;
   std::uint64_t catalog_mb = 1024;
   service::Backend backend = service::Backend::kAuto;
   service::RouteObjective objective = service::RouteObjective::kWallClock;
@@ -127,6 +132,8 @@ int run_batch(int argc, char** argv) {
       workers = std::stoul(next());
     } else if (arg == "--queue") {
       queue = std::stoul(next());
+    } else if (arg == "--tenant-cap") {
+      tenant_cap = std::stoul(next());
     } else if (arg == "--backend") {
       backend = parse_backend(next());
     } else if (arg == "--objective") {
@@ -166,6 +173,10 @@ int run_batch(int argc, char** argv) {
     std::istringstream fields(line);
     BatchQuery query;
     if (!(fields >> query.spec)) continue;  // blank / comment-only line
+    if (query.spec.rfind("tenant:", 0) == 0) {
+      query.tenant = query.spec.substr(7);
+      if (!(fields >> query.spec)) continue;  // tenant prefix, no query
+    }
     std::string op;
     if (fields >> op) query.op = parse_operation(op);
     queries.push_back(std::move(query));
@@ -182,6 +193,7 @@ int run_batch(int argc, char** argv) {
   service::ServiceOptions options;
   options.scheduler.workers = workers;
   options.scheduler.queue_capacity = queue;
+  options.scheduler.per_tenant_queue_cap = tenant_cap;
   options.catalog.byte_budget = catalog_mb << 20;
   options.router.device = parse_device(device_name);
   service::TriangleService svc(options);
@@ -195,11 +207,15 @@ int run_batch(int argc, char** argv) {
     request.op = query.op;
     request.backend = backend;
     request.objective = objective;
+    request.tenant_id = query.tenant;
     tickets.push_back(svc.submit(request));
   }
   int failed = 0;
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     const service::Response& r = tickets[i].wait();
+    if (!queries[i].tenant.empty()) {
+      std::cout << "tenant:" << queries[i].tenant << " ";
+    }
     std::cout << queries[i].spec << " " << to_string(queries[i].op) << " "
               << to_string(r.status);
     if (r.status == service::Status::kOk) {

@@ -224,7 +224,8 @@ std::uint64_t PreparedGraph::byte_size() const {
 }
 
 TriangleCount count_prepared(const PreparedGraph& graph,
-                             prim::ThreadPool& pool, CountingStats* stats) {
+                             prim::ThreadPool& pool, CountingStats* stats,
+                             const util::CancelToken* cancel) {
   const Csr& oriented = graph.oriented;
   const BitmapIndex& bitmaps = graph.bitmaps;
   const EngineOptions& options = graph.options;
@@ -247,6 +248,9 @@ TriangleCount count_prepared(const PreparedGraph& graph,
                                  : prim::dynamic_chunk(n, nw);
   prim::parallel_chunks_dynamic(
       pool, 0, n, chunk, [&](std::size_t w, std::size_t lo, std::size_t hi) {
+        // Cancellation poll at chunk granularity: remaining chunks drain as
+        // no-ops and the throw happens below on the calling thread.
+        if (cancel != nullptr && cancel->cancelled()) return;
         WorkerAcc& a = acc[w];
         for (VertexId u = static_cast<VertexId>(lo); u < hi; ++u) {
           const auto adj_u = oriented.neighbors(u);
@@ -349,6 +353,8 @@ TriangleCount count_prepared(const PreparedGraph& graph,
           }
         }
       });
+
+  if (cancel != nullptr) cancel->throw_if_cancelled();
 
   TriangleCount total = 0;
   CountingStats folded;

@@ -37,6 +37,7 @@
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "prim/thread_pool.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::cpu {
 
@@ -168,10 +169,14 @@ struct EngineResult {
 
 /// Counting phase only, over a prepared graph, with dynamic chunked
 /// scheduling. Exact for every strategy; `stats` (optional) receives the
-/// per-strategy dispatch counts and the phase wall clock.
-[[nodiscard]] TriangleCount count_prepared(const PreparedGraph& graph,
-                                           prim::ThreadPool& pool,
-                                           CountingStats* stats = nullptr);
+/// per-strategy dispatch counts and the phase wall clock. `cancel`
+/// (optional) is polled at chunk granularity: a cancelled run drains its
+/// parallel region, then throws util::OperationCancelled from the calling
+/// thread instead of returning a partial count.
+[[nodiscard]] TriangleCount count_prepared(
+    const PreparedGraph& graph, prim::ThreadPool& pool,
+    CountingStats* stats = nullptr,
+    const util::CancelToken* cancel = nullptr);
 
 /// End-to-end adaptive hybrid count: prepare + count.
 [[nodiscard]] EngineResult count_engine(const EdgeList& edges,

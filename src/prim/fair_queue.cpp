@@ -1,0 +1,151 @@
+#include "prim/fair_queue.hpp"
+
+#include <algorithm>
+
+namespace trico::prim {
+
+namespace {
+
+// Weights are clamped so a pathological weight can neither starve the ring
+// (a near-zero weight would make pop() loop for many passes before the key
+// accrues one credit) nor monopolize it.
+constexpr double kMinWeight = 1.0 / 64.0;
+constexpr double kMaxWeight = 64.0;
+
+double clamp_weight(double weight) {
+  return std::clamp(weight, kMinWeight, kMaxWeight);
+}
+
+}  // namespace
+
+FairQueue::FairQueue(Options options)
+    : capacity_(options.capacity == 0 ? 1 : options.capacity),
+      per_key_cap_(options.per_key_cap),
+      default_weight_(clamp_weight(options.default_weight)) {}
+
+FairQueue::PushResult FairQueue::try_push(Task task, const std::string& key,
+                                          int priority, double weight) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) {
+      ++rejected_;
+      return PushResult::kClosed;
+    }
+    if (total_ >= capacity_) {
+      ++rejected_;
+      return PushResult::kQueueFull;
+    }
+    auto [it, inserted] = tenants_.try_emplace(key);
+    Tenant& tenant = it->second;
+    if (inserted) tenant.weight = default_weight_;
+    if (weight > 0.0) tenant.weight = clamp_weight(weight);
+    if (per_key_cap_ > 0 && tenant.items.size() >= per_key_cap_) {
+      ++rejected_;
+      return PushResult::kTenantFull;
+    }
+    if (tenant.items.empty()) ring_.push_back(key);
+    tenant.items.push(Item{priority, next_seq_++, std::move(task)});
+    ++total_;
+    peak_depth_ = std::max(peak_depth_, total_);
+  }
+  consumer_cv_.notify_one();
+  return PushResult::kOk;
+}
+
+FairQueue::Task FairQueue::pop_locked() {
+  // Deficit round robin: the cursor hands each visited key `weight` credits
+  // (at most once per visit) and a key with a full credit is served one
+  // task. Every key in the ring has queued tasks (the push/pop invariant),
+  // so the walk terminates within ~1/kMinWeight passes.
+  for (;;) {
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    Tenant& tenant = tenants_[ring_[cursor_]];
+    if (tenant.deficit < 1.0) tenant.deficit += tenant.weight;
+    if (tenant.deficit >= 1.0) {
+      tenant.deficit -= 1.0;
+      // priority_queue::top() is const; move the task out via const_cast
+      // (safe: popped immediately under the lock).
+      Task task = std::move(const_cast<Item&>(tenant.items.top()).task);
+      tenant.items.pop();
+      --total_;
+      if (tenant.items.empty()) {
+        // An inactive key loses its credit (standard DRR), so a tenant
+        // cannot bank service while idle and burst past its share later.
+        tenant.deficit = 0.0;
+        ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+      } else if (tenant.deficit < 1.0) {
+        ++cursor_;
+      }
+      return task;
+    }
+    ++cursor_;
+  }
+}
+
+FairQueue::Task FairQueue::pop() {
+  std::unique_lock lock(mutex_);
+  consumer_cv_.wait(lock, [&] { return closed_ || (total_ > 0 && !paused_); });
+  if (total_ == 0) return {};  // closed and drained
+  return pop_locked();
+}
+
+void FairQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    paused_ = false;
+  }
+  consumer_cv_.notify_all();
+}
+
+void FairQueue::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void FairQueue::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  consumer_cv_.notify_all();
+}
+
+std::size_t FairQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::size_t FairQueue::depth(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(key);
+  return it == tenants_.end() ? 0 : it->second.items.size();
+}
+
+std::size_t FairQueue::peak_depth() const {
+  std::lock_guard lock(mutex_);
+  return peak_depth_;
+}
+
+std::uint64_t FairQueue::rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+bool FairQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::vector<std::pair<std::string, std::size_t>> FairQueue::depths() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [key, tenant] : tenants_) {
+    if (!tenant.items.empty()) out.emplace_back(key, tenant.items.size());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace trico::prim

@@ -1,0 +1,135 @@
+// A bounded, multi-tenant fair task queue.
+//
+// This is TaskQueue's successor as the admission substrate of the service
+// layer's RequestScheduler: producers try_push closures under a string key
+// (the tenant), and consumers pop them under weighted deficit-round-robin
+// across the keys — each active key earns `weight` credits per scheduling
+// visit and spends one credit per dequeued task, so a tenant's long-run
+// service share is proportional to its weight no matter how many tasks it
+// has queued. Within one key, tasks pop (priority desc, FIFO-within-
+// priority), exactly like TaskQueue.
+//
+// Two admission bounds protect the queue:
+//  * a global capacity — the overall admission valve, and
+//  * a per-key cap — one heavy tenant can fill at most its own cap, never
+//    the whole queue, so light tenants always find admission room.
+// try_push distinguishes the two rejections (kQueueFull vs kTenantFull) so
+// the service can put the right reason in the backpressure response.
+//
+// pause()/resume()/close() follow TaskQueue's semantics: pause gates
+// consumers only, close stops admission and lets consumers drain (also
+// clearing any pause so a paused queue cannot deadlock shutdown).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace trico::prim {
+
+/// Bounded MPMC queue of closures, fair across string keys (tenants) via
+/// weighted deficit round robin, priority-ordered within a key.
+class FairQueue {
+ public:
+  using Task = std::function<void()>;
+
+  struct Options {
+    std::size_t capacity = 64;   ///< global admission bound
+    /// Per-key admission bound; 0 = no separate bound (the global capacity
+    /// is the only limit).
+    std::size_t per_key_cap = 0;
+    /// Credit share of keys try_push never named with an explicit weight.
+    double default_weight = 1.0;
+  };
+
+  /// Admission outcome of try_push.
+  enum class PushResult : std::uint8_t {
+    kOk,
+    kQueueFull,   ///< global capacity reached
+    kTenantFull,  ///< this key's cap reached (queue may have room)
+    kClosed,
+  };
+
+  explicit FairQueue(Options options);
+
+  FairQueue(const FairQueue&) = delete;
+  FairQueue& operator=(const FairQueue&) = delete;
+
+  /// Enqueues `task` under `key` unless closed, the queue is full, or the
+  /// key's cap is reached. Never blocks. `weight` (> 0) updates the key's
+  /// round-robin share (last push wins); pass 0 to keep the current/default.
+  PushResult try_push(Task task, const std::string& key, int priority = 0,
+                      double weight = 0.0);
+
+  /// Blocks until a task is available (and the queue is not paused), then
+  /// returns the next task under deficit round robin. Returns an empty
+  /// function once the queue is closed *and* drained.
+  [[nodiscard]] Task pop();
+
+  /// Stops accepting pushes; consumers drain, then blocked pops return
+  /// empty. Clears any pause.
+  void close();
+
+  /// Consumers block in pop() while paused (producers are unaffected).
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t depth() const;       ///< tasks queued, all keys
+  [[nodiscard]] std::size_t depth(const std::string& key) const;
+  [[nodiscard]] std::size_t peak_depth() const;  ///< global high-water mark
+  [[nodiscard]] std::uint64_t rejected() const;  ///< all try_push refusals
+  [[nodiscard]] bool closed() const;
+
+  /// Point-in-time (key, depth) gauges for every key with queued tasks.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> depths() const;
+
+ private:
+  struct Item {
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< tie-break: lower seq (earlier push) first
+    Task task;
+  };
+  struct ItemOrder {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+  struct Tenant {
+    std::priority_queue<Item, std::vector<Item>, ItemOrder> items;
+    double weight = 1.0;
+    double deficit = 0.0;  ///< earned credits; reset when the key drains
+  };
+
+  /// Pops the next item under DRR. Caller holds mutex_; total_ > 0.
+  Task pop_locked();
+
+  const std::size_t capacity_;
+  const std::size_t per_key_cap_;
+  const double default_weight_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::unordered_map<std::string, Tenant> tenants_;
+  /// Active ring: keys with queued tasks, in first-activation order; the
+  /// cursor walks it round-robin handing out credits.
+  std::deque<std::string> ring_;
+  std::size_t cursor_ = 0;
+  std::size_t total_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace trico::prim

@@ -1,0 +1,104 @@
+#include "service/chaos.hpp"
+
+#include <utility>
+
+namespace trico::service {
+
+const char* to_string(ChaosSite site) {
+  switch (site) {
+    case ChaosSite::kCatalogBuild: return "catalog-build";
+    case ChaosSite::kBackendRun: return "backend-run";
+    case ChaosSite::kExecuteDelay: return "execute-delay";
+  }
+  return "?";
+}
+
+ChaosPlan& ChaosPlan::script(ChaosSpec spec) {
+  std::lock_guard lock(mutex_);
+  armed_.push_back(Armed{spec, 0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::randomize(std::uint64_t seed, RandomOptions options) {
+  std::lock_guard lock(mutex_);
+  rng_state_ = seed ? seed : 1;
+  random_ = options;
+  randomized_ = true;
+  return *this;
+}
+
+std::uint64_t ChaosPlan::next_random_locked() {
+  // splitmix64: tiny, seed-deterministic, good enough for fault rolls.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool ChaosPlan::roll_locked(ChaosSite site, Backend backend, double rate) {
+  bool fire = false;
+  for (Armed& armed : armed_) {
+    if (armed.spec.site != site) continue;
+    if (site == ChaosSite::kBackendRun && armed.spec.backend != Backend::kAuto &&
+        armed.spec.backend != backend) {
+      continue;
+    }
+    ++armed.probes;
+    if (armed.probes >= armed.spec.occurrence &&
+        armed.fired < armed.spec.repeats) {
+      ++armed.fired;
+      fire = true;
+    }
+  }
+  if (!fire && randomized_ && rate > 0) {
+    const double roll = static_cast<double>(next_random_locked() >> 11) *
+                        0x1.0p-53;  // uniform in [0, 1)
+    fire = roll < rate;
+  }
+  if (fire) ++fired_;
+  return fire;
+}
+
+bool ChaosPlan::should_fault(ChaosSite site, Backend backend) {
+  std::lock_guard lock(mutex_);
+  const double rate = site == ChaosSite::kCatalogBuild
+                          ? random_.catalog_fault_rate
+                          : random_.backend_fault_rate;
+  return roll_locked(site, backend, rate);
+}
+
+double ChaosPlan::execute_delay_ms() {
+  std::lock_guard lock(mutex_);
+  // Scripted delays carry their own magnitude; take the largest firing one.
+  double delay = 0;
+  bool scripted = false;
+  for (Armed& armed : armed_) {
+    if (armed.spec.site != ChaosSite::kExecuteDelay) continue;
+    ++armed.probes;
+    if (armed.probes >= armed.spec.occurrence &&
+        armed.fired < armed.spec.repeats) {
+      ++armed.fired;
+      scripted = true;
+      if (armed.spec.delay_ms > delay) delay = armed.spec.delay_ms;
+    }
+  }
+  if (!scripted && randomized_ && random_.delay_rate > 0) {
+    const double roll = static_cast<double>(next_random_locked() >> 11) *
+                        0x1.0p-53;
+    if (roll < random_.delay_rate) {
+      const double frac = static_cast<double>(next_random_locked() >> 11) *
+                          0x1.0p-53;
+      delay = random_.max_delay_ms * (frac + 1.0 / 1024.0);
+    }
+  }
+  if (delay > 0) ++fired_;
+  return delay;
+}
+
+std::uint64_t ChaosPlan::fired() const {
+  std::lock_guard lock(mutex_);
+  return fired_;
+}
+
+}  // namespace trico::service

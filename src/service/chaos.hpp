@@ -1,0 +1,105 @@
+// ChaosPlan: service-level fault injection.
+//
+// simt::FaultPlan breaks the *device*; a service also breaks one layer up —
+// a catalog build that cannot load its graph, a backend that faults on
+// launch, an execution that suddenly runs 100x slow. A ChaosPlan scripts
+// those service-level failures (deterministic occurrence/repeats probes,
+// the FaultPlan idiom) and can additionally arm a *seeded randomized* mode
+// where every probe fires with a configured probability — the chaos test's
+// storm generator. Both modes compose: scripted specs are consulted first,
+// then the randomized roll.
+//
+// Sites and their consequences when a probe fires:
+//  * kCatalogBuild  -> CatalogError thrown before preprocessing; the request
+//                      terminates kFailed with a clean reason.
+//  * kBackendRun    -> simt::DeviceFault thrown at backend launch; feeds the
+//                      circuit breaker and the fallback chain. Scripted
+//                      specs can target one backend or all (kAuto).
+//  * kExecuteDelay  -> the worker sleeps delay_ms before serving; exercises
+//                      deadlines-during-execution and the watchdog budget.
+//
+// Thread-safe: the service probes from every worker concurrently. The plan
+// outlives the service that points at it (ServiceOptions::chaos is
+// non-owning, like CountingOptions::fault_plan).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace trico::service {
+
+/// Where in the serve path a chaos fault can strike.
+enum class ChaosSite : std::uint8_t {
+  kCatalogBuild,   ///< graph acquisition / preprocessing
+  kBackendRun,     ///< launch of a counting tier
+  kExecuteDelay,   ///< slow execution (a sleep before serving)
+};
+
+[[nodiscard]] const char* to_string(ChaosSite site);
+
+/// One scripted chaos event: fires on the `occurrence`-th probe of its site
+/// (counting only probes matching `backend`), and on the `repeats - 1`
+/// matching probes after it.
+struct ChaosSpec {
+  ChaosSite site = ChaosSite::kBackendRun;
+  /// kBackendRun only: the tier to strike; kAuto = any tier.
+  Backend backend = Backend::kAuto;
+  unsigned occurrence = 1;  ///< 1-based matching-probe index
+  unsigned repeats = 1;     ///< consecutive matching probes that keep firing
+  double delay_ms = 0;      ///< kExecuteDelay only: how long to stall
+};
+
+/// Deterministic script + optional seeded random storm of service faults.
+class ChaosPlan {
+ public:
+  /// Randomized-mode knobs (all probabilities in [0, 1], 0 = off).
+  struct RandomOptions {
+    double catalog_fault_rate = 0;
+    double backend_fault_rate = 0;
+    double delay_rate = 0;
+    double max_delay_ms = 5.0;  ///< random delays are uniform in (0, max]
+  };
+
+  ChaosPlan() = default;
+
+  /// Adds a scripted event; returns *this for chaining.
+  ChaosPlan& script(ChaosSpec spec);
+
+  /// Arms the seeded randomized mode.
+  ChaosPlan& randomize(std::uint64_t seed, RandomOptions options);
+
+  /// Probes the plan at a fault site. True = the caller must fail there.
+  /// For kBackendRun pass the tier being launched.
+  [[nodiscard]] bool should_fault(ChaosSite site,
+                                  Backend backend = Backend::kAuto);
+
+  /// Probes the delay site. Returns the milliseconds to stall (0 = none).
+  [[nodiscard]] double execute_delay_ms();
+
+  /// Faults + delays that have fired so far.
+  [[nodiscard]] std::uint64_t fired() const;
+
+ private:
+  struct Armed {
+    ChaosSpec spec;
+    unsigned probes = 0;  ///< matching probes seen so far
+    unsigned fired = 0;
+  };
+
+  /// Consults the script, then the random roll. Caller holds mutex_.
+  bool roll_locked(ChaosSite site, Backend backend, double rate);
+  std::uint64_t next_random_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> armed_;
+  RandomOptions random_{};
+  bool randomized_ = false;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace trico::service

@@ -35,25 +35,43 @@ double LatencyHistogram::quantile_upper_bound_ms(double quantile) const {
   return bucket_edge_ms(kBuckets - 1);
 }
 
-void MetricsRegistry::record_submitted() {
+void MetricsRegistry::record_submitted(const Request& request) {
   std::lock_guard lock(mutex_);
   ++data_.submitted;
+  ++data_.tenants[request.tenant_id].submitted;
 }
 
-void MetricsRegistry::record_response(const Response& response) {
+void MetricsRegistry::record_response(const Request& request,
+                                      const Response& response) {
   std::lock_guard lock(mutex_);
+  TenantMetrics& tenant = data_.tenants[request.tenant_id];
   ++data_.completed;
+  ++tenant.completed;
   switch (response.status) {
     case Status::kOk:
       ++data_.ok;
+      ++tenant.ok;
       ++data_.served_by_backend[static_cast<std::size_t>(response.backend)];
       if (response.degraded) ++data_.fallbacks;
       data_.execute_latency.record(response.execute_ms);
+      tenant.total_latency.record(response.total_ms());
       break;
-    case Status::kRejectedQueueFull: ++data_.rejected_queue_full; break;
-    case Status::kDeadlineExpired: ++data_.deadline_expired; break;
-    case Status::kCancelled: ++data_.cancelled; break;
-    case Status::kFailed: ++data_.failed; break;
+    case Status::kRejectedQueueFull:
+      ++data_.rejected_queue_full;
+      ++tenant.rejected_queue_full;
+      break;
+    case Status::kDeadlineExpired:
+      ++data_.deadline_expired;
+      ++tenant.deadline_expired;
+      break;
+    case Status::kCancelled:
+      ++data_.cancelled;
+      ++tenant.cancelled;
+      break;
+    case Status::kFailed:
+      ++data_.failed;
+      ++tenant.failed;
+      break;
   }
   data_.total_latency.record(response.total_ms());
 }
@@ -84,6 +102,24 @@ std::string MetricsSnapshot::to_string() const {
       << "ms p99<=" << execute_latency.quantile_upper_bound_ms(0.99)
       << "ms max=" << execute_latency.max_ms
       << "ms n=" << execute_latency.count << "\n";
+  for (const auto& [id, tenant] : tenants) {
+    out << "tenant[" << (id.empty() ? "(default)" : id)
+        << "]: submitted=" << tenant.submitted << " ok=" << tenant.ok
+        << " rejected=" << tenant.rejected_queue_full
+        << " expired=" << tenant.deadline_expired
+        << " cancelled=" << tenant.cancelled << " failed=" << tenant.failed
+        << " p50<=" << tenant.total_latency.quantile_upper_bound_ms(0.5)
+        << "ms p99<=" << tenant.total_latency.quantile_upper_bound_ms(0.99)
+        << "ms\n";
+  }
+  out << "breakers:";
+  for (std::size_t b = 0; b < kNumBackends; ++b) {
+    if (static_cast<Backend>(b) == Backend::kCpuHybrid) continue;
+    out << " " << service::to_string(static_cast<Backend>(b)) << "="
+        << service::to_string(breakers[b].state) << "(trips="
+        << breakers[b].trips << ",skipped=" << breakers[b].skipped << ")";
+  }
+  out << " watchdog_budget_cancels=" << watchdog_budget_cancels << "\n";
   out << "catalog: hits=" << catalog.hits << " misses=" << catalog.misses
       << " hit_rate=" << catalog.hit_rate() << " builds=" << catalog.builds
       << " stampede_waits=" << catalog.stampede_waits
@@ -93,7 +129,11 @@ std::string MetricsSnapshot::to_string() const {
       << " resident=" << catalog.resident_entries << " entries / "
       << catalog.resident_bytes << " bytes\n";
   out << "queue: depth=" << queue_depth << " peak=" << queue_peak_depth
-      << " capacity=" << queue_capacity;
+      << " capacity=" << queue_capacity
+      << " per_tenant_cap=" << per_tenant_queue_cap;
+  for (const auto& [id, depth] : tenant_queue_depths) {
+    out << " [" << (id.empty() ? "(default)" : id) << "]=" << depth;
+  }
   return out.str();
 }
 

@@ -1,19 +1,28 @@
 // Service observability: latency histograms and the MetricsSnapshot.
 //
-// Every terminal response is recorded once. Counters are aggregated under
-// one mutex (recording is a few adds — contention is negligible next to a
-// count), and snapshot() returns a consistent copy so readers never see a
-// torn state.
+// Every terminal response is recorded once, sliced two ways: the global
+// aggregate and the submitting tenant's slice (tenant isolation is only
+// real if you can *see* per-tenant latency and rejection rates — a noisy
+// neighbor shows up as one tenant's rejections, not a global blur).
+// Counters are aggregated under one mutex (recording is a few adds —
+// contention is negligible next to a count), and snapshot() returns a
+// consistent copy so readers never see a torn state. The circuit-breaker
+// and queue gauges are attached by TriangleService::metrics() from their
+// owning components.
 
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "service/catalog.hpp"
 #include "service/request.hpp"
+#include "service/router.hpp"
 
 namespace trico::service {
 
@@ -39,6 +48,18 @@ struct LatencyHistogram {
   [[nodiscard]] double quantile_upper_bound_ms(double quantile) const;
 };
 
+/// One tenant's slice of the lifecycle counters and latency.
+struct TenantMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  LatencyHistogram total_latency;  ///< submit -> done, kOk responses only
+};
+
 /// Point-in-time copy of every service counter.
 struct MetricsSnapshot {
   // Request lifecycle.
@@ -58,6 +79,10 @@ struct MetricsSnapshot {
   LatencyHistogram total_latency;    ///< submit -> done
   LatencyHistogram execute_latency;  ///< dequeue -> done
 
+  // Per-tenant slices, keyed by tenant_id ("" = the anonymous default
+  // tenant). std::map: deterministic iteration for reports and tests.
+  std::map<std::string, TenantMetrics> tenants;
+
   // Catalog.
   CatalogStats catalog;
 
@@ -65,6 +90,12 @@ struct MetricsSnapshot {
   std::size_t queue_depth = 0;
   std::size_t queue_peak_depth = 0;
   std::size_t queue_capacity = 0;
+  std::size_t per_tenant_queue_cap = 0;
+  std::vector<std::pair<std::string, std::size_t>> tenant_queue_depths;
+
+  // Robustness.
+  std::array<BreakerSnapshot, kNumBackends> breakers{};
+  std::uint64_t watchdog_budget_cancels = 0;
 
   /// Multi-line human-readable report (the CLI's final summary).
   [[nodiscard]] std::string to_string() const;
@@ -73,8 +104,8 @@ struct MetricsSnapshot {
 /// Thread-safe recorder behind the snapshot.
 class MetricsRegistry {
  public:
-  void record_submitted();
-  void record_response(const Response& response);
+  void record_submitted(const Request& request);
+  void record_response(const Request& request, const Response& response);
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:

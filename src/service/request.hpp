@@ -18,6 +18,7 @@
 #include <string>
 
 #include "graph/edge_list.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::service {
 
@@ -57,17 +58,22 @@ struct Request {
   Backend backend = Backend::kAuto;
   RouteObjective objective = RouteObjective::kWallClock;
   Priority priority = Priority::kNormal;
-  /// Soft deadline measured from submit; a request still queued past it is
-  /// rejected at dequeue with kDeadlineExpired. 0 = none.
+  /// Deadline measured from submit. A request still queued past it is
+  /// rejected at dequeue with kDeadlineExpired; one already executing is
+  /// cancelled cooperatively by the scheduler watchdog. 0 = none.
   double deadline_ms = 0;
+  /// Who is asking. The scheduler enforces per-tenant queue caps and
+  /// weighted fair dequeue across tenants; metrics keep per-tenant slices.
+  /// Empty = the anonymous default tenant.
+  std::string tenant_id;
 };
 
 /// Terminal states of a request.
 enum class Status : std::uint8_t {
   kOk,
   kRejectedQueueFull,  ///< backpressure: never queued
-  kDeadlineExpired,    ///< queued too long; never executed
-  kCancelled,          ///< cancelled while still queued
+  kDeadlineExpired,    ///< expired queued, mid-execution, or over the budget
+  kCancelled,          ///< cancelled while queued or mid-execution
   kFailed,             ///< every backend in the fallback chain failed
 };
 
@@ -102,6 +108,11 @@ struct RequestState {
   Request request;
   std::chrono::steady_clock::time_point submit_time;
   std::atomic<bool> cancel_requested{false};
+  /// Cooperative cancellation channel into an *executing* request: the
+  /// worker polls it from the backend inner loops, and the watchdog uses it
+  /// to enforce deadlines and the hard execution budget. Created at submit
+  /// so Ticket::cancel reaches the worker no matter when it is called.
+  std::shared_ptr<util::CancelToken> cancel = std::make_shared<util::CancelToken>();
 
   std::mutex mutex;
   std::condition_variable done_cv;
@@ -142,12 +153,14 @@ class Ticket {
     return state_->done;
   }
 
-  /// Requests cancellation. Only a request still in the queue is cancelled
-  /// (it reports kCancelled when a worker skips it); one already running
-  /// completes normally. Returns false when the request had already reached
-  /// a terminal state at the call.
+  /// Requests cancellation. A request still in the queue reports kCancelled
+  /// when a worker skips it; one already executing is stopped cooperatively
+  /// (the worker observes the cancel token at its next poll and unwinds).
+  /// Returns false when the request had already reached a terminal state at
+  /// the call.
   bool cancel() const {
     state_->cancel_requested.store(true, std::memory_order_relaxed);
+    state_->cancel->request_cancel(util::CancelCause::kUser);
     return !done();
   }
 

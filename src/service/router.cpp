@@ -8,8 +8,105 @@
 
 namespace trico::service {
 
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 BackendRouter::BackendRouter(RouterOptions options)
     : options_(std::move(options)), cost_(options_.device) {}
+
+bool BackendRouter::admit(Backend backend) {
+  if (backend == Backend::kCpuHybrid || backend == Backend::kAuto) return true;
+  std::lock_guard lock(breaker_mutex_);
+  BreakerEntry& breaker = breakers_[static_cast<std::size_t>(backend)];
+  switch (breaker.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const std::chrono::duration<double, std::milli> open_for =
+          std::chrono::steady_clock::now() - breaker.opened_at;
+      if (open_for.count() >= breaker.backoff_ms) {
+        breaker.state = BreakerState::kHalfOpen;
+        breaker.probe_in_flight = true;
+        return true;  // the caller is the probe
+      }
+      ++breaker.skipped;
+      return false;
+    }
+    case BreakerState::kHalfOpen:
+      if (breaker.probe_in_flight) {
+        ++breaker.skipped;
+        return false;  // one probe at a time
+      }
+      breaker.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void BackendRouter::record_success(Backend backend) {
+  if (backend == Backend::kCpuHybrid || backend == Backend::kAuto) return;
+  std::lock_guard lock(breaker_mutex_);
+  BreakerEntry& breaker = breakers_[static_cast<std::size_t>(backend)];
+  breaker.state = BreakerState::kClosed;
+  breaker.consecutive_failures = 0;
+  breaker.backoff_ms = 0;
+  breaker.probe_in_flight = false;
+}
+
+void BackendRouter::record_fault(Backend backend) {
+  if (backend == Backend::kCpuHybrid || backend == Backend::kAuto) return;
+  const BreakerOptions& opts = options_.breaker;
+  std::lock_guard lock(breaker_mutex_);
+  BreakerEntry& breaker = breakers_[static_cast<std::size_t>(backend)];
+  ++breaker.consecutive_failures;
+  const bool was_probe = breaker.state == BreakerState::kHalfOpen;
+  breaker.probe_in_flight = false;
+  if (was_probe) {
+    // Failed probe: reopen with a longer cool-down.
+    breaker.state = BreakerState::kOpen;
+    breaker.backoff_ms =
+        std::min(opts.max_backoff_ms,
+                 std::max(opts.open_backoff_ms,
+                          breaker.backoff_ms * opts.backoff_multiplier));
+    breaker.opened_at = std::chrono::steady_clock::now();
+    ++breaker.trips;
+  } else if (breaker.state == BreakerState::kClosed &&
+             breaker.consecutive_failures >= opts.failure_threshold) {
+    breaker.state = BreakerState::kOpen;
+    breaker.backoff_ms = opts.open_backoff_ms;
+    breaker.opened_at = std::chrono::steady_clock::now();
+    ++breaker.trips;
+  }
+}
+
+void BackendRouter::release(Backend backend) {
+  if (backend == Backend::kCpuHybrid || backend == Backend::kAuto) return;
+  std::lock_guard lock(breaker_mutex_);
+  BreakerEntry& breaker = breakers_[static_cast<std::size_t>(backend)];
+  breaker.probe_in_flight = false;
+}
+
+std::array<BreakerSnapshot, kNumBackends> BackendRouter::breaker_snapshots()
+    const {
+  std::array<BreakerSnapshot, kNumBackends> out{};
+  std::lock_guard lock(breaker_mutex_);
+  for (std::size_t b = 0; b < kNumBackends; ++b) {
+    const BreakerEntry& breaker = breakers_[b];
+    out[b].backend = static_cast<Backend>(b);
+    out[b].state = breaker.state;
+    out[b].consecutive_failures = breaker.consecutive_failures;
+    out[b].trips = breaker.trips;
+    out[b].skipped = breaker.skipped;
+    out[b].current_backoff_ms = breaker.backoff_ms;
+  }
+  return out;
+}
 
 std::uint64_t BackendRouter::effective_budget() const {
   const std::uint64_t device = options_.device.memory_bytes;

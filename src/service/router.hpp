@@ -23,11 +23,21 @@
 // (GpuForwardCounter::device_preprocess_bytes vs the effective budget): a
 // graph whose working set cannot fit even via §III-D6 routes out-of-core
 // first, with the color count chosen so a task's footprint fits.
+//
+// The router also hosts the per-backend *circuit breaker*: a tier that
+// faults repeatedly (consecutive simt::DeviceFaults) is opened — the serve
+// loop skips it outright instead of rediscovering the fault request by
+// request — then probed again (half-open, a single request at a time) after
+// an exponentially backed-off cool-down. One probe success closes the
+// breaker. The CPU tier cannot fault and is never broken, so the fallback
+// chain always has an admissible terminal rung.
 
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,35 @@
 #include "simt/device_config.hpp"
 
 namespace trico::service {
+
+/// Circuit-breaker state of one backend tier.
+enum class BreakerState : std::uint8_t {
+  kClosed,    ///< healthy: requests flow
+  kOpen,      ///< tripped: requests skip this tier until the backoff lapses
+  kHalfOpen,  ///< probing: one request is trying the tier right now
+};
+
+[[nodiscard]] const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive DeviceFaults that trip the breaker open.
+  unsigned failure_threshold = 3;
+  /// Cool-down before the first half-open probe; doubles (x multiplier) per
+  /// failed probe up to max_backoff_ms.
+  double open_backoff_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+};
+
+/// Point-in-time copy of one backend's breaker (for MetricsSnapshot).
+struct BreakerSnapshot {
+  Backend backend = Backend::kCpuHybrid;
+  BreakerState state = BreakerState::kClosed;
+  unsigned consecutive_failures = 0;
+  std::uint64_t trips = 0;     ///< closed/half-open -> open transitions
+  std::uint64_t skipped = 0;   ///< admissions denied while open/probing
+  double current_backoff_ms = 0;
+};
 
 struct RouterOptions {
   simt::DeviceConfig device = simt::DeviceConfig::gtx_980();
@@ -52,6 +91,8 @@ struct RouterOptions {
   double cpu_count_ns_per_step = 1.2;     ///< hybrid engine, per merge step
   double cpu_prepare_ns_per_slot = 150.0; ///< parallel preprocessing
   double sim_ns_per_step = 80.0;          ///< simulator host cost per step
+
+  BreakerOptions breaker{};
 };
 
 /// Scored candidate for one tier.
@@ -91,9 +132,41 @@ class BackendRouter {
   /// Effective device byte budget: min(option, device memory).
   [[nodiscard]] std::uint64_t effective_budget() const;
 
+  // -- Circuit breaker ------------------------------------------------------
+  // The serve loop brackets every tier attempt with these three calls:
+  // admit() gates the attempt, then exactly one of record_success /
+  // record_fault / release() reports how it ended (release() = no verdict,
+  // e.g. the request was cancelled mid-probe).
+
+  /// True when `backend` may take a request now. kCpuHybrid always admits.
+  /// An open breaker whose backoff has lapsed flips to half-open and admits
+  /// the caller as the (single) probe.
+  [[nodiscard]] bool admit(Backend backend);
+  /// The admitted attempt succeeded: close the breaker, reset the streak.
+  void record_success(Backend backend);
+  /// The admitted attempt faulted (DeviceFault): extend the streak; trips
+  /// the breaker open at the threshold, re-opens with doubled backoff when
+  /// it was a half-open probe.
+  void record_fault(Backend backend);
+  /// The admitted attempt ended without a health verdict (cancellation,
+  /// non-fault error): release the probe slot, leave the state unchanged.
+  void release(Backend backend);
+  /// Point-in-time breaker state of every tier.
+  [[nodiscard]] std::array<BreakerSnapshot, kNumBackends> breaker_snapshots()
+      const;
+
   [[nodiscard]] const RouterOptions& options() const { return options_; }
 
  private:
+  struct BreakerEntry {
+    BreakerState state = BreakerState::kClosed;
+    unsigned consecutive_failures = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t skipped = 0;
+    double backoff_ms = 0;  ///< current open-state cool-down
+    std::chrono::steady_clock::time_point opened_at{};
+    bool probe_in_flight = false;
+  };
   /// Expected two-pointer/probe steps of the counting phase: the §II-B
   /// bound m * O(sqrt(m)) tempered by the average degree.
   [[nodiscard]] double counting_steps(const GraphStats& stats) const;
@@ -102,6 +175,9 @@ class BackendRouter {
 
   RouterOptions options_;
   simt::CostModel cost_;
+
+  mutable std::mutex breaker_mutex_;
+  std::array<BreakerEntry, kNumBackends> breakers_{};
 };
 
 }  // namespace trico::service

@@ -1,5 +1,6 @@
 #include "service/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <sstream>
@@ -22,34 +23,61 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+prim::FairQueue::Options queue_options(const RequestScheduler::Options& options,
+                                       std::size_t per_tenant_cap) {
+  prim::FairQueue::Options queue;
+  queue.capacity = options.queue_capacity;
+  queue.per_key_cap = per_tenant_cap;
+  queue.default_weight = options.default_tenant_weight;
+  return queue;
+}
+
+std::size_t resolve_tenant_cap(const RequestScheduler::Options& options) {
+  const std::size_t capacity = options.queue_capacity == 0
+                                   ? 1
+                                   : options.queue_capacity;
+  // A cap at or above the whole queue is no cap at all; 0 means unset.
+  return options.per_tenant_queue_cap >= capacity
+             ? 0
+             : options.per_tenant_queue_cap;
+}
+
 }  // namespace
 
 RequestScheduler::RequestScheduler(Options options, Work work,
                                    Observer observer)
     : options_(options),
+      per_tenant_cap_(resolve_tenant_cap(options)),
       work_(std::move(work)),
       observer_(std::move(observer)),
-      queue_(options.queue_capacity),
+      queue_(queue_options(options, per_tenant_cap_)),
       pool_(options.workers == 0 ? 1 : options.workers) {
   runner_ = std::thread([this] {
     pool_.parallel_workers([this](std::size_t worker, std::size_t) {
       prim::ThreadPool backend_pool(
           options_.backend_threads == 0 ? 1 : options_.backend_threads);
-      ExecContext ctx{worker, backend_pool};
+      ExecContext ctx{worker, backend_pool, nullptr};
       tls_context = &ctx;
       for (;;) {
-        prim::TaskQueue::Task task = queue_.pop();
+        prim::FairQueue::Task task = queue_.pop();
         if (!task) break;  // closed and drained
         task();
       }
       tls_context = nullptr;
     });
   });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 RequestScheduler::~RequestScheduler() {
   queue_.close();  // drain: every admitted request reaches a terminal state
   runner_.join();
+  {
+    std::lock_guard lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
 }
 
 Ticket RequestScheduler::submit(Request request) {
@@ -59,13 +87,30 @@ Ticket RequestScheduler::submit(Request request) {
   Ticket ticket(state);
 
   const int priority = static_cast<int>(state->request.priority);
+  const std::string& tenant = state->request.tenant_id;
+  const auto weight_it = options_.tenant_weights.find(tenant);
+  const double weight = weight_it == options_.tenant_weights.end()
+                            ? options_.default_tenant_weight
+                            : weight_it->second;
   auto task = [this, state] { run_one(state, *tls_context); };
-  if (!queue_.try_push(std::move(task), priority)) {
+  const prim::FairQueue::PushResult pushed =
+      queue_.try_push(std::move(task), tenant, priority, weight);
+  if (pushed != prim::FairQueue::PushResult::kOk) {
     Response response;
     response.status = Status::kRejectedQueueFull;
     std::ostringstream reason;
-    reason << "queue full: depth " << queue_.depth() << " of capacity "
-           << queue_.capacity() << (queue_.closed() ? " (shutting down)" : "");
+    if (pushed == prim::FairQueue::PushResult::kTenantFull) {
+      reason << "tenant '" << tenant << "' at its queue cap "
+             << per_tenant_cap_ << " (global depth " << queue_.depth()
+             << " of capacity " << queue_.capacity() << ")";
+    } else {
+      reason << "queue full: depth " << queue_.depth() << " of capacity "
+             << queue_.capacity()
+             << (pushed == prim::FairQueue::PushResult::kClosed ||
+                         queue_.closed()
+                     ? " (shutting down)"
+                     : "");
+    }
     response.reason = reason.str();
     finish(*state, std::move(response));
   }
@@ -95,23 +140,97 @@ void RequestScheduler::run_one(std::shared_ptr<detail::RequestState> state,
     return;
   }
 
+  // Hand the token to the work function and register with the watchdog so
+  // deadlines and the hard execution budget stay enforced while running.
+  ctx.cancel = state->cancel.get();
+  {
+    std::lock_guard lock(watchdog_mutex_);
+    running_.push_back(Running{state, std::chrono::steady_clock::now()});
+  }
+
   util::Timer timer;
   try {
     response = work_(state->request, ctx);
+  } catch (const util::OperationCancelled& cancelled) {
+    response = Response{};
+    std::ostringstream reason;
+    switch (cancelled.cause()) {
+      case util::CancelCause::kUser:
+        response.status = Status::kCancelled;
+        reason << "cancelled during execution";
+        break;
+      case util::CancelCause::kBudget:
+        response.status = Status::kDeadlineExpired;
+        reason << "watchdog: execution exceeded the hard budget of "
+               << options_.max_execution_ms << " ms";
+        break;
+      case util::CancelCause::kDeadline:
+      case util::CancelCause::kNone:  // unreachable: thrown only when set
+        response.status = Status::kDeadlineExpired;
+        reason << "deadline expired during execution: " << deadline
+               << " ms budget, " << queue_ms << " ms already spent queued";
+        break;
+    }
+    response.reason = reason.str();
   } catch (const std::exception& error) {
     response = Response{};
     response.status = Status::kFailed;
     response.reason = error.what();
   }
+
+  {
+    std::lock_guard lock(watchdog_mutex_);
+    running_.erase(
+        std::remove_if(running_.begin(), running_.end(),
+                       [&](const Running& r) { return r.state == state; }),
+        running_.end());
+  }
+  ctx.cancel = nullptr;
+
   response.queue_ms = queue_ms;
   response.execute_ms = timer.elapsed_ms();
   finish(*state, std::move(response));
 }
 
+void RequestScheduler::watchdog_loop() {
+  std::unique_lock lock(watchdog_mutex_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.watchdog_interval_ms <= 0 ? 2.0
+                                         : options_.watchdog_interval_ms);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, interval, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (const Running& run : running_) {
+      const Request& request = run.state->request;
+      if (request.deadline_ms > 0) {
+        const std::chrono::duration<double, std::milli> since_submit =
+            now - run.state->submit_time;
+        if (since_submit.count() > request.deadline_ms) {
+          run.state->cancel->request_cancel(util::CancelCause::kDeadline);
+        }
+      }
+      if (options_.max_execution_ms > 0) {
+        const std::chrono::duration<double, std::milli> executing =
+            now - run.exec_start;
+        if (executing.count() > options_.max_execution_ms &&
+            run.state->cancel->request_cancel(util::CancelCause::kBudget)) {
+          ++watchdog_flags_;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t RequestScheduler::watchdog_flags() const {
+  std::lock_guard lock(watchdog_mutex_);
+  return watchdog_flags_;
+}
+
 void RequestScheduler::finish(detail::RequestState& state, Response response) {
   // Observe before waking waiters so metrics are consistent the moment
   // wait() returns.
-  if (observer_) observer_(response);
+  if (observer_) observer_(state.request, response);
   state.finish(std::move(response));
 }
 

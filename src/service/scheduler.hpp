@@ -1,53 +1,88 @@
 // RequestScheduler: bounded admission + worker execution for the service.
 //
-// Producers submit work through a prim::TaskQueue (bounded, priority-
-// ordered); consumers are the slots of a prim::ThreadPool running a serving
-// loop (parallel_workers), launched once from a small runner thread — the
-// pool is the execution substrate, the queue is the admission valve.
+// Producers submit work through a prim::FairQueue (bounded, per-tenant
+// capped, weighted deficit-round-robin across tenants, priority-ordered
+// within one); consumers are the slots of a prim::ThreadPool running a
+// serving loop (parallel_workers), launched once from a small runner thread
+// — the pool is the execution substrate, the queue is the admission valve.
 //
 // Admission semantics:
-//  * a full queue rejects at submit() with kRejectedQueueFull and the depth
-//    in the reason — backpressure, never an exception or a block;
-//  * per-request deadlines are checked at dequeue: a request that waited
-//    past its deadline reports kDeadlineExpired without executing;
-//  * Ticket::cancel() marks a queued request; the worker that dequeues it
-//    reports kCancelled without executing (best-effort: a request already
-//    running completes normally);
-//  * priorities pop high-to-low, FIFO within a level.
+//  * a full queue — or a tenant at its per-tenant cap — rejects at submit()
+//    with kRejectedQueueFull and the reason naming which bound tripped:
+//    backpressure, never an exception or a block;
+//  * per-request deadlines are checked at dequeue (a request that waited
+//    past its deadline reports kDeadlineExpired without executing) and
+//    enforced *during* execution by the watchdog, which cancels the
+//    request's CancelToken so the worker unwinds instead of burning on;
+//  * Ticket::cancel() marks a queued request (the dequeuing worker reports
+//    kCancelled without executing) and cancels the token of a running one,
+//    which the backend inner loops observe cooperatively;
+//  * tenants are served weighted-fair; within a tenant, priorities pop
+//    high-to-low, FIFO within a level.
 //
-// pause()/resume() gate the workers (tests use this to stage deterministic
-// queue states); the destructor drains the queue gracefully — every
-// admitted request reaches a terminal state before shutdown completes.
+// The watchdog is a tiny periodic sweep over the running set: it fires a
+// request's deadline and flags any execution past the hard budget
+// (max_execution_ms), again via the CancelToken. pause()/resume() gate the
+// workers (tests use this to stage deterministic queue states); the
+// destructor drains the queue gracefully — every admitted request reaches a
+// terminal state before shutdown completes.
 
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
-#include "prim/task_queue.hpp"
+#include "prim/fair_queue.hpp"
 #include "prim/thread_pool.hpp"
 #include "service/request.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::service {
 
-/// Execution context handed to the work function: the worker slot index and
-/// a per-worker thread pool for the backend's data-parallel phases.
+/// Execution context handed to the work function: the worker slot index, a
+/// per-worker thread pool for the backend's data-parallel phases, and the
+/// request's cancel token (never null) the backend loops must poll.
 struct ExecContext {
   std::size_t worker = 0;
   prim::ThreadPool& pool;
+  const util::CancelToken* cancel = nullptr;
 };
 
 class RequestScheduler {
  public:
   struct Options {
     std::size_t workers = 1;         ///< serving pool slots
-    std::size_t queue_capacity = 64; ///< admission bound
+    std::size_t queue_capacity = 64; ///< global admission bound
+    /// Per-tenant admission bound; 0 (default) = no per-tenant bound, only
+    /// the global capacity gates. Multi-tenant deployments set this below
+    /// queue_capacity so one heavy tenant can never fill the whole queue
+    /// and light tenants always find admission room.
+    std::size_t per_tenant_queue_cap = 0;
+    /// Deficit-round-robin weight per tenant id; tenants not named here get
+    /// default_tenant_weight. A weight-2 tenant receives twice the service
+    /// share of a weight-1 tenant while both are backlogged.
+    std::unordered_map<std::string, double> tenant_weights;
+    double default_tenant_weight = 1.0;
     /// Threads of each worker's backend pool (preprocessing, counting
     /// chunks). Default 1: with several workers, intra-request parallelism
     /// would oversubscribe the host.
     std::size_t backend_threads = 1;
+    /// Hard execution budget: the watchdog cancels any request executing
+    /// longer than this (reported kDeadlineExpired with a watchdog reason).
+    /// 0 = no budget.
+    double max_execution_ms = 0;
+    /// Watchdog sweep period over the running set.
+    double watchdog_interval_ms = 2.0;
   };
 
   /// `work` runs on a worker slot for every admitted, live request and
@@ -55,7 +90,7 @@ class RequestScheduler {
   /// timing fields and terminal bookkeeping for every path.
   using Work = std::function<Response(const Request&, ExecContext&)>;
   /// Observer invoked once per terminal response (the metrics hook).
-  using Observer = std::function<void(const Response&)>;
+  using Observer = std::function<void(const Request&, const Response&)>;
 
   RequestScheduler(Options options, Work work, Observer observer = {});
   ~RequestScheduler();
@@ -78,18 +113,43 @@ class RequestScheduler {
   [[nodiscard]] std::size_t queue_capacity() const {
     return queue_.capacity();
   }
+  [[nodiscard]] std::size_t per_tenant_queue_cap() const {
+    return per_tenant_cap_;
+  }
   [[nodiscard]] std::size_t workers() const { return pool_.num_threads(); }
+  /// (tenant, queued) gauges for every tenant with queued requests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>>
+  tenant_queue_depths() const {
+    return queue_.depths();
+  }
+  /// Requests the watchdog cancelled for exceeding the hard execution
+  /// budget (monotonic).
+  [[nodiscard]] std::uint64_t watchdog_flags() const;
 
  private:
+  struct Running {
+    std::shared_ptr<detail::RequestState> state;
+    std::chrono::steady_clock::time_point exec_start;
+  };
+
   void run_one(std::shared_ptr<detail::RequestState> state, ExecContext& ctx);
   void finish(detail::RequestState& state, Response response);
+  void watchdog_loop();
 
   Options options_;
+  std::size_t per_tenant_cap_ = 0;
   Work work_;
   Observer observer_;
-  prim::TaskQueue queue_;
+  prim::FairQueue queue_;
   prim::ThreadPool pool_;
   std::thread runner_;  ///< drives pool_.parallel_workers(serving loop)
+
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::vector<Running> running_;  ///< requests currently executing
+  std::uint64_t watchdog_flags_ = 0;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace trico::service

@@ -1,12 +1,16 @@
 #include "service/service.hpp"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "analysis/clustering.hpp"
 #include "analysis/truss.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "outofcore/counter.hpp"
+#include "simt/fault.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::service {
 
@@ -70,11 +74,13 @@ TriangleService::TriangleService(ServiceOptions options)
       [this](const Request& request, ExecContext& ctx) {
         return serve(request, ctx);
       },
-      [this](const Response& response) { metrics_.record_response(response); });
+      [this](const Request& request, const Response& response) {
+        metrics_.record_response(request, response);
+      });
 }
 
 Ticket TriangleService::submit(Request request) {
-  metrics_.record_submitted();
+  metrics_.record_submitted(request);
   return scheduler_->submit(std::move(request));
 }
 
@@ -88,6 +94,10 @@ MetricsSnapshot TriangleService::metrics() const {
   snapshot.queue_depth = scheduler_->queue_depth();
   snapshot.queue_peak_depth = scheduler_->queue_peak_depth();
   snapshot.queue_capacity = scheduler_->queue_capacity();
+  snapshot.per_tenant_queue_cap = scheduler_->per_tenant_queue_cap();
+  snapshot.tenant_queue_depths = scheduler_->tenant_queue_depths();
+  snapshot.breakers = router_.breaker_snapshots();
+  snapshot.watchdog_budget_cancels = scheduler_->watchdog_flags();
   return snapshot;
 }
 
@@ -98,15 +108,27 @@ Response TriangleService::run_backend(Backend backend,
                                       const CatalogEntry& entry,
                                       const RouteDecision& route,
                                       ExecContext& ctx) {
+  if (options_.chaos != nullptr &&
+      options_.chaos->should_fault(ChaosSite::kBackendRun, backend)) {
+    throw simt::DeviceFault(
+        simt::FaultKind::kKernelAbort, simt::FaultSite::kKernel, 0,
+        std::string("chaos: injected fault launching the ") +
+            to_string(backend) + " tier");
+  }
+
   core::CountingOptions counting = options_.counting;
   counting.host_threads = ctx.pool.num_threads();
+  // The request's cancel token rides the SimOptions into every simulated
+  // launch, so a cancelled/expired request unwinds the device tiers too.
+  counting.sim.cancel = ctx.cancel;
   const simt::DeviceConfig& device = router_.options().device;
 
   Response response;
   response.backend = backend;
   switch (backend) {
     case Backend::kCpuHybrid: {
-      response.triangles = cpu::count_prepared(entry.prepared, ctx.pool);
+      response.triangles =
+          cpu::count_prepared(entry.prepared, ctx.pool, nullptr, ctx.cancel);
       break;
     }
     case Backend::kGpu: {
@@ -151,6 +173,17 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
     return response;
   }
 
+  if (options_.chaos != nullptr) {
+    const double delay = options_.chaos->execute_delay_ms();
+    if (delay > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+      // A deadline or cancel that fired during the stall is observed here
+      // instead of burning a full serve first.
+      if (ctx.cancel != nullptr) ctx.cancel->throw_if_cancelled();
+    }
+  }
+
   // Memoized exact results short-circuit the whole pipeline — but only for
   // kAuto requests; an explicit backend must actually run its tier.
   const std::uint64_t key = catalog_.content_key(request.graph);
@@ -176,6 +209,10 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
     catalog_.store_result(key, request.op, result);
   };
 
+  if (options_.chaos != nullptr &&
+      options_.chaos->should_fault(ChaosSite::kCatalogBuild)) {
+    throw CatalogError("chaos: injected catalog build failure");
+  }
   const GraphCatalog::Acquired acquired =
       catalog_.acquire(request.graph, ctx.pool);
   const CatalogEntry& entry = *acquired.entry;
@@ -206,19 +243,37 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
   std::ostringstream failures;
   for (std::size_t rung = 0; rung < route.chain.size(); ++rung) {
     const Backend backend = route.chain[rung];
+    // The circuit breaker makes the skip decision once per incident: a tier
+    // that tripped it is stepped over without paying a doomed attempt.
+    if (!router_.admit(backend)) {
+      failures << to_string(backend) << ": skipped (circuit open); ";
+      continue;
+    }
     try {
       response = run_backend(backend, entry, route, ctx);
+      router_.record_success(backend);
       response.catalog_hit = acquired.hit;
-      if (rung > 0) {
+      if (failures.tellp() > 0) {
         response.degraded = true;
         response.reason = "fell back after: " + failures.str();
       }
       memoize(response);
       return response;
+    } catch (const util::OperationCancelled&) {
+      // Cancellation is a verdict on the request, not the tier: release the
+      // breaker's probe slot and unwind to the scheduler, which owns the
+      // kCancelled / kDeadlineExpired bookkeeping.
+      router_.release(backend);
+      throw;
+    } catch (const simt::DeviceFault& fault) {
+      // A faulted tier steps the request down the chain instead of failing
+      // it — the request-level degradation ladder — and feeds the breaker.
+      router_.record_fault(backend);
+      failures << to_string(backend) << ": " << fault.what() << "; ";
     } catch (const std::exception& error) {
-      // A faulted tier (DeviceFault, out-of-memory task, ...) steps the
-      // request down the chain instead of failing it — the request-level
-      // degradation ladder.
+      // Non-fault errors (bad options, out-of-memory task, ...) step down
+      // the chain without a breaker verdict.
+      router_.release(backend);
       failures << to_string(backend) << ": " << error.what() << "; ";
     }
   }

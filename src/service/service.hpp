@@ -27,6 +27,7 @@
 
 #include "core/gpu_forward.hpp"
 #include "service/catalog.hpp"
+#include "service/chaos.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
 #include "service/router.hpp"
@@ -43,6 +44,9 @@ struct ServiceOptions {
   GraphCatalog::Options catalog{};
   RouterOptions router{};
   core::CountingOptions counting = default_service_counting();
+  /// Service-level fault injection (non-owning; nullptr = no chaos). Must
+  /// outlive the service. Thread-safe — meaningful with any worker count.
+  ChaosPlan* chaos = nullptr;
 };
 
 class TriangleService {
@@ -64,7 +68,11 @@ class TriangleService {
   void resume();
 
   [[nodiscard]] GraphCatalog& catalog() { return catalog_; }
+  [[nodiscard]] BackendRouter& router() { return router_; }
   [[nodiscard]] const BackendRouter& router() const { return router_; }
+  [[nodiscard]] const RequestScheduler& scheduler() const {
+    return *scheduler_;
+  }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
  private:

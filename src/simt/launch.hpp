@@ -8,6 +8,7 @@
 
 #include "simt/device_config.hpp"
 #include "simt/memory_system.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::simt {
 
@@ -65,6 +66,13 @@ struct SimOptions {
   /// L2 model: per-SM sharded slices (default, parallel-safe) or the legacy
   /// device-wide shared cache (validation only).
   L2Topology l2_topology = L2Topology::kSharded;
+
+  /// Cooperative cancellation (non-owning; nullptr = never cancelled). The
+  /// runner polls it once per scheduling round and unwinds the launch with
+  /// util::OperationCancelled from the calling thread — this is how the
+  /// service stops a simulated kernel whose request was cancelled or blew
+  /// its deadline mid-flight.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Everything the harness reports about one kernel launch.

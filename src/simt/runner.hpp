@@ -175,6 +175,9 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
       // are not simulated through the memory hierarchy.
       NullSink sink;
       for (Warp& warp : warps) {
+        // Cancellation poll per warp: cheap next to the lanes' work, and a
+        // cancelled launch throws before its results are consumed anyway.
+        if (options.cancel != nullptr && options.cancel->cancelled()) return;
         for (std::uint32_t l = 0; l < warp.lanes.size(); ++l) {
           while (kernel.step(warp.lanes[l], sink)) {
           }
@@ -198,6 +201,9 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
                      TimedSink::kMaxAccesses * 2);
 
     while (!live_warps.empty()) {
+      // One cancellation poll per scheduling round; each SM task bails on
+      // its own thread and the launch throws afterwards from the caller.
+      if (options.cancel != nullptr && options.cancel->cancelled()) return;
       std::size_t out = 0;
       for (std::size_t idx = 0; idx < live_warps.size(); ++idx) {
         Warp& warp = warps[live_warps[idx]];
@@ -288,6 +294,11 @@ KernelStats launch_kernel(const Device& device, const LaunchConfig& launch,
       }
     });
   }
+
+  // A cancelled launch unwinds here, on the calling thread, after every SM
+  // task has drained — no exception ever crosses the pool boundary, and the
+  // partially-retired kernel object is discarded with the throw.
+  if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
 
   // Deterministic merge in SM order: integer sums and max() commute, so the
   // totals cannot depend on which host thread simulated which SM.

@@ -1,0 +1,87 @@
+// Cooperative cancellation for long-running operations.
+//
+// A CancelToken is shared between the party that decides an operation must
+// stop (a client cancelling its ticket, the service watchdog, a deadline
+// sweep) and the code doing the work (the CPU hybrid counting loop, the
+// simulated-GPU scheduling rounds). The worker polls cancelled() — one
+// relaxed atomic load, cheap enough for inner loops at chunk granularity —
+// and unwinds via throw_if_cancelled() from its own calling thread once the
+// current parallel region has drained, so no exception ever crosses a
+// thread-pool boundary.
+//
+// The first cancellation cause wins and is immutable afterwards; the service
+// maps it to the terminal request status (kCancelled vs kDeadlineExpired).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace trico::util {
+
+/// Why an operation was asked to stop. The first recorded cause sticks.
+enum class CancelCause : std::uint8_t {
+  kNone = 0,      ///< not cancelled
+  kUser = 1,      ///< explicit client cancellation (Ticket::cancel)
+  kDeadline = 2,  ///< the request's own deadline passed during execution
+  kBudget = 3,    ///< watchdog: hard execution budget exceeded
+};
+
+[[nodiscard]] inline const char* to_string(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone: return "none";
+    case CancelCause::kUser: return "cancelled by client";
+    case CancelCause::kDeadline: return "deadline expired during execution";
+    case CancelCause::kBudget: return "hard execution budget exceeded";
+  }
+  return "?";
+}
+
+/// Thrown by throw_if_cancelled() on the worker's calling thread once a
+/// cancelled operation has drained its parallel region.
+class OperationCancelled : public std::runtime_error {
+ public:
+  explicit OperationCancelled(CancelCause cause)
+      : std::runtime_error(to_string(cause)), cause_(cause) {}
+
+  [[nodiscard]] CancelCause cause() const { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+/// Sticky one-shot cancellation flag. request_cancel() may race from any
+/// thread; the first cause wins. cancelled() is a single relaxed load.
+class CancelToken {
+ public:
+  /// Returns true when this call recorded the cause (i.e. the token was not
+  /// already cancelled) — callers counting cancellations use it to avoid
+  /// double counting.
+  bool request_cancel(CancelCause cause) {
+    if (cause == CancelCause::kNone) return false;
+    std::uint8_t expected = 0;
+    return state_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(cause), std::memory_order_relaxed,
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+  [[nodiscard]] CancelCause cause() const {
+    return static_cast<CancelCause>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Throws OperationCancelled carrying the recorded cause if cancelled.
+  void throw_if_cancelled() const {
+    const CancelCause c = cause();
+    if (c != CancelCause::kNone) throw OperationCancelled(c);
+  }
+
+ private:
+  std::atomic<std::uint8_t> state_{0};
+};
+
+}  // namespace trico::util

@@ -1,0 +1,621 @@
+// Robustness tests for the service layer: the fair multi-tenant queue, the
+// per-backend circuit breaker, deadline/cancellation enforcement *during*
+// execution, the watchdog's hard execution budget, multi-tenant overload
+// isolation, and the randomized chaos storm. Every chaos outcome must be
+// exact-or-cleanly-rejected: a kOk response carries the exact count, any
+// other status carries a reason — never a wrong count, never a crash, never
+// a stuck drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/reference.hpp"
+#include "prim/fair_queue.hpp"
+#include "service/chaos.hpp"
+#include "service/request.hpp"
+#include "service/router.hpp"
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+#include "simt/fault.hpp"
+#include "util/cancel.hpp"
+
+namespace trico::service {
+namespace {
+
+std::shared_ptr<const EdgeList> share(EdgeList edges) {
+  return std::make_shared<const EdgeList>(std::move(edges));
+}
+
+Request count_request(std::shared_ptr<const EdgeList> graph,
+                      Backend backend = Backend::kAuto) {
+  Request request;
+  request.graph = std::move(graph);
+  request.op = Operation::kCount;
+  request.backend = backend;
+  return request;
+}
+
+Response ok_response() {
+  Response response;
+  response.status = Status::kOk;
+  return response;
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// ---------------------------------------------------------------------------
+// prim::FairQueue
+
+TEST(FairQueueTest, PerKeyCapRejectsTenantNotQueue) {
+  prim::FairQueue queue({.capacity = 8, .per_key_cap = 2});
+  EXPECT_EQ(queue.try_push([] {}, "heavy"), prim::FairQueue::PushResult::kOk);
+  EXPECT_EQ(queue.try_push([] {}, "heavy"), prim::FairQueue::PushResult::kOk);
+  EXPECT_EQ(queue.try_push([] {}, "heavy"),
+            prim::FairQueue::PushResult::kTenantFull);
+  // The heavy tenant's cap does not consume the light tenant's room.
+  EXPECT_EQ(queue.try_push([] {}, "light"), prim::FairQueue::PushResult::kOk);
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.depth("heavy"), 2u);
+  EXPECT_EQ(queue.rejected(), 1u);
+}
+
+TEST(FairQueueTest, GlobalCapacityStillBounds) {
+  prim::FairQueue queue({.capacity = 2, .per_key_cap = 0});
+  EXPECT_EQ(queue.try_push([] {}, "a"), prim::FairQueue::PushResult::kOk);
+  EXPECT_EQ(queue.try_push([] {}, "b"), prim::FairQueue::PushResult::kOk);
+  EXPECT_EQ(queue.try_push([] {}, "c"),
+            prim::FairQueue::PushResult::kQueueFull);
+}
+
+TEST(FairQueueTest, RoundRobinInterleavesTenants) {
+  prim::FairQueue queue({.capacity = 16});
+  std::vector<std::string> order;
+  for (int i = 0; i < 3; ++i) {
+    (void)queue.try_push([&order] { order.push_back("a"); }, "a");
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)queue.try_push([&order] { order.push_back("b"); }, "b");
+  }
+  for (int i = 0; i < 6; ++i) queue.pop()();
+  // Equal weights: one task per tenant per round, not 3x "a" then 3x "b".
+  const std::vector<std::string> expected = {"a", "b", "a", "b", "a", "b"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(FairQueueTest, WeightsSkewServiceShare) {
+  prim::FairQueue queue({.capacity = 32});
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    (void)queue.try_push([&order] { order.push_back("fast"); }, "fast", 0, 2.0);
+    (void)queue.try_push([&order] { order.push_back("slow"); }, "slow", 0, 1.0);
+  }
+  // In the first 9 pops the weight-2 tenant should get ~2x the service of
+  // the weight-1 tenant while both stay backlogged.
+  int fast = 0;
+  for (int i = 0; i < 9; ++i) {
+    queue.pop()();
+  }
+  for (const std::string& who : order) fast += who == "fast" ? 1 : 0;
+  EXPECT_EQ(fast, 6);  // 2-of-3 share of 9 pops
+  for (int i = 0; i < 3; ++i) queue.pop()();  // drain the rest
+}
+
+TEST(FairQueueTest, PriorityOrdersWithinTenant) {
+  prim::FairQueue queue({.capacity = 8});
+  std::vector<int> order;
+  (void)queue.try_push([&order] { order.push_back(0); }, "t", 0);
+  (void)queue.try_push([&order] { order.push_back(2); }, "t", 2);
+  (void)queue.try_push([&order] { order.push_back(1); }, "t", 1);
+  for (int i = 0; i < 3; ++i) queue.pop()();
+  const std::vector<int> expected = {2, 1, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(FairQueueTest, CloseDrainsThenReturnsEmpty) {
+  prim::FairQueue queue({.capacity = 8});
+  std::atomic<int> ran{0};
+  (void)queue.try_push([&ran] { ++ran; }, "t");
+  queue.close();
+  EXPECT_EQ(queue.try_push([] {}, "t"), prim::FairQueue::PushResult::kClosed);
+  prim::FairQueue::Task task = queue.pop();
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(static_cast<bool>(queue.pop()));
+}
+
+// ---------------------------------------------------------------------------
+// util::CancelToken
+
+TEST(CancelTokenTest, FirstCauseWins) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.request_cancel(util::CancelCause::kDeadline));
+  EXPECT_FALSE(token.request_cancel(util::CancelCause::kUser));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), util::CancelCause::kDeadline);
+  EXPECT_THROW(token.throw_if_cancelled(), util::OperationCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+RouterOptions fast_breaker_router() {
+  RouterOptions options;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_backoff_ms = 20.0;
+  options.breaker.backoff_multiplier = 2.0;
+  options.breaker.max_backoff_ms = 200.0;
+  return options;
+}
+
+TEST(BreakerTest, OpensAfterConsecutiveFaultsAndSkips) {
+  BackendRouter router(fast_breaker_router());
+  EXPECT_TRUE(router.admit(Backend::kGpu));
+  router.record_fault(Backend::kGpu);
+  EXPECT_TRUE(router.admit(Backend::kGpu));
+  router.record_fault(Backend::kGpu);  // second consecutive fault: trips
+  EXPECT_FALSE(router.admit(Backend::kGpu));
+  const auto snaps = router.breaker_snapshots();
+  const auto& gpu = snaps[static_cast<std::size_t>(Backend::kGpu)];
+  EXPECT_EQ(gpu.state, BreakerState::kOpen);
+  EXPECT_EQ(gpu.trips, 1u);
+  EXPECT_EQ(gpu.skipped, 1u);
+}
+
+TEST(BreakerTest, HalfOpenProbeClosesOnSuccess) {
+  BackendRouter router(fast_breaker_router());
+  router.record_fault(Backend::kGpu);
+  router.record_fault(Backend::kGpu);
+  ASSERT_FALSE(router.admit(Backend::kGpu));
+  sleep_ms(25.0);  // past the 20 ms backoff
+  EXPECT_TRUE(router.admit(Backend::kGpu));  // the half-open probe
+  // Only one probe at a time.
+  EXPECT_FALSE(router.admit(Backend::kGpu));
+  router.record_success(Backend::kGpu);
+  EXPECT_TRUE(router.admit(Backend::kGpu));  // closed again
+  const auto snaps = router.breaker_snapshots();
+  EXPECT_EQ(snaps[static_cast<std::size_t>(Backend::kGpu)].state,
+            BreakerState::kClosed);
+}
+
+TEST(BreakerTest, FailedProbeReopensWithLongerBackoff) {
+  BackendRouter router(fast_breaker_router());
+  router.record_fault(Backend::kGpu);
+  router.record_fault(Backend::kGpu);
+  sleep_ms(25.0);
+  ASSERT_TRUE(router.admit(Backend::kGpu));
+  router.record_fault(Backend::kGpu);  // probe fails
+  const auto snaps = router.breaker_snapshots();
+  const auto& gpu = snaps[static_cast<std::size_t>(Backend::kGpu)];
+  EXPECT_EQ(gpu.state, BreakerState::kOpen);
+  EXPECT_EQ(gpu.trips, 2u);
+  EXPECT_GE(gpu.current_backoff_ms, 40.0);  // doubled
+  EXPECT_FALSE(router.admit(Backend::kGpu));
+}
+
+TEST(BreakerTest, ReleaseFreesProbeWithoutVerdict) {
+  BackendRouter router(fast_breaker_router());
+  router.record_fault(Backend::kGpu);
+  router.record_fault(Backend::kGpu);
+  sleep_ms(25.0);
+  ASSERT_TRUE(router.admit(Backend::kGpu));
+  router.release(Backend::kGpu);  // e.g. the probe request was cancelled
+  // The slot is free for the next probe; the breaker did not close.
+  EXPECT_TRUE(router.admit(Backend::kGpu));
+}
+
+TEST(BreakerTest, CpuTierNeverBreaks) {
+  BackendRouter router(fast_breaker_router());
+  for (int i = 0; i < 8; ++i) router.record_fault(Backend::kCpuHybrid);
+  EXPECT_TRUE(router.admit(Backend::kCpuHybrid));
+}
+
+TEST(BreakerTest, ServiceSkipsOpenTierAndStillServesExactly) {
+  // Script enough kGpu faults to trip the breaker, then watch explicit-gpu
+  // requests fall back to the CPU tier with the skip in the reason.
+  ChaosPlan chaos;
+  chaos.script({.site = ChaosSite::kBackendRun,
+                .backend = Backend::kGpu,
+                .occurrence = 1,
+                .repeats = 2});
+  ServiceOptions options;
+  options.router.breaker.failure_threshold = 2;
+  options.router.breaker.open_backoff_ms = 60'000.0;  // stays open for the test
+  options.chaos = &chaos;
+  TriangleService service(options);
+
+  const auto graph = share(gen::complete(16).edges);
+  const TriangleCount expected = gen::complete(16).expected_triangles;
+  // Two faulted serves trip the breaker (both still land exactly via CPU).
+  for (int i = 0; i < 2; ++i) {
+    const Response r = service.execute(count_request(graph, Backend::kGpu));
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.triangles, expected);
+    EXPECT_TRUE(r.degraded);
+  }
+  // Third serve: the tier is skipped outright, no chaos needed.
+  const Response skipped = service.execute(count_request(graph, Backend::kGpu));
+  ASSERT_EQ(skipped.status, Status::kOk);
+  EXPECT_EQ(skipped.triangles, expected);
+  EXPECT_NE(skipped.reason.find("skipped (circuit open)"), std::string::npos);
+  const MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.breakers[static_cast<std::size_t>(Backend::kGpu)].state,
+            BreakerState::kOpen);
+  EXPECT_GE(metrics.breakers[static_cast<std::size_t>(Backend::kGpu)].skipped,
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler edge cases: cancellation racing pause/resume, destructor drain,
+// deadlines at dequeue vs during execution, the watchdog budget.
+
+TEST(SchedulerEdgeTest, CancelDuringExecutionStopsTheWorker) {
+  std::atomic<bool> started{false};
+  RequestScheduler::Options options;
+  options.workers = 1;
+  RequestScheduler scheduler(
+      options, [&](const Request&, ExecContext& ctx) {
+        started.store(true);
+        // Spin like a backend inner loop: poll the token cooperatively.
+        while (!ctx.cancel->cancelled()) sleep_ms(0.2);
+        ctx.cancel->throw_if_cancelled();
+        return ok_response();
+      });
+  Request request;
+  request.graph = share(gen::cycle(3).edges);
+  Ticket ticket = scheduler.submit(std::move(request));
+  while (!started.load()) sleep_ms(0.2);
+  EXPECT_TRUE(ticket.cancel());  // satellite fix: observed mid-execution
+  const Response& response = ticket.wait();
+  EXPECT_EQ(response.status, Status::kCancelled);
+  EXPECT_NE(response.reason.find("during execution"), std::string::npos);
+}
+
+TEST(SchedulerEdgeTest, PauseResumeRacingCancel) {
+  RequestScheduler::Options options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  RequestScheduler scheduler(options, [&](const Request&, ExecContext&) {
+    return ok_response();
+  });
+  std::vector<Ticket> tickets;
+  for (int round = 0; round < 20; ++round) {
+    scheduler.pause();
+    for (int i = 0; i < 4; ++i) {
+      Request request;
+      request.graph = share(gen::cycle(3).edges);
+      tickets.push_back(scheduler.submit(std::move(request)));
+    }
+    // Cancel some while paused (still queued), race resume against it.
+    std::thread canceller([&] {
+      for (std::size_t i = tickets.size() - 4; i < tickets.size(); i += 2) {
+        (void)tickets[i].cancel();
+      }
+    });
+    scheduler.resume();
+    canceller.join();
+  }
+  for (Ticket& ticket : tickets) {
+    const Status status = ticket.wait().status;
+    EXPECT_TRUE(status == Status::kOk || status == Status::kCancelled);
+  }
+}
+
+TEST(SchedulerEdgeTest, DestructorDrainsFullMultiTenantQueue) {
+  std::atomic<int> served{0};
+  std::vector<Ticket> tickets;
+  {
+    RequestScheduler::Options options;
+    options.workers = 2;
+    options.queue_capacity = 32;
+    options.per_tenant_queue_cap = 8;
+    RequestScheduler scheduler(options, [&](const Request&, ExecContext&) {
+      ++served;
+      return ok_response();
+    });
+    scheduler.pause();
+    const char* tenants[] = {"a", "b", "c", "d"};
+    for (const char* tenant : tenants) {
+      for (int i = 0; i < 8; ++i) {
+        Request request;
+        request.graph = share(gen::cycle(3).edges);
+        request.tenant_id = tenant;
+        tickets.push_back(scheduler.submit(std::move(request)));
+      }
+    }
+    EXPECT_EQ(scheduler.queue_depth(), 32u);
+    scheduler.resume();
+    // Destructor runs here with (most of) the queue still full.
+  }
+  // Graceful drain: every admitted request reached a terminal state.
+  int ok = 0;
+  for (Ticket& ticket : tickets) {
+    ASSERT_TRUE(ticket.done());
+    ok += ticket.wait().status == Status::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(ok, 32);
+  EXPECT_EQ(served.load(), 32);
+}
+
+TEST(SchedulerEdgeTest, DeadlineAtDequeueVsDuringExecution) {
+  RequestScheduler::Options options;
+  options.workers = 1;
+  options.watchdog_interval_ms = 1.0;
+  RequestScheduler scheduler(
+      options, [&](const Request&, ExecContext& ctx) {
+        const auto start = std::chrono::steady_clock::now();
+        while (std::chrono::steady_clock::now() - start <
+               std::chrono::milliseconds(200)) {
+          ctx.cancel->throw_if_cancelled();
+          sleep_ms(0.5);
+        }
+        return ok_response();
+      });
+
+  // Expired while queued: pause so the deadline passes before dequeue.
+  scheduler.pause();
+  Request queued;
+  queued.graph = share(gen::cycle(3).edges);
+  queued.deadline_ms = 5;
+  Ticket queued_ticket = scheduler.submit(std::move(queued));
+  sleep_ms(15.0);
+  scheduler.resume();
+  const Response& at_dequeue = queued_ticket.wait();
+  EXPECT_EQ(at_dequeue.status, Status::kDeadlineExpired);
+  EXPECT_NE(at_dequeue.reason.find("in queue"), std::string::npos);
+
+  // Expired mid-execution: dequeues immediately, the 200 ms serve blows a
+  // 30 ms deadline, the watchdog cancels, the loop unwinds.
+  Request running;
+  running.graph = share(gen::cycle(3).edges);
+  running.deadline_ms = 30;
+  Ticket running_ticket = scheduler.submit(std::move(running));
+  const Response& during = running_ticket.wait();
+  EXPECT_EQ(during.status, Status::kDeadlineExpired);
+  EXPECT_NE(during.reason.find("during execution"), std::string::npos);
+}
+
+TEST(SchedulerEdgeTest, WatchdogEnforcesHardExecutionBudget) {
+  RequestScheduler::Options options;
+  options.workers = 1;
+  options.max_execution_ms = 20;
+  options.watchdog_interval_ms = 1.0;
+  RequestScheduler scheduler(
+      options, [&](const Request&, ExecContext& ctx) {
+        for (;;) {  // no deadline on the request: only the budget stops this
+          ctx.cancel->throw_if_cancelled();
+          sleep_ms(0.5);
+        }
+        return ok_response();
+      });
+  Request request;
+  request.graph = share(gen::cycle(3).edges);
+  Ticket ticket = scheduler.submit(std::move(request));
+  const Response& response = ticket.wait();
+  EXPECT_EQ(response.status, Status::kDeadlineExpired);
+  EXPECT_NE(response.reason.find("watchdog"), std::string::npos);
+  EXPECT_EQ(scheduler.watchdog_flags(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant isolation under overload
+
+TEST(TenantTest, HeavyTenantCannotStarveLightTenants) {
+  // One heavy tenant floods; seven light tenants trickle with deadlines.
+  // Isolation holds when every light request completes within its deadline
+  // and the overflow lands on the heavy tenant as clean backpressure.
+  ServiceOptions options;
+  options.scheduler.workers = 2;
+  options.scheduler.queue_capacity = 32;
+  options.scheduler.per_tenant_queue_cap = 8;
+  options.scheduler.tenant_weights["heavy"] = 1.0;
+  options.scheduler.default_tenant_weight = 1.0;
+  TriangleService service(options);
+
+  const auto graph = share(gen::complete(24).edges);
+  const TriangleCount expected = gen::complete(24).expected_triangles;
+
+  std::atomic<bool> stop{false};
+  std::vector<Ticket> heavy_tickets;
+  std::mutex heavy_mutex;
+  std::thread heavy([&] {
+    while (!stop.load()) {
+      // Explicit simulated-GPU requests: expensive enough to back the queue
+      // up against the tenant cap. Flood while admitted, back off a little
+      // on rejection so the ticket pile stays bounded.
+      Request request = count_request(graph, Backend::kGpu);
+      request.tenant_id = "heavy";
+      Ticket ticket = service.submit(std::move(request));
+      const bool rejected =
+          ticket.done() && ticket.wait().status == Status::kRejectedQueueFull;
+      {
+        std::lock_guard lock(heavy_mutex);
+        heavy_tickets.push_back(std::move(ticket));
+      }
+      if (rejected) sleep_ms(0.5);
+    }
+  });
+
+  constexpr int kLightTenants = 7;
+  constexpr int kRequestsEach = 6;
+  std::vector<std::thread> lights;
+  std::vector<std::vector<Response>> light_responses(kLightTenants);
+  for (int t = 0; t < kLightTenants; ++t) {
+    lights.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        Request request = count_request(graph);
+        request.tenant_id = "light-" + std::to_string(t);
+        request.deadline_ms = 2000;
+        light_responses[t].push_back(service.execute(std::move(request)));
+        sleep_ms(2.0);
+      }
+    });
+  }
+  for (std::thread& thread : lights) thread.join();
+  stop.store(true);
+  heavy.join();
+
+  for (int t = 0; t < kLightTenants; ++t) {
+    for (const Response& response : light_responses[t]) {
+      ASSERT_EQ(response.status, Status::kOk)
+          << "light tenant starved: " << response.reason;
+      EXPECT_EQ(response.triangles, expected);
+    }
+  }
+  // The heavy tenant's flood hit its cap: clean rejections, no exceptions.
+  std::uint64_t heavy_rejected = 0;
+  for (Ticket& ticket : heavy_tickets) {
+    const Response& response = ticket.wait();
+    if (response.status == Status::kRejectedQueueFull) {
+      ++heavy_rejected;
+      EXPECT_NE(response.reason.find("tenant 'heavy'"), std::string::npos);
+    }
+  }
+  EXPECT_GT(heavy_rejected, 0u);
+
+  const MetricsSnapshot metrics = service.metrics();
+  ASSERT_TRUE(metrics.tenants.count("heavy"));
+  EXPECT_EQ(metrics.tenants.at("heavy").rejected_queue_full, heavy_rejected);
+  for (int t = 0; t < kLightTenants; ++t) {
+    const std::string id = "light-" + std::to_string(t);
+    ASSERT_TRUE(metrics.tenants.count(id));
+    EXPECT_EQ(metrics.tenants.at(id).ok,
+              static_cast<std::uint64_t>(kRequestsEach));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos
+
+TEST(ChaosTest, ScriptedCatalogFaultFailsCleanly) {
+  ChaosPlan chaos;
+  chaos.script({.site = ChaosSite::kCatalogBuild, .occurrence = 1});
+  ServiceOptions options;
+  options.chaos = &chaos;
+  TriangleService service(options);
+  const auto graph = share(gen::complete(12).edges);
+  const Response failed = service.execute(count_request(graph));
+  EXPECT_EQ(failed.status, Status::kFailed);
+  EXPECT_NE(failed.reason.find("catalog build failure"), std::string::npos);
+  // The plan is spent: the next serve is healthy and exact.
+  const Response ok = service.execute(count_request(graph));
+  ASSERT_EQ(ok.status, Status::kOk);
+  EXPECT_EQ(ok.triangles, gen::complete(12).expected_triangles);
+}
+
+TEST(ChaosTest, ScriptedDelayTripsDeadlineDuringExecution) {
+  ChaosPlan chaos;
+  chaos.script({.site = ChaosSite::kExecuteDelay,
+                .occurrence = 1,
+                .delay_ms = 120.0});
+  ServiceOptions options;
+  options.chaos = &chaos;
+  options.scheduler.watchdog_interval_ms = 1.0;
+  TriangleService service(options);
+  Request request = count_request(share(gen::complete(12).edges));
+  request.deadline_ms = 25;
+  const Response response = service.execute(std::move(request));
+  EXPECT_EQ(response.status, Status::kDeadlineExpired);
+  EXPECT_NE(response.reason.find("during execution"), std::string::npos);
+}
+
+TEST(ChaosTest, RandomizedStormIsExactOrCleanlyRejected) {
+  // A seeded storm of backend faults, catalog failures and slow executions
+  // over a mixed multi-tenant workload. Invariants: every response is
+  // either exactly right or a clean non-kOk with a reason; the service
+  // drains; the metrics account every submission.
+  ChaosPlan chaos;
+  chaos.randomize(20260806, {.catalog_fault_rate = 0.10,
+                             .backend_fault_rate = 0.25,
+                             .delay_rate = 0.15,
+                             .max_delay_ms = 8.0});
+  ServiceOptions options;
+  options.scheduler.workers = 3;
+  options.scheduler.queue_capacity = 24;
+  options.scheduler.per_tenant_queue_cap = 12;
+  options.scheduler.max_execution_ms = 2000;
+  options.router.breaker.failure_threshold = 3;
+  options.router.breaker.open_backoff_ms = 10.0;
+  options.chaos = &chaos;
+  std::uint64_t submitted = 0;
+  std::vector<Response> responses;
+  {
+    TriangleService service(options);
+    const auto complete = share(gen::complete(20).edges);
+    const auto windmill = share(gen::windmill(6, 8).edges);
+    const TriangleCount complete_expected = gen::complete(20).expected_triangles;
+    const TriangleCount windmill_expected = gen::windmill(6, 8).expected_triangles;
+
+    constexpr int kClients = 4;
+    constexpr int kRequestsEach = 30;
+    std::vector<std::thread> clients;
+    std::vector<std::vector<Response>> per_client(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsEach; ++i) {
+          const bool big = (c + i) % 2 == 0;
+          Request request = count_request(
+              big ? complete : windmill,
+              i % 3 == 0 ? Backend::kGpu : Backend::kAuto);
+          request.tenant_id = "client-" + std::to_string(c);
+          if (i % 4 == 0) request.deadline_ms = 500;
+          per_client[c].push_back(service.execute(std::move(request)));
+        }
+      });
+    }
+    for (std::thread& thread : clients) thread.join();
+
+    for (int c = 0; c < kClients; ++c) {
+      for (std::size_t i = 0; i < per_client[c].size(); ++i) {
+        const Response& response = per_client[c][i];
+        const bool big = (c + static_cast<int>(i)) % 2 == 0;
+        if (response.status == Status::kOk) {
+          EXPECT_EQ(response.triangles,
+                    big ? complete_expected : windmill_expected)
+              << "chaos corrupted an exact count";
+        } else {
+          EXPECT_FALSE(response.reason.empty())
+              << "rejection without a reason";
+        }
+        responses.push_back(response);
+      }
+    }
+    submitted = service.metrics().submitted;
+    // Destructor: the drain must complete despite the storm.
+  }
+  EXPECT_EQ(submitted, responses.size());
+  EXPECT_GT(chaos.fired(), 0u);
+}
+
+TEST(ChaosTest, TenantSlicesSumToGlobalCounters) {
+  ServiceOptions options;
+  TriangleService service(options);
+  const auto graph = share(gen::complete(12).edges);
+  for (int i = 0; i < 5; ++i) {
+    Request request = count_request(graph);
+    request.tenant_id = i % 2 == 0 ? "even" : "odd";
+    (void)service.execute(std::move(request));
+  }
+  const MetricsSnapshot metrics = service.metrics();
+  std::uint64_t sum_ok = 0, sum_completed = 0;
+  for (const auto& [id, tenant] : metrics.tenants) {
+    sum_ok += tenant.ok;
+    sum_completed += tenant.completed;
+  }
+  EXPECT_EQ(sum_ok, metrics.ok);
+  EXPECT_EQ(sum_completed, metrics.completed);
+  EXPECT_EQ(metrics.tenants.at("even").ok, 3u);
+  EXPECT_EQ(metrics.tenants.at("odd").ok, 2u);
+}
+
+}  // namespace
+}  // namespace trico::service
