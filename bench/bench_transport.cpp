@@ -1,0 +1,215 @@
+// Experiment E23 — transport-layer overhead: wire codec and loopback RTT.
+//
+// The cross-process transport must not eat the speedup the engine earns, so
+// this bench puts numbers on its two costs:
+//
+//   codec      encode_request + decode_request over graphs of increasing
+//              size — MB/s through the framing layer (the per-request
+//              serialization tax, paid once per wire hop);
+//   loopback   full client → server → TriangleService → client round trips
+//              over localhost TCP with a warm catalog, at 1 and 4 client
+//              threads — requests/second including framing, checksums, the
+//              dedup table and the scheduler, plus the heartbeat RTT as the
+//              floor (a heartbeat is a frame round trip with no service
+//              work attached).
+//
+// The loopback/heartbeat gap is the service-side cost; the heartbeat RTT
+// itself is the wire tax. Results go to BENCH_transport.json.
+//
+// Flags:
+//   --requests N   round trips per loopback measurement (default: 64)
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+#include "report.hpp"
+#include "service/service.hpp"
+#include "transport/client.hpp"
+#include "transport/server.hpp"
+#include "transport/wire.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace trico;
+
+namespace {
+
+using GraphPtr = std::shared_ptr<const EdgeList>;
+
+struct CodecRow {
+  std::string name;
+  std::size_t payload_bytes = 0;
+  double encode_ms = 0;
+  double decode_ms = 0;
+  double round_trip_mbps = 0;
+};
+
+CodecRow measure_codec(const std::string& name, const EdgeList& edges) {
+  service::Request request;
+  request.graph = std::make_shared<const EdgeList>(edges);
+  request.op = service::Operation::kCount;
+  request.backend = service::Backend::kCpuHybrid;
+  request.tenant_id = "bench";
+
+  CodecRow row;
+  row.name = name;
+  const std::vector<std::uint8_t> payload = transport::encode_request(request);
+  row.payload_bytes = payload.size();
+
+  constexpr std::size_t kReps = 20;
+  row.encode_ms =
+      util::repeat_timed(kReps, [&] {
+        volatile std::size_t sink = transport::encode_request(request).size();
+        (void)sink;
+      }).mean_ms;
+  row.decode_ms =
+      util::repeat_timed(kReps, [&] {
+        const service::Request decoded = transport::decode_request(payload);
+        volatile std::size_t sink = decoded.graph->num_edge_slots();
+        (void)sink;
+      }).mean_ms;
+  const double round_ms = row.encode_ms + row.decode_ms;
+  row.round_trip_mbps =
+      round_ms > 0 ? (row.payload_bytes / 1.0e6) / (round_ms / 1.0e3) : 0;
+  return row;
+}
+
+struct LoopbackRow {
+  int threads = 1;
+  int requests = 0;
+  double total_ms = 0;
+  double requests_per_s = 0;
+};
+
+LoopbackRow measure_loopback(std::uint16_t port, int threads, int requests,
+                             const GraphPtr& graph) {
+  LoopbackRow row;
+  row.threads = threads;
+  row.requests = requests;
+
+  util::Timer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Client is single-threaded by contract: one per worker thread.
+      transport::ClientOptions copts;
+      copts.port = port;
+      transport::Client client(copts);
+      for (int i = t; i < requests; i += threads) {
+        service::Request request;
+        request.graph = graph;
+        request.op = service::Operation::kCount;
+        request.backend = service::Backend::kCpuHybrid;
+        request.tenant_id = "bench-" + std::to_string(t);
+        (void)client.execute(request);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  row.total_ms = timer.elapsed_ms();
+  row.requests_per_s =
+      row.total_ms > 0 ? requests / (row.total_ms / 1.0e3) : 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::stoi(argv[++i]);
+    }
+  }
+
+  // --- codec -------------------------------------------------------------
+  std::vector<CodecRow> codec;
+  codec.push_back(measure_codec("er-16k", gen::erdos_renyi(2000, 16'384, 1)));
+  codec.push_back(measure_codec("er-131k", gen::erdos_renyi(8000, 131'072, 2)));
+  codec.push_back(
+      measure_codec("er-1m", gen::erdos_renyi(40'000, 1'048'576, 3)));
+
+  util::Table codec_table({"Graph", "Payload B", "Encode ms", "Decode ms",
+                           "MB/s"});
+  codec_table.section("Wire codec");
+  for (const CodecRow& row : codec) {
+    codec_table.row()
+        .cell(row.name)
+        .cell(std::uint64_t{row.payload_bytes})
+        .cell(row.encode_ms, 3)
+        .cell(row.decode_ms, 3)
+        .cell(row.round_trip_mbps, 1);
+  }
+  codec_table.print(std::cout);
+
+  // --- loopback ------------------------------------------------------------
+  service::TriangleService svc;
+  transport::Server server(svc);
+  server.start();
+
+  const gen::ReferenceGraph reference = gen::complete(24);
+  const auto graph = std::make_shared<const EdgeList>(reference.edges);
+
+  // Warm the catalog so round trips measure transport, not preprocessing.
+  (void)measure_loopback(server.port(), 1, 2, graph);
+
+  std::vector<LoopbackRow> loopback;
+  for (int threads : {1, 4}) {
+    loopback.push_back(
+        measure_loopback(server.port(), threads, requests, graph));
+  }
+
+  // Heartbeat RTT: a frame round trip with no service work attached.
+  transport::ClientOptions copts;
+  copts.port = server.port();
+  transport::Client heartbeater(copts);
+  const double heartbeat_ms =
+      util::repeat_timed(50, [&] { (void)heartbeater.heartbeat(); }).mean_ms;
+  heartbeater.disconnect();
+
+  util::Table loop_table({"Clients", "Requests", "Total ms", "Req/s"});
+  loop_table.section("Loopback round trip (warm catalog)");
+  for (const LoopbackRow& row : loopback) {
+    loop_table.row()
+        .cell(row.threads)
+        .cell(row.requests)
+        .cell(row.total_ms, 1)
+        .cell(row.requests_per_s, 1);
+  }
+  loop_table.print(std::cout);
+  std::cout << "Heartbeat RTT: " << heartbeat_ms << " ms\n";
+
+  server.stop();
+
+  // --- report --------------------------------------------------------------
+  bench::Json codec_json = bench::Json::array();
+  for (const CodecRow& row : codec) {
+    codec_json.push(bench::Json::object()
+                        .set("graph", row.name)
+                        .set("payload_bytes", std::uint64_t{row.payload_bytes})
+                        .set("encode_ms", row.encode_ms)
+                        .set("decode_ms", row.decode_ms)
+                        .set("round_trip_mbps", row.round_trip_mbps));
+  }
+  bench::Json loop_json = bench::Json::array();
+  for (const LoopbackRow& row : loopback) {
+    loop_json.push(bench::Json::object()
+                       .set("clients", row.threads)
+                       .set("requests", row.requests)
+                       .set("total_ms", row.total_ms)
+                       .set("requests_per_s", row.requests_per_s));
+  }
+  bench::Json payload = bench::Json::object()
+                            .set("experiment", "transport")
+                            .set("codec", std::move(codec_json))
+                            .set("loopback", std::move(loop_json))
+                            .set("heartbeat_rtt_ms", heartbeat_ms);
+  bench::write_bench_report("transport", payload);
+  return 0;
+}

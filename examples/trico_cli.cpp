@@ -35,8 +35,34 @@
 //   --catalog-mb N  catalog byte budget in MiB; 0 disables (default: 1024)
 //   --device D      device model for the simulated tiers
 //
+// Server mode (`trico_cli serve`) exposes the service over the transport
+// wire protocol (src/transport/): prints exactly one "LISTENING <port>"
+// line on stdout once bound, serves until SIGTERM/SIGINT, then drains
+// gracefully (finishes in-flight requests, flushes responses). The
+// --chaos-* flags arm worker-side fault injection for the chaos harness.
+//
+// Serve options:
+//   --port N            0 = ephemeral (default)
+//   --workers/--queue/--device/--catalog-mb as in batch mode
+//   --chaos-seed S      seed for randomized chaos (0 = chaos off)
+//   --chaos-torn R      torn-response-frame probability
+//   --chaos-reset R     connection-reset probability
+//   --chaos-delay R     delayed-ack probability
+//   --chaos-max-delay M max ack delay in ms        (default: 5)
+//   --chaos-kill R      abrupt worker-exit probability (kill -9 semantics)
+//
+// Client mode (`trico_cli client --port N <graph-spec>`) sends requests to
+// a running server with idempotent retries and prints the result like
+// single-shot mode. `--repeat N` sends the query N times (catalog hits),
+// `--metrics` dumps the server's MetricsSnapshot stream afterwards.
+//
+// Cluster mode (`trico_cli cluster <graph-spec>`) runs the WorkerSupervisor
+// demo: spawns N supervised serve workers (of this same binary), routes
+// --requests requests across them, and reports supervisor stats.
+//
 // Exit status 0 on success; the triangle count goes to stdout.
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,6 +72,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/clustering.hpp"
 #include "core/gpu_forward.hpp"
 #include "cpu/counting.hpp"
@@ -54,6 +82,10 @@
 #include "graph/stats.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "service/service.hpp"
+#include "transport/client.hpp"
+#include "transport/server.hpp"
+#include "transport/supervisor.hpp"
+#include "util/io.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -68,7 +100,20 @@ using namespace trico;
                "       " << argv0
             << " batch [--workers N] [--queue N] [--tenant-cap N]\n"
                "       [--backend B] [--objective O] [--catalog-mb N] "
-               "[--device D] <script-file>\n";
+               "[--device D] <script-file>\n"
+               "       " << argv0
+            << " serve [--port N] [--workers N] [--queue N] [--device D]\n"
+               "       [--chaos-seed S] [--chaos-torn R] [--chaos-reset R] "
+               "[--chaos-delay R]\n"
+               "       [--chaos-max-delay MS] [--chaos-kill R]\n"
+               "       " << argv0
+            << " client --port N [--host H] [--repeat N] [--tenant T] "
+               "[--op OP]\n"
+               "       [--backend B] [--attempts N] [--metrics] "
+               "<graph-spec>\n"
+               "       " << argv0
+            << " cluster [--workers N] [--requests N] [--chaos-* ...] "
+               "<graph-spec>\n";
   std::exit(2);
 }
 
@@ -247,12 +292,255 @@ int run_batch(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// -- serve -----------------------------------------------------------------
+
+/// SIGTERM/SIGINT land here; the handler only writes a byte to the
+/// self-pipe (async-signal-safe) and the main thread does the drain.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_terminate_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int run_serve(int argc, char** argv) {
+  std::size_t workers = 2, queue = 256;
+  std::uint64_t catalog_mb = 1024;
+  std::uint16_t port = 0;
+  std::string device_name = "gtx980";
+  std::uint64_t chaos_seed = 0;
+  service::ChaosPlan::RandomOptions chaos_opts;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--workers") {
+      workers = std::stoul(next());
+    } else if (arg == "--queue") {
+      queue = std::stoul(next());
+    } else if (arg == "--catalog-mb") {
+      catalog_mb = std::stoull(next());
+    } else if (arg == "--device") {
+      device_name = next();
+    } else if (arg == "--chaos-seed") {
+      chaos_seed = std::stoull(next());
+    } else if (arg == "--chaos-torn") {
+      chaos_opts.torn_frame_rate = std::stod(next());
+    } else if (arg == "--chaos-reset") {
+      chaos_opts.conn_reset_rate = std::stod(next());
+    } else if (arg == "--chaos-delay") {
+      chaos_opts.wire_delay_rate = std::stod(next());
+    } else if (arg == "--chaos-max-delay") {
+      chaos_opts.max_wire_delay_ms = std::stod(next());
+    } else if (arg == "--chaos-kill") {
+      chaos_opts.worker_kill_rate = std::stod(next());
+    } else {
+      std::cerr << "unknown serve option: " << arg << "\n";
+      usage(argv[0]);
+    }
+  }
+
+  service::ChaosPlan chaos;
+  service::ServiceOptions options;
+  options.scheduler.workers = workers;
+  options.scheduler.queue_capacity = queue;
+  options.catalog.byte_budget = catalog_mb << 20;
+  options.router.device = parse_device(device_name);
+  transport::ServerOptions server_options;
+  server_options.port = port;
+  if (chaos_seed != 0) {
+    chaos.randomize(chaos_seed, chaos_opts);
+    options.chaos = &chaos;
+    server_options.chaos = &chaos;
+  }
+
+  service::TriangleService svc(options);
+  transport::Server server(svc, server_options);
+
+  if (::pipe(g_signal_pipe) < 0) {
+    std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+
+  server.start();
+  // The supervisor's spawn handshake: exactly one LISTENING line, nothing
+  // else ever goes to stdout in serve mode.
+  std::cout << "LISTENING " << server.port() << "\n" << std::flush;
+  std::cerr << "trico_cli serve: pid " << ::getpid() << " port "
+            << server.port() << "\n";
+
+  char byte = 0;
+  (void)util::io::read_full(g_signal_pipe[0], &byte, 1);
+  std::cerr << "trico_cli serve: draining\n";
+  server.drain();
+  server.stop();
+  const transport::ServerStats stats = server.stats();
+  std::cerr << "trico_cli serve: done (" << stats.requests << " requests, "
+            << stats.duplicates << " duplicates, " << stats.drained_rejects
+            << " drained)\n";
+  return 0;
+}
+
+// -- client ----------------------------------------------------------------
+
+int run_client(int argc, char** argv) {
+  transport::ClientOptions copts;
+  std::string spec, tenant, op_name = "count", backend_name = "auto";
+  int repeat = 1;
+  bool metrics = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--host") {
+      copts.host = next();
+    } else if (arg == "--port") {
+      copts.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--repeat") {
+      repeat = std::stoi(next());
+    } else if (arg == "--tenant") {
+      tenant = next();
+    } else if (arg == "--op") {
+      op_name = next();
+    } else if (arg == "--backend") {
+      backend_name = next();
+    } else if (arg == "--attempts") {
+      copts.max_attempts = std::stoi(next());
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown client option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      spec = arg;
+    }
+  }
+  if (spec.empty() || copts.port == 0) usage(argv[0]);
+
+  transport::Client client(copts);
+  service::Request request;
+  request.graph = std::make_shared<const EdgeList>(load_spec(spec));
+  request.op = parse_operation(op_name);
+  request.backend = parse_backend(backend_name);
+  request.tenant_id = tenant;
+
+  int failed = 0;
+  for (int i = 0; i < repeat; ++i) {
+    util::Timer timer;
+    const service::Response r = client.execute(request);
+    std::cerr << spec << " " << to_string(r.status);
+    if (r.status == service::Status::kOk) {
+      std::cerr << " backend=" << to_string(r.backend)
+                << " hit=" << (r.catalog_hit ? 1 : 0);
+    } else {
+      ++failed;
+      std::cerr << " reason=\"" << r.reason << "\"";
+    }
+    std::cerr << " rtt_ms=" << timer.elapsed_ms() << "\n";
+    if (i + 1 == repeat && r.status == service::Status::kOk) {
+      switch (request.op) {
+        case service::Operation::kCount:
+          std::cout << r.triangles << "\n";
+          break;
+        case service::Operation::kClustering:
+          std::cout << r.clustering << " " << r.transitivity << "\n";
+          break;
+        case service::Operation::kTruss:
+          std::cout << r.max_trussness << "\n";
+          break;
+      }
+    }
+  }
+  if (metrics) std::cerr << client.fetch_metrics();
+  return failed == 0 ? 0 : 1;
+}
+
+// -- cluster ---------------------------------------------------------------
+
+int run_cluster(int argc, char** argv) {
+  transport::SupervisorOptions sopts;
+  sopts.cli_path = "/proc/self/exe";
+  std::string spec;
+  int requests = 16;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--workers") {
+      sopts.num_workers = std::stoi(next());
+    } else if (arg == "--requests") {
+      requests = std::stoi(next());
+    } else if (arg.rfind("--chaos-", 0) == 0) {
+      // Forwarded verbatim to every worker's serve command line.
+      sopts.worker_args.push_back(arg);
+      sopts.worker_args.push_back(next());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown cluster option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      spec = arg;
+    }
+  }
+  if (spec.empty()) usage(argv[0]);
+
+  transport::WorkerSupervisor supervisor(sopts);
+  supervisor.start();
+
+  service::Request request;
+  request.graph = std::make_shared<const EdgeList>(load_spec(spec));
+
+  util::Timer timer;
+  int failed = 0;
+  TriangleCount triangles = 0;
+  for (int i = 0; i < requests; ++i) {
+    try {
+      const service::Response r = supervisor.execute(request);
+      if (r.status == service::Status::kOk) {
+        triangles = r.triangles;
+      } else {
+        ++failed;
+        std::cerr << "request " << i << ": " << to_string(r.status)
+                  << " reason=\"" << r.reason << "\"\n";
+      }
+    } catch (const transport::TransportError& error) {
+      ++failed;
+      std::cerr << "request " << i << ": " << error.what() << "\n";
+    }
+  }
+  const transport::SupervisorStats stats = supervisor.stats();
+  std::cerr << "cluster: " << requests << " requests in "
+            << timer.elapsed_ms() << " ms, " << failed << " failed, "
+            << stats.restarts << " worker restarts, " << stats.reroutes
+            << " reroutes, " << stats.heartbeat_faults
+            << " heartbeat faults\n";
+  supervisor.stop();
+  std::cout << triangles << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+  if (argc > 1) {
+    const std::string mode = argv[1];
     try {
-      return run_batch(argc, argv);
+      if (mode == "batch") return run_batch(argc, argv);
+      if (mode == "serve") return run_serve(argc, argv);
+      if (mode == "client") return run_client(argc, argv);
+      if (mode == "cluster") return run_cluster(argc, argv);
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << "\n";
       return 1;

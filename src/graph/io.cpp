@@ -10,6 +10,11 @@
 #include <sstream>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
 namespace trico::io {
 
 namespace {
@@ -255,8 +260,28 @@ EdgeList read_binary(std::istream& in) {
 }
 
 EdgeList read_binary_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open graph file: " + path);
+  // The binary loader goes through the EINTR-safe fd helpers instead of an
+  // ifstream: a service worker loading a multi-GB `.trico` file must not
+  // fail on a signal landing mid-read (SIGCHLD from the supervisor, the
+  // drain SIGTERM) or on a short read from a network filesystem.
+  const int fd = util::io::open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open graph file: " + path);
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || ::lseek(fd, 0, SEEK_SET) < 0) {
+    util::io::close_quiet(fd);
+    fail("cannot determine size of graph file: " + path);
+  }
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  const util::io::IoResult r =
+      util::io::read_full(fd, bytes.data(), bytes.size());
+  util::io::close_quiet(fd);
+  if (r.status != util::io::IoStatus::kOk) {
+    fail("read failure on graph file " + path + ": " +
+         (r.status == util::io::IoStatus::kEof
+              ? "file shrank mid-read"
+              : std::string(std::strerror(r.error))));
+  }
+  std::istringstream in(std::move(bytes), std::ios::binary);
   return read_binary(in);
 }
 

@@ -44,11 +44,19 @@ OutOfCoreResult OutOfCoreCounter::count(const EdgeList& edges,
   // inside a task (a task exceeding memory means k is too small).
   task_options.allow_cpu_preprocess = false;
 
+  // Cooperative cancellation at task granularity: the C(k+2,3) loop is the
+  // longest-running host loop in the repo, and without this poll a
+  // cancelled or deadline-expired out-of-core request used to run to
+  // completion anyway. The token also reaches into each task's extraction
+  // pass (make_task) and simulated pipeline (options.sim.cancel).
+  const util::CancelToken* cancel = options_.sim.cancel;
+
   unsigned next_device = 0;
   for (std::uint32_t i = 0; i < num_colors_; ++i) {
     for (std::uint32_t j = i; j < num_colors_; ++j) {
       for (std::uint32_t l = j; l < num_colors_; ++l) {
-        SubgraphTask task = make_task(edges, coloring, i, j, l, pool_);
+        if (cancel != nullptr) cancel->throw_if_cancelled();
+        SubgraphTask task = make_task(edges, coloring, i, j, l, pool_, cancel);
         result.total_task_slots += task.edges.num_edge_slots();
         if (task.edges.empty()) continue;
 

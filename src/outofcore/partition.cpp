@@ -53,7 +53,8 @@ SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
 
 SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
                        std::uint32_t i, std::uint32_t j, std::uint32_t l,
-                       prim::ThreadPool& pool) {
+                       prim::ThreadPool& pool,
+                       const util::CancelToken* cancel) {
   if (!(i <= j && j <= l) || l >= coloring.num_colors) {
     throw std::invalid_argument("make_task: triple must satisfy i <= j <= l < k");
   }
@@ -67,9 +68,17 @@ SubgraphTask make_task(const EdgeList& edges, const Coloring& coloring,
   };
   const auto slots = edges.edges();
   std::vector<std::uint8_t> drop(slots.size());
-  prim::parallel_for(pool, 0, slots.size(), [&](std::size_t s) {
-    drop[s] = !(in_triple(slots[s].u) && in_triple(slots[s].v));
-  });
+  prim::parallel_chunks_dynamic(
+      pool, 0, slots.size(), 0,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        // Cancellation poll at chunk granularity: remaining chunks drain as
+        // no-ops and the throw happens below on the calling thread.
+        if (cancel != nullptr && cancel->cancelled()) return;
+        for (std::size_t s = lo; s < hi; ++s) {
+          drop[s] = !(in_triple(slots[s].u) && in_triple(slots[s].v));
+        }
+      });
+  if (cancel != nullptr) cancel->throw_if_cancelled();
   task.edges = EdgeList(prim::remove_if_flagged<Edge>(pool, slots, drop),
                         edges.num_vertices());
   return task;

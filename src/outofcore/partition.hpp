@@ -24,6 +24,7 @@
 
 #include "graph/edge_list.hpp"
 #include "prim/thread_pool.hpp"
+#include "util/cancel.hpp"
 
 namespace trico::outofcore {
 
@@ -62,11 +63,15 @@ struct SubgraphTask {
 /// Parallel make_task: the extraction (flag + stable compaction) runs on the
 /// pool, producing the identical subgraph. This is the host-side streaming
 /// pass the out-of-core counter repeats C(k+2,3) times, so it dominates
-/// partition wall clock on large graphs.
+/// partition wall clock on large graphs. `cancel` is polled at chunk
+/// granularity inside the parallel flag pass (same idiom as the cpu-hybrid
+/// inner loop): remaining chunks drain as no-ops and CancelledError is
+/// thrown on the calling thread.
 [[nodiscard]] SubgraphTask make_task(const EdgeList& edges,
                                      const Coloring& coloring,
                                      std::uint32_t i, std::uint32_t j,
-                                     std::uint32_t l, prim::ThreadPool& pool);
+                                     std::uint32_t l, prim::ThreadPool& pool,
+                                     const util::CancelToken* cancel = nullptr);
 
 /// Enumerates every task for `coloring` (small k only — the count is cubic).
 [[nodiscard]] std::vector<SubgraphTask> make_all_tasks(const EdgeList& edges,

@@ -9,6 +9,10 @@ const char* to_string(ChaosSite site) {
     case ChaosSite::kCatalogBuild: return "catalog-build";
     case ChaosSite::kBackendRun: return "backend-run";
     case ChaosSite::kExecuteDelay: return "execute-delay";
+    case ChaosSite::kWireTornFrame: return "wire-torn-frame";
+    case ChaosSite::kWireDelayedAck: return "wire-delayed-ack";
+    case ChaosSite::kWireConnReset: return "wire-conn-reset";
+    case ChaosSite::kWireWorkerKill: return "wire-worker-kill";
   }
   return "?";
 }
@@ -62,19 +66,29 @@ bool ChaosPlan::roll_locked(ChaosSite site, Backend backend, double rate) {
 
 bool ChaosPlan::should_fault(ChaosSite site, Backend backend) {
   std::lock_guard lock(mutex_);
-  const double rate = site == ChaosSite::kCatalogBuild
-                          ? random_.catalog_fault_rate
-                          : random_.backend_fault_rate;
+  double rate = 0;
+  switch (site) {
+    case ChaosSite::kCatalogBuild: rate = random_.catalog_fault_rate; break;
+    case ChaosSite::kBackendRun: rate = random_.backend_fault_rate; break;
+    case ChaosSite::kWireTornFrame: rate = random_.torn_frame_rate; break;
+    case ChaosSite::kWireConnReset: rate = random_.conn_reset_rate; break;
+    case ChaosSite::kWireWorkerKill: rate = random_.worker_kill_rate; break;
+    case ChaosSite::kExecuteDelay:
+    case ChaosSite::kWireDelayedAck:
+      // Delay sites carry a magnitude; probe them via the *_delay_ms()
+      // helpers instead so the caller learns how long to stall.
+      rate = 0;
+      break;
+  }
   return roll_locked(site, backend, rate);
 }
 
-double ChaosPlan::execute_delay_ms() {
-  std::lock_guard lock(mutex_);
+double ChaosPlan::delay_locked(ChaosSite site, double rate, double max_ms) {
   // Scripted delays carry their own magnitude; take the largest firing one.
   double delay = 0;
   bool scripted = false;
   for (Armed& armed : armed_) {
-    if (armed.spec.site != ChaosSite::kExecuteDelay) continue;
+    if (armed.spec.site != site) continue;
     ++armed.probes;
     if (armed.probes >= armed.spec.occurrence &&
         armed.fired < armed.spec.repeats) {
@@ -83,17 +97,29 @@ double ChaosPlan::execute_delay_ms() {
       if (armed.spec.delay_ms > delay) delay = armed.spec.delay_ms;
     }
   }
-  if (!scripted && randomized_ && random_.delay_rate > 0) {
+  if (!scripted && randomized_ && rate > 0) {
     const double roll = static_cast<double>(next_random_locked() >> 11) *
                         0x1.0p-53;
-    if (roll < random_.delay_rate) {
+    if (roll < rate) {
       const double frac = static_cast<double>(next_random_locked() >> 11) *
                           0x1.0p-53;
-      delay = random_.max_delay_ms * (frac + 1.0 / 1024.0);
+      delay = max_ms * (frac + 1.0 / 1024.0);
     }
   }
   if (delay > 0) ++fired_;
   return delay;
+}
+
+double ChaosPlan::execute_delay_ms() {
+  std::lock_guard lock(mutex_);
+  return delay_locked(ChaosSite::kExecuteDelay, random_.delay_rate,
+                      random_.max_delay_ms);
+}
+
+double ChaosPlan::wire_delay_ms() {
+  std::lock_guard lock(mutex_);
+  return delay_locked(ChaosSite::kWireDelayedAck, random_.wire_delay_rate,
+                      random_.max_wire_delay_ms);
 }
 
 std::uint64_t ChaosPlan::fired() const {

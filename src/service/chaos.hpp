@@ -17,6 +17,14 @@
 //                      specs can target one backend or all (kAuto).
 //  * kExecuteDelay  -> the worker sleeps delay_ms before serving; exercises
 //                      deadlines-during-execution and the watchdog budget.
+//  * kWireTornFrame -> transport::Server truncates the response frame
+//                      mid-payload and drops the connection; the client must
+//                      detect the tear and retry idempotently.
+//  * kWireDelayedAck-> the server sits on a finished response before
+//                      flushing; exercises client timeouts racing real work.
+//  * kWireConnReset -> the connection is reset (RST) instead of answering.
+//  * kWireWorkerKill-> the worker process exits abruptly (kill -9
+//                      semantics); only the supervisor can recover.
 //
 // Thread-safe: the service probes from every worker concurrently. The plan
 // outlives the service that points at it (ServiceOptions::chaos is
@@ -32,11 +40,17 @@
 
 namespace trico::service {
 
-/// Where in the serve path a chaos fault can strike.
+/// Where in the serve path a chaos fault can strike. The kWire* sites are
+/// probed by transport::Server (src/transport/), one layer below the serve
+/// path — the process/network failure modes of the cross-process stack.
 enum class ChaosSite : std::uint8_t {
-  kCatalogBuild,   ///< graph acquisition / preprocessing
-  kBackendRun,     ///< launch of a counting tier
-  kExecuteDelay,   ///< slow execution (a sleep before serving)
+  kCatalogBuild,    ///< graph acquisition / preprocessing
+  kBackendRun,      ///< launch of a counting tier
+  kExecuteDelay,    ///< slow execution (a sleep before serving)
+  kWireTornFrame,   ///< response frame truncated mid-payload, connection dropped
+  kWireDelayedAck,  ///< response held back before flushing (slow ack)
+  kWireConnReset,   ///< connection reset (RST) instead of a response
+  kWireWorkerKill,  ///< worker process dies abruptly (kill -9 semantics)
 };
 
 [[nodiscard]] const char* to_string(ChaosSite site);
@@ -62,6 +76,12 @@ class ChaosPlan {
     double backend_fault_rate = 0;
     double delay_rate = 0;
     double max_delay_ms = 5.0;  ///< random delays are uniform in (0, max]
+    // Wire-layer rates, probed by transport::Server per response / request.
+    double torn_frame_rate = 0;
+    double conn_reset_rate = 0;
+    double wire_delay_rate = 0;
+    double max_wire_delay_ms = 5.0;  ///< random ack delays, uniform in (0, max]
+    double worker_kill_rate = 0;
   };
 
   ChaosPlan() = default;
@@ -80,6 +100,10 @@ class ChaosPlan {
   /// Probes the delay site. Returns the milliseconds to stall (0 = none).
   [[nodiscard]] double execute_delay_ms();
 
+  /// Probes the kWireDelayedAck site: milliseconds the server must sit on a
+  /// finished response before flushing it (0 = none).
+  [[nodiscard]] double wire_delay_ms();
+
   /// Faults + delays that have fired so far.
   [[nodiscard]] std::uint64_t fired() const;
 
@@ -92,6 +116,8 @@ class ChaosPlan {
 
   /// Consults the script, then the random roll. Caller holds mutex_.
   bool roll_locked(ChaosSite site, Backend backend, double rate);
+  /// Shared body of the two delay probes. Caller holds mutex_.
+  double delay_locked(ChaosSite site, double rate, double max_ms);
   std::uint64_t next_random_locked();
 
   mutable std::mutex mutex_;

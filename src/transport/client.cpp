@@ -1,0 +1,280 @@
+#include "transport/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace trico::transport {
+
+const char* to_string(TransportFault fault) {
+  switch (fault) {
+    case TransportFault::kConnect: return "connect failed";
+    case TransportFault::kTimeout: return "timed out";
+    case TransportFault::kExhausted: return "retries exhausted";
+    case TransportFault::kProtocol: return "protocol error";
+  }
+  return "?";
+}
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  std::signal(SIGPIPE, SIG_IGN);
+  std::uint64_t seed = options_.seed;
+  if (seed == 0) {
+    seed = static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           (static_cast<std::uint64_t>(::getpid()) << 32);
+    seed |= 1;
+  }
+  rng_.seed(seed);
+  if (options_.client_id == 0) {
+    options_.client_id =
+        (static_cast<std::uint64_t>(::getpid()) << 32) | (rng_() & 0xffffffffu);
+  }
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    util::io::close_quiet(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::set_receive_timeout(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Client::ensure_connected() {
+  if (fd_ >= 0) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw TransportError(TransportFault::kConnect,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    util::io::close_quiet(fd);
+    throw TransportError(TransportFault::kConnect,
+                         "bad host: " + options_.host);
+  }
+
+  // Bounded connect: non-blocking connect + poll, then back to blocking.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = util::io::poll_retry(&pfd, 1, options_.connect_timeout_ms);
+    if (rc <= 0) {
+      util::io::close_quiet(fd);
+      throw TransportError(TransportFault::kConnect,
+                           "connect to " + options_.host + ":" +
+                               std::to_string(options_.port) +
+                               (rc == 0 ? " timed out" : " failed"));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      util::io::close_quiet(fd);
+      throw TransportError(TransportFault::kConnect,
+                           "connect to " + options_.host + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(err));
+    }
+  } else if (rc < 0) {
+    const int err = errno;
+    util::io::close_quiet(fd);
+    throw TransportError(TransportFault::kConnect,
+                         "connect to " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  fd_ = fd;
+  try {
+    // Handshake: announce the client id the server dedupes under.
+    PayloadWriter hello;
+    hello.u64(options_.client_id);
+    set_receive_timeout(options_.connect_timeout_ms);
+    send_frame(fd_, FrameType::kHello, 0, hello.data());
+    Frame frame;
+    if (!recv_frame(fd_, frame) ||
+        frame.header.type != FrameType::kHelloAck) {
+      throw WireError(WireFault::kProtocol, "handshake rejected");
+    }
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
+double Client::next_backoff_ms(int attempt) {
+  double backoff = options_.backoff_initial_ms;
+  for (int i = 0; i < attempt; ++i) {
+    backoff = std::min(backoff * options_.backoff_multiplier,
+                       options_.backoff_max_ms);
+  }
+  std::uniform_real_distribution<double> scale(1.0 - options_.jitter,
+                                               1.0 + options_.jitter);
+  return std::max(0.0, backoff * scale(rng_));
+}
+
+service::Response Client::attempt(const std::vector<std::uint8_t>& payload,
+                                  std::uint64_t request_id, int timeout_ms) {
+  ensure_connected();
+  set_receive_timeout(timeout_ms);
+  send_frame(fd_, FrameType::kRequest, request_id, payload);
+
+  Frame frame;
+  for (;;) {
+    try {
+      if (!recv_frame(fd_, frame)) {
+        throw WireError(WireFault::kClosed,
+                        "server closed before responding");
+      }
+    } catch (const WireError& error) {
+      // SO_RCVTIMEO expiry surfaces as EAGAIN from read(2): that is a
+      // deadline, not a wire fault — the request may still be executing
+      // server-side, so the caller decides whether to retry (same id).
+      const std::string what = error.what();
+      if (error.fault() == WireFault::kSyscall &&
+          (what.find(std::strerror(EAGAIN)) != std::string::npos ||
+           what.find(std::strerror(EWOULDBLOCK)) != std::string::npos)) {
+        throw TransportError(TransportFault::kTimeout,
+                             "no response within " +
+                                 std::to_string(timeout_ms) + " ms");
+      }
+      throw;
+    }
+    switch (frame.header.type) {
+      case FrameType::kResponse:
+        if (frame.header.request_id != request_id) continue;  // stale
+        return decode_response(frame.payload);
+      case FrameType::kError: {
+        PayloadReader r(frame.payload);
+        const std::string message = r.str();
+        if ((frame.header.flags & kFlagRetryable) != 0) {
+          // e.g. a draining server: reconnect elsewhere and resend.
+          throw WireError(WireFault::kClosed, message);
+        }
+        throw TransportError(TransportFault::kProtocol, message);
+      }
+      case FrameType::kDrainNotice:
+        throw WireError(WireFault::kClosed, "server draining");
+      default:
+        continue;  // unsolicited frame (late metrics chunk etc.)
+    }
+  }
+}
+
+service::Response Client::execute(const service::Request& request) {
+  return execute_with_id(request, next_request_id_++);
+}
+
+service::Response Client::execute_with_id(const service::Request& request,
+                                          std::uint64_t request_id) {
+  int timeout_ms = options_.request_timeout_ms;
+  if (request.deadline_ms > 0) {
+    timeout_ms = std::min(
+        timeout_ms,
+        static_cast<int>(request.deadline_ms + options_.deadline_slack_ms));
+  }
+  const std::vector<std::uint8_t> payload = encode_request(request);
+
+  std::string last_error;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          next_backoff_ms(attempt - 1)));
+    }
+    try {
+      return this->attempt(payload, request_id, timeout_ms);
+    } catch (const WireError& error) {
+      // Transient: reconnect and resend the same id (dedup makes it safe).
+      last_error = error.what();
+      disconnect();
+    } catch (const TransportError& error) {
+      if (error.fault() == TransportFault::kProtocol) throw;
+      last_error = error.what();
+      disconnect();
+    }
+  }
+  throw TransportError(TransportFault::kExhausted,
+                       std::to_string(options_.max_attempts) +
+                           " attempts failed; last: " + last_error);
+}
+
+bool Client::heartbeat() {
+  ensure_connected();
+  set_receive_timeout(options_.heartbeat_timeout_ms);
+  try {
+    send_frame(fd_, FrameType::kHeartbeat, 0, {});
+    Frame frame;
+    for (;;) {
+      if (!recv_frame(fd_, frame)) {
+        throw WireError(WireFault::kClosed, "closed during heartbeat");
+      }
+      if (frame.header.type == FrameType::kHeartbeatAck) {
+        PayloadReader r(frame.payload);
+        return r.u8() != 0;  // draining flag
+      }
+      if (frame.header.type == FrameType::kDrainNotice) return true;
+    }
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
+std::string Client::fetch_metrics() {
+  ensure_connected();
+  set_receive_timeout(options_.request_timeout_ms);
+  try {
+    send_frame(fd_, FrameType::kMetricsRequest, 0, {});
+    std::string out;
+    Frame frame;
+    for (;;) {
+      if (!recv_frame(fd_, frame)) {
+        throw WireError(WireFault::kClosed, "closed during metrics stream");
+      }
+      if (frame.header.type == FrameType::kMetricsChunk) {
+        PayloadReader r(frame.payload);
+        const std::size_t n = r.remaining();
+        const std::size_t old = out.size();
+        out.resize(old + n);
+        r.bytes(out.data() + old, n);
+      } else if (frame.header.type == FrameType::kMetricsEnd) {
+        return out;
+      }
+    }
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
+}  // namespace trico::transport

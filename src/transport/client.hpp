@@ -1,0 +1,137 @@
+// transport::Client — a retrying, deadline-aware client for transport::Server.
+//
+// The retry contract: every request gets a client-assigned id, and a retry
+// is a resend of the *same* id after reconnecting. Because the server
+// dedupes by (client_id, request_id) and records completed responses, a
+// retry of a request whose response frame tore on the wire replays the
+// recorded result instead of executing twice — so the client can retry
+// aggressively without at-least-once side effects.
+//
+// What retries: torn frames, checksum failures, connection resets, clean
+// server closes, failed connects, and retryable kError frames (a draining
+// server). What does not: protocol violations (kError without the retryable
+// flag, bad magic/version) — those surface immediately as TransportError
+// so a broken peer cannot put the client into a hot loop.
+//
+// Backoff between attempts is exponential with multiplicative jitter
+// (backoff_initial_ms * multiplier^k, capped, scaled by a uniform draw in
+// [1-jitter, 1+jitter]) so a fleet of clients re-trying a restarted worker
+// does not stampede it.
+//
+// Deadline awareness: an attempt waits at most request_timeout_ms; when the
+// request carries a deadline, the wait is min(that, deadline + slack) —
+// there is no point waiting longer than the server would let the request
+// live. A Client is not thread-safe; give each thread its own (each gets
+// its own client_id, so ids never collide server-side).
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "service/request.hpp"
+#include "transport/wire.hpp"
+
+namespace trico::transport {
+
+/// Why the client gave up (after exhausting its retry budget where one
+/// applies).
+enum class TransportFault : std::uint8_t {
+  kConnect,    ///< could not establish a connection
+  kTimeout,    ///< no response within the attempt's deadline
+  kExhausted,  ///< every retry attempt failed (last cause in the message)
+  kProtocol,   ///< the server rejected the request as malformed (no retry)
+};
+
+[[nodiscard]] const char* to_string(TransportFault fault);
+
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(TransportFault fault, const std::string& what)
+      : std::runtime_error(std::string(to_string(fault)) + ": " + what),
+        fault_(fault) {}
+
+  [[nodiscard]] TransportFault fault() const { return fault_; }
+
+ private:
+  TransportFault fault_;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// 0 = derive a unique id (pid + random); set explicitly in tests to
+  /// prove cross-connection dedup.
+  std::uint64_t client_id = 0;
+  int connect_timeout_ms = 1000;
+  /// Upper bound one attempt waits for a response. When the request carries
+  /// a deadline the effective wait is min(this, deadline + deadline_slack).
+  int request_timeout_ms = 30000;
+  double deadline_slack_ms = 250;
+  int heartbeat_timeout_ms = 500;
+  /// Total attempts per request (first try + retries).
+  int max_attempts = 5;
+  double backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 500;
+  /// Multiplicative jitter: each backoff is scaled by a uniform draw in
+  /// [1-jitter, 1+jitter].
+  double jitter = 0.25;
+  /// Seed for the jitter rng; 0 = nondeterministic.
+  std::uint64_t seed = 0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Executes a request with a fresh id: connect (or reuse the connection),
+  /// send, await the response, and on any transient wire fault reconnect
+  /// and resend the *same* id with jittered exponential backoff. Throws
+  /// TransportError when the retry budget is exhausted.
+  [[nodiscard]] service::Response execute(const service::Request& request);
+
+  /// Same, with a caller-chosen request id. Sending two calls with the same
+  /// id is the idempotency test hook: the second returns the recorded
+  /// response of the first without re-executing.
+  [[nodiscard]] service::Response execute_with_id(
+      const service::Request& request, std::uint64_t request_id);
+
+  /// Liveness probe. Returns the server's draining flag; throws
+  /// TransportError/WireError when the server cannot be reached (the
+  /// supervisor's health-check signal). Does not retry.
+  [[nodiscard]] bool heartbeat();
+
+  /// Streams the server's MetricsSnapshot (reassembled from chunks).
+  [[nodiscard]] std::string fetch_metrics();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t client_id() const { return options_.client_id; }
+
+  /// Drops the connection (the next call reconnects). Used by tests to
+  /// force the reconnect path.
+  void disconnect();
+
+ private:
+  void ensure_connected();
+  void set_receive_timeout(int timeout_ms);
+  /// One attempt: send the request frame and await its response. Throws
+  /// WireError on transient faults and TransportError{kProtocol/kTimeout}
+  /// on terminal ones.
+  service::Response attempt(const std::vector<std::uint8_t>& payload,
+                            std::uint64_t request_id, int timeout_ms);
+  double next_backoff_ms(int attempt);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace trico::transport

@@ -1,0 +1,447 @@
+#include "transport/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace trico::transport {
+
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Server::Server(service::TriangleService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  // A peer that disappears mid-write must surface as EPIPE from write(2),
+  // not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw WireError(WireFault::kSyscall,
+                    std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw WireError(WireFault::kSyscall, "bad host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw WireError(WireFault::kSyscall,
+                    "bind " + options_.host + ":" +
+                        std::to_string(options_.port) + ": " +
+                        std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    throw WireError(WireFault::kSyscall,
+                    std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    throw WireError(WireFault::kSyscall,
+                    std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = util::io::accept_retry(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed: drain/stop
+    if (draining_.load(std::memory_order_relaxed)) {
+      util::io::close_quiet(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard lock(connections_mutex_);
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection& ref = *conn;
+    connections_.push_back(std::move(conn));
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    ref.responder = std::thread([this, &ref] { responder_loop(ref); });
+    {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.connections;
+    }
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = **it;
+    if (conn.finished.load(std::memory_order_acquire)) {
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.responder.joinable()) conn.responder.join();
+      if (conn.fd >= 0) util::io::close_quiet(conn.fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::reader_loop(Connection& conn) {
+  try {
+    Frame frame;
+    while (recv_frame(conn.fd, frame)) {
+      switch (frame.header.type) {
+        case FrameType::kHello: {
+          PayloadReader r(frame.payload);
+          conn.client_id = r.u64();
+          PayloadWriter w;
+          w.u16(kWireVersion);
+          std::lock_guard wlock(conn.write_mutex);
+          send_frame(conn.fd, FrameType::kHelloAck, frame.header.request_id,
+                     w.data());
+          break;
+        }
+        case FrameType::kHeartbeat: {
+          {
+            std::lock_guard slock(stats_mutex_);
+            ++stats_.heartbeats;
+          }
+          PayloadWriter w;
+          w.u8(draining_.load(std::memory_order_relaxed) ? 1 : 0);
+          std::lock_guard wlock(conn.write_mutex);
+          send_frame(conn.fd, FrameType::kHeartbeatAck,
+                     frame.header.request_id, w.data());
+          break;
+        }
+        case FrameType::kMetricsRequest:
+          stream_metrics(conn, frame.header.request_id);
+          break;
+        case FrameType::kRequest:
+          handle_request(conn, frame);
+          break;
+        default: {
+          std::lock_guard slock(stats_mutex_);
+          ++stats_.protocol_errors;
+          PayloadWriter w;
+          w.str(std::string("unexpected frame type: ") +
+                to_string(frame.header.type));
+          std::lock_guard wlock(conn.write_mutex);
+          send_frame(conn.fd, FrameType::kError, frame.header.request_id,
+                     w.data());
+          break;
+        }
+      }
+    }
+  } catch (const WireError&) {
+    // Torn/corrupt inbound frame or a dead peer: this connection is done.
+    // In-flight requests still finish and land in the dedup table, so a
+    // reconnecting client replays them instead of re-executing.
+  }
+  {
+    std::lock_guard lock(conn.outbox_mutex);
+    conn.closing = true;
+  }
+  conn.outbox_cv.notify_all();
+  // The responder is the slower of the two loops (it drains the outbox);
+  // it marks the connection reapable.
+}
+
+void Server::handle_request(Connection& conn, Frame& frame) {
+  service::ChaosPlan* chaos = options_.chaos;
+  if (chaos != nullptr &&
+      chaos->should_fault(service::ChaosSite::kWireWorkerKill)) {
+    // kill -9 semantics: no flush, no farewell, no destructors — the
+    // supervisor's waitpid and the client's torn read are the only signals.
+    std::_Exit(137);
+  }
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.drained_rejects;
+    }
+    PayloadWriter w;
+    w.str("server draining");
+    std::lock_guard wlock(conn.write_mutex);
+    send_frame(conn.fd, FrameType::kError, frame.header.request_id, w.data(),
+               kFlagRetryable);
+    return;
+  }
+
+  service::Request request;
+  try {
+    request = decode_request(frame.payload);
+  } catch (const WireError& error) {
+    {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.protocol_errors;
+    }
+    PayloadWriter w;
+    w.str(std::string("malformed request: ") + error.what());
+    std::lock_guard wlock(conn.write_mutex);
+    send_frame(conn.fd, FrameType::kError, frame.header.request_id, w.data());
+    return;
+  }
+
+  Pending pending;
+  pending.request_id = frame.header.request_id;
+
+  {
+    std::lock_guard dlock(dedup_mutex_);
+    auto& per_client = dedup_[conn.client_id];
+    const auto it = per_client.find(frame.header.request_id);
+    if (it != per_client.end()) {
+      // A retry of a request this process has already seen: never execute
+      // again. Replay the recorded response, or queue a wait on the
+      // original execution if it is still in flight.
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.duplicates;
+      }
+      std::lock_guard elock(it->second->mutex);
+      if (it->second->done) {
+        pending.is_replay = true;
+        pending.replay = it->second->payload;
+      } else {
+        pending.dedup = it->second;
+      }
+    } else {
+      auto entry = std::make_shared<DedupEntry>();
+      per_client.emplace(frame.header.request_id, entry);
+      pending.dedup = std::move(entry);
+      pending.ticket = service_.submit(std::move(request));
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.requests;
+      }
+    }
+  }
+
+  {
+    std::lock_guard lock(conn.outbox_mutex);
+    conn.outbox.push_back(std::move(pending));
+  }
+  conn.outbox_cv.notify_one();
+}
+
+void Server::responder_loop(Connection& conn) {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock lock(conn.outbox_mutex);
+      conn.outbox_cv.wait(lock,
+                          [&] { return !conn.outbox.empty() || conn.closing; });
+      if (conn.outbox.empty()) break;  // closing and fully flushed
+      pending = std::move(conn.outbox.front());
+      conn.outbox.pop_front();
+    }
+
+    std::vector<std::uint8_t> payload;
+    if (pending.is_replay) {
+      payload = std::move(pending.replay);
+    } else if (pending.ticket.valid()) {
+      const service::Response response = pending.ticket.wait();
+      payload = encode_response(response);
+      // Record the outcome *before* any send attempt: even if the frame
+      // tears on the wire (organically or by chaos), the retry replays this
+      // exact response instead of executing twice.
+      {
+        std::lock_guard elock(pending.dedup->mutex);
+        pending.dedup->done = true;
+        pending.dedup->payload = payload;
+      }
+      pending.dedup->cv.notify_all();
+      {
+        std::lock_guard dlock(dedup_mutex_);
+        dedup_order_.emplace_back(conn.client_id, pending.request_id);
+        ++dedup_completed_;
+        while (dedup_completed_ > options_.dedup_capacity &&
+               !dedup_order_.empty()) {
+          const auto [cid, rid] = dedup_order_.front();
+          dedup_order_.pop_front();
+          --dedup_completed_;
+          const auto cit = dedup_.find(cid);
+          if (cit != dedup_.end()) {
+            cit->second.erase(rid);
+            if (cit->second.empty()) dedup_.erase(cit);
+          }
+        }
+      }
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      // Duplicate of an execution still in flight: wait for the original.
+      std::unique_lock elock(pending.dedup->mutex);
+      pending.dedup->cv.wait(elock, [&] { return pending.dedup->done; });
+      payload = pending.dedup->payload;
+    }
+
+    try {
+      send_response_frame(conn, pending.request_id, std::move(payload));
+    } catch (const WireError&) {
+      // The peer is gone; the dedup record already holds the response for
+      // its retry on a fresh connection. Keep flushing the rest.
+    }
+  }
+  conn.finished.store(true, std::memory_order_release);
+}
+
+void Server::send_response_frame(Connection& conn, std::uint64_t request_id,
+                                 std::vector<std::uint8_t> payload) {
+  service::ChaosPlan* chaos = options_.chaos;
+  if (chaos != nullptr) {
+    const double delay = chaos->wire_delay_ms();
+    if (delay > 0) {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.chaos_faults;
+      sleep_ms(delay);
+    }
+    if (chaos->should_fault(service::ChaosSite::kWireConnReset)) {
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.chaos_faults;
+      }
+      close_connection(conn, /*reset=*/true);
+      return;
+    }
+    if (chaos->should_fault(service::ChaosSite::kWireTornFrame)) {
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.chaos_faults;
+      }
+      const std::vector<std::uint8_t> frame =
+          build_frame(FrameType::kResponse, request_id, payload);
+      {
+        std::lock_guard wlock(conn.write_mutex);
+        (void)util::io::write_full(conn.fd, frame.data(), frame.size() / 2);
+      }
+      close_connection(conn, /*reset=*/false);
+      return;
+    }
+  }
+  std::lock_guard wlock(conn.write_mutex);
+  send_frame(conn.fd, FrameType::kResponse, request_id, payload);
+}
+
+void Server::stream_metrics(Connection& conn, std::uint64_t request_id) {
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.metrics_streams;
+  }
+  const std::string rendered = service_.metrics().to_string();
+  for (std::size_t off = 0; off < rendered.size();
+       off += kMetricsChunkBytes) {
+    const std::size_t n = std::min(kMetricsChunkBytes, rendered.size() - off);
+    PayloadWriter w;
+    w.bytes(rendered.data() + off, n);
+    std::lock_guard wlock(conn.write_mutex);
+    send_frame(conn.fd, FrameType::kMetricsChunk, request_id, w.data());
+  }
+  std::lock_guard wlock(conn.write_mutex);
+  send_frame(conn.fd, FrameType::kMetricsEnd, request_id, {});
+}
+
+void Server::close_connection(Connection& conn, bool reset) {
+  if (reset) {
+    // Arrange an RST rather than an orderly FIN: the client must treat it
+    // exactly like a worker that vanished.
+    const linger hard{1, 0};
+    ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  }
+  ::shutdown(conn.fd, SHUT_RDWR);
+  {
+    std::lock_guard lock(conn.outbox_mutex);
+    conn.closing = true;
+  }
+  conn.outbox_cv.notify_all();
+}
+
+void Server::drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // Another drainer won; wait alongside it.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  // Finish in-flight, flush outboxes.
+  for (;;) {
+    bool quiescent = in_flight_.load(std::memory_order_relaxed) == 0;
+    if (quiescent) {
+      std::lock_guard lock(connections_mutex_);
+      for (const auto& conn : connections_) {
+        std::lock_guard olock(conn->outbox_mutex);
+        if (!conn->outbox.empty()) {
+          quiescent = false;
+          break;
+        }
+      }
+    }
+    if (quiescent) break;
+    sleep_ms(options_.drain_poll_ms);
+  }
+  // Notify and close every connection.
+  std::lock_guard lock(connections_mutex_);
+  for (const auto& conn : connections_) {
+    {
+      std::lock_guard wlock(conn->write_mutex);
+      try {
+        send_frame(conn->fd, FrameType::kDrainNotice, 0, {});
+      } catch (const WireError&) {
+      }
+    }
+    close_connection(*conn, /*reset=*/false);
+  }
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  drain();
+  if (listen_fd_ >= 0) {
+    util::io::close_quiet(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(connections_mutex_);
+  for (const auto& conn : connections_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->responder.joinable()) conn->responder.join();
+    if (conn->fd >= 0) {
+      util::io::close_quiet(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace trico::transport

@@ -1,0 +1,175 @@
+// transport::Server — serves a TriangleService over a localhost TCP socket.
+//
+// Layering: one accept thread hands every connection to a per-connection
+// *reader* thread that decodes frames and feeds requests straight into the
+// existing RequestScheduler (service.submit — admission, fairness,
+// deadlines and cancellation all apply unchanged), plus a per-connection
+// *responder* thread that waits tickets in arrival order and flushes the
+// encoded responses. Heartbeats and metrics streams are answered on the
+// reader thread, so a connection stays probe-able while a long request is
+// executing on the scheduler.
+//
+// Fault discipline (the reason this file exists):
+//  * Idempotency. Every request carries a client-assigned id; the server
+//    dedupes by (client_id, request_id). A retry of an in-flight request
+//    waits for the original execution; a retry of a completed one replays
+//    the recorded response. A request is therefore *executed at most once*
+//    per server process no matter how many times the client resends it.
+//  * Graceful drain. drain() (the SIGTERM path) stops accepting, answers
+//    new requests with a retryable "draining" error, lets every in-flight
+//    request finish and flush, then closes. No admitted request is dropped.
+//  * Chaos. With ServiceOptions-style wiring (ServerOptions::chaos,
+//    non-owning) the server probes the wire ChaosSites: torn response
+//    frames, connection resets, delayed acks, and abrupt worker death
+//    (kWireWorkerKill exits the process with status 137, modeling kill -9).
+//    The chaos tests drive these to prove the client/supervisor recovery
+//    story end to end.
+//
+// The server ignores SIGPIPE process-wide on start() (standard daemon
+// hygiene: a peer that disappears mid-write must surface as EPIPE, not
+// kill the process).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/chaos.hpp"
+#include "service/service.hpp"
+#include "transport/wire.hpp"
+
+namespace trico::transport {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via port().
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Completed responses retained for duplicate-retry replay (FIFO evicted;
+  /// in-flight entries are never evicted).
+  std::size_t dedup_capacity = 4096;
+  /// Wire-site fault injection (non-owning; nullptr = no chaos). Must
+  /// outlive the server.
+  service::ChaosPlan* chaos = nullptr;
+  /// Poll period of drain() while waiting out in-flight requests.
+  double drain_poll_ms = 20;
+};
+
+/// Monotonic serving counters (all observable while running).
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;           ///< kRequest frames accepted (executed)
+  std::uint64_t duplicates = 0;         ///< kRequest frames served by dedup
+  std::uint64_t heartbeats = 0;
+  std::uint64_t metrics_streams = 0;
+  std::uint64_t protocol_errors = 0;    ///< malformed frames from clients
+  std::uint64_t chaos_faults = 0;       ///< wire faults injected by the plan
+  std::uint64_t drained_rejects = 0;    ///< requests refused while draining
+};
+
+class Server {
+ public:
+  explicit Server(service::TriangleService& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop. Throws WireError{kSyscall}
+  /// when the socket cannot be set up.
+  void start();
+
+  /// The bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful drain: stop accepting, refuse new requests with a retryable
+  /// error, finish and flush every in-flight request, close connections.
+  /// Idempotent; blocks until the server is quiescent.
+  void drain();
+
+  /// drain() + join every thread. Called by the destructor.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  /// One queued response-to-be: either a live ticket or a dedup replay.
+  struct Pending {
+    std::uint64_t request_id = 0;
+    service::Ticket ticket;                       ///< valid for fresh requests
+    std::shared_ptr<struct DedupEntry> dedup;     ///< set for fresh + in-flight dup
+    std::vector<std::uint8_t> replay;             ///< set for completed dup
+    bool is_replay = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t client_id = 0;
+    std::thread reader;
+    std::thread responder;
+    std::mutex write_mutex;               ///< one frame at a time on the wire
+    std::mutex outbox_mutex;
+    std::condition_variable outbox_cv;
+    std::deque<Pending> outbox;
+    bool closing = false;                 ///< responder should exit when empty
+    std::atomic<bool> finished{false};    ///< both loops exited; reapable
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void responder_loop(Connection& conn);
+  void handle_request(Connection& conn, Frame& frame);
+  void send_response_frame(Connection& conn, std::uint64_t request_id,
+                           std::vector<std::uint8_t> payload);
+  void stream_metrics(Connection& conn, std::uint64_t request_id);
+  void close_connection(Connection& conn, bool reset);
+  void reap_finished_locked();
+
+  service::TriangleService& service_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> in_flight_{0};
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Dedup table: (client_id, request_id) -> entry. Completed entries are
+  // FIFO-evicted beyond dedup_capacity; in-flight entries are pinned.
+  mutable std::mutex dedup_mutex_;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t,
+                                        std::shared_ptr<struct DedupEntry>>>
+      dedup_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_order_;
+  std::size_t dedup_completed_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_{};
+};
+
+/// Shared record of one executed request: the responder marks it done and
+/// stores the encoded response; duplicate retries wait on it and replay.
+struct DedupEntry {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<std::uint8_t> payload;  ///< encoded Response
+};
+
+}  // namespace trico::transport

@@ -1,0 +1,363 @@
+#include "transport/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace trico::transport {
+
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Reads the worker's stdout pipe until a "LISTENING <port>" line (workers
+/// print exactly one such line once bound), bounded by timeout_ms.
+std::uint16_t await_listening(int fd, int timeout_ms) {
+  std::string buffer;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char chunk[256];
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (remaining <= 0) {
+      throw TransportError(TransportFault::kConnect,
+                           "worker did not report LISTENING within " +
+                               std::to_string(timeout_ms) + " ms");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = util::io::poll_retry(&pfd, 1, static_cast<int>(remaining));
+    if (rc <= 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw TransportError(TransportFault::kConnect,
+                           "worker exited before reporting LISTENING");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    std::size_t nl;
+    while ((nl = buffer.find('\n', pos)) != std::string::npos) {
+      const std::string line = buffer.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.rfind("LISTENING ", 0) == 0) {
+        const long port = std::strtol(line.c_str() + 10, nullptr, 10);
+        if (port > 0 && port < 65536) return static_cast<std::uint16_t>(port);
+      }
+    }
+    buffer.erase(0, pos);
+  }
+}
+
+}  // namespace
+
+WorkerSupervisor::WorkerSupervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+WorkerSupervisor::~WorkerSupervisor() { stop(); }
+
+void WorkerSupervisor::spawn_locked(Worker& worker) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw TransportError(TransportFault::kConnect,
+                         std::string("pipe: ") + std::strerror(errno));
+  }
+
+  std::vector<std::string> argv_store;
+  argv_store.push_back(options_.cli_path);
+  argv_store.push_back("serve");
+  argv_store.push_back("--port");
+  argv_store.push_back("0");
+  for (const std::string& arg : options_.worker_args) {
+    argv_store.push_back(arg);
+  }
+  std::vector<char*> argv;
+  argv.reserve(argv_store.size() + 1);
+  for (std::string& s : argv_store) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    util::io::close_quiet(pipe_fds[0]);
+    util::io::close_quiet(pipe_fds[1]);
+    throw TransportError(TransportFault::kConnect,
+                         std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec — the
+    // parent is multithreaded, so any lock taken here could be held by a
+    // thread that no longer exists.
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+
+  ::close(pipe_fds[1]);
+  std::uint16_t port = 0;
+  try {
+    port = await_listening(pipe_fds[0], options_.spawn_timeout_ms);
+  } catch (...) {
+    util::io::close_quiet(pipe_fds[0]);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    throw;
+  }
+  util::io::close_quiet(pipe_fds[0]);
+
+  worker.pid = pid;
+  worker.port = port;
+  worker.alive = true;
+  worker.breaker = service::BreakerState::kClosed;
+  worker.consecutive_faults = 0;
+  worker.open_backoff_ms = 0;
+
+  ClientOptions copts = options_.client;
+  copts.host = "127.0.0.1";
+  copts.port = port;
+  copts.client_id = 0;  // fresh unique id per worker connection
+  worker.client = std::make_unique<Client>(copts);
+}
+
+void WorkerSupervisor::start() {
+  std::lock_guard lock(mutex_);
+  workers_.resize(static_cast<std::size_t>(options_.num_workers));
+  for (Worker& worker : workers_) {
+    spawn_locked(worker);
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void WorkerSupervisor::monitor_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard lock(mutex_);
+      for (Worker& worker : workers_) {
+        // The per-worker traffic lock owns the Client's lifetime: never
+        // reset or replace worker.client without it. try_lock keeps the
+        // monitor from stalling behind a request in flight — a worker we
+        // skip this tick is checked again next tick.
+        if (!worker.lock->try_lock()) continue;
+        std::lock_guard wl(*worker.lock, std::adopt_lock);
+        // Crash detection: a worker that exited (chaos kill, OOM, bug)
+        // shows up in waitpid long before a heartbeat times out.
+        if (worker.alive && worker.pid > 0) {
+          int status = 0;
+          const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
+          if (r == worker.pid) {
+            worker.alive = false;
+            worker.client.reset();
+            worker.restart_backoff =
+                worker.restart_backoff <= 0
+                    ? options_.restart_backoff_ms
+                    : std::min(worker.restart_backoff * 2,
+                               options_.restart_backoff_max_ms);
+            worker.respawn_at =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        worker.restart_backoff));
+          }
+        }
+        if (!worker.alive &&
+            std::chrono::steady_clock::now() >= worker.respawn_at) {
+          try {
+            spawn_locked(worker);
+            ++worker.restarts;
+            ++stats_.restarts;
+          } catch (const std::exception&) {
+            // Spawn failed (e.g. binary briefly unavailable): back off more.
+            worker.restart_backoff =
+                std::min(std::max(worker.restart_backoff * 2,
+                                  options_.restart_backoff_ms),
+                         options_.restart_backoff_max_ms);
+            worker.respawn_at =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        worker.restart_backoff));
+          }
+          continue;
+        }
+        // Heartbeat: a hung or drain-stuck worker trips the breaker even
+        // though its process is technically alive.
+        if (worker.alive && worker.client != nullptr) {
+          try {
+            (void)worker.client->heartbeat();
+            record_success_locked(worker);
+            worker.restart_backoff = 0;
+          } catch (const std::exception&) {
+            ++stats_.heartbeat_faults;
+            record_fault_locked(worker);
+          }
+        }
+      }
+    }
+    sleep_ms(options_.monitor_period_ms);
+  }
+}
+
+bool WorkerSupervisor::admit_locked(Worker& worker) {
+  if (!worker.alive || worker.client == nullptr) return false;
+  if (worker.breaker != service::BreakerState::kOpen) return true;
+  if (std::chrono::steady_clock::now() < worker.reopen_at) return false;
+  worker.breaker = service::BreakerState::kHalfOpen;  // one probe allowed
+  return true;
+}
+
+void WorkerSupervisor::record_fault_locked(Worker& worker) {
+  ++worker.consecutive_faults;
+  const bool trip =
+      worker.breaker == service::BreakerState::kHalfOpen ||
+      worker.consecutive_faults >= options_.breaker.failure_threshold;
+  if (!trip) return;
+  worker.breaker = service::BreakerState::kOpen;
+  worker.open_backoff_ms =
+      worker.open_backoff_ms <= 0
+          ? options_.breaker.open_backoff_ms
+          : std::min(worker.open_backoff_ms * options_.breaker.backoff_multiplier,
+                     options_.breaker.max_backoff_ms);
+  worker.reopen_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(worker.open_backoff_ms));
+}
+
+void WorkerSupervisor::record_success_locked(Worker& worker) {
+  worker.consecutive_faults = 0;
+  worker.breaker = service::BreakerState::kClosed;
+  worker.open_backoff_ms = 0;
+}
+
+service::Response WorkerSupervisor::execute(const service::Request& request) {
+  const std::size_t n = [&] {
+    std::lock_guard lock(mutex_);
+    return workers_.size();
+  }();
+  if (n == 0) {
+    throw TransportError(TransportFault::kExhausted, "no workers");
+  }
+
+  std::string last_error = "no admissible worker";
+  // Up to two passes over the pool: a worker that crashes mid-request gets
+  // respawned by the monitor while we try its siblings.
+  const std::size_t attempts = n * 2;
+  bool rerouted = false;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const std::size_t index =
+        next_worker_.fetch_add(1, std::memory_order_relaxed) % n;
+    std::mutex* worker_lock = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      // The Worker slots and their lock objects are stable after start();
+      // only the Client inside is replaced (under the worker lock).
+      worker_lock = workers_[index].lock.get();
+    }
+    // Traffic lock first, then re-check admission: the monitor only swaps
+    // worker.client while holding this lock, so the pointer stays valid
+    // for the whole request.
+    std::unique_lock traffic(*worker_lock);
+    Client* client = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      Worker& worker = workers_[index];
+      if (!admit_locked(worker)) continue;
+      client = worker.client.get();
+    }
+    try {
+      service::Response response = client->execute(request);
+      std::lock_guard lock(mutex_);
+      record_success_locked(workers_[index]);
+      if (rerouted) ++stats_.reroutes;
+      return response;
+    } catch (const TransportError& error) {
+      if (error.fault() == TransportFault::kProtocol) throw;
+      last_error = error.what();
+      rerouted = true;
+      std::lock_guard lock(mutex_);
+      record_fault_locked(workers_[index]);
+    }
+    if (i + 1 == n) {
+      // First full pass failed everywhere: give the monitor a beat to
+      // respawn before the second pass.
+      sleep_ms(options_.monitor_period_ms * 2);
+    }
+  }
+  throw TransportError(TransportFault::kExhausted,
+                       "all workers failed; last: " + last_error);
+}
+
+void WorkerSupervisor::kill_worker(std::size_t index) {
+  std::lock_guard lock(mutex_);
+  if (index >= workers_.size()) return;
+  Worker& worker = workers_[index];
+  if (worker.alive && worker.pid > 0) {
+    ::kill(worker.pid, SIGKILL);
+  }
+}
+
+void WorkerSupervisor::stop() {
+  if (stopping_.exchange(true)) return;
+  if (monitor_.joinable()) monitor_.join();
+  std::lock_guard lock(mutex_);
+  for (Worker& worker : workers_) {
+    if (!worker.alive || worker.pid <= 0) continue;
+    ::kill(worker.pid, SIGTERM);
+  }
+  const auto grace_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (Worker& worker : workers_) {
+    if (!worker.alive || worker.pid <= 0) continue;
+    int status = 0;
+    for (;;) {
+      const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
+      if (r == worker.pid || r < 0) break;
+      if (std::chrono::steady_clock::now() >= grace_deadline) {
+        ::kill(worker.pid, SIGKILL);
+        ::waitpid(worker.pid, &status, 0);
+        break;
+      }
+      sleep_ms(10);
+    }
+    worker.alive = false;
+    worker.client.reset();
+  }
+  workers_.clear();
+}
+
+std::vector<WorkerStatus> WorkerSupervisor::workers() const {
+  std::lock_guard lock(mutex_);
+  std::vector<WorkerStatus> out;
+  out.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    WorkerStatus status;
+    status.pid = worker.pid;
+    status.port = worker.port;
+    status.alive = worker.alive;
+    status.breaker = worker.breaker;
+    status.restarts = worker.restarts;
+    out.push_back(status);
+  }
+  return out;
+}
+
+SupervisorStats WorkerSupervisor::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace trico::transport

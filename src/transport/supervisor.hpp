@@ -1,0 +1,138 @@
+// transport::WorkerSupervisor — supervised pool of trico_cli serve workers.
+//
+// The supervisor fork/execs N worker processes (`<cli> serve --port 0 ...`),
+// learns each worker's ephemeral port from the "LISTENING <port>" line the
+// worker prints on stdout, and health-checks every worker with wire
+// heartbeats from a monitor thread. A worker that exits (crash, kill -9,
+// chaos kWireWorkerKill) is detected by waitpid and restarted with
+// exponential backoff; a worker that stops answering heartbeats trips a
+// per-worker circuit breaker (the same BreakerOptions vocabulary the
+// BackendRouter uses for backend tiers) and requests route around it until
+// a half-open probe succeeds.
+//
+// execute() routes round-robin across healthy workers. A request that
+// fails on one worker transparently moves to the next — each worker keeps
+// its own dedup table, and a request re-routed to a *different* worker is
+// by definition one whose original never returned a response, so cross-
+// worker retry preserves effective at-most-once delivery of results.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "service/request.hpp"
+#include "service/router.hpp"
+#include "transport/client.hpp"
+
+namespace trico::transport {
+
+struct SupervisorOptions {
+  /// Path to the trico_cli binary (workers run `<cli> serve`). Use
+  /// /proc/self/exe when the supervisor runs inside trico_cli itself.
+  std::string cli_path;
+  int num_workers = 2;
+  /// Extra argv passed to every worker after "serve" (e.g. chaos flags).
+  std::vector<std::string> worker_args;
+  /// How long to wait for a freshly spawned worker's LISTENING line.
+  int spawn_timeout_ms = 10000;
+  /// Monitor thread period (waitpid + heartbeat round).
+  double monitor_period_ms = 100;
+  /// Heartbeat-failure breaker per worker (same semantics as the backend
+  /// router's: trip after failure_threshold consecutive faults, half-open
+  /// probe after exponential backoff).
+  service::BreakerOptions breaker{};
+  /// Restart backoff for crashed workers (doubles per consecutive crash).
+  double restart_backoff_ms = 50;
+  double restart_backoff_max_ms = 2000;
+  /// Per-worker client tuning (host/port/client_id are overwritten).
+  ClientOptions client{};
+};
+
+struct WorkerStatus {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  bool alive = false;
+  service::BreakerState breaker = service::BreakerState::kClosed;
+  std::uint64_t restarts = 0;
+};
+
+struct SupervisorStats {
+  std::uint64_t restarts = 0;        ///< worker processes respawned
+  std::uint64_t heartbeat_faults = 0;
+  std::uint64_t reroutes = 0;        ///< requests moved to another worker
+};
+
+class WorkerSupervisor {
+ public:
+  explicit WorkerSupervisor(SupervisorOptions options);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// Spawns every worker and starts the monitor thread. Throws
+  /// TransportError{kConnect} when a worker fails to come up.
+  void start();
+
+  /// SIGTERM every worker (graceful drain), escalate to SIGKILL after a
+  /// grace period, reap, and stop the monitor.
+  void stop();
+
+  /// Routes one request to a healthy worker; retries the *same* request id
+  /// on the next worker when one fails mid-request. Thread-safe.
+  [[nodiscard]] service::Response execute(const service::Request& request);
+
+  /// Kills worker `index` with SIGKILL (chaos-test hook: the monitor must
+  /// notice and respawn it).
+  void kill_worker(std::size_t index);
+
+  [[nodiscard]] std::vector<WorkerStatus> workers() const;
+  [[nodiscard]] SupervisorStats stats() const;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    bool alive = false;
+    std::uint64_t restarts = 0;
+    /// Breaker over heartbeat/request outcomes.
+    service::BreakerState breaker = service::BreakerState::kClosed;
+    unsigned consecutive_faults = 0;
+    double open_backoff_ms = 0;
+    std::chrono::steady_clock::time_point reopen_at{};
+    /// Restart pacing.
+    double restart_backoff = 0;
+    std::chrono::steady_clock::time_point respawn_at{};
+    /// Serializes request traffic to this worker (Client is not
+    /// thread-safe).
+    std::unique_ptr<std::mutex> lock = std::make_unique<std::mutex>();
+    std::unique_ptr<Client> client;
+  };
+
+  void spawn_locked(Worker& worker);
+  void monitor_loop();
+  /// True when the worker may take traffic (alive, breaker not open or due
+  /// for a half-open probe).
+  bool admit_locked(Worker& worker);
+  void record_fault_locked(Worker& worker);
+  void record_success_locked(Worker& worker);
+
+  SupervisorOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Worker> workers_;
+  std::atomic<std::size_t> next_worker_{0};
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  SupervisorStats stats_{};
+};
+
+}  // namespace trico::transport

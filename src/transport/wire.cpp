@@ -1,0 +1,310 @@
+#include "transport/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.hpp"
+
+namespace trico::transport {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello-ack";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kHeartbeatAck: return "heartbeat-ack";
+    case FrameType::kMetricsRequest: return "metrics-request";
+    case FrameType::kMetricsChunk: return "metrics-chunk";
+    case FrameType::kMetricsEnd: return "metrics-end";
+    case FrameType::kDrainNotice: return "drain-notice";
+    case FrameType::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(WireFault fault) {
+  switch (fault) {
+    case WireFault::kClosed: return "connection closed";
+    case WireFault::kTorn: return "torn frame";
+    case WireFault::kChecksum: return "frame checksum mismatch";
+    case WireFault::kProtocol: return "protocol violation";
+    case WireFault::kSyscall: return "socket failure";
+  }
+  return "?";
+}
+
+// -- PayloadWriter / PayloadReader -----------------------------------------
+
+void PayloadWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PayloadWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void PayloadWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void PayloadWriter::str(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes(v.data(), v.size());
+}
+
+void PayloadWriter::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + n);
+}
+
+void PayloadReader::need(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    throw WireError(WireFault::kProtocol,
+                    "payload overrun: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + " of " +
+                        std::to_string(data_.size()));
+  }
+}
+
+std::uint8_t PayloadReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t PayloadReader::u16() {
+  const auto lo = u8();
+  return static_cast<std::uint16_t>(lo | (u8() << 8));
+}
+
+std::uint32_t PayloadReader::u32() {
+  const auto lo = u16();
+  return static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(u16()) << 16);
+}
+
+std::uint64_t PayloadReader::u64() {
+  const auto lo = u32();
+  return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(u32()) << 32);
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void PayloadReader::bytes(void* dest, std::size_t n) {
+  need(n);
+  std::memcpy(dest, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint32_t frame_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+// -- Request / Response payloads ------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const service::Request& request) {
+  PayloadWriter w;
+  w.u8(static_cast<std::uint8_t>(request.op));
+  w.u8(static_cast<std::uint8_t>(request.backend));
+  w.u8(static_cast<std::uint8_t>(request.objective));
+  w.u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(request.priority)));
+  w.f64(request.deadline_ms);
+  w.str(request.tenant_id);
+  if (request.graph == nullptr) {
+    w.u32(0);
+    w.u64(0);
+  } else {
+    w.u32(request.graph->num_vertices());
+    const auto slots = request.graph->edges();
+    w.u64(slots.size());
+    w.bytes(slots.data(), slots.size() * sizeof(Edge));
+  }
+  return w.take();
+}
+
+service::Request decode_request(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  service::Request request;
+  request.op = static_cast<service::Operation>(r.u8());
+  request.backend = static_cast<service::Backend>(r.u8());
+  request.objective = static_cast<service::RouteObjective>(r.u8());
+  request.priority =
+      static_cast<service::Priority>(static_cast<std::int8_t>(r.u8()));
+  request.deadline_ms = r.f64();
+  request.tenant_id = r.str();
+  const VertexId num_vertices = r.u32();
+  const std::uint64_t slots = r.u64();
+  if (slots * sizeof(Edge) != r.remaining()) {
+    throw WireError(WireFault::kProtocol,
+                    "request graph declares " + std::to_string(slots) +
+                        " slots but carries " + std::to_string(r.remaining()) +
+                        " payload bytes");
+  }
+  std::vector<Edge> edges(slots);
+  r.bytes(edges.data(), slots * sizeof(Edge));
+  request.graph =
+      std::make_shared<const EdgeList>(std::move(edges), num_vertices);
+  return request;
+}
+
+namespace {
+constexpr std::uint8_t kRespCatalogHit = 0x1;
+constexpr std::uint8_t kRespDegraded = 0x2;
+}  // namespace
+
+std::vector<std::uint8_t> encode_response(const service::Response& response) {
+  PayloadWriter w;
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.str(response.reason);
+  w.u64(response.triangles);
+  w.f64(response.clustering);
+  w.f64(response.transitivity);
+  w.u32(response.max_trussness);
+  w.u8(static_cast<std::uint8_t>(response.backend));
+  w.u8(static_cast<std::uint8_t>((response.catalog_hit ? kRespCatalogHit : 0) |
+                                 (response.degraded ? kRespDegraded : 0)));
+  w.f64(response.modeled_device_ms);
+  w.f64(response.queue_ms);
+  w.f64(response.execute_ms);
+  return w.take();
+}
+
+service::Response decode_response(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  service::Response response;
+  response.status = static_cast<service::Status>(r.u8());
+  response.reason = r.str();
+  response.triangles = r.u64();
+  response.clustering = r.f64();
+  response.transitivity = r.f64();
+  response.max_trussness = r.u32();
+  response.backend = static_cast<service::Backend>(r.u8());
+  const std::uint8_t flags = r.u8();
+  response.catalog_hit = (flags & kRespCatalogHit) != 0;
+  response.degraded = (flags & kRespDegraded) != 0;
+  response.modeled_device_ms = r.f64();
+  response.queue_ms = r.f64();
+  response.execute_ms = r.f64();
+  return response;
+}
+
+// -- Frame io --------------------------------------------------------------
+
+std::vector<std::uint8_t> build_frame(FrameType type, std::uint64_t request_id,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t flags) {
+  PayloadWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(flags);
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(frame_checksum(payload));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+void send_frame(int fd, FrameType type, std::uint64_t request_id,
+                std::span<const std::uint8_t> payload, std::uint8_t flags) {
+  const std::vector<std::uint8_t> frame =
+      build_frame(type, request_id, payload, flags);
+  const util::io::IoResult r =
+      util::io::write_full(fd, frame.data(), frame.size());
+  if (r.status != util::io::IoStatus::kOk) {
+    throw WireError(WireFault::kSyscall,
+                    std::string("send failed: ") + std::strerror(r.error));
+  }
+}
+
+bool recv_frame(int fd, Frame& out) {
+  std::uint8_t raw[kHeaderBytes];
+  const util::io::IoResult head = util::io::read_full(fd, raw, sizeof(raw));
+  if (head.status == util::io::IoStatus::kEof) {
+    if (head.bytes == 0) return false;  // clean close between frames
+    throw WireError(WireFault::kTorn, "connection closed inside a header (" +
+                                          std::to_string(head.bytes) + "/" +
+                                          std::to_string(kHeaderBytes) +
+                                          " bytes)");
+  }
+  if (head.status == util::io::IoStatus::kError) {
+    throw WireError(WireFault::kSyscall,
+                    std::string("header read failed: ") +
+                        std::strerror(head.error));
+  }
+
+  PayloadReader r(std::span<const std::uint8_t>(raw, sizeof(raw)));
+  FrameHeader& h = out.header;
+  h.magic = r.u32();
+  h.version = r.u16();
+  h.type = static_cast<FrameType>(r.u8());
+  h.flags = r.u8();
+  h.request_id = r.u64();
+  h.payload_size = r.u32();
+  h.checksum = r.u32();
+
+  if (h.magic != kWireMagic) {
+    throw WireError(WireFault::kProtocol, "bad magic");
+  }
+  if (h.version != kWireVersion) {
+    throw WireError(WireFault::kProtocol,
+                    "unsupported wire version " + std::to_string(h.version));
+  }
+  if (h.payload_size > kMaxPayload) {
+    throw WireError(WireFault::kProtocol,
+                    "frame declares an impossible payload of " +
+                        std::to_string(h.payload_size) + " bytes");
+  }
+
+  out.payload.resize(h.payload_size);
+  if (h.payload_size > 0) {
+    const util::io::IoResult body =
+        util::io::read_full(fd, out.payload.data(), out.payload.size());
+    if (body.status == util::io::IoStatus::kEof) {
+      throw WireError(WireFault::kTorn,
+                      "connection closed inside a payload (" +
+                          std::to_string(body.bytes) + "/" +
+                          std::to_string(h.payload_size) + " bytes)");
+    }
+    if (body.status == util::io::IoStatus::kError) {
+      throw WireError(WireFault::kSyscall,
+                      std::string("payload read failed: ") +
+                          std::strerror(body.error));
+    }
+  }
+  if (frame_checksum(out.payload) != h.checksum) {
+    throw WireError(WireFault::kChecksum,
+                    "payload of " + std::to_string(h.payload_size) +
+                        " bytes does not match its checksum");
+  }
+  return true;
+}
+
+}  // namespace trico::transport

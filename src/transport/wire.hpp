@@ -1,0 +1,192 @@
+// The trico wire protocol: length-prefixed binary framing of the service's
+// Request/Response vocabulary.
+//
+// Every frame is a fixed 24-byte header followed by `payload_size` bytes:
+//
+//   offset  size  field
+//        0     4  magic        0x54524957 ("TRIW", little-endian on the wire)
+//        4     2  version      kWireVersion (mismatch = reject connection)
+//        6     1  type         FrameType
+//        7     1  flags        FrameFlags bitmask
+//        8     8  request_id   client-assigned; echoes back on the response
+//       16     4  payload_size bytes following the header (<= kMaxPayload)
+//       20     4  checksum     FNV-1a 64 of the payload, folded to 32 bits
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern in a uint64. Strings are a uint32 length + raw bytes. The graph
+// inside a kRequest is the edge-slot array verbatim (u, v per slot), the
+// same layout `io::write_binary` persists.
+//
+// The checksum is the torn-frame detector: a frame whose payload was cut
+// short by a dying worker fails read_full with kEof, and one whose bytes
+// were damaged in flight fails the checksum — both surface as a typed
+// WireError, never as a wrong count. The request_id is the idempotency
+// key: a client retries with the *same* id, and the server dedupes by
+// (client_id, request_id), so a retry of an already-executed request
+// returns the recorded response instead of executing twice.
+//
+// MetricsSnapshot streams: the server answers kMetricsRequest with a
+// sequence of kMetricsChunk frames (bounded chunks of the rendered
+// snapshot) terminated by kMetricsEnd, so an arbitrarily large multi-tenant
+// snapshot never needs a single huge frame.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace trico::transport {
+
+inline constexpr std::uint32_t kWireMagic = 0x54524957u;  // "TRIW"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Frames larger than this are rejected before allocation — a corrupt
+/// header must not provoke a huge bogus buffer (same guard as read_binary).
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+/// Payload bytes per kMetricsChunk frame.
+inline constexpr std::size_t kMetricsChunkBytes = 16 * 1024;
+
+/// Frame kinds. Client-originated frames carry the client's request_id;
+/// server frames echo the id they answer (0 for unsolicited notices).
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< client -> server: client_id handshake
+  kHelloAck,         ///< server -> client: handshake accepted
+  kRequest,          ///< client -> server: one service::Request
+  kResponse,         ///< server -> client: the service::Response
+  kHeartbeat,        ///< client -> server: liveness probe
+  kHeartbeatAck,     ///< server -> client: liveness answer
+  kMetricsRequest,   ///< client -> server: stream the MetricsSnapshot
+  kMetricsChunk,     ///< server -> client: one chunk of the snapshot
+  kMetricsEnd,       ///< server -> client: snapshot complete
+  kDrainNotice,      ///< server -> client: draining, no new requests
+  kError,            ///< server -> client: typed failure (payload = message)
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+/// FrameFlags bits.
+inline constexpr std::uint8_t kFlagRetryable = 0x1;  ///< kError the client may retry
+
+inline constexpr std::size_t kHeaderBytes = 24;
+
+struct FrameHeader {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  FrameType type = FrameType::kError;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Why a wire operation failed. The client's retry loop treats every kind
+/// except kProtocol as transient (reconnect + idempotent resend).
+enum class WireFault : std::uint8_t {
+  kClosed,    ///< peer closed cleanly (EOF between frames)
+  kTorn,      ///< EOF *inside* a frame: the peer died mid-send
+  kChecksum,  ///< payload checksum mismatch (bytes damaged in flight)
+  kProtocol,  ///< bad magic/version/size or malformed payload
+  kSyscall,   ///< read/write/connect failed (errno in the message)
+};
+
+[[nodiscard]] const char* to_string(WireFault fault);
+
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireFault fault, const std::string& what)
+      : std::runtime_error(std::string(to_string(fault)) + ": " + what),
+        fault_(fault) {}
+
+  [[nodiscard]] WireFault fault() const { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+// -- Payload encoding ------------------------------------------------------
+
+/// Appends little-endian primitives to a byte vector.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& v);
+  void bytes(const void* data, std::size_t n);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Reads little-endian primitives from a payload; any overrun throws
+/// WireError{kProtocol} so a truncated payload can never read stale memory.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  void bytes(void* dest, std::size_t n);
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64 over `data`, folded to 32 bits (the frame checksum).
+[[nodiscard]] std::uint32_t frame_checksum(std::span<const std::uint8_t> data);
+
+// -- Request / Response payloads ------------------------------------------
+
+/// Serializes everything a Request carries — op, backend, objective,
+/// priority, deadline, tenant id, and the graph's edge slots — so the
+/// service semantics survive the process boundary intact.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(
+    const service::Request& request);
+[[nodiscard]] service::Request decode_request(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const service::Response& response);
+[[nodiscard]] service::Response decode_response(
+    std::span<const std::uint8_t> payload);
+
+// -- Frame io --------------------------------------------------------------
+
+/// Serializes a complete frame (header + payload) into one buffer so the
+/// send is a single write_full — no interleaving with other frames.
+[[nodiscard]] std::vector<std::uint8_t> build_frame(
+    FrameType type, std::uint64_t request_id,
+    std::span<const std::uint8_t> payload, std::uint8_t flags = 0);
+
+/// Sends one frame. Throws WireError{kSyscall} on failure.
+void send_frame(int fd, FrameType type, std::uint64_t request_id,
+                std::span<const std::uint8_t> payload, std::uint8_t flags = 0);
+
+/// Receives one frame. Returns false on a clean close *between* frames;
+/// throws WireError (kTorn / kChecksum / kProtocol / kSyscall) on anything
+/// torn or damaged.
+[[nodiscard]] bool recv_frame(int fd, Frame& out);
+
+}  // namespace trico::transport

@@ -1,0 +1,99 @@
+#include "util/io.hpp"
+
+#include <cerrno>
+#include <chrono>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace trico::util::io {
+
+const char* to_string(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+int open_retry(const char* path, int flags) {
+  for (;;) {
+    const int fd = ::open(path, flags);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int close_quiet(int fd) noexcept {
+  const int rc = ::close(fd);
+  if (rc == -1 && errno == EINTR) return 0;  // fd is released regardless
+  return rc;
+}
+
+IoResult read_full(int fd, void* buf, std::size_t n) noexcept {
+  IoResult result;
+  char* cursor = static_cast<char*>(buf);
+  while (result.bytes < n) {
+    const ssize_t got = ::read(fd, cursor + result.bytes, n - result.bytes);
+    if (got > 0) {
+      result.bytes += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      result.status = IoStatus::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    result.status = IoStatus::kError;
+    result.error = errno;
+    return result;
+  }
+  return result;
+}
+
+IoResult write_full(int fd, const void* buf, std::size_t n) noexcept {
+  IoResult result;
+  const char* cursor = static_cast<const char*>(buf);
+  while (result.bytes < n) {
+    const ssize_t put = ::write(fd, cursor + result.bytes, n - result.bytes);
+    if (put > 0) {
+      result.bytes += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    result.status = IoStatus::kError;
+    result.error = put < 0 ? errno : EIO;
+    return result;
+  }
+  return result;
+}
+
+int accept_retry(int listen_fd, sockaddr* addr, socklen_t* addr_len) noexcept {
+  for (;;) {
+    const int fd = ::accept(listen_fd, addr, addr_len);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return -1;
+  }
+}
+
+int poll_retry(pollfd* fds, nfds_t nfds, int timeout_ms) noexcept {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                      : Clock::time_point::max();
+  int remaining = timeout_ms;
+  for (;;) {
+    const int rc = ::poll(fds, nfds, remaining);
+    if (rc >= 0 || errno != EINTR) return rc;
+    if (timeout_ms < 0) continue;  // infinite wait: just re-arm
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    remaining = static_cast<int>(std::max<long long>(0, left.count()));
+    if (remaining == 0) return 0;  // the signal ate the whole window
+  }
+}
+
+}  // namespace trico::util::io

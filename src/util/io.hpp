@@ -1,0 +1,72 @@
+// EINTR-safe POSIX io helpers.
+//
+// Every raw read/write/accept/poll the repo issues goes through these
+// wrappers: a signal landing mid-syscall (the supervisor's SIGCHLD, a
+// profiler's SIGPROF, the CLI's SIGTERM drain) must never surface as a
+// spurious io failure, and a socket delivering fewer bytes than asked must
+// never tear a frame. The helpers retry on EINTR and loop short transfers
+// to completion, reporting a tri-state outcome (ok / clean eof / error with
+// errno) instead of throwing — the transport layer and the `.trico` loader
+// each map outcomes onto their own typed errors.
+//
+// None of these block differently than the underlying syscall: read_full on
+// a blocking fd waits for the remaining bytes, on a non-blocking fd it
+// reports kError with EAGAIN like read(2) would.
+
+#pragma once
+
+#include <cstddef>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace trico::util::io {
+
+/// Outcome of a full-transfer helper.
+enum class IoStatus {
+  kOk,     ///< all requested bytes transferred
+  kEof,    ///< peer closed cleanly before the requested bytes arrived
+  kError,  ///< a syscall failed; `error` carries its errno
+};
+
+[[nodiscard]] const char* to_string(IoStatus status);
+
+/// Result of read_full / write_full: the outcome, how many bytes actually
+/// moved (meaningful for kEof: a frame torn mid-payload reports the bytes
+/// that made it), and errno for kError.
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+  int error = 0;
+};
+
+/// open(2), retried on EINTR. Returns the fd, or -1 with errno set.
+[[nodiscard]] int open_retry(const char* path, int flags);
+
+/// close(2) ignoring EINTR (retrying close is wrong on Linux: the fd is
+/// released even when the call is interrupted). Returns 0 or -1/errno for
+/// real failures.
+int close_quiet(int fd) noexcept;
+
+/// Reads exactly `n` bytes into `buf`, retrying EINTR and looping short
+/// reads. kEof reports a clean close with `bytes` < n already transferred.
+[[nodiscard]] IoResult read_full(int fd, void* buf, std::size_t n) noexcept;
+
+/// Writes exactly `n` bytes from `buf`, retrying EINTR and looping short
+/// writes. A peer that disappears mid-write reports kError (EPIPE /
+/// ECONNRESET); there is no clean-EOF case for writes.
+[[nodiscard]] IoResult write_full(int fd, const void* buf,
+                                  std::size_t n) noexcept;
+
+/// accept(2), retried on EINTR (and on ECONNABORTED, which a listener
+/// should simply skip). Returns the connection fd, or -1 with errno set.
+[[nodiscard]] int accept_retry(int listen_fd, sockaddr* addr,
+                               socklen_t* addr_len) noexcept;
+
+/// poll(2), retried on EINTR with the timeout re-armed to the *remaining*
+/// wall clock so a signal storm cannot extend the deadline. Returns poll's
+/// result (>0 ready, 0 timeout, -1/errno on real failure).
+[[nodiscard]] int poll_retry(pollfd* fds, nfds_t nfds,
+                             int timeout_ms) noexcept;
+
+}  // namespace trico::util::io

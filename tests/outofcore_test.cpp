@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "cpu/counting.hpp"
 #include "gen/generators.hpp"
@@ -155,6 +157,55 @@ TEST(OutOfCoreTest, MultiDeviceSplitsTaskTime) {
 TEST(OutOfCoreTest, RejectsBadConstruction) {
   EXPECT_THROW(OutOfCoreCounter(small_device(), 0), std::invalid_argument);
   EXPECT_THROW(OutOfCoreCounter(small_device(), 2, 0), std::invalid_argument);
+}
+
+TEST(OutOfCoreTest, CancelTokenStopsTheTaskLoop) {
+  // The C(k+2,3) task loop polls the cooperative cancel token per task (and
+  // make_task polls it per chunk): a counter whose token is already
+  // cancelled must unwind promptly with OperationCancelled instead of
+  // running every task to completion — this is how the scheduler watchdog
+  // stops a deadline-blown out-of-core request mid-flight.
+  const EdgeList g = gen::barabasi_albert(500, 6, 3);
+  util::CancelToken token;
+  core::CountingOptions options;
+  options.sim.cancel = &token;
+  OutOfCoreCounter counter(small_device(), 4, 1, options);
+
+  token.request_cancel(util::CancelCause::kDeadline);
+  EXPECT_THROW((void)counter.count(g), util::OperationCancelled);
+}
+
+TEST(OutOfCoreTest, CancelMidRunUnwindsFromAnotherThread) {
+  gen::RmatParams params;
+  params.scale = 11;
+  params.edge_factor = 12;
+  const EdgeList g = gen::rmat(params, 5);
+  util::CancelToken token;
+  core::CountingOptions options;
+  options.sim.cancel = &token;
+  // Many colors = many tasks, so there is a long task loop to interrupt.
+  OutOfCoreCounter counter(small_device(), 6, 1, options);
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.request_cancel(util::CancelCause::kUser);
+  });
+  EXPECT_THROW((void)counter.count(g), util::OperationCancelled);
+  canceller.join();
+}
+
+TEST(PartitionTest, MakeTaskHonorsCancelToken) {
+  const EdgeList g = gen::barabasi_albert(200, 4, 3);
+  const Coloring coloring = color_vertices(g.num_vertices(), 3, 7);
+  prim::ThreadPool pool(2);
+  util::CancelToken token;
+  token.request_cancel(util::CancelCause::kUser);
+  EXPECT_THROW((void)make_task(g, coloring, 0, 1, 2, pool, &token),
+               util::OperationCancelled);
+  // Null token: unchanged behaviour.
+  const SubgraphTask task = make_task(g, coloring, 0, 1, 2, pool, nullptr);
+  EXPECT_EQ(task.edges.num_edge_slots(),
+            make_task(g, coloring, 0, 1, 2).edges.num_edge_slots());
 }
 
 TEST(OutOfCoreTest, TaskRecordsAreConsistent) {

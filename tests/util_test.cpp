@@ -1,10 +1,23 @@
-// Tests for the timing/table utilities used by the benchmark harness.
+// Tests for the timing/table utilities used by the benchmark harness, and
+// for the EINTR-safe io helpers the wire transport and .trico loader share.
 
 #include <gtest/gtest.h>
 
-#include <sstream>
-#include <thread>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/io.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -69,6 +82,115 @@ TEST(HumanCountTest, ScalesUnits) {
   EXPECT_EQ(human_count(29'000'000), "29.0M");
   EXPECT_EQ(human_count(8'816'000'000ull), "8.8G");
   EXPECT_EQ(human_count(1'500), "1.5K");
+}
+
+// ---------------------------------------------------------------------------
+// EINTR-safe io helpers
+
+TEST(IoTest, ReadFullLoopsShortReadsToCompletion) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string message = "exactly-thirty-one-bytes-here!!";
+  ASSERT_EQ(message.size(), 31u);
+
+  // Writer dribbles the bytes so the reader must loop short reads.
+  std::thread writer([&] {
+    for (char c : message) {
+      ASSERT_EQ(io::write_full(fds[1], &c, 1).status, io::IoStatus::kOk);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    io::close_quiet(fds[1]);
+  });
+
+  char buffer[31];
+  const io::IoResult r = io::read_full(fds[0], buffer, sizeof(buffer));
+  EXPECT_EQ(r.status, io::IoStatus::kOk);
+  EXPECT_EQ(r.bytes, sizeof(buffer));
+  EXPECT_EQ(std::string(buffer, sizeof(buffer)), message);
+  writer.join();
+  io::close_quiet(fds[0]);
+}
+
+TEST(IoTest, ReadFullReportsCleanEofWithPartialCount) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(io::write_full(fds[1], "abc", 3).status, io::IoStatus::kOk);
+  io::close_quiet(fds[1]);
+
+  char buffer[8];
+  const io::IoResult r = io::read_full(fds[0], buffer, sizeof(buffer));
+  EXPECT_EQ(r.status, io::IoStatus::kEof);
+  EXPECT_EQ(r.bytes, 3u) << "torn-frame detection needs the partial count";
+  io::close_quiet(fds[0]);
+}
+
+TEST(IoTest, WriteFullReportsErrorOnClosedPeer) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  io::close_quiet(fds[0]);
+  // SIGPIPE must not kill the test; write_full reports EPIPE instead.
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::vector<char> big(1 << 20, 'x');
+  const io::IoResult r = io::write_full(fds[1], big.data(), big.size());
+  EXPECT_EQ(r.status, io::IoStatus::kError);
+  EXPECT_EQ(r.error, EPIPE);
+  io::close_quiet(fds[1]);
+}
+
+TEST(IoTest, ReadAndWriteSurviveSignalStorm) {
+  // A stream of harmless signals interrupts the transfer; the EINTR
+  // retries must make the full payload arrive bit-exact regardless.
+  ::signal(SIGUSR1, [](int) {});
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  std::vector<std::uint8_t> payload(4 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+
+  std::atomic<bool> done{false};
+  const pthread_t reader_thread = ::pthread_self();
+  std::thread pester([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::thread writer([&] {
+    EXPECT_EQ(io::write_full(fds[1], payload.data(), payload.size()).status,
+              io::IoStatus::kOk);
+    io::close_quiet(fds[1]);
+  });
+
+  std::vector<std::uint8_t> received(payload.size());
+  const io::IoResult r =
+      io::read_full(fds[0], received.data(), received.size());
+  done.store(true, std::memory_order_relaxed);
+  pester.join();
+  writer.join();
+  EXPECT_EQ(r.status, io::IoStatus::kOk);
+  EXPECT_EQ(received, payload) << "signal storm corrupted the transfer";
+  io::close_quiet(fds[0]);
+  ::signal(SIGUSR1, SIG_DFL);
+}
+
+TEST(IoTest, OpenRetryAndCloseQuiet) {
+  EXPECT_LT(io::open_retry("/definitely/not/a/file", O_RDONLY), 0);
+  const int fd = io::open_retry("/dev/null", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(io::close_quiet(fd), 0);
+}
+
+TEST(IoTest, PollRetryTimesOut) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  pollfd pfd{fds[0], POLLIN, 0};
+  EXPECT_EQ(io::poll_retry(&pfd, 1, 20), 0);  // nothing to read: timeout
+  ASSERT_EQ(io::write_full(fds[1], "x", 1).status, io::IoStatus::kOk);
+  EXPECT_GT(io::poll_retry(&pfd, 1, 1000), 0);  // readable now
+  io::close_quiet(fds[0]);
+  io::close_quiet(fds[1]);
 }
 
 }  // namespace
