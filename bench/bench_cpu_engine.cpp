@@ -12,6 +12,13 @@
 //   --threads N      pool width (default: hardware concurrency)
 //   --smoke          small generated graphs, no disk cache, no sweep — the
 //                    CI configuration (seconds, not minutes)
+//   --ablation simd  E24: vector-vs-scalar intersection kernels. Each
+//                    strategy (merge / gallop / adaptive) runs the counting
+//                    phase twice over the *same* prepared graph — once with
+//                    the ISA forced to scalar, once at the host's best
+//                    level — at equal thread count, and the bench asserts
+//                    the counts and dispatch stats are bit-identical before
+//                    reporting the speedup.
 
 #include <algorithm>
 #include <cstring>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "cpu/counting.hpp"
+#include "cpu/simd/intersect.hpp"
 #include "gen/generators.hpp"
 #include "report.hpp"
 #include "suite.hpp"
@@ -63,7 +71,151 @@ bench::Json stats_json(const cpu::CountingStats& s) {
       .set("merge_edges", s.merge_edges)
       .set("gallop_edges", s.gallop_edges)
       .set("bitmap_edges", s.bitmap_edges)
-      .set("counting_ms", s.counting_ms);
+      .set("counting_ms", s.counting_ms)
+      .set("isa", cpu::simd::to_string(s.isa));
+}
+
+/// Median-of-`reps` counting phase over an already-prepared graph (the ISA
+/// ablation must not re-prepare between levels: both levels consume the
+/// identical CSR + bitmap state).
+cpu::CountingStats run_counting(const cpu::PreparedGraph& prepared,
+                                prim::ThreadPool& pool,
+                                TriangleCount& triangles, int reps = 3) {
+  std::vector<cpu::CountingStats> runs;
+  for (int r = 0; r < reps; ++r) {
+    cpu::CountingStats stats;
+    const TriangleCount t = cpu::count_prepared(prepared, pool, &stats);
+    if (r == 0) triangles = t;
+    if (t != triangles) {
+      std::cerr << "NONDETERMINISTIC COUNT across reps\n";
+      std::exit(1);
+    }
+    runs.push_back(stats);
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const cpu::CountingStats& a, const cpu::CountingStats& b) {
+              return a.counting_ms < b.counting_ms;
+            });
+  return runs[runs.size() / 2];
+}
+
+/// E24: SIMD ablation. Returns the process exit code.
+int run_simd_ablation(std::vector<BenchGraph>& graphs, prim::ThreadPool& pool,
+                      std::uint32_t threads, bool smoke) {
+  const cpu::simd::IsaLevel best = cpu::simd::resolve_isa();
+  std::cout << "=== E24: SIMD intersection-kernel ablation ===\n"
+            << "pool threads: " << threads
+            << "  host features: " << cpu::simd::detect_cpu_features().to_string()
+            << "  vector level: " << cpu::simd::to_string(best)
+            << (smoke ? "  (smoke mode)" : "") << "\n\n";
+  if (best == cpu::simd::IsaLevel::kScalar) {
+    std::cout << "host has no vector level — nothing to ablate\n";
+    return 0;
+  }
+
+  struct StrategyRow {
+    const char* name;
+    cpu::EngineOptions opts;
+  };
+  std::vector<StrategyRow> strategies;
+  {
+    cpu::EngineOptions merge;
+    merge.strategy = cpu::IntersectStrategy::kMergeOnly;
+    cpu::EngineOptions gallop;
+    gallop.strategy = cpu::IntersectStrategy::kGallopOnly;
+    strategies.push_back({"merge", merge});
+    strategies.push_back({"gallop", gallop});
+    strategies.push_back({"adaptive", {}});
+  }
+
+  util::Table table({"graph", "strategy", "scalar [ms]",
+                     std::string(cpu::simd::to_string(best)) + " [ms]",
+                     "speedup"});
+  bench::Json rows = bench::Json::array();
+  bool all_ok = true;
+  // Acceptance: the vector kernels must beat scalar on the skewed suite
+  // rows (livejournal / orkut / kronecker) for every strategy.
+  double min_accept_speedup = 1e300;
+
+  for (BenchGraph& g : graphs) {
+    const TriangleCount expected = cpu::count_forward(g.edges);
+    const bool acceptance_row =
+        g.name.find("livejournal") != std::string::npos ||
+        g.name.find("orkut") != std::string::npos ||
+        g.name.find("kronecker") != std::string::npos;
+
+    bench::Json strategy_rows = bench::Json::array();
+    for (const StrategyRow& s : strategies) {
+      cpu::PreparedGraph prepared = cpu::prepare(g.edges, pool, s.opts);
+
+      prepared.options.isa = cpu::simd::IsaRequest::kScalar;
+      TriangleCount scalar_triangles = 0;
+      const cpu::CountingStats scalar =
+          run_counting(prepared, pool, scalar_triangles);
+
+      prepared.options.isa = cpu::simd::IsaRequest::kAuto;
+      TriangleCount vector_triangles = 0;
+      const cpu::CountingStats vector =
+          run_counting(prepared, pool, vector_triangles);
+
+      if (scalar_triangles != expected || vector_triangles != expected) {
+        std::cerr << "COUNT MISMATCH on " << g.name << "/" << s.name << "\n";
+        all_ok = false;
+      }
+      if (scalar.merge_edges != vector.merge_edges ||
+          scalar.gallop_edges != vector.gallop_edges ||
+          scalar.bitmap_edges != vector.bitmap_edges) {
+        std::cerr << "STATS DIVERGED ACROSS ISA on " << g.name << "/"
+                  << s.name << "\n";
+        all_ok = false;
+      }
+
+      const double speedup =
+          scalar.counting_ms / std::max(1e-9, vector.counting_ms);
+      if (acceptance_row) {
+        min_accept_speedup = std::min(min_accept_speedup, speedup);
+      }
+      table.row()
+          .cell(g.name)
+          .cell(s.name)
+          .cell(scalar.counting_ms, 2)
+          .cell(vector.counting_ms, 2)
+          .cell(speedup, 2);
+      strategy_rows.push(bench::Json::object()
+                             .set("strategy", s.name)
+                             .set("scalar", stats_json(scalar))
+                             .set("vector", stats_json(vector))
+                             .set("speedup", speedup));
+    }
+    rows.push(bench::Json::object()
+                  .set("graph", g.name)
+                  .set("edge_slots", g.edges.num_edge_slots())
+                  .set("triangles", expected)
+                  .set("threads", threads)
+                  .set("strategies", std::move(strategy_rows)));
+  }
+
+  table.print(std::cout);
+  if (min_accept_speedup < 1e300) {
+    std::cout << "\nmin vector-vs-scalar speedup over the acceptance rows "
+                 "(livejournal/orkut/kronecker), all strategies: "
+              << min_accept_speedup << "x (target: > 1x)\n";
+  }
+
+  bench::Json payload = bench::Json::object()
+                            .set("experiment", "cpu_engine")
+                            .set("ablation", "simd")
+                            .set("threads", threads)
+                            .set("smoke", smoke)
+                            .set("vector_isa", cpu::simd::to_string(best))
+                            .set("cpu_features",
+                                 cpu::simd::detect_cpu_features().to_string())
+                            .set("rows", std::move(rows));
+  if (min_accept_speedup < 1e300) {
+    payload.set("min_acceptance_speedup", min_accept_speedup);
+  }
+  bench::write_bench_report("cpu_engine", payload);
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -71,18 +223,28 @@ bench::Json stats_json(const cpu::CountingStats& s) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string only_graph;
+  std::string ablation;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       only_graph = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--ablation") == 0 && i + 1 < argc) {
+      ablation = argv[i + 1];
+    }
+  }
+  if (!ablation.empty() && ablation != "simd") {
+    std::cerr << "unknown --ablation '" << ablation << "' (supported: simd)\n";
+    return 1;
   }
   const std::uint32_t threads = bench::threads_flag(
       argc, argv, std::max(1u, std::thread::hardware_concurrency()));
 
-  std::cout << "=== E21: adaptive hybrid CPU intersection engine ===\n"
-            << "pool threads: " << threads << (smoke ? " (smoke mode)" : "")
-            << "\n\n";
+  if (ablation.empty()) {
+    std::cout << "=== E21: adaptive hybrid CPU intersection engine ===\n"
+              << "pool threads: " << threads << (smoke ? " (smoke mode)" : "")
+              << "\n\n";
+  }
 
   std::vector<BenchGraph> graphs;
   if (smoke) {
@@ -101,6 +263,8 @@ int main(int argc, char** argv) {
   }
 
   prim::ThreadPool pool(threads);
+
+  if (ablation == "simd") return run_simd_ablation(graphs, pool, threads, smoke);
 
   cpu::EngineOptions merge_opts;
   merge_opts.strategy = cpu::IntersectStrategy::kMergeOnly;

@@ -60,9 +60,14 @@
 // demo: spawns N supervised serve workers (of this same binary), routes
 // --requests requests across them, and reports supervisor stats.
 //
+// `trico_cli version` prints the detected CPU features and the ISA level
+// the hybrid engine's intersection kernels will dispatch to (honouring a
+// TRICO_FORCE_ISA override), then exits.
+//
 // Exit status 0 on success; the triangle count goes to stdout.
 
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -77,6 +82,7 @@
 #include "analysis/clustering.hpp"
 #include "core/gpu_forward.hpp"
 #include "cpu/counting.hpp"
+#include "cpu/simd/cpu_features.hpp"
 #include "gen/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
@@ -113,8 +119,24 @@ using namespace trico;
                "<graph-spec>\n"
                "       " << argv0
             << " cluster [--workers N] [--requests N] [--chaos-* ...] "
-               "<graph-spec>\n";
+               "<graph-spec>\n"
+               "       " << argv0 << " version\n";
   std::exit(2);
+}
+
+// -- version ---------------------------------------------------------------
+
+/// Prints the CPU feature probe and the ISA level the engine's intersection
+/// kernels resolve to (TRICO_FORCE_ISA > EngineOptions request > best
+/// detected, clamped down so an unsupported request can never dispatch).
+int run_version() {
+  const cpu::simd::CpuFeatures features = cpu::simd::detect_cpu_features();
+  std::cout << "trico_cli (triangle counting, Polak IPDPSW'16 reproduction)\n"
+            << "cpu features: [" << features.to_string() << "]\n"
+            << "engine isa:   " << to_string(cpu::simd::resolve_isa())
+            << (std::getenv("TRICO_FORCE_ISA") ? " (TRICO_FORCE_ISA)" : "")
+            << "\n";
+  return 0;
 }
 
 simt::DeviceConfig parse_device(const std::string& name) {
@@ -541,6 +563,7 @@ int main(int argc, char** argv) {
       if (mode == "serve") return run_serve(argc, argv);
       if (mode == "client") return run_client(argc, argv);
       if (mode == "cluster") return run_cluster(argc, argv);
+      if (mode == "version") return run_version();
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << "\n";
       return 1;

@@ -3,81 +3,19 @@
 #include <algorithm>
 #include <atomic>
 
+#include "cpu/simd/intersect.hpp"
 #include "graph/orientation.hpp"
 #include "prim/algorithms.hpp"
 #include "prim/radix_sort.hpp"
 #include "util/timer.hpp"
 
+// The intersection inner loops live in src/cpu/simd/ behind a runtime
+// dispatch table (scalar / SSE4.2 / AVX2, selected once per counting run).
+// Everything in this file — per-edge strategy choice included — is
+// ISA-independent, which is what keeps triangle counts AND CountingStats
+// bit-identical across tiers.
+
 namespace trico::cpu {
-
-namespace {
-
-/// Two-pointer merge intersection size of two sorted ascending ranges.
-TriangleCount merge_intersect(std::span<const VertexId> a,
-                              std::span<const VertexId> b) {
-  TriangleCount count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-/// Galloping (exponential-search) intersection: each element of `shorter` is
-/// located in `longer` by doubling from the previous match position, then a
-/// binary search over the bracketed window — O(|s| · log(|l| / |s|)).
-TriangleCount gallop_intersect(std::span<const VertexId> shorter,
-                               std::span<const VertexId> longer) {
-  TriangleCount count = 0;
-  std::size_t j = 0;
-  const std::size_t ln = longer.size();
-  for (VertexId x : shorter) {
-    if (j >= ln) break;
-    std::size_t bound = 1;
-    while (j + bound < ln && longer[j + bound] < x) bound <<= 1;
-    const auto first = longer.begin() + (j + (bound >> 1));
-    const auto last = longer.begin() + std::min(ln, j + bound + 1);
-    j = static_cast<std::size_t>(std::lower_bound(first, last, x) -
-                                 longer.begin());
-    if (j < ln && longer[j] == x) {
-      ++count;
-      ++j;
-    }
-  }
-  return count;
-}
-
-/// Probe every element of `probes` against a hoisted bitmap row. The caller
-/// guarantees every probe is inside the row's domain (no bounds check): one
-/// load + shift per probe, branch-free.
-TriangleCount bitmap_probe(const std::uint64_t* words,
-                           std::span<const VertexId> probes) {
-  TriangleCount count = 0;
-  for (VertexId w : probes) count += (words[w >> 6] >> (w & 63)) & 1;
-  return count;
-}
-
-/// Same, for probes that may exceed the row's truncated domain (they read as
-/// unset, which is correct: an id outside [0, domain) cannot be a neighbor).
-TriangleCount bitmap_probe_checked(const std::uint64_t* words,
-                                   std::uint64_t num_words,
-                                   std::span<const VertexId> probes) {
-  TriangleCount count = 0;
-  for (VertexId w : probes) {
-    if ((w >> 6) < num_words) count += (words[w >> 6] >> (w & 63)) & 1;
-  }
-  return count;
-}
-
-}  // namespace
 
 std::vector<EdgeIndex> parallel_degrees(std::span<const Edge> slots,
                                         VertexId num_vertices,
@@ -231,6 +169,10 @@ TriangleCount count_prepared(const PreparedGraph& graph,
   const EngineOptions& options = graph.options;
   const VertexId n = oriented.num_vertices();
   const std::size_t nw = pool.num_threads();
+  // Resolve the kernel table once per run: env override, then the requested
+  // tier clamped down to what the host supports. Hot loops call through
+  // plain function pointers — selection never sits on the per-edge path.
+  const simd::IntersectKernels& kern = simd::select_kernels(options.isa);
   util::Timer timer;
 
   struct alignas(64) WorkerAcc {
@@ -260,21 +202,22 @@ TriangleCount count_prepared(const PreparedGraph& graph,
           // id is < v < u (inside the row's truncated domain); with it off
           // the domain is all of [0, n).
           const std::uint64_t* row_u = nullptr;
+          std::uint64_t row_u_words = 0;
           bool scratch_row = false;
           if (options.strategy == IntersectStrategy::kAdaptive) {
             const std::uint32_t r = bitmaps.row_of(u);
             if (r != BitmapIndex::kNoRow) {
               row_u = bitmaps.words.data() + bitmaps.offsets[r];
+              row_u_words = bitmaps.offsets[r + 1] - bitmaps.offsets[r];
             } else if (options.bitmap_threshold > 0 &&
                        adj_u.size() > options.bitmap_threshold) {
               // Hot source past the precomputed-row budget: mark adj(u) in
               // the worker's scratch row (cost 2 writes per edge, amortized)
               // and probe against that instead.
               if (a.scratch.empty()) a.scratch.assign((n + 63) / 64, 0);
-              for (VertexId x : adj_u) {
-                a.scratch[x >> 6] |= std::uint64_t{1} << (x & 63);
-              }
+              kern.scratch_mark(a.scratch.data(), adj_u);
               row_u = a.scratch.data();
+              row_u_words = a.scratch.size();
               scratch_row = true;
             }
           }
@@ -296,18 +239,37 @@ TriangleCount count_prepared(const PreparedGraph& graph,
               const VertexId v = adj_u[i];
               const auto adj_v = oriented.neighbors(v);
               if (static_cast<double>(adj_v.size()) <= skew_limit) {
-                a.triangles += bitmap_probe(row_u, adj_v);
+                // When v also owns a precomputed row that is denser than its
+                // list, intersect the two rows wholesale: AND + popcount over
+                // v's words. Exact because v's row domain bounds every common
+                // neighbor (all of adj(v) lives below it) and u's row covers
+                // at least that domain — with relabeling, v < u implies
+                // words_v <= words_u; the gate checks it outright so the
+                // claim never rests on configuration. The gate reads only
+                // sizes, so the choice is identical at every ISA tier.
+                const std::uint32_t rv = bitmaps.row_of(v);
+                if (rv != BitmapIndex::kNoRow) {
+                  const std::uint64_t words_v =
+                      bitmaps.offsets[rv + 1] - bitmaps.offsets[rv];
+                  if (words_v <= adj_v.size() && words_v <= row_u_words) {
+                    a.triangles += kern.bitmap_and_popcount(
+                        row_u, bitmaps.words.data() + bitmaps.offsets[rv],
+                        words_v);
+                  } else {
+                    a.triangles += kern.bitmap_probe(row_u, adj_v);
+                  }
+                } else {
+                  a.triangles += kern.bitmap_probe(row_u, adj_v);
+                }
                 ++a.stats.bitmap_edges;
               } else {
                 // v's list dwarfs u's: galloping u's elements into it beats
                 // probing every element of the long list.
-                a.triangles += gallop_intersect(adj_u, adj_v);
+                a.triangles += kern.gallop(adj_u, adj_v);
                 ++a.stats.gallop_edges;
               }
             }
-            if (scratch_row) {
-              for (VertexId x : adj_u) a.scratch[x >> 6] = 0;
-            }
+            if (scratch_row) kern.scratch_clear(a.scratch.data(), adj_u);
             continue;
           }
           for (VertexId v : adj_u) {
@@ -317,11 +279,11 @@ TriangleCount count_prepared(const PreparedGraph& graph,
             const auto longer = u_longer ? adj_u : adj_v;
             switch (options.strategy) {
               case IntersectStrategy::kMergeOnly:
-                a.triangles += merge_intersect(adj_u, adj_v);
+                a.triangles += kern.merge(adj_u, adj_v);
                 ++a.stats.merge_edges;
                 break;
               case IntersectStrategy::kGallopOnly:
-                a.triangles += gallop_intersect(shorter, longer);
+                a.triangles += kern.gallop(shorter, longer);
                 ++a.stats.gallop_edges;
                 break;
               case IntersectStrategy::kAdaptive: {
@@ -336,15 +298,15 @@ TriangleCount count_prepared(const PreparedGraph& graph,
                         static_cast<double>(shorter.size());
                 if (const std::uint32_t rv = bitmaps.row_of(v);
                     rv != BitmapIndex::kNoRow && !(skewed && u_longer)) {
-                  a.triangles += bitmap_probe_checked(
+                  a.triangles += kern.bitmap_probe_checked(
                       bitmaps.words.data() + bitmaps.offsets[rv],
                       bitmaps.offsets[rv + 1] - bitmaps.offsets[rv], adj_u);
                   ++a.stats.bitmap_edges;
                 } else if (skewed) {
-                  a.triangles += gallop_intersect(shorter, longer);
+                  a.triangles += kern.gallop(shorter, longer);
                   ++a.stats.gallop_edges;
                 } else {
-                  a.triangles += merge_intersect(adj_u, adj_v);
+                  a.triangles += kern.merge(adj_u, adj_v);
                   ++a.stats.merge_edges;
                 }
                 break;
@@ -365,6 +327,7 @@ TriangleCount count_prepared(const PreparedGraph& graph,
     folded.bitmap_edges += a.stats.bitmap_edges;
   }
   folded.counting_ms = timer.elapsed_ms();
+  folded.isa = kern.level;
   if (stats != nullptr) *stats = folded;
   return total;
 }

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "cpu/simd/cpu_features.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "prim/thread_pool.hpp"
@@ -73,6 +74,14 @@ struct EngineOptions {
 
   /// Vertices per dynamically-claimed counting chunk; 0 = auto.
   std::size_t counting_chunk = 0;
+
+  /// Which intersection-kernel ISA tier to use. kAuto probes the host and
+  /// picks the best supported level; explicit requests are clamped *down*
+  /// to what the host supports, and the TRICO_FORCE_ISA environment
+  /// variable overrides either (see cpu/simd/cpu_features.hpp). Every
+  /// level is exact: triangle counts and CountingStats dispatch counts are
+  /// bit-identical across tiers — only the inner loops change.
+  simd::IsaRequest isa = simd::IsaRequest::kAuto;
 };
 
 /// Wall-clock breakdown of the parallel preprocessing pipeline, in
@@ -99,6 +108,10 @@ struct CountingStats {
   std::uint64_t gallop_edges = 0;
   std::uint64_t bitmap_edges = 0;
   double counting_ms = 0;
+
+  /// The ISA tier the run actually executed with (after env override and
+  /// feature clamping) — reported by benches, metrics, and the CLI.
+  simd::IsaLevel isa = simd::IsaLevel::kScalar;
 
   [[nodiscard]] std::uint64_t total_edges() const {
     return merge_edges + gallop_edges + bitmap_edges;

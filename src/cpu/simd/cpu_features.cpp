@@ -1,0 +1,80 @@
+#include "cpu/simd/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace trico::cpu::simd {
+
+const char* to_string(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kSse42: return "sse4.2";
+    case IsaLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* to_string(IsaRequest request) {
+  switch (request) {
+    case IsaRequest::kAuto: return "auto";
+    case IsaRequest::kScalar: return "scalar";
+    case IsaRequest::kSse42: return "sse4.2";
+    case IsaRequest::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::string CpuFeatures::to_string() const {
+  std::string out;
+  if (sse42) out += "sse4.2 ";
+  if (popcnt) out += "popcnt ";
+  if (avx2) out += "avx2 ";
+  if (out.empty()) return "none (portable scalar)";
+  out.pop_back();
+  return out;
+}
+
+const CpuFeatures& detect_cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    // __builtin_cpu_supports runs CPUID once under the hood; it is the
+    // compiler-portable probe (GCC and Clang) and needs no target flags.
+    f.sse42 = __builtin_cpu_supports("sse4.2");
+    f.popcnt = __builtin_cpu_supports("popcnt");
+    f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+IsaRequest parse_isa_request(const char* text) {
+  if (text == nullptr) return IsaRequest::kAuto;
+  if (std::strcmp(text, "scalar") == 0) return IsaRequest::kScalar;
+  if (std::strcmp(text, "sse4.2") == 0 || std::strcmp(text, "sse42") == 0) {
+    return IsaRequest::kSse42;
+  }
+  if (std::strcmp(text, "avx2") == 0) return IsaRequest::kAvx2;
+  return IsaRequest::kAuto;
+}
+
+IsaLevel resolve_isa(IsaRequest request) {
+  // The environment wins over the programmatic request: it is the ablation
+  // and CI lever, and must be able to pin a whole process from outside.
+  const IsaRequest forced = parse_isa_request(std::getenv("TRICO_FORCE_ISA"));
+  if (forced != IsaRequest::kAuto) request = forced;
+
+  const IsaLevel best = detect_cpu_features().best();
+  IsaLevel wanted;
+  switch (request) {
+    case IsaRequest::kScalar: wanted = IsaLevel::kScalar; break;
+    case IsaRequest::kSse42: wanted = IsaLevel::kSse42; break;
+    case IsaRequest::kAvx2: wanted = IsaLevel::kAvx2; break;
+    case IsaRequest::kAuto:
+    default: wanted = best; break;
+  }
+  return wanted <= best ? wanted : best;
+}
+
+}  // namespace trico::cpu::simd

@@ -1,0 +1,74 @@
+// Runtime CPU-feature probe and ISA selection for the SIMD intersection
+// kernels (docs/cpu_engine.md "SIMD dispatch").
+//
+// The build stays portable: the AVX2/SSE4.2 kernel translation units are
+// compiled with per-file target flags (src/cpu/CMakeLists.txt), and nothing
+// in them executes unless this probe says the host can. Selection order:
+//
+//   1. TRICO_FORCE_ISA environment variable ("scalar" | "sse4.2" | "avx2" |
+//      "auto") — ablations, CI differential legs, and bug bisection;
+//   2. EngineOptions::isa — per-run programmatic override for tests;
+//   3. best detected level.
+//
+// A request above what the host supports is clamped *down* to the best
+// supported level (never up), so forcing "avx2" on an SSE-only box runs the
+// SSE4.2 kernels rather than crashing on an illegal instruction. Every
+// level produces bit-identical counts, so clamping is safe by construction.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace trico::cpu::simd {
+
+/// Concrete kernel levels, ordered: higher = wider. The dispatch table has
+/// one entry per level.
+enum class IsaLevel : std::uint8_t {
+  kScalar = 0,  ///< portable C++ — the only level off x86-64
+  kSse42 = 1,   ///< 4-wide epi32 blocks + hardware popcount
+  kAvx2 = 2,    ///< 8-wide epi32 blocks + vpshufb-LUT vector popcount
+};
+
+/// What a caller may ask for: a concrete level or "best available".
+enum class IsaRequest : std::uint8_t {
+  kAuto = 0,
+  kScalar = 1,
+  kSse42 = 2,
+  kAvx2 = 3,
+};
+
+[[nodiscard]] const char* to_string(IsaLevel level);
+[[nodiscard]] const char* to_string(IsaRequest request);
+
+/// What the running CPU offers (one CPUID probe, cached per process).
+struct CpuFeatures {
+  bool sse42 = false;
+  bool popcnt = false;
+  bool avx2 = false;
+
+  /// Best kernel level these features admit.
+  [[nodiscard]] IsaLevel best() const {
+    if (avx2) return IsaLevel::kAvx2;
+    if (sse42 && popcnt) return IsaLevel::kSse42;
+    return IsaLevel::kScalar;
+  }
+
+  /// "sse4.2 popcnt avx2" / "none (portable scalar)" — for version output
+  /// and bench attribution.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Cached per-process feature probe.
+[[nodiscard]] const CpuFeatures& detect_cpu_features();
+
+/// Parses "scalar" / "sse4.2" (or "sse42") / "avx2" / "auto"; anything else
+/// (including an unset/empty value) returns kAuto.
+[[nodiscard]] IsaRequest parse_isa_request(const char* text);
+
+/// Resolves a request to a concrete level: TRICO_FORCE_ISA (re-read on
+/// every call so tests can flip it) overrides `request`, and the result is
+/// clamped to detect_cpu_features().best().
+[[nodiscard]] IsaLevel resolve_isa(IsaRequest request = IsaRequest::kAuto);
+
+}  // namespace trico::cpu::simd

@@ -1,0 +1,21 @@
+#include "cpu/simd/intersect.hpp"
+
+namespace trico::cpu::simd {
+
+const IntersectKernels& kernels_for(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx2:
+      return avx2_kernels();
+    case IsaLevel::kSse42:
+      return sse42_kernels();
+    case IsaLevel::kScalar:
+      break;
+  }
+  return scalar_kernels();
+}
+
+const IntersectKernels& select_kernels(IsaRequest request) {
+  return kernels_for(resolve_isa(request));
+}
+
+}  // namespace trico::cpu::simd

@@ -1,0 +1,91 @@
+// SIMD-vectorized intersection kernels behind a runtime dispatch table.
+//
+// Every kernel family exists at three levels (scalar / SSE4.2 / AVX2) with
+// *identical semantics* — each level is exact, so any mix of levels yields
+// bit-identical triangle counts and CountingStats. The hybrid engine picks
+// one table per count_prepared() call via select_kernels(); the strategy
+// *choice* per edge stays in hybrid_engine.cpp and never depends on the
+// level, only the inner loops change.
+//
+// Kernel contracts (tail safety — the invariants the differential + ASan
+// tests pin, see docs/cpu_engine.md "SIMD dispatch"):
+//
+//  * merge/gallop operate on sorted ascending duplicate-free spans and
+//    never read outside them: vector paths consume whole W-wide blocks
+//    (W = 4 for SSE, 8 for AVX2) only while `index + W <= size` and finish
+//    the final `< W` elements scalar. Misaligned bases are fine (unaligned
+//    loads); no padding or sentinel beyond the span is ever required.
+//  * bitmap_probe requires every probe inside the row's domain;
+//    bitmap_probe_checked bounds-checks each probe (out-of-domain = unset).
+//  * bitmap_and_popcount counts set bits of (a[i] & b[i]) for i < num_words;
+//    both arrays must have at least num_words words.
+//  * scratch_mark sets the bit of every id; scratch_clear zeroes every word
+//    any id falls in (the row is only ever probed through ids that were
+//    marked, so whole-word clearing is exact). Both exploit that ids arrive
+//    sorted: bits destined for one word coalesce into a single RMW.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cpu/simd/cpu_features.hpp"
+#include "graph/types.hpp"
+
+namespace trico::cpu::simd {
+
+/// One resolved set of intersection kernels. Plain function pointers: the
+/// table is selected once per counting run, far off the hot path.
+struct IntersectKernels {
+  IsaLevel level = IsaLevel::kScalar;
+
+  /// Intersection size of two sorted ascending duplicate-free spans.
+  TriangleCount (*merge)(std::span<const VertexId> a,
+                         std::span<const VertexId> b) = nullptr;
+
+  /// Galloping intersection: locate each element of `shorter` in `longer`.
+  TriangleCount (*gallop)(std::span<const VertexId> shorter,
+                          std::span<const VertexId> longer) = nullptr;
+
+  /// Probe each id against a packed bitmap row; caller guarantees every
+  /// probe is inside the row's domain.
+  TriangleCount (*bitmap_probe)(const std::uint64_t* words,
+                                std::span<const VertexId> probes) = nullptr;
+
+  /// Same, with a per-probe domain check (out-of-domain probes read unset).
+  TriangleCount (*bitmap_probe_checked)(
+      const std::uint64_t* words, std::uint64_t num_words,
+      std::span<const VertexId> probes) = nullptr;
+
+  /// popcount(a & b) over num_words words — the whole-row intersection for
+  /// edges where BOTH endpoints own bitmap rows.
+  TriangleCount (*bitmap_and_popcount)(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::uint64_t num_words) = nullptr;
+
+  /// Mark the bit of every (sorted ascending) id in the scratch row.
+  void (*scratch_mark)(std::uint64_t* row,
+                       std::span<const VertexId> ids) = nullptr;
+
+  /// Zero every word any (sorted ascending) id falls in.
+  void (*scratch_clear)(std::uint64_t* row,
+                        std::span<const VertexId> ids) = nullptr;
+};
+
+/// The table for one concrete level. Calling a level the host does not
+/// support is undefined (SIGILL) — go through select_kernels() unless you
+/// already clamped via resolve_isa().
+[[nodiscard]] const IntersectKernels& kernels_for(IsaLevel level);
+
+/// resolve_isa(request) (env override + feature clamp), then the table.
+[[nodiscard]] const IntersectKernels& select_kernels(
+    IsaRequest request = IsaRequest::kAuto);
+
+// Per-level tables, defined in their own translation units so each can be
+// compiled with exactly its own target flags. Reaching them through
+// kernels_for() is equivalent; these names exist for the kernel unit tests.
+[[nodiscard]] const IntersectKernels& scalar_kernels();
+[[nodiscard]] const IntersectKernels& sse42_kernels();
+[[nodiscard]] const IntersectKernels& avx2_kernels();
+
+}  // namespace trico::cpu::simd

@@ -1,0 +1,182 @@
+// AVX2 intersection kernels: 8-wide epi32 block compares for merge and the
+// gallop finish window, and a vpshufb nibble-LUT vector popcount (the
+// libpopcnt/Mula recipe, 4x unrolled) for whole-row bitmap intersections.
+// This translation unit is compiled with -mavx2 (src/cpu/CMakeLists.txt);
+// its functions run only after the runtime probe admitted the level.
+
+#include "cpu/simd/intersect.hpp"
+
+#if defined(__AVX2__)
+
+#include <bit>
+#include <cstdint>
+#include <immintrin.h>
+
+#include "cpu/simd/intersect_detail.hpp"
+
+namespace trico::cpu::simd {
+
+namespace {
+
+/// Block merge, 8-wide: see merge_sse42 for the invariant — x lives in
+/// [j, j+8) whenever the chunk max is >= x and every earlier chunk max was
+/// below it. Scalar two-pointer tail for the final < 8 elements.
+TriangleCount merge_avx2(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  const std::span<const VertexId> s = a.size() <= b.size() ? a : b;
+  const std::span<const VertexId> l = a.size() <= b.size() ? b : a;
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t sn = s.size(), ln = l.size();
+  while (i < sn && j + 8 <= ln) {
+    const VertexId x = s[i];
+    if (l[j + 7] < x) {
+      j += 8;
+      continue;
+    }
+    const __m256i xv = _mm256_set1_epi32(static_cast<int>(x));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(l.data() + j));
+    count += _mm256_movemask_epi8(_mm256_cmpeq_epi32(bv, xv)) != 0;
+    ++i;
+  }
+  while (i < sn && j < ln) {
+    if (l[j] < s[i]) {
+      ++j;
+    } else {
+      count += l[j] == s[i];
+      ++i;
+    }
+  }
+  return count;
+}
+
+/// Galloping search finishing its narrowed window with 8-wide blocks;
+/// unsigned order under signed compares via the INT32_MIN bias.
+TriangleCount gallop_avx2(std::span<const VertexId> shorter,
+                          std::span<const VertexId> longer) {
+  TriangleCount count = 0;
+  std::size_t j = 0;
+  const std::size_t ln = longer.size();
+  const __m256i bias = _mm256_set1_epi32(INT32_MIN);
+  for (VertexId x : shorter) {
+    if (j >= ln) break;
+    std::size_t bound = 1;
+    while (j + bound < ln && longer[j + bound] < x) bound <<= 1;
+    std::size_t k = j + (bound >> 1);
+    std::size_t hi = std::min(ln, j + bound + 1);
+    // Bisect the bracketed window down to a few blocks before the vector
+    // scan (see gallop_sse42).
+    while (hi - k > 32) {
+      const std::size_t mid = k + (hi - k) / 2;
+      if (longer[mid] < x) {
+        k = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // Splat x lazily: balanced pairs narrow to sub-block windows on almost
+    // every element, and must not pay vector setup they never use.
+    if (k + 8 <= hi) {
+      const __m256i xv =
+          _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(x)), bias);
+      while (k + 8 <= hi) {
+        const __m256i bv = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(longer.data() + k)),
+            bias);
+        const auto lt = static_cast<unsigned>(
+            _mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpgt_epi32(xv, bv))));
+        if (lt != 0xFFu) {
+          k += static_cast<std::size_t>(std::popcount(lt));
+          break;
+        }
+        k += 8;
+      }
+    }
+    while (k < hi && longer[k] < x) ++k;
+    j = k;
+    if (j < ln && longer[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Per-byte population count of one 256-bit lane via two vpshufb nibble
+/// lookups, horizontally folded into four u64 lane sums by vpsadbw.
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+/// Whole-row AND + vector popcount, 4x unrolled (16 words = 128 bytes per
+/// iteration). Byte counts top out at 8 and vpsadbw folds each step, so no
+/// accumulator can saturate at any row length. Scalar POPCNT tail for the
+/// final < 4 words.
+TriangleCount and_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                std::uint64_t num_words) {
+  const auto* va = reinterpret_cast<const __m256i*>(a);
+  const auto* vb = reinterpret_cast<const __m256i*>(b);
+  __m256i acc = _mm256_setzero_si256();
+  std::uint64_t i = 0;
+  for (; i + 16 <= num_words; i += 16) {
+    const std::uint64_t v = i / 4;
+    __m256i sum = popcount_bytes(_mm256_and_si256(
+        _mm256_loadu_si256(va + v), _mm256_loadu_si256(vb + v)));
+    sum = _mm256_add_epi64(sum, popcount_bytes(_mm256_and_si256(
+        _mm256_loadu_si256(va + v + 1), _mm256_loadu_si256(vb + v + 1))));
+    sum = _mm256_add_epi64(sum, popcount_bytes(_mm256_and_si256(
+        _mm256_loadu_si256(va + v + 2), _mm256_loadu_si256(vb + v + 2))));
+    sum = _mm256_add_epi64(sum, popcount_bytes(_mm256_and_si256(
+        _mm256_loadu_si256(va + v + 3), _mm256_loadu_si256(vb + v + 3))));
+    acc = _mm256_add_epi64(acc, sum);
+  }
+  for (; i + 4 <= num_words; i += 4) {
+    acc = _mm256_add_epi64(acc, popcount_bytes(_mm256_and_si256(
+        _mm256_loadu_si256(va + i / 4), _mm256_loadu_si256(vb + i / 4))));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  TriangleCount count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < num_words; ++i) {
+    count += static_cast<TriangleCount>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+}  // namespace
+
+const IntersectKernels& avx2_kernels() {
+  static constexpr IntersectKernels table{
+      .level = IsaLevel::kAvx2,
+      .merge = merge_avx2,
+      .gallop = gallop_avx2,
+      .bitmap_probe = detail::probe_unrolled,
+      .bitmap_probe_checked = detail::probe_checked,
+      .bitmap_and_popcount = and_popcount_avx2,
+      .scratch_mark = detail::mark_coalesced,
+      .scratch_clear = detail::clear_coalesced,
+  };
+  return table;
+}
+
+}  // namespace trico::cpu::simd
+
+#else  // !__AVX2__ — non-x86 build or flag filtered: alias the SSE table
+       // (which itself degrades to scalar when SSE4.2 is unavailable).
+
+namespace trico::cpu::simd {
+const IntersectKernels& avx2_kernels() { return sse42_kernels(); }
+}  // namespace trico::cpu::simd
+
+#endif

@@ -1,0 +1,91 @@
+// Shared bodies for the vector kernel translation units. Included by
+// intersect_sse42.cpp and intersect_avx2.cpp so each copy is compiled under
+// that TU's own target flags (the unrolled popcount loops below compile to
+// hardware POPCNT there; the scalar TU deliberately does not use this
+// header — it keeps the PR-3 reference loops verbatim).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace trico::cpu::simd::detail {
+
+/// Branch-free probe loop, 4x unrolled into independent accumulators so the
+/// scattered row loads overlap.
+inline TriangleCount probe_unrolled(const std::uint64_t* words,
+                                    std::span<const VertexId> probes) {
+  TriangleCount c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  const std::size_t n = probes.size();
+  for (; i + 4 <= n; i += 4) {
+    c0 += (words[probes[i] >> 6] >> (probes[i] & 63)) & 1;
+    c1 += (words[probes[i + 1] >> 6] >> (probes[i + 1] & 63)) & 1;
+    c2 += (words[probes[i + 2] >> 6] >> (probes[i + 2] & 63)) & 1;
+    c3 += (words[probes[i + 3] >> 6] >> (probes[i + 3] & 63)) & 1;
+  }
+  for (; i < n; ++i) c0 += (words[probes[i] >> 6] >> (probes[i] & 63)) & 1;
+  return c0 + c1 + c2 + c3;
+}
+
+inline TriangleCount probe_checked(const std::uint64_t* words,
+                                   std::uint64_t num_words,
+                                   std::span<const VertexId> probes) {
+  TriangleCount count = 0;
+  for (VertexId w : probes) {
+    if ((w >> 6) < num_words) count += (words[w >> 6] >> (w & 63)) & 1;
+  }
+  return count;
+}
+
+/// 4x-unrolled uint64 AND-popcount; compiles to hardware POPCNT in the
+/// vector TUs. The AVX2 table overrides this with the vpshufb-LUT version.
+inline TriangleCount and_popcount_unrolled(const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::uint64_t num_words) {
+  TriangleCount c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::uint64_t i = 0;
+  for (; i + 4 <= num_words; i += 4) {
+    c0 += static_cast<TriangleCount>(std::popcount(a[i] & b[i]));
+    c1 += static_cast<TriangleCount>(std::popcount(a[i + 1] & b[i + 1]));
+    c2 += static_cast<TriangleCount>(std::popcount(a[i + 2] & b[i + 2]));
+    c3 += static_cast<TriangleCount>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  for (; i < num_words; ++i) {
+    c0 += static_cast<TriangleCount>(std::popcount(a[i] & b[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+/// Word-coalesced mark: ids are sorted ascending, so all bits of one word
+/// build in a register and land with a single RMW.
+inline void mark_coalesced(std::uint64_t* row, std::span<const VertexId> ids) {
+  std::size_t i = 0;
+  const std::size_t n = ids.size();
+  while (i < n) {
+    const std::uint64_t word = ids[i] >> 6;
+    std::uint64_t mask = 0;
+    do {
+      mask |= std::uint64_t{1} << (ids[i] & 63);
+      ++i;
+    } while (i < n && (ids[i] >> 6) == word);
+    row[word] |= mask;
+  }
+}
+
+inline void clear_coalesced(std::uint64_t* row, std::span<const VertexId> ids) {
+  std::size_t i = 0;
+  const std::size_t n = ids.size();
+  while (i < n) {
+    const std::uint64_t word = ids[i] >> 6;
+    row[word] = 0;
+    do {
+      ++i;
+    } while (i < n && (ids[i] >> 6) == word);
+  }
+}
+
+}  // namespace trico::cpu::simd::detail

@@ -1,0 +1,127 @@
+// Portable scalar intersection kernels — the dispatch table's baseline and
+// the fallback on every non-x86 host. These are the exact loops the hybrid
+// engine ran before the SIMD layer existed (PR 3), plus the whole-row
+// AND-popcount and the word-coalesced scratch mark/clear that the vector
+// tables share semantics with.
+
+#include <algorithm>
+#include <bit>
+
+#include "cpu/simd/intersect.hpp"
+
+namespace trico::cpu::simd {
+
+namespace {
+
+TriangleCount merge_scalar(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+TriangleCount gallop_scalar(std::span<const VertexId> shorter,
+                            std::span<const VertexId> longer) {
+  TriangleCount count = 0;
+  std::size_t j = 0;
+  const std::size_t ln = longer.size();
+  for (VertexId x : shorter) {
+    if (j >= ln) break;
+    std::size_t bound = 1;
+    while (j + bound < ln && longer[j + bound] < x) bound <<= 1;
+    const auto first = longer.begin() + (j + (bound >> 1));
+    const auto last = longer.begin() + std::min(ln, j + bound + 1);
+    j = static_cast<std::size_t>(std::lower_bound(first, last, x) -
+                                 longer.begin());
+    if (j < ln && longer[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+TriangleCount bitmap_probe_scalar(const std::uint64_t* words,
+                                  std::span<const VertexId> probes) {
+  TriangleCount count = 0;
+  for (VertexId w : probes) count += (words[w >> 6] >> (w & 63)) & 1;
+  return count;
+}
+
+TriangleCount bitmap_probe_checked_scalar(const std::uint64_t* words,
+                                          std::uint64_t num_words,
+                                          std::span<const VertexId> probes) {
+  TriangleCount count = 0;
+  for (VertexId w : probes) {
+    if ((w >> 6) < num_words) count += (words[w >> 6] >> (w & 63)) & 1;
+  }
+  return count;
+}
+
+TriangleCount bitmap_and_popcount_scalar(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         std::uint64_t num_words) {
+  TriangleCount count = 0;
+  for (std::uint64_t i = 0; i < num_words; ++i) {
+    count += static_cast<TriangleCount>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+// Adjacency lists arrive sorted ascending, so ids landing in the same
+// 64-bit word are consecutive: build the word's full mask in a register and
+// issue one RMW per *word* instead of one per id.
+void scratch_mark_scalar(std::uint64_t* row, std::span<const VertexId> ids) {
+  std::size_t i = 0;
+  const std::size_t n = ids.size();
+  while (i < n) {
+    const std::uint64_t word = ids[i] >> 6;
+    std::uint64_t mask = 0;
+    do {
+      mask |= std::uint64_t{1} << (ids[i] & 63);
+      ++i;
+    } while (i < n && (ids[i] >> 6) == word);
+    row[word] |= mask;
+  }
+}
+
+void scratch_clear_scalar(std::uint64_t* row, std::span<const VertexId> ids) {
+  std::size_t i = 0;
+  const std::size_t n = ids.size();
+  while (i < n) {
+    const std::uint64_t word = ids[i] >> 6;
+    row[word] = 0;
+    do {
+      ++i;
+    } while (i < n && (ids[i] >> 6) == word);
+  }
+}
+
+}  // namespace
+
+const IntersectKernels& scalar_kernels() {
+  static constexpr IntersectKernels table{
+      .level = IsaLevel::kScalar,
+      .merge = merge_scalar,
+      .gallop = gallop_scalar,
+      .bitmap_probe = bitmap_probe_scalar,
+      .bitmap_probe_checked = bitmap_probe_checked_scalar,
+      .bitmap_and_popcount = bitmap_and_popcount_scalar,
+      .scratch_mark = scratch_mark_scalar,
+      .scratch_clear = scratch_clear_scalar,
+  };
+  return table;
+}
+
+}  // namespace trico::cpu::simd

@@ -1,0 +1,138 @@
+// SSE4.2 intersection kernels: 4-wide epi32 block compares for merge and
+// the gallop finish window, hardware POPCNT for the bitmap loops. This
+// translation unit is compiled with -msse4.2 (src/cpu/CMakeLists.txt); its
+// functions run only after the runtime probe admitted the level.
+
+#include "cpu/simd/intersect.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <bit>
+#include <cstdint>
+#include <nmmintrin.h>
+
+#include "cpu/simd/intersect_detail.hpp"
+
+namespace trico::cpu::simd {
+
+namespace {
+
+/// Block merge: walk the shorter list's elements against 4-wide chunks of
+/// the longer one. A chunk whose maximum is below x is skipped whole; a
+/// chunk that brackets x answers membership with one compare + movemask.
+/// The final < 4 elements of the longer list run the scalar two-pointer
+/// tail — no load ever crosses the span's end.
+TriangleCount merge_sse42(std::span<const VertexId> a,
+                          std::span<const VertexId> b) {
+  const std::span<const VertexId> s = a.size() <= b.size() ? a : b;
+  const std::span<const VertexId> l = a.size() <= b.size() ? b : a;
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t sn = s.size(), ln = l.size();
+  while (i < sn && j + 4 <= ln) {
+    const VertexId x = s[i];
+    if (l[j + 3] < x) {
+      j += 4;
+      continue;
+    }
+    // x is at or below this chunk's max, and above every skipped chunk: any
+    // occurrence lives in [j, j+4).
+    const __m128i xv = _mm_set1_epi32(static_cast<int>(x));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(l.data() + j));
+    count += _mm_movemask_epi8(_mm_cmpeq_epi32(bv, xv)) != 0;
+    ++i;
+  }
+  while (i < sn && j < ln) {
+    if (l[j] < s[i]) {
+      ++j;
+    } else {
+      count += l[j] == s[i];
+      ++i;
+    }
+  }
+  return count;
+}
+
+/// Galloping search whose *final narrowed* window is finished by the block
+/// kernel instead of running the bisection to single elements: elements
+/// below x form a prefix of each sorted chunk, so popcount(movemask) IS the
+/// first-geq offset. Unsigned order is preserved under signed compares by
+/// biasing both sides with INT32_MIN.
+TriangleCount gallop_sse42(std::span<const VertexId> shorter,
+                           std::span<const VertexId> longer) {
+  TriangleCount count = 0;
+  std::size_t j = 0;
+  const std::size_t ln = longer.size();
+  const __m128i bias = _mm_set1_epi32(INT32_MIN);
+  for (VertexId x : shorter) {
+    if (j >= ln) break;
+    std::size_t bound = 1;
+    while (j + bound < ln && longer[j + bound] < x) bound <<= 1;
+    std::size_t k = j + (bound >> 1);
+    std::size_t hi = std::min(ln, j + bound + 1);
+    // Bisect the bracketed window down to a few blocks first — a linear
+    // vector scan of the full window would be O(window/4), losing to the
+    // scalar O(log window) search it replaces on wide brackets.
+    while (hi - k > 32) {
+      const std::size_t mid = k + (hi - k) / 2;
+      if (longer[mid] < x) {
+        k = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // Splat x lazily: balanced pairs narrow to sub-block windows on almost
+    // every element, and must not pay vector setup they never use.
+    if (k + 4 <= hi) {
+      const __m128i xv =
+          _mm_xor_si128(_mm_set1_epi32(static_cast<int>(x)), bias);
+      while (k + 4 <= hi) {
+        const __m128i bv = _mm_xor_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(longer.data() + k)),
+            bias);
+        const auto lt = static_cast<unsigned>(
+            _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(xv, bv))));
+        if (lt != 0xFu) {
+          k += static_cast<std::size_t>(std::popcount(lt));
+          break;
+        }
+        k += 4;
+      }
+    }
+    while (k < hi && longer[k] < x) ++k;
+    j = k;
+    if (j < ln && longer[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const IntersectKernels& sse42_kernels() {
+  static constexpr IntersectKernels table{
+      .level = IsaLevel::kSse42,
+      .merge = merge_sse42,
+      .gallop = gallop_sse42,
+      .bitmap_probe = detail::probe_unrolled,
+      .bitmap_probe_checked = detail::probe_checked,
+      .bitmap_and_popcount = detail::and_popcount_unrolled,
+      .scratch_mark = detail::mark_coalesced,
+      .scratch_clear = detail::clear_coalesced,
+  };
+  return table;
+}
+
+}  // namespace trico::cpu::simd
+
+#else  // !__SSE4_2__ — non-x86 build or flag filtered: alias the scalar table
+
+namespace trico::cpu::simd {
+const IntersectKernels& sse42_kernels() { return scalar_kernels(); }
+}  // namespace trico::cpu::simd
+
+#endif

@@ -120,6 +120,16 @@ std::string MetricsSnapshot::to_string() const {
         << breakers[b].trips << ",skipped=" << breakers[b].skipped << ")";
   }
   out << " watchdog_budget_cancels=" << watchdog_budget_cancels << "\n";
+  if (!cpu_isa.empty()) {
+    out << "cpu: isa=" << cpu_isa << " features=[" << cpu_features << "]\n";
+  }
+  out << "calibration: cpu_count_ns/step="
+      << router_calibration.cpu_count_ns_per_step << " (n="
+      << router_calibration.count_samples << ") cpu_prepare_ns/slot="
+      << router_calibration.cpu_prepare_ns_per_slot << " (n="
+      << router_calibration.prepare_samples << ") sim_ns/step="
+      << router_calibration.sim_ns_per_step << " (n="
+      << router_calibration.sim_samples << ")\n";
   out << "catalog: hits=" << catalog.hits << " misses=" << catalog.misses
       << " hit_rate=" << catalog.hit_rate() << " builds=" << catalog.builds
       << " stampede_waits=" << catalog.stampede_waits

@@ -97,6 +97,15 @@ struct MetricsSnapshot {
   std::array<BreakerSnapshot, kNumBackends> breakers{};
   std::uint64_t watchdog_budget_cancels = 0;
 
+  // Router calibration: the live ns-per-unit constants the cost model is
+  // scoring with right now (attached by TriangleService::metrics()).
+  CalibrationSnapshot router_calibration{};
+
+  // CPU tier: detected SIMD features and the ISA the intersection kernels
+  // resolve to (empty until attached by TriangleService::metrics()).
+  std::string cpu_features;
+  std::string cpu_isa;
+
   /// Multi-line human-readable report (the CLI's final summary).
   [[nodiscard]] std::string to_string() const;
 };

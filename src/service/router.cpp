@@ -18,7 +18,84 @@ const char* to_string(BreakerState state) {
 }
 
 BackendRouter::BackendRouter(RouterOptions options)
-    : options_(std::move(options)), cost_(options_.device) {}
+    : options_(std::move(options)), cost_(options_.device) {
+  calibration_.cpu_count_ns_per_step = options_.cpu_count_ns_per_step;
+  calibration_.cpu_prepare_ns_per_slot = options_.cpu_prepare_ns_per_slot;
+  calibration_.sim_ns_per_step = options_.sim_ns_per_step;
+}
+
+namespace {
+
+/// EWMA fold with an outlier clamp: one wildly off sample (page cache miss,
+/// scheduler stall) may move the constant at most 64x in either direction.
+void fold_observation(double alpha, double& live, double observed) {
+  if (!(observed > 0) || !std::isfinite(observed)) return;
+  observed = std::clamp(observed, live / 64.0, live * 64.0);
+  live = (1.0 - alpha) * live + alpha * observed;
+}
+
+}  // namespace
+
+void BackendRouter::record_execution(Backend backend, const GraphStats& stats,
+                                     double execute_ms) {
+  const double alpha = options_.calibration_alpha;
+  const double steps = counting_steps(stats);
+  if (alpha <= 0 || execute_ms <= 0 || steps <= 0) return;
+  std::lock_guard lock(calibration_mutex_);
+  switch (backend) {
+    case Backend::kCpuHybrid:
+      // Counting phase only: the catalog owns preprocessing, so the whole
+      // measured run amortizes over the modeled merge steps.
+      fold_observation(alpha, calibration_.cpu_count_ns_per_step,
+                       execute_ms * 1e6 / steps);
+      ++calibration_.count_samples;
+      break;
+    case Backend::kGpu:
+    case Backend::kMultiGpu:
+    case Backend::kOutOfCore: {
+      // Deduct the estimated host preprocessing share (scaled by ~k/2 for
+      // the out-of-core tier, mirroring estimate()); what remains is the
+      // simulator's per-step host cost under the configured SM sampling.
+      const double slots = 2.0 * static_cast<double>(stats.num_edges);
+      double host_pre_ms =
+          slots * calibration_.cpu_prepare_ns_per_slot * 1e-6;
+      if (backend == Backend::kOutOfCore) {
+        host_pre_ms *= auto_colors(stats) / 2.0;
+      }
+      const double sample_fraction =
+          options_.sim_sample_sms == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(options_.sim_sample_sms) /
+                                  static_cast<double>(options_.device.num_sms));
+      const double denom = steps * sample_fraction;
+      const double sim_ms = execute_ms - host_pre_ms;
+      if (sim_ms > 0 && denom > 0) {
+        fold_observation(alpha, calibration_.sim_ns_per_step,
+                         sim_ms * 1e6 / denom);
+        ++calibration_.sim_samples;
+      }
+      break;
+    }
+    case Backend::kAuto:
+      break;
+  }
+}
+
+void BackendRouter::record_preparation(const GraphStats& stats,
+                                       double prepare_ms) {
+  const double alpha = options_.calibration_alpha;
+  const double slots = 2.0 * static_cast<double>(stats.num_edges);
+  if (alpha <= 0 || prepare_ms <= 0 || slots <= 0) return;
+  std::lock_guard lock(calibration_mutex_);
+  fold_observation(alpha, calibration_.cpu_prepare_ns_per_slot,
+                   prepare_ms * 1e6 / slots);
+  ++calibration_.prepare_samples;
+}
+
+CalibrationSnapshot BackendRouter::calibration() const {
+  std::lock_guard lock(calibration_mutex_);
+  return calibration_;
+}
 
 bool BackendRouter::admit(Backend backend) {
   if (backend == Backend::kCpuHybrid || backend == Backend::kAuto) return true;
@@ -179,6 +256,14 @@ BackendEstimate BackendRouter::estimate(Backend backend,
 
   BackendEstimate est;
   est.backend = backend;
+  // Score with the *live* (EWMA-calibrated) constants, not the seeds.
+  double cpu_count_ns, cpu_prepare_ns, sim_ns;
+  {
+    std::lock_guard lock(calibration_mutex_);
+    cpu_count_ns = calibration_.cpu_count_ns_per_step;
+    cpu_prepare_ns = calibration_.cpu_prepare_ns_per_slot;
+    sim_ns = calibration_.sim_ns_per_step;
+  }
   // Host cost of simulating one modeled counting phase: per-step simulation
   // work, reduced by SM sampling.
   const double sample_fraction =
@@ -186,15 +271,14 @@ BackendEstimate BackendRouter::estimate(Backend backend,
           ? 1.0
           : std::min(1.0, static_cast<double>(options_.sim_sample_sms) /
                               static_cast<double>(options_.device.num_sms));
-  const double sim_wall_ms =
-      steps * options_.sim_ns_per_step * sample_fraction * 1e-6;
+  const double sim_wall_ms = steps * sim_ns * sample_fraction * 1e-6;
   // Host-side functional preprocessing accompanies every simulated run.
-  const double host_pre_ms = slots * options_.cpu_prepare_ns_per_slot * 1e-6;
+  const double host_pre_ms = slots * cpu_prepare_ns * 1e-6;
 
   switch (backend) {
     case Backend::kCpuHybrid: {
       est.modeled_ms = -1;
-      est.wall_ms = steps * options_.cpu_count_ns_per_step * 1e-6 +
+      est.wall_ms = steps * cpu_count_ns * 1e-6 +
                     (catalog_warm ? 0.0 : host_pre_ms);
       est.memory_ok = true;
       break;

@@ -87,12 +87,30 @@ struct RouterOptions {
   // Host-side calibration constants (nanoseconds per unit). The defaults
   // were fitted on this container against E21 (CPU engine) and the
   // simulator's measured throughput; they only need order-of-magnitude
-  // accuracy to rank backends.
+  // accuracy to rank backends. They are *seeds*: every served request feeds
+  // its measured wall clock back through record_execution() /
+  // record_preparation(), and the router scores subsequent requests with
+  // the EWMA-updated live constants instead of these.
   double cpu_count_ns_per_step = 1.2;     ///< hybrid engine, per merge step
   double cpu_prepare_ns_per_slot = 150.0; ///< parallel preprocessing
   double sim_ns_per_step = 80.0;          ///< simulator host cost per step
 
+  /// EWMA weight of each new timing observation (live = (1-a)*live + a*obs).
+  /// 0 disables calibration: the seed constants stay fixed.
+  double calibration_alpha = 0.2;
+
   BreakerOptions breaker{};
+};
+
+/// Live calibration state (for MetricsSnapshot and tests): the current
+/// ns-per-unit constants and how many observations shaped each.
+struct CalibrationSnapshot {
+  double cpu_count_ns_per_step = 0;
+  double cpu_prepare_ns_per_slot = 0;
+  double sim_ns_per_step = 0;
+  std::uint64_t count_samples = 0;    ///< CPU-tier counting runs observed
+  std::uint64_t prepare_samples = 0;  ///< cold catalog preprocesses observed
+  std::uint64_t sim_samples = 0;      ///< simulated device-tier runs observed
 };
 
 /// Scored candidate for one tier.
@@ -155,6 +173,26 @@ class BackendRouter {
   [[nodiscard]] std::array<BreakerSnapshot, kNumBackends> breaker_snapshots()
       const;
 
+  // -- Calibration ----------------------------------------------------------
+  // The serve loop feeds measured wall clocks back after the fact; the
+  // router folds each observation into its ns-per-unit constants (EWMA,
+  // weight = options.calibration_alpha) so estimates track the machine the
+  // service actually runs on rather than the constants it shipped with.
+
+  /// One successful backend run took `execute_ms`. The CPU tier's runs are
+  /// counting-only (preprocessing lives in the catalog), so they calibrate
+  /// cpu_count_ns_per_step; simulated device runs calibrate sim_ns_per_step
+  /// after deducting the estimated host preprocessing share.
+  void record_execution(Backend backend, const GraphStats& stats,
+                        double execute_ms);
+
+  /// One cold catalog acquire (parallel preprocess) took `prepare_ms`:
+  /// calibrates cpu_prepare_ns_per_slot.
+  void record_preparation(const GraphStats& stats, double prepare_ms);
+
+  /// The live constants estimate() is currently scoring with.
+  [[nodiscard]] CalibrationSnapshot calibration() const;
+
   [[nodiscard]] const RouterOptions& options() const { return options_; }
 
  private:
@@ -178,6 +216,9 @@ class BackendRouter {
 
   mutable std::mutex breaker_mutex_;
   std::array<BreakerEntry, kNumBackends> breakers_{};
+
+  mutable std::mutex calibration_mutex_;
+  CalibrationSnapshot calibration_;  ///< seeded from options_, then EWMA-fed
 };
 
 }  // namespace trico::service

@@ -7,10 +7,12 @@
 
 #include "analysis/clustering.hpp"
 #include "analysis/truss.hpp"
+#include "cpu/simd/cpu_features.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "outofcore/counter.hpp"
 #include "simt/fault.hpp"
 #include "util/cancel.hpp"
+#include "util/timer.hpp"
 
 namespace trico::service {
 
@@ -98,6 +100,9 @@ MetricsSnapshot TriangleService::metrics() const {
   snapshot.tenant_queue_depths = scheduler_->tenant_queue_depths();
   snapshot.breakers = router_.breaker_snapshots();
   snapshot.watchdog_budget_cancels = scheduler_->watchdog_flags();
+  snapshot.router_calibration = router_.calibration();
+  snapshot.cpu_features = cpu::simd::detect_cpu_features().to_string();
+  snapshot.cpu_isa = cpu::simd::to_string(cpu::simd::resolve_isa());
   return snapshot;
 }
 
@@ -213,9 +218,15 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
       options_.chaos->should_fault(ChaosSite::kCatalogBuild)) {
     throw CatalogError("chaos: injected catalog build failure");
   }
+  util::Timer acquire_timer;
   const GraphCatalog::Acquired acquired =
       catalog_.acquire(request.graph, ctx.pool);
   const CatalogEntry& entry = *acquired.entry;
+  // A cold acquire just ran the parallel preprocess: feed its measured wall
+  // clock back into the router's cpu_prepare_ns_per_slot constant.
+  if (!acquired.hit) {
+    router_.record_preparation(entry.stats, acquire_timer.elapsed_ms());
+  }
 
   // The analysis operations run on the CPU tier (they consume the edge
   // array, not the oriented CSR); routing applies to counting.
@@ -250,7 +261,9 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
       continue;
     }
     try {
+      util::Timer run_timer;
       response = run_backend(backend, entry, route, ctx);
+      router_.record_execution(backend, entry.stats, run_timer.elapsed_ms());
       router_.record_success(backend);
       response.catalog_hit = acquired.hit;
       if (failures.tellp() > 0) {

@@ -1,0 +1,385 @@
+// SIMD intersection-kernel layer: every ISA tier must be bit-identical to
+// the scalar reference — on the raw kernels (adversarial lengths straddling
+// the 4/8-wide block boundaries, misaligned bases, truncated bitmap rows)
+// and through the whole engine (triangle counts AND dispatch stats across
+// forced ISA levels on the generator + adversarial graph matrix). All list
+// and row buffers are exact-size heap allocations so ASan turns any
+// out-of-span vector load into a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/counting.hpp"
+#include "cpu/hybrid_engine.hpp"
+#include "cpu/simd/intersect.hpp"
+#include "gen/generators.hpp"
+
+namespace trico {
+namespace {
+
+using cpu::simd::IntersectKernels;
+using cpu::simd::IsaLevel;
+using cpu::simd::IsaRequest;
+
+/// RAII override of TRICO_FORCE_ISA; restores the prior value on scope exit.
+class ForceIsaGuard {
+ public:
+  explicit ForceIsaGuard(const char* value) {
+    const char* prior = std::getenv("TRICO_FORCE_ISA");
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    if (value != nullptr) {
+      ::setenv("TRICO_FORCE_ISA", value, 1);
+    } else {
+      ::unsetenv("TRICO_FORCE_ISA");
+    }
+  }
+  ~ForceIsaGuard() {
+    if (had_prior_) {
+      ::setenv("TRICO_FORCE_ISA", prior_.c_str(), 1);
+    } else {
+      ::unsetenv("TRICO_FORCE_ISA");
+    }
+  }
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+/// Every level the host can actually run (scalar always; clamping means the
+/// others appear only when resolve would not degrade them).
+std::vector<IsaLevel> supported_levels() {
+  std::vector<IsaLevel> levels{IsaLevel::kScalar};
+  const IsaLevel best = cpu::simd::detect_cpu_features().best();
+  if (best >= IsaLevel::kSse42) levels.push_back(IsaLevel::kSse42);
+  if (best >= IsaLevel::kAvx2) levels.push_back(IsaLevel::kAvx2);
+  return levels;
+}
+
+IsaRequest request_for(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar: return IsaRequest::kScalar;
+    case IsaLevel::kSse42: return IsaRequest::kSse42;
+    case IsaLevel::kAvx2: return IsaRequest::kAvx2;
+  }
+  return IsaRequest::kAuto;
+}
+
+/// Sorted ascending duplicate-free list of exactly `n` ids, heap-exact.
+std::vector<VertexId> sorted_list(std::size_t n, std::uint32_t seed,
+                                  VertexId max_stride = 6) {
+  std::mt19937 rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  VertexId v = rng() % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v);
+    v += 1 + rng() % max_stride;
+  }
+  return out;
+}
+
+// The boundary lengths the ISSUE pins: 0/1 (degenerate), 7/8/9 (one AVX2
+// block ± 1, two SSE blocks ± 1), 31/32/33 (the gallop bisection cutoff and
+// whole-block multiples ± 1).
+const std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 100};
+
+TEST(SimdKernels, MergeMatchesScalarOnBoundaryLengths) {
+  const IntersectKernels& scalar = cpu::simd::scalar_kernels();
+  for (IsaLevel level : supported_levels()) {
+    const IntersectKernels& kern = cpu::simd::kernels_for(level);
+    EXPECT_EQ(kern.level, level);
+    for (std::size_t la : kLengths) {
+      for (std::size_t lb : kLengths) {
+        // Two seeds: overlapping ranges with partial intersection.
+        const std::vector<VertexId> a = sorted_list(la, 17 * la + lb + 1);
+        const std::vector<VertexId> b = sorted_list(lb, 31 * lb + la + 2);
+        EXPECT_EQ(kern.merge(a, b), scalar.merge(a, b))
+            << "level=" << to_string(level) << " la=" << la << " lb=" << lb;
+        EXPECT_EQ(kern.merge(b, a), scalar.merge(a, b));
+        // Self-intersection: every element matches.
+        EXPECT_EQ(kern.merge(a, a), static_cast<TriangleCount>(la));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, GallopMatchesScalarOnBoundaryLengths) {
+  const IntersectKernels& scalar = cpu::simd::scalar_kernels();
+  for (IsaLevel level : supported_levels()) {
+    const IntersectKernels& kern = cpu::simd::kernels_for(level);
+    for (std::size_t ls : kLengths) {
+      for (std::size_t ll : kLengths) {
+        if (ls > ll) continue;  // gallop contract: shorter into longer
+        const std::vector<VertexId> s = sorted_list(ls, 7 * ls + ll + 3);
+        const std::vector<VertexId> l = sorted_list(ll, 13 * ll + ls + 4, 3);
+        EXPECT_EQ(kern.gallop(s, l), scalar.gallop(s, l))
+            << "level=" << to_string(level) << " ls=" << ls << " ll=" << ll;
+        // Dense hit pattern: shorter is a strided subset of longer.
+        if (ls > 0 && ll > 0) {
+          std::vector<VertexId> subset;
+          for (std::size_t i = 0; i < l.size(); i += 3) subset.push_back(l[i]);
+          EXPECT_EQ(kern.gallop(subset, l),
+                    static_cast<TriangleCount>(subset.size()));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MergeAndGallopTolerateMisalignedBases) {
+  const IntersectKernels& scalar = cpu::simd::scalar_kernels();
+  // Spans starting 1/2/3 elements into the allocation: every vector load in
+  // the kernels must be an unaligned load for these to pass under ASan.
+  const std::vector<VertexId> a_store = sorted_list(67, 11);
+  const std::vector<VertexId> b_store = sorted_list(70, 12);
+  for (std::size_t off = 1; off <= 3; ++off) {
+    const std::span<const VertexId> a(a_store.data() + off,
+                                      a_store.size() - off);
+    const std::span<const VertexId> b(b_store.data() + off,
+                                      b_store.size() - off);
+    for (IsaLevel level : supported_levels()) {
+      const IntersectKernels& kern = cpu::simd::kernels_for(level);
+      EXPECT_EQ(kern.merge(a, b), scalar.merge(a, b)) << "off=" << off;
+      EXPECT_EQ(kern.gallop(a, b), scalar.gallop(a, b)) << "off=" << off;
+    }
+  }
+}
+
+TEST(SimdKernels, BitmapKernelsMatchScalarOnMisalignedRowTails) {
+  const IntersectKernels& scalar = cpu::simd::scalar_kernels();
+  // Word counts straddling the AVX2 AND-popcount unroll boundaries (4 words
+  // per vector, 16 per unrolled iteration) — exact-size rows so any
+  // overread of the tail trips ASan.
+  for (std::uint64_t words : {std::uint64_t{1}, std::uint64_t{2},
+                              std::uint64_t{3}, std::uint64_t{4},
+                              std::uint64_t{5}, std::uint64_t{15},
+                              std::uint64_t{16}, std::uint64_t{17},
+                              std::uint64_t{19}}) {
+    std::mt19937_64 rng(words * 1009);
+    std::vector<std::uint64_t> row_a(words), row_b(words);
+    for (std::uint64_t& w : row_a) w = rng();
+    for (std::uint64_t& w : row_b) w = rng();
+    const VertexId domain = static_cast<VertexId>(words * 64);
+    std::vector<VertexId> probes;
+    for (VertexId v = 1; v < domain; v += 1 + v % 5) probes.push_back(v);
+
+    const TriangleCount probe_ref = scalar.bitmap_probe(row_a.data(), probes);
+    const TriangleCount checked_ref =
+        scalar.bitmap_probe_checked(row_a.data(), words, probes);
+    const TriangleCount and_ref =
+        scalar.bitmap_and_popcount(row_a.data(), row_b.data(), words);
+    for (IsaLevel level : supported_levels()) {
+      const IntersectKernels& kern = cpu::simd::kernels_for(level);
+      EXPECT_EQ(kern.bitmap_probe(row_a.data(), probes), probe_ref)
+          << "level=" << to_string(level) << " words=" << words;
+      EXPECT_EQ(kern.bitmap_probe_checked(row_a.data(), words, probes),
+                checked_ref);
+      EXPECT_EQ(kern.bitmap_and_popcount(row_a.data(), row_b.data(), words),
+                and_ref);
+    }
+  }
+}
+
+TEST(SimdKernels, ScratchMarkAndClearRoundTrip) {
+  for (IsaLevel level : supported_levels()) {
+    const IntersectKernels& kern = cpu::simd::kernels_for(level);
+    const std::vector<VertexId> ids = sorted_list(150, 5 * 1000 + 1, 9);
+    const std::uint64_t words = (static_cast<std::uint64_t>(ids.back()) + 64) / 64;
+    std::vector<std::uint64_t> row(words, 0);
+    kern.scratch_mark(row.data(), ids);
+    // Every id's bit set, and the total popcount is exactly |ids| (no
+    // spurious bits).
+    std::uint64_t set_bits = 0;
+    for (std::uint64_t w : row) set_bits += static_cast<std::uint64_t>(std::popcount(w));
+    EXPECT_EQ(set_bits, ids.size()) << "level=" << to_string(level);
+    for (VertexId v : ids) {
+      EXPECT_TRUE((row[v >> 6] >> (v & 63)) & 1);
+    }
+    kern.scratch_clear(row.data(), ids);
+    for (std::uint64_t w : row) EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(SimdFeatures, RequestsClampDownNeverUp) {
+  ForceIsaGuard guard(nullptr);  // make sure no ambient override interferes
+  const IsaLevel best = cpu::simd::detect_cpu_features().best();
+  EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kScalar), IsaLevel::kScalar);
+  EXPECT_LE(cpu::simd::resolve_isa(IsaRequest::kAvx2), best);
+  EXPECT_LE(cpu::simd::resolve_isa(IsaRequest::kSse42), best);
+  EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kAuto), best);
+}
+
+TEST(SimdFeatures, EnvOverrideWinsOverProgrammaticRequest) {
+  {
+    ForceIsaGuard guard("scalar");
+    EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kAvx2), IsaLevel::kScalar);
+    EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kAuto), IsaLevel::kScalar);
+    EXPECT_EQ(cpu::simd::select_kernels(IsaRequest::kAvx2).level,
+              IsaLevel::kScalar);
+  }
+  {
+    // Unknown values fall back to the programmatic request.
+    ForceIsaGuard guard("quantum");
+    EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kScalar), IsaLevel::kScalar);
+  }
+  if (cpu::simd::detect_cpu_features().best() >= IsaLevel::kSse42) {
+    // Both spellings of the SSE4.2 level parse.
+    ForceIsaGuard guard("sse42");
+    EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kScalar), IsaLevel::kSse42);
+    ForceIsaGuard guard2("sse4.2");
+    EXPECT_EQ(cpu::simd::resolve_isa(IsaRequest::kScalar), IsaLevel::kSse42);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential engine tests: forced ISA levels must agree bit-for-bit on the
+// count AND the per-strategy dispatch stats, over graphs that exercise every
+// dispatch path.
+
+EdgeList star(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId v = 1; v < n; ++v) pairs.push_back(Edge{0, v});
+  return EdgeList::from_undirected_pairs(pairs, n);
+}
+
+EdgeList clique(VertexId n) {
+  std::vector<Edge> pairs;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) pairs.push_back(Edge{u, v});
+  }
+  return EdgeList::from_undirected_pairs(pairs, n);
+}
+
+/// Clique core + star spokes + leaf ring: crosses the bitmap, gallop, and
+/// merge dispatch paths in one graph (mirrors hybrid_engine_test).
+EdgeList threshold_crosser() {
+  std::vector<Edge> pairs;
+  const VertexId core = 40, leaves = 400;
+  for (VertexId u = 0; u < core; ++u) {
+    for (VertexId v = u + 1; v < core; ++v) pairs.push_back(Edge{u, v});
+  }
+  for (VertexId v = 0; v < leaves; ++v) pairs.push_back(Edge{0, core + v});
+  for (VertexId v = 0; v < leaves; ++v) {
+    pairs.push_back(Edge{core + v, core + ((v + 1) % leaves)});
+  }
+  return EdgeList::from_undirected_pairs(pairs, core + leaves);
+}
+
+std::vector<std::pair<std::string, EdgeList>> differential_graphs() {
+  std::vector<std::pair<std::string, EdgeList>> graphs;
+  graphs.emplace_back("erdos_renyi", gen::erdos_renyi(300, 1800, 7));
+  {
+    gen::RmatParams params;
+    params.scale = 9;
+    params.edge_factor = 8;
+    graphs.emplace_back("rmat", gen::rmat(params, 7));
+  }
+  graphs.emplace_back("barabasi_albert", gen::barabasi_albert(300, 4, 7));
+  graphs.emplace_back("star", star(900));
+  graphs.emplace_back("clique", clique(40));
+  graphs.emplace_back("threshold_crosser", threshold_crosser());
+  graphs.emplace_back("empty", EdgeList());
+  return graphs;
+}
+
+std::vector<std::pair<std::string, cpu::EngineOptions>> differential_options() {
+  std::vector<std::pair<std::string, cpu::EngineOptions>> options;
+  options.emplace_back("adaptive_default", cpu::EngineOptions{});
+  {
+    cpu::EngineOptions o;
+    o.strategy = cpu::IntersectStrategy::kMergeOnly;
+    options.emplace_back("merge_only", o);
+  }
+  {
+    cpu::EngineOptions o;
+    o.strategy = cpu::IntersectStrategy::kGallopOnly;
+    options.emplace_back("gallop_only", o);
+  }
+  {
+    cpu::EngineOptions o;
+    o.relabel_by_degree = false;  // full-domain bitmap rows + checked probes
+    options.emplace_back("no_relabel", o);
+  }
+  {
+    cpu::EngineOptions o;
+    o.bitmap_word_budget = 1;  // every hot source takes the scratch-row path
+    options.emplace_back("scratch_rows", o);
+  }
+  {
+    cpu::EngineOptions o;
+    o.skew_threshold = 1.0;  // gallop fires on nearly every non-bitmap pair
+    o.bitmap_threshold = 2;  // and bitmap rows are nearly universal
+    options.emplace_back("aggressive_thresholds", o);
+  }
+  return options;
+}
+
+TEST(SimdDifferential, AllIsaLevelsBitIdenticalAcrossMatrix) {
+  ForceIsaGuard guard(nullptr);
+  prim::ThreadPool pool(2);
+  for (const auto& [graph_name, edges] : differential_graphs()) {
+    const TriangleCount expected = cpu::count_forward(edges);
+    for (const auto& [opt_name, base] : differential_options()) {
+      cpu::PreparedGraph prepared = cpu::prepare(edges, pool, base);
+      TriangleCount ref_count = 0;
+      cpu::CountingStats ref_stats;
+      bool first = true;
+      for (IsaLevel level : supported_levels()) {
+        prepared.options.isa = request_for(level);
+        cpu::CountingStats stats;
+        const TriangleCount got = cpu::count_prepared(prepared, pool, &stats);
+        EXPECT_EQ(got, expected)
+            << graph_name << "/" << opt_name << "@" << to_string(level);
+        EXPECT_EQ(stats.isa, level);
+        if (first) {
+          ref_count = got;
+          ref_stats = stats;
+          first = false;
+          continue;
+        }
+        EXPECT_EQ(got, ref_count)
+            << graph_name << "/" << opt_name << "@" << to_string(level);
+        EXPECT_EQ(stats.merge_edges, ref_stats.merge_edges)
+            << graph_name << "/" << opt_name << "@" << to_string(level);
+        EXPECT_EQ(stats.gallop_edges, ref_stats.gallop_edges)
+            << graph_name << "/" << opt_name << "@" << to_string(level);
+        EXPECT_EQ(stats.bitmap_edges, ref_stats.bitmap_edges)
+            << graph_name << "/" << opt_name << "@" << to_string(level);
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, EnvOverridePinsTheEngine) {
+  ForceIsaGuard guard("scalar");
+  prim::ThreadPool pool(2);
+  const EdgeList edges = gen::erdos_renyi(200, 900, 3);
+  cpu::CountingStats stats;
+  const cpu::PreparedGraph prepared = cpu::prepare(edges, pool, {});
+  const TriangleCount got = cpu::count_prepared(prepared, pool, &stats);
+  EXPECT_EQ(got, cpu::count_forward(edges));
+  EXPECT_EQ(stats.isa, IsaLevel::kScalar);  // despite EngineOptions::kAuto
+}
+
+TEST(SimdDifferential, ReportedIsaFollowsTheRequest) {
+  ForceIsaGuard guard(nullptr);
+  prim::ThreadPool pool(1);
+  const EdgeList edges = gen::erdos_renyi(100, 400, 5);
+  for (IsaLevel level : supported_levels()) {
+    cpu::EngineOptions options;
+    options.isa = request_for(level);
+    const cpu::EngineResult result = cpu::count_engine(edges, pool, options);
+    EXPECT_EQ(result.counting.isa, level);
+  }
+}
+
+}  // namespace
+}  // namespace trico
