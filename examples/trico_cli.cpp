@@ -64,11 +64,20 @@
 // the hybrid engine's intersection kernels will dispatch to (honouring a
 // TRICO_FORCE_ISA override), then exits.
 //
+// Store mode (docs/storage.md): batch and serve accept `--store DIR` to
+// enable the persistent artifact store — preprocessed graphs are published
+// to DIR and mmapped back on later runs, skipping the preprocess.
+// `trico_cli prewarm --store DIR <graph-spec>...` builds and publishes
+// artifacts ahead of serving; `trico_cli inspect (--store DIR | <file.tpg>)`
+// prints artifact headers (key, sections, bytes) after verifying checksums.
+//
 // Exit status 0 on success; the triangle count goes to stdout.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -88,6 +97,8 @@
 #include "graph/stats.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "service/service.hpp"
+#include "store/artifact.hpp"
+#include "store/store.hpp"
 #include "transport/client.hpp"
 #include "transport/server.hpp"
 #include "transport/supervisor.hpp"
@@ -120,7 +131,13 @@ using namespace trico;
                "       " << argv0
             << " cluster [--workers N] [--requests N] [--chaos-* ...] "
                "<graph-spec>\n"
-               "       " << argv0 << " version\n";
+               "       " << argv0
+            << " prewarm --store DIR <graph-spec>...\n"
+               "       " << argv0
+            << " inspect (--store DIR | <artifact.tpg>)\n"
+               "       " << argv0 << " version\n"
+               "batch/serve also accept --store DIR (persistent artifact "
+               "store, docs/storage.md)\n";
   std::exit(2);
 }
 
@@ -187,6 +204,7 @@ int run_batch(int argc, char** argv) {
   service::Backend backend = service::Backend::kAuto;
   service::RouteObjective objective = service::RouteObjective::kWallClock;
   std::string device_name = "gtx980";
+  std::string store_root;
   std::string script_path;
 
   for (int i = 2; i < argc; ++i) {
@@ -214,6 +232,8 @@ int run_batch(int argc, char** argv) {
       }
     } else if (arg == "--catalog-mb") {
       catalog_mb = std::stoull(next());
+    } else if (arg == "--store") {
+      store_root = next();
     } else if (arg == "--device") {
       device_name = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -262,6 +282,7 @@ int run_batch(int argc, char** argv) {
   options.scheduler.queue_capacity = queue;
   options.scheduler.per_tenant_queue_cap = tenant_cap;
   options.catalog.byte_budget = catalog_mb << 20;
+  options.catalog.store.root = store_root;
   options.router.device = parse_device(device_name);
   service::TriangleService svc(options);
 
@@ -314,6 +335,140 @@ int run_batch(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// -- prewarm / inspect -----------------------------------------------------
+
+/// Builds artifacts ahead of serving: for each graph-spec, load → preprocess
+/// → publish to the store, so the next `batch`/`serve` run with the same
+/// --store maps them instead of preprocessing.
+int run_prewarm(int argc, char** argv) {
+  std::string store_root;
+  std::vector<std::string> specs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--store") {
+      store_root = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown prewarm option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  if (store_root.empty() || specs.empty()) usage(argv[0]);
+
+  store::StoreOptions store_options;
+  store_options.root = store_root;
+  store::ArtifactStore store(store_options);
+  prim::ThreadPool& pool = prim::ThreadPool::shared();
+
+  int failed = 0;
+  for (const std::string& spec : specs) {
+    try {
+      util::Timer timer;
+      const EdgeList graph = load_spec(spec);
+      const std::uint64_t key = store::edge_list_key(graph);
+      if (auto mapped = store.find(key)) {
+        std::cerr << spec << ": already published (key="
+                  << mapped->content_key() << ", "
+                  << mapped->mapped_bytes() << " bytes)\n";
+        continue;
+      }
+      const GraphStats stats = compute_stats(graph);
+      const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+      const auto mapped = store.publish(key, prepared, stats);
+      if (mapped == nullptr) {
+        std::cerr << spec << ": publish failed\n";
+        ++failed;
+        continue;
+      }
+      std::cerr << spec << ": published key=" << key << " ("
+                << mapped->mapped_bytes() << " bytes, "
+                << timer.elapsed_ms() << " ms) -> "
+                << store.prepared_path(key) << "\n";
+    } catch (const std::exception& error) {
+      std::cerr << spec << ": error: " << error.what() << "\n";
+      ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+void print_artifact(const std::string& path) {
+  const auto mapped = store::open_prepared_artifact(path);
+  const store::ArtifactHeader& h = mapped->header();
+  const GraphStats& stats = mapped->graph_stats();
+  std::cout << path << "\n"
+            << "  key=0x" << std::hex << h.content_key << std::dec
+            << " version=" << h.version
+            << " payload=" << h.payload_bytes << " bytes"
+            << " (mapped " << mapped->mapped_bytes() << ")\n"
+            << "  graph: n=" << stats.num_vertices
+            << " m=" << stats.num_edges
+            << " max_deg=" << stats.max_degree << "\n"
+            << "  sections: offsets=" << h.num_offsets
+            << " neighbors=" << h.num_neighbors
+            << " new_to_old=" << h.num_new_to_old
+            << " bitmap_rows=" << h.num_bitmap_rows
+            << " bitmap_offsets=" << h.num_bitmap_offsets
+            << " bitmap_words=" << h.num_bitmap_words << "\n"
+            << "  checksums: payload=0x" << std::hex << h.payload_checksum
+            << " header=0x" << h.header_checksum << std::dec
+            << " (verified)\n";
+}
+
+/// Prints verified artifact headers: every `.tpg` under --store DIR, or a
+/// single artifact file given directly.
+int run_inspect(int argc, char** argv) {
+  std::string store_root;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--store") {
+      store_root = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown inspect option: " << arg << "\n";
+      usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!store_root.empty()) {
+    for (const auto& entry : std::filesystem::directory_iterator(store_root)) {
+      if (entry.path().extension() == ".tpg") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+  if (files.empty()) {
+    if (store_root.empty()) usage(argv[0]);
+    std::cout << "no artifacts under " << store_root << "\n";
+    return 0;
+  }
+  int failed = 0;
+  for (const std::string& file : files) {
+    try {
+      print_artifact(file);
+    } catch (const store::StoreError& error) {
+      std::cout << file << "\n  UNREADABLE: " << error.what() << "\n";
+      ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 // -- serve -----------------------------------------------------------------
 
 /// SIGTERM/SIGINT land here; the handler only writes a byte to the
@@ -330,6 +485,7 @@ int run_serve(int argc, char** argv) {
   std::uint64_t catalog_mb = 1024;
   std::uint16_t port = 0;
   std::string device_name = "gtx980";
+  std::string store_root;
   std::uint64_t chaos_seed = 0;
   service::ChaosPlan::RandomOptions chaos_opts;
 
@@ -347,6 +503,8 @@ int run_serve(int argc, char** argv) {
       queue = std::stoul(next());
     } else if (arg == "--catalog-mb") {
       catalog_mb = std::stoull(next());
+    } else if (arg == "--store") {
+      store_root = next();
     } else if (arg == "--device") {
       device_name = next();
     } else if (arg == "--chaos-seed") {
@@ -372,6 +530,7 @@ int run_serve(int argc, char** argv) {
   options.scheduler.workers = workers;
   options.scheduler.queue_capacity = queue;
   options.catalog.byte_budget = catalog_mb << 20;
+  options.catalog.store.root = store_root;
   options.router.device = parse_device(device_name);
   transport::ServerOptions server_options;
   server_options.port = port;
@@ -563,6 +722,8 @@ int main(int argc, char** argv) {
       if (mode == "serve") return run_serve(argc, argv);
       if (mode == "client") return run_client(argc, argv);
       if (mode == "cluster") return run_cluster(argc, argv);
+      if (mode == "prewarm") return run_prewarm(argc, argv);
+      if (mode == "inspect") return run_inspect(argc, argv);
       if (mode == "version") return run_version();
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << "\n";

@@ -161,13 +161,29 @@ std::uint64_t PreparedGraph::byte_size() const {
          bitmaps.words.size() * sizeof(std::uint64_t);
 }
 
+PreparedGraphView PreparedGraph::view() const {
+  PreparedGraphView v;
+  v.offsets = oriented.offsets();
+  v.neighbors = oriented.neighbor_array();
+  v.new_to_old = new_to_old;
+  v.bitmap_rows = bitmaps.rows;
+  v.bitmap_offsets = bitmaps.offsets;
+  v.bitmap_words = bitmaps.words;
+  v.options = options;
+  return v;
+}
+
 TriangleCount count_prepared(const PreparedGraph& graph,
                              prim::ThreadPool& pool, CountingStats* stats,
                              const util::CancelToken* cancel) {
-  const Csr& oriented = graph.oriented;
-  const BitmapIndex& bitmaps = graph.bitmaps;
+  return count_prepared(graph.view(), pool, stats, cancel);
+}
+
+TriangleCount count_prepared(const PreparedGraphView& graph,
+                             prim::ThreadPool& pool, CountingStats* stats,
+                             const util::CancelToken* cancel) {
   const EngineOptions& options = graph.options;
-  const VertexId n = oriented.num_vertices();
+  const VertexId n = graph.num_vertices();
   const std::size_t nw = pool.num_threads();
   // Resolve the kernel table once per run: env override, then the requested
   // tier clamped down to what the host supports. Hot loops call through
@@ -195,7 +211,7 @@ TriangleCount count_prepared(const PreparedGraph& graph,
         if (cancel != nullptr && cancel->cancelled()) return;
         WorkerAcc& a = acc[w];
         for (VertexId u = static_cast<VertexId>(lo); u < hi; ++u) {
-          const auto adj_u = oriented.neighbors(u);
+          const auto adj_u = graph.neighbors_of(u);
           if (adj_u.empty()) continue;
           // Hoist u's bitmap row once per source. Probes of adj(v) against
           // it never need a bounds check: with relabeling on, every probed
@@ -205,10 +221,10 @@ TriangleCount count_prepared(const PreparedGraph& graph,
           std::uint64_t row_u_words = 0;
           bool scratch_row = false;
           if (options.strategy == IntersectStrategy::kAdaptive) {
-            const std::uint32_t r = bitmaps.row_of(u);
+            const std::uint32_t r = graph.row_of(u);
             if (r != BitmapIndex::kNoRow) {
-              row_u = bitmaps.words.data() + bitmaps.offsets[r];
-              row_u_words = bitmaps.offsets[r + 1] - bitmaps.offsets[r];
+              row_u = graph.bitmap_words.data() + graph.bitmap_offsets[r];
+              row_u_words = graph.bitmap_offsets[r + 1] - graph.bitmap_offsets[r];
             } else if (options.bitmap_threshold > 0 &&
                        adj_u.size() > options.bitmap_threshold) {
               // Hot source past the precomputed-row budget: mark adj(u) in
@@ -229,15 +245,15 @@ TriangleCount count_prepared(const PreparedGraph& graph,
             // locate the one after it) while probing the current one.
             const double skew_limit =
                 options.skew_threshold * static_cast<double>(adj_u.size());
-            const EdgeIndex* offs = oriented.offsets().data();
-            const VertexId* nbrs = oriented.neighbor_array().data();
+            const EdgeIndex* offs = graph.offsets.data();
+            const VertexId* nbrs = graph.neighbors.data();
             for (std::size_t i = 0; i < adj_u.size(); ++i) {
               if (i + 2 < adj_u.size()) __builtin_prefetch(offs + adj_u[i + 2]);
               if (i + 1 < adj_u.size()) {
                 __builtin_prefetch(nbrs + offs[adj_u[i + 1]]);
               }
               const VertexId v = adj_u[i];
-              const auto adj_v = oriented.neighbors(v);
+              const auto adj_v = graph.neighbors_of(v);
               if (static_cast<double>(adj_v.size()) <= skew_limit) {
                 // When v also owns a precomputed row that is denser than its
                 // list, intersect the two rows wholesale: AND + popcount over
@@ -247,13 +263,13 @@ TriangleCount count_prepared(const PreparedGraph& graph,
                 // words_v <= words_u; the gate checks it outright so the
                 // claim never rests on configuration. The gate reads only
                 // sizes, so the choice is identical at every ISA tier.
-                const std::uint32_t rv = bitmaps.row_of(v);
+                const std::uint32_t rv = graph.row_of(v);
                 if (rv != BitmapIndex::kNoRow) {
                   const std::uint64_t words_v =
-                      bitmaps.offsets[rv + 1] - bitmaps.offsets[rv];
+                      graph.bitmap_offsets[rv + 1] - graph.bitmap_offsets[rv];
                   if (words_v <= adj_v.size() && words_v <= row_u_words) {
                     a.triangles += kern.bitmap_and_popcount(
-                        row_u, bitmaps.words.data() + bitmaps.offsets[rv],
+                        row_u, graph.bitmap_words.data() + graph.bitmap_offsets[rv],
                         words_v);
                   } else {
                     a.triangles += kern.bitmap_probe(row_u, adj_v);
@@ -273,7 +289,7 @@ TriangleCount count_prepared(const PreparedGraph& graph,
             continue;
           }
           for (VertexId v : adj_u) {
-            const auto adj_v = oriented.neighbors(v);
+            const auto adj_v = graph.neighbors_of(v);
             const bool u_longer = adj_u.size() >= adj_v.size();
             const auto shorter = u_longer ? adj_v : adj_u;
             const auto longer = u_longer ? adj_u : adj_v;
@@ -296,11 +312,11 @@ TriangleCount count_prepared(const PreparedGraph& graph,
                     static_cast<double>(longer.size()) >
                     options.skew_threshold *
                         static_cast<double>(shorter.size());
-                if (const std::uint32_t rv = bitmaps.row_of(v);
+                if (const std::uint32_t rv = graph.row_of(v);
                     rv != BitmapIndex::kNoRow && !(skewed && u_longer)) {
                   a.triangles += kern.bitmap_probe_checked(
-                      bitmaps.words.data() + bitmaps.offsets[rv],
-                      bitmaps.offsets[rv + 1] - bitmaps.offsets[rv], adj_u);
+                      graph.bitmap_words.data() + graph.bitmap_offsets[rv],
+                      graph.bitmap_offsets[rv + 1] - graph.bitmap_offsets[rv], adj_u);
                   ++a.stats.bitmap_edges;
                 } else if (skewed) {
                   a.triangles += kern.gallop(shorter, longer);

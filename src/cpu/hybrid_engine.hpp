@@ -146,6 +146,33 @@ struct BitmapIndex {
   }
 };
 
+/// Non-owning view of everything the counting phase reads: the oriented CSR
+/// as raw spans, the bitmap side structure, and the options that built it.
+/// The spans can point into a PreparedGraph's owned vectors (via
+/// PreparedGraph::view()) or into an mmapped on-disk artifact
+/// (store::MappedPreparedGraph) — the arrays are laid out identically either
+/// way, so count_prepared is bit-identical over both backings.
+struct PreparedGraphView {
+  std::span<const EdgeIndex> offsets;      ///< n+1 entries; empty = empty graph
+  std::span<const VertexId> neighbors;     ///< oriented adjacency, ascending
+  std::span<const VertexId> new_to_old;    ///< empty when relabeling was off
+  std::span<const std::uint32_t> bitmap_rows;     ///< per vertex: row or kNoRow
+  std::span<const std::uint64_t> bitmap_offsets;  ///< word offset per row, rows+1
+  std::span<const std::uint64_t> bitmap_words;    ///< packed rows, back to back
+  EngineOptions options;
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets.empty() ? 0 : static_cast<VertexId>(offsets.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edges() const { return neighbors.size(); }
+  [[nodiscard]] std::span<const VertexId> neighbors_of(VertexId u) const {
+    return neighbors.subspan(offsets[u], offsets[u + 1] - offsets[u]);
+  }
+  [[nodiscard]] std::uint32_t row_of(VertexId v) const {
+    return v < bitmap_rows.size() ? bitmap_rows[v] : BitmapIndex::kNoRow;
+  }
+};
+
 /// The state the counting phase consumes: the oriented (optionally
 /// relabeled) CSR, the bitmap side structure, and the preprocessing
 /// breakdown. Bit-identical for any thread count of the pool that built it.
@@ -159,6 +186,9 @@ struct PreparedGraph {
   /// Heap bytes held by the prepared artifacts (CSR + relabel map + bitmap
   /// index) — the quantity the service catalog's byte budget accounts.
   [[nodiscard]] std::uint64_t byte_size() const;
+
+  /// Spans over the owned vectors. Valid while *this is alive and unmoved.
+  [[nodiscard]] PreparedGraphView view() const;
 };
 
 /// Result of a full engine run.
@@ -188,6 +218,14 @@ struct EngineResult {
 /// thread instead of returning a partial count.
 [[nodiscard]] TriangleCount count_prepared(
     const PreparedGraph& graph, prim::ThreadPool& pool,
+    CountingStats* stats = nullptr,
+    const util::CancelToken* cancel = nullptr);
+
+/// View-based counting — the real implementation; the PreparedGraph overload
+/// delegates here via view(). Works identically over owned vectors and
+/// mmapped artifact regions.
+[[nodiscard]] TriangleCount count_prepared(
+    const PreparedGraphView& graph, prim::ThreadPool& pool,
     CountingStats* stats = nullptr,
     const util::CancelToken* cancel = nullptr);
 

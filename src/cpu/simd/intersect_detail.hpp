@@ -14,6 +14,35 @@
 
 namespace trico::cpu::simd::detail {
 
+/// Rows shorter than this (longer side, in elements) skip the block kernels
+/// and run the plain two-pointer merge: a handful of elements cannot
+/// amortize the splat/load/movemask setup, and graphs dominated by tiny
+/// rows (internet-topology in BENCH_cpu_engine.json) measured the vector
+/// merge *below* scalar before this gate. Four vector widths of the wider
+/// (AVX2) kernel — past that the block skip wins.
+inline constexpr std::size_t kMergeScalarCutoff = 32;
+
+/// The scalar two-pointer merge the short-row cutoff falls back to;
+/// identical semantics to the block kernels on any input.
+inline TriangleCount merge_two_pointer(std::span<const VertexId> a,
+                                       std::span<const VertexId> b) {
+  TriangleCount count = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t an = a.size(), bn = b.size();
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
 /// Branch-free probe loop, 4x unrolled into independent accumulators so the
 /// scattered row loads overlap.
 inline TriangleCount probe_unrolled(const std::uint64_t* words,

@@ -26,6 +26,10 @@ TriangleCount merge_sse42(std::span<const VertexId> a,
                           std::span<const VertexId> b) {
   const std::span<const VertexId> s = a.size() <= b.size() ? a : b;
   const std::span<const VertexId> l = a.size() <= b.size() ? b : a;
+  // Short-row cutoff: tiny intersections never pay vector setup.
+  if (l.size() < detail::kMergeScalarCutoff) {
+    return detail::merge_two_pointer(s, l);
+  }
   TriangleCount count = 0;
   std::size_t i = 0, j = 0;
   const std::size_t sn = s.size(), ln = l.size();

@@ -187,6 +187,47 @@ void write_metis_file(const std::string& path, const EdgeList& edges) {
   write_metis(out, edges);
 }
 
+BinaryHeader parse_binary_header(const void* bytes, std::size_t num_bytes,
+                                 std::int64_t file_size) {
+  if (num_bytes < kBinaryHeaderBytes) {
+    fail("binary graph file shorter than its header (" +
+         std::to_string(num_bytes) + " bytes)");
+  }
+  const char* p = static_cast<const char*>(bytes);
+  if (std::memcmp(p, kMagic.data(), kMagic.size()) != 0) {
+    fail("bad magic in binary graph stream");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, p + 8, sizeof(version));
+  if (version != kVersion) {
+    fail("unsupported binary graph version " + std::to_string(version));
+  }
+  BinaryHeader header;
+  std::memcpy(&header.num_vertices, p + 12, sizeof(header.num_vertices));
+  std::memcpy(&header.num_slots, p + 16, sizeof(header.num_slots));
+  if (header.num_slots >
+      std::numeric_limits<std::uint64_t>::max() / sizeof(Edge)) {
+    fail("binary graph header declares an impossible slot count " +
+         std::to_string(header.num_slots));
+  }
+  if (file_size >= 0) {
+    const std::uint64_t expected =
+        kBinaryHeaderBytes + header.num_slots * sizeof(Edge);
+    if (static_cast<std::uint64_t>(file_size) < expected) {
+      fail("binary graph stream truncated: header declares " +
+           std::to_string(header.num_slots) + " slots but the file holds " +
+           std::to_string(file_size) + " bytes");
+    }
+    if (static_cast<std::uint64_t>(file_size) > expected) {
+      fail("binary graph stream oversized: " +
+           std::to_string(static_cast<std::uint64_t>(file_size) - expected) +
+           " trailing bytes after the declared " +
+           std::to_string(header.num_slots) + " slots");
+    }
+  }
+  return header;
+}
+
 void write_binary(std::ostream& out, const EdgeList& edges) {
   out.write(kMagic.data(), kMagic.size());
   write_pod(out, kVersion);

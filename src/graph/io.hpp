@@ -61,6 +61,25 @@ void write_text_file(const std::string& path, const EdgeList& edges);
 void write_metis(std::ostream& out, const EdgeList& edges);
 void write_metis_file(const std::string& path, const EdgeList& edges);
 
+/// The fixed-size prefix of a binary `.trico` file: 8-byte magic, u32
+/// version, u32 vertex count, u64 slot count — then raw Edge slots.
+inline constexpr std::size_t kBinaryHeaderBytes = 24;
+
+/// Parsed `.trico` binary header.
+struct BinaryHeader {
+  VertexId num_vertices = 0;
+  std::uint64_t num_slots = 0;
+};
+
+/// Parses and validates the first kBinaryHeaderBytes of a `.trico` file —
+/// shared by the serial reader and the parallel chunked ingest in
+/// src/store/. Throws IoError on short input, bad magic, or an unsupported
+/// version. When `file_size` is non-negative it is cross-checked against the
+/// declared slot count (exact-size match, as read_binary enforces).
+[[nodiscard]] BinaryHeader parse_binary_header(const void* bytes,
+                                               std::size_t num_bytes,
+                                               std::int64_t file_size = -1);
+
 /// Binary round-trip. The writer stores slots verbatim; the reader restores
 /// them verbatim (no canonicalization), so oriented arrays survive too.
 /// The reader validates magic and version and cross-checks the header's

@@ -1,7 +1,9 @@
 #include "outofcore/counter.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace trico::outofcore {
 
@@ -51,25 +53,60 @@ OutOfCoreResult OutOfCoreCounter::count(const EdgeList& edges,
   // pass (make_task) and simulated pipeline (options.sim.cancel).
   const util::CancelToken* cancel = options_.sim.cancel;
 
+  // Spill-tier task key: mixes the parent graph's content key with every
+  // input the extraction depends on, so a different seed or color count
+  // never resurrects a stale subgraph.
+  const auto task_key = [&](std::uint32_t ti, std::uint32_t tj,
+                            std::uint32_t tl) {
+    std::uint64_t h = spill_graph_key_ ^ 0x517cc1b727220a95ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(seed);
+    mix(num_colors_);
+    mix(ti);
+    mix(tj);
+    mix(tl);
+    return h;
+  };
+
   unsigned next_device = 0;
   for (std::uint32_t i = 0; i < num_colors_; ++i) {
     for (std::uint32_t j = i; j < num_colors_; ++j) {
       for (std::uint32_t l = j; l < num_colors_; ++l) {
         if (cancel != nullptr) cancel->throw_if_cancelled();
-        SubgraphTask task = make_task(edges, coloring, i, j, l, pool_, cancel);
-        result.total_task_slots += task.edges.num_edge_slots();
-        if (task.edges.empty()) continue;
+        EdgeList task_edges;
+        std::optional<EdgeList> spilled;
+        if (spill_store_ != nullptr) {
+          spilled = spill_store_->load_edges(task_key(i, j, l), pool_);
+        }
+        if (spilled) {
+          // Re-served from a prior run's spill: skip the streaming
+          // extraction pass entirely.
+          ++result.spill_hits;
+          task_edges = std::move(*spilled);
+        } else {
+          SubgraphTask task =
+              make_task(edges, coloring, i, j, l, pool_, cancel);
+          task_edges = std::move(task.edges);
+          if (spill_store_ != nullptr &&
+              spill_store_->publish_edges(task_key(i, j, l), task_edges)) {
+            ++result.spill_stores;
+          }
+        }
+        result.total_task_slots += task_edges.num_edge_slots();
+        if (task_edges.empty()) continue;
 
         task_options.color_triple = {i, j, l};
         core::GpuForwardCounter counter(device_config_, task_options);
-        const core::GpuCountResult r = counter.count(task.edges);
+        const core::GpuCountResult r = counter.count(task_edges);
         result.robustness.merge(r.robustness);
 
         TaskResult record;
         record.i = i;
         record.j = j;
         record.l = l;
-        record.edge_slots = task.edges.num_edge_slots();
+        record.edge_slots = task_edges.num_edge_slots();
         record.triangles = r.triangles;
         record.device_ms = r.phases.total_ms();
         record.device_bytes = r.device_peak_bytes;

@@ -22,6 +22,7 @@
 #include "core/gpu_forward.hpp"
 #include "outofcore/partition.hpp"
 #include "prim/thread_pool.hpp"
+#include "store/store.hpp"
 
 namespace trico::outofcore {
 
@@ -43,6 +44,8 @@ struct OutOfCoreResult {
   std::uint64_t max_task_bytes = 0;
   std::uint64_t total_task_slots = 0;  ///< sum of subgraph sizes (≈ k * m)
   std::vector<TaskResult> tasks;
+  std::uint64_t spill_hits = 0;    ///< tasks re-served from spilled subgraphs
+  std::uint64_t spill_stores = 0;  ///< tasks spilled to the artifact store
   /// Merged fault/recovery accounting of every task pipeline (e.g. kernel
   /// aborts retried inside a task run under fault injection).
   simt::RobustnessReport robustness;
@@ -67,12 +70,25 @@ class OutOfCoreCounter {
 
   [[nodiscard]] std::uint32_t num_colors() const { return num_colors_; }
 
+  /// Attaches the artifact store as a spill tier. Extracted color-triple
+  /// subgraphs are published as `.trico` artifacts keyed by
+  /// (graph key, seed, num_colors, triple) and re-served on later runs, so a
+  /// repeated out-of-core count skips the streaming extraction passes
+  /// entirely. The store must outlive the counter; a disabled store (or
+  /// nullptr) makes this a no-op.
+  void set_spill(store::ArtifactStore* store, std::uint64_t graph_key) {
+    spill_store_ = store;
+    spill_graph_key_ = graph_key;
+  }
+
  private:
   simt::DeviceConfig device_config_;
   std::uint32_t num_colors_;
   unsigned num_devices_;
   core::CountingOptions options_;
   prim::ThreadPool pool_;  ///< host threads for the parallel task extraction
+  store::ArtifactStore* spill_store_ = nullptr;  ///< optional spill tier
+  std::uint64_t spill_graph_key_ = 0;            ///< parent graph content key
 };
 
 }  // namespace trico::outofcore

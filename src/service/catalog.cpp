@@ -5,27 +5,17 @@
 #include <utility>
 
 #include "graph/io.hpp"
+#include "store/ingest.hpp"
 #include "util/timer.hpp"
 
 namespace trico::service {
 
 std::uint64_t GraphCatalog::content_hash(const EdgeList& graph) {
-  // FNV-1a over the vertex count then the raw slot bytes. Slot order is
-  // significant — the canonical producers in this codebase are
-  // deterministic, so identical content yields identical slot order.
-  std::uint64_t h = 14695981039346656037ull;
-  auto mix = [&h](const unsigned char* data, std::size_t len) {
-    for (std::size_t i = 0; i < len; ++i) {
-      h ^= data[i];
-      h *= 1099511628211ull;
-    }
-  };
-  const VertexId n = graph.num_vertices();
-  mix(reinterpret_cast<const unsigned char*>(&n), sizeof(n));
-  const auto slots = graph.edges();
-  mix(reinterpret_cast<const unsigned char*>(slots.data()),
-      slots.size_bytes());
-  return h;
+  // FNV-1a over the vertex count then the raw slot bytes (delegated to the
+  // store so catalog slots and on-disk artifacts share one address space).
+  // Slot order is significant — the canonical producers in this codebase
+  // are deterministic, so identical content yields identical slot order.
+  return store::edge_list_key(graph);
 }
 
 std::uint64_t GraphCatalog::content_key(
@@ -93,8 +83,29 @@ std::shared_ptr<const CatalogEntry> GraphCatalog::build_entry(
   util::Timer timer;
   entry->prepared = cpu::prepare(*graph, pool, options_.engine);
   entry->prepare_ms = timer.elapsed_ms();
+  entry->prepared_view = entry->prepared.view();
   entry->bytes = graph->num_edge_slots() * sizeof(Edge) +
                  entry->prepared.byte_size() + sizeof(CatalogEntry);
+  entry->edges = std::move(graph);
+  return entry;
+}
+
+std::shared_ptr<const CatalogEntry> GraphCatalog::entry_from_store(
+    std::uint64_t key, std::shared_ptr<const EdgeList> graph) {
+  util::Timer timer;
+  std::shared_ptr<const store::MappedPreparedGraph> mapped = store_.find(key);
+  if (mapped == nullptr) return nullptr;
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->key = key;
+  entry->stats = mapped->graph_stats();  // snapshotted — skips compute_stats
+  entry->prepared_view = mapped->view();
+  entry->mapped = std::move(mapped);
+  entry->from_store = true;
+  entry->prepare_ms = timer.elapsed_ms();
+  // The prepared arrays live in page cache behind the mapping (accounted by
+  // the store's own mapped-bytes gauge); the heap cost of this entry is just
+  // the edge list.
+  entry->bytes = graph->num_edge_slots() * sizeof(Edge) + sizeof(CatalogEntry);
   entry->edges = std::move(graph);
   return entry;
 }
@@ -136,13 +147,28 @@ GraphCatalog::Acquired GraphCatalog::acquire(
   }
 
   ++stats_.misses;
-  ++stats_.builds;
   slots_.emplace(key, Slot{nullptr, true, 0});
   lock.unlock();
 
   std::shared_ptr<const CatalogEntry> entry;
   try {
-    entry = build_entry(key, std::move(graph), pool);
+    // Artifact tier first: a prior run (or `trico_cli prewarm`) may have
+    // published this graph's preprocessed form; mapping it skips the whole
+    // preprocess. Only an actual preprocess counts as a "build".
+    entry = entry_from_store(key, graph);
+    if (entry) {
+      std::lock_guard relock(mutex_);
+      ++stats_.store_loads;
+    } else {
+      {
+        std::lock_guard relock(mutex_);
+        ++stats_.builds;
+      }
+      entry = build_entry(key, std::move(graph), pool);
+      // Persist for the next restart. Publish failures (disk full, races)
+      // degrade to "no artifact" — never fail the query.
+      store_.publish(key, entry->prepared, entry->stats);
+    }
   } catch (...) {
     {
       std::lock_guard relock(mutex_);
@@ -193,19 +219,37 @@ void GraphCatalog::evict_to_budget_locked() {
 }
 
 CatalogStats GraphCatalog::stats() const {
-  std::lock_guard lock(mutex_);
-  CatalogStats out = stats_;
-  out.resident_entries = slots_.size();
+  CatalogStats out;
+  {
+    std::lock_guard lock(mutex_);
+    out = stats_;
+    out.resident_entries = slots_.size();
+  }
+  out.store = store_.stats();  // store has its own lock; never nest them
   return out;
 }
 
 EdgeList GraphCatalog::load_graph_file(const std::string& path) {
+  return load_graph_file(path, prim::ThreadPool::shared());
+}
+
+EdgeList GraphCatalog::load_graph_file(const std::string& path,
+                                       prim::ThreadPool& pool) {
   if (!std::filesystem::exists(path)) {
     throw CatalogError("graph file not found: " + path +
                        " (generate the bench cache by running any suite "
                        "bench, e.g. bench_table1, from the repo root)");
   }
   try {
+    // Small files aren't worth chunked dispatch; past the threshold the
+    // parallel ingest overlaps pread with per-chunk validation across the
+    // pool (see store/ingest.hpp).
+    constexpr std::uintmax_t kParallelIngestBytes = 32ull << 20;  // 32 MiB
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    if (!ec && size >= kParallelIngestBytes) {
+      return store::read_edges_parallel(path, pool);
+    }
     return io::read_binary_file(path);
   } catch (const io::IoError& error) {
     throw CatalogError("graph file unreadable: " + path + ": " +

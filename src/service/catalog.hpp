@@ -38,6 +38,7 @@
 #include "graph/stats.hpp"
 #include "prim/thread_pool.hpp"
 #include "service/request.hpp"
+#include "store/store.hpp"
 
 namespace trico::service {
 
@@ -55,9 +56,17 @@ struct CatalogEntry {
   std::uint64_t key = 0;             ///< content hash
   std::shared_ptr<const EdgeList> edges;  ///< the graph (device tiers consume it)
   GraphStats stats;                  ///< degree statistics (router input)
-  cpu::PreparedGraph prepared;       ///< hybrid-engine precomputation
+  cpu::PreparedGraph prepared;       ///< owned precomputation (empty when
+                                     ///< the entry is artifact-backed)
+  /// Mmapped artifact backing, when the entry was served from the store; the
+  /// shared_ptr pins the mapping for the entry's lifetime.
+  std::shared_ptr<const store::MappedPreparedGraph> mapped;
+  /// What queries count over — spans into `prepared` (owned build) or into
+  /// `mapped` (warm restart). Identical layout, bit-identical counts.
+  cpu::PreparedGraphView prepared_view;
   std::uint64_t bytes = 0;           ///< accounted size (edges + artifacts)
-  double prepare_ms = 0;             ///< what the cache saves per hit
+  double prepare_ms = 0;             ///< build cost (or artifact map cost)
+  bool from_store = false;           ///< served from an on-disk artifact
 };
 
 /// An exact operation result memoized by (content key, operation). Graphs
@@ -83,6 +92,9 @@ struct CatalogStats {
   std::uint64_t result_hits = 0;      ///< queries served from memoized results
   std::uint64_t resident_bytes = 0;
   std::uint64_t resident_entries = 0;
+  std::uint64_t store_loads = 0;      ///< acquires served from disk artifacts
+                                      ///< (skipped a full preprocess)
+  store::StoreStats store{};          ///< artifact-store counters + gauges
 
   [[nodiscard]] double hit_rate() const {
     const double total = static_cast<double>(hits + misses);
@@ -100,13 +112,18 @@ struct CatalogOptions {
   /// Engine tunables used for every build (entries are keyed by content
   /// only, so these must stay fixed for the catalog's lifetime).
   cpu::EngineOptions engine{};
+  /// Persistent artifact store (docs/storage.md). An empty root disables
+  /// it; with a root set, acquire consults the store before preprocessing
+  /// and publishes freshly built entries for the next restart.
+  store::StoreOptions store{};
 };
 
 class GraphCatalog {
  public:
   using Options = CatalogOptions;
 
-  explicit GraphCatalog(Options options = {}) : options_(options) {}
+  explicit GraphCatalog(Options options = {})
+      : options_(options), store_(options.store) {}
 
   /// acquire() result: the entry plus whether this call was served from the
   /// cache (a resident entry or a joined in-flight build) or had to build.
@@ -142,7 +159,16 @@ class GraphCatalog {
 
   /// Loads a `.trico` binary graph, translating IO failures (missing,
   /// truncated, corrupt) into CatalogError with an actionable message.
+  /// Files past a size threshold load via the store's parallel chunked
+  /// ingest on `pool`; the single-argument form uses the shared pool.
   [[nodiscard]] static EdgeList load_graph_file(const std::string& path);
+  [[nodiscard]] static EdgeList load_graph_file(const std::string& path,
+                                                prim::ThreadPool& pool);
+
+  /// The persistent artifact tier (disabled unless options.store.root is
+  /// set). Exposed so the service can hand it to the out-of-core counter as
+  /// a spill tier and the CLI can prewarm/inspect it.
+  [[nodiscard]] store::ArtifactStore& artifact_store() { return store_; }
 
  private:
   struct Slot {
@@ -154,6 +180,8 @@ class GraphCatalog {
   std::shared_ptr<const CatalogEntry> build_entry(
       std::uint64_t key, std::shared_ptr<const EdgeList> graph,
       prim::ThreadPool& pool) const;
+  std::shared_ptr<const CatalogEntry> entry_from_store(
+      std::uint64_t key, std::shared_ptr<const EdgeList> graph);
   void evict_to_budget_locked();
 
   struct HashMemo {
@@ -162,6 +190,7 @@ class GraphCatalog {
   };
 
   Options options_;
+  store::ArtifactStore store_;
   mutable std::mutex mutex_;
   std::condition_variable build_cv_;
   std::unordered_map<std::uint64_t, Slot> slots_;

@@ -138,6 +138,19 @@ std::string MetricsSnapshot::to_string() const {
       << " result_hits=" << catalog.result_hits
       << " resident=" << catalog.resident_entries << " entries / "
       << catalog.resident_bytes << " bytes\n";
+  if (catalog.store.enabled) {
+    out << "store: hits=" << catalog.store.hits
+        << " misses=" << catalog.store.misses
+        << " loads=" << catalog.store_loads
+        << " publishes=" << catalog.store.publishes
+        << " publish_failures=" << catalog.store.publish_failures
+        << " corrupt=" << catalog.store.corrupt_rejects
+        << " evictions=" << catalog.store.evictions
+        << " spill_hits=" << catalog.store.edge_hits
+        << " spill_stores=" << catalog.store.edge_publishes
+        << " mapped=" << catalog.store.mapped_artifacts << " artifacts / "
+        << catalog.store.bytes_mapped << " bytes\n";
+  }
   out << "queue: depth=" << queue_depth << " peak=" << queue_peak_depth
       << " capacity=" << queue_capacity
       << " per_tenant_cap=" << per_tenant_queue_cap;

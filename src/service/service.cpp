@@ -132,8 +132,10 @@ Response TriangleService::run_backend(Backend backend,
   response.backend = backend;
   switch (backend) {
     case Backend::kCpuHybrid: {
-      response.triangles =
-          cpu::count_prepared(entry.prepared, ctx.pool, nullptr, ctx.cancel);
+      // prepared_view spans either the owned PreparedGraph or an mmapped
+      // store artifact — same kernel, bit-identical counts either way.
+      response.triangles = cpu::count_prepared(entry.prepared_view, ctx.pool,
+                                               nullptr, ctx.cancel);
       break;
     }
     case Backend::kGpu: {
@@ -158,6 +160,9 @@ Response TriangleService::run_backend(Backend backend,
     case Backend::kOutOfCore: {
       outofcore::OutOfCoreCounter counter(device, route.outofcore_colors, 1,
                                           counting);
+      // The artifact store doubles as the spill tier: extracted color-triple
+      // subgraphs persist across runs (no-op when the store is disabled).
+      counter.set_spill(&catalog_.artifact_store(), entry.key);
       const outofcore::OutOfCoreResult result = counter.count(*entry.edges);
       response.triangles = result.triangles;
       response.modeled_device_ms = result.total_ms();

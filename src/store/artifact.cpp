@@ -1,0 +1,307 @@
+#include "store/artifact.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/io.hpp"
+
+namespace trico::store {
+
+namespace {
+
+[[noreturn]] void fail(StoreErrorKind kind, const std::string& what) {
+  throw StoreError(kind, what);
+}
+
+/// File offsets of the six sections, derived purely from the header counts.
+/// Each section starts 64-aligned; `end` is the total (aligned) file size.
+struct Layout {
+  std::uint64_t offsets = 0;
+  std::uint64_t neighbors = 0;
+  std::uint64_t new_to_old = 0;
+  std::uint64_t bitmap_rows = 0;
+  std::uint64_t bitmap_offsets = 0;
+  std::uint64_t bitmap_words = 0;
+  std::uint64_t end = 0;
+};
+
+Layout layout_of(const ArtifactHeader& header) {
+  Layout layout;
+  std::uint64_t cursor = sizeof(ArtifactHeader);
+  const auto place = [&cursor](std::uint64_t count, std::uint64_t elem_size) {
+    const std::uint64_t at = cursor;
+    cursor = align_up(cursor + count * elem_size, kSectionAlign);
+    return at;
+  };
+  layout.offsets = place(header.num_offsets, sizeof(EdgeIndex));
+  layout.neighbors = place(header.num_neighbors, sizeof(VertexId));
+  layout.new_to_old = place(header.num_new_to_old, sizeof(VertexId));
+  layout.bitmap_rows = place(header.num_bitmap_rows, sizeof(std::uint32_t));
+  layout.bitmap_offsets =
+      place(header.num_bitmap_offsets, sizeof(std::uint64_t));
+  layout.bitmap_words = place(header.num_bitmap_words, sizeof(std::uint64_t));
+  layout.end = cursor;
+  return layout;
+}
+
+int open_create_retry(const char* path) {
+  for (;;) {
+    const int fd =  // NOLINT(cppcoreguidelines-pro-type-vararg)
+        ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+void write_or_fail(int fd, const void* bytes, std::uint64_t num_bytes,
+                   const std::string& path) {
+  const util::io::IoResult r = util::io::write_full(fd, bytes, num_bytes);
+  if (r.status != util::io::IoStatus::kOk) {
+    const int err = r.error;
+    util::io::close_quiet(fd);
+    fail(StoreErrorKind::kIo,
+         "write " + path + ": " + std::strerror(err));
+  }
+}
+
+}  // namespace
+
+std::uint64_t write_prepared_artifact(const std::string& path,
+                                      std::uint64_t content_key,
+                                      const cpu::PreparedGraph& prepared,
+                                      const GraphStats& stats) {
+  ArtifactHeader header{};
+  std::memcpy(header.magic, kArtifactMagic.data(), kArtifactMagic.size());
+  header.content_key = content_key;
+  header.num_offsets = prepared.oriented.offsets().size();
+  header.num_neighbors = prepared.oriented.neighbor_array().size();
+  header.num_new_to_old = prepared.new_to_old.size();
+  header.num_bitmap_rows = prepared.bitmaps.rows.size();
+  header.num_bitmap_offsets = prepared.bitmaps.offsets.size();
+  header.num_bitmap_words = prepared.bitmaps.words.size();
+  header.opt_strategy = static_cast<std::uint32_t>(prepared.options.strategy);
+  header.opt_isa = static_cast<std::uint32_t>(prepared.options.isa);
+  header.opt_skew_threshold = prepared.options.skew_threshold;
+  header.opt_bitmap_threshold = prepared.options.bitmap_threshold;
+  header.opt_bitmap_word_budget = prepared.options.bitmap_word_budget;
+  header.opt_counting_chunk = prepared.options.counting_chunk;
+  header.opt_relabel = prepared.options.relabel_by_degree ? 1 : 0;
+  header.stat_num_vertices = stats.num_vertices;
+  header.stat_isolated_vertices = stats.isolated_vertices;
+  header.stat_num_edges = stats.num_edges;
+  header.stat_max_degree = stats.max_degree;
+  header.stat_avg_degree = stats.avg_degree;
+  header.stat_degree_stddev = stats.degree_stddev;
+
+  const Layout layout = layout_of(header);
+  header.payload_bytes = layout.end - sizeof(ArtifactHeader);
+
+  // Sections in file order: {data, bytes}. The checksum folds exactly the
+  // byte stream the file will hold — section bytes plus the zeroed
+  // alignment padding after each — so the reader can verify with one flat
+  // pass over the mapping.
+  const struct {
+    const void* data;
+    std::uint64_t bytes;
+  } sections[] = {
+      {prepared.oriented.offsets().data(),
+       header.num_offsets * sizeof(EdgeIndex)},
+      {prepared.oriented.neighbor_array().data(),
+       header.num_neighbors * sizeof(VertexId)},
+      {prepared.new_to_old.data(), header.num_new_to_old * sizeof(VertexId)},
+      {prepared.bitmaps.rows.data(),
+       header.num_bitmap_rows * sizeof(std::uint32_t)},
+      {prepared.bitmaps.offsets.data(),
+       header.num_bitmap_offsets * sizeof(std::uint64_t)},
+      {prepared.bitmaps.words.data(),
+       header.num_bitmap_words * sizeof(std::uint64_t)},
+  };
+  ChecksumStream checksum;
+  for (const auto& s : sections) {
+    checksum.feed(s.data, s.bytes);
+    checksum.feed_zeros(align_up(s.bytes, kSectionAlign) - s.bytes);
+  }
+  header.payload_checksum = checksum.finish();
+  header.header_checksum = header_checksum_of(header);
+
+  const int fd = open_create_retry(path.c_str());
+  if (fd < 0) {
+    fail(StoreErrorKind::kIo,
+         "create " + path + ": " + std::strerror(errno));
+  }
+  write_or_fail(fd, &header, sizeof(header), path);
+  static constexpr std::uint8_t kZeros[kSectionAlign] = {};
+  for (const auto& s : sections) {
+    if (s.bytes > 0) write_or_fail(fd, s.data, s.bytes, path);
+    const std::uint64_t pad = align_up(s.bytes, kSectionAlign) - s.bytes;
+    if (pad > 0) write_or_fail(fd, kZeros, pad, path);
+  }
+  // Durability before visibility: the store renames this file into place
+  // only after it (and its bytes) are on disk, so a crash can never leave a
+  // published name pointing at unwritten pages.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    util::io::close_quiet(fd);
+    fail(StoreErrorKind::kIo, "fsync " + path + ": " + std::strerror(err));
+  }
+  util::io::close_quiet(fd);
+  return layout.end;
+}
+
+std::shared_ptr<const MappedPreparedGraph> open_prepared_artifact(
+    const std::string& path, const OpenOptions& options) {
+  auto artifact = std::make_shared<MappedPreparedGraph>();
+  artifact->path_ = path;
+  // With checksum verification on, every payload byte is about to be read
+  // once anyway — MAP_POPULATE turns ~size/4K soft faults into one batched
+  // page-table fill.
+  artifact->map_ = MmapFile::open_readonly(path, options.verify_checksum);
+  const MmapFile& map = artifact->map_;
+
+  if (map.size() < sizeof(ArtifactHeader)) {
+    fail(StoreErrorKind::kTruncated,
+         path + " holds " + std::to_string(map.size()) +
+             " bytes, shorter than the fixed header");
+  }
+  ArtifactHeader& header = artifact->header_;
+  std::memcpy(&header, map.data(), sizeof(header));
+  if (std::memcmp(header.magic, kArtifactMagic.data(),
+                  kArtifactMagic.size()) != 0) {
+    fail(StoreErrorKind::kMagic, path + " is not a trico artifact");
+  }
+  if (header.version != kArtifactVersion) {
+    fail(StoreErrorKind::kVersion,
+         path + " is format version " + std::to_string(header.version) +
+             ", this build reads version " + std::to_string(kArtifactVersion));
+  }
+  if (header.endian != kEndianTag) {
+    fail(StoreErrorKind::kVersion,
+         path + " was written on a host with foreign byte order");
+  }
+  if (header.header_checksum != header_checksum_of(header)) {
+    fail(StoreErrorKind::kChecksum, path + ": header checksum mismatch");
+  }
+
+  // Counts are now self-consistent with what the writer recorded (the
+  // header checksum vouches for them); bound them anyway so a colliding
+  // checksum cannot drive the layout arithmetic into overflow.
+  const std::uint64_t counts[] = {
+      header.num_offsets,        header.num_neighbors,
+      header.num_new_to_old,     header.num_bitmap_rows,
+      header.num_bitmap_offsets, header.num_bitmap_words,
+  };
+  for (const std::uint64_t c : counts) {
+    if (c > (std::uint64_t{1} << 48)) {
+      fail(StoreErrorKind::kCorrupt,
+           path + ": implausible section count " + std::to_string(c));
+    }
+  }
+  const Layout layout = layout_of(header);
+  if (header.payload_bytes != layout.end - sizeof(ArtifactHeader)) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": declared payload bytes disagree with section counts");
+  }
+  if (map.size() < layout.end) {
+    fail(StoreErrorKind::kTruncated,
+         path + " holds " + std::to_string(map.size()) + " of " +
+             std::to_string(layout.end) + " declared bytes");
+  }
+  if (map.size() > layout.end) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": " + std::to_string(map.size() - layout.end) +
+             " trailing bytes past the declared payload");
+  }
+
+  const std::uint64_t n = header.stat_num_vertices;
+  if (header.num_offsets != 0 && header.num_offsets != n + 1) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": offsets section disagrees with the vertex count");
+  }
+  if (header.num_offsets == 0 && header.num_neighbors != 0) {
+    fail(StoreErrorKind::kCorrupt, path + ": neighbors without offsets");
+  }
+  if (header.num_new_to_old != 0 && header.num_new_to_old != n) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": relabel map disagrees with the vertex count");
+  }
+  if (header.num_bitmap_rows != 0 && header.num_bitmap_rows != n) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": bitmap row map disagrees with the vertex count");
+  }
+  if (header.num_bitmap_offsets == 0 && header.num_bitmap_words != 0) {
+    fail(StoreErrorKind::kCorrupt, path + ": bitmap words without offsets");
+  }
+  if (header.opt_strategy > 2 || header.opt_isa > 3) {
+    fail(StoreErrorKind::kCorrupt, path + ": unknown engine option value");
+  }
+
+  if (options.verify_checksum) {
+    const std::uint64_t got = fnv1a_words(map.data() + sizeof(ArtifactHeader),
+                                          header.payload_bytes);
+    if (got != header.payload_checksum) {
+      fail(StoreErrorKind::kChecksum, path + ": payload checksum mismatch");
+    }
+  }
+  if (options.expected_key != 0 &&
+      header.content_key != options.expected_key) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": content key mismatch (artifact renamed or directory "
+                "rewired?)");
+  }
+
+  const std::byte* base = map.data();
+  cpu::PreparedGraphView& view = artifact->view_;
+  view.offsets = {reinterpret_cast<const EdgeIndex*>(base + layout.offsets),
+                  header.num_offsets};
+  view.neighbors = {
+      reinterpret_cast<const VertexId*>(base + layout.neighbors),
+      header.num_neighbors};
+  view.new_to_old = {
+      reinterpret_cast<const VertexId*>(base + layout.new_to_old),
+      header.num_new_to_old};
+  view.bitmap_rows = {
+      reinterpret_cast<const std::uint32_t*>(base + layout.bitmap_rows),
+      header.num_bitmap_rows};
+  view.bitmap_offsets = {
+      reinterpret_cast<const std::uint64_t*>(base + layout.bitmap_offsets),
+      header.num_bitmap_offsets};
+  view.bitmap_words = {
+      reinterpret_cast<const std::uint64_t*>(base + layout.bitmap_words),
+      header.num_bitmap_words};
+
+  // The last offset locates counting's every neighbor access; cross-check
+  // it (and the bitmap tail) so even a checksum-off open cannot index past
+  // the mapping.
+  if (!view.offsets.empty() && view.offsets.back() != header.num_neighbors) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": CSR tail offset disagrees with the neighbor count");
+  }
+  if (!view.bitmap_offsets.empty() &&
+      view.bitmap_offsets.back() != header.num_bitmap_words) {
+    fail(StoreErrorKind::kCorrupt,
+         path + ": bitmap tail offset disagrees with the word count");
+  }
+
+  cpu::EngineOptions& opts = view.options;
+  opts.strategy = static_cast<cpu::IntersectStrategy>(header.opt_strategy);
+  opts.isa = static_cast<cpu::simd::IsaRequest>(header.opt_isa);
+  opts.skew_threshold = header.opt_skew_threshold;
+  opts.bitmap_threshold = header.opt_bitmap_threshold;
+  opts.bitmap_word_budget = header.opt_bitmap_word_budget;
+  opts.counting_chunk = header.opt_counting_chunk;
+  opts.relabel_by_degree = header.opt_relabel != 0;
+
+  GraphStats& stats = artifact->stats_;
+  stats.num_vertices = header.stat_num_vertices;
+  stats.isolated_vertices = header.stat_isolated_vertices;
+  stats.num_edges = header.stat_num_edges;
+  stats.max_degree = header.stat_max_degree;
+  stats.avg_degree = header.stat_avg_degree;
+  stats.degree_stddev = header.stat_degree_stddev;
+  return artifact;
+}
+
+}  // namespace trico::store

@@ -1,0 +1,83 @@
+// Serializer and mmap-backed reader for PreparedGraph artifacts.
+//
+// write_prepared_artifact lays the prepared arrays out exactly as they sit
+// in memory (format.hpp documents the layout); open_prepared_artifact maps
+// the file and hands back a MappedPreparedGraph whose PreparedGraphView
+// spans point straight into the mapping — the hybrid engine counts over it
+// unchanged and bit-identically (tests/store_test.cpp enforces this across
+// every ISA level and thread count).
+//
+// The writer targets the exact path it is given and performs no atomicity
+// of its own — ArtifactStore publishes via write-to-temp + rename so
+// readers never observe a partially written artifact.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cpu/hybrid_engine.hpp"
+#include "graph/stats.hpp"
+#include "store/format.hpp"
+#include "store/mmap_file.hpp"
+
+namespace trico::store {
+
+/// Serializes `prepared` (+ its GraphStats, so a warm restart skips
+/// compute_stats) to `path`, fsyncing before returning. Returns the total
+/// file size in bytes. Throws StoreError(kIo) on any write failure.
+std::uint64_t write_prepared_artifact(const std::string& path,
+                                      std::uint64_t content_key,
+                                      const cpu::PreparedGraph& prepared,
+                                      const GraphStats& stats);
+
+struct OpenOptions {
+  /// Verify the payload checksum on open. The default catches any flipped
+  /// byte before it can become a wrong count; off trusts the file (the
+  /// header self-checksum and structural cross-checks still run).
+  bool verify_checksum = true;
+  /// When non-zero, the header's content key must match (a mismatch means
+  /// the file was renamed or the directory rewired) — kCorrupt otherwise.
+  std::uint64_t expected_key = 0;
+};
+
+/// A PreparedGraph backed by an mmapped artifact instead of owned vectors.
+/// The view is valid for the lifetime of this object; the store hands these
+/// out as shared_ptr so eviction cannot unmap under an in-flight count.
+class MappedPreparedGraph {
+ public:
+  [[nodiscard]] const cpu::PreparedGraphView& view() const { return view_; }
+  [[nodiscard]] std::uint64_t content_key() const {
+    return header_.content_key;
+  }
+  [[nodiscard]] const ArtifactHeader& header() const { return header_; }
+  [[nodiscard]] const GraphStats& graph_stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t mapped_bytes() const { return map_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// LRU-eviction hook: drop resident pages, keep the mapping valid.
+  void advise_dont_need() const noexcept { map_.advise_dont_need(); }
+  /// Prewarm hook: ask the kernel to fault the whole artifact in.
+  void advise_will_need() const noexcept { map_.advise_will_need(); }
+
+ private:
+  friend std::shared_ptr<const MappedPreparedGraph> open_prepared_artifact(
+      const std::string& path, const OpenOptions& options);
+
+  MmapFile map_;
+  ArtifactHeader header_{};
+  cpu::PreparedGraphView view_;
+  GraphStats stats_;
+  std::string path_;
+};
+
+/// Maps and validates the artifact at `path`. Validation order: existence →
+/// magic → version/endianness → header checksum → declared size vs file
+/// size → structural cross-checks → payload checksum (if enabled). Each
+/// failure throws the matching typed StoreError; a successful open can be
+/// counted over immediately.
+[[nodiscard]] std::shared_ptr<const MappedPreparedGraph>
+open_prepared_artifact(const std::string& path, const OpenOptions& options = {});
+
+}  // namespace trico::store

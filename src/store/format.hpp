@@ -1,0 +1,260 @@
+// On-disk artifact format for the zero-copy persistent graph store.
+//
+// A `.tpg` artifact is a 256-byte POD header followed by the PreparedGraph
+// arrays (CSR offsets, neighbors, relabel map, bitmap rows/offsets/words)
+// written back to back in their exact in-memory layout, each section padded
+// to a 64-byte boundary. Reopening is mmap + pointer fixup: the counting
+// engine's PreparedGraphView spans point straight into the mapping, so a
+// restarted service counts off page cache with zero deserialization.
+//
+// The format is deliberately host-native (endianness, struct layout): an
+// mmapped artifact *is* the in-memory representation, so portability across
+// byte orders is impossible by construction. The header carries an endian
+// tag and a version so a foreign or stale artifact is rejected with a typed
+// StoreError instead of producing wrong counts.
+//
+// Integrity: a multi-lane word-folded FNV-1a checksum over the whole
+// payload (and a second one over the header itself). Folding u64 words
+// across kChecksumLanes interleaved lanes instead of bytes through one
+// chain keeps verification ~50x cheaper — it still detects any flipped
+// byte, which is the failure mode that matters (torn writes are already
+// excluded by the write-to-temp + atomic-rename publish protocol in
+// store.cpp).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace trico::store {
+
+inline constexpr std::array<char, 8> kArtifactMagic = {'T', 'R', 'I', 'C',
+                                                       'O', 'T', 'P', 'G'};
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Written as 0x01020304 by the producing host; a reader that sees any
+/// other value is running on an incompatible byte order.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+/// Every section starts on a 64-byte boundary (cache line; also keeps u64
+/// sections 8-aligned inside the page-aligned mapping).
+inline constexpr std::uint64_t kSectionAlign = 64;
+
+inline constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// The word fold runs this many independent FNV lanes (word i feeds lane
+/// i % kChecksumLanes), combined into one u64 at the end. A single FNV
+/// chain is latency-bound on its multiply (~5 cycles per 8 bytes); eight
+/// lanes keep the multiplier pipelined, and 8 lanes x 8 bytes = one
+/// 64-byte block per iteration, matching kSectionAlign. Verifying a
+/// multi-GB artifact must not dominate the warm restart it exists to
+/// accelerate.
+inline constexpr std::uint32_t kChecksumLanes = 8;
+inline constexpr std::uint64_t kChecksumLaneSalt = 0x9e3779b97f4a7c15ull;
+
+/// What went wrong with an artifact, as a typed taxonomy: corruption and
+/// version skew must surface as diagnosable errors — never a wrong count,
+/// never a crash.
+enum class StoreErrorKind {
+  kNotFound,   ///< no artifact at that path / key
+  kMagic,      ///< not a trico artifact at all
+  kVersion,    ///< stale format version or foreign endianness
+  kTruncated,  ///< file shorter than its header declares
+  kChecksum,   ///< header or payload checksum mismatch (flipped bytes)
+  kCorrupt,    ///< internally inconsistent header (counts/offsets disagree)
+  kIo,         ///< a syscall failed (open, write, mmap, fsync, rename)
+};
+
+[[nodiscard]] constexpr const char* to_string(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::kNotFound: return "not-found";
+    case StoreErrorKind::kMagic: return "bad-magic";
+    case StoreErrorKind::kVersion: return "version-mismatch";
+    case StoreErrorKind::kTruncated: return "truncated";
+    case StoreErrorKind::kChecksum: return "checksum-mismatch";
+    case StoreErrorKind::kCorrupt: return "corrupt";
+    case StoreErrorKind::kIo: return "io-error";
+  }
+  return "?";
+}
+
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] StoreErrorKind kind() const { return kind_; }
+
+ private:
+  StoreErrorKind kind_;
+};
+
+/// The fixed 256-byte artifact header. Fixed-width fields only, explicit
+/// padding, trailing self-checksum — memcpy'able from the mapping.
+struct ArtifactHeader {
+  char magic[8];                     // "TRICOTPG"
+  std::uint32_t version = kArtifactVersion;
+  std::uint32_t endian = kEndianTag;
+  std::uint64_t content_key = 0;     ///< FNV content hash of the edge list
+  std::uint64_t payload_bytes = 0;   ///< section bytes incl. alignment padding
+  std::uint64_t payload_checksum = 0;
+
+  // Section element counts, in file order.
+  std::uint64_t num_offsets = 0;        // EdgeIndex (u64), n+1 or 0
+  std::uint64_t num_neighbors = 0;      // VertexId (u32)
+  std::uint64_t num_new_to_old = 0;     // VertexId (u32), n or 0
+  std::uint64_t num_bitmap_rows = 0;    // u32, n or 0
+  std::uint64_t num_bitmap_offsets = 0; // u64, rows+1 or <=1
+  std::uint64_t num_bitmap_words = 0;   // u64
+
+  // EngineOptions snapshot — the options the artifact was prepared with;
+  // restored verbatim into the view so strategy selection (and therefore
+  // counts AND CountingStats) is bit-identical to the owned build.
+  std::uint32_t opt_strategy = 0;
+  std::uint32_t opt_isa = 0;
+  double opt_skew_threshold = 0;
+  std::uint64_t opt_bitmap_threshold = 0;
+  std::uint64_t opt_bitmap_word_budget = 0;
+  std::uint64_t opt_counting_chunk = 0;
+  std::uint32_t opt_relabel = 0;
+  std::uint32_t pad0 = 0;
+
+  // GraphStats snapshot, so a warm restart skips compute_stats too.
+  std::uint32_t stat_num_vertices = 0;
+  std::uint32_t stat_isolated_vertices = 0;
+  std::uint64_t stat_num_edges = 0;
+  std::uint64_t stat_max_degree = 0;
+  double stat_avg_degree = 0;
+  double stat_degree_stddev = 0;
+
+  std::uint8_t reserved[72] = {};    // future fields; zero on write
+  std::uint64_t header_checksum = 0; ///< FNV words over the preceding bytes
+};
+static_assert(sizeof(ArtifactHeader) == 256, "artifact header is 4 lines");
+static_assert(sizeof(ArtifactHeader) % kSectionAlign == 0);
+
+/// FNV-1a folded over u64 words across kChecksumLanes interleaved lanes
+/// (word i -> lane i % lanes), lane results combined with one final FNV
+/// pass. `bytes` need not be 8-aligned (words are assembled with memcpy);
+/// `num_bytes` must be a multiple of 8. Still detects any flipped byte.
+[[nodiscard]] inline std::uint64_t fnv1a_words(const void* bytes,
+                                               std::uint64_t num_bytes) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  std::uint64_t lanes[kChecksumLanes];
+  for (std::uint32_t l = 0; l < kChecksumLanes; ++l) {
+    lanes[l] = kFnvBasis + l * kChecksumLaneSalt;
+  }
+  std::uint64_t i = 0;
+  constexpr std::uint64_t kBlock = kChecksumLanes * 8;
+  for (; i + kBlock <= num_bytes; i += kBlock) {
+    std::uint64_t words[kChecksumLanes];
+    std::memcpy(words, p + i, kBlock);
+    for (std::uint32_t l = 0; l < kChecksumLanes; ++l) {
+      lanes[l] = (lanes[l] ^ words[l]) * kFnvPrime;
+    }
+  }
+  // Tail words continue the round-robin (block loop leaves word index a
+  // multiple of kChecksumLanes, so the tail starts at lane 0).
+  for (std::uint32_t l = 0; i + 8 <= num_bytes; i += 8, ++l) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    lanes[l] = (lanes[l] ^ word) * kFnvPrime;
+  }
+  std::uint64_t h = kFnvBasis;
+  for (std::uint32_t l = 0; l < kChecksumLanes; ++l) {
+    h ^= lanes[l];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Streaming word folder for producers whose sections live in separate
+/// buffers: feeds bytes (buffering sub-word tails) and zero padding so the
+/// result equals fnv1a_words over the concatenated padded stream the reader
+/// maps. finish() requires a word-aligned total — the layout guarantees it.
+class ChecksumStream {
+ public:
+  ChecksumStream() {
+    for (std::uint32_t l = 0; l < kChecksumLanes; ++l) {
+      lanes_[l] = kFnvBasis + l * kChecksumLaneSalt;
+    }
+  }
+
+  void feed(const void* bytes, std::uint64_t num_bytes) {
+    const auto* p = static_cast<const unsigned char*>(bytes);
+    // Word-aligned fast path once the partial buffer is empty: fold whole
+    // words straight from the caller's buffer, round-robin over the lanes.
+    if (partial_bytes_ == 0) {
+      std::uint64_t i = 0;
+      for (; i + 8 <= num_bytes; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, p + i, 8);
+        fold(word);
+      }
+      p += i;
+      num_bytes -= i;
+    }
+    while (num_bytes > 0) {
+      const std::uint64_t take =
+          num_bytes < 8 - partial_bytes_ ? num_bytes : 8 - partial_bytes_;
+      std::memcpy(reinterpret_cast<unsigned char*>(&partial_) + partial_bytes_,
+                  p, take);
+      partial_bytes_ += take;
+      p += take;
+      num_bytes -= take;
+      if (partial_bytes_ == 8) {
+        fold(partial_);
+        partial_ = 0;
+        partial_bytes_ = 0;
+      }
+    }
+  }
+
+  void feed_zeros(std::uint64_t num_bytes) {
+    static constexpr unsigned char kZeros[64] = {};
+    while (num_bytes > 0) {
+      const std::uint64_t take = num_bytes < 64 ? num_bytes : 64;
+      feed(kZeros, take);
+      num_bytes -= take;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t finish() const {
+    std::uint64_t h = kFnvBasis;
+    for (std::uint32_t l = 0; l < kChecksumLanes; ++l) {
+      h ^= lanes_[l];
+      h *= kFnvPrime;
+    }
+    return h;
+  }
+
+ private:
+  void fold(std::uint64_t word) {
+    lanes_[lane_] = (lanes_[lane_] ^ word) * kFnvPrime;
+    lane_ = (lane_ + 1) % kChecksumLanes;
+  }
+
+  std::uint64_t lanes_[kChecksumLanes];
+  std::uint32_t lane_ = 0;
+  std::uint64_t partial_ = 0;
+  std::uint64_t partial_bytes_ = 0;
+};
+
+/// Self-checksum of a header: FNV words over everything before the trailing
+/// header_checksum field.
+[[nodiscard]] inline std::uint64_t header_checksum_of(
+    const ArtifactHeader& header) {
+  return fnv1a_words(&header, sizeof(ArtifactHeader) - sizeof(std::uint64_t));
+}
+
+[[nodiscard]] inline std::uint64_t align_up(std::uint64_t value,
+                                            std::uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace trico::store

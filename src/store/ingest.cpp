@@ -1,0 +1,206 @@
+#include "store/ingest.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "graph/io.hpp"
+#include "prim/algorithms.hpp"
+#include "util/io.hpp"
+
+namespace trico::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw io::IoError(what); }
+
+/// O_DIRECT alignment unit: offset, length, and buffer address must all be
+/// multiples of the logical block size. 4096 covers every modern device.
+constexpr std::size_t kDirectAlign = 4096;
+
+/// An aligned bounce buffer per worker, reused across chunks.
+struct BounceBuffer {
+  void* data = nullptr;
+  std::size_t size = 0;
+
+  ~BounceBuffer() { std::free(data); }  // NOLINT(cppcoreguidelines-no-malloc)
+
+  bool ensure(std::size_t bytes) {
+    if (size >= bytes) return true;
+    std::free(data);  // NOLINT(cppcoreguidelines-no-malloc)
+    data = nullptr;
+    size = 0;
+    if (::posix_memalign(&data, kDirectAlign, bytes) != 0) return false;
+    size = bytes;
+    return true;
+  }
+};
+
+/// First-error-wins collector for failures inside the parallel region
+/// (exceptions must not cross the pool boundary).
+struct ErrorSlot {
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::string message;
+
+  void set(const std::string& what) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      message = what;
+    }
+  }
+};
+
+}  // namespace
+
+EdgeList read_edges_parallel(const std::string& path, prim::ThreadPool& pool,
+                             const IngestOptions& options) {
+  const int fd = util::io::open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail("cannot open graph file: " + path + ": " + std::strerror(errno));
+  }
+  const off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < 0) {
+    util::io::close_quiet(fd);
+    fail("cannot determine size of graph file: " + path);
+  }
+
+  // Header through the buffered fd regardless of mode (24 bytes can never
+  // satisfy O_DIRECT's alignment contract).
+  unsigned char header_bytes[io::kBinaryHeaderBytes];
+  const std::size_t header_take = std::min<std::size_t>(
+      sizeof(header_bytes), static_cast<std::size_t>(file_size));
+  {
+    const util::io::IoResult r =
+        util::io::pread_full(fd, header_bytes, header_take, 0);
+    if (r.status == util::io::IoStatus::kError) {
+      util::io::close_quiet(fd);
+      fail("read failure on graph file " + path + ": " +
+           std::strerror(r.error));
+    }
+  }
+  io::BinaryHeader header;
+  try {
+    header = io::parse_binary_header(header_bytes, header_take,
+                                     static_cast<std::int64_t>(file_size));
+  } catch (...) {
+    util::io::close_quiet(fd);
+    throw;
+  }
+
+  // A second fd carrying O_DIRECT when asked for; -1 means buffered reads
+  // (the flag unsupported here, or never requested).
+  int direct_fd = -1;
+  if (options.direct_io) {
+    direct_fd =  // NOLINT(cppcoreguidelines-pro-type-vararg)
+        ::open(path.c_str(), O_RDONLY | O_DIRECT);
+  }
+
+  std::vector<Edge> edges(header.num_slots);
+  const std::size_t chunk_slots =
+      std::max<std::size_t>(1, options.chunk_bytes / sizeof(Edge));
+  const std::size_t num_chunks =
+      (edges.size() + chunk_slots - 1) / chunk_slots;
+  const std::size_t nw = std::max<std::size_t>(1, pool.num_threads());
+
+  ErrorSlot error;
+  std::atomic<bool> direct_failed{false};
+  std::vector<BounceBuffer> bounce(nw);
+  const VertexId n = header.num_vertices;
+
+  prim::parallel_chunks_dynamic(
+      pool, 0, num_chunks, 1,
+      [&](std::size_t w, std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (error.failed.load(std::memory_order_relaxed)) return;
+          const std::size_t slot_lo = c * chunk_slots;
+          const std::size_t slot_hi =
+              std::min(edges.size(), slot_lo + chunk_slots);
+          const std::size_t bytes = (slot_hi - slot_lo) * sizeof(Edge);
+          const off_t offset = static_cast<off_t>(
+              io::kBinaryHeaderBytes + slot_lo * sizeof(Edge));
+          char* dest = reinterpret_cast<char*>(edges.data() + slot_lo);
+
+          bool done = false;
+          if (direct_fd >= 0 && !direct_failed.load()) {
+            // Read the aligned cover of [offset, offset+bytes) into the
+            // worker's bounce buffer, then copy the overlap out. A short
+            // read at EOF is fine as long as it covers the slice.
+            const off_t a_lo = offset & ~static_cast<off_t>(kDirectAlign - 1);
+            const std::size_t a_len =
+                (static_cast<std::size_t>(offset - a_lo) + bytes +
+                 kDirectAlign - 1) /
+                kDirectAlign * kDirectAlign;
+            BounceBuffer& buf = bounce[w];
+            if (buf.ensure(a_len)) {
+              const util::io::IoResult r =
+                  util::io::pread_full(direct_fd, buf.data, a_len, a_lo);
+              const std::size_t need =
+                  static_cast<std::size_t>(offset - a_lo) + bytes;
+              if (r.status == util::io::IoStatus::kOk || r.bytes >= need) {
+                std::memcpy(dest,
+                            static_cast<char*>(buf.data) + (offset - a_lo),
+                            bytes);
+                done = true;
+              } else if (r.status == util::io::IoStatus::kError &&
+                         r.error == EINVAL) {
+                // Filesystem rejected the alignment after all — degrade the
+                // whole load to buffered reads.
+                direct_failed.store(true);
+              } else {
+                error.set("read failure on graph file " + path + ": " +
+                          (r.status == util::io::IoStatus::kEof
+                               ? "file shrank mid-read"
+                               : std::string(std::strerror(r.error))));
+                return;
+              }
+            } else {
+              direct_failed.store(true);
+            }
+          }
+          if (!done) {
+            const util::io::IoResult r =
+                util::io::pread_full(fd, dest, bytes, offset);
+            if (r.status != util::io::IoStatus::kOk) {
+              error.set("read failure on graph file " + path + ": " +
+                        (r.status == util::io::IoStatus::kEof
+                             ? "file shrank mid-read"
+                             : std::string(std::strerror(r.error))));
+              return;
+            }
+          }
+          if (options.validate) {
+            // Overlaps the next chunk's IO; the serial loader never checks
+            // this at all.
+            for (std::size_t i = slot_lo; i < slot_hi; ++i) {
+              if (edges[i].u >= n || edges[i].v >= n) {
+                error.set("graph file " + path + ": slot " +
+                          std::to_string(i) + " names vertex " +
+                          std::to_string(std::max(edges[i].u, edges[i].v)) +
+                          " outside the declared " + std::to_string(n) +
+                          "-vertex domain");
+                return;
+              }
+            }
+          }
+        }
+      });
+
+  if (direct_fd >= 0) util::io::close_quiet(direct_fd);
+  util::io::close_quiet(fd);
+  if (error.failed.load()) {
+    const std::lock_guard<std::mutex> lock(error.mutex);
+    fail(error.message);
+  }
+  return EdgeList(std::move(edges), header.num_vertices);
+}
+
+}  // namespace trico::store

@@ -1,0 +1,89 @@
+#include "store/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "store/format.hpp"
+#include "util/io.hpp"
+
+namespace trico::store {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile MmapFile::open_readonly(const std::string& path, bool populate) {
+  const int fd = util::io::open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    const int err = errno;
+    throw StoreError(err == ENOENT ? StoreErrorKind::kNotFound
+                                   : StoreErrorKind::kIo,
+                     "open " + path + ": " + std::strerror(err));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    util::io::close_quiet(fd);
+    throw StoreError(StoreErrorKind::kIo,
+                     "fstat " + path + ": " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<std::uint64_t>(st.st_size);
+  if (file.size_ > 0) {
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    if (populate) flags |= MAP_POPULATE;
+#else
+    (void)populate;
+#endif
+    void* mapped = ::mmap(nullptr, file.size_, PROT_READ, flags, fd, 0);
+#ifdef MAP_POPULATE
+    if (mapped == MAP_FAILED && populate) {
+      // Some filesystems reject MAP_POPULATE; the mapping itself is what
+      // matters, the prefault is an optimization.
+      mapped = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    }
+#endif
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      util::io::close_quiet(fd);
+      file.size_ = 0;
+      throw StoreError(StoreErrorKind::kIo,
+                       "mmap " + path + ": " + std::strerror(err));
+    }
+    file.data_ = static_cast<std::byte*>(mapped);
+  }
+  // The mapping outlives the fd; closing now keeps the store's fd footprint
+  // at zero per resident artifact.
+  util::io::close_quiet(fd);
+  return file;
+}
+
+void MmapFile::advise_dont_need() const noexcept {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_DONTNEED);
+}
+
+void MmapFile::advise_will_need() const noexcept {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_WILLNEED);
+}
+
+}  // namespace trico::store

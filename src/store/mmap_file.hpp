@@ -1,0 +1,48 @@
+// RAII read-only mmap of a whole file, plus the madvise hooks the store's
+// LRU uses: DONTNEED on eviction drops the artifact's resident pages without
+// invalidating the mapping, WILLNEED prewarms it ahead of a counting run.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace trico::store {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Throws StoreError(kNotFound) when the file does
+  /// not exist, StoreError(kIo) on any other open/stat/mmap failure. An
+  /// empty file yields a valid object with size() == 0 and no mapping.
+  /// `populate` requests MAP_POPULATE — the kernel builds the page tables
+  /// up front in one batch instead of ~size/4K soft faults during the first
+  /// read pass (the checksum verify); falls back to a plain mapping where
+  /// the flag is unsupported.
+  [[nodiscard]] static MmapFile open_readonly(const std::string& path,
+                                              bool populate = false);
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+
+  /// madvise(MADV_DONTNEED): release resident pages (they reload from disk
+  /// on next touch). Advisory — failures are ignored.
+  void advise_dont_need() const noexcept;
+  /// madvise(MADV_WILLNEED): ask the kernel to prefetch the whole mapping.
+  void advise_will_need() const noexcept;
+
+ private:
+  std::byte* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace trico::store

@@ -1,0 +1,293 @@
+#include "store/store.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "graph/io.hpp"
+#include "store/ingest.hpp"
+#include "util/io.hpp"
+
+namespace trico::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string key_name(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
+std::string temp_name(const std::string& final_path) {
+  // pid disambiguates across processes sharing one store root, the counter
+  // across threads publishing the same key inside one process.
+  static std::atomic<std::uint64_t> seq{0};
+  return final_path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+}
+
+/// rename + best-effort directory fsync, so the new name itself is durable.
+bool rename_into_place(const std::string& from, const std::string& to,
+                       const std::string& dir) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return false;
+  const int dfd = util::io::open_retry(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    util::io::close_quiet(dfd);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t edge_list_key(const EdgeList& edges) {
+  // Multi-lane word-folded FNV-1a over the raw slot bytes (Edge is 8 bytes,
+  // so the slot array is word-exact), with the vertex count mixed in last —
+  // the catalog's content hash, so catalog slots and on-disk artifacts
+  // share an address. Keying a multi-GB graph must not dominate the warm
+  // restart the store exists to accelerate; the byte-wise fold it replaces
+  // was ~20x slower than the artifact open it gated.
+  const auto slots = edges.edges();
+  std::uint64_t h = fnv1a_words(slots.data(), slots.size_bytes());
+  h ^= static_cast<std::uint64_t>(edges.num_vertices());
+  h *= kFnvPrime;
+  return h;
+}
+
+ArtifactStore::ArtifactStore(StoreOptions options)
+    : options_(std::move(options)) {
+  stats_.enabled = enabled();
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(options_.root, ec);
+  // Sweep temp files from crashed publishers: they were never visible to
+  // readers, and any live publisher in this process will use fresh names.
+  for (fs::directory_iterator it(options_.root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      std::error_code rm_ec;
+      fs::remove(it->path(), rm_ec);
+    }
+  }
+}
+
+std::string ArtifactStore::prepared_path(std::uint64_t key) const {
+  return options_.root + "/" + key_name(key) + ".tpg";
+}
+
+std::string ArtifactStore::edges_path(std::uint64_t key) const {
+  return options_.root + "/" + key_name(key) + ".trico";
+}
+
+void ArtifactStore::quarantine(const std::string& path) const {
+  // Move the bad file aside (keeping it for post-mortem) so the next
+  // publish of this key starts clean and the next find doesn't re-open it.
+  std::error_code ec;
+  fs::rename(path, path + ".corrupt", ec);
+  if (ec) fs::remove(path, ec);
+}
+
+std::shared_ptr<const MappedPreparedGraph> ArtifactStore::find(
+    std::uint64_t key) {
+  if (!enabled()) return nullptr;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = residents_.find(key);
+    if (it == residents_.end()) break;
+    if (it->second.opening) {
+      // Another thread is opening this artifact: wait for its verdict
+      // rather than double-mapping and double-verifying (stampede guard).
+      open_cv_.wait(lock);
+      continue;
+    }
+    ++stats_.hits;
+    it->second.tick = ++tick_;
+    return it->second.mapped;
+  }
+  residents_[key] = Resident{nullptr, ++tick_, true};
+  lock.unlock();
+
+  std::shared_ptr<const MappedPreparedGraph> mapped;
+  StoreErrorKind failure = StoreErrorKind::kNotFound;
+  const std::string path = prepared_path(key);
+  try {
+    OpenOptions open_options;
+    open_options.verify_checksum = options_.verify_checksums;
+    open_options.expected_key = key;
+    mapped = open_prepared_artifact(path, open_options);
+    if (options_.prefault) mapped->advise_will_need();
+  } catch (const StoreError& e) {
+    failure = e.kind();
+    if (failure != StoreErrorKind::kNotFound) quarantine(path);
+  }
+
+  lock.lock();
+  residents_.erase(key);
+  if (mapped != nullptr) {
+    ++stats_.hits;
+    insert_resident_locked(key, mapped);
+  } else if (failure == StoreErrorKind::kNotFound) {
+    ++stats_.misses;
+  } else {
+    ++stats_.corrupt_rejects;
+    ++stats_.misses;
+  }
+  open_cv_.notify_all();
+  return mapped;
+}
+
+std::shared_ptr<const MappedPreparedGraph> ArtifactStore::publish(
+    std::uint64_t key, const cpu::PreparedGraph& prepared,
+    const GraphStats& stats) {
+  if (!enabled()) return nullptr;
+  const std::string final_path = prepared_path(key);
+  const std::string tmp_path = temp_name(final_path);
+  try {
+    write_prepared_artifact(tmp_path, key, prepared, stats);
+  } catch (const StoreError&) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    const std::lock_guard lock(mutex_);
+    ++stats_.publish_failures;
+    return nullptr;
+  }
+  if (!rename_into_place(tmp_path, final_path, options_.root)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    const std::lock_guard lock(mutex_);
+    ++stats_.publish_failures;
+    return nullptr;
+  }
+  std::shared_ptr<const MappedPreparedGraph> mapped;
+  try {
+    // Read back through the normal open path: verifies the round trip and
+    // seeds the resident LRU so the next find is a RAM hit.
+    OpenOptions open_options;
+    open_options.verify_checksum = options_.verify_checksums;
+    open_options.expected_key = key;
+    mapped = open_prepared_artifact(final_path, open_options);
+  } catch (const StoreError&) {
+    quarantine(final_path);
+    const std::lock_guard lock(mutex_);
+    ++stats_.publish_failures;
+    return nullptr;
+  }
+  const std::lock_guard lock(mutex_);
+  ++stats_.publishes;
+  auto it = residents_.find(key);
+  if (it == residents_.end() || !it->second.opening) {
+    // Replace any stale resident (concurrent publishers: last wins; the
+    // content under one key is identical by construction). Never clobber an
+    // in-flight opening slot — its owner will erase it.
+    if (it != residents_.end()) {
+      stats_.bytes_mapped -= it->second.mapped->mapped_bytes();
+      --stats_.mapped_artifacts;
+      residents_.erase(it);
+    }
+    insert_resident_locked(key, mapped);
+  }
+  return mapped;
+}
+
+void ArtifactStore::insert_resident_locked(
+    std::uint64_t key, std::shared_ptr<const MappedPreparedGraph> mapped) {
+  stats_.bytes_mapped += mapped->mapped_bytes();
+  ++stats_.mapped_artifacts;
+  residents_[key] = Resident{std::move(mapped), ++tick_, false};
+  evict_to_budget_locked();
+}
+
+void ArtifactStore::evict_to_budget_locked() {
+  while (stats_.bytes_mapped > options_.mapped_byte_budget) {
+    auto victim = residents_.end();
+    for (auto it = residents_.begin(); it != residents_.end(); ++it) {
+      if (it->second.opening || it->second.mapped == nullptr) continue;
+      // use_count > 1 means a counting run (or the catalog) still holds the
+      // mapping — skip it; the shared_ptr keeps it valid regardless.
+      if (it->second.mapped.use_count() > 1) continue;
+      if (victim == residents_.end() || it->second.tick < victim->second.tick) {
+        victim = it;
+      }
+    }
+    if (victim == residents_.end()) return;  // everything pinned
+    victim->second.mapped->advise_dont_need();
+    stats_.bytes_mapped -= victim->second.mapped->mapped_bytes();
+    --stats_.mapped_artifacts;
+    ++stats_.evictions;
+    residents_.erase(victim);
+  }
+}
+
+bool ArtifactStore::publish_edges(std::uint64_t key, const EdgeList& edges) {
+  if (!enabled()) return false;
+  const std::string final_path = edges_path(key);
+  const std::string tmp_path = temp_name(final_path);
+  try {
+    io::write_binary_file(tmp_path, edges);
+  } catch (const io::IoError&) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    const std::lock_guard lock(mutex_);
+    ++stats_.publish_failures;
+    return false;
+  }
+  // write_binary_file goes through an ofstream; re-open to fsync the bytes
+  // before the rename makes them reachable.
+  const int fd = util::io::open_retry(tmp_path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    util::io::close_quiet(fd);
+  }
+  if (!rename_into_place(tmp_path, final_path, options_.root)) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    const std::lock_guard lock(mutex_);
+    ++stats_.publish_failures;
+    return false;
+  }
+  const std::lock_guard lock(mutex_);
+  ++stats_.edge_publishes;
+  return true;
+}
+
+std::optional<EdgeList> ArtifactStore::load_edges(std::uint64_t key,
+                                                  prim::ThreadPool& pool) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = edges_path(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    const std::lock_guard lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    EdgeList edges = read_edges_parallel(path, pool);
+    const std::lock_guard lock(mutex_);
+    ++stats_.edge_hits;
+    return edges;
+  } catch (const io::IoError&) {
+    quarantine(path);
+    const std::lock_guard lock(mutex_);
+    ++stats_.corrupt_rejects;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+StoreStats ArtifactStore::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace trico::store

@@ -1,0 +1,142 @@
+// The content-addressed artifact store: directory layout, atomic publish,
+// and an LRU over mapped bytes.
+//
+// Layout under `root`:
+//   <key:016x>.tpg     mmap-backed PreparedGraph artifact (artifact.hpp)
+//   <key:016x>.trico   raw binary edge list (the out-of-core spill tier)
+//   *.tmp.<pid>        in-flight writes; never opened by readers, swept on
+//                      store construction
+//
+// Publish protocol: write + fsync to a temp name in the same directory,
+// then rename(2) into place. Readers open only final names, and rename is
+// atomic on POSIX, so a reader observes either the complete old artifact,
+// the complete new one, or nothing — a crash mid-publish leaves at most a
+// swept-up temp file (tests/store_test.cpp kills a publisher process in a
+// loop to enforce exactly this).
+//
+// find() keeps opened artifacts resident in a keyed LRU; the budget bounds
+// *mapped* bytes, and eviction drops an artifact's pages via
+// madvise(MADV_DONTNEED) before unmapping. Handles are shared_ptr, so an
+// artifact evicted mid-count stays valid until its last reader drops it.
+// Concurrent find()s of the same key collapse onto one open (the catalog's
+// stampede pattern), and a corrupt artifact is quarantined (renamed to
+// `<name>.corrupt`) and reported as a miss so the caller rebuilds and
+// republishes cleanly.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "graph/edge_list.hpp"
+#include "prim/thread_pool.hpp"
+#include "store/artifact.hpp"
+
+namespace trico::store {
+
+struct StoreOptions {
+  /// Artifact directory; empty disables the store entirely (every find
+  /// misses, every publish no-ops). Created on construction if absent.
+  std::string root;
+
+  /// LRU budget over mapped artifact bytes. Note these are page-cache
+  /// bytes, not heap: an artifact over budget still opens and serves, the
+  /// store just won't keep it resident afterwards.
+  std::uint64_t mapped_byte_budget = std::uint64_t{4} << 30;  // 4 GiB
+
+  /// Verify payload checksums on open (see OpenOptions::verify_checksum).
+  bool verify_checksums = true;
+
+  /// madvise(MADV_WILLNEED) each artifact as it is opened, so the kernel
+  /// prefetches it ahead of the first counting run.
+  bool prefault = false;
+};
+
+/// Monotonic counters + gauges, attached to CatalogStats/MetricsSnapshot so
+/// warm-restart behavior is observable from the CLI metrics printout.
+struct StoreStats {
+  bool enabled = false;
+  std::uint64_t hits = 0;             ///< finds served from disk or residents
+  std::uint64_t misses = 0;           ///< no artifact for the key
+  std::uint64_t publishes = 0;
+  std::uint64_t publish_failures = 0; ///< failed writes (store stays usable)
+  std::uint64_t corrupt_rejects = 0;  ///< artifacts quarantined on open
+  std::uint64_t evictions = 0;        ///< LRU unmaps
+  std::uint64_t edge_hits = 0;        ///< spill-tier edge-list loads
+  std::uint64_t edge_publishes = 0;   ///< spill-tier edge-list writes
+  std::uint64_t mapped_artifacts = 0; ///< gauge: resident mappings
+  std::uint64_t bytes_mapped = 0;     ///< gauge: resident mapped bytes
+};
+
+/// FNV-1a content key of an edge list (vertex count + raw slot bytes) —
+/// the same key the service catalog addresses its RAM slots with, so a
+/// catalog entry and its on-disk artifact share an address.
+[[nodiscard]] std::uint64_t edge_list_key(const EdgeList& edges);
+
+class ArtifactStore {
+ public:
+  /// A disabled store (no root): every operation is a cheap no-op.
+  ArtifactStore() = default;
+  explicit ArtifactStore(StoreOptions options);
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !options_.root.empty(); }
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
+
+  /// Looks up the PreparedGraph artifact for `key`: resident map first,
+  /// then disk. Returns nullptr on miss (including quarantined corruption —
+  /// the caller rebuilds). Never throws for artifact-level problems.
+  [[nodiscard]] std::shared_ptr<const MappedPreparedGraph> find(
+      std::uint64_t key);
+
+  /// Serializes `prepared` under `key` (temp + fsync + rename), then opens
+  /// the published artifact, inserts it into the resident LRU, and returns
+  /// it — so the very bytes just written are verified readable. Returns
+  /// nullptr on failure (counted; the owned build keeps serving).
+  std::shared_ptr<const MappedPreparedGraph> publish(
+      std::uint64_t key, const cpu::PreparedGraph& prepared,
+      const GraphStats& stats);
+
+  /// Spill tier: persists a raw edge list under `key` as a binary `.trico`
+  /// artifact (same temp + rename protocol). Returns false on failure.
+  bool publish_edges(std::uint64_t key, const EdgeList& edges);
+
+  /// Spill tier lookup: loads the edge-list artifact via parallel chunked
+  /// ingest. nullopt on miss or corruption (corrupt files quarantined).
+  [[nodiscard]] std::optional<EdgeList> load_edges(std::uint64_t key,
+                                                   prim::ThreadPool& pool);
+
+  [[nodiscard]] StoreStats stats() const;
+
+  [[nodiscard]] std::string prepared_path(std::uint64_t key) const;
+  [[nodiscard]] std::string edges_path(std::uint64_t key) const;
+
+ private:
+  struct Resident {
+    std::shared_ptr<const MappedPreparedGraph> mapped;  ///< null while opening
+    std::uint64_t tick = 0;
+    bool opening = false;
+  };
+
+  /// Inserts an opened artifact and evicts LRU residents past the budget.
+  void insert_resident_locked(std::uint64_t key,
+                              std::shared_ptr<const MappedPreparedGraph> mapped);
+  void evict_to_budget_locked();
+  void quarantine(const std::string& path) const;
+
+  StoreOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable open_cv_;
+  std::unordered_map<std::uint64_t, Resident> residents_;
+  std::uint64_t tick_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace trico::store

@@ -53,6 +53,28 @@ IoResult read_full(int fd, void* buf, std::size_t n) noexcept {
   return result;
 }
 
+IoResult pread_full(int fd, void* buf, std::size_t n, off_t offset) noexcept {
+  IoResult result;
+  char* cursor = static_cast<char*>(buf);
+  while (result.bytes < n) {
+    const ssize_t got = ::pread(fd, cursor + result.bytes, n - result.bytes,
+                                offset + static_cast<off_t>(result.bytes));
+    if (got > 0) {
+      result.bytes += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      result.status = IoStatus::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    result.status = IoStatus::kError;
+    result.error = errno;
+    return result;
+  }
+  return result;
+}
+
 IoResult write_full(int fd, const void* buf, std::size_t n) noexcept {
   IoResult result;
   const char* cursor = static_cast<const char*>(buf);

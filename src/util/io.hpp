@@ -52,6 +52,13 @@ int close_quiet(int fd) noexcept;
 /// reads. kEof reports a clean close with `bytes` < n already transferred.
 [[nodiscard]] IoResult read_full(int fd, void* buf, std::size_t n) noexcept;
 
+/// pread(2) analogue of read_full: reads exactly `n` bytes at absolute
+/// `offset` without moving the fd's file position, retrying EINTR and
+/// looping short reads — the primitive under the store's parallel chunked
+/// ingest, where many workers read disjoint ranges of one shared fd.
+[[nodiscard]] IoResult pread_full(int fd, void* buf, std::size_t n,
+                                  off_t offset) noexcept;
+
 /// Writes exactly `n` bytes from `buf`, retrying EINTR and looping short
 /// writes. A peer that disappears mid-write reports kError (EPIPE /
 /// ECONNRESET); there is no clean-EOF case for writes.

@@ -1,0 +1,759 @@
+// Zero-copy persistent graph store (src/store/, docs/storage.md).
+//
+// The two properties everything here defends:
+//   1. Bit-identical serving: counts AND CountingStats over an mmapped
+//      artifact equal the owned PreparedGraph's, at every ISA level and
+//      thread count.
+//   2. Typed failure: a corrupt, truncated, stale or torn artifact is a
+//      diagnosable StoreError (and, through the store, a clean miss) —
+//      never a wrong count, never a crash.
+//
+// Suite names carry Store/Mmap so the CI TSan job's regex picks them up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cpu/counting.hpp"
+#include "cpu/hybrid_engine.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "outofcore/counter.hpp"
+#include "prim/thread_pool.hpp"
+#include "service/catalog.hpp"
+#include "simt/device_config.hpp"
+#include "store/artifact.hpp"
+#include "store/format.hpp"
+#include "store/ingest.hpp"
+#include "store/store.hpp"
+
+namespace trico {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The fork/SIGKILL test cannot run under TSan (the runtime does not
+/// survive fork-without-exec).
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+/// Per-test scratch directory under the build tree (never /tmp: the repo's
+/// tests stay inside the checkout).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("store_test_scratch_" + name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+EdgeList test_graph(unsigned scale = 9, std::uint64_t seed = 7) {
+  gen::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 8;
+  return gen::rmat(params, seed);
+}
+
+/// Flips one byte of a file in place.
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+void patch_u32(const std::string& path, std::uint64_t offset,
+               std::uint32_t value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << path;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+store::StoreErrorKind open_kind(const std::string& path) {
+  try {
+    (void)store::open_prepared_artifact(path);
+  } catch (const store::StoreError& error) {
+    return error.kind();
+  }
+  ADD_FAILURE() << path << ": open unexpectedly succeeded";
+  return store::StoreErrorKind::kIo;
+}
+
+// -- artifact format: round trip + corruption matrix -----------------------
+
+TEST(MmapArtifactTest, RoundTripServesIdenticalView) {
+  ScratchDir dir("roundtrip");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const GraphStats stats = compute_stats(graph);
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+  const std::string path = dir.file("g.tpg");
+  const std::uint64_t size =
+      store::write_prepared_artifact(path, 42, prepared, stats);
+  EXPECT_EQ(size, fs::file_size(path));
+
+  const auto mapped = store::open_prepared_artifact(path);
+  EXPECT_EQ(mapped->content_key(), 42u);
+  EXPECT_EQ(mapped->mapped_bytes(), size);
+  const GraphStats& restored = mapped->graph_stats();
+  EXPECT_EQ(restored.num_vertices, stats.num_vertices);
+  EXPECT_EQ(restored.num_edges, stats.num_edges);
+  EXPECT_EQ(restored.max_degree, stats.max_degree);
+  EXPECT_DOUBLE_EQ(restored.avg_degree, stats.avg_degree);
+
+  const cpu::PreparedGraphView owned = prepared.view();
+  const cpu::PreparedGraphView& disk = mapped->view();
+  ASSERT_EQ(disk.offsets.size(), owned.offsets.size());
+  EXPECT_TRUE(std::equal(disk.offsets.begin(), disk.offsets.end(),
+                         owned.offsets.begin()));
+  ASSERT_EQ(disk.neighbors.size(), owned.neighbors.size());
+  EXPECT_TRUE(std::equal(disk.neighbors.begin(), disk.neighbors.end(),
+                         owned.neighbors.begin()));
+  ASSERT_EQ(disk.bitmap_words.size(), owned.bitmap_words.size());
+  EXPECT_TRUE(std::equal(disk.bitmap_words.begin(), disk.bitmap_words.end(),
+                         owned.bitmap_words.begin()));
+}
+
+TEST(MmapArtifactTest, MissingFileIsNotFound) {
+  ScratchDir dir("missing");
+  EXPECT_EQ(open_kind(dir.file("absent.tpg")),
+            store::StoreErrorKind::kNotFound);
+}
+
+TEST(MmapArtifactTest, CorruptionMatrixYieldsTypedErrors) {
+  ScratchDir dir("corrupt");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+  const std::string golden = dir.file("golden.tpg");
+  store::write_prepared_artifact(golden, 1, prepared, compute_stats(graph));
+  const std::uint64_t size = fs::file_size(golden);
+
+  const auto fresh = [&](const std::string& name) {
+    const std::string path = dir.file(name);
+    fs::copy_file(golden, path, fs::copy_options::overwrite_existing);
+    return path;
+  };
+
+  {  // wrong magic
+    const std::string path = fresh("magic.tpg");
+    flip_byte(path, 0);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kMagic);
+  }
+  {  // stale format version (header checksum patched to stay valid is not
+     // attempted — version is checked before the checksum would reject it)
+    const std::string path = fresh("version.tpg");
+    patch_u32(path, 8, store::kArtifactVersion + 1);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kVersion);
+  }
+  {  // foreign endianness
+    const std::string path = fresh("endian.tpg");
+    patch_u32(path, 12, 0x04030201u);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kVersion);
+  }
+  {  // flipped byte inside the header (after the tags it guards): the
+     // header self-checksum rejects before the counts drive any layout math
+    const std::string path = fresh("header.tpg");
+    flip_byte(path, 40);  // num_offsets field
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kChecksum);
+  }
+  {  // flipped byte in the payload: caught by the payload checksum
+    const std::string path = fresh("payload.tpg");
+    flip_byte(path, sizeof(store::ArtifactHeader) + 1000);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kChecksum);
+  }
+  {  // truncated mid-payload
+    const std::string path = fresh("trunc.tpg");
+    fs::resize_file(path, size / 2);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kTruncated);
+  }
+  {  // truncated inside the header
+    const std::string path = fresh("stub.tpg");
+    fs::resize_file(path, 100);
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kTruncated);
+  }
+  {  // trailing garbage: size no longer matches the declared layout
+    const std::string path = fresh("tail.tpg");
+    std::ofstream(path, std::ios::app | std::ios::binary) << "xxxxxxxx";
+    EXPECT_EQ(open_kind(path), store::StoreErrorKind::kCorrupt);
+  }
+  {  // a different graph under the expected key (renamed/rewired file)
+    const std::string path = fresh("rewired.tpg");
+    store::OpenOptions options;
+    options.expected_key = 999;
+    EXPECT_THROW(
+        {
+          try {
+            (void)store::open_prepared_artifact(path, options);
+          } catch (const store::StoreError& error) {
+            EXPECT_EQ(error.kind(), store::StoreErrorKind::kCorrupt);
+            throw;
+          }
+        },
+        store::StoreError);
+  }
+  // The golden copy still opens after all of the above.
+  EXPECT_NO_THROW((void)store::open_prepared_artifact(golden));
+}
+
+// -- bit-identical counting over owned vs mapped views ---------------------
+
+TEST(MmapParityTest, CountsAndStatsIdenticalAcrossIsaAndThreads) {
+  ScratchDir dir("parity");
+  const EdgeList graph = test_graph(10);
+  const TriangleCount expected = cpu::count_forward(graph);
+
+  const cpu::simd::IsaRequest requests[] = {
+      cpu::simd::IsaRequest::kScalar, cpu::simd::IsaRequest::kSse42,
+      cpu::simd::IsaRequest::kAvx2, cpu::simd::IsaRequest::kAuto};
+  for (const auto isa : requests) {
+    cpu::EngineOptions options;
+    options.isa = isa;
+    prim::ThreadPool build_pool(2);
+    const cpu::PreparedGraph prepared = cpu::prepare(graph, build_pool, options);
+    const std::string path =
+        dir.file("isa" + std::to_string(static_cast<int>(isa)) + ".tpg");
+    store::write_prepared_artifact(path, 1, prepared, compute_stats(graph));
+    const auto mapped = store::open_prepared_artifact(path);
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      prim::ThreadPool pool(threads);
+      cpu::CountingStats owned_stats, mapped_stats;
+      const TriangleCount owned_count =
+          cpu::count_prepared(prepared, pool, &owned_stats);
+      const TriangleCount mapped_count =
+          cpu::count_prepared(mapped->view(), pool, &mapped_stats);
+      EXPECT_EQ(owned_count, expected)
+          << "isa=" << static_cast<int>(isa) << " threads=" << threads;
+      EXPECT_EQ(mapped_count, owned_count)
+          << "isa=" << static_cast<int>(isa) << " threads=" << threads;
+      EXPECT_EQ(mapped_stats.merge_edges, owned_stats.merge_edges);
+      EXPECT_EQ(mapped_stats.gallop_edges, owned_stats.gallop_edges);
+      EXPECT_EQ(mapped_stats.bitmap_edges, owned_stats.bitmap_edges);
+      EXPECT_EQ(mapped_stats.isa, owned_stats.isa);
+    }
+  }
+}
+
+TEST(MmapParityTest, EmptyAndBitmaplessGraphsRoundTrip) {
+  ScratchDir dir("shapes");
+  prim::ThreadPool pool(2);
+  // No-bitmap configuration (threshold 0 disables rows) and a triangle-free
+  // shape: exercises the all-sections-optional side of the layout.
+  cpu::EngineOptions options;
+  options.bitmap_threshold = 0;
+  options.relabel_by_degree = false;
+  std::vector<Edge> pairs;
+  for (VertexId v = 0; v < 63; ++v) pairs.push_back(Edge{v, v + 1});
+  const EdgeList path_graph = EdgeList::from_undirected_pairs(pairs, 64);
+  const cpu::PreparedGraph prepared = cpu::prepare(path_graph, pool, options);
+  const std::string file = dir.file("path.tpg");
+  store::write_prepared_artifact(file, 5, prepared, compute_stats(path_graph));
+  const auto mapped = store::open_prepared_artifact(file);
+  EXPECT_EQ(cpu::count_prepared(mapped->view(), pool), 0u);
+  EXPECT_EQ(cpu::count_prepared(mapped->view(), pool),
+            cpu::count_prepared(prepared, pool));
+}
+
+// -- parallel chunked ingest ------------------------------------------------
+
+TEST(StoreIngestTest, ParallelReadMatchesSerialLoader) {
+  ScratchDir dir("ingest");
+  const EdgeList graph = test_graph(10);
+  const std::string path = dir.file("g.trico");
+  io::write_binary_file(path, graph);
+  const EdgeList serial = io::read_binary_file(path);
+
+  for (const std::size_t chunk : {64u, 4096u, 1u << 20}) {
+    prim::ThreadPool pool(4);
+    store::IngestOptions options;
+    options.chunk_bytes = chunk;
+    const EdgeList parallel = store::read_edges_parallel(path, pool, options);
+    ASSERT_EQ(parallel.num_vertices(), serial.num_vertices())
+        << "chunk=" << chunk;
+    ASSERT_EQ(parallel.num_edge_slots(), serial.num_edge_slots());
+    EXPECT_TRUE(std::equal(parallel.edges().begin(), parallel.edges().end(),
+                           serial.edges().begin(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }))
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(StoreIngestTest, DirectIoFallsBackAndMatches) {
+  ScratchDir dir("direct");
+  const EdgeList graph = test_graph();
+  const std::string path = dir.file("g.trico");
+  io::write_binary_file(path, graph);
+  prim::ThreadPool pool(2);
+  store::IngestOptions options;
+  options.direct_io = true;  // tmpfs/overlayfs may reject O_DIRECT: must
+  options.chunk_bytes = 1 << 16;  // transparently fall back, same bytes
+  const EdgeList loaded = store::read_edges_parallel(path, pool, options);
+  EXPECT_EQ(loaded.num_edge_slots(), graph.num_edge_slots());
+  EXPECT_TRUE(std::equal(loaded.edges().begin(), loaded.edges().end(),
+                         graph.edges().begin(),
+                         [](const Edge& a, const Edge& b) {
+                           return a.u == b.u && a.v == b.v;
+                         }));
+}
+
+TEST(StoreIngestTest, RejectsOutOfRangeVertexIds) {
+  ScratchDir dir("badid");
+  const EdgeList graph = test_graph();
+  const std::string path = dir.file("g.trico");
+  io::write_binary_file(path, graph);
+  // Corrupt one vertex id past the header's declared count.
+  patch_u32(path, io::kBinaryHeaderBytes + 16, 0x7fffffffu);
+  prim::ThreadPool pool(2);
+  EXPECT_THROW((void)store::read_edges_parallel(path, pool), io::IoError);
+  // The serial loader trusts the payload; the parallel one validates.
+  store::IngestOptions trusting;
+  trusting.validate = false;
+  EXPECT_NO_THROW((void)store::read_edges_parallel(path, pool, trusting));
+}
+
+TEST(StoreIngestTest, RejectsTruncatedFiles) {
+  ScratchDir dir("trunc");
+  const EdgeList graph = test_graph();
+  const std::string path = dir.file("g.trico");
+  io::write_binary_file(path, graph);
+  fs::resize_file(path, fs::file_size(path) - 4);
+  prim::ThreadPool pool(2);
+  EXPECT_THROW((void)store::read_edges_parallel(path, pool), io::IoError);
+  fs::resize_file(path, 10);  // shorter than the header
+  EXPECT_THROW((void)store::read_edges_parallel(path, pool), io::IoError);
+}
+
+// -- the artifact store -----------------------------------------------------
+
+TEST(ArtifactStoreTest, DisabledStoreIsANoOp) {
+  store::ArtifactStore store;
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(store.find(1), nullptr);
+  prim::ThreadPool pool(1);
+  EXPECT_FALSE(store.load_edges(1, pool).has_value());
+  EXPECT_FALSE(store.stats().enabled);
+}
+
+TEST(ArtifactStoreTest, PublishThenFindRoundTrips) {
+  ScratchDir dir("pubfind");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = store::edge_list_key(graph);
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+
+  store::StoreOptions options;
+  options.root = dir.path();
+  store::ArtifactStore store(options);
+  EXPECT_EQ(store.find(key), nullptr);  // miss before publish
+
+  const auto published = store.publish(key, prepared, compute_stats(graph));
+  ASSERT_NE(published, nullptr);
+  const auto found = store.find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->content_key(), key);
+  EXPECT_EQ(cpu::count_prepared(found->view(), pool),
+            cpu::count_prepared(prepared, pool));
+
+  const store::StoreStats stats = store.stats();
+  EXPECT_EQ(stats.publishes, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.mapped_artifacts, 1u);
+  EXPECT_GT(stats.bytes_mapped, 0u);
+
+  // A second store over the same root — the restarted process — serves the
+  // artifact from disk.
+  store::ArtifactStore restarted(options);
+  const auto warm = restarted.find(key);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(cpu::count_prepared(warm->view(), pool),
+            cpu::count_prepared(prepared, pool));
+}
+
+TEST(ArtifactStoreTest, CorruptArtifactIsQuarantinedAsMiss) {
+  ScratchDir dir("quarantine");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = store::edge_list_key(graph);
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+
+  store::StoreOptions options;
+  options.root = dir.path();
+  {
+    store::ArtifactStore store(options);
+    ASSERT_NE(store.publish(key, prepared, compute_stats(graph)), nullptr);
+  }
+  // Flip a payload byte on disk; the restarted store must reject, never
+  // serve a wrong count.
+  store::ArtifactStore store(options);
+  flip_byte(store.prepared_path(key), sizeof(store::ArtifactHeader) + 64);
+  EXPECT_EQ(store.find(key), nullptr);
+  EXPECT_EQ(store.stats().corrupt_rejects, 1u);
+  // The bad file was moved aside: the next find is a clean miss, and a
+  // re-publish recovers.
+  EXPECT_FALSE(fs::exists(store.prepared_path(key)));
+  EXPECT_EQ(store.find(key), nullptr);
+  ASSERT_NE(store.publish(key, prepared, compute_stats(graph)), nullptr);
+  EXPECT_NE(store.find(key), nullptr);
+}
+
+TEST(ArtifactStoreTest, LruEvictsUnpinnedMappingsToBudget) {
+  ScratchDir dir("lru");
+  prim::ThreadPool pool(2);
+  store::StoreOptions options;
+  options.root = dir.path();
+  options.mapped_byte_budget = 1;  // evict everything not pinned
+  store::ArtifactStore store(options);
+
+  const EdgeList a = test_graph(9, 1), b = test_graph(9, 2);
+  const std::uint64_t key_a = store::edge_list_key(a);
+  const std::uint64_t key_b = store::edge_list_key(b);
+  {
+    // Publish returns a pin; release it so the LRU may evict `a` when the
+    // next publish overflows the (1-byte) budget.
+    auto pin_a = store.publish(key_a, cpu::prepare(a, pool), compute_stats(a));
+    ASSERT_NE(pin_a, nullptr);
+  }
+  const auto pin_b =
+      store.publish(key_b, cpu::prepare(b, pool), compute_stats(b));
+  ASSERT_NE(pin_b, nullptr);
+  EXPECT_GT(store.stats().evictions, 0u);
+  // `b` itself is over budget but pinned — eviction must not touch it.
+  EXPECT_EQ(store.stats().mapped_artifacts, 1u);
+  // The evicted mapping reloads from disk on demand.
+  const auto back = store.find(key_a);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->content_key(), key_a);
+}
+
+TEST(ArtifactStoreTest, PinnedMappingSurvivesEviction) {
+  ScratchDir dir("pinned");
+  prim::ThreadPool pool(2);
+  store::StoreOptions options;
+  options.root = dir.path();
+  options.mapped_byte_budget = 1;
+  store::ArtifactStore store(options);
+
+  const EdgeList a = test_graph(9, 1);
+  const std::uint64_t key = store::edge_list_key(a);
+  const cpu::PreparedGraph prepared = cpu::prepare(a, pool);
+  const auto pinned = store.publish(key, prepared, compute_stats(a));
+  ASSERT_NE(pinned, nullptr);
+  // Publishing another artifact triggers eviction pressure, but the pinned
+  // mapping must stay valid (shared_ptr holds it).
+  const EdgeList b = test_graph(9, 2);
+  {
+    auto other = store.publish(store::edge_list_key(b), cpu::prepare(b, pool),
+                               compute_stats(b));
+  }
+  EXPECT_EQ(cpu::count_prepared(pinned->view(), pool),
+            cpu::count_prepared(prepared, pool));
+}
+
+TEST(ArtifactStoreTest, ConcurrentOpenWhilePublishNeverServesTornState) {
+  ScratchDir dir("race");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = store::edge_list_key(graph);
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+  const GraphStats stats = compute_stats(graph);
+  const TriangleCount expected = cpu::count_prepared(prepared, pool);
+
+  store::StoreOptions options;
+  options.root = dir.path();
+  store::ArtifactStore store(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      prim::ThreadPool reader_pool(1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto mapped = store.find(key);
+        if (mapped == nullptr) continue;
+        ASSERT_EQ(cpu::count_prepared(mapped->view(), reader_pool), expected);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_NE(store.publish(key, prepared, stats), nullptr);
+  }
+  // Let the readers observe the final published state at least once.
+  while (served.load(std::memory_order_relaxed) < 3) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(served.load(), 0u);
+}
+
+TEST(ArtifactStoreTest, KilledPublisherNeverLeavesTornArtifact) {
+  if (kTsan) GTEST_SKIP() << "fork without exec is unsupported under TSan";
+  ScratchDir dir("killpub");
+  prim::ThreadPool pool(2);
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = store::edge_list_key(graph);
+  const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+  const TriangleCount expected = cpu::count_prepared(prepared, pool);
+
+  // Pre-serialize in the parent; the child only replays raw write+rename so
+  // it never touches threads, pools, or the allocator in anger.
+  const std::string golden = dir.file("golden.bin");
+  store::write_prepared_artifact(golden, key, prepared, compute_stats(graph));
+  std::vector<char> bytes(fs::file_size(golden));
+  {
+    std::ifstream in(golden, std::ios::binary);
+    ASSERT_TRUE(in.read(bytes.data(), static_cast<std::streamoff>(bytes.size())));
+  }
+  fs::remove(golden);
+
+  store::StoreOptions options;
+  options.root = dir.path();
+  const std::string final_path =
+      store::ArtifactStore(options).prepared_path(key);
+
+  for (int round = 0; round < 5; ++round) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: publish in a loop — chunked writes to a temp name, then
+      // atomic rename — until SIGKILLed mid-flight.
+      for (unsigned iter = 0;; ++iter) {
+        const std::string tmp = final_path + ".tmp." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(iter);
+        const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd < 0) ::_exit(1);
+        std::size_t done = 0;
+        while (done < bytes.size()) {
+          const std::size_t take = std::min<std::size_t>(4096, bytes.size() - done);
+          if (::write(fd, bytes.data() + done, take) < 0) ::_exit(1);
+          done += take;
+        }
+        ::close(fd);
+        if (::rename(tmp.c_str(), final_path.c_str()) != 0) ::_exit(1);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round * 2));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+    // Restarted process: sweeps temp litter, then either misses cleanly or
+    // serves a fully valid artifact — never a torn one.
+    store::ArtifactStore restarted(options);
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+      EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+                std::string::npos)
+          << "temp litter survived the sweep: " << entry.path();
+    }
+    const auto mapped = restarted.find(key);
+    if (mapped != nullptr) {
+      EXPECT_EQ(cpu::count_prepared(mapped->view(), pool), expected)
+          << "round " << round;
+    }
+    EXPECT_EQ(restarted.stats().corrupt_rejects, 0u) << "round " << round;
+    fs::remove(final_path);  // next round starts from a miss
+  }
+}
+
+TEST(ArtifactStoreTest, EdgeSpillRoundTrips) {
+  ScratchDir dir("spill");
+  prim::ThreadPool pool(2);
+  store::StoreOptions options;
+  options.root = dir.path();
+  store::ArtifactStore store(options);
+
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = 0xabcdef;
+  EXPECT_FALSE(store.load_edges(key, pool).has_value());
+  ASSERT_TRUE(store.publish_edges(key, graph));
+  const auto loaded = store.load_edges(key, pool);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), graph.num_vertices());
+  ASSERT_EQ(loaded->num_edge_slots(), graph.num_edge_slots());
+  EXPECT_TRUE(std::equal(loaded->edges().begin(), loaded->edges().end(),
+                         graph.edges().begin(),
+                         [](const Edge& a, const Edge& b) {
+                           return a.u == b.u && a.v == b.v;
+                         }));
+  EXPECT_EQ(store.stats().edge_publishes, 1u);
+  EXPECT_EQ(store.stats().edge_hits, 1u);
+}
+
+// -- catalog integration: warm restart --------------------------------------
+
+TEST(StoreCatalogTest, WarmRestartSkipsPreprocessing) {
+  ScratchDir dir("restart");
+  prim::ThreadPool pool(2);
+  const auto graph = std::make_shared<const EdgeList>(test_graph());
+
+  service::CatalogOptions options;
+  options.store.root = dir.path();
+
+  TriangleCount cold_count = 0;
+  {
+    service::GraphCatalog cold(options);
+    const auto acquired = cold.acquire(graph, pool);
+    EXPECT_FALSE(acquired.entry->from_store);
+    EXPECT_EQ(cold.stats().builds, 1u);
+    EXPECT_EQ(cold.stats().store.publishes, 1u);
+    cold_count = cpu::count_prepared(acquired.entry->prepared_view, pool);
+  }
+
+  // The restarted service: same store root, fresh catalog.
+  service::GraphCatalog warm(options);
+  const auto acquired = warm.acquire(graph, pool);
+  EXPECT_TRUE(acquired.entry->from_store);
+  EXPECT_NE(acquired.entry->mapped, nullptr);
+  const service::CatalogStats stats = warm.stats();
+  EXPECT_EQ(stats.builds, 0u) << "warm restart must not re-preprocess";
+  EXPECT_EQ(stats.store_loads, 1u);
+  EXPECT_EQ(stats.store.hits, 1u);
+  EXPECT_EQ(cpu::count_prepared(acquired.entry->prepared_view, pool),
+            cold_count);
+
+  // A second acquire of the same graph is a plain RAM hit.
+  const auto again = warm.acquire(graph, pool);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(warm.stats().store_loads, 1u);
+}
+
+TEST(StoreCatalogTest, DisabledStoreKeepsColdSemantics) {
+  prim::ThreadPool pool(2);
+  const auto graph = std::make_shared<const EdgeList>(test_graph());
+  service::GraphCatalog catalog;  // no store root
+  const auto acquired = catalog.acquire(graph, pool);
+  EXPECT_FALSE(acquired.entry->from_store);
+  EXPECT_EQ(catalog.stats().builds, 1u);
+  EXPECT_EQ(catalog.stats().store_loads, 0u);
+  EXPECT_FALSE(catalog.stats().store.enabled);
+}
+
+TEST(StoreCatalogTest, OutOfCoreSpillTierReusesSubgraphs) {
+  ScratchDir dir("oospill");
+  store::StoreOptions options;
+  options.root = dir.path();
+  store::ArtifactStore store(options);
+
+  const EdgeList graph = test_graph();
+  const std::uint64_t key = store::edge_list_key(graph);
+  simt::DeviceConfig device = simt::DeviceConfig::gtx_980();
+
+  outofcore::OutOfCoreCounter first(device, 3);
+  first.set_spill(&store, key);
+  const outofcore::OutOfCoreResult cold = first.count(graph);
+  EXPECT_EQ(cold.spill_hits, 0u);
+  EXPECT_GT(cold.spill_stores, 0u);
+
+  outofcore::OutOfCoreCounter second(device, 3);
+  second.set_spill(&store, key);
+  const outofcore::OutOfCoreResult warm = second.count(graph);
+  EXPECT_EQ(warm.triangles, cold.triangles);
+  EXPECT_EQ(warm.spill_hits, cold.spill_stores);
+  EXPECT_EQ(warm.spill_stores, 0u);
+
+  // A different seed keys different tasks — no stale reuse.
+  outofcore::OutOfCoreCounter reseeded(device, 3);
+  reseeded.set_spill(&store, key);
+  const outofcore::OutOfCoreResult other = reseeded.count(graph, 2);
+  EXPECT_EQ(other.spill_hits, 0u);
+  // And without a store attached the counters stay silent.
+  outofcore::OutOfCoreCounter plain(device, 3);
+  const outofcore::OutOfCoreResult bare = plain.count(graph);
+  EXPECT_EQ(bare.triangles, cold.triangles);
+  EXPECT_EQ(bare.spill_hits + bare.spill_stores, 0u);
+}
+
+// -- checksum building blocks ----------------------------------------------
+
+TEST(StoreFormatTest, StreamFoldMatchesFlatFold) {
+  std::vector<std::uint8_t> data(4096 + 64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const std::uint64_t flat = store::fnv1a_words(data.data(), data.size() & ~7ull);
+  // Feed in awkward slices, including sub-word ones.
+  store::ChecksumStream stream;
+  std::size_t fed = 0;
+  const std::size_t total = data.size() & ~7ull;
+  const std::size_t slices[] = {1, 3, 8, 64, 129, 1024};
+  std::size_t s = 0;
+  while (fed < total) {
+    const std::size_t take = std::min(slices[s++ % 6], total - fed);
+    stream.feed(data.data() + fed, take);
+    fed += take;
+  }
+  EXPECT_EQ(stream.finish(), flat);
+
+  // feed_zeros equals feeding literal zero bytes.
+  store::ChecksumStream a, b;
+  a.feed(data.data(), 24);
+  a.feed_zeros(40);
+  const std::vector<std::uint8_t> zeros(40, 0);
+  b.feed(data.data(), 24);
+  b.feed(zeros.data(), zeros.size());
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(StoreFormatTest, FoldDetectsSingleFlippedByte) {
+  std::vector<std::uint8_t> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::uint64_t clean = store::fnv1a_words(data.data(), data.size());
+  for (const std::size_t at : {0u, 7u, 63u, 512u, 1023u}) {
+    data[at] ^= 1;
+    EXPECT_NE(store::fnv1a_words(data.data(), data.size()), clean) << at;
+    data[at] ^= 1;
+  }
+  EXPECT_EQ(store::fnv1a_words(data.data(), data.size()), clean);
+}
+
+}  // namespace
+}  // namespace trico
