@@ -1,0 +1,204 @@
+// Experiment E26 — distributed coordinator scaling: affinity vs scatter.
+//
+// The coordinator's claim is that a pool of supervised worker processes
+// behaves like one service with more capacity. This bench puts numbers on
+// the two plan modes across pool sizes:
+//
+//   affinity   many *distinct* small graphs routed whole by rendezvous
+//              hashing — throughput should scale with workers because
+//              different content keys land on different processes with
+//              their own catalogs and thread pools;
+//   scatter    one large graph sharded across the pool — per-request
+//              latency should drop with workers because every request
+//              fans its row ranges out in parallel.
+//
+// Each (workers, mode) cell reports requests/second and p50/p99 latency
+// over concurrent submitters. Results go to BENCH_cluster.json.
+//
+// Flags:
+//   --requests N   requests per measurement cell (default: 48)
+//   --smoke        CI-sized run: fewer requests, pool sizes {1, 2}
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "gen/generators.hpp"
+#include "report.hpp"
+#include "service/request.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#ifndef TRICO_CLI_PATH
+#error "TRICO_CLI_PATH must be defined by the build (path to trico_cli)"
+#endif
+
+using namespace trico;
+
+namespace {
+
+using GraphPtr = std::shared_ptr<const EdgeList>;
+
+struct Cell {
+  int workers = 0;
+  std::string mode;
+  int requests = 0;
+  double total_ms = 0;
+  double requests_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+Cell measure(cluster::Coordinator& coordinator, int workers,
+             const std::string& mode, const std::vector<GraphPtr>& graphs,
+             int requests, int threads) {
+  Cell cell;
+  cell.workers = workers;
+  cell.mode = mode;
+  cell.requests = requests;
+
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  util::Timer timer;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < threads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = t; i < requests; i += threads) {
+        service::Request request;
+        request.graph = graphs[static_cast<std::size_t>(i) % graphs.size()];
+        request.op = service::Operation::kCount;
+        request.backend = service::Backend::kCpuHybrid;
+        request.tenant_id = "bench-" + std::to_string(t);
+        util::Timer rtt;
+        const service::Response response =
+            coordinator.execute(std::move(request));
+        const double ms = rtt.elapsed_ms();
+        if (response.status != service::Status::kOk) {
+          std::cerr << "bench request failed: " << response.reason << "\n";
+          continue;
+        }
+        std::lock_guard lock(mutex);
+        latencies_ms.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  cell.total_ms = timer.elapsed_ms();
+  cell.requests_per_s =
+      cell.total_ms > 0
+          ? static_cast<double>(latencies_ms.size()) / (cell.total_ms / 1.0e3)
+          : 0;
+  cell.p50_ms = percentile(latencies_ms, 0.50);
+  cell.p99_ms = percentile(latencies_ms, 0.99);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 48;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  std::vector<int> pool_sizes = smoke ? std::vector<int>{1, 2}
+                                      : std::vector<int>{1, 2, 4};
+  if (smoke) requests = std::min(requests, 16);
+
+  // Affinity workload: distinct content keys so rendezvous hashing spreads
+  // the graphs across the pool (one key always lands on one worker); enough
+  // keys that the HRW placement is reasonably even at 4 slots.
+  std::vector<GraphPtr> affinity_graphs;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    affinity_graphs.push_back(std::make_shared<const EdgeList>(
+        gen::erdos_renyi(1500, 12'000, seed)));
+  }
+  // Scatter workload: one graph big enough that every request shards.
+  gen::RmatParams params;
+  params.scale = smoke ? 11 : 13;
+  params.edge_factor = 8;
+  std::vector<GraphPtr> scatter_graphs{
+      std::make_shared<const EdgeList>(gen::rmat(params, 42))};
+
+  std::vector<Cell> cells;
+  for (const int workers : pool_sizes) {
+    cluster::CoordinatorOptions copts;
+    copts.supervisor.cli_path = TRICO_CLI_PATH;
+    copts.supervisor.num_workers = workers;
+    // Affinity graphs (12k edge slots) stay below; the rmat graph scatters.
+    copts.scatter_edge_threshold = std::uint64_t{1} << 15;
+    cluster::Coordinator coordinator(copts);
+    coordinator.start();
+
+    // Warm every worker's catalog so the cells measure steady-state
+    // dispatch, not first-touch preprocessing.
+    (void)measure(coordinator, workers, "warmup", affinity_graphs,
+                  static_cast<int>(affinity_graphs.size()), 4);
+    (void)measure(coordinator, workers, "warmup", scatter_graphs, 2, 1);
+
+    // 8 submitters so the pool, not the client side, is the limiter —
+    // per-worker dispatch lanes serialize at roughly one request per RTT,
+    // so demand must exceed workers/RTT for scaling to be visible. (On a
+    // host with fewer cores than workers+1 no scaling is physically
+    // available; host_cores in the report says which regime this ran in.)
+    cells.push_back(measure(coordinator, workers, "affinity", affinity_graphs,
+                            requests, 8));
+    cells.push_back(measure(coordinator, workers, "scatter", scatter_graphs,
+                            requests, 2));
+    coordinator.stop();
+  }
+
+  util::Table table({"Workers", "Mode", "Requests", "Total ms", "Req/s",
+                     "p50 ms", "p99 ms"});
+  table.section("Coordinator scaling (loopback worker pool)");
+  for (const Cell& cell : cells) {
+    table.row()
+        .cell(cell.workers)
+        .cell(cell.mode)
+        .cell(cell.requests)
+        .cell(cell.total_ms, 1)
+        .cell(cell.requests_per_s, 1)
+        .cell(cell.p50_ms, 2)
+        .cell(cell.p99_ms, 2);
+  }
+  table.print(std::cout);
+
+  bench::Json rows = bench::Json::array();
+  for (const Cell& cell : cells) {
+    rows.push(bench::Json::object()
+                  .set("workers", cell.workers)
+                  .set("mode", cell.mode)
+                  .set("requests", cell.requests)
+                  .set("total_ms", cell.total_ms)
+                  .set("requests_per_s", cell.requests_per_s)
+                  .set("p50_ms", cell.p50_ms)
+                  .set("p99_ms", cell.p99_ms));
+  }
+  bench::Json payload =
+      bench::Json::object()
+          .set("experiment", "cluster")
+          .set("smoke", smoke)
+          .set("host_cores",
+               std::uint64_t{std::thread::hardware_concurrency()})
+          .set("cells", std::move(rows));
+  bench::write_bench_report("cluster", payload);
+  return 0;
+}

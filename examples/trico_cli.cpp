@@ -97,6 +97,7 @@
 #include "graph/stats.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "service/service.hpp"
+#include "cluster/coordinator.hpp"
 #include "store/artifact.hpp"
 #include "store/store.hpp"
 #include "transport/client.hpp"
@@ -131,6 +132,12 @@ using namespace trico;
                "       " << argv0
             << " cluster [--workers N] [--requests N] [--chaos-* ...] "
                "<graph-spec>\n"
+               "       " << argv0
+            << " coordinator [--port N] [--workers N] [--queue N] "
+               "[--plan-workers N]\n"
+               "       [--scatter-edges N] [--shards N] [--tenant-cap N] "
+               "[--store DIR]\n"
+               "       [--device D] [--chaos-* ...]   (docs/cluster.md)\n"
                "       " << argv0
             << " prewarm --store DIR <graph-spec>...\n"
                "       " << argv0
@@ -712,6 +719,80 @@ int run_cluster(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// -- coordinator -----------------------------------------------------------
+
+int run_coordinator(int argc, char** argv) {
+  cluster::CoordinatorOptions copts;
+  copts.supervisor.cli_path = "/proc/self/exe";
+  transport::ServerOptions server_options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--port") {
+      server_options.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--workers") {
+      copts.supervisor.num_workers = std::stoi(next());
+    } else if (arg == "--queue") {
+      copts.scheduler.queue_capacity = std::stoul(next());
+    } else if (arg == "--plan-workers") {
+      copts.scheduler.workers = std::stoul(next());
+    } else if (arg == "--scatter-edges") {
+      copts.scatter_edge_threshold = std::stoull(next());
+    } else if (arg == "--shards") {
+      copts.max_shards = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--tenant-cap") {
+      copts.tenant_inflight_cap = std::stoul(next());
+    } else if (arg == "--store" || arg == "--device" ||
+               arg.rfind("--chaos-", 0) == 0) {
+      // Forwarded verbatim to every worker's serve command line: the
+      // coordinator itself never prepares graphs, workers do.
+      copts.supervisor.worker_args.push_back(arg);
+      copts.supervisor.worker_args.push_back(next());
+    } else {
+      std::cerr << "unknown coordinator option: " << arg << "\n";
+      usage(argv[0]);
+    }
+  }
+
+  cluster::Coordinator coordinator(copts);
+
+  if (::pipe(g_signal_pipe) < 0) {
+    std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+
+  coordinator.start();
+  transport::Server server(coordinator, server_options);
+  server.start();
+  // Same spawn handshake as serve mode: exactly one LISTENING line on
+  // stdout, so scripts (and CI) can address the cluster like one server.
+  std::cout << "LISTENING " << server.port() << "\n" << std::flush;
+  std::cerr << "trico_cli coordinator: pid " << ::getpid() << " port "
+            << server.port() << " workers " << copts.supervisor.num_workers
+            << "\n";
+
+  char byte = 0;
+  (void)util::io::read_full(g_signal_pipe[0], &byte, 1);
+  std::cerr << "trico_cli coordinator: draining\n";
+  server.drain();
+  server.stop();
+  const cluster::CoordinatorStats cstats = coordinator.stats();
+  std::cerr << coordinator.metrics_text();
+  std::cerr << "trico_cli coordinator: done (" << cstats.affinity_requests
+            << " affinity, " << cstats.scatter_requests << " scatter, "
+            << cstats.shard_subrequests << " shard subrequests, "
+            << cstats.rescatters << " rescatters, " << cstats.failovers
+            << " failovers, " << cstats.batched_dispatches << " batched)\n";
+  coordinator.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -722,6 +803,7 @@ int main(int argc, char** argv) {
       if (mode == "serve") return run_serve(argc, argv);
       if (mode == "client") return run_client(argc, argv);
       if (mode == "cluster") return run_cluster(argc, argv);
+      if (mode == "coordinator") return run_coordinator(argc, argv);
       if (mode == "prewarm") return run_prewarm(argc, argv);
       if (mode == "inspect") return run_inspect(argc, argv);
       if (mode == "version") return run_version();

@@ -1,0 +1,527 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "cluster/hrw.hpp"
+#include "service/catalog.hpp"
+#include "util/cancel.hpp"
+
+namespace trico::cluster {
+
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  if (started_.exchange(true)) return;
+  supervisor_ = std::make_unique<transport::WorkerSupervisor>(
+      options_.supervisor);
+  supervisor_->start();
+
+  const std::size_t n = supervisor_->size();
+  lanes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes_[i]->thread = std::thread([this, i] { lane_loop(i); });
+  }
+
+  scheduler_ = std::make_unique<service::RequestScheduler>(
+      options_.scheduler,
+      [this](const service::Request& request, service::ExecContext& ctx) {
+        return plan(request, ctx);
+      },
+      [this](const service::Request& request,
+             const service::Response& response) {
+        metrics_.record_response(request, response);
+      });
+}
+
+void Coordinator::stop() {
+  if (!started_.exchange(false)) return;
+  // Order matters: the scheduler drains first (every admitted plan reaches
+  // a terminal state, and plans need the lanes + pool alive to finish),
+  // then the gate unblocks any stragglers, then the lanes stop, then the
+  // pool.
+  scheduler_.reset();
+  {
+    std::lock_guard lock(gate_mutex_);
+    gate_open_ = false;
+  }
+  gate_cv_.notify_all();
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard lock(lane->mutex);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+  lanes_.clear();
+  if (supervisor_ != nullptr) supervisor_->stop();
+}
+
+service::Ticket Coordinator::submit(service::Request request) {
+  metrics_.record_submitted(request);
+  return scheduler_->submit(std::move(request));
+}
+
+service::Response Coordinator::execute(service::Request request) {
+  return submit(std::move(request)).wait();
+}
+
+std::string Coordinator::metrics_text() {
+  std::ostringstream out;
+  out << metrics().to_string() << "\n";
+  const CoordinatorStats s = stats();
+  out << "cluster: affinity=" << s.affinity_requests
+      << " scatter=" << s.scatter_requests
+      << " shards=" << s.shard_subrequests
+      << " rescatters=" << s.rescatters << " failovers=" << s.failovers
+      << " integrity_failures=" << s.gather_integrity_failures
+      << " batched=" << s.batched_dispatches
+      << " throttle_waits=" << s.tenant_throttle_waits
+      << " throttle_rejects=" << s.tenant_throttle_rejects << "\n";
+  return out.str();
+}
+
+service::MetricsSnapshot Coordinator::metrics() const {
+  service::MetricsSnapshot snapshot = metrics_.snapshot();
+  if (scheduler_ != nullptr) {
+    snapshot.queue_depth = scheduler_->queue_depth();
+    snapshot.queue_peak_depth = scheduler_->queue_peak_depth();
+    snapshot.queue_capacity = scheduler_->queue_capacity();
+    snapshot.per_tenant_queue_cap = scheduler_->per_tenant_queue_cap();
+    snapshot.tenant_queue_depths = scheduler_->tenant_queue_depths();
+    snapshot.watchdog_budget_cancels = scheduler_->watchdog_flags();
+  }
+  if (supervisor_ != nullptr) {
+    for (const transport::WorkerStatus& status : supervisor_->workers()) {
+      service::MetricsSnapshot::WorkerSlot slot;
+      slot.pid = status.pid;
+      slot.port = status.port;
+      slot.alive = status.alive;
+      slot.breaker = status.breaker;
+      slot.restarts = status.restarts;
+      snapshot.workers.push_back(slot);
+    }
+    const transport::SupervisorStats pool = supervisor_->stats();
+    snapshot.worker_restarts = pool.restarts;
+    snapshot.worker_heartbeat_faults = pool.heartbeat_faults;
+    snapshot.worker_reroutes = pool.reroutes;
+  }
+  return snapshot;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant gate: aggregate in-flight cap per tenant across the whole pool.
+
+bool Coordinator::gate_acquire(const std::string& tenant) {
+  const std::size_t cap = options_.tenant_inflight_cap;
+  if (cap == 0) return true;
+  std::unique_lock lock(gate_mutex_);
+  std::size_t& inflight = gate_inflight_[tenant];
+  if (inflight < cap) {
+    ++inflight;
+    return true;
+  }
+  // At the cap: wait, but bound the waiters so a flooding tenant occupies
+  // at most 2*cap plan slots (cap running + cap waiting) — the rest reject
+  // immediately and the scheduler's DRR keeps serving other tenants.
+  std::size_t& waiters = gate_waiters_[tenant];
+  if (waiters >= cap) {
+    lock.unlock();
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.tenant_throttle_rejects;
+    return false;
+  }
+  ++waiters;
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.tenant_throttle_waits;
+  }
+  gate_cv_.wait(lock, [&] { return !gate_open_ || inflight < cap; });
+  --waiters;
+  if (!gate_open_) return false;
+  ++inflight;
+  return true;
+}
+
+void Coordinator::gate_release(const std::string& tenant) {
+  if (options_.tenant_inflight_cap == 0) return;
+  {
+    std::lock_guard lock(gate_mutex_);
+    auto it = gate_inflight_.find(tenant);
+    if (it != gate_inflight_.end() && it->second > 0) --it->second;
+  }
+  gate_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch lanes.
+
+std::shared_ptr<Coordinator::Job> Coordinator::enqueue(
+    std::size_t lane_index, std::uint64_t key, service::Request request) {
+  auto job = std::make_shared<Job>();
+  job->key = key;
+  job->request = std::move(request);
+  Lane& lane = *lanes_[lane_index];
+  {
+    std::lock_guard lock(lane.mutex);
+    lane.queue.push_back(job);
+  }
+  lane.cv.notify_one();
+  return job;
+}
+
+service::Response Coordinator::await(const std::shared_ptr<Job>& job,
+                                     const util::CancelToken* cancel) {
+  std::unique_lock lock(job->mutex);
+  while (!job->done) {
+    job->cv.wait_for(lock, std::chrono::milliseconds(10));
+    if (cancel != nullptr && cancel->cancelled()) {
+      // Abandon the job (the lane still completes it against its shared
+      // ref) and let the scheduler convert the cancel into the terminal
+      // kCancelled/kDeadlineExpired response.
+      lock.unlock();
+      cancel->throw_if_cancelled();
+    }
+  }
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+  return std::move(job->response);
+}
+
+void Coordinator::lane_loop(std::size_t index) {
+  Lane& lane = *lanes_[index];
+  for (;;) {
+    std::shared_ptr<Job> job;
+    bool continued_run = false;
+    {
+      std::unique_lock lock(lane.mutex);
+      lane.cv.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stop && drained
+      // Same-key batching: within the lookahead window, prefer a job for
+      // the graph this worker just served so its artifacts stay hot —
+      // bounded run length so a busy key cannot starve the FIFO head.
+      std::size_t pick = 0;
+      if (options_.batch_window > 0 && lane.has_hot_key &&
+          lane.run_length < options_.max_batch_run) {
+        const std::size_t window =
+            std::min(options_.batch_window, lane.queue.size());
+        for (std::size_t j = 0; j < window; ++j) {
+          if (lane.queue[j]->key == lane.hot_key) {
+            pick = j;
+            break;
+          }
+        }
+      }
+      job = lane.queue[pick];
+      lane.queue.erase(lane.queue.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      continued_run = lane.has_hot_key && job->key == lane.hot_key;
+      if (continued_run) {
+        ++lane.run_length;
+      } else {
+        lane.hot_key = job->key;
+        lane.has_hot_key = true;
+        lane.run_length = 1;
+      }
+    }
+    if (continued_run) {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.batched_dispatches;
+    }
+
+    service::Response response;
+    std::exception_ptr error;
+    try {
+      response = supervisor_->execute_on(index, job->request);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(job->mutex);
+      job->response = std::move(response);
+      job->error = error;
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed plans.
+
+service::Response Coordinator::plan(const service::Request& request,
+                                    service::ExecContext& ctx) {
+  service::Response response;
+  if (!request.graph) {
+    response.status = service::Status::kFailed;
+    response.reason = "request carries no graph";
+    return response;
+  }
+
+  if (!gate_acquire(request.tenant_id)) {
+    response.status = service::Status::kRejectedQueueFull;
+    std::ostringstream reason;
+    reason << "tenant '"
+           << (request.tenant_id.empty() ? "(default)" : request.tenant_id)
+           << "' at the cluster-wide in-flight cap "
+           << options_.tenant_inflight_cap;
+    response.reason = reason.str();
+    return response;
+  }
+  struct GateRelease {
+    Coordinator* self;
+    const std::string& tenant;
+    ~GateRelease() { self->gate_release(tenant); }
+  } release{this, request.tenant_id};
+
+  const std::uint64_t key =
+      service::GraphCatalog::content_hash(*request.graph);
+  const bool scatter =
+      request.op == service::Operation::kCount && !request.sharded() &&
+      (request.backend == service::Backend::kAuto ||
+       request.backend == service::Backend::kCpuHybrid) &&
+      request.graph->edges().size() >= options_.scatter_edge_threshold;
+  if (scatter) return scatter_plan(request, key, ctx.cancel);
+  return affinity_plan(request, key, ctx.cancel);
+}
+
+service::Response Coordinator::affinity_plan(const service::Request& request,
+                                             std::uint64_t key,
+                                             const util::CancelToken* cancel) {
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.affinity_requests;
+  }
+  std::string last_error = "no healthy worker";
+  bool moved = false;
+  // Two passes, like the supervisor's own router: a crash mid-pass gives
+  // the monitor a beat to respawn before the retry pass.
+  for (int round = 0; round < 2; ++round) {
+    if (round > 0) sleep_ms(options_.supervisor.monitor_period_ms * 2);
+    const std::vector<std::size_t> order =
+        hrw_rank(key, supervisor_->healthy_workers());
+    for (const std::size_t target : order) {
+      const std::shared_ptr<Job> job = enqueue(target, key, request);
+      try {
+        service::Response response = await(job, cancel);
+        if (moved) {
+          std::lock_guard slock(stats_mutex_);
+          ++stats_.failovers;
+        }
+        return response;
+      } catch (const transport::TransportError& error) {
+        if (error.fault() == transport::TransportFault::kProtocol) throw;
+        // kDraining, kConnect, kTimeout, kExhausted: the home worker is
+        // out; fail over to the next HRW rank. The worker-side dedup makes
+        // the cross-worker resend at-most-once for results.
+        last_error = error.what();
+        moved = true;
+      }
+    }
+  }
+  service::Response response;
+  response.status = service::Status::kFailed;
+  response.reason = "cluster: every worker failed the affinity route; last: " +
+                    last_error;
+  return response;
+}
+
+service::Response Coordinator::scatter_plan(const service::Request& request,
+                                            std::uint64_t key,
+                                            const util::CancelToken* cancel) {
+  const std::vector<std::size_t> healthy = supervisor_->healthy_workers();
+  std::uint32_t shards = static_cast<std::uint32_t>(healthy.size());
+  if (options_.max_shards > 0) shards = std::min(shards, options_.max_shards);
+  if (shards <= 1) return affinity_plan(request, key, cancel);
+
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.scatter_requests;
+    stats_.shard_subrequests += shards;
+  }
+
+  struct ShardSlot {
+    std::shared_ptr<Job> job;
+    int attempts = 0;
+    service::Response response;
+    bool ok = false;
+  };
+  std::vector<ShardSlot> slots(shards);
+
+  const auto subrequest = [&](std::uint32_t i) {
+    service::Request sub = request;
+    sub.shard_index = i;
+    sub.shard_count = shards;
+    sub.backend = service::Backend::kCpuHybrid;
+    return sub;
+  };
+  // Deterministic placement: shard i on the i-th HRW rank for the key, so
+  // repeated scatters of the same graph land the same shards on the same
+  // workers (each worker re-reads a warm artifact and re-counts the same
+  // row range).
+  const std::vector<std::size_t> order = hrw_rank(key, healthy);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    slots[i].job = enqueue(order[i % order.size()], key, subrequest(i));
+    slots[i].attempts = 1;
+  }
+
+  bool rescattered = false;
+  std::string last_error;
+  for (;;) {
+    std::vector<std::uint32_t> lost;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      if (slots[i].ok) continue;
+      try {
+        service::Response sub = await(slots[i].job, cancel);
+        if (sub.status == service::Status::kOk) {
+          slots[i].response = std::move(sub);
+          slots[i].ok = true;
+        } else if (sub.status == service::Status::kDeadlineExpired ||
+                   sub.status == service::Status::kCancelled) {
+          // A deadline or cancel is a verdict on the whole request, not on
+          // this shard's worker: propagate it instead of re-scattering.
+          return sub;
+        } else {
+          last_error = to_string(sub.status) +
+                       (sub.reason.empty() ? std::string()
+                                           : ": " + sub.reason);
+          lost.push_back(i);
+        }
+      } catch (const transport::TransportError& error) {
+        if (error.fault() == transport::TransportFault::kProtocol) throw;
+        last_error = error.what();
+        lost.push_back(i);
+      }
+    }
+    if (lost.empty()) break;
+
+    // Re-scatter: each lost shard moves to the next healthy worker (its
+    // attempt count walks the fresh HRW ranking, so consecutive retries of
+    // one shard visit distinct workers while the pool heals).
+    for (const std::uint32_t i : lost) {
+      if (slots[i].attempts >= options_.shard_attempts) {
+        service::Response response;
+        response.status = service::Status::kFailed;
+        std::ostringstream reason;
+        reason << "cluster: shard " << i << "/" << shards << " failed after "
+               << slots[i].attempts << " attempts; last: " << last_error;
+        response.reason = reason.str();
+        return response;
+      }
+    }
+    std::vector<std::size_t> now_healthy = supervisor_->healthy_workers();
+    if (now_healthy.empty()) {
+      sleep_ms(options_.supervisor.monitor_period_ms * 2);
+      now_healthy = supervisor_->healthy_workers();
+      if (now_healthy.empty()) {
+        service::Response response;
+        response.status = service::Status::kFailed;
+        response.reason =
+            "cluster: no healthy worker to re-scatter to; last: " +
+            last_error;
+        return response;
+      }
+    }
+    const std::vector<std::size_t> rerank = hrw_rank(key, now_healthy);
+    for (const std::uint32_t i : lost) {
+      const std::size_t target =
+          rerank[(i + static_cast<std::size_t>(slots[i].attempts)) %
+                 rerank.size()];
+      slots[i].job = enqueue(target, key, subrequest(i));
+      ++slots[i].attempts;
+    }
+    rescattered = true;
+    {
+      std::lock_guard slock(stats_mutex_);
+      stats_.rescatters += lost.size();
+      stats_.shard_subrequests += lost.size();
+    }
+  }
+
+  // Gather. Before trusting the sum, verify the shard echoes: every shard
+  // must have been cut from the same prepared graph (equal fingerprints),
+  // under the same plan (shard_count echo), and the row ranges must tile
+  // [0, n) contiguously in shard order. The per-shard checksums pin the
+  // neighbor bytes each partial was computed from (logged via metrics; two
+  // executions of the same shard must agree, which the tests assert).
+  const auto integrity_failure = [&](const std::string& what) {
+    {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.gather_integrity_failures;
+    }
+    service::Response response;
+    response.status = service::Status::kFailed;
+    response.reason = "cluster: gather integrity check failed: " + what;
+    return response;
+  };
+  TriangleCount total = 0;
+  std::uint64_t edges_covered = 0;
+  bool all_hits = true;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const service::Response& sub = slots[i].response;
+    if (sub.shard_index != i || sub.shard_count != shards) {
+      std::ostringstream what;
+      what << "shard " << i << " echoed " << sub.shard_index << "/"
+           << sub.shard_count << " (expected " << i << "/" << shards << ")";
+      return integrity_failure(what.str());
+    }
+    if (sub.graph_fingerprint != slots[0].response.graph_fingerprint) {
+      std::ostringstream what;
+      what << "shard " << i << " fingerprint " << std::hex
+           << sub.graph_fingerprint << " != shard 0 fingerprint "
+           << slots[0].response.graph_fingerprint;
+      return integrity_failure(what.str());
+    }
+    const std::uint64_t expected_begin =
+        i == 0 ? 0 : slots[i - 1].response.shard_row_end;
+    if (sub.shard_row_begin != expected_begin) {
+      std::ostringstream what;
+      what << "shard " << i << " rows [" << sub.shard_row_begin << ", "
+           << sub.shard_row_end << ") do not continue the tiling at "
+           << expected_begin;
+      return integrity_failure(what.str());
+    }
+    total += sub.triangles;
+    edges_covered += sub.shard_edges;
+    all_hits = all_hits && sub.catalog_hit;
+  }
+
+  service::Response response;
+  response.status = service::Status::kOk;
+  response.triangles = total;
+  response.backend = service::Backend::kCpuHybrid;
+  response.catalog_hit = all_hits;
+  response.shard_count = shards;
+  response.shard_edges = edges_covered;
+  response.graph_fingerprint = slots[0].response.graph_fingerprint;
+  if (rescattered) {
+    response.degraded = true;
+    response.reason = "re-scattered lost shards; last fault: " + last_error;
+  }
+  return response;
+}
+
+}  // namespace trico::cluster

@@ -1,0 +1,206 @@
+// cluster::Coordinator — one logical TriangleService served by N worker
+// processes.
+//
+// The coordinator fronts a WorkerSupervisor pool and executes every request
+// as a distributed plan (docs/cluster.md):
+//
+//   affinity   Small graphs and the analysis ops route *whole* to one
+//              worker, chosen by rendezvous (HRW) hashing of the catalog
+//              content key — each graph has a stable home worker whose
+//              catalog/artifact/page cache stays hot for it. Breaker-aware:
+//              when the home worker is down or refuses, the request fails
+//              over to the next-ranked healthy worker.
+//
+//   scatter/   Large kCount requests shard into an edge-balanced row tiling
+//   gather     of the prepared oriented CSR (cpu::shard_rows — the
+//              cross-process analogue of MultiGpuCounter's per-device edge
+//              slices). Each shard runs as a wire subrequest on a distinct
+//              worker; the gather sums the partials after verifying the
+//              shard echoes: equal graph fingerprints (same prepared CSR
+//              everywhere), contiguous row tiling, per-shard FNV slice
+//              checksums. A shard lost to a crash, kill -9 or drain is
+//              *re-scattered* to another healthy worker — bounded attempts
+//              per shard — so the cluster still returns the exact count.
+//
+// Admission reuses RequestScheduler unchanged (bounded queue, weighted DRR
+// across tenants, deadlines + watchdog); on top of it the coordinator
+// enforces a *global* per-tenant in-flight cap across the pool — each
+// worker's local FairQueue keeps per-process fairness, the gate keeps one
+// hot tenant from occupying every worker at once.
+//
+// Dispatch runs through one FIFO lane per worker. A lane prefers, within a
+// bounded lookahead window, jobs whose content key matches the one it just
+// served (bounded run length so no key starves the lane) — a worker drains
+// the queued ops for a graph while that graph's artifacts are hot (the
+// service-level analogue of the paper's §III-D batching).
+//
+// Coordinator implements transport::RequestSink, so a transport::Server can
+// front it directly: the PR-6 wire Client talks to a cluster unchanged.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "service/scheduler.hpp"
+#include "transport/server.hpp"
+#include "transport/supervisor.hpp"
+
+namespace trico::cluster {
+
+struct CoordinatorOptions {
+  /// The worker pool (cli_path, num_workers, worker_args, breakers...).
+  transport::SupervisorOptions supervisor;
+  /// Admission + fairness front. workers = concurrent distributed plans;
+  /// keep it above tenant_inflight_cap so gate-blocked plans cannot occupy
+  /// every slot.
+  service::RequestScheduler::Options scheduler = [] {
+    service::RequestScheduler::Options o;
+    o.workers = 8;
+    o.queue_capacity = 256;
+    o.backend_threads = 1;
+    return o;
+  }();
+  /// kCount requests whose edge-slot count reaches this threshold scatter;
+  /// below it (and for every non-count op) they affinity-route whole.
+  std::uint64_t scatter_edge_threshold = std::uint64_t{1} << 17;
+  /// Cap on shard fan-out per request; 0 = one shard per healthy worker.
+  std::uint32_t max_shards = 0;
+  /// Dispatch attempts per shard (first try + re-scatters) before the
+  /// request fails.
+  int shard_attempts = 4;
+  /// Global per-tenant in-flight cap across the pool; 0 = uncapped. A
+  /// tenant at the cap waits (bounded waiters), beyond that it is rejected
+  /// with kRejectedQueueFull.
+  std::size_t tenant_inflight_cap = 0;
+  /// Same-key batching: how far into a lane's queue the dispatcher may look
+  /// for a job matching the key it just served. 0 disables batching.
+  std::size_t batch_window = 8;
+  /// Consecutive same-key picks before the lane must take its FIFO head
+  /// (starvation bound for the batching heuristic).
+  std::size_t max_batch_run = 16;
+};
+
+/// Monotonic counters of the coordinator's own decisions (the cluster-level
+/// complement of the per-worker MetricsSnapshots).
+struct CoordinatorStats {
+  std::uint64_t affinity_requests = 0;  ///< plans routed whole
+  std::uint64_t scatter_requests = 0;   ///< plans sharded
+  std::uint64_t shard_subrequests = 0;  ///< shard dispatches incl. re-scatters
+  std::uint64_t rescatters = 0;         ///< shards re-dispatched after loss
+  std::uint64_t failovers = 0;          ///< affinity hops past the HRW home
+  std::uint64_t gather_integrity_failures = 0;  ///< fingerprint/tiling rejects
+  std::uint64_t batched_dispatches = 0;  ///< lane picks that continued a key run
+  std::uint64_t tenant_throttle_waits = 0;    ///< plans that waited at the gate
+  std::uint64_t tenant_throttle_rejects = 0;  ///< plans refused at the gate
+};
+
+class Coordinator : public transport::RequestSink {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Spawns the worker pool, the per-worker dispatch lanes and the
+  /// scheduler. Throws TransportError when workers fail to come up.
+  void start();
+
+  /// Drains the scheduler (every admitted plan reaches a terminal state),
+  /// stops the lanes, then stops the pool. Idempotent.
+  void stop();
+
+  /// RequestSink: async submission through the admission front.
+  service::Ticket submit(service::Request request) override;
+  /// RequestSink: cluster-wide metrics report.
+  std::string metrics_text() override;
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] service::Response execute(service::Request request);
+
+  /// Cluster-wide snapshot: the coordinator's own lifecycle/latency
+  /// counters plus the per-worker supervision slots.
+  [[nodiscard]] service::MetricsSnapshot metrics() const;
+
+  [[nodiscard]] CoordinatorStats stats() const;
+  [[nodiscard]] transport::WorkerSupervisor& supervisor() {
+    return *supervisor_;
+  }
+
+ private:
+  /// One dispatched subrequest: fulfilled (or failed) by a lane thread.
+  struct Job {
+    std::uint64_t key = 0;
+    service::Request request;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    service::Response response;
+    std::exception_ptr error;
+  };
+
+  /// Per-worker FIFO dispatch queue + the thread draining it. The lane
+  /// serializes traffic to its worker (Client is single-threaded) and owns
+  /// the same-key batching pick.
+  struct Lane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Job>> queue;
+    std::thread thread;
+    std::uint64_t hot_key = 0;  ///< key of the job served last
+    bool has_hot_key = false;
+    std::size_t run_length = 0;
+    bool stop = false;
+  };
+
+  service::Response plan(const service::Request& request,
+                         service::ExecContext& ctx);
+  service::Response affinity_plan(const service::Request& request,
+                                  std::uint64_t key,
+                                  const util::CancelToken* cancel);
+  service::Response scatter_plan(const service::Request& request,
+                                 std::uint64_t key,
+                                 const util::CancelToken* cancel);
+  std::shared_ptr<Job> enqueue(std::size_t lane_index, std::uint64_t key,
+                               service::Request request);
+  service::Response await(const std::shared_ptr<Job>& job,
+                          const util::CancelToken* cancel);
+  void lane_loop(std::size_t index);
+
+  /// Global tenant gate. Returns true when the plan may proceed (and the
+  /// tenant's in-flight count was incremented); false = reject.
+  bool gate_acquire(const std::string& tenant);
+  void gate_release(const std::string& tenant);
+
+  CoordinatorOptions options_;
+  std::unique_ptr<transport::WorkerSupervisor> supervisor_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  service::MetricsRegistry metrics_;
+
+  mutable std::mutex stats_mutex_;
+  CoordinatorStats stats_{};
+
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  std::unordered_map<std::string, std::size_t> gate_inflight_;
+  std::unordered_map<std::string, std::size_t> gate_waiters_;
+  bool gate_open_ = true;  ///< false while stopping: waiters drain as rejects
+
+  std::atomic<bool> started_{false};
+  /// Declared last: its destructor drains in-flight plans while the lanes
+  /// and pool above are still alive.
+  std::unique_ptr<service::RequestScheduler> scheduler_;
+};
+
+}  // namespace trico::cluster

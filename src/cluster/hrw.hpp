@@ -1,0 +1,60 @@
+// Rendezvous (highest-random-weight) hashing for graph-affinity routing.
+//
+// Every (content key, worker slot) pair gets a deterministic pseudo-random
+// score; a key's preference order is the slots sorted by descending score.
+// The property the coordinator buys with this: when a worker leaves (or
+// rejoins after a crash), only the keys whose *top-ranked* slot was the
+// departed worker move — every other key keeps its placement, so artifact
+// and page caches stay hot through membership churn. Slot identity is the
+// supervisor's slot index (stable across respawns of the process behind
+// it), so a respawned worker inherits exactly the keys it owned before —
+// with a shared artifact store, it warms straight back up from disk.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace trico::cluster {
+
+/// splitmix64 finalizer — full-avalanche 64-bit mix, the same construction
+/// the engine's deterministic generators use.
+[[nodiscard]] inline std::uint64_t hrw_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Score of slot `slot` for key `key`. The slot is mixed before combining
+/// so slot 0 (mix of zero) is not a fixed point of the key.
+[[nodiscard]] inline std::uint64_t hrw_score(std::uint64_t key,
+                                             std::size_t slot) {
+  return hrw_mix(key ^ hrw_mix(static_cast<std::uint64_t>(slot) + 1));
+}
+
+/// Ranks `candidates` (slot indices) by descending score for `key`; ties
+/// break by ascending slot so the order is total and deterministic.
+[[nodiscard]] inline std::vector<std::size_t> hrw_rank(
+    std::uint64_t key, std::vector<std::size_t> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [key](std::size_t a, std::size_t b) {
+              const std::uint64_t sa = hrw_score(key, a);
+              const std::uint64_t sb = hrw_score(key, b);
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+  return candidates;
+}
+
+/// Convenience: rank the full slot range [0, num_slots).
+[[nodiscard]] inline std::vector<std::size_t> hrw_rank_all(
+    std::uint64_t key, std::size_t num_slots) {
+  std::vector<std::size_t> slots(num_slots);
+  std::iota(slots.begin(), slots.end(), std::size_t{0});
+  return hrw_rank(key, std::move(slots));
+}
+
+}  // namespace trico::cluster

@@ -182,9 +182,45 @@ TriangleCount count_prepared(const PreparedGraph& graph,
 TriangleCount count_prepared(const PreparedGraphView& graph,
                              prim::ThreadPool& pool, CountingStats* stats,
                              const util::CancelToken* cancel) {
+  return count_prepared_range(graph, pool, 0, graph.num_vertices(), stats,
+                              cancel);
+}
+
+ShardRange shard_rows(const PreparedGraphView& graph, std::uint32_t index,
+                      std::uint32_t count) {
+  ShardRange range;
+  if (count == 0 || index >= count) return range;
+  const VertexId n = graph.num_vertices();
+  const EdgeIndex m = graph.num_edges();
+  if (n == 0) return range;
+  // Ideal edge boundaries m*i/count and m*(i+1)/count, snapped to the first
+  // row whose offset reaches them. lower_bound over the monotone offsets
+  // array keeps the tiling property: shard i's row_end is shard i+1's
+  // row_begin by construction, shard 0 starts at row 0, shard count-1 ends
+  // at row n.
+  const auto snap = [&](std::uint64_t target_edges) -> VertexId {
+    const auto it = std::lower_bound(graph.offsets.begin(),
+                                     graph.offsets.end() - 1,
+                                     static_cast<EdgeIndex>(target_edges));
+    return static_cast<VertexId>(it - graph.offsets.begin());
+  };
+  const std::uint64_t m64 = m;
+  range.row_begin = index == 0 ? 0 : snap(m64 * index / count);
+  range.row_end = index + 1 == count ? n : snap(m64 * (index + 1) / count);
+  range.edge_begin = graph.offsets[range.row_begin];
+  range.edge_end = graph.offsets[range.row_end];
+  return range;
+}
+
+TriangleCount count_prepared_range(const PreparedGraphView& graph,
+                                   prim::ThreadPool& pool, VertexId row_begin,
+                                   VertexId row_end, CountingStats* stats,
+                                   const util::CancelToken* cancel) {
   const EngineOptions& options = graph.options;
   const VertexId n = graph.num_vertices();
   const std::size_t nw = pool.num_threads();
+  row_end = std::min(row_end, n);
+  row_begin = std::min(row_begin, row_end);
   // Resolve the kernel table once per run: env override, then the requested
   // tier clamped down to what the host supports. Hot loops call through
   // plain function pointers — selection never sits on the per-edge path.
@@ -202,10 +238,12 @@ TriangleCount count_prepared(const PreparedGraphView& graph,
   std::vector<WorkerAcc> acc(nw);
 
   const std::size_t chunk =
-      options.counting_chunk > 0 ? options.counting_chunk
-                                 : prim::dynamic_chunk(n, nw);
+      options.counting_chunk > 0
+          ? options.counting_chunk
+          : prim::dynamic_chunk(row_end - row_begin, nw);
   prim::parallel_chunks_dynamic(
-      pool, 0, n, chunk, [&](std::size_t w, std::size_t lo, std::size_t hi) {
+      pool, row_begin, row_end, chunk,
+      [&](std::size_t w, std::size_t lo, std::size_t hi) {
         // Cancellation poll at chunk granularity: remaining chunks drain as
         // no-ops and the throw happens below on the calling thread.
         if (cancel != nullptr && cancel->cancelled()) return;

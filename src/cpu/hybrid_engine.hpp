@@ -229,6 +229,42 @@ struct EngineResult {
     CountingStats* stats = nullptr,
     const util::CancelToken* cancel = nullptr);
 
+/// A contiguous slice of the oriented CSR's source rows, the unit of
+/// distributed sharding: every oriented edge (u, v) is counted by exactly
+/// the shard owning row u, so partial counts over a tiling of [0, n) sum to
+/// the exact total (the cross-process analogue of MultiGpuCounter's
+/// per-device edge slices).
+struct ShardRange {
+  VertexId row_begin = 0;
+  VertexId row_end = 0;    ///< exclusive
+  EdgeIndex edge_begin = 0;
+  EdgeIndex edge_end = 0;  ///< exclusive; edge_end - edge_begin oriented edges
+
+  [[nodiscard]] VertexId num_rows() const { return row_end - row_begin; }
+  [[nodiscard]] EdgeIndex num_edges() const { return edge_end - edge_begin; }
+};
+
+/// Deterministic edge-balanced row partition: shard `index` of `count` owns
+/// the rows whose oriented-edge prefix falls in the i-th of `count` equal
+/// edge spans (row boundaries snap to vertex granularity via binary search
+/// over the offsets array). Depends only on the prepared CSR, so every
+/// worker that prepared the same graph with the same options derives the
+/// same tiling — a coordinator never needs the graph locally to plan it.
+/// Requires index < count; count > 0.
+[[nodiscard]] ShardRange shard_rows(const PreparedGraphView& graph,
+                                    std::uint32_t index, std::uint32_t count);
+
+/// Partial count over the source rows [row_begin, row_end): exactly the
+/// triangles whose oriented pivot edge originates in the range. Summing over
+/// a tiling of [0, n) reproduces count_prepared bit-identically (per-shard
+/// stats sum likewise). Strategy dispatch per edge is unchanged — scratch
+/// bitmap rows still span all of [0, n) since probed neighbors may lie
+/// outside the shard.
+[[nodiscard]] TriangleCount count_prepared_range(
+    const PreparedGraphView& graph, prim::ThreadPool& pool,
+    VertexId row_begin, VertexId row_end, CountingStats* stats = nullptr,
+    const util::CancelToken* cancel = nullptr);
+
 /// End-to-end adaptive hybrid count: prepare + count.
 [[nodiscard]] EngineResult count_engine(const EdgeList& edges,
                                         prim::ThreadPool& pool,

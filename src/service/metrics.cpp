@@ -120,6 +120,20 @@ std::string MetricsSnapshot::to_string() const {
         << breakers[b].trips << ",skipped=" << breakers[b].skipped << ")";
   }
   out << " watchdog_budget_cancels=" << watchdog_budget_cancels << "\n";
+  if (!workers.empty()) {
+    out << "workers:";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const WorkerSlot& w = workers[i];
+      out << " [" << i << "]=pid:" << w.pid << ",port:" << w.port
+          << ",alive:" << (w.alive ? 1 : 0)
+          << ",breaker:" << service::to_string(w.breaker)
+          << ",restarts:" << w.restarts;
+    }
+    out << "\n";
+    out << "pool: restarts=" << worker_restarts
+        << " heartbeat_faults=" << worker_heartbeat_faults
+        << " reroutes=" << worker_reroutes << "\n";
+  }
   if (!cpu_isa.empty()) {
     out << "cpu: isa=" << cpu_isa << " features=[" << cpu_features << "]\n";
   }

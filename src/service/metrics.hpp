@@ -101,6 +101,22 @@ struct MetricsSnapshot {
   // scoring with right now (attached by TriangleService::metrics()).
   CalibrationSnapshot router_calibration{};
 
+  // Supervised worker pool (attached by the owner of a WorkerSupervisor —
+  // the cluster Coordinator or the CLI cluster mode; empty in
+  // single-process deployments). One slot per worker process: liveness,
+  // heartbeat-breaker state and how many times the slot was respawned.
+  struct WorkerSlot {
+    long pid = -1;
+    std::uint16_t port = 0;
+    bool alive = false;
+    BreakerState breaker = BreakerState::kClosed;
+    std::uint64_t restarts = 0;
+  };
+  std::vector<WorkerSlot> workers;
+  std::uint64_t worker_restarts = 0;         ///< pool-wide respawn total
+  std::uint64_t worker_heartbeat_faults = 0;
+  std::uint64_t worker_reroutes = 0;         ///< requests moved between workers
+
   // CPU tier: detected SIMD features and the ISA the intersection kernels
   // resolve to (empty until attached by TriangleService::metrics()).
   std::string cpu_features;

@@ -66,6 +66,18 @@ struct Request {
   /// weighted fair dequeue across tenants; metrics keep per-tenant slices.
   /// Empty = the anonymous default tenant.
   std::string tenant_id;
+
+  /// Distributed sharding (coordinator subrequests only). shard_count > 0
+  /// turns a kCount request into a *partial* count over shard
+  /// `shard_index` of a `shard_count`-way edge-balanced row tiling of the
+  /// prepared oriented CSR (cpu::shard_rows). Partial results bypass the
+  /// catalog's result memoization — they are not whole-graph answers — and
+  /// always execute on the CPU hybrid tier. shard_count == 0 (default) is a
+  /// normal whole-graph request.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+
+  [[nodiscard]] bool sharded() const { return shard_count > 0; }
 };
 
 /// Terminal states of a request.
@@ -97,6 +109,21 @@ struct Response {
   double modeled_device_ms = -1;  ///< device-tier runs only; -1 otherwise
   double queue_ms = 0;        ///< submit -> dequeue
   double execute_ms = 0;      ///< dequeue -> done (includes cold preprocess)
+
+  // Shard echo (set iff the request was sharded). The coordinator's gather
+  // step cross-checks these before trusting a sum of partials: fingerprints
+  // must agree across shards (same prepared graph everywhere), row ranges
+  // must tile [0, n) contiguously in shard order, and the per-shard FNV
+  // checksum over the owned neighbor slice pins the bytes the partial was
+  // computed from.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t shard_row_begin = 0;
+  std::uint64_t shard_row_end = 0;
+  std::uint64_t shard_edges = 0;      ///< oriented edges in the shard's rows
+  std::uint64_t shard_checksum = 0;   ///< FNV-1a over the shard's neighbors
+  std::uint64_t graph_fingerprint = 0;  ///< FNV over (content key, n, m)
+
   [[nodiscard]] double total_ms() const { return queue_ms + execute_ms; }
 };
 

@@ -10,6 +10,7 @@
 #include "cpu/simd/cpu_features.hpp"
 #include "multigpu/multi_gpu.hpp"
 #include "outofcore/counter.hpp"
+#include "service/sharding.hpp"
 #include "simt/fault.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
@@ -175,6 +176,42 @@ Response TriangleService::run_backend(Backend backend,
   return response;
 }
 
+Response TriangleService::run_shard(const Request& request,
+                                   const CatalogEntry& entry,
+                                   std::uint64_t key, bool catalog_hit,
+                                   ExecContext& ctx) {
+  // Shards run on the CPU hybrid tier unconditionally: count_prepared_range
+  // is the only backend with a row-sliced entry point, and it is exact over
+  // owned and mmapped views alike. The chaos probe keeps the wire chaos
+  // tests able to fault a shard mid-gather like any other backend run.
+  if (options_.chaos != nullptr &&
+      options_.chaos->should_fault(ChaosSite::kBackendRun,
+                                   Backend::kCpuHybrid)) {
+    throw simt::DeviceFault(
+        simt::FaultKind::kKernelAbort, simt::FaultSite::kKernel, 0,
+        "chaos: injected fault launching a shard on the cpu tier");
+  }
+
+  const cpu::PreparedGraphView& view = entry.prepared_view;
+  const cpu::ShardRange range =
+      cpu::shard_rows(view, request.shard_index, request.shard_count);
+
+  Response response;
+  response.backend = Backend::kCpuHybrid;
+  response.catalog_hit = catalog_hit;
+  response.triangles = cpu::count_prepared_range(
+      view, ctx.pool, range.row_begin, range.row_end, nullptr, ctx.cancel);
+  response.shard_index = request.shard_index;
+  response.shard_count = request.shard_count;
+  response.shard_row_begin = range.row_begin;
+  response.shard_row_end = range.row_end;
+  response.shard_edges = range.num_edges();
+  response.shard_checksum = shard_slice_checksum(view, range);
+  response.graph_fingerprint = shard_graph_fingerprint(key, view);
+  response.status = Status::kOk;
+  return response;
+}
+
 Response TriangleService::serve(const Request& request, ExecContext& ctx) {
   Response response;
   if (!request.graph) {
@@ -231,6 +268,27 @@ Response TriangleService::serve(const Request& request, ExecContext& ctx) {
   // clock back into the router's cpu_prepare_ns_per_slot constant.
   if (!acquired.hit) {
     router_.record_preparation(entry.stats, acquire_timer.elapsed_ms());
+  }
+
+  // Sharded subrequests (coordinator scatter/gather) take a dedicated path:
+  // a partial CPU count over the request's row slice, with the shard echo
+  // fields filled in and — crucially — no result memoization, since a
+  // partial is not a whole-graph answer for (key, op).
+  if (request.sharded()) {
+    if (request.op != Operation::kCount) {
+      response.status = Status::kFailed;
+      response.reason = "sharded requests support only the count operation";
+      return response;
+    }
+    if (request.shard_index >= request.shard_count) {
+      response.status = Status::kFailed;
+      std::ostringstream reason;
+      reason << "invalid shard " << request.shard_index << " of "
+             << request.shard_count;
+      response.reason = reason.str();
+      return response;
+    }
+    return run_shard(request, entry, key, acquired.hit, ctx);
   }
 
   // The analysis operations run on the CPU tier (they consume the edge

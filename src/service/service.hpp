@@ -79,6 +79,10 @@ class TriangleService {
   Response serve(const Request& request, ExecContext& ctx);
   Response run_backend(Backend backend, const CatalogEntry& entry,
                        const RouteDecision& route, ExecContext& ctx);
+  /// Partial count over one shard of the prepared CSR (coordinator
+  /// subrequests). Never touches result memoization.
+  Response run_shard(const Request& request, const CatalogEntry& entry,
+                     std::uint64_t key, bool catalog_hit, ExecContext& ctx);
 
   ServiceOptions options_;
   GraphCatalog catalog_;

@@ -1,0 +1,66 @@
+// Shard arithmetic shared by the worker-side shard execution path
+// (TriangleService) and the coordinator's gather verification (src/cluster).
+//
+// A sharded request is a partial count over one slice of the edge-balanced
+// row tiling cpu::shard_rows derives from the prepared oriented CSR. Both
+// sides must agree on what they are summing, so the worker echoes two
+// digests with every partial:
+//
+//   graph fingerprint  — FNV-1a over (catalog content key, n, m_oriented).
+//                        Equal fingerprints across shards mean every worker
+//                        prepared the same graph to the same CSR shape, so
+//                        the deterministic tiling is the same everywhere and
+//                        the partials are summable.
+//   shard checksum     — FNV-1a over the shard's owned neighbor slice, the
+//                        exact bytes the partial was computed from. Pins the
+//                        slice for re-scatter equivalence checks and audits.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "cpu/hybrid_engine.hpp"
+
+namespace trico::service {
+
+inline constexpr std::uint64_t kShardFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kShardFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a folded 8 bytes at a time (byte-wise tail), over arbitrary bytes —
+/// unlike store::fnv1a_words it has no length-multiple requirement, so it
+/// can digest a neighbor slice of any edge count.
+[[nodiscard]] inline std::uint64_t shard_fnv1a(const void* data,
+                                               std::size_t num_bytes,
+                                               std::uint64_t hash =
+                                                   kShardFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= num_bytes; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    hash = (hash ^ word) * kShardFnvPrime;
+  }
+  for (; i < num_bytes; ++i) hash = (hash ^ bytes[i]) * kShardFnvPrime;
+  return hash;
+}
+
+/// Digest of the neighbor slice shard `range` owns. Computed over the raw
+/// VertexId bytes, so owned and mmapped views of the same artifact agree.
+[[nodiscard]] inline std::uint64_t shard_slice_checksum(
+    const cpu::PreparedGraphView& view, const cpu::ShardRange& range) {
+  const VertexId* slice = view.neighbors.data() + range.edge_begin;
+  return shard_fnv1a(slice, sizeof(VertexId) * range.num_edges());
+}
+
+/// Fingerprint of the prepared graph a shard was cut from: content key
+/// (what the coordinator hashed) chained with the CSR shape the worker
+/// actually prepared (n rows, m oriented edges).
+[[nodiscard]] inline std::uint64_t shard_graph_fingerprint(
+    std::uint64_t content_key, const cpu::PreparedGraphView& view) {
+  const std::uint64_t parts[3] = {content_key, view.num_vertices(),
+                                  view.num_edges()};
+  return shard_fnv1a(parts, sizeof(parts));
+}
+
+}  // namespace trico::service

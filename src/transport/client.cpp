@@ -25,6 +25,7 @@ const char* to_string(TransportFault fault) {
     case TransportFault::kTimeout: return "timed out";
     case TransportFault::kExhausted: return "retries exhausted";
     case TransportFault::kProtocol: return "protocol error";
+    case TransportFault::kDraining: return "server draining";
   }
   return "?";
 }
@@ -178,13 +179,14 @@ service::Response Client::attempt(const std::vector<std::uint8_t>& payload,
         PayloadReader r(frame.payload);
         const std::string message = r.str();
         if ((frame.header.flags & kFlagRetryable) != 0) {
-          // e.g. a draining server: reconnect elsewhere and resend.
-          throw WireError(WireFault::kClosed, message);
+          // A draining server refusing admission: retryable, but not here —
+          // surface the typed fault at once so the caller fails over.
+          throw TransportError(TransportFault::kDraining, message);
         }
         throw TransportError(TransportFault::kProtocol, message);
       }
       case FrameType::kDrainNotice:
-        throw WireError(WireFault::kClosed, "server draining");
+        throw TransportError(TransportFault::kDraining, "drain notice");
       default:
         continue;  // unsolicited frame (late metrics chunk etc.)
     }
@@ -219,6 +221,13 @@ service::Response Client::execute_with_id(const service::Request& request,
       disconnect();
     } catch (const TransportError& error) {
       if (error.fault() == TransportFault::kProtocol) throw;
+      if (error.fault() == TransportFault::kDraining) {
+        // Drop the connection (the peer is going away) and rethrow without
+        // consuming the retry budget: this id is safe to resend against
+        // another worker, and nothing is gained by waiting this one out.
+        disconnect();
+        throw;
+      }
       last_error = error.what();
       disconnect();
     }

@@ -8,10 +8,14 @@
 // aggressively without at-least-once side effects.
 //
 // What retries: torn frames, checksum failures, connection resets, clean
-// server closes, failed connects, and retryable kError frames (a draining
-// server). What does not: protocol violations (kError without the retryable
-// flag, bad magic/version) — those surface immediately as TransportError
-// so a broken peer cannot put the client into a hot loop.
+// server closes, and failed connects. What does not: protocol violations
+// (kError without the retryable flag, bad magic/version) — those surface
+// immediately as TransportError so a broken peer cannot put the client into
+// a hot loop — and drain notices (kDrainNotice, or a retryable kError from
+// a draining server), which surface immediately as TransportFault::kDraining
+// because a draining server never un-drains: the retry belongs on a
+// *different* worker, a decision only the caller (supervisor/coordinator)
+// can make.
 //
 // Backoff between attempts is exponential with multiplicative jitter
 // (backoff_initial_ms * multiplier^k, capped, scaled by a uniform draw in
@@ -43,6 +47,10 @@ enum class TransportFault : std::uint8_t {
   kTimeout,    ///< no response within the attempt's deadline
   kExhausted,  ///< every retry attempt failed (last cause in the message)
   kProtocol,   ///< the server rejected the request as malformed (no retry)
+  kDraining,   ///< the server is draining: retryable *elsewhere*, surfaced
+               ///< immediately so a router can fail over to another worker
+               ///< instead of burning the backoff budget on a peer that
+               ///< will never un-drain
 };
 
 [[nodiscard]] const char* to_string(TransportFault fault);

@@ -25,8 +25,33 @@ void sleep_ms(double ms) {
 
 }  // namespace
 
+namespace {
+
+/// Adapts the single-process TriangleService to the RequestSink interface.
+class ServiceSink : public RequestSink {
+ public:
+  explicit ServiceSink(service::TriangleService& service)
+      : service_(service) {}
+  service::Ticket submit(service::Request request) override {
+    return service_.submit(std::move(request));
+  }
+  std::string metrics_text() override {
+    return service_.metrics().to_string();
+  }
+
+ private:
+  service::TriangleService& service_;
+};
+
+}  // namespace
+
 Server::Server(service::TriangleService& service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : owned_sink_(std::make_unique<ServiceSink>(service)),
+      sink_(owned_sink_.get()),
+      options_(std::move(options)) {}
+
+Server::Server(RequestSink& sink, ServerOptions options)
+    : sink_(&sink), options_(std::move(options)) {}
 
 Server::~Server() { stop(); }
 
@@ -234,7 +259,7 @@ void Server::handle_request(Connection& conn, Frame& frame) {
       auto entry = std::make_shared<DedupEntry>();
       per_client.emplace(frame.header.request_id, entry);
       pending.dedup = std::move(entry);
-      pending.ticket = service_.submit(std::move(request));
+      pending.ticket = sink_->submit(std::move(request));
       in_flight_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard slock(stats_mutex_);
@@ -353,7 +378,7 @@ void Server::stream_metrics(Connection& conn, std::uint64_t request_id) {
     std::lock_guard slock(stats_mutex_);
     ++stats_.metrics_streams;
   }
-  const std::string rendered = service_.metrics().to_string();
+  const std::string rendered = sink_->metrics_text();
   for (std::size_t off = 0; off < rendered.size();
        off += kMetricsChunkBytes) {
     const std::size_t n = std::min(kMetricsChunkBytes, rendered.size() - off);
@@ -386,8 +411,9 @@ void Server::drain() {
   if (!draining_.compare_exchange_strong(expected, true)) {
     // Another drainer won; wait alongside it.
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  const int listen_fd = listen_fd_.load();
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
   }
   // Finish in-flight, flush outboxes.
   for (;;) {
@@ -422,9 +448,9 @@ void Server::drain() {
 void Server::stop() {
   if (stopping_.exchange(true)) return;
   drain();
-  if (listen_fd_ >= 0) {
-    util::io::close_quiet(listen_fd_);
-    listen_fd_ = -1;
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    util::io::close_quiet(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::lock_guard lock(connections_mutex_);

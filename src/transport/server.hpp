@@ -48,6 +48,19 @@
 
 namespace trico::transport {
 
+/// What the server fronts: anything that can accept a Request (returning
+/// the scheduler-style async Ticket) and render a metrics snapshot.
+/// TriangleService is the single-process implementation; the cluster
+/// Coordinator implements the same interface over a whole worker pool, so
+/// one Server — and therefore one wire protocol and one Client — serves
+/// either a process or a cluster unchanged.
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual service::Ticket submit(service::Request request) = 0;
+  virtual std::string metrics_text() = 0;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back via port().
@@ -77,7 +90,11 @@ struct ServerStats {
 
 class Server {
  public:
+  /// Serve a single-process TriangleService (owns a thin adapter).
   explicit Server(service::TriangleService& service, ServerOptions options = {});
+  /// Serve any RequestSink (e.g. a cluster Coordinator). `sink` must
+  /// outlive the server.
+  explicit Server(RequestSink& sink, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -137,10 +154,12 @@ class Server {
   void close_connection(Connection& conn, bool reset);
   void reap_finished_locked();
 
-  service::TriangleService& service_;
+  std::unique_ptr<RequestSink> owned_sink_;  ///< the TriangleService adapter
+  RequestSink* sink_;
   ServerOptions options_;
   std::uint16_t port_ = 0;
-  int listen_fd_ = -1;
+  // Atomic: accept_loop() reads it concurrently with stop() writing -1.
+  std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};

@@ -301,6 +301,64 @@ service::Response WorkerSupervisor::execute(const service::Request& request) {
                        "all workers failed; last: " + last_error);
 }
 
+service::Response WorkerSupervisor::execute_on(std::size_t index,
+                                               const service::Request& request) {
+  std::mutex* worker_lock = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (index >= workers_.size()) {
+      throw TransportError(TransportFault::kConnect,
+                           "no worker slot " + std::to_string(index));
+    }
+    worker_lock = workers_[index].lock.get();
+  }
+  std::unique_lock traffic(*worker_lock);
+  Client* client = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    Worker& worker = workers_[index];
+    if (!admit_locked(worker)) {
+      throw TransportError(TransportFault::kConnect,
+                           "worker " + std::to_string(index) +
+                               " not admissible (down or breaker open)");
+    }
+    client = worker.client.get();
+  }
+  try {
+    service::Response response = client->execute(request);
+    std::lock_guard lock(mutex_);
+    record_success_locked(workers_[index]);
+    return response;
+  } catch (const TransportError& error) {
+    if (error.fault() != TransportFault::kProtocol) {
+      std::lock_guard lock(mutex_);
+      record_fault_locked(workers_[index]);
+    }
+    throw;
+  }
+}
+
+std::vector<std::size_t> WorkerSupervisor::healthy_workers() const {
+  std::vector<std::size_t> healthy;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& worker = workers_[i];
+    if (!worker.alive || worker.client == nullptr) continue;
+    if (worker.breaker == service::BreakerState::kOpen &&
+        now < worker.reopen_at) {
+      continue;
+    }
+    healthy.push_back(i);
+  }
+  return healthy;
+}
+
+std::size_t WorkerSupervisor::size() const {
+  std::lock_guard lock(mutex_);
+  return workers_.size();
+}
+
 void WorkerSupervisor::kill_worker(std::size_t index) {
   std::lock_guard lock(mutex_);
   if (index >= workers_.size()) return;

@@ -91,6 +91,23 @@ class WorkerSupervisor {
   /// on the next worker when one fails mid-request. Thread-safe.
   [[nodiscard]] service::Response execute(const service::Request& request);
 
+  /// Executes on worker `index` specifically — no rerouting. The
+  /// coordinator's placement primitive: HRW affinity and shard fan-out pick
+  /// the worker themselves and own the failover decision. Throws
+  /// TransportError{kConnect} when the worker is not admissible (breaker
+  /// open, respawning), and rethrows the client's fault (recording it
+  /// against the worker's breaker) when the attempt fails. Thread-safe.
+  [[nodiscard]] service::Response execute_on(std::size_t index,
+                                             const service::Request& request);
+
+  /// Indices of workers currently eligible for traffic: alive with a
+  /// breaker that is closed, half-open, or due its half-open probe. A pure
+  /// query — unlike admission it does not consume the probe slot.
+  [[nodiscard]] std::vector<std::size_t> healthy_workers() const;
+
+  /// Number of worker slots (fixed after start()).
+  [[nodiscard]] std::size_t size() const;
+
   /// Kills worker `index` with SIGKILL (chaos-test hook: the monitor must
   /// notice and respawn it).
   void kill_worker(std::size_t index);

@@ -137,6 +137,8 @@ std::vector<std::uint8_t> encode_request(const service::Request& request) {
   w.u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(request.priority)));
   w.f64(request.deadline_ms);
   w.str(request.tenant_id);
+  w.u32(request.shard_index);
+  w.u32(request.shard_count);
   if (request.graph == nullptr) {
     w.u32(0);
     w.u64(0);
@@ -159,6 +161,8 @@ service::Request decode_request(std::span<const std::uint8_t> payload) {
       static_cast<service::Priority>(static_cast<std::int8_t>(r.u8()));
   request.deadline_ms = r.f64();
   request.tenant_id = r.str();
+  request.shard_index = r.u32();
+  request.shard_count = r.u32();
   const VertexId num_vertices = r.u32();
   const std::uint64_t slots = r.u64();
   if (slots * sizeof(Edge) != r.remaining()) {
@@ -193,6 +197,13 @@ std::vector<std::uint8_t> encode_response(const service::Response& response) {
   w.f64(response.modeled_device_ms);
   w.f64(response.queue_ms);
   w.f64(response.execute_ms);
+  w.u32(response.shard_index);
+  w.u32(response.shard_count);
+  w.u64(response.shard_row_begin);
+  w.u64(response.shard_row_end);
+  w.u64(response.shard_edges);
+  w.u64(response.shard_checksum);
+  w.u64(response.graph_fingerprint);
   return w.take();
 }
 
@@ -212,6 +223,13 @@ service::Response decode_response(std::span<const std::uint8_t> payload) {
   response.modeled_device_ms = r.f64();
   response.queue_ms = r.f64();
   response.execute_ms = r.f64();
+  response.shard_index = r.u32();
+  response.shard_count = r.u32();
+  response.shard_row_begin = r.u64();
+  response.shard_row_end = r.u64();
+  response.shard_edges = r.u64();
+  response.shard_checksum = r.u64();
+  response.graph_fingerprint = r.u64();
   return response;
 }
 

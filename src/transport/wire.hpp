@@ -43,7 +43,11 @@
 namespace trico::transport {
 
 inline constexpr std::uint32_t kWireMagic = 0x54524957u;  // "TRIW"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 added the shard fields (request shard_index/shard_count before the
+/// graph bytes; response shard echo after execute_ms) for the coordinator's
+/// scatter/gather plans. Version mismatches are rejected at the frame
+/// header, so a v1 peer gets a typed refusal, not a misparse.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Frames larger than this are rejected before allocation — a corrupt
 /// header must not provoke a huge bogus buffer (same guard as read_binary).
 inline constexpr std::uint32_t kMaxPayload = 1u << 30;

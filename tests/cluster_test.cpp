@@ -1,0 +1,613 @@
+// Tests for the distributed sharding coordinator (src/cluster/) and the
+// primitives under it:
+//
+//  * cpu::shard_rows / count_prepared_range — the edge-balanced row tiling
+//    must cover [0, n) contiguously and the per-shard partial counts must
+//    sum to the whole-graph count exactly, for every shard width;
+//  * HRW rendezvous ranking — deterministic, a permutation, and stable on
+//    worker join/leave (only keys whose top-ranked slot departed move);
+//  * sharded requests through a local TriangleService — exact partials,
+//    consistent fingerprints/checksums, no memoization poisoning;
+//  * the wire Client surfacing drain as a typed kDraining fault;
+//  * and (gated on TRICO_BUILD_EXAMPLES) the Coordinator over real
+//    trico_cli serve processes: exact counts in both plan modes, kill -9
+//    mid-scatter with re-scatter recovery, the global tenant gate, same-key
+//    lane batching, and a seeded wire-chaos storm.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hrw.hpp"
+#include "cpu/hybrid_engine.hpp"
+#include "gen/generators.hpp"
+#include "gen/reference.hpp"
+#include "prim/thread_pool.hpp"
+#include "service/catalog.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "service/sharding.hpp"
+#include "transport/client.hpp"
+#include "transport/server.hpp"
+
+#ifdef TRICO_CLI_PATH
+#include "cluster/coordinator.hpp"
+#endif
+
+namespace trico {
+namespace {
+
+std::shared_ptr<const EdgeList> share(EdgeList edges) {
+  return std::make_shared<const EdgeList>(std::move(edges));
+}
+
+// ---------------------------------------------------------------------------
+// cpu::shard_rows + count_prepared_range
+
+TEST(ShardRowsTest, TilingCoversAllRowsContiguously) {
+  prim::ThreadPool pool(3);
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  for (const EdgeList& graph :
+       {gen::rmat(params, 7), gen::erdos_renyi(400, 2400, 11),
+        gen::complete(40).edges, gen::star(64).edges}) {
+    const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+    const cpu::PreparedGraphView view = prepared.view();
+    for (const std::uint32_t k : {1u, 2u, 3u, 7u, 16u}) {
+      cpu::ShardRange previous;
+      EdgeIndex total_edges = 0;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const cpu::ShardRange range = cpu::shard_rows(view, i, k);
+        // Contiguous tiling: shard 0 starts at row 0, every later shard
+        // starts where its predecessor ended, the last one ends at n.
+        EXPECT_EQ(range.row_begin, i == 0 ? 0 : previous.row_end);
+        if (i + 1 == k) {
+          EXPECT_EQ(range.row_end, view.num_vertices());
+        }
+        // Edge ranges snap to the CSR offsets of the row boundaries.
+        EXPECT_EQ(range.edge_begin, view.offsets[range.row_begin]);
+        EXPECT_EQ(range.edge_end, view.offsets[range.row_end]);
+        total_edges += range.num_edges();
+        previous = range;
+      }
+      EXPECT_EQ(total_edges, view.num_edges());
+    }
+  }
+}
+
+TEST(ShardRowsTest, PartialCountsSumToWholeGraphCount) {
+  prim::ThreadPool pool(4);
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  for (const EdgeList& graph :
+       {gen::rmat(params, 21), gen::barabasi_albert(500, 5, 3),
+        gen::windmill(6, 8).edges, gen::complete(32).edges}) {
+    const cpu::PreparedGraph prepared = cpu::prepare(graph, pool);
+    const cpu::PreparedGraphView view = prepared.view();
+    const TriangleCount expected = cpu::count_prepared(view, pool);
+    for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+      TriangleCount sum = 0;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const cpu::ShardRange range = cpu::shard_rows(view, i, k);
+        cpu::CountingStats stats;
+        sum += cpu::count_prepared_range(view, pool, range.row_begin,
+                                         range.row_end, &stats);
+      }
+      EXPECT_EQ(sum, expected) << "k=" << k;
+    }
+  }
+}
+
+TEST(ShardRowsTest, DegenerateShapes) {
+  prim::ThreadPool pool(2);
+  // Empty graph: every shard is empty.
+  const cpu::PreparedGraph empty =
+      cpu::prepare(EdgeList::from_undirected_pairs({}, 0), pool);
+  const cpu::ShardRange er = cpu::shard_rows(empty.view(), 0, 4);
+  EXPECT_EQ(er.num_rows(), 0u);
+  EXPECT_EQ(er.num_edges(), 0u);
+  // More shards than rows: trailing shards are empty but the tiling still
+  // covers [0, n) and the partials still sum exactly.
+  const gen::ReferenceGraph tri = gen::complete(3);
+  const cpu::PreparedGraph prepared = cpu::prepare(tri.edges, pool);
+  const cpu::PreparedGraphView view = prepared.view();
+  TriangleCount sum = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const cpu::ShardRange range = cpu::shard_rows(view, i, 8);
+    sum += cpu::count_prepared_range(view, pool, range.row_begin,
+                                     range.row_end);
+  }
+  EXPECT_EQ(sum, tri.expected_triangles);
+}
+
+// ---------------------------------------------------------------------------
+// HRW rendezvous hashing
+
+TEST(HrwTest, RankIsDeterministicPermutation) {
+  for (std::uint64_t key : {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+    const std::vector<std::size_t> rank = cluster::hrw_rank_all(key, 7);
+    ASSERT_EQ(rank.size(), 7u);
+    std::vector<bool> seen(7, false);
+    for (const std::size_t slot : rank) {
+      ASSERT_LT(slot, 7u);
+      EXPECT_FALSE(seen[slot]);
+      seen[slot] = true;
+    }
+    EXPECT_EQ(rank, cluster::hrw_rank_all(key, 7));
+  }
+}
+
+TEST(HrwTest, OnlyKeysOfDepartedSlotMoveOnLeave) {
+  constexpr std::size_t kSlots = 5;
+  constexpr int kKeys = 2000;
+  std::vector<std::size_t> all(kSlots);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  int moved = 0, owned_by_departed = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = cluster::hrw_mix(static_cast<std::uint64_t>(i));
+    const std::size_t before = cluster::hrw_rank(key, all)[0];
+    std::vector<std::size_t> without;
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      if (s != 2) without.push_back(s);
+    }
+    const std::size_t after = cluster::hrw_rank(key, without)[0];
+    if (before == 2) {
+      ++owned_by_departed;
+      EXPECT_NE(after, 2u);
+    } else {
+      // The defining rendezvous property: keys not owned by the departed
+      // slot keep their placement exactly.
+      EXPECT_EQ(after, before);
+      if (after != before) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0);
+  // Sanity: the departed slot owned roughly 1/kSlots of the keyspace.
+  EXPECT_GT(owned_by_departed, kKeys / 10);
+  EXPECT_LT(owned_by_departed, kKeys / 2);
+}
+
+TEST(HrwTest, JoinOnlyStealsKeysItNowTops) {
+  constexpr int kKeys = 2000;
+  int stolen = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = cluster::hrw_mix(static_cast<std::uint64_t>(i) ^
+                                               0x5eedull);
+    const std::size_t before = cluster::hrw_rank_all(key, 4)[0];
+    const std::size_t after = cluster::hrw_rank_all(key, 5)[0];
+    if (after != before) {
+      // A placement only changes because the new slot won the key.
+      EXPECT_EQ(after, 4u);
+      ++stolen;
+    }
+  }
+  // The joiner takes roughly 1/5 of the keyspace — not nothing, not all.
+  EXPECT_GT(stolen, kKeys / 10);
+  EXPECT_LT(stolen, kKeys / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded requests through a local TriangleService
+
+service::ServiceOptions quiet_service(std::size_t workers = 2) {
+  service::ServiceOptions options;
+  options.scheduler.workers = workers;
+  options.scheduler.queue_capacity = 256;
+  return options;
+}
+
+service::Request shard_request(std::shared_ptr<const EdgeList> graph,
+                               std::uint32_t index, std::uint32_t count) {
+  service::Request request;
+  request.graph = std::move(graph);
+  request.op = service::Operation::kCount;
+  request.backend = service::Backend::kCpuHybrid;
+  request.shard_index = index;
+  request.shard_count = count;
+  return request;
+}
+
+TEST(ShardedServiceTest, PartialsSumExactWithConsistentEchoes) {
+  service::TriangleService service(quiet_service());
+  const gen::ReferenceGraph reference = gen::windmill(7, 9);
+  const auto graph = share(reference.edges);
+
+  constexpr std::uint32_t kShards = 3;
+  TriangleCount sum = 0;
+  std::uint64_t fingerprint = 0;
+  VertexId next_row = 0;
+  for (std::uint32_t i = 0; i < kShards; ++i) {
+    const service::Response r =
+        service.execute(shard_request(graph, i, kShards));
+    ASSERT_EQ(r.status, service::Status::kOk) << r.reason;
+    EXPECT_EQ(r.shard_index, i);
+    EXPECT_EQ(r.shard_count, kShards);
+    // Every shard reports the same prepared-graph fingerprint and the rows
+    // tile contiguously — the same integrity checks the gather runs.
+    if (i == 0) {
+      fingerprint = r.graph_fingerprint;
+      EXPECT_EQ(r.shard_row_begin, 0u);
+    } else {
+      EXPECT_EQ(r.graph_fingerprint, fingerprint);
+      EXPECT_EQ(r.shard_row_begin, next_row);
+    }
+    next_row = static_cast<VertexId>(r.shard_row_end);
+    sum += r.triangles;
+  }
+  EXPECT_NE(fingerprint, 0u);
+  EXPECT_EQ(sum, reference.expected_triangles);
+
+  // Re-running a shard reproduces the identical checksum (pure function of
+  // the prepared CSR slice).
+  const service::Response again = service.execute(shard_request(graph, 1, 3));
+  const service::Response before = service.execute(shard_request(graph, 1, 3));
+  EXPECT_EQ(again.shard_checksum, before.shard_checksum);
+}
+
+TEST(ShardedServiceTest, PartialsDoNotPoisonResultMemoization) {
+  service::TriangleService service(quiet_service());
+  const gen::ReferenceGraph reference = gen::complete(24);
+  const auto graph = share(reference.edges);
+
+  // Seed the (key, op) space with a partial first...
+  const service::Response partial = service.execute(shard_request(graph, 0, 4));
+  ASSERT_EQ(partial.status, service::Status::kOk) << partial.reason;
+  ASSERT_LT(partial.triangles, reference.expected_triangles);
+
+  // ...then the whole-graph count must still be exact (a memoized partial
+  // would short-circuit it wrong), twice so the second hit is a cache hit.
+  for (int i = 0; i < 2; ++i) {
+    service::Request whole;
+    whole.graph = graph;
+    whole.op = service::Operation::kCount;
+    whole.backend = service::Backend::kCpuHybrid;
+    const service::Response r = service.execute(std::move(whole));
+    ASSERT_EQ(r.status, service::Status::kOk) << r.reason;
+    EXPECT_EQ(r.triangles, reference.expected_triangles);
+  }
+}
+
+TEST(ShardedServiceTest, InvalidShardRequestsAreTypedFailures) {
+  service::TriangleService service(quiet_service(1));
+  const auto graph = share(gen::complete(8).edges);
+
+  // shard_index out of range.
+  service::Response r = service.execute(shard_request(graph, 3, 3));
+  EXPECT_EQ(r.status, service::Status::kFailed);
+  EXPECT_FALSE(r.reason.empty());
+
+  // Sharding only composes with kCount: partial clustering coefficients
+  // cannot be summed.
+  service::Request clustering = shard_request(graph, 0, 2);
+  clustering.op = service::Operation::kClustering;
+  r = service.execute(std::move(clustering));
+  EXPECT_EQ(r.status, service::Status::kFailed);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Client drain surfacing
+
+TEST(ClusterClientTest, DrainSurfacesAsTypedDrainingFault) {
+  service::TriangleService service(quiet_service(2));
+  transport::Server server(service);
+  server.start();
+
+  transport::ClientOptions copts;
+  copts.port = server.port();
+  copts.max_attempts = 5;  // must NOT burn attempts on a draining server
+  transport::Client client(copts);
+
+  // Open the connection before the drain (a drained server refuses *new*
+  // connections outright; the typed notice is for peers that were already
+  // attached).
+  service::Request request;
+  request.graph = share(gen::complete(6).edges);
+  request.backend = service::Backend::kCpuHybrid;
+  ASSERT_EQ(client.execute(request).status, service::Status::kOk);
+
+  // Drain to completion: the server sends kDrainNotice on the live
+  // connection before closing it, so the notice is waiting in the
+  // client's socket buffer.
+  server.drain();
+
+  // The next request must surface the distinct typed fault the
+  // coordinator keys immediate failover on — not folded into kExhausted,
+  // no backoff budget burned.
+  try {
+    (void)client.execute(request);
+    FAIL() << "draining server accepted a request";
+  } catch (const transport::TransportError& error) {
+    EXPECT_EQ(error.fault(), transport::TransportFault::kDraining);
+  }
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator over real worker processes (needs the trico_cli binary)
+
+#ifdef TRICO_CLI_PATH
+
+int requested_load(int fallback) {
+  const char* env = std::getenv("TRICO_CLUSTER_REQUESTS");
+  if (env == nullptr) return fallback;
+  const int n = std::atoi(env);
+  return n > 0 ? n : fallback;
+}
+
+cluster::CoordinatorOptions coordinator_options(int workers) {
+  cluster::CoordinatorOptions copts;
+  copts.supervisor.cli_path = TRICO_CLI_PATH;
+  copts.supervisor.num_workers = workers;
+  copts.supervisor.monitor_period_ms = 20;
+  copts.supervisor.client.max_attempts = 6;
+  copts.supervisor.client.backoff_initial_ms = 5;
+  copts.supervisor.client.backoff_max_ms = 100;
+  return copts;
+}
+
+service::Request count_request(std::shared_ptr<const EdgeList> graph,
+                               const std::string& tenant = "") {
+  service::Request request;
+  request.graph = std::move(graph);
+  request.op = service::Operation::kCount;
+  request.backend = service::Backend::kCpuHybrid;
+  request.tenant_id = tenant;
+  return request;
+}
+
+TEST(CoordinatorProcessTest, ExactCountsInBothPlanModes) {
+  cluster::CoordinatorOptions copts = coordinator_options(2);
+  // complete(40) has 40*39/2 = 780 oriented edge slots: above 256 it
+  // scatters, while complete(12) (66 slots) affinity-routes whole.
+  copts.scatter_edge_threshold = 256;
+  cluster::Coordinator coordinator(copts);
+  coordinator.start();
+
+  const gen::ReferenceGraph small = gen::complete(12);
+  const gen::ReferenceGraph big = gen::complete(40);
+
+  const service::Response affinity =
+      coordinator.execute(count_request(share(small.edges)));
+  ASSERT_EQ(affinity.status, service::Status::kOk) << affinity.reason;
+  EXPECT_EQ(affinity.triangles, small.expected_triangles);
+
+  const service::Response scatter =
+      coordinator.execute(count_request(share(big.edges)));
+  ASSERT_EQ(scatter.status, service::Status::kOk) << scatter.reason;
+  EXPECT_EQ(scatter.triangles, big.expected_triangles);
+  EXPECT_EQ(scatter.shard_count, 2u);
+  EXPECT_NE(scatter.graph_fingerprint, 0u);
+
+  const cluster::CoordinatorStats stats = coordinator.stats();
+  EXPECT_GE(stats.affinity_requests, 1u);
+  EXPECT_GE(stats.scatter_requests, 1u);
+  EXPECT_GE(stats.shard_subrequests, 2u);
+  EXPECT_EQ(stats.gather_integrity_failures, 0u);
+
+  // Satellite: the cluster snapshot carries the per-worker slots.
+  const service::MetricsSnapshot snapshot = coordinator.metrics();
+  ASSERT_EQ(snapshot.workers.size(), 2u);
+  for (const auto& slot : snapshot.workers) {
+    EXPECT_TRUE(slot.alive);
+    EXPECT_GT(slot.port, 0);
+  }
+  EXPECT_NE(coordinator.metrics_text().find("workers:"), std::string::npos);
+
+  coordinator.stop();
+}
+
+TEST(CoordinatorProcessTest, KillNineMidScatterStillYieldsExactCounts) {
+  cluster::CoordinatorOptions copts = coordinator_options(3);
+  copts.scatter_edge_threshold = 64;  // everything below scatters
+  copts.shard_attempts = 6;
+  // Seeded wire delays stretch every shard's flight time so the kill below
+  // reliably lands mid-gather (deterministic chaos schedule per worker).
+  copts.supervisor.worker_args = {"--chaos-seed", "20260808", "--chaos-delay",
+                                  "0.9", "--chaos-max-delay", "25"};
+  cluster::Coordinator coordinator(copts);
+  coordinator.start();
+
+  const gen::ReferenceGraph reference = gen::windmill(6, 10);
+  const auto graph = share(reference.edges);
+
+  std::atomic<bool> done{false};
+  std::thread killer([&] {
+    // Keep killing a rotating worker while scatters are in flight; the
+    // supervisor respawns each victim, the coordinator re-scatters the lost
+    // shards.
+    for (int k = 0; !done.load(); ++k) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      if (done.load()) break;
+      coordinator.supervisor().kill_worker(static_cast<std::size_t>(k % 3));
+    }
+  });
+
+  const int rounds = requested_load(25);
+  int ok = 0, failed = 0, wrong = 0;
+  for (int i = 0; i < rounds; ++i) {
+    const service::Response r = coordinator.execute(count_request(graph));
+    if (r.status == service::Status::kOk) {
+      ++ok;
+      if (r.triangles != reference.expected_triangles) ++wrong;
+    } else {
+      ++failed;
+      EXPECT_FALSE(r.reason.empty());
+      if (failed <= 3) {
+        std::cerr << "round " << i << " failed: " << r.reason << "\n";
+      }
+    }
+    if (coordinator.stats().rescatters >= 1 && i >= 4) break;
+  }
+  done.store(true);
+  killer.join();
+
+  EXPECT_EQ(wrong, 0) << "a kill corrupted an exact scatter/gather count";
+  EXPECT_GT(ok, 0);
+  const cluster::CoordinatorStats stats = coordinator.stats();
+  EXPECT_GE(stats.rescatters, 1u)
+      << "no shard was ever lost+recovered (ok=" << ok
+      << " failed=" << failed << ")";
+  EXPECT_EQ(stats.gather_integrity_failures, 0u);
+  coordinator.stop();
+}
+
+TEST(CoordinatorProcessTest, GlobalTenantGateCapsAggregateInflight) {
+  cluster::CoordinatorOptions copts = coordinator_options(2);
+  copts.tenant_inflight_cap = 1;
+  copts.scheduler.workers = 8;
+  // Slow the workers down so the flood genuinely overlaps at the gate.
+  copts.supervisor.worker_args = {"--chaos-seed", "5", "--chaos-delay", "1.0",
+                                  "--chaos-max-delay", "20"};
+  cluster::Coordinator coordinator(copts);
+  coordinator.start();
+
+  const gen::ReferenceGraph reference = gen::complete(16);
+  const auto graph = share(reference.edges);
+
+  // Hot tenant: 8 concurrent plans against a cap of 1 — at most one runs,
+  // one waits, the rest bounce with the typed queue-full rejection.
+  constexpr int kFlood = 8;
+  std::atomic<int> hot_ok{0}, hot_rejected{0}, hot_wrong{0};
+  std::vector<std::thread> flood;
+  for (int i = 0; i < kFlood; ++i) {
+    flood.emplace_back([&] {
+      const service::Response r =
+          coordinator.execute(count_request(graph, "hot"));
+      if (r.status == service::Status::kOk) {
+        if (r.triangles != reference.expected_triangles) ++hot_wrong;
+        ++hot_ok;
+      } else if (r.status == service::Status::kRejectedQueueFull) {
+        ++hot_rejected;
+      }
+    });
+  }
+  // Light tenant: serial requests must keep landing while the hot tenant
+  // floods — the gate is per tenant, not global.
+  int light_ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    const service::Response r =
+        coordinator.execute(count_request(graph, "light"));
+    if (r.status == service::Status::kOk) {
+      EXPECT_EQ(r.triangles, reference.expected_triangles);
+      ++light_ok;
+    }
+  }
+  for (std::thread& thread : flood) thread.join();
+
+  EXPECT_EQ(hot_wrong.load(), 0);
+  EXPECT_GE(hot_ok.load(), 1);
+  EXPECT_GE(hot_rejected.load(), 1)
+      << "a flood of " << kFlood << " never tripped the cap-1 gate";
+  EXPECT_EQ(light_ok, 4) << "the hot tenant starved the light tenant";
+
+  const cluster::CoordinatorStats stats = coordinator.stats();
+  EXPECT_GE(stats.tenant_throttle_rejects, 1u);
+  coordinator.stop();
+}
+
+TEST(CoordinatorProcessTest, LanesBatchSameKeyDispatches) {
+  cluster::CoordinatorOptions copts = coordinator_options(1);
+  copts.scheduler.workers = 8;
+  // Delay every wire response so the single lane builds a real queue.
+  copts.supervisor.worker_args = {"--chaos-seed", "9", "--chaos-delay", "1.0",
+                                  "--chaos-max-delay", "10"};
+  cluster::Coordinator coordinator(copts);
+  coordinator.start();
+
+  const gen::ReferenceGraph a = gen::complete(14);
+  const gen::ReferenceGraph b = gen::windmill(4, 6);
+  const auto graph_a = share(a.edges);
+  const auto graph_b = share(b.edges);
+
+  // Interleave two content keys; the lane's lookahead should re-order the
+  // backlog into same-key runs (batched_dispatches counts continuations).
+  std::vector<service::Ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(coordinator.submit(
+        count_request(i % 2 == 0 ? graph_a : graph_b)));
+  }
+  int wrong = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const service::Response r = tickets[i].wait();
+    ASSERT_EQ(r.status, service::Status::kOk) << r.reason;
+    const TriangleCount expected =
+        i % 2 == 0 ? a.expected_triangles : b.expected_triangles;
+    if (r.triangles != expected) ++wrong;
+  }
+  EXPECT_EQ(wrong, 0);
+  EXPECT_GE(coordinator.stats().batched_dispatches, 1u)
+      << "an interleaved backlog produced zero same-key continuations";
+  coordinator.stop();
+}
+
+TEST(CoordinatorProcessTest, SeededChaosStormKeepsCountsExact) {
+  // The CI storm: mixed tenants, both plan modes, seeded torn frames and
+  // delayed acks in every worker, one kill -9 mid-run. Scaled up via
+  // TRICO_CLUSTER_REQUESTS (the cluster-smoke workflow job runs 500).
+  cluster::CoordinatorOptions copts = coordinator_options(3);
+  copts.scatter_edge_threshold = 256;
+  copts.shard_attempts = 6;
+  copts.supervisor.worker_args = {"--chaos-seed", "20260808",
+                                  "--chaos-torn",  "0.03",
+                                  "--chaos-delay", "0.05",
+                                  "--chaos-max-delay", "2"};
+  cluster::Coordinator coordinator(copts);
+  coordinator.start();
+
+  const gen::ReferenceGraph small = gen::windmill(6, 8);   // affinity
+  const gen::ReferenceGraph big = gen::complete(40);       // scatter
+  const auto small_graph = share(small.edges);
+  const auto big_graph = share(big.edges);
+
+  const int total = requested_load(80);
+  constexpr int kClients = 4;
+  std::atomic<int> wrong{0}, ok{0}, failed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = c; i < total; i += kClients) {
+        const bool scatter = i % 2 == 0;
+        const service::Response r = coordinator.execute(count_request(
+            scatter ? big_graph : small_graph, "tenant-" + std::to_string(c)));
+        if (r.status == service::Status::kOk) {
+          const TriangleCount expected =
+              scatter ? big.expected_triangles : small.expected_triangles;
+          if (r.triangles != expected) ++wrong;
+          ++ok;
+        } else {
+          EXPECT_FALSE(r.reason.empty());
+          ++failed;
+        }
+      }
+    });
+  }
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    coordinator.supervisor().kill_worker(1);
+  });
+  for (std::thread& thread : clients) thread.join();
+  killer.join();
+
+  EXPECT_EQ(wrong.load(), 0) << "chaos corrupted an exact count";
+  EXPECT_GT(ok.load(), total / 2)
+      << "too few successes: failover/re-scatter is not recovering "
+      << "(ok=" << ok.load() << " failed=" << failed.load() << ")";
+  const cluster::CoordinatorStats stats = coordinator.stats();
+  EXPECT_GE(stats.scatter_requests, 1u);
+  EXPECT_GE(stats.affinity_requests, 1u);
+  EXPECT_EQ(stats.gather_integrity_failures, 0u);
+  coordinator.stop();
+}
+
+#endif  // TRICO_CLI_PATH
+
+}  // namespace
+}  // namespace trico
