@@ -60,6 +60,15 @@
 // demo: spawns N supervised serve workers (of this same binary), routes
 // --requests requests across them, and reports supervisor stats.
 //
+// Coordinator HA (`trico_cli coordinator --lease FILE --journal DIR
+// [--standby] [--ha-ttl MS]`) runs one node of an active/standby pair over
+// a shared lease file and exactly-once response journal (docs/cluster.md
+// "Failover"): the standby answers clients with a kNotLeader redirect,
+// tails the journal, and promotes itself — bumping the fencing epoch — when
+// the active misses its lease TTL. Workers get --lease forwarded so they
+// reject scatter frames from a deposed leader. Clients reach the pair with
+// repeated `client --endpoint H:P` flags.
+//
 // `trico_cli version` prints the detected CPU features and the ISA level
 // the hybrid engine's intersection kernels will dispatch to (honouring a
 // TRICO_FORCE_ISA override), then exits.
@@ -74,6 +83,8 @@
 // Exit status 0 on success; the triangle count goes to stdout.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -98,6 +109,8 @@
 #include "multigpu/multi_gpu.hpp"
 #include "service/service.hpp"
 #include "cluster/coordinator.hpp"
+#include "cluster/ha/lease.hpp"
+#include "cluster/ha/node.hpp"
 #include "store/artifact.hpp"
 #include "store/store.hpp"
 #include "transport/client.hpp"
@@ -121,22 +134,26 @@ using namespace trico;
                "[--device D] <script-file>\n"
                "       " << argv0
             << " serve [--port N] [--workers N] [--queue N] [--device D]\n"
+               "       [--lease FILE] [--seed S]\n"
                "       [--chaos-seed S] [--chaos-torn R] [--chaos-reset R] "
                "[--chaos-delay R]\n"
                "       [--chaos-max-delay MS] [--chaos-kill R]\n"
                "       " << argv0
-            << " client --port N [--host H] [--repeat N] [--tenant T] "
-               "[--op OP]\n"
-               "       [--backend B] [--attempts N] [--metrics] "
-               "<graph-spec>\n"
+            << " client (--port N | --endpoint H:P ...) [--host H] "
+               "[--repeat N] [--same-id]\n"
+               "       [--tenant T] [--op OP] [--backend B] [--attempts N] "
+               "[--seed S]\n"
+               "       [--metrics] <graph-spec>\n"
                "       " << argv0
-            << " cluster [--workers N] [--requests N] [--chaos-* ...] "
-               "<graph-spec>\n"
+            << " cluster [--workers N] [--requests N] [--seed S] "
+               "[--chaos-* ...] <graph-spec>\n"
                "       " << argv0
             << " coordinator [--port N] [--workers N] [--queue N] "
                "[--plan-workers N]\n"
                "       [--scatter-edges N] [--shards N] [--tenant-cap N] "
                "[--store DIR]\n"
+               "       [--lease FILE --journal DIR] [--standby] "
+               "[--ha-ttl MS] [--seed S]\n"
                "       [--device D] [--chaos-* ...]   (docs/cluster.md)\n"
                "       " << argv0
             << " prewarm --store DIR <graph-spec>...\n"
@@ -187,11 +204,11 @@ service::Operation parse_operation(const std::string& name) {
 }
 
 /// Loads one graph-spec (`rmat:<scale>` or a file path; *.trico = binary).
-EdgeList load_spec(const std::string& spec) {
+EdgeList load_spec(const std::string& spec, std::uint64_t seed = 1) {
   if (spec.rfind("rmat:", 0) == 0) {
     gen::RmatParams params;
     params.scale = static_cast<unsigned>(std::stoul(spec.substr(5)));
-    return gen::rmat(params, 1);
+    return gen::rmat(params, seed == 0 ? 1 : seed);
   }
   if (spec.size() > 6 && spec.compare(spec.size() - 6, 6, ".trico") == 0) {
     return service::GraphCatalog::load_graph_file(spec);
@@ -213,6 +230,7 @@ int run_batch(int argc, char** argv) {
   std::string device_name = "gtx980";
   std::string store_root;
   std::string script_path;
+  std::uint64_t seed = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -243,6 +261,10 @@ int run_batch(int argc, char** argv) {
       store_root = next();
     } else if (arg == "--device") {
       device_name = next();
+    } else if (arg == "--seed") {
+      // Seeds rmat: graph generation so a scripted storm is bit-identical
+      // across runs (batch mode makes no outgoing connections).
+      seed = std::stoull(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -281,7 +303,7 @@ int run_batch(int argc, char** argv) {
   for (const BatchQuery& query : queries) {
     if (graphs.count(query.spec)) continue;
     graphs[query.spec] =
-        std::make_shared<const EdgeList>(load_spec(query.spec));
+        std::make_shared<const EdgeList>(load_spec(query.spec, seed));
   }
 
   service::ServiceOptions options;
@@ -493,6 +515,7 @@ int run_serve(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string device_name = "gtx980";
   std::string store_root;
+  std::string lease_path;
   std::uint64_t chaos_seed = 0;
   service::ChaosPlan::RandomOptions chaos_opts;
 
@@ -514,6 +537,12 @@ int run_serve(int argc, char** argv) {
       store_root = next();
     } else if (arg == "--device") {
       device_name = next();
+    } else if (arg == "--lease") {
+      lease_path = next();
+    } else if (arg == "--seed") {
+      // Accepted for arg-forwarding uniformity (HA coordinators forward
+      // their flag set to workers); serve makes no outgoing connections.
+      (void)next();
     } else if (arg == "--chaos-seed") {
       chaos_seed = std::stoull(next());
     } else if (arg == "--chaos-torn") {
@@ -545,6 +574,31 @@ int run_serve(int argc, char** argv) {
     chaos.randomize(chaos_seed, chaos_opts);
     options.chaos = &chaos;
     server_options.chaos = &chaos;
+  }
+  if (!lease_path.empty()) {
+    // Worker-side fencing: the epoch floor is the lease file's current
+    // epoch (re-peeked at most every 50 ms; the Server additionally keeps
+    // a monotonic high-water mark of epochs seen on the wire). A scatter
+    // frame stamped below the floor is from a deposed coordinator.
+    auto cached = std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto last_peek_ms = std::make_shared<std::atomic<std::int64_t>>(-1000);
+    server_options.fence_epoch = [lease_path, cached, last_peek_ms] {
+      const std::int64_t now =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      std::int64_t last = last_peek_ms->load(std::memory_order_acquire);
+      if (now - last >= 50 &&
+          last_peek_ms->compare_exchange_strong(last, now)) {
+        if (const auto record = cluster::ha::LeaseFile::peek(lease_path)) {
+          std::uint64_t seen = cached->load(std::memory_order_acquire);
+          while (record->epoch > seen &&
+                 !cached->compare_exchange_weak(seen, record->epoch)) {
+          }
+        }
+      }
+      return cached->load(std::memory_order_acquire);
+    };
   }
 
   service::TriangleService svc(options);
@@ -583,6 +637,7 @@ int run_client(int argc, char** argv) {
   std::string spec, tenant, op_name = "count", backend_name = "auto";
   int repeat = 1;
   bool metrics = false;
+  bool same_id = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -594,6 +649,26 @@ int run_client(int argc, char** argv) {
       copts.host = next();
     } else if (arg == "--port") {
       copts.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--endpoint") {
+      // Repeatable H:P pairs — the multi-endpoint failover set (HA
+      // coordinator pairs). Supersedes --host/--port when given.
+      const std::string value = next();
+      const std::size_t colon = value.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= value.size()) {
+        std::cerr << "bad --endpoint (want host:port): " << value << "\n";
+        usage(argv[0]);
+      }
+      transport::Endpoint endpoint;
+      endpoint.host = value.substr(0, colon);
+      endpoint.port =
+          static_cast<std::uint16_t>(std::stoul(value.substr(colon + 1)));
+      copts.endpoints.push_back(std::move(endpoint));
+    } else if (arg == "--seed") {
+      copts.seed = std::stoull(next());
+    } else if (arg == "--same-id") {
+      // Reuse one request id across --repeat sends: the later sends must
+      // replay the recorded response (dedup/journal), not re-execute.
+      same_id = true;
     } else if (arg == "--repeat") {
       repeat = std::stoi(next());
     } else if (arg == "--tenant") {
@@ -613,7 +688,9 @@ int run_client(int argc, char** argv) {
       spec = arg;
     }
   }
-  if (spec.empty() || copts.port == 0) usage(argv[0]);
+  if (spec.empty() || (copts.port == 0 && copts.endpoints.empty())) {
+    usage(argv[0]);
+  }
 
   transport::Client client(copts);
   service::Request request;
@@ -625,7 +702,9 @@ int run_client(int argc, char** argv) {
   int failed = 0;
   for (int i = 0; i < repeat; ++i) {
     util::Timer timer;
-    const service::Response r = client.execute(request);
+    const service::Response r =
+        same_id ? client.execute_with_id(request, 1)
+                : client.execute(request);
     std::cerr << spec << " " << to_string(r.status);
     if (r.status == service::Status::kOk) {
       std::cerr << " backend=" << to_string(r.backend)
@@ -671,6 +750,10 @@ int run_cluster(int argc, char** argv) {
       sopts.num_workers = std::stoi(next());
     } else if (arg == "--requests") {
       requests = std::stoi(next());
+    } else if (arg == "--seed") {
+      // Deterministic backoff jitter for the supervisor's worker clients
+      // (each slot derives seed+index) — seeded chaos storms reproduce.
+      sopts.client.seed = std::stoull(next());
     } else if (arg.rfind("--chaos-", 0) == 0) {
       // Forwarded verbatim to every worker's serve command line.
       sopts.worker_args.push_back(arg);
@@ -725,6 +808,9 @@ int run_coordinator(int argc, char** argv) {
   cluster::CoordinatorOptions copts;
   copts.supervisor.cli_path = "/proc/self/exe";
   transport::ServerOptions server_options;
+  std::string lease_path, journal_dir;
+  double ha_ttl_ms = 1000;
+  bool standby = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -746,6 +832,17 @@ int run_coordinator(int argc, char** argv) {
       copts.max_shards = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--tenant-cap") {
       copts.tenant_inflight_cap = std::stoul(next());
+    } else if (arg == "--lease") {
+      lease_path = next();
+    } else if (arg == "--journal") {
+      journal_dir = next();
+    } else if (arg == "--ha-ttl") {
+      ha_ttl_ms = std::stod(next());
+    } else if (arg == "--standby") {
+      standby = true;
+    } else if (arg == "--seed") {
+      // Deterministic backoff jitter for the pool's worker clients.
+      copts.supervisor.client.seed = std::stoull(next());
     } else if (arg == "--store" || arg == "--device" ||
                arg.rfind("--chaos-", 0) == 0) {
       // Forwarded verbatim to every worker's serve command line: the
@@ -757,8 +854,39 @@ int run_coordinator(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  const bool ha_mode = !lease_path.empty();
+  if (ha_mode && journal_dir.empty()) {
+    std::cerr << "error: --lease requires --journal DIR (the exactly-once "
+                 "journal)\n";
+    usage(argv[0]);
+  }
+  if (ha_mode) {
+    // Workers fence: give every serve process the lease path so it can
+    // reject scatter frames stamped with a deposed leader's epoch.
+    copts.supervisor.worker_args.push_back("--lease");
+    copts.supervisor.worker_args.push_back(lease_path);
+  }
 
-  cluster::Coordinator coordinator(copts);
+  std::unique_ptr<cluster::Coordinator> coordinator;
+  std::unique_ptr<cluster::ha::HaCoordinator> ha;
+  if (ha_mode) {
+    cluster::ha::HaNodeOptions hopts;
+    hopts.coordinator = copts;
+    hopts.lease_path = lease_path;
+    hopts.journal_dir = journal_dir;
+    hopts.lease_ttl_ms = ha_ttl_ms;
+    hopts.standby = standby;
+    ha = std::make_unique<cluster::ha::HaCoordinator>(std::move(hopts));
+    server_options.journal = &ha->journal();
+    server_options.leadership = [node = ha.get()] {
+      return node->leader_view();
+    };
+  } else {
+    coordinator = std::make_unique<cluster::Coordinator>(copts);
+  }
+  transport::RequestSink& sink =
+      ha_mode ? static_cast<transport::RequestSink&>(*ha)
+              : static_cast<transport::RequestSink&>(*coordinator);
 
   if (::pipe(g_signal_pipe) < 0) {
     std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
@@ -767,14 +895,20 @@ int run_coordinator(int argc, char** argv) {
   std::signal(SIGTERM, on_terminate_signal);
   std::signal(SIGINT, on_terminate_signal);
 
-  coordinator.start();
-  transport::Server server(coordinator, server_options);
+  if (ha_mode) {
+    ha->start();  // warm pool + journal tail + lease loop
+  } else {
+    coordinator->start();
+  }
+  transport::Server server(sink, server_options);
   server.start();
+  if (ha_mode) ha->set_advertised_port(server.port());
   // Same spawn handshake as serve mode: exactly one LISTENING line on
   // stdout, so scripts (and CI) can address the cluster like one server.
   std::cout << "LISTENING " << server.port() << "\n" << std::flush;
   std::cerr << "trico_cli coordinator: pid " << ::getpid() << " port "
             << server.port() << " workers " << copts.supervisor.num_workers
+            << (ha_mode ? (standby ? " role standby" : " role active") : "")
             << "\n";
 
   char byte = 0;
@@ -782,14 +916,26 @@ int run_coordinator(int argc, char** argv) {
   std::cerr << "trico_cli coordinator: draining\n";
   server.drain();
   server.stop();
-  const cluster::CoordinatorStats cstats = coordinator.stats();
-  std::cerr << coordinator.metrics_text();
+  cluster::Coordinator& inner = ha_mode ? ha->coordinator() : *coordinator;
+  const cluster::CoordinatorStats cstats = inner.stats();
+  std::cerr << sink.metrics_text();
   std::cerr << "trico_cli coordinator: done (" << cstats.affinity_requests
             << " affinity, " << cstats.scatter_requests << " scatter, "
             << cstats.shard_subrequests << " shard subrequests, "
             << cstats.rescatters << " rescatters, " << cstats.failovers
             << " failovers, " << cstats.batched_dispatches << " batched)\n";
-  coordinator.stop();
+  if (ha_mode) {
+    const cluster::ha::HaStats hstats = ha->stats();
+    std::cerr << "trico_cli coordinator: ha leading="
+              << (hstats.leading ? 1 : 0) << " epoch=" << hstats.epoch
+              << " promotions=" << hstats.promotions
+              << " demotions=" << hstats.demotions
+              << " journal_appends=" << hstats.journal.appends
+              << " journal_replays=" << hstats.journal.replays << "\n";
+    ha->stop();
+  } else {
+    coordinator->stop();
+  }
   return 0;
 }
 

@@ -185,6 +185,12 @@ std::shared_ptr<Coordinator::Job> Coordinator::enqueue(
   auto job = std::make_shared<Job>();
   job->key = key;
   job->request = std::move(request);
+  if (options_.lease_epoch != nullptr) {
+    // Fencing stamp: read at dispatch time (not admission) so a subrequest
+    // queued across a promotion carries the *current* epoch.
+    job->request.lease_epoch =
+        options_.lease_epoch->load(std::memory_order_acquire);
+  }
   Lane& lane = *lanes_[lane_index];
   {
     std::lock_guard lock(lane.mutex);

@@ -89,6 +89,11 @@ struct CoordinatorOptions {
   /// Consecutive same-key picks before the lane must take its FIFO head
   /// (starvation bound for the batching heuristic).
   std::size_t max_batch_run = 16;
+  /// HA fencing: when set, every dispatched subrequest is stamped with the
+  /// cell's current value (the coordinator's lease epoch) so workers can
+  /// reject scatter frames from a deposed leader. Shared with the
+  /// HaCoordinator that owns the lease loop. Null / zero = unfenced.
+  std::shared_ptr<const std::atomic<std::uint64_t>> lease_epoch;
 };
 
 /// Monotonic counters of the coordinator's own decisions (the cluster-level

@@ -1,0 +1,519 @@
+#include "cluster/ha/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "store/format.hpp"
+#include "util/io.hpp"
+
+namespace trico::cluster::ha {
+
+namespace {
+
+constexpr std::uint32_t kMaxRecordPayload = 1u << 30;
+
+std::uint64_t align8(std::uint64_t n) { return store::align_up(n, 8); }
+
+/// Parses "seg-<seq>-e<epoch>.trj" / ".open". Returns false for anything
+/// else (tmp files, quarantine side files, strangers).
+bool parse_segment_name(const std::string& name, std::uint64_t& seq,
+                        std::uint64_t& epoch, bool& open) {
+  std::uint64_t s = 0;
+  std::uint64_t e = 0;
+  char suffix[8] = {0};
+  if (std::sscanf(name.c_str(), "seg-%" SCNu64 "-e%" SCNu64 ".%5s", &s, &e,
+                  suffix) != 3) {
+    return false;
+  }
+  if (std::strcmp(suffix, "trj") == 0) {
+    open = false;
+  } else if (std::strcmp(suffix, "open") == 0) {
+    open = true;
+  } else {
+    return false;
+  }
+  seq = s;
+  epoch = e;
+  return true;
+}
+
+std::string segment_name(std::uint64_t seq, std::uint64_t epoch, bool open) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-%08" PRIu64 "-e%" PRIu64 ".%s", seq,
+                epoch, open ? "open" : "trj");
+  return buf;
+}
+
+struct RecordHeader {
+  std::uint32_t magic = kJournalRecordMagic;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(RecordHeader) == kJournalRecordHeaderBytes);
+
+/// Checksum over the header's first 24 bytes plus the zero-padded payload
+/// (everything except the checksum field itself).
+std::uint64_t record_checksum(const RecordHeader& header,
+                              const std::uint8_t* payload,
+                              std::size_t payload_bytes) {
+  store::ChecksumStream stream;
+  stream.feed(&header, kJournalRecordHeaderBytes - sizeof(std::uint64_t));
+  stream.feed(payload, payload_bytes);
+  stream.feed_zeros(align8(payload_bytes) - payload_bytes);
+  return stream.finish();
+}
+
+std::uint64_t file_size_of(int fd) {
+  struct stat st {};
+  if (::fstat(fd, &st) < 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+Journal::Journal(JournalOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw JournalError("journal directory not set");
+  }
+  // Create the directory if needed (one level; the parent must exist).
+  if (::mkdir(options_.dir.c_str(), 0755) < 0 && errno != EEXIST) {
+    throw JournalError("mkdir " + options_.dir + ": " + std::strerror(errno));
+  }
+}
+
+Journal::~Journal() {
+  close();
+  std::lock_guard lock(mutex_);
+  for (auto& [seq, segment] : segments_) {
+    if (segment.fd >= 0) util::io::close_quiet(segment.fd);
+  }
+}
+
+std::string Journal::path_of_locked(const Segment& segment) const {
+  return options_.dir + "/" + segment.name;
+}
+
+Journal::Segment* Journal::find_segment_locked(std::uint64_t seq) {
+  const auto it = segments_.find(seq);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+void Journal::fsync_dir_locked() const {
+  const int fd =
+      util::io::open_retry(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    util::io::close_quiet(fd);
+  }
+}
+
+void Journal::scan_dir_locked() {
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) {
+    throw JournalError("opendir " + options_.dir + ": " +
+                       std::strerror(errno));
+  }
+  for (dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;
+    bool open = false;
+    const std::string name = entry->d_name;
+    if (!parse_segment_name(name, seq, epoch, open)) continue;
+    Segment* known = find_segment_locked(seq);
+    if (known == nullptr) {
+      Segment segment;
+      segment.seq = seq;
+      segment.epoch = epoch;
+      segment.name = name;
+      segments_.emplace(seq, std::move(segment));
+    } else if (known->name != name) {
+      // Sealed (or renamed) by another process; any cached fd still points
+      // at the same inode, only the basename moved.
+      known->name = name;
+    }
+  }
+  ::closedir(dir);
+  stats_.segments = segments_.size();
+}
+
+void Journal::index_locked(std::uint64_t client_id, std::uint64_t request_id,
+                           Location location) {
+  auto& per_client = index_[client_id];
+  const auto [it, inserted] = per_client.emplace(request_id, location);
+  (void)it;
+  if (inserted) {
+    ++index_size_;
+  } else {
+    // First record wins: a duplicate across a rotation (or from a fenced
+    // old writer) is observed, counted, and ignored.
+    ++stats_.duplicate_records;
+  }
+}
+
+void Journal::parse_segment_locked(Segment& segment, bool quarantine_tail) {
+  if (segment.fd < 0) {
+    std::string path = path_of_locked(segment);
+    int fd = util::io::open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      // The segment may have been sealed under us: try the other suffix.
+      const bool was_open = path.size() > 5 &&
+                            path.compare(path.size() - 5, 5, ".open") == 0;
+      std::string other = was_open
+                              ? path.substr(0, path.size() - 5) + ".trj"
+                              : path.substr(0, path.size() - 4) + ".open";
+      fd = util::io::open_retry(other.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) return;  // gone entirely; skip this round
+      segment.name = other.substr(other.rfind('/') + 1);
+    }
+    segment.fd = fd;
+  }
+
+  const std::uint64_t size = file_size_of(segment.fd);
+  std::uint64_t offset = segment.parsed;
+  std::vector<std::uint8_t> buffer;
+  while (offset + kJournalRecordHeaderBytes <= size) {
+    RecordHeader header;
+    if (util::io::pread_full(segment.fd, &header, sizeof(header), static_cast<off_t>(offset))
+            .status != util::io::IoStatus::kOk) {
+      break;
+    }
+    if (header.magic != kJournalRecordMagic ||
+        header.payload_bytes > kMaxRecordPayload) {
+      break;  // garbage from here on: unrecoverable tail
+    }
+    const std::uint64_t padded = align8(header.payload_bytes);
+    if (offset + kJournalRecordHeaderBytes + padded > size) {
+      break;  // torn final record (possibly still being written)
+    }
+    buffer.resize(padded);
+    if (padded > 0 &&
+        util::io::pread_full(segment.fd, buffer.data(), padded,
+                             static_cast<off_t>(offset +
+                                                kJournalRecordHeaderBytes))
+                .status != util::io::IoStatus::kOk) {
+      break;
+    }
+    if (record_checksum(header, buffer.data(), header.payload_bytes) !=
+        header.checksum) {
+      break;  // damaged record: stop at the valid prefix
+    }
+    Location location;
+    location.seq = segment.seq;
+    location.offset = offset;
+    location.payload_bytes = header.payload_bytes;
+    const std::size_t before = index_size_;
+    index_locked(header.client_id, header.request_id, location);
+    if (index_size_ > before) ++stats_.recovered_records;
+    offset += kJournalRecordHeaderBytes + padded;
+  }
+  segment.parsed = offset;
+
+  if (quarantine_tail && offset < size) {
+    // Becoming the writer: the tail can no longer complete (its writer is
+    // dead or fenced). Copy it aside for forensics and never re-read it.
+    // The segment itself is not truncated — a fenced old writer may still
+    // hold an fd into it, and fighting a live writer over the same bytes
+    // is how corruption happens.
+    const std::uint64_t tail = size - offset;
+    std::vector<std::uint8_t> bytes(tail);
+    if (util::io::pread_full(segment.fd, bytes.data(), tail,
+                             static_cast<off_t>(offset))
+            .status == util::io::IoStatus::kOk) {
+      const std::string qpath = path_of_locked(segment) + ".quarantine";
+      const int qfd = ::open(qpath.c_str(),
+                             O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      if (qfd >= 0) {
+        (void)util::io::write_full(qfd, bytes.data(), bytes.size());
+        ::fsync(qfd);
+        util::io::close_quiet(qfd);
+      }
+    }
+    stats_.quarantined_bytes += tail;
+    segment.parsed = size;
+  }
+}
+
+void Journal::open() {
+  std::lock_guard lock(mutex_);
+  scan_dir_locked();
+  for (auto& [seq, segment] : segments_) {
+    parse_segment_locked(segment, /*quarantine_tail=*/false);
+  }
+}
+
+void Journal::refresh() { open(); }
+
+void Journal::start_writer(std::uint64_t epoch) {
+  std::unique_lock lock(mutex_);
+  if (writing_) {
+    throw JournalError("journal is already in writer mode");
+  }
+  scan_dir_locked();
+  std::uint64_t max_seq = 0;
+  for (auto& [seq, segment] : segments_) {
+    parse_segment_locked(segment, /*quarantine_tail=*/true);
+    max_seq = std::max(max_seq, seq);
+    if (segment.name.size() > 5 &&
+        segment.name.compare(segment.name.size() - 5, 5, ".open") == 0) {
+      // Seal the dead (or fenced) writer's open segment. Atomic rename:
+      // its post-seal appends land in the sealed file and are ignored
+      // until the next cold recovery decides about them.
+      const std::string from = path_of_locked(segment);
+      const std::string sealed =
+          segment_name(segment.seq, segment.epoch, /*open=*/false);
+      if (::rename(from.c_str(), (options_.dir + "/" + sealed).c_str()) ==
+          0) {
+        segment.name = sealed;
+      }
+    }
+  }
+  fsync_dir_locked();
+
+  write_epoch_ = epoch;
+  write_seq_ = max_seq + 1;
+  open_fresh_segment_locked();
+  writing_ = true;
+  stop_flusher_ = false;
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void Journal::open_fresh_segment_locked() {
+  const std::string tmp = options_.dir + "/journal.tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw JournalError("open " + tmp + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) < 0) {
+    util::io::close_quiet(fd);
+    throw JournalError("fsync " + tmp + ": " + std::strerror(errno));
+  }
+  const std::string name = segment_name(write_seq_, write_epoch_, true);
+  if (::rename(tmp.c_str(), (options_.dir + "/" + name).c_str()) < 0) {
+    util::io::close_quiet(fd);
+    throw JournalError("rename " + tmp + ": " + std::strerror(errno));
+  }
+  fsync_dir_locked();
+
+  Segment segment;
+  segment.seq = write_seq_;
+  segment.epoch = write_epoch_;
+  segment.name = name;
+  segment.fd = fd;
+  segment.parsed = 0;
+  segments_[write_seq_] = std::move(segment);
+  stats_.segments = segments_.size();
+  write_offset_ = 0;
+}
+
+void Journal::rotate_locked() {
+  Segment* current = find_segment_locked(write_seq_);
+  if (current != nullptr && current->fd >= 0) {
+    ::fsync(current->fd);
+    const std::string from = path_of_locked(*current);
+    const std::string sealed =
+        segment_name(current->seq, current->epoch, /*open=*/false);
+    if (::rename(from.c_str(), (options_.dir + "/" + sealed).c_str()) == 0) {
+      current->name = sealed;
+    }
+    fsync_dir_locked();
+  }
+  ++stats_.rotations;
+  ++write_seq_;
+  open_fresh_segment_locked();
+}
+
+void Journal::record(std::uint64_t client_id, std::uint64_t request_id,
+                     const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxRecordPayload) {
+    throw JournalError("journal record payload too large");
+  }
+  RecordHeader header;
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  header.client_id = client_id;
+  header.request_id = request_id;
+  header.checksum = record_checksum(header, payload.data(), payload.size());
+  const std::uint64_t padded = align8(payload.size());
+  const std::uint64_t total = kJournalRecordHeaderBytes + padded;
+
+  std::unique_lock lock(mutex_);
+  if (!writing_) {
+    throw JournalError("journal is not in writer mode");
+  }
+  if (write_offset_ > 0 &&
+      write_offset_ + total > options_.max_segment_bytes) {
+    // Rotation needs the in-flight batch durable first (its bytes belong
+    // to the segment being sealed).
+    durable_cv_.wait(
+        lock, [&] { return durable_seq_ == append_seq_ || !writing_; });
+    if (writing_ && write_offset_ > 0 &&
+        write_offset_ + total > options_.max_segment_bytes) {
+      rotate_locked();
+    }
+  }
+  if (!writing_) {
+    throw JournalError("journal closed");
+  }
+
+  Location location;
+  location.seq = write_seq_;
+  location.offset = write_offset_;
+  location.payload_bytes = header.payload_bytes;
+
+  const std::size_t base = pending_.size();
+  pending_.resize(base + total, 0);
+  std::memcpy(pending_.data() + base, &header, sizeof(header));
+  if (!payload.empty()) {
+    std::memcpy(pending_.data() + base + sizeof(header), payload.data(),
+                payload.size());
+  }
+  pending_keys_.emplace_back(client_id, request_id);
+  pending_locations_.push_back(location);
+  write_offset_ += total;
+  const std::uint64_t my_seq = ++append_seq_;
+  ++stats_.appends;
+  stats_.append_bytes += total;
+  flusher_cv_.notify_one();
+
+  // Group commit: block until the flusher has fsynced this append (it
+  // batches everything queued while the previous fsync was in flight).
+  durable_cv_.wait(lock,
+                   [&] { return durable_seq_ >= my_seq || !writing_; });
+  if (durable_seq_ < my_seq) {
+    throw JournalError("journal closed before the record became durable");
+  }
+}
+
+void Journal::flusher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    flusher_cv_.wait(lock,
+                     [&] { return stop_flusher_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_flusher_) return;
+      continue;
+    }
+    std::vector<std::uint8_t> batch = std::move(pending_);
+    pending_.clear();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keys =
+        std::move(pending_keys_);
+    pending_keys_.clear();
+    std::vector<Location> locations = std::move(pending_locations_);
+    pending_locations_.clear();
+    const std::uint64_t batch_top = append_seq_;
+    Segment* segment = find_segment_locked(locations.front().seq);
+    const int fd = segment != nullptr ? segment->fd : -1;
+
+    bool ok = fd >= 0;
+    lock.unlock();
+    if (ok) {
+      const util::io::IoResult w =
+          util::io::write_full(fd, batch.data(), batch.size());
+      ok = w.status == util::io::IoStatus::kOk && ::fsync(fd) == 0;
+    }
+    lock.lock();
+
+    if (ok) {
+      ++stats_.fsyncs;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        // Publish to the replay index only now that the bytes are durable.
+        index_locked(keys[i].first, keys[i].second, locations[i]);
+      }
+      if (segment != nullptr) {
+        // Our own appends are already indexed: advance the parse cursor so
+        // a later writer restart does not re-scan them from offset 0.
+        segment->parsed += batch.size();
+      }
+      durable_seq_ = batch_top;
+    } else {
+      // The waiters must not report durability: fail them by closing the
+      // writer (the server falls back to its in-memory dedup entry).
+      writing_ = false;
+    }
+    durable_cv_.notify_all();
+    if (!ok) return;
+  }
+}
+
+bool Journal::lookup(std::uint64_t client_id, std::uint64_t request_id,
+                     std::vector<std::uint8_t>& out) {
+  std::lock_guard lock(mutex_);
+  const auto cit = index_.find(client_id);
+  if (cit == index_.end()) return false;
+  const auto rit = cit->second.find(request_id);
+  if (rit == cit->second.end()) return false;
+  const Location& location = rit->second;
+  Segment* segment = find_segment_locked(location.seq);
+  if (segment == nullptr) return false;
+  if (segment->fd < 0) {
+    const std::string path = path_of_locked(*segment);
+    segment->fd = util::io::open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (segment->fd < 0) return false;
+  }
+
+  const std::uint64_t padded = align8(location.payload_bytes);
+  std::vector<std::uint8_t> raw(kJournalRecordHeaderBytes + padded);
+  if (util::io::pread_full(segment->fd, raw.data(), raw.size(),
+                           static_cast<off_t>(location.offset))
+          .status != util::io::IoStatus::kOk) {
+    return false;
+  }
+  RecordHeader header;
+  std::memcpy(&header, raw.data(), sizeof(header));
+  if (header.magic != kJournalRecordMagic ||
+      header.client_id != client_id || header.request_id != request_id ||
+      header.payload_bytes != location.payload_bytes ||
+      record_checksum(header, raw.data() + kJournalRecordHeaderBytes,
+                      header.payload_bytes) != header.checksum) {
+    return false;  // bytes no longer trustworthy: treat as unknown
+  }
+  out.assign(raw.begin() + kJournalRecordHeaderBytes,
+             raw.begin() + kJournalRecordHeaderBytes + header.payload_bytes);
+  ++stats_.replays;
+  return true;
+}
+
+void Journal::close() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!flusher_.joinable()) return;
+    stop_flusher_ = true;
+  }
+  flusher_cv_.notify_all();
+  flusher_.join();
+  std::lock_guard lock(mutex_);
+  writing_ = false;
+  Segment* current = find_segment_locked(write_seq_);
+  if (current != nullptr && current->fd >= 0) {
+    ::fsync(current->fd);
+  }
+  durable_cv_.notify_all();
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard lock(mutex_);
+  return index_size_;
+}
+
+bool Journal::writing() const {
+  std::lock_guard lock(mutex_);
+  return writing_;
+}
+
+}  // namespace trico::cluster::ha

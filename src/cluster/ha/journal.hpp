@@ -1,0 +1,184 @@
+// cluster::ha::Journal — the durable exactly-once log behind coordinator
+// failover.
+//
+// An append-only, checksummed, fsync-batched log of
+// (client_id, request_id) -> encoded-Response records, implementing
+// transport::ResponseJournal. The active coordinator's Server records every
+// completed response here *before* the first send; the standby tails the
+// same directory to keep a warm replay index; after a promotion, a client
+// retry of a request the dead active had already completed replays the
+// recorded bytes instead of recounting — exactly-once across coordinator
+// death.
+//
+// On-disk layout: a directory of segments named `seg-<seq>-e<epoch>.trj`
+// (sealed) and `seg-<seq>-e<epoch>.open` (the writer's current segment).
+// Sequence numbers are monotone across epochs; the epoch in the name keeps
+// two writers (the fenced old leader and the new one) on *different* files,
+// so a deposed coordinator flushing its last in-flight completions can
+// never interleave bytes into the new leader's segment. Segment lifecycle
+// is atomic-rename throughout: a new segment is created as `journal.tmp`
+// and renamed into its `.open` name; sealing renames `.open` -> `.trj`.
+//
+// Each record (store-tier FNV framing, 8-byte-aligned):
+//
+//   offset  size  field
+//        0     4  magic         "TRJR"
+//        4     4  payload_size  encoded Response bytes (un-padded)
+//        8     8  client_id
+//       16     8  request_id
+//       24     8  checksum      fnv1a_words over bytes [0,24) + padded payload
+//       32     *  payload, zero-padded to 8 bytes
+//
+// Recovery discipline (lenient prefix): a scan parses records until the
+// first torn/invalid one, indexes the valid prefix, and — when becoming
+// the writer — copies the unreadable tail into a `.quarantine` side file
+// for forensics. The file is never truncated: a fenced old writer may
+// still hold an fd, and its post-seal appends are simply ignored (they
+// would be duplicate (client, request) pairs, and the first record wins).
+// Duplicates across segments are counted, not trusted: the *first* record
+// in scan order is the one replays serve.
+//
+// Durability: record() blocks until its bytes are fsynced. A dedicated
+// flusher thread group-commits — every append queued while one fsync is in
+// flight rides the next — so a storm of completions costs a handful of
+// fsyncs, not one each. The index is published only after the fsync, so a
+// record that can be replayed is always durable.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/server.hpp"
+
+namespace trico::cluster::ha {
+
+inline constexpr std::uint32_t kJournalRecordMagic = 0x524a5254u;  // "TRJR"
+inline constexpr std::size_t kJournalRecordHeaderBytes = 32;
+
+struct JournalOptions {
+  std::string dir;
+  /// Rotation threshold: an append that would grow the open segment past
+  /// this seals it and opens the next.
+  std::uint64_t max_segment_bytes = 8ull << 20;
+};
+
+struct JournalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_bytes = 0;
+  std::uint64_t fsyncs = 0;            ///< group commits (<= appends)
+  std::uint64_t rotations = 0;
+  std::uint64_t replays = 0;           ///< lookup hits
+  std::uint64_t recovered_records = 0; ///< records indexed from disk scans
+  std::uint64_t duplicate_records = 0; ///< later copies ignored (first wins)
+  std::uint64_t quarantined_bytes = 0; ///< torn tails copied aside
+  std::uint64_t segments = 0;          ///< files known to the index
+};
+
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Journal : public transport::ResponseJournal {
+ public:
+  explicit Journal(JournalOptions options);
+  ~Journal() override;
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Standby entry point: scan the directory and build the replay index.
+  /// Torn tails are remembered, not quarantined — the writer may still be
+  /// mid-append and the record may complete by the next refresh().
+  void open();
+
+  /// Incremental tail: picks up new segments and new records in known
+  /// ones. Cheap when nothing changed.
+  void refresh();
+
+  /// Become the writer under `epoch` (a promotion, or first leadership):
+  /// final refresh, quarantine any still-torn tails, seal orphaned `.open`
+  /// segments, open a fresh `.open` segment, start the flusher.
+  void start_writer(std::uint64_t epoch);
+
+  /// transport::ResponseJournal: durable append (blocks until fsynced).
+  /// Throws JournalError when not in writer mode or on an io failure.
+  void record(std::uint64_t client_id, std::uint64_t request_id,
+              const std::vector<std::uint8_t>& payload) override;
+
+  /// transport::ResponseJournal: replay lookup (pread + checksum verify).
+  bool lookup(std::uint64_t client_id, std::uint64_t request_id,
+              std::vector<std::uint8_t>& out) override;
+
+  /// Stops the flusher (final fsync included). Idempotent; the destructor
+  /// calls it.
+  void close();
+
+  [[nodiscard]] JournalStats stats() const;
+  /// Index size (distinct (client, request) pairs).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool writing() const;
+
+ private:
+  struct Location {
+    std::uint64_t seq = 0;       ///< owning segment
+    std::uint64_t offset = 0;    ///< of the record header
+    std::uint32_t payload_bytes = 0;
+  };
+
+  /// One known segment file.
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;
+    std::string name;            ///< current basename (.open or .trj)
+    std::uint64_t parsed = 0;    ///< bytes of valid prefix indexed so far
+    int fd = -1;                 ///< cached read (or write) fd
+  };
+
+  std::string path_of_locked(const Segment& segment) const;
+  Segment* find_segment_locked(std::uint64_t seq);
+  void scan_dir_locked();
+  void parse_segment_locked(Segment& segment, bool quarantine_tail);
+  void index_locked(std::uint64_t client_id, std::uint64_t request_id,
+                    Location location);
+  void rotate_locked();
+  void open_fresh_segment_locked();
+  void fsync_dir_locked() const;
+  void flusher_loop();
+
+  JournalOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Segment> segments_;  ///< seq -> file (scan order)
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, Location>>
+      index_;
+  std::size_t index_size_ = 0;
+  JournalStats stats_{};
+
+  // Writer state.
+  bool writing_ = false;
+  std::uint64_t write_epoch_ = 0;
+  std::uint64_t write_seq_ = 0;     ///< seq of the open segment
+  std::uint64_t write_offset_ = 0;  ///< durable + pending bytes in it
+  std::vector<std::uint8_t> pending_;          ///< bytes awaiting fsync
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending_keys_;
+  std::vector<Location> pending_locations_;
+  std::uint64_t append_seq_ = 0;    ///< appends submitted
+  std::uint64_t durable_seq_ = 0;   ///< appends fsynced
+  std::condition_variable flusher_cv_;   ///< wakes the flusher
+  std::condition_variable durable_cv_;   ///< wakes blocked record() calls
+  bool stop_flusher_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace trico::cluster::ha

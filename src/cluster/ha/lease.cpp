@@ -1,0 +1,222 @@
+#include "cluster/ha/lease.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "store/format.hpp"
+#include "util/io.hpp"
+
+namespace trico::cluster::ha {
+
+namespace {
+
+/// flock(2), retried on EINTR (the CLI's signal handlers must not surface
+/// as spurious lease failures).
+int flock_retry(int fd, int op) {
+  int rc;
+  do {
+    rc = ::flock(fd, op);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+/// Scoped flock: every lease transition is a short lock-read-write-unlock.
+class FileLock {
+ public:
+  FileLock(int fd, int op) : fd_(fd) {
+    if (flock_retry(fd_, op) < 0) {
+      throw LeaseError(std::string("flock: ") + std::strerror(errno));
+    }
+  }
+  ~FileLock() { ::flock(fd_, LOCK_UN); }
+
+ private:
+  int fd_;
+};
+
+struct RawRecord {
+  std::uint64_t magic = kLeaseMagic;
+  std::uint32_t version = kLeaseVersion;
+  std::uint16_t port = 0;
+  std::uint16_t pad = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t owner = 0;
+  std::uint64_t expires_at_ms = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(RawRecord) == kLeaseRecordBytes);
+
+std::uint64_t record_checksum(const RawRecord& raw) {
+  return store::fnv1a_words(&raw, sizeof(RawRecord) - sizeof(std::uint64_t));
+}
+
+/// Reads the record at offset 0. Outcomes: no record (empty/short file),
+/// a valid record, or a corrupt one — for corrupt records with an intact
+/// magic the epoch field is still surfaced so a rewrite can preserve
+/// monotonicity (losing the epoch would break fencing; losing anything
+/// else only costs one failover round).
+enum class ReadOutcome { kAbsent, kValid, kCorrupt };
+
+ReadOutcome read_locked(int fd, RawRecord& raw, std::uint64_t& epoch_floor) {
+  const util::io::IoResult r =
+      util::io::pread_full(fd, &raw, sizeof(RawRecord), 0);
+  if (r.status != util::io::IoStatus::kOk) {
+    return ReadOutcome::kAbsent;
+  }
+  if (raw.magic != kLeaseMagic || raw.version != kLeaseVersion) {
+    return ReadOutcome::kCorrupt;
+  }
+  if (record_checksum(raw) != raw.checksum) {
+    epoch_floor = std::max(epoch_floor, raw.epoch);
+    return ReadOutcome::kCorrupt;
+  }
+  epoch_floor = std::max(epoch_floor, raw.epoch);
+  return ReadOutcome::kValid;
+}
+
+void write_locked(int fd, RawRecord raw, const std::string& path) {
+  raw.checksum = record_checksum(raw);
+  const util::io::IoResult w =
+      util::io::write_full(fd, &raw, sizeof(RawRecord));
+  if (w.status != util::io::IoStatus::kOk) {
+    throw LeaseError("write " + path + ": " + std::strerror(w.error));
+  }
+  if (::fsync(fd) < 0) {
+    throw LeaseError("fsync " + path + ": " + std::strerror(errno));
+  }
+}
+
+LeaseRecord to_record(const RawRecord& raw) {
+  LeaseRecord record;
+  record.epoch = raw.epoch;
+  record.owner = raw.owner;
+  record.port = raw.port;
+  record.expires_at_ms = raw.expires_at_ms;
+  return record;
+}
+
+}  // namespace
+
+std::uint64_t LeaseFile::now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+LeaseFile::LeaseFile(LeaseOptions options) : options_(std::move(options)) {
+  fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw LeaseError("open " + options_.path + ": " + std::strerror(errno));
+  }
+}
+
+LeaseFile::~LeaseFile() {
+  if (fd_ >= 0) util::io::close_quiet(fd_);
+}
+
+LeaseFile::Acquire LeaseFile::try_acquire(std::uint64_t owner,
+                                          std::uint16_t port) {
+  FileLock lock(fd_, LOCK_EX);
+  RawRecord raw;
+  std::uint64_t epoch_floor = 0;
+  const ReadOutcome outcome = read_locked(fd_, raw, epoch_floor);
+  const std::uint64_t now = now_ms();
+
+  if (outcome == ReadOutcome::kValid && raw.expires_at_ms > now &&
+      raw.owner != owner) {
+    Acquire result;
+    result.current = to_record(raw);
+    return result;
+  }
+
+  // Free, expired, corrupt, or already ours: take it at the next epoch.
+  // Pwrite a fresh record at offset 0 so a partially written old record
+  // cannot mix with the new one.
+  RawRecord next;
+  next.port = port;
+  next.epoch = epoch_floor + 1;
+  next.owner = owner;
+  next.expires_at_ms =
+      now + static_cast<std::uint64_t>(options_.ttl_ms);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    throw LeaseError("lseek " + options_.path + ": " + std::strerror(errno));
+  }
+  write_locked(fd_, next, options_.path);
+
+  Acquire result;
+  result.acquired = true;
+  result.epoch = next.epoch;
+  result.current = to_record(next);
+  return result;
+}
+
+bool LeaseFile::renew(std::uint64_t owner, std::uint64_t epoch,
+                      std::uint16_t port) {
+  FileLock lock(fd_, LOCK_EX);
+  RawRecord raw;
+  std::uint64_t epoch_floor = 0;
+  const ReadOutcome outcome = read_locked(fd_, raw, epoch_floor);
+  if (outcome != ReadOutcome::kValid || raw.owner != owner ||
+      raw.epoch != epoch) {
+    return false;  // stolen (or corrupted out from under us): stop leading
+  }
+  raw.port = port;
+  raw.expires_at_ms =
+      now_ms() + static_cast<std::uint64_t>(options_.ttl_ms);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    throw LeaseError("lseek " + options_.path + ": " + std::strerror(errno));
+  }
+  write_locked(fd_, raw, options_.path);
+  return true;
+}
+
+void LeaseFile::release(std::uint64_t owner, std::uint64_t epoch) {
+  FileLock lock(fd_, LOCK_EX);
+  RawRecord raw;
+  std::uint64_t epoch_floor = 0;
+  const ReadOutcome outcome = read_locked(fd_, raw, epoch_floor);
+  if (outcome != ReadOutcome::kValid || raw.owner != owner ||
+      raw.epoch != epoch) {
+    return;
+  }
+  raw.expires_at_ms = 0;  // expired in place; epoch stays for monotonicity
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return;
+  }
+  write_locked(fd_, raw, options_.path);
+}
+
+std::optional<LeaseRecord> LeaseFile::read() {
+  FileLock lock(fd_, LOCK_SH);
+  RawRecord raw;
+  std::uint64_t epoch_floor = 0;
+  if (read_locked(fd_, raw, epoch_floor) != ReadOutcome::kValid) {
+    return std::nullopt;
+  }
+  return to_record(raw);
+}
+
+std::optional<LeaseRecord> LeaseFile::peek(const std::string& path) {
+  const int fd = util::io::open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::optional<LeaseRecord> result;
+  if (flock_retry(fd, LOCK_SH) == 0) {
+    RawRecord raw;
+    std::uint64_t epoch_floor = 0;
+    if (read_locked(fd, raw, epoch_floor) == ReadOutcome::kValid) {
+      result = to_record(raw);
+    }
+    ::flock(fd, LOCK_UN);
+  }
+  util::io::close_quiet(fd);
+  return result;
+}
+
+}  // namespace trico::cluster::ha

@@ -1,0 +1,119 @@
+// cluster::ha::LeaseFile — file-lock-backed leadership lease with a
+// fencing epoch.
+//
+// Leadership of a coordinator pair is one small record in a shared file:
+//
+//   offset  size  field
+//        0     8  magic        "TRICOLSE"
+//        8     4  version      kLeaseVersion
+//       12     2  port         the holder's serving port (leader hint)
+//       14     2  (pad)
+//       16     8  epoch        fencing token, bumped on every acquisition
+//       24     8  owner        holder id (pid-derived)
+//       32     8  expires_at   CLOCK_REALTIME milliseconds
+//       40     8  checksum     store-tier FNV words over bytes [0, 40)
+//
+// Every read-modify-write holds flock(LOCK_EX) only for the duration of the
+// update — the lock serializes *transitions*, it does not represent
+// leadership. Leadership is the record: a holder that cannot renew before
+// expires_at (crashed, or SIGSTOPped past the TTL) is simply stolen from —
+// the thief bumps the epoch, and the fencing check downstream (workers
+// rejecting stale-epoch subrequests) makes the deposed holder harmless even
+// if it resumes believing it still leads. Epochs are monotone across
+// acquisitions, releases and steals; they never reset while the file
+// exists.
+//
+// Wall clock (CLOCK_REALTIME) rather than the monotonic clock: expiry must
+// be comparable *across processes*, and the monotonic clock has no
+// cross-process epoch. The TTL should therefore be generous relative to
+// expected clock slew between coordinators on one host (the deployment
+// model here: both coordinators share the lease file's filesystem).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace trico::cluster::ha {
+
+inline constexpr std::uint64_t kLeaseMagic = 0x45534c4f43495254ull;  // "TRICOLSE"
+inline constexpr std::uint32_t kLeaseVersion = 1;
+inline constexpr std::size_t kLeaseRecordBytes = 48;
+
+/// The decoded lease record.
+struct LeaseRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t owner = 0;
+  std::uint16_t port = 0;
+  std::uint64_t expires_at_ms = 0;  ///< CLOCK_REALTIME ms
+
+  [[nodiscard]] bool expired(std::uint64_t now_ms) const {
+    return expires_at_ms <= now_ms;
+  }
+};
+
+struct LeaseOptions {
+  std::string path;
+  /// How long one acquisition/renewal holds without a renew.
+  double ttl_ms = 1000;
+};
+
+class LeaseError : public std::runtime_error {
+ public:
+  explicit LeaseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class LeaseFile {
+ public:
+  /// Opens (creating if absent) the lease file. Throws LeaseError when the
+  /// file cannot be opened.
+  explicit LeaseFile(LeaseOptions options);
+  ~LeaseFile();
+
+  LeaseFile(const LeaseFile&) = delete;
+  LeaseFile& operator=(const LeaseFile&) = delete;
+
+  struct Acquire {
+    bool acquired = false;
+    std::uint64_t epoch = 0;  ///< the new epoch when acquired
+    LeaseRecord current;      ///< the blocking record when not acquired
+  };
+
+  /// Takes the lease when it is free, expired, or already ours — bumping
+  /// the epoch in every acquired case (an acquisition is a promotion, and
+  /// fencing needs each promotion distinguishable). Returns the blocking
+  /// record otherwise.
+  [[nodiscard]] Acquire try_acquire(std::uint64_t owner, std::uint16_t port);
+
+  /// Extends our lease by one TTL. Returns false — leadership lost — when
+  /// the record is no longer ours at our epoch (stolen after an expiry).
+  [[nodiscard]] bool renew(std::uint64_t owner, std::uint64_t epoch,
+                           std::uint16_t port);
+
+  /// Expires our lease in place (graceful handoff: the standby's next poll
+  /// acquires immediately instead of waiting out the TTL). Keeps the epoch
+  /// so monotonicity survives the release. No-op when the record is not
+  /// ours at `epoch`.
+  void release(std::uint64_t owner, std::uint64_t epoch);
+
+  /// Reads the current record (shared lock). nullopt when the file is
+  /// empty or the record fails validation.
+  [[nodiscard]] std::optional<LeaseRecord> read();
+
+  /// One-shot read without a LeaseFile instance (worker-side fencing and
+  /// leader hints). nullopt when the file is missing/empty/corrupt.
+  [[nodiscard]] static std::optional<LeaseRecord> peek(
+      const std::string& path);
+
+  [[nodiscard]] static std::uint64_t now_ms();
+
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+
+ private:
+  LeaseOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace trico::cluster::ha

@@ -1,0 +1,269 @@
+#include "cluster/ha/node.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace trico::cluster::ha {
+
+namespace {
+
+/// Owner ids must differ between the two nodes of a pair *and* between
+/// successive incarnations in one process (tests run several nodes).
+std::uint64_t next_owner_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return (static_cast<std::uint64_t>(::getpid()) << 16) |
+         (counter.fetch_add(1, std::memory_order_relaxed) & 0xffffu);
+}
+
+std::chrono::milliseconds ms(double value) {
+  return std::chrono::milliseconds(
+      std::max<long long>(1, static_cast<long long>(value)));
+}
+
+}  // namespace
+
+HaCoordinator::HaCoordinator(HaNodeOptions options)
+    : options_(std::move(options)),
+      epoch_cell_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+      owner_(next_owner_id()) {
+  options_.coordinator.lease_epoch = epoch_cell_;
+  coordinator_ = std::make_unique<Coordinator>(options_.coordinator);
+  LeaseOptions lease_options;
+  lease_options.path = options_.lease_path;
+  lease_options.ttl_ms = options_.lease_ttl_ms;
+  lease_ = std::make_unique<LeaseFile>(std::move(lease_options));
+  JournalOptions journal_options;
+  journal_options.dir = options_.journal_dir;
+  journal_ = std::make_unique<Journal>(std::move(journal_options));
+}
+
+HaCoordinator::~HaCoordinator() { stop(); }
+
+void HaCoordinator::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  // Warm pool first: the standby's workers are up before it can ever win
+  // the lease, so a promotion never waits on worker handshakes.
+  coordinator_->start();
+  journal_->open();
+  loop_ = std::thread([this] { lease_loop(); });
+}
+
+void HaCoordinator::stop() {
+  bool was_leading = false;
+  std::uint64_t held_epoch = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_ || stop_) {
+      if (!started_) return;
+    }
+    stop_ = true;
+    was_leading = leading_;
+    held_epoch = epoch_cell_->load(std::memory_order_acquire);
+  }
+  cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+  if (was_leading) {
+    try {
+      lease_->release(owner_, held_epoch);
+    } catch (const LeaseError&) {
+      // Best effort: the TTL expires it anyway.
+    }
+  }
+  journal_->close();
+  coordinator_->stop();
+}
+
+void HaCoordinator::set_advertised_port(std::uint16_t port) {
+  advertised_port_.store(port, std::memory_order_release);
+}
+
+transport::LeaderView HaCoordinator::leader_view() {
+  transport::LeaderView view;
+  {
+    std::lock_guard lock(mutex_);
+    if (leading_) {
+      view.leading = true;
+      view.epoch = epoch_cell_->load(std::memory_order_acquire);
+      return view;
+    }
+  }
+  view.leading = false;
+  if (const std::optional<LeaseRecord> record = lease_->read();
+      record.has_value() && !record->expired(LeaseFile::now_ms())) {
+    view.epoch = record->epoch;
+    view.leader_host = options_.advertised_host;
+    view.leader_port = record->port;
+  }
+  return view;
+}
+
+service::Ticket HaCoordinator::submit(service::Request request) {
+  return coordinator_->submit(std::move(request));
+}
+
+std::string HaCoordinator::metrics_text() { return metrics().to_string(); }
+
+service::MetricsSnapshot HaCoordinator::metrics() const {
+  service::MetricsSnapshot snapshot = coordinator_->metrics();
+  const HaStats ha = stats();
+  snapshot.ha_enabled = true;
+  snapshot.ha_leading = ha.leading;
+  snapshot.ha_epoch = ha.epoch;
+  snapshot.ha_promotions = ha.promotions;
+  snapshot.ha_demotions = ha.demotions;
+  snapshot.journal_appends = ha.journal.appends;
+  snapshot.journal_bytes = ha.journal.append_bytes;
+  snapshot.journal_replays = ha.journal.replays;
+  snapshot.journal_recovered = ha.journal.recovered_records;
+  snapshot.journal_quarantined_bytes = ha.journal.quarantined_bytes;
+  return snapshot;
+}
+
+bool HaCoordinator::leading() const {
+  std::lock_guard lock(mutex_);
+  return leading_;
+}
+
+std::uint64_t HaCoordinator::epoch() const {
+  return epoch_cell_->load(std::memory_order_acquire);
+}
+
+HaStats HaCoordinator::stats() const {
+  HaStats stats;
+  {
+    std::lock_guard lock(mutex_);
+    stats.leading = leading_;
+    stats.promotions = promotions_;
+    stats.demotions = demotions_;
+  }
+  stats.epoch = stats.leading ? epoch_cell_->load(std::memory_order_acquire)
+                              : 0;
+  stats.journal = journal_->stats();
+  return stats;
+}
+
+bool HaCoordinator::wait_leading(double timeout_ms) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, ms(timeout_ms), [&] { return leading_ || stop_; });
+  return leading_;
+}
+
+void HaCoordinator::pause_lease_for_test() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void HaCoordinator::resume_lease_for_test() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void HaCoordinator::promote_locked(std::uint64_t new_epoch) {
+  // Become the journal writer *before* publishing the epoch: once the
+  // fronting server passes the leadership gate, replay lookups and records
+  // must already work. A re-promotion closes the previous writer first.
+  if (journal_->writing()) journal_->close();
+  journal_->start_writer(new_epoch);
+  epoch_cell_->store(new_epoch, std::memory_order_release);
+  leading_ = true;
+  ++promotions_;
+  cv_.notify_all();
+}
+
+void HaCoordinator::lease_loop() {
+  const double ttl = options_.lease_ttl_ms;
+  const auto renew_interval = ms(ttl / 3);
+  const auto poll_interval = ms(ttl / 2);
+
+  std::unique_lock lock(mutex_);
+  // A configured standby sits out one full TTL before its first attempt so
+  // it cannot race a healthy active that simply has not renewed yet.
+  std::uint64_t not_before =
+      options_.standby ? LeaseFile::now_ms() +
+                             static_cast<std::uint64_t>(ttl)
+                       : 0;
+
+  while (!stop_) {
+    if (paused_) {
+      cv_.wait(lock, [&] { return stop_ || !paused_; });
+      continue;
+    }
+
+    if (leading_) {
+      const std::uint64_t my_epoch =
+          epoch_cell_->load(std::memory_order_acquire);
+      bool renewed = false;
+      lock.unlock();
+      try {
+        renewed = lease_->renew(
+            owner_, my_epoch,
+            advertised_port_.load(std::memory_order_acquire));
+      } catch (const LeaseError&) {
+        renewed = false;
+      }
+      lock.lock();
+      if (stop_) break;
+      if (!renewed && leading_) {
+        // Stolen (we were paused/wedged past the TTL). Demote — but keep
+        // stamping the stale epoch so our in-flight frames stay refusable
+        // rather than unfenced.
+        leading_ = false;
+        ++demotions_;
+        not_before = LeaseFile::now_ms() + static_cast<std::uint64_t>(ttl);
+        cv_.notify_all();
+        continue;
+      }
+      cv_.wait_for(lock, renew_interval, [&] { return stop_ || paused_; });
+      continue;
+    }
+
+    // Standby: keep the replay index warm, then see whether the lease is
+    // takeable.
+    lock.unlock();
+    try {
+      journal_->refresh();
+    } catch (const JournalError&) {
+      // Transient directory races are retried next poll.
+    }
+    LeaseFile::Acquire acquire;
+    bool attempted = false;
+    if (LeaseFile::now_ms() >= not_before) {
+      attempted = true;
+      try {
+        acquire = lease_->try_acquire(
+            owner_, advertised_port_.load(std::memory_order_acquire));
+      } catch (const LeaseError&) {
+        attempted = false;
+      }
+    }
+    lock.lock();
+    if (stop_) break;
+    if (attempted && acquire.acquired && !leading_) {
+      try {
+        promote_locked(acquire.epoch);
+        continue;
+      } catch (const JournalError&) {
+        // Could not become the journal writer: surrender the lease so the
+        // peer can lead instead of the pair deadlocking on a half-promoted
+        // node.
+        leading_ = false;
+        lock.unlock();
+        lease_->release(owner_, acquire.epoch);
+        lock.lock();
+        if (stop_) break;
+      }
+    }
+    cv_.wait_for(lock, poll_interval, [&] { return stop_ || paused_; });
+  }
+}
+
+}  // namespace trico::cluster::ha

@@ -1,0 +1,154 @@
+// cluster::ha::HaCoordinator — an active/standby coordinator node.
+//
+// Wraps a cluster::Coordinator with the two HA primitives:
+//
+//   LeaseFile   who leads, and at which fencing epoch. The node's lease
+//               loop acquires/renews; a node that cannot renew inside the
+//               TTL (crashed, SIGSTOPped, wedged) is stolen from and
+//               demoted on resume.
+//
+//   Journal     the durable exactly-once log. The leader's Server records
+//               completed responses through it; the standby tails the same
+//               directory so its replay index is warm at promotion.
+//
+// Both nodes start their worker pool immediately — a standby's workers are
+// spawned, handshaked and idle, so a promotion costs one lease acquisition
+// plus Journal::start_writer (a directory scan of already-tailed segments),
+// not a pool cold start. The target is promotion inside one client backoff
+// interval.
+//
+// Fencing: the node owns the epoch cell that CoordinatorOptions::lease_epoch
+// points at. Every scatter/affinity subrequest the inner Coordinator
+// dispatches is stamped with the epoch current *at dispatch time*; workers
+// (given `serve --lease`) reject stamps below the highest epoch they have
+// seen. A deposed leader that resumes mid-gather keeps stamping its stale
+// epoch — the cell is never zeroed on demotion — so its frames are refused
+// and its gather fails instead of double-counting alongside the new
+// leader's.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/ha/journal.hpp"
+#include "cluster/ha/lease.hpp"
+
+namespace trico::cluster::ha {
+
+struct HaNodeOptions {
+  /// The inner coordinator (pool, scheduler, sharding). Its lease_epoch
+  /// cell is installed by HaCoordinator; leave it null.
+  CoordinatorOptions coordinator;
+  std::string lease_path;
+  std::string journal_dir;
+  /// Lease TTL. Renewals run at a third of this; a standby polls for a
+  /// steal at TTL/2. Failover time after a leader death is bounded by
+  /// roughly 1.5 * ttl.
+  double lease_ttl_ms = 1000;
+  /// Start as the standby: delay the first acquisition attempt by one TTL
+  /// so a healthy already-running active is never raced at startup.
+  bool standby = false;
+  /// Host advertised in kNotLeader redirects (the lease file carries only
+  /// the leader's port; both nodes of a pair share a host in this
+  /// deployment model).
+  std::string advertised_host = "127.0.0.1";
+};
+
+struct HaStats {
+  bool leading = false;
+  std::uint64_t epoch = 0;       ///< our epoch when leading, else 0
+  std::uint64_t promotions = 0;  ///< lease acquisitions by this node
+  std::uint64_t demotions = 0;   ///< renewals lost by this node
+  JournalStats journal;
+};
+
+class HaCoordinator : public transport::RequestSink {
+ public:
+  explicit HaCoordinator(HaNodeOptions options);
+  ~HaCoordinator() override;
+
+  HaCoordinator(const HaCoordinator&) = delete;
+  HaCoordinator& operator=(const HaCoordinator&) = delete;
+
+  /// Spawns the (warm) worker pool, opens + tails the journal, starts the
+  /// lease loop. The node comes up in its configured role; call
+  /// wait_leading() to block until promoted.
+  void start();
+
+  /// Releases the lease when leading (graceful handoff: the peer's next
+  /// poll acquires immediately), stops the lease loop, closes the journal,
+  /// stops the pool. Idempotent.
+  void stop();
+
+  /// The serving port advertised via the lease record and kNotLeader
+  /// hints. Set it once the fronting transport::Server has bound.
+  void set_advertised_port(std::uint16_t port);
+
+  /// RequestSink: delegates to the inner coordinator (which stamps the
+  /// fencing epoch at dispatch). Front a transport::Server with *this* so
+  /// metrics reports carry the HA block.
+  service::Ticket submit(service::Request request) override;
+  std::string metrics_text() override;
+
+  /// Cluster snapshot with the HA/journal block attached.
+  [[nodiscard]] service::MetricsSnapshot metrics() const;
+
+  [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
+
+  /// For ServerOptions::journal on the fronting server. Records only
+  /// succeed while this node is the journal writer (i.e. leading); the
+  /// Server falls back to its in-memory entry otherwise.
+  [[nodiscard]] transport::ResponseJournal& journal() { return *journal_; }
+
+  /// For ServerOptions::leadership on the fronting server: leading -> pass;
+  /// not leading -> kNotLeader with the current holder's hint.
+  [[nodiscard]] transport::LeaderView leader_view();
+
+  [[nodiscard]] bool leading() const;
+  /// Our fencing epoch while leading; after a demotion the *stale* epoch is
+  /// retained (never zeroed) so a deposed node keeps stamping refusable
+  /// frames.
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] HaStats stats() const;
+
+  /// Blocks until this node leads, at most `timeout_ms`. Returns leading().
+  bool wait_leading(double timeout_ms);
+
+  /// Test hooks: freeze/unfreeze the lease loop without stopping the node —
+  /// the in-process analogue of SIGSTOPping a leader past its TTL. While
+  /// paused the node keeps serving (and keeps stamping its last epoch); on
+  /// resume the failed renewal demotes it.
+  void pause_lease_for_test();
+  void resume_lease_for_test();
+
+ private:
+  void lease_loop();
+  void promote_locked(std::uint64_t new_epoch);
+
+  HaNodeOptions options_;
+  std::shared_ptr<std::atomic<std::uint64_t>> epoch_cell_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<LeaseFile> lease_;
+  std::unique_ptr<Journal> journal_;
+  std::uint64_t owner_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool leading_ = false;
+  bool paused_ = false;
+  bool stop_ = false;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::atomic<std::uint16_t> advertised_port_{0};
+  bool started_ = false;
+  std::thread loop_;
+};
+
+}  // namespace trico::cluster::ha

@@ -134,6 +134,15 @@ std::string MetricsSnapshot::to_string() const {
         << " heartbeat_faults=" << worker_heartbeat_faults
         << " reroutes=" << worker_reroutes << "\n";
   }
+  if (ha_enabled) {
+    out << "ha: leading=" << (ha_leading ? 1 : 0) << " epoch=" << ha_epoch
+        << " promotions=" << ha_promotions << " demotions=" << ha_demotions
+        << "\n";
+    out << "journal: appends=" << journal_appends
+        << " bytes=" << journal_bytes << " replays=" << journal_replays
+        << " recovered=" << journal_recovered
+        << " quarantined_bytes=" << journal_quarantined_bytes << "\n";
+  }
   if (!cpu_isa.empty()) {
     out << "cpu: isa=" << cpu_isa << " features=[" << cpu_features << "]\n";
   }

@@ -117,6 +117,20 @@ struct MetricsSnapshot {
   std::uint64_t worker_heartbeat_faults = 0;
   std::uint64_t worker_reroutes = 0;         ///< requests moved between workers
 
+  // Coordinator HA (attached by an HaCoordinator owner; ha_enabled is
+  // false in single-coordinator deployments and the block is omitted from
+  // reports).
+  bool ha_enabled = false;
+  bool ha_leading = false;
+  std::uint64_t ha_epoch = 0;       ///< fencing epoch while leading, else 0
+  std::uint64_t ha_promotions = 0;  ///< lease acquisitions by this node
+  std::uint64_t ha_demotions = 0;   ///< leases lost by this node
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_replays = 0;           ///< exactly-once replay hits
+  std::uint64_t journal_recovered = 0;         ///< records indexed from scans
+  std::uint64_t journal_quarantined_bytes = 0; ///< torn tails copied aside
+
   // CPU tier: detected SIMD features and the ISA the intersection kernels
   // resolve to (empty until attached by TriangleService::metrics()).
   std::string cpu_features;

@@ -77,6 +77,13 @@ struct Request {
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 0;
 
+  /// Coordinator HA fencing token. A leading coordinator stamps every
+  /// worker-bound subrequest with its lease epoch; a worker serving with a
+  /// lease file rejects any stamped request whose epoch is older than the
+  /// newest it has observed, so a paused-then-resumed deposed coordinator
+  /// cannot land stale scatter frames into a gather. 0 = unfenced.
+  std::uint64_t lease_epoch = 0;
+
   [[nodiscard]] bool sharded() const { return shard_count > 0; }
 };
 

@@ -26,12 +26,17 @@ const char* to_string(TransportFault fault) {
     case TransportFault::kExhausted: return "retries exhausted";
     case TransportFault::kProtocol: return "protocol error";
     case TransportFault::kDraining: return "server draining";
+    case TransportFault::kNotLeader: return "not the leader";
   }
   return "?";
 }
 
 Client::Client(ClientOptions options) : options_(std::move(options)) {
   std::signal(SIGPIPE, SIG_IGN);
+  endpoints_ = options_.endpoints;
+  if (endpoints_.empty()) {
+    endpoints_.push_back(Endpoint{options_.host, options_.port});
+  }
   std::uint64_t seed = options_.seed;
   if (seed == 0) {
     seed = static_cast<std::uint64_t>(
@@ -62,8 +67,18 @@ void Client::set_receive_timeout(int timeout_ms) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+Endpoint Client::current_endpoint() const {
+  return have_hint_ ? hint_ : endpoints_[endpoint_index_];
+}
+
+void Client::advance_endpoint() {
+  have_hint_ = false;
+  endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+}
+
 void Client::ensure_connected() {
   if (fd_ >= 0) return;
+  const Endpoint target = current_endpoint();
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -72,11 +87,11 @@ void Client::ensure_connected() {
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(target.port);
+  if (::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) != 1) {
     util::io::close_quiet(fd);
     throw TransportError(TransportFault::kConnect,
-                         "bad host: " + options_.host);
+                         "bad host: " + target.host);
   }
 
   // Bounded connect: non-blocking connect + poll, then back to blocking.
@@ -89,8 +104,8 @@ void Client::ensure_connected() {
     if (rc <= 0) {
       util::io::close_quiet(fd);
       throw TransportError(TransportFault::kConnect,
-                           "connect to " + options_.host + ":" +
-                               std::to_string(options_.port) +
+                           "connect to " + target.host + ":" +
+                               std::to_string(target.port) +
                                (rc == 0 ? " timed out" : " failed"));
     }
     int err = 0;
@@ -99,16 +114,16 @@ void Client::ensure_connected() {
     if (err != 0) {
       util::io::close_quiet(fd);
       throw TransportError(TransportFault::kConnect,
-                           "connect to " + options_.host + ":" +
-                               std::to_string(options_.port) + ": " +
+                           "connect to " + target.host + ":" +
+                               std::to_string(target.port) + ": " +
                                std::strerror(err));
     }
   } else if (rc < 0) {
     const int err = errno;
     util::io::close_quiet(fd);
     throw TransportError(TransportFault::kConnect,
-                         "connect to " + options_.host + ":" +
-                             std::to_string(options_.port) + ": " +
+                         "connect to " + target.host + ":" +
+                             std::to_string(target.port) + ": " +
                              std::strerror(err));
   }
   ::fcntl(fd, F_SETFL, flags);
@@ -187,6 +202,10 @@ service::Response Client::attempt(const std::vector<std::uint8_t>& payload,
       }
       case FrameType::kDrainNotice:
         throw TransportError(TransportFault::kDraining, "drain notice");
+      case FrameType::kNotLeader: {
+        const LeaderHint hint = decode_leader_hint(frame.payload);
+        throw NotLeaderError(hint.epoch, hint.host, hint.port);
+      }
       default:
         continue;  // unsolicited frame (late metrics chunk etc.)
     }
@@ -213,23 +232,75 @@ service::Response Client::execute_with_id(const service::Request& request,
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           next_backoff_ms(attempt - 1)));
     }
-    try {
-      return this->attempt(payload, request_id, timeout_ms);
-    } catch (const WireError& error) {
-      // Transient: reconnect and resend the same id (dedup makes it safe).
-      last_error = error.what();
-      disconnect();
-    } catch (const TransportError& error) {
-      if (error.fault() == TransportFault::kProtocol) throw;
-      if (error.fault() == TransportFault::kDraining) {
-        // Drop the connection (the peer is going away) and rethrow without
-        // consuming the retry budget: this id is safe to resend against
-        // another worker, and nothing is gained by waiting this one out.
+    // Endpoint hops within one attempt. kDraining / connect-refused /
+    // kNotLeader mean "this endpoint cannot serve, another might": a
+    // multi-endpoint client rotates (or follows the leader hint) without
+    // consuming the retry budget. The hop count is bounded by the endpoint
+    // set (+1 so a leader hint beyond the configured set gets its try);
+    // a full lap of refusals degrades into one consumed attempt.
+    std::size_t hops_left = endpoints_.size() + 1;
+    for (;;) {
+      try {
+        return this->attempt(payload, request_id, timeout_ms);
+      } catch (const WireError& error) {
+        if (error.fault() == WireFault::kProtocol) {
+          // A peer this client cannot speak to (bad magic, mismatched wire
+          // version, malformed payload): terminal — retrying cannot fix a
+          // protocol gap, and must not hot-loop against a broken peer.
+          disconnect();
+          throw TransportError(TransportFault::kProtocol, error.what());
+        }
+        // Transient: reconnect and resend the same id (dedup makes it
+        // safe).
+        last_error = error.what();
         disconnect();
-        throw;
+        break;
+      } catch (const NotLeaderError& error) {
+        disconnect();
+        if (endpoints_.size() <= 1 && !error.has_hint()) {
+          // Nowhere to hop: surface the typed fault to the caller.
+          throw;
+        }
+        if (hops_left == 0) {
+          last_error = error.what();
+          break;
+        }
+        --hops_left;
+        if (error.has_hint()) {
+          have_hint_ = true;
+          hint_ = Endpoint{error.leader_host(), error.leader_port()};
+        } else {
+          advance_endpoint();
+        }
+      } catch (const TransportError& error) {
+        if (error.fault() == TransportFault::kProtocol) throw;
+        if (error.fault() == TransportFault::kDraining) {
+          disconnect();
+          if (endpoints_.size() <= 1) {
+            // Single endpoint: rethrow without consuming the retry budget —
+            // this id is safe to resend against another worker, a decision
+            // only the caller (supervisor/coordinator) can make.
+            throw;
+          }
+          if (hops_left == 0) {
+            last_error = error.what();
+            break;
+          }
+          --hops_left;
+          advance_endpoint();
+          continue;
+        }
+        if (error.fault() == TransportFault::kConnect &&
+            endpoints_.size() > 1 && hops_left > 0) {
+          disconnect();
+          --hops_left;
+          advance_endpoint();
+          continue;
+        }
+        last_error = error.what();
+        disconnect();
+        break;
       }
-      last_error = error.what();
-      disconnect();
     }
   }
   throw TransportError(TransportFault::kExhausted,

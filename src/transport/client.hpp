@@ -34,6 +34,7 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "service/request.hpp"
 #include "transport/wire.hpp"
@@ -51,6 +52,10 @@ enum class TransportFault : std::uint8_t {
                ///< immediately so a router can fail over to another worker
                ///< instead of burning the backoff budget on a peer that
                ///< will never un-drain
+  kNotLeader,  ///< the server is a standby coordinator: retry at the
+               ///< leader (the reject carries a hint when the standby
+               ///< knows one); a multi-endpoint client follows the hint
+               ///< or hops endpoints without burning its retry budget
 };
 
 [[nodiscard]] const char* to_string(TransportFault fault);
@@ -67,9 +72,52 @@ class TransportError : public std::runtime_error {
   TransportFault fault_;
 };
 
+/// kNotLeader as a typed error, carrying the refusing standby's leader
+/// hint. has_hint() is false when the standby does not know a leader yet.
+class NotLeaderError : public TransportError {
+ public:
+  NotLeaderError(std::uint64_t epoch, std::string host, std::uint16_t port)
+      : TransportError(TransportFault::kNotLeader,
+                       port != 0 ? "leader at " + host + ":" +
+                                       std::to_string(port) + " (epoch " +
+                                       std::to_string(epoch) + ")"
+                                 : "no leader known (epoch " +
+                                       std::to_string(epoch) + ")"),
+        epoch_(epoch),
+        host_(std::move(host)),
+        port_(port) {}
+
+  [[nodiscard]] bool has_hint() const { return port_ != 0; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const std::string& leader_host() const { return host_; }
+  [[nodiscard]] std::uint16_t leader_port() const { return port_; }
+
+ private:
+  std::uint64_t epoch_;
+  std::string host_;
+  std::uint16_t port_;
+};
+
+/// One server address a Client may talk to.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Coordinator endpoint set. When non-empty it supersedes host/port: the
+  /// client starts at the first entry and *hops* to the next on kDraining,
+  /// connect failure or a kNotLeader reject (following the leader hint when
+  /// one is carried). Hops do not consume the retry budget — max_attempts
+  /// governs how many times one endpoint may fail the request, not how many
+  /// endpoints get tried — and (client_id, request_id) stay stable across
+  /// endpoints so the server-side dedup/journal holds wherever the retry
+  /// lands. With zero or one endpoint the single-endpoint semantics are
+  /// unchanged (kDraining still surfaces immediately to the caller: the
+  /// supervisor/coordinator failover logic depends on it).
+  std::vector<Endpoint> endpoints;
   /// 0 = derive a unique id (pid + random); set explicitly in tests to
   /// prove cross-connection dedup.
   std::uint64_t client_id = 0;
@@ -126,6 +174,10 @@ class Client {
   /// force the reconnect path.
   void disconnect();
 
+  /// The endpoint the next connect targets (the leader hint when one is
+  /// pending, else the current entry of the endpoint set).
+  [[nodiscard]] Endpoint current_endpoint() const;
+
  private:
   void ensure_connected();
   void set_receive_timeout(int timeout_ms);
@@ -135,8 +187,14 @@ class Client {
   service::Response attempt(const std::vector<std::uint8_t>& payload,
                             std::uint64_t request_id, int timeout_ms);
   double next_backoff_ms(int attempt);
+  /// Rotates to the next endpoint (dropping any pending leader hint).
+  void advance_endpoint();
 
   ClientOptions options_;
+  std::vector<Endpoint> endpoints_;  ///< resolved set (>= 1 entry)
+  std::size_t endpoint_index_ = 0;
+  bool have_hint_ = false;
+  Endpoint hint_{};
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
   std::mt19937_64 rng_;

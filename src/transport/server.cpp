@@ -182,10 +182,26 @@ void Server::reader_loop(Connection& conn) {
         }
       }
     }
-  } catch (const WireError&) {
+  } catch (const WireError& error) {
     // Torn/corrupt inbound frame or a dead peer: this connection is done.
     // In-flight requests still finish and land in the dedup table, so a
     // reconnecting client replays them instead of re-executing.
+    if (error.fault() == WireFault::kProtocol) {
+      // A peer speaking a different dialect (bad magic, mismatched wire
+      // version): best-effort typed reject before closing, so a
+      // version-skewed client gets a diagnosis instead of silence.
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      try {
+        PayloadWriter w;
+        w.str(error.what());
+        std::lock_guard wlock(conn.write_mutex);
+        send_frame(conn.fd, FrameType::kError, 0, w.data());
+      } catch (const WireError&) {
+      }
+    }
   }
   {
     std::lock_guard lock(conn.outbox_mutex);
@@ -218,6 +234,25 @@ void Server::handle_request(Connection& conn, Frame& frame) {
     return;
   }
 
+  if (options_.leadership) {
+    const LeaderView view = options_.leadership();
+    if (!view.leading) {
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.not_leader_rejects;
+      }
+      LeaderHint hint;
+      hint.epoch = view.epoch;
+      hint.host = view.leader_host;
+      hint.port = view.leader_port;
+      const std::vector<std::uint8_t> payload = encode_leader_hint(hint);
+      std::lock_guard wlock(conn.write_mutex);
+      send_frame(conn.fd, FrameType::kNotLeader, frame.header.request_id,
+                 payload);
+      return;
+    }
+  }
+
   service::Request request;
   try {
     request = decode_request(frame.payload);
@@ -233,6 +268,35 @@ void Server::handle_request(Connection& conn, Frame& frame) {
     return;
   }
 
+  if (request.lease_epoch > 0) {
+    // Fencing: a stamped request must carry the newest lease epoch this
+    // worker can observe. The floor is the max of the shared lease file's
+    // epoch (fence_epoch) and the highest stamp ever seen — monotonic, so
+    // a deposed coordinator resumed from a pause cannot slip a stale
+    // scatter frame in even between lease-file polls.
+    std::uint64_t floor = options_.fence_epoch ? options_.fence_epoch() : 0;
+    std::uint64_t seen = max_epoch_seen_.load(std::memory_order_relaxed);
+    if (seen > floor) floor = seen;
+    if (request.lease_epoch < floor) {
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.fenced_rejects;
+      }
+      PayloadWriter w;
+      w.str("fenced: stale lease epoch " +
+            std::to_string(request.lease_epoch) + " < " +
+            std::to_string(floor));
+      std::lock_guard wlock(conn.write_mutex);
+      send_frame(conn.fd, FrameType::kError, frame.header.request_id,
+                 w.data());
+      return;
+    }
+    while (seen < request.lease_epoch &&
+           !max_epoch_seen_.compare_exchange_weak(
+               seen, request.lease_epoch, std::memory_order_relaxed)) {
+    }
+  }
+
   Pending pending;
   pending.request_id = frame.header.request_id;
 
@@ -240,6 +304,7 @@ void Server::handle_request(Connection& conn, Frame& frame) {
     std::lock_guard dlock(dedup_mutex_);
     auto& per_client = dedup_[conn.client_id];
     const auto it = per_client.find(frame.header.request_id);
+    std::vector<std::uint8_t> journaled;
     if (it != per_client.end()) {
       // A retry of a request this process has already seen: never execute
       // again. Replay the recorded response, or queue a wait on the
@@ -252,9 +317,28 @@ void Server::handle_request(Connection& conn, Frame& frame) {
       if (it->second->done) {
         pending.is_replay = true;
         pending.replay = it->second->payload;
+        if (it->second->in_order) {
+          // LRU refresh: a retried entry is the one most likely to be
+          // retried again.
+          dedup_order_.splice(dedup_order_.end(), dedup_order_,
+                              it->second->order_it);
+        }
       } else {
         pending.dedup = it->second;
       }
+    } else if (options_.journal != nullptr &&
+               options_.journal->lookup(conn.client_id,
+                                        frame.header.request_id, journaled)) {
+      // Completed before — possibly by a *different* process of this
+      // logical service (the dead active coordinator): replay the durable
+      // record, never recount.
+      {
+        std::lock_guard slock(stats_mutex_);
+        ++stats_.duplicates;
+        ++stats_.journal_replays;
+      }
+      pending.is_replay = true;
+      pending.replay = std::move(journaled);
     } else {
       auto entry = std::make_shared<DedupEntry>();
       per_client.emplace(frame.header.request_id, entry);
@@ -295,7 +379,21 @@ void Server::responder_loop(Connection& conn) {
       payload = encode_response(response);
       // Record the outcome *before* any send attempt: even if the frame
       // tears on the wire (organically or by chaos), the retry replays this
-      // exact response instead of executing twice.
+      // exact response instead of executing twice. With a journal the
+      // record is durable before the first byte leaves — the replay
+      // survives this process.
+      bool journaled = false;
+      if (options_.journal != nullptr) {
+        try {
+          options_.journal->record(conn.client_id, pending.request_id,
+                                   payload);
+          journaled = true;
+        } catch (const std::exception&) {
+          // Journal write failed (disk full, sealed by a new leader):
+          // keep the in-memory record so connection-level retries still
+          // replay; cross-process exactly-once degrades for this entry.
+        }
+      }
       {
         std::lock_guard elock(pending.dedup->mutex);
         pending.dedup->done = true;
@@ -304,17 +402,44 @@ void Server::responder_loop(Connection& conn) {
       pending.dedup->cv.notify_all();
       {
         std::lock_guard dlock(dedup_mutex_);
-        dedup_order_.emplace_back(conn.client_id, pending.request_id);
-        ++dedup_completed_;
-        while (dedup_completed_ > options_.dedup_capacity &&
-               !dedup_order_.empty()) {
-          const auto [cid, rid] = dedup_order_.front();
-          dedup_order_.pop_front();
-          --dedup_completed_;
-          const auto cit = dedup_.find(cid);
+        if (journaled) {
+          // The durable record supersedes the in-memory entry; duplicates
+          // still in flight hold their own shared_ptr and replay from it.
+          const auto cit = dedup_.find(conn.client_id);
           if (cit != dedup_.end()) {
-            cit->second.erase(rid);
+            cit->second.erase(pending.request_id);
             if (cit->second.empty()) dedup_.erase(cit);
+          }
+        } else {
+          pending.dedup->order_it = dedup_order_.emplace(
+              dedup_order_.end(), conn.client_id, pending.request_id);
+          pending.dedup->in_order = true;
+          ++dedup_completed_;
+          dedup_bytes_ += payload.size();
+          std::uint64_t evicted = 0;
+          while ((dedup_completed_ > options_.dedup_capacity ||
+                  (options_.dedup_byte_budget > 0 &&
+                   dedup_bytes_ > options_.dedup_byte_budget)) &&
+                 !dedup_order_.empty()) {
+            const auto [cid, rid] = dedup_order_.front();
+            dedup_order_.pop_front();
+            --dedup_completed_;
+            ++evicted;
+            const auto cit = dedup_.find(cid);
+            if (cit != dedup_.end()) {
+              const auto eit = cit->second.find(rid);
+              if (eit != cit->second.end()) {
+                dedup_bytes_ -= std::min(dedup_bytes_,
+                                         eit->second->payload.size());
+                eit->second->in_order = false;
+                cit->second.erase(eit);
+              }
+              if (cit->second.empty()) dedup_.erase(cit);
+            }
+          }
+          if (evicted > 0) {
+            std::lock_guard slock(stats_mutex_);
+            stats_.dedup_evictions += evicted;
           }
         }
       }
@@ -333,6 +458,10 @@ void Server::responder_loop(Connection& conn) {
       // its retry on a fresh connection. Keep flushing the rest.
     }
   }
+  // Both loops are done with the socket: send the FIN now so the peer sees
+  // EOF immediately (a version-skewed client must observe "typed reject,
+  // then close", not a connection that lingers until the next reap).
+  ::shutdown(conn.fd, SHUT_RDWR);
   conn.finished.store(true, std::memory_order_release);
 }
 
@@ -378,7 +507,20 @@ void Server::stream_metrics(Connection& conn, std::uint64_t request_id) {
     std::lock_guard slock(stats_mutex_);
     ++stats_.metrics_streams;
   }
-  const std::string rendered = sink_->metrics_text();
+  std::string rendered = sink_->metrics_text();
+  {
+    // Append the server's own wire-level counters so one metrics fetch
+    // shows the full serving picture (the CI chaos stages grep this line).
+    const ServerStats s = stats();
+    rendered += "transport: requests=" + std::to_string(s.requests) +
+                " duplicates=" + std::to_string(s.duplicates) +
+                " dedup_entries=" + std::to_string(s.dedup_entries) +
+                " dedup_bytes=" + std::to_string(s.dedup_bytes) +
+                " dedup_evictions=" + std::to_string(s.dedup_evictions) +
+                " journal_replays=" + std::to_string(s.journal_replays) +
+                " not_leader_rejects=" + std::to_string(s.not_leader_rejects) +
+                " fenced_rejects=" + std::to_string(s.fenced_rejects) + "\n";
+  }
   for (std::size_t off = 0; off < rendered.size();
        off += kMetricsChunkBytes) {
     const std::size_t n = std::min(kMetricsChunkBytes, rendered.size() - off);
@@ -466,8 +608,15 @@ void Server::stop() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out = stats_;
+  }
+  std::lock_guard dlock(dedup_mutex_);
+  out.dedup_entries = dedup_completed_;
+  out.dedup_bytes = dedup_bytes_;
+  return out;
 }
 
 }  // namespace trico::transport

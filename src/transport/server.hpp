@@ -35,11 +35,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "service/chaos.hpp"
@@ -61,14 +64,63 @@ class RequestSink {
   virtual std::string metrics_text() = 0;
 };
 
+/// Durable (client_id, request_id) -> encoded-response store. When a
+/// server is given one, *completed* responses are recorded there instead of
+/// the in-memory dedup map, so a retry that lands on a different process of
+/// the same logical service (the promoted coordinator after the active
+/// died) still replays the recorded result — exactly-once across process
+/// death, not just connection death. cluster::ha::Journal is the
+/// implementation; the interface lives here so transport does not depend on
+/// cluster.
+class ResponseJournal {
+ public:
+  virtual ~ResponseJournal() = default;
+  /// Records one completed response. Must be durable when it returns (the
+  /// server calls it before the first send attempt). Throws on failure.
+  virtual void record(std::uint64_t client_id, std::uint64_t request_id,
+                      const std::vector<std::uint8_t>& payload) = 0;
+  /// Fetches the recorded response of a completed request into `out`.
+  /// Returns false when the pair is unknown.
+  virtual bool lookup(std::uint64_t client_id, std::uint64_t request_id,
+                      std::vector<std::uint8_t>& out) = 0;
+};
+
+/// A server's view of coordinator leadership, polled per request when
+/// ServerOptions::leadership is set. Not leading => the request is refused
+/// with kNotLeader carrying the hint fields.
+struct LeaderView {
+  bool leading = true;
+  std::uint64_t epoch = 0;
+  std::string leader_host;
+  std::uint16_t leader_port = 0;  ///< 0 = no hint known
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back via port().
   std::uint16_t port = 0;
   int listen_backlog = 64;
-  /// Completed responses retained for duplicate-retry replay (FIFO evicted;
-  /// in-flight entries are never evicted).
+  /// Completed responses retained for duplicate-retry replay (LRU evicted
+  /// by entry count and by dedup_byte_budget; in-flight entries are never
+  /// evicted).
   std::size_t dedup_capacity = 4096;
+  /// Byte budget of the in-memory dedup cache (encoded response payloads);
+  /// the LRU evicts past either bound. 0 = entry bound only.
+  std::size_t dedup_byte_budget = std::size_t{64} << 20;
+  /// Durable replay journal (non-owning; nullptr = in-memory dedup only).
+  /// When set, completed responses move to the journal instead of the
+  /// in-memory cache: retries replay from it even across a process
+  /// boundary. Must outlive the server.
+  ResponseJournal* journal = nullptr;
+  /// Leadership gate (coordinator HA). When set and not leading, requests
+  /// are refused with a kNotLeader reject carrying the view's hint. Called
+  /// per request; must be thread-safe.
+  std::function<LeaderView()> leadership;
+  /// Fencing floor (worker-side HA). When set, a request stamped with
+  /// lease_epoch > 0 is refused (non-retryable) when its epoch is below
+  /// max(fence_epoch(), highest stamped epoch seen) — a deposed
+  /// coordinator's scatter frames cannot land. Must be thread-safe.
+  std::function<std::uint64_t()> fence_epoch;
   /// Wire-site fault injection (non-owning; nullptr = no chaos). Must
   /// outlive the server.
   service::ChaosPlan* chaos = nullptr;
@@ -86,6 +138,12 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;    ///< malformed frames from clients
   std::uint64_t chaos_faults = 0;       ///< wire faults injected by the plan
   std::uint64_t drained_rejects = 0;    ///< requests refused while draining
+  std::uint64_t dedup_evictions = 0;    ///< completed entries LRU-evicted
+  std::size_t dedup_entries = 0;        ///< gauge: completed entries held
+  std::size_t dedup_bytes = 0;          ///< gauge: bytes of held payloads
+  std::uint64_t journal_replays = 0;    ///< duplicates served from the journal
+  std::uint64_t not_leader_rejects = 0; ///< requests refused while standby
+  std::uint64_t fenced_rejects = 0;     ///< stale-epoch requests refused
 };
 
 class Server {
@@ -169,14 +227,22 @@ class Server {
   std::vector<std::unique_ptr<Connection>> connections_;
 
   // Dedup table: (client_id, request_id) -> entry. Completed entries are
-  // FIFO-evicted beyond dedup_capacity; in-flight entries are pinned.
+  // LRU-evicted beyond dedup_capacity entries or dedup_byte_budget bytes
+  // (a duplicate hit refreshes recency); in-flight entries are pinned.
+  // When a journal is configured, completed entries move there instead and
+  // the in-memory table only holds in-flight executions.
   mutable std::mutex dedup_mutex_;
   std::unordered_map<std::uint64_t,
                      std::unordered_map<std::uint64_t,
                                         std::shared_ptr<struct DedupEntry>>>
       dedup_;
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_order_;
+  std::list<std::pair<std::uint64_t, std::uint64_t>> dedup_order_;
   std::size_t dedup_completed_ = 0;
+  std::size_t dedup_bytes_ = 0;
+  /// Highest Request::lease_epoch observed on any stamped request — the
+  /// monotonic half of the fencing floor (the lease file, via fence_epoch,
+  /// is the other half).
+  std::atomic<std::uint64_t> max_epoch_seen_{0};
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_{};
@@ -189,6 +255,9 @@ struct DedupEntry {
   std::condition_variable cv;
   bool done = false;
   std::vector<std::uint8_t> payload;  ///< encoded Response
+  /// LRU bookkeeping (guarded by the server's dedup_mutex_, not mutex).
+  std::list<std::pair<std::uint64_t, std::uint64_t>>::iterator order_it{};
+  bool in_order = false;
 };
 
 }  // namespace trico::transport

@@ -130,6 +130,12 @@ void WorkerSupervisor::spawn_locked(Worker& worker) {
   copts.host = "127.0.0.1";
   copts.port = port;
   copts.client_id = 0;  // fresh unique id per worker connection
+  copts.endpoints.clear();  // one pinned worker per client: no failover set
+  if (copts.seed != 0) {
+    // Seeded runs stay deterministic *and* de-synchronized: each worker
+    // slot gets its own jitter stream instead of N clients sharing one.
+    copts.seed += static_cast<std::uint64_t>(&worker - workers_.data());
+  }
   worker.client = std::make_unique<Client>(copts);
 }
 

@@ -20,6 +20,7 @@ const char* to_string(FrameType type) {
     case FrameType::kMetricsEnd: return "metrics-end";
     case FrameType::kDrainNotice: return "drain-notice";
     case FrameType::kError: return "error";
+    case FrameType::kNotLeader: return "not-leader";
   }
   return "?";
 }
@@ -139,6 +140,7 @@ std::vector<std::uint8_t> encode_request(const service::Request& request) {
   w.str(request.tenant_id);
   w.u32(request.shard_index);
   w.u32(request.shard_count);
+  w.u64(request.lease_epoch);
   if (request.graph == nullptr) {
     w.u32(0);
     w.u64(0);
@@ -163,6 +165,7 @@ service::Request decode_request(std::span<const std::uint8_t> payload) {
   request.tenant_id = r.str();
   request.shard_index = r.u32();
   request.shard_count = r.u32();
+  request.lease_epoch = r.u64();
   const VertexId num_vertices = r.u32();
   const std::uint64_t slots = r.u64();
   if (slots * sizeof(Edge) != r.remaining()) {
@@ -231,6 +234,23 @@ service::Response decode_response(std::span<const std::uint8_t> payload) {
   response.shard_checksum = r.u64();
   response.graph_fingerprint = r.u64();
   return response;
+}
+
+std::vector<std::uint8_t> encode_leader_hint(const LeaderHint& hint) {
+  PayloadWriter w;
+  w.u64(hint.epoch);
+  w.str(hint.host);
+  w.u16(hint.port);
+  return w.take();
+}
+
+LeaderHint decode_leader_hint(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  LeaderHint hint;
+  hint.epoch = r.u64();
+  hint.host = r.str();
+  hint.port = r.u16();
+  return hint;
 }
 
 // -- Frame io --------------------------------------------------------------

@@ -45,9 +45,12 @@ namespace trico::transport {
 inline constexpr std::uint32_t kWireMagic = 0x54524957u;  // "TRIW"
 /// v2 added the shard fields (request shard_index/shard_count before the
 /// graph bytes; response shard echo after execute_ms) for the coordinator's
-/// scatter/gather plans. Version mismatches are rejected at the frame
-/// header, so a v1 peer gets a typed refusal, not a misparse.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// scatter/gather plans. v3 added the request lease_epoch (the coordinator
+/// HA fencing token) and the kNotLeader reject carrying a leader hint.
+/// Version mismatches are rejected at the frame header — the server answers
+/// with a typed kError before closing — so a mismatched peer gets a typed
+/// refusal, not a misparse or a hang.
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Frames larger than this are rejected before allocation — a corrupt
 /// header must not provoke a huge bogus buffer (same guard as read_binary).
 inline constexpr std::uint32_t kMaxPayload = 1u << 30;
@@ -68,6 +71,7 @@ enum class FrameType : std::uint8_t {
   kMetricsEnd,       ///< server -> client: snapshot complete
   kDrainNotice,      ///< server -> client: draining, no new requests
   kError,            ///< server -> client: typed failure (payload = message)
+  kNotLeader,        ///< server -> client: standby refusal + leader hint
 };
 
 [[nodiscard]] const char* to_string(FrameType type);
@@ -174,6 +178,21 @@ class PayloadReader {
 [[nodiscard]] std::vector<std::uint8_t> encode_response(
     const service::Response& response);
 [[nodiscard]] service::Response decode_response(
+    std::span<const std::uint8_t> payload);
+
+/// Payload of a kNotLeader reject: the refusing server's view of the
+/// current lease — epoch plus where the leader (if any) is serving. A
+/// port of 0 means "no hint": the standby has not observed a leader yet
+/// and the client should try its other endpoints.
+struct LeaderHint {
+  std::uint64_t epoch = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_leader_hint(
+    const LeaderHint& hint);
+[[nodiscard]] LeaderHint decode_leader_hint(
     std::span<const std::uint8_t> payload);
 
 // -- Frame io --------------------------------------------------------------

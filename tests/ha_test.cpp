@@ -1,0 +1,839 @@
+// Coordinator-HA tests: the lease file (fencing epochs, steal-after-expiry,
+// graceful release), the durable exactly-once journal (recovery, torn-tail
+// quarantine, duplicate discipline, checksummed replay), the journal-backed
+// Server replay across process-analogue boundaries, the multi-endpoint
+// Client's failover hops (connect-refused / draining / kNotLeader redirects
+// that never burn the retry budget), worker-side epoch fencing, the bounded
+// in-memory dedup LRU, and — gated on TRICO_CLI_PATH — a full active/standby
+// HaCoordinator pair over real worker processes: pause the leader past its
+// TTL, watch the standby promote at a higher epoch, and prove the deposed
+// leader's stale-epoch scatters are fenced while client retries replay from
+// the journal bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cluster/ha/journal.hpp"
+#include "cluster/ha/lease.hpp"
+#include "gen/reference.hpp"
+#include "service/service.hpp"
+#include "transport/client.hpp"
+#include "transport/server.hpp"
+#include "transport/wire.hpp"
+#include "util/io.hpp"
+
+#ifdef TRICO_CLI_PATH
+#include "cluster/ha/node.hpp"
+#endif
+
+namespace trico::cluster::ha {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const EdgeList> share(EdgeList edges) {
+  return std::make_shared<const EdgeList>(std::move(edges));
+}
+
+service::Request count_request(std::shared_ptr<const EdgeList> graph) {
+  service::Request request;
+  request.graph = std::move(graph);
+  request.op = service::Operation::kCount;
+  request.backend = service::Backend::kCpuHybrid;
+  return request;
+}
+
+service::ServiceOptions light_service() {
+  service::ServiceOptions options;
+  options.scheduler.workers = 2;
+  return options;
+}
+
+/// A unique scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "trico-ha-XXXXXX").string();
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string sub(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+LeaseOptions lease_options(const std::string& path, double ttl_ms) {
+  LeaseOptions options;
+  options.path = path;
+  options.ttl_ms = ttl_ms;
+  return options;
+}
+
+JournalOptions journal_options(const std::string& dir,
+                               std::uint64_t max_segment_bytes = 8ull << 20) {
+  JournalOptions options;
+  options.dir = dir;
+  options.max_segment_bytes = max_segment_bytes;
+  return options;
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseFile
+
+TEST(LeaseTest, AcquireBumpsEpochAndRenewExtends) {
+  TempDir dir;
+  LeaseFile lease(lease_options(dir.sub("lease"), 10000));
+
+  const LeaseFile::Acquire first = lease.try_acquire(71, 4242);
+  ASSERT_TRUE(first.acquired);
+  EXPECT_GE(first.epoch, 1u);
+
+  const std::optional<LeaseRecord> record = lease.read();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->owner, 71u);
+  EXPECT_EQ(record->port, 4242u);
+  EXPECT_EQ(record->epoch, first.epoch);
+  EXPECT_FALSE(record->expired(LeaseFile::now_ms()));
+
+  // Re-acquiring our own lease is a (re-)promotion: the epoch bumps again.
+  const LeaseFile::Acquire again = lease.try_acquire(71, 4242);
+  ASSERT_TRUE(again.acquired);
+  EXPECT_GT(again.epoch, first.epoch);
+
+  EXPECT_TRUE(lease.renew(71, again.epoch, 4242));
+  // A renewal at a stale epoch is leadership lost, not a silent success.
+  EXPECT_FALSE(lease.renew(71, first.epoch, 4242));
+}
+
+TEST(LeaseTest, ExpiredLeaseIsStolenAtHigherEpoch) {
+  TempDir dir;
+  LeaseFile holder(lease_options(dir.sub("lease"), 60));
+  LeaseFile thief(lease_options(dir.sub("lease"), 60));
+
+  const LeaseFile::Acquire held = holder.try_acquire(1, 1111);
+  ASSERT_TRUE(held.acquired);
+
+  // While the lease is live the thief is refused and told who holds it.
+  const LeaseFile::Acquire refused = thief.try_acquire(2, 2222);
+  ASSERT_FALSE(refused.acquired);
+  EXPECT_EQ(refused.current.owner, 1u);
+  EXPECT_EQ(refused.current.epoch, held.epoch);
+
+  // Past the TTL (the holder wedged): stolen, epoch strictly higher.
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  const LeaseFile::Acquire stolen = thief.try_acquire(2, 2222);
+  ASSERT_TRUE(stolen.acquired);
+  EXPECT_GT(stolen.epoch, held.epoch);
+
+  // The deposed holder cannot renew at its old epoch.
+  EXPECT_FALSE(holder.renew(1, held.epoch, 1111));
+}
+
+TEST(LeaseTest, ReleaseHandsOffImmediatelyKeepingEpochMonotone) {
+  TempDir dir;
+  LeaseFile a(lease_options(dir.sub("lease"), 10000));
+  LeaseFile b(lease_options(dir.sub("lease"), 10000));
+
+  const LeaseFile::Acquire held = a.try_acquire(1, 1111);
+  ASSERT_TRUE(held.acquired);
+  a.release(1, held.epoch);
+
+  // No TTL wait: a released lease is takeable on the peer's next poll, and
+  // the epoch survives the release (monotone across the handoff).
+  const LeaseFile::Acquire taken = b.try_acquire(2, 2222);
+  ASSERT_TRUE(taken.acquired);
+  EXPECT_GT(taken.epoch, held.epoch);
+}
+
+TEST(LeaseTest, PeekReadsWithoutAnInstance) {
+  TempDir dir;
+  EXPECT_FALSE(LeaseFile::peek(dir.sub("missing")).has_value());
+
+  LeaseFile lease(lease_options(dir.sub("lease"), 10000));
+  const LeaseFile::Acquire held = lease.try_acquire(9, 909);
+  ASSERT_TRUE(held.acquired);
+
+  const std::optional<LeaseRecord> peeked = LeaseFile::peek(dir.sub("lease"));
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->owner, 9u);
+  EXPECT_EQ(peeked->port, 909u);
+  EXPECT_EQ(peeked->epoch, held.epoch);
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+
+TEST(JournalTest, RecordLookupRoundTrip) {
+  TempDir dir;
+  Journal journal(journal_options(dir.sub("journal")));
+  journal.open();
+  journal.start_writer(1);
+
+  const std::vector<std::uint8_t> payload = bytes({1, 2, 3, 4, 5, 6, 7});
+  journal.record(77, 1, payload);
+  journal.record(77, 2, bytes({9}));
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(journal.lookup(77, 1, out));
+  EXPECT_EQ(out, payload);
+  ASSERT_TRUE(journal.lookup(77, 2, out));
+  EXPECT_EQ(out, bytes({9}));
+  EXPECT_FALSE(journal.lookup(77, 3, out));
+  EXPECT_FALSE(journal.lookup(78, 1, out));
+
+  const JournalStats stats = journal.stats();
+  EXPECT_EQ(stats.appends, 2u);
+  EXPECT_GE(stats.fsyncs, 1u);
+  EXPECT_LE(stats.fsyncs, stats.appends);
+  EXPECT_EQ(stats.replays, 2u);
+  EXPECT_EQ(journal.size(), 2u);
+  journal.close();
+}
+
+TEST(JournalTest, ReopenRecoversEveryDurableRecord) {
+  TempDir dir;
+  const std::vector<std::uint8_t> big(5000, 0xCD);
+  {
+    Journal journal(journal_options(dir.sub("journal")));
+    journal.open();
+    journal.start_writer(3);
+    journal.record(1, 10, bytes({0xAA}));
+    journal.record(1, 11, big);
+    journal.record(2, 10, bytes({}));  // empty payloads are legal
+    journal.close();
+  }
+
+  // A fresh instance (the standby, or the next incarnation) rebuilds the
+  // index from the segment scan alone.
+  Journal reopened(journal_options(dir.sub("journal")));
+  reopened.open();
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(reopened.stats().recovered_records, 3u);
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(reopened.lookup(1, 11, out));
+  EXPECT_EQ(out, big);
+  ASSERT_TRUE(reopened.lookup(2, 10, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JournalTest, TornTailIsQuarantinedAndValidPrefixSurvives) {
+  TempDir dir;
+  {
+    Journal journal(journal_options(dir.sub("journal")));
+    journal.open();
+    journal.start_writer(1);
+    journal.record(5, 1, bytes({1, 2, 3}));
+    journal.record(5, 2, bytes({4, 5, 6}));
+    journal.close();
+  }
+
+  // The writer died mid-append: garbage after the last complete record.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(dir.sub("journal"))) {
+    segment = entry.path().string();
+  }
+  ASSERT_FALSE(segment.empty());
+  {
+    std::ofstream torn(segment, std::ios::binary | std::ios::app);
+    const char junk[11] = "TRJRjunk!!";
+    torn.write(junk, 10);
+  }
+
+  // Becoming the writer quarantines the unreadable tail and keeps serving
+  // the valid prefix; new appends land after it.
+  Journal next(journal_options(dir.sub("journal")));
+  next.open();
+  next.start_writer(2);
+  EXPECT_EQ(next.stats().recovered_records, 2u);
+  EXPECT_EQ(next.stats().quarantined_bytes, 10u);
+
+  bool quarantine_seen = false;
+  for (const auto& entry : fs::directory_iterator(dir.sub("journal"))) {
+    if (entry.path().string().ends_with(".quarantine")) {
+      quarantine_seen = true;
+    }
+  }
+  EXPECT_TRUE(quarantine_seen);
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(next.lookup(5, 1, out));
+  EXPECT_EQ(out, bytes({1, 2, 3}));
+  next.record(5, 3, bytes({7, 8, 9}));
+  ASSERT_TRUE(next.lookup(5, 3, out));
+  EXPECT_EQ(out, bytes({7, 8, 9}));
+  next.close();
+}
+
+TEST(JournalTest, DuplicateAcrossRotationFirstRecordWins) {
+  TempDir dir;
+  {
+    // max_segment_bytes=1 forces a rotation on every append after the
+    // first, so the duplicate pair lands in a *different* segment.
+    Journal journal(journal_options(dir.sub("journal"), 1));
+    journal.open();
+    journal.start_writer(1);
+    journal.record(7, 1, bytes({0x0A}));
+    journal.record(7, 1, bytes({0x0B}));  // later copy of the same pair
+    EXPECT_GE(journal.stats().rotations, 1u);
+    journal.close();
+  }
+
+  Journal reopened(journal_options(dir.sub("journal"), 1));
+  reopened.open();
+  // Scan order is segment order: the first record is the one replays serve.
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(reopened.lookup(7, 1, out));
+  EXPECT_EQ(out, bytes({0x0A}));
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_GE(reopened.stats().duplicate_records, 1u);
+  EXPECT_GE(reopened.stats().segments, 2u);
+}
+
+TEST(JournalTest, LookupRejectsDamagedBytes) {
+  TempDir dir;
+  {
+    Journal journal(journal_options(dir.sub("journal")));
+    journal.open();
+    journal.start_writer(1);
+    journal.record(3, 1, bytes({10, 20, 30, 40}));
+    journal.close();
+  }
+
+  Journal reopened(journal_options(dir.sub("journal")));
+  reopened.open();
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(reopened.lookup(3, 1, out));
+
+  // Flip one payload byte on disk after the index was built: the replay
+  // pread re-verifies the checksum and treats the record as unknown rather
+  // than serving damaged bytes.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(dir.sub("journal"))) {
+    if (!entry.path().string().ends_with(".quarantine")) {
+      segment = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(segment.empty());
+  {
+    std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(kJournalRecordHeaderBytes) + 1);
+    const char flipped = 0x7F;
+    f.write(&flipped, 1);
+  }
+  EXPECT_FALSE(reopened.lookup(3, 1, out));
+}
+
+TEST(JournalTest, RecordOutsideWriterModeThrows) {
+  TempDir dir;
+  Journal journal(journal_options(dir.sub("journal")));
+  journal.open();
+  EXPECT_THROW(journal.record(1, 1, bytes({1})), JournalError);
+  EXPECT_FALSE(journal.writing());
+}
+
+// ---------------------------------------------------------------------------
+// Journal-backed Server: exactly-once across a process-analogue boundary
+
+TEST(JournalServerTest, RetryAgainstSuccessorReplaysBitIdentically) {
+  TempDir dir;
+  const gen::ReferenceGraph reference = gen::complete(16);
+  const service::Request request = count_request(share(reference.edges));
+
+  transport::ClientOptions copts;
+  copts.client_id = 777;  // fixed so the retry is the same logical client
+  service::Response first;
+
+  // Incarnation one: the active coordinator's server records through the
+  // journal, then "dies" (everything torn down, only the directory left).
+  {
+    Journal journal(journal_options(dir.sub("journal")));
+    journal.open();
+    journal.start_writer(1);
+    service::TriangleService svc(light_service());
+    transport::ServerOptions sopts;
+    sopts.journal = &journal;
+    transport::Server server(svc, sopts);
+    server.start();
+
+    copts.port = server.port();
+    transport::Client client(copts);
+    first = client.execute_with_id(request, 42);
+    ASSERT_EQ(first.status, service::Status::kOk) << first.reason;
+    ASSERT_EQ(first.triangles, reference.expected_triangles);
+    EXPECT_GE(journal.stats().appends, 1u);
+    server.stop();
+    journal.close();
+  }
+
+  // Incarnation two: a different Server + service over the same journal.
+  // The retried id replays the durable record — the service never executes.
+  Journal journal(journal_options(dir.sub("journal")));
+  journal.open();
+  journal.start_writer(2);
+  service::TriangleService svc(light_service());
+  transport::ServerOptions sopts;
+  sopts.journal = &journal;
+  transport::Server server(svc, sopts);
+  server.start();
+
+  copts.port = server.port();
+  transport::Client client(copts);
+  const service::Response replayed = client.execute_with_id(request, 42);
+  EXPECT_EQ(replayed.status, first.status);
+  EXPECT_EQ(replayed.triangles, first.triangles);
+  EXPECT_EQ(replayed.backend, first.backend);
+  EXPECT_EQ(server.stats().journal_replays, 1u);
+  EXPECT_EQ(server.stats().duplicates, 1u);
+  EXPECT_EQ(svc.metrics().submitted, 0u) << "replay must not re-execute";
+  server.stop();
+  journal.close();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-endpoint Client failover
+
+TEST(MultiEndpointTest, ConnectRefusedHopsWithoutBurningRetryBudget) {
+  service::TriangleService svc(light_service());
+  transport::Server live(svc);
+  live.start();
+
+  // A port that refuses connections: bind+close an ephemeral listener.
+  transport::Server parked(svc);
+  parked.start();
+  const std::uint16_t dead_port = parked.port();
+  parked.stop();
+
+  transport::ClientOptions copts;
+  copts.endpoints = {{"127.0.0.1", dead_port}, {"127.0.0.1", live.port()}};
+  copts.max_attempts = 1;  // hops must not consume the attempt budget
+  transport::Client client(copts);
+
+  const gen::ReferenceGraph reference = gen::complete(10);
+  const service::Response response =
+      client.execute(count_request(share(reference.edges)));
+  ASSERT_EQ(response.status, service::Status::kOk) << response.reason;
+  EXPECT_EQ(response.triangles, reference.expected_triangles);
+}
+
+TEST(MultiEndpointTest, DrainingEndpointFailsOverToPeer) {
+  service::TriangleService drain_svc(light_service());
+  service::TriangleService live_svc(light_service());
+  transport::Server draining(drain_svc);
+  draining.start();
+  transport::Server live(live_svc);
+  live.start();
+
+  transport::ClientOptions copts;
+  copts.endpoints = {{"127.0.0.1", draining.port()},
+                     {"127.0.0.1", live.port()}};
+  copts.max_attempts = 1;
+  transport::Client client(copts);
+
+  // Establish the connection to the first endpoint while it is healthy —
+  // the hop under test is the *retryable drain reject on a live
+  // connection*, not a refused connect.
+  const gen::ReferenceGraph reference = gen::complete(11);
+  const service::Response warm =
+      client.execute(count_request(share(reference.edges)));
+  ASSERT_EQ(warm.status, service::Status::kOk) << warm.reason;
+
+  // Pin the drain mid-flight: a raw connection holds one request on the
+  // paused service, so drain() blocks with connections still open.
+  drain_svc.pause();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(draining.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  transport::PayloadWriter hello;
+  hello.u64(99);
+  transport::send_frame(fd, transport::FrameType::kHello, 0, hello.data());
+  transport::Frame ack;
+  ASSERT_TRUE(transport::recv_frame(fd, ack));
+  transport::send_frame(fd, transport::FrameType::kRequest, 1,
+                        transport::encode_request(
+                            count_request(share(reference.edges))));
+  while (draining.stats().requests < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread drainer([&] { draining.drain(); });
+  while (!draining.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Mid-drain, the client's request is refused retryably and hops to the
+  // live peer without burning its single attempt.
+  const service::Response response =
+      client.execute(count_request(share(reference.edges)));
+  ASSERT_EQ(response.status, service::Status::kOk) << response.reason;
+  EXPECT_EQ(response.triangles, reference.expected_triangles);
+  EXPECT_GE(draining.stats().drained_rejects, 1u);
+  EXPECT_GE(live.stats().requests, 1u);
+
+  drain_svc.resume();
+  drainer.join();
+  util::io::close_quiet(fd);
+}
+
+TEST(MultiEndpointTest, NotLeaderRedirectFollowsTheHint) {
+  service::TriangleService svc(light_service());
+  transport::Server leader(svc);
+  leader.start();
+
+  // A standby that knows where the leader is: every request is refused
+  // with a kNotLeader hint naming the leader's port.
+  std::atomic<std::uint16_t> leader_port{leader.port()};
+  service::TriangleService standby_svc(light_service());
+  transport::ServerOptions standby_options;
+  standby_options.leadership = [&]() {
+    transport::LeaderView view;
+    view.leading = false;
+    view.epoch = 5;
+    view.leader_host = "127.0.0.1";
+    view.leader_port = leader_port.load();
+    return view;
+  };
+  transport::Server standby(standby_svc, standby_options);
+  standby.start();
+
+  transport::ClientOptions copts;
+  copts.endpoints = {{"127.0.0.1", standby.port()}};
+  copts.max_attempts = 1;
+  transport::Client client(copts);
+
+  const gen::ReferenceGraph reference = gen::complete(12);
+  const service::Response response =
+      client.execute(count_request(share(reference.edges)));
+  ASSERT_EQ(response.status, service::Status::kOk) << response.reason;
+  EXPECT_EQ(response.triangles, reference.expected_triangles);
+  EXPECT_GE(standby.stats().not_leader_rejects, 1u);
+  EXPECT_EQ(standby_svc.metrics().submitted, 0u);
+  EXPECT_GE(leader.stats().requests, 1u);
+
+  // The redirect surfaces as a typed error when there is nowhere to go:
+  // a hint-less standby with no other endpoint.
+  standby_options.leadership = [] {
+    transport::LeaderView view;
+    view.leading = false;
+    return view;
+  };
+  transport::Server lost(standby_svc, standby_options);
+  lost.start();
+  transport::ClientOptions solo;
+  solo.endpoints = {{"127.0.0.1", lost.port()}};
+  solo.max_attempts = 1;
+  transport::Client stuck(solo);
+  try {
+    (void)stuck.execute(count_request(share(reference.edges)));
+    FAIL() << "expected kNotLeader";
+  } catch (const transport::TransportError& error) {
+    EXPECT_EQ(error.fault(), transport::TransportFault::kNotLeader);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side fencing
+
+TEST(FencingTest, StaleEpochIsRefusedAndTheWatermarkIsMonotone) {
+  service::TriangleService svc(light_service());
+  transport::ServerOptions sopts;
+  sopts.fence_epoch = [] { return std::uint64_t{5}; };
+  transport::Server server(svc, sopts);
+  server.start();
+
+  transport::ClientOptions copts;
+  copts.port = server.port();
+  copts.max_attempts = 1;
+  transport::Client client(copts);
+
+  const gen::ReferenceGraph reference = gen::complete(9);
+  service::Request request = count_request(share(reference.edges));
+
+  // Below the lease-file floor: refused non-retryably.
+  request.lease_epoch = 3;
+  try {
+    (void)client.execute(request);
+    FAIL() << "expected a fencing reject";
+  } catch (const transport::TransportError& error) {
+    EXPECT_EQ(error.fault(), transport::TransportFault::kProtocol);
+    EXPECT_NE(std::string(error.what()).find("fenced"), std::string::npos);
+  }
+  EXPECT_EQ(server.stats().fenced_rejects, 1u);
+
+  // At/above the floor: served, and the stamp raises the watermark.
+  request.lease_epoch = 9;
+  service::Response response = client.execute(request);
+  ASSERT_EQ(response.status, service::Status::kOk) << response.reason;
+  EXPECT_EQ(response.triangles, reference.expected_triangles);
+
+  // 7 beats the lease floor (5) but not the highest stamp seen (9): a
+  // deposed coordinator cannot slip in between lease-file polls.
+  request.lease_epoch = 7;
+  EXPECT_THROW((void)client.execute(request), transport::TransportError);
+  EXPECT_EQ(server.stats().fenced_rejects, 2u);
+
+  // Unstamped requests (no HA deployment) are untouched by the fence.
+  request.lease_epoch = 0;
+  response = client.execute(request);
+  EXPECT_EQ(response.status, service::Status::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded in-memory dedup
+
+TEST(DedupLruTest, CompletedEntriesAreEvictedPastTheCap) {
+  service::TriangleService svc(light_service());
+  transport::ServerOptions sopts;
+  sopts.dedup_capacity = 4;
+  transport::Server server(svc, sopts);
+  server.start();
+
+  transport::ClientOptions copts;
+  copts.port = server.port();
+  transport::Client client(copts);
+
+  const gen::ReferenceGraph reference = gen::complete(8);
+  const service::Request request = count_request(share(reference.edges));
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    const service::Response r = client.execute_with_id(request, id);
+    ASSERT_EQ(r.status, service::Status::kOk) << r.reason;
+  }
+
+  const transport::ServerStats stats = server.stats();
+  EXPECT_LE(stats.dedup_entries, 4u);
+  EXPECT_GE(stats.dedup_evictions, 6u);
+  EXPECT_GT(stats.dedup_bytes, 0u);
+
+  // A recent id still replays from the cache; duplicates never re-execute.
+  const std::uint64_t executed = svc.metrics().submitted;
+  const service::Response replay = client.execute_with_id(request, 10);
+  EXPECT_EQ(replay.triangles, reference.expected_triangles);
+  EXPECT_EQ(svc.metrics().submitted, executed);
+  EXPECT_GE(server.stats().duplicates, 1u);
+}
+
+TEST(DedupLruTest, ByteBudgetBoundsTheCacheIndependently) {
+  service::TriangleService svc(light_service());
+  transport::ServerOptions sopts;
+  sopts.dedup_capacity = 1 << 20;  // entry cap out of the way
+  sopts.dedup_byte_budget = 1;     // every completed payload busts it
+  transport::Server server(svc, sopts);
+  server.start();
+
+  transport::ClientOptions copts;
+  copts.port = server.port();
+  transport::Client client(copts);
+  const service::Request request =
+      count_request(share(gen::complete(8).edges));
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_EQ(client.execute_with_id(request, id).status,
+              service::Status::kOk);
+  }
+  const transport::ServerStats stats = server.stats();
+  EXPECT_GE(stats.dedup_evictions, 2u);
+  EXPECT_LE(stats.dedup_bytes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HaCoordinator over real worker processes
+
+#ifdef TRICO_CLI_PATH
+
+HaNodeOptions ha_node_options(const TempDir& dir, bool standby,
+                              double ttl_ms) {
+  HaNodeOptions options;
+  options.coordinator.supervisor.cli_path = TRICO_CLI_PATH;
+  options.coordinator.supervisor.num_workers = 2;
+  options.coordinator.supervisor.monitor_period_ms = 20;
+  options.coordinator.supervisor.client.max_attempts = 4;
+  options.coordinator.supervisor.client.backoff_initial_ms = 5;
+  options.coordinator.supervisor.client.backoff_max_ms = 100;
+  options.coordinator.supervisor.client.seed = 20260808;
+  // Workers fence on the shared lease file.
+  options.coordinator.supervisor.worker_args = {"--lease", dir.sub("lease")};
+  options.coordinator.scatter_edge_threshold = 64;  // everything scatters
+  options.lease_path = dir.sub("lease");
+  options.journal_dir = dir.sub("journal");
+  options.lease_ttl_ms = ttl_ms;
+  options.standby = standby;
+  return options;
+}
+
+bool wait_until(const std::function<bool()>& done, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+TEST(HaProcessTest, PausedLeaderIsStolenAndItsStaleScattersAreFenced) {
+  TempDir dir;
+  const double ttl = 250;
+  HaCoordinator active(ha_node_options(dir, false, ttl));
+  HaCoordinator standby(ha_node_options(dir, true, ttl));
+
+  active.start();
+  ASSERT_TRUE(active.wait_leading(5000));
+  standby.start();
+  EXPECT_FALSE(standby.leading());
+  const std::uint64_t active_epoch = active.epoch();
+  EXPECT_GE(active_epoch, 1u);
+
+  const gen::ReferenceGraph reference = gen::windmill(5, 8);
+  const auto graph = share(reference.edges);
+
+  // The active pair serves exact counts while healthy.
+  service::Response healthy = active.submit(count_request(graph)).wait();
+  ASSERT_EQ(healthy.status, service::Status::kOk) << healthy.reason;
+  EXPECT_EQ(healthy.triangles, reference.expected_triangles);
+
+  // Freeze the leader's lease loop past the TTL — the in-process analogue
+  // of SIGSTOP. The standby steals the lease at a strictly higher epoch.
+  active.pause_lease_for_test();
+  ASSERT_TRUE(standby.wait_leading(8000));
+  EXPECT_GT(standby.epoch(), active_epoch);
+  EXPECT_GE(standby.stats().promotions, 1u);
+
+  // The new leader serves exact counts immediately (its pool was warm).
+  service::Response promoted = standby.submit(count_request(graph)).wait();
+  ASSERT_EQ(promoted.status, service::Status::kOk) << promoted.reason;
+  EXPECT_EQ(promoted.triangles, reference.expected_triangles);
+
+  // The deposed leader still *believes* it leads (paused, epoch cell
+  // untouched) — but its scatter frames carry the stale epoch and every
+  // worker refuses them: no stale gather can complete, let alone
+  // double-count against the new leader's.
+  service::Response fenced = active.submit(count_request(graph)).wait();
+  EXPECT_NE(fenced.status, service::Status::kOk)
+      << "a stale-epoch scatter must not be served";
+  EXPECT_NE(fenced.reason.find("fenced"), std::string::npos)
+      << "reason: " << fenced.reason;
+
+  // On resume the failed renewal demotes it; the stale epoch is retained.
+  active.resume_lease_for_test();
+  EXPECT_TRUE(wait_until([&] { return active.stats().demotions >= 1; }, 5000));
+  EXPECT_FALSE(active.leading());
+  EXPECT_EQ(active.epoch(), active_epoch);
+  EXPECT_TRUE(standby.leading());
+
+  // The HA block lands in the metrics snapshot on both sides.
+  const service::MetricsSnapshot a = active.metrics();
+  EXPECT_TRUE(a.ha_enabled);
+  EXPECT_FALSE(a.ha_leading);
+  EXPECT_GE(a.ha_demotions, 1u);
+  const service::MetricsSnapshot s = standby.metrics();
+  EXPECT_TRUE(s.ha_leading);
+  EXPECT_GE(s.ha_promotions, 1u);
+  EXPECT_NE(s.to_string().find("ha: leading=1"), std::string::npos);
+
+  standby.stop();
+  active.stop();
+}
+
+TEST(HaProcessTest, RetryAfterPromotionReplaysFromTheJournal) {
+  TempDir dir;
+  const double ttl = 250;
+  HaCoordinator active(ha_node_options(dir, false, ttl));
+  HaCoordinator standby(ha_node_options(dir, true, ttl));
+
+  active.start();
+  ASSERT_TRUE(active.wait_leading(5000));
+  standby.start();
+
+  // Front each node with a Server wired exactly like `trico_cli
+  // coordinator --lease --journal`: journal-backed dedup + leadership gate.
+  transport::ServerOptions active_sopts;
+  active_sopts.journal = &active.journal();
+  active_sopts.leadership = [&active] { return active.leader_view(); };
+  transport::Server active_server(active, active_sopts);
+  active_server.start();
+  active.set_advertised_port(active_server.port());
+
+  transport::ServerOptions standby_sopts;
+  standby_sopts.journal = &standby.journal();
+  standby_sopts.leadership = [&standby] { return standby.leader_view(); };
+  transport::Server standby_server(standby, standby_sopts);
+  standby_server.start();
+  standby.set_advertised_port(standby_server.port());
+
+  const gen::ReferenceGraph reference = gen::windmill(4, 6);
+  const service::Request request = count_request(share(reference.edges));
+
+  transport::ClientOptions copts;
+  copts.client_id = 4242;
+  copts.endpoints = {{"127.0.0.1", active_server.port()},
+                     {"127.0.0.1", standby_server.port()}};
+  copts.seed = 7;
+
+  service::Response first;
+  {
+    transport::Client client(copts);
+    first = client.execute_with_id(request, 99);
+    ASSERT_EQ(first.status, service::Status::kOk) << first.reason;
+    ASSERT_EQ(first.triangles, reference.expected_triangles);
+  }
+
+  // The active dies: server gone (its port now refuses connections), node
+  // torn down. The standby takes the lease and promotes.
+  active_server.stop();
+  active.stop();
+  ASSERT_TRUE(standby.wait_leading(8000));
+  EXPECT_GE(standby.stats().promotions, 1u);
+
+  // The same logical client retries the same id. The first endpoint is
+  // dead, so the client hops to the standby without burning its retry
+  // budget; the journal — tailed by the standby all along — replays the
+  // recorded response bit-identically without re-executing anything.
+  copts.max_attempts = 1;
+  transport::Client retry(copts);
+  const service::Response replayed = retry.execute_with_id(request, 99);
+  EXPECT_EQ(replayed.status, first.status);
+  EXPECT_EQ(replayed.triangles, first.triangles);
+  EXPECT_EQ(replayed.backend, first.backend);
+  EXPECT_GE(standby_server.stats().journal_replays, 1u);
+  EXPECT_GE(standby.stats().journal.replays, 1u);
+
+  standby_server.stop();
+  standby.stop();
+}
+
+#endif  // TRICO_CLI_PATH
+
+}  // namespace
+}  // namespace trico::cluster::ha

@@ -432,6 +432,123 @@ TEST(TransportTest, DrainRefusesNewWorkRetryablyAndFlushesInFlight) {
   util::io::close_quiet(fd);
 }
 
+// ---------------------------------------------------------------------------
+// Wire-version negotiation: a version-skewed peer gets a *typed* protocol
+// reject on both sides of the connection — never a hang, never a checksum
+// fault mistaken for line noise.
+
+/// A 24-byte frame header hand-crafted at wire version 1. The version check
+/// precedes the payload and checksum reads, so those fields are free-form.
+std::vector<std::uint8_t> v1_frame(FrameType type) {
+  PayloadWriter h;
+  h.u32(kWireMagic);
+  h.u16(1);  // ancient wire version
+  h.u8(static_cast<std::uint8_t>(type));
+  h.u8(0);                    // flags
+  h.u64(0);                   // request id
+  h.u32(0);                   // payload size
+  h.u32(0);                   // checksum (never reached)
+  return h.take();
+}
+
+TEST(WireVersionTest, V1ClientGetsTypedRejectFromServerNotAHang) {
+  service::TriangleService svc(light_service());
+  Server server(svc);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Open with a v1 hello: the server must answer with a non-retryable
+  // kError naming the version mismatch, then close — not stall waiting for
+  // more bytes and not tear the connection silently.
+  const std::vector<std::uint8_t> hello = v1_frame(FrameType::kHello);
+  ASSERT_EQ(util::io::write_full(fd, hello.data(), hello.size()).status,
+            util::io::IoStatus::kOk);
+
+  Frame reject;
+  ASSERT_TRUE(recv_frame(fd, reject));
+  EXPECT_EQ(reject.header.type, FrameType::kError);
+  EXPECT_EQ(reject.header.flags & kFlagRetryable, 0)
+      << "a version mismatch must not invite retries";
+  const std::string message(reject.payload.begin(), reject.payload.end());
+  EXPECT_NE(message.find("version"), std::string::npos) << message;
+
+  // Nothing follows the reject: the server closes its side.
+  Frame trailing;
+  try {
+    EXPECT_FALSE(recv_frame(fd, trailing));
+  } catch (const WireError&) {
+    // A reset instead of a clean close is acceptable — just no hang.
+  }
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  util::io::close_quiet(fd);
+}
+
+TEST(WireVersionTest, ClientRejectsV1ServerImmediatelyWithoutRetrying) {
+  // A fake "old" server: accepts the TCP connection, reads the client's
+  // hello, and answers with a v1 frame.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  std::thread old_server([listen_fd] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    Frame hello;
+    try {
+      (void)recv_frame(conn, hello);  // the client's (valid, v3) hello
+    } catch (const WireError&) {
+    }
+    const std::vector<std::uint8_t> ack = v1_frame(FrameType::kHelloAck);
+    (void)util::io::write_full(conn, ack.data(), ack.size());
+    // Hold the socket open: a hanging client would block here, which the
+    // assertion below (immediate typed failure) would catch as a timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    util::io::close_quiet(conn);
+  });
+
+  ClientOptions copts;
+  copts.port = ntohs(addr.sin_port);
+  copts.max_attempts = 5;            // must not be consumed:
+  copts.backoff_initial_ms = 5000;   // any retry would blow the deadline
+  Client client(copts);
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    (void)client.execute(count_request(share(gen::complete(6).edges)));
+    FAIL() << "expected TransportError{kProtocol}";
+  } catch (const TransportError& error) {
+    EXPECT_EQ(error.fault(), TransportFault::kProtocol);
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos)
+        << error.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000)
+      << "a protocol violation must fail fast, not burn the retry budget";
+
+  old_server.join();
+  util::io::close_quiet(listen_fd);
+}
+
 TEST(TransportTest, ClientGivesUpWithTypedErrorWhenServerGone) {
   ClientOptions copts;
   copts.port = 1;  // nothing listens here
